@@ -1,0 +1,39 @@
+"""Shared benchmark fixtures.
+
+Benchmark documents are node-scaled versions of the paper's 7–70 MB series
+(see DESIGN.md, faithful-substitution notes).  ``REPRO_SCALE`` grows every
+document; the defaults keep ``pytest benchmarks/ --benchmark-only`` within
+a few minutes of wall clock.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.workloads import HospitalConfig, generate_hospital_document
+from repro.workloads.scales import scale_factor
+
+
+def _patients(base: int) -> int:
+    return max(4, int(base * scale_factor()))
+
+
+@pytest.fixture(scope="session")
+def bench_doc():
+    """The main benchmark document (≈12k elements at scale 1)."""
+    return generate_hospital_document(
+        HospitalConfig(num_patients=_patients(220), seed=2007)
+    )
+
+
+@pytest.fixture(scope="session")
+def bench_series():
+    """Three-step size series for scaling benchmarks (E11)."""
+    docs = []
+    for step, base in enumerate((80, 160, 320), start=1):
+        docs.append(
+            generate_hospital_document(
+                HospitalConfig(num_patients=_patients(base), seed=2007 + step)
+            )
+        )
+    return docs

@@ -1,0 +1,135 @@
+"""Full experiment harness: regenerate every table/figure of Section 7.
+
+Produces the paper-style series tables for Fig. 8(a–c) and Fig. 9(a–c), the
+GALAX comparison, the pruning statistic, and the rewriting size tables
+(E9/E10).  Run time is a few minutes at the default scale; set
+``REPRO_SCALE`` to trade time for document size.
+
+Run:  python benchmarks/run_experiments.py [--steps N] [--repeats R]
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.bench.runners import pruning_statistics, run_series
+from repro.bench.tables import format_ratios
+from repro.rewrite import rewrite_query, rewrite_to_xreg
+from repro.views import sigma0
+from repro.workloads import FIG8, FIG9
+from repro.workloads.scales import document_series
+from repro.xpath import parse_query
+
+FIG8_TITLES = {
+    "fig8a": "Figure 8(a): XPath, filter returning a large set of nodes",
+    "fig8b": "Figure 8(b): XPath, filter conjunctions",
+    "fig8c": "Figure 8(c): XPath, filter disjunctions",
+}
+FIG9_TITLES = {
+    "fig9a": "Figure 9(a): regular XPath, Kleene star outside filter",
+    "fig9b": "Figure 9(b): regular XPath, filter inside Kleene star",
+    "fig9c": "Figure 9(c): regular XPath, Kleene star in filter",
+}
+
+BLOWUP_FAMILY = [
+    "(*/*)*",
+    "((*/*)*/(*/*)*)*",
+    "(((*/*)*/(*/*)*)*/((*/*)*/(*/*)*)*)*",
+]
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--steps", type=int, default=6,
+                        help="documents in the size series (paper: 10)")
+    parser.add_argument("--repeats", type=int, default=3,
+                        help="timing repeats per point (paper: >=5)")
+    args = parser.parse_args(argv)
+
+    print("generating document series ...", flush=True)
+    series = document_series(steps=args.steps)
+    for step in series:
+        print(f"  {step.label}: {step.num_patients} patients, "
+              f"{step.element_count} elements")
+    print()
+
+    for key in sorted(FIG8):
+        result = run_series(
+            FIG8_TITLES[key], FIG8[key], series,
+            ["naive", "hype", "opthype", "opthype-c"], repeats=args.repeats,
+        )
+        print(result.render())
+        print(format_ratios("naive", result.times))
+        print()
+
+    for key in sorted(FIG9):
+        result = run_series(
+            FIG9_TITLES[key], FIG9[key], series,
+            ["hype", "opthype", "opthype-c"], repeats=args.repeats,
+        )
+        print(result.render())
+        print(format_ratios("hype", result.times))
+        print()
+
+    print("GALAX comparison (Section 7, prose): xquery-sim vs hype on fig9a/fig9c")
+    for key in ("fig9a", "fig9c"):
+        result = run_series(
+            f"GALAX comparison on {key}", FIG9[key], series[: max(2, args.steps // 2)],
+            ["hype", "xquery"], repeats=args.repeats,
+        )
+        print(result.render())
+        print(format_ratios("xquery", result.times))
+        print()
+
+    print("Pruning statistic (Section 7, prose): fraction of element nodes skipped")
+    heart = "visit/treatment/medication/diagnosis/text() = 'heart disease'"
+    rooted_suite = {
+        "pnames": "department/patient/pname",
+        "selective": f"department/patient[{heart}]",
+        "ancestors": "department/patient/(parent/patient)*",
+        "star-filter": f"department/patient[(parent/patient)*/{heart}]",
+        "doctors": "department/patient/visit/doctor/specialty",
+        "conj": (
+            f"department/patient[{heart}"
+            " and visit/doctor/specialty/text() = 'cardiology']"
+        ),
+    }
+    tree = series[-1].tree
+    for label, suite in (
+        ("rooted example queries (paper-style)", rooted_suite),
+        ("descendant-axis figure queries", {**FIG8, **FIG9}),
+    ):
+        totals = {"hype": 0.0, "opthype": 0.0, "opthype-c": 0.0}
+        for query in suite.values():
+            for name, value in pruning_statistics(query, tree).items():
+                totals[name] += value
+        print(f"  suite: {label}")
+        for name, total in totals.items():
+            print(f"    {name:10s} prunes {total / len(suite):6.1%} on average "
+                  f"(paper: HyPE 78.2%, OptHyPE 88%)")
+    print()
+
+    print("E9 (Fig. 2 / Cor. 3.3): rewritten sizes, direct Xreg vs MFA")
+    spec = sigma0()
+    print(f"  {'|Q|':>5s} {'direct':>9s} {'MFA':>6s}")
+    for source in BLOWUP_FAMILY:
+        query = parse_query(source)
+        direct = rewrite_to_xreg(spec, query).size()
+        mfa = rewrite_query(spec, query).size()
+        print(f"  {query.size():5d} {direct:9d} {mfa:6d}")
+    print()
+
+    print("E10 (Thm 5.1): |M| linear in |Q| (chain sweep)")
+    step_q = "patient[record/diagnosis/text() = 'heart disease']"
+    print(f"  {'depth':>5s} {'|Q|':>5s} {'|M|':>6s}")
+    for depth in (1, 2, 4, 8):
+        source = step_q + f"/parent/{step_q}" * (depth - 1)
+        query = parse_query(source)
+        mfa = rewrite_query(spec, query)
+        print(f"  {depth:5d} {query.size():5d} {mfa.size():6d}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

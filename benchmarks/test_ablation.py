@@ -1,0 +1,57 @@
+"""Ablation benchmarks for the design choices DESIGN.md calls out.
+
+* **Single pass vs. multiple passes** — the conceptual evaluation of
+  Section 4 (Fig. 4) re-traverses subtrees per filter invocation (memoised
+  per ``(node, state)``); HyPE folds everything into one pass.  The paper
+  contrasts exactly these two ("the conceptual evaluation requires multiple
+  passes over a subtree ... our evaluation algorithm requires only one
+  pass").
+* **Index construction cost** — OptHyPE's preprocessing pass must stay
+  ~linear and amortise over queries; OptHyPE-C's interning must not cost
+  more than it saves in footprint.
+* **Two-pass filter evaluation** (Koch profile) — evaluates every AFA state
+  at every node, the cost HyPE's relevance-driven evaluation avoids.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.automata import compile_query, conceptual_eval
+from repro.baselines import TwoPassEvaluator
+from repro.hype import HyPEEvaluator, build_index
+from repro.workloads import FIG8A
+from repro.xpath import parse_query
+
+QUERY = FIG8A  # descendant selection + descendant filter: filter-heavy
+
+
+@pytest.mark.parametrize(
+    "engine", ("hype-single-pass", "conceptual-multi-pass", "twopass-koch")
+)
+def test_pass_structure_ablation(benchmark, bench_doc, engine):
+    mfa = compile_query(parse_query(QUERY))
+    hype = HyPEEvaluator(mfa)
+    expected = {n.node_id for n in hype.run(bench_doc.root).answers}
+    if engine == "hype-single-pass":
+        benchmark(hype.run, bench_doc.root)
+    elif engine == "conceptual-multi-pass":
+        got = {n.node_id for n in conceptual_eval(mfa, bench_doc.root)}
+        assert got == expected
+        benchmark(conceptual_eval, mfa, bench_doc.root)
+    else:
+        twopass = TwoPassEvaluator(mfa)
+        got = {n.node_id for n in twopass.run(bench_doc)}
+        assert got == expected
+        benchmark(twopass.run, bench_doc)
+
+
+@pytest.mark.parametrize("compressed", (False, True))
+def test_index_build_cost(benchmark, bench_doc, compressed):
+    index = benchmark(build_index, bench_doc, compressed)
+    benchmark.extra_info["entries"] = index.memory_entries()
+    benchmark.extra_info["distinct_masks"] = index.distinct_masks()
+    if compressed:
+        # The compressed index stores ids + a tiny table instead of one
+        # mask word per node: strictly fewer wide entries.
+        assert index.distinct_masks() < bench_doc.size / 20

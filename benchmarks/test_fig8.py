@@ -1,0 +1,39 @@
+"""E1–E3 — Fig. 8(a–c): XPath evaluation, HyPE family vs. the JAXP profile.
+
+Paper's observations to reproduce in *shape*:
+* HyPE and its variants beat (or at worst match) the conventional
+  node-at-a-time engine;
+* OptHyPE runs roughly twice as fast as plain HyPE;
+* OptHyPE-C performs almost identically to OptHyPE.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.runners import make_algorithms
+from repro.workloads import FIG8
+
+ALGORITHMS = ("naive", "hype", "opthype", "opthype-c")
+
+
+def _check_agreement(runners, tree):
+    results = {name: runner(tree) for name, runner in runners.items()}
+    baseline = {n.node_id for n in results["naive"]}
+    for name, answers in results.items():
+        assert {n.node_id for n in answers} == baseline, name
+    return len(baseline)
+
+
+@pytest.mark.parametrize("figure", sorted(FIG8))
+@pytest.mark.parametrize("algorithm", ALGORITHMS)
+def test_fig8(benchmark, bench_doc, figure, algorithm):
+    query = FIG8[figure]
+    runners = make_algorithms(query, ALGORITHMS)
+    answer_count = _check_agreement(runners, bench_doc)
+    runner = runners[algorithm]
+    runner(bench_doc)  # warm the per-tree index/caches
+    benchmark.extra_info["figure"] = figure
+    benchmark.extra_info["answers"] = answer_count
+    benchmark.extra_info["elements"] = bench_doc.element_count
+    benchmark(runner, bench_doc)

@@ -1,0 +1,32 @@
+"""E4–E6 — Fig. 9(a–c): regular XPath evaluation, HyPE variants.
+
+The paper's Fig. 9 compares only the HyPE family (no conventional engine
+evaluates regular XPath); the expected shape is OptHyPE/OptHyPE-C showing a
+considerable improvement over plain HyPE, with near-identical performance
+between the two optimised variants.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.runners import make_algorithms
+from repro.workloads import FIG9
+
+ALGORITHMS = ("hype", "opthype", "opthype-c")
+
+
+@pytest.mark.parametrize("figure", sorted(FIG9))
+@pytest.mark.parametrize("algorithm", ALGORITHMS)
+def test_fig9(benchmark, bench_doc, figure, algorithm):
+    query = FIG9[figure]
+    runners = make_algorithms(query, ALGORITHMS)
+    results = {name: runner(bench_doc) for name, runner in runners.items()}
+    baseline = {n.node_id for n in results["hype"]}
+    for name, answers in results.items():
+        assert {n.node_id for n in answers} == baseline, name
+    runner = runners[algorithm]
+    benchmark.extra_info["figure"] = figure
+    benchmark.extra_info["answers"] = len(baseline)
+    benchmark.extra_info["elements"] = bench_doc.element_count
+    benchmark(runner, bench_doc)

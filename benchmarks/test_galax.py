@@ -1,0 +1,35 @@
+"""E7 — the GALAX comparison (Section 7, prose).
+
+Paper: regular XPath queries translated to XQuery and run in GALAX
+"required considerably more time" — so much so that GALAX on the *smallest*
+document was slower than HyPE on the *largest*.  We reproduce the shape
+with the XQuery-simulation baseline: its materialising, recursion-unrolling
+evaluation of Kleene stars must be clearly slower than HyPE on the same
+document.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines import XQuerySimEvaluator
+from repro.bench.runners import make_algorithms
+from repro.workloads import FIG9
+
+QUERIES = ("fig9a", "fig9c")
+
+
+@pytest.mark.parametrize("figure", QUERIES)
+@pytest.mark.parametrize("engine", ("hype", "xquery-sim"))
+def test_galax_comparison(benchmark, bench_doc, figure, engine):
+    query = FIG9[figure]
+    hype_runner = make_algorithms(query, ("hype",))["hype"]
+    xquery = XQuerySimEvaluator(query)
+    expected = {n.node_id for n in hype_runner(bench_doc)}
+    assert {n.node_id for n in xquery.run(bench_doc)} == expected
+    benchmark.extra_info["figure"] = figure
+    benchmark.extra_info["elements"] = bench_doc.element_count
+    if engine == "hype":
+        benchmark(hype_runner, bench_doc)
+    else:
+        benchmark(xquery.run, bench_doc)

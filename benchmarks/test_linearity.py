@@ -1,0 +1,42 @@
+"""E11 — Theorems 6.1/6.2: HyPE has linear data complexity.
+
+Runs one Fig. 9 query over a 1×/2×/4× document series and checks the
+per-element evaluation time stays within a constant band — time grows
+linearly with |T|.  The benchmark measures the largest document.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.bench.runners import make_algorithms
+from repro.workloads import FIG9
+
+
+def _best_time(runner, tree, repeats: int = 3) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        runner(tree)
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def test_hype_linear_in_document(benchmark, bench_series):
+    query = FIG9["fig9c"]
+    runner = make_algorithms(query, ("hype",))["hype"]
+    per_element = []
+    for tree in bench_series:
+        runner(tree)  # warm caches
+        best = _best_time(runner, tree)
+        per_element.append(best / tree.element_count)
+    benchmark.extra_info["per_element_us"] = [
+        round(v * 1e6, 3) for v in per_element
+    ]
+    benchmark.extra_info["elements"] = [t.element_count for t in bench_series]
+    # Linear scaling: per-element cost varies by at most ~2.5x across a 4x
+    # size range (loose to tolerate machine noise).
+    assert max(per_element) < 2.5 * min(per_element)
+    benchmark(runner, bench_series[-1])

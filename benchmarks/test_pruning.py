@@ -1,0 +1,50 @@
+"""E8 — the pruning statistic (Section 7, prose).
+
+Paper: "HyPE (resp. OptHyPE) prunes, on average, 78.2% (resp. 88%) of the
+element nodes for our example queries."  We measure the fraction of element
+nodes never visited over a query suite mixing rooted paths (heavily
+prunable) and descendant queries (prunable only with the index), assert
+the ordering HyPE ≤ OptHyPE, and benchmark the measurement pass.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.runners import pruning_statistics
+from repro.workloads import FIG8, FIG9
+
+#: The "example queries" suite: rooted selections plus the figure queries.
+SUITE = {
+    "rooted-pname": "department/patient/pname",
+    "rooted-diagnosis": (
+        "department/patient/visit/treatment/medication/diagnosis"
+    ),
+    "rooted-parents": "department/patient/(parent/patient)*",
+    **FIG8,
+    **FIG9,
+}
+
+
+def average_pruning(tree) -> dict[str, float]:
+    totals = {"hype": 0.0, "opthype": 0.0, "opthype-c": 0.0}
+    for query in SUITE.values():
+        stats = pruning_statistics(query, tree)
+        for name, value in stats.items():
+            totals[name] += value
+    return {name: value / len(SUITE) for name, value in totals.items()}
+
+
+def test_pruning_statistics(benchmark, bench_doc):
+    averages = benchmark.pedantic(
+        average_pruning, args=(bench_doc,), rounds=1, iterations=1
+    )
+    benchmark.extra_info.update(
+        {name: round(value, 4) for name, value in averages.items()}
+    )
+    # Shape: the index never prunes less than plain HyPE, and the suite
+    # averages are substantial (the paper reports 78.2% / 88%).
+    assert averages["opthype"] >= averages["hype"] - 1e-9
+    assert averages["hype"] > 0.15
+    assert averages["opthype"] > 0.3
+    assert abs(averages["opthype"] - averages["opthype-c"]) < 1e-9

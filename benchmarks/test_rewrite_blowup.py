@@ -1,0 +1,41 @@
+"""E9 — Fig. 2 / Corollary 3.3: direct rewriting blows up, MFAs do not.
+
+The nested-star query family doubles |Q| per level; the direct ``Xreg``
+rewriting (Kleene matrix algebra) multiplies in size per level while the
+MFA rewriting stays linear in |Q| (Theorem 5.1).  The benchmark measures
+both rewriting times on the deepest family member and records the size
+series in ``extra_info``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.rewrite import rewrite_query, rewrite_to_xreg
+from repro.views import sigma0
+from repro.xpath import parse_query
+
+FAMILY = [
+    "(*/*)*",
+    "((*/*)*/(*/*)*)*",
+    "(((*/*)*/(*/*)*)*/((*/*)*/(*/*)*)*)*",
+]
+
+
+@pytest.mark.parametrize("method", ("direct-xreg", "mfa"))
+def test_rewrite_blowup(benchmark, method):
+    spec = sigma0()
+    queries = [parse_query(q) for q in FAMILY]
+    if method == "direct-xreg":
+        sizes = [rewrite_to_xreg(spec, q).size() for q in queries]
+        # Exponential-flavoured growth: ≥5× per nesting level.
+        assert sizes[1] > 5 * sizes[0]
+        assert sizes[2] > 5 * sizes[1]
+        benchmark.extra_info["sizes"] = sizes
+        benchmark(rewrite_to_xreg, spec, queries[-1])
+    else:
+        sizes = [rewrite_query(spec, q).size() for q in queries]
+        ratios = [m / q.size() for m, q in zip(sizes, queries)]
+        assert max(ratios) < 2.5 * min(ratios)  # linear in |Q|
+        benchmark.extra_info["sizes"] = sizes
+        benchmark(rewrite_query, spec, queries[-1])

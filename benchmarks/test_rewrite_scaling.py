@@ -1,0 +1,50 @@
+"""E10 — Theorem 5.1: rewriting is low-polynomial in |Q|, |σ|, |D_V|.
+
+Sweeps query length (concatenation chains with filters) and checks the
+output-MFA size grows linearly with |Q|; benchmarks the rewriting call on
+the longest query of the sweep.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.rewrite import rewrite_query
+from repro.views import sigma0
+from repro.xpath import parse_query
+
+CHAIN_DEPTHS = (1, 2, 4, 8)
+
+
+def chain_query(depth: int) -> str:
+    """A realisable view chain: patient[...]/parent/patient[...]/..."""
+    step = "patient[record/diagnosis/text() = 'heart disease']"
+    return step + f"/parent/{step}" * (depth - 1)
+
+
+def test_rewrite_scaling(benchmark):
+    spec = sigma0()
+    sizes = {}
+    for depth in CHAIN_DEPTHS:
+        query = parse_query(chain_query(depth))
+        mfa = rewrite_query(spec, query)
+        sizes[depth] = (query.size(), mfa.size())
+    benchmark.extra_info["sizes"] = {
+        depth: {"|Q|": q, "|M|": m} for depth, (q, m) in sizes.items()
+    }
+    # |M|/|Q| stays within a constant band across the sweep (linear growth).
+    ratios = [m / q for q, m in sizes.values()]
+    assert max(ratios) < 2.0 * min(ratios)
+    longest = parse_query(chain_query(CHAIN_DEPTHS[-1]))
+    benchmark(rewrite_query, spec, longest)
+
+
+def test_rewrite_star_depth_scaling(benchmark):
+    """Nesting stars (the hard case for direct rewriting) stays polynomial."""
+    spec = sigma0()
+    inner = "(patient/parent)*"
+    queries = [inner, f"({inner}/patient/record)*", f"(({inner}/patient/record)*)*"]
+    sizes = [rewrite_query(spec, parse_query(q)).size() for q in queries]
+    benchmark.extra_info["sizes"] = sizes
+    assert sizes[-1] < 20 * sizes[0]
+    benchmark(rewrite_query, spec, parse_query(queries[-1]))

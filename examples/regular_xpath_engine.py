@@ -1,0 +1,57 @@
+"""SMOQE as a stand-alone regular XPath engine: the evaluator line-up.
+
+Benchmarks one XPath and one regular XPath query across every evaluator in
+the library — the Fig. 8/9 experiment in miniature — and prints a
+paper-style table.
+
+Run:  python examples/regular_xpath_engine.py
+"""
+
+from repro import HospitalConfig, generate_hospital_document
+from repro.baselines import NaiveEvaluator, TwoPassEvaluator, XQuerySimEvaluator
+from repro.bench import measure
+from repro.bench.runners import make_algorithms
+from repro.workloads import FIG8A, FIG9C
+
+
+def line_up(document, query: str, include_naive: bool) -> None:
+    print(f"query: {query}")
+    rows: list[tuple[str, float, int]] = []
+    algorithms = ("hype", "opthype", "opthype-c")
+    runners = make_algorithms(query, algorithms)
+    reference = None
+    for name in algorithms:
+        runner = runners[name]
+        answers = runner(document)  # warm + correctness
+        if reference is None:
+            reference = {n.node_id for n in answers}
+        assert {n.node_id for n in answers} == reference
+        timing = measure(lambda r=runner: r(document), repeats=3)
+        rows.append((name, timing.best, len(answers)))
+    extras = [XQuerySimEvaluator(query)]
+    if include_naive:
+        extras = [NaiveEvaluator(query), TwoPassEvaluator(query)] + extras
+    for evaluator in extras:
+        answers = evaluator.run(document)
+        assert {n.node_id for n in answers} == reference
+        timing = measure(lambda e=evaluator: e.run(document), repeats=3)
+        rows.append((evaluator.name, timing.best, len(answers)))
+    width = max(len(name) for name, _, _ in rows)
+    for name, seconds, count in sorted(rows, key=lambda r: r[1]):
+        print(f"  {name:<{width}}  {seconds * 1000:8.1f} ms   ({count} answers)")
+    print()
+
+
+def main() -> None:
+    document = generate_hospital_document(
+        HospitalConfig(num_patients=200, seed=99)
+    )
+    print(f"document: {document.element_count} element nodes\n")
+    print("-- XPath (Fig. 8(a) workload) --")
+    line_up(document, FIG8A, include_naive=True)
+    print("-- regular XPath (Fig. 9(c) workload) --")
+    line_up(document, FIG9C, include_naive=False)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,113 @@
+"""SMOQE reproduction — rewriting regular XPath queries on XML views.
+
+A from-scratch Python implementation of Fan, Geerts, Jia & Kementsietsidis,
+*Rewriting Regular XPath Queries on XML Views* (ICDE 2007): the regular
+XPath language ``Xreg``, annotated-DTD XML views, mixed finite state
+automata (MFA), the polynomial MFA rewriting algorithm, the single-pass
+HyPE evaluator with its OptHyPE index variants, and the SMOQE engine that
+answers queries over virtual (possibly recursive) XML views.
+
+Quickstart::
+
+    from repro import SMOQE, sigma0, generate_hospital_document, HospitalConfig
+
+    doc = generate_hospital_document(HospitalConfig(num_patients=50, seed=1))
+    engine = SMOQE(doc)
+    engine.register_view("research", sigma0())
+    answer = engine.answer("research", "(patient/parent)*/patient[record]")
+    print(answer.ids())
+"""
+
+from .automata import MFA, compile_query, conceptual_eval
+from .dtd import (
+    DTD,
+    GeneratorConfig,
+    generate_document,
+    hospital_dtd,
+    hospital_view_dtd,
+    is_recursive,
+    parse_dtd,
+    validate,
+)
+from .engine import QueryAnswer, SMOQE
+from .errors import ReproError
+from .hype import (
+    HYPE,
+    OPTHYPE,
+    OPTHYPE_C,
+    HyPEResult,
+    build_index,
+    evaluate_hype,
+    hype_eval,
+)
+from .rewrite import rewrite_query, rewrite_to_xreg
+from .views import (
+    AccessPolicy,
+    MaterializedView,
+    ViewSpec,
+    copy_view,
+    derive_view,
+    materialize,
+    sigma0,
+    view_spec,
+)
+from .workloads import HospitalConfig, generate_hospital_document
+from .xpath import evaluate, parse_query, unparse
+from .xtree import XMLTree, document, element, parse_xml, serialize, text_node
+
+__version__ = "1.0.0"
+
+__all__ = [
+    # engine
+    "SMOQE",
+    "QueryAnswer",
+    # language
+    "parse_query",
+    "unparse",
+    "evaluate",
+    # trees
+    "XMLTree",
+    "parse_xml",
+    "serialize",
+    "document",
+    "element",
+    "text_node",
+    # DTDs
+    "DTD",
+    "parse_dtd",
+    "validate",
+    "is_recursive",
+    "hospital_dtd",
+    "hospital_view_dtd",
+    "generate_document",
+    "GeneratorConfig",
+    # views
+    "ViewSpec",
+    "view_spec",
+    "copy_view",
+    "materialize",
+    "MaterializedView",
+    "sigma0",
+    "AccessPolicy",
+    "derive_view",
+    # automata + rewriting
+    "MFA",
+    "compile_query",
+    "conceptual_eval",
+    "rewrite_query",
+    "rewrite_to_xreg",
+    # evaluation
+    "hype_eval",
+    "evaluate_hype",
+    "HyPEResult",
+    "build_index",
+    "HYPE",
+    "OPTHYPE",
+    "OPTHYPE_C",
+    # workloads
+    "HospitalConfig",
+    "generate_hospital_document",
+    # errors
+    "ReproError",
+    "__version__",
+]

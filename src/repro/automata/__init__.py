@@ -1,0 +1,47 @@
+"""Automata: NFAs, AFAs and mixed finite state automata (MFA, Section 4)."""
+
+from .afa import (
+    AFAPool,
+    AFAState,
+    AND,
+    FINAL,
+    NOT,
+    OR,
+    PositionPred,
+    TextPred,
+    TRANS,
+    WILDCARD,
+)
+from .compile import MFABuilder, compile_filter, compile_query
+from .conceptual import conceptual_eval
+from .mfa import MFA
+from .nfa import NFA
+from .truth import (
+    MemoAFAEvaluator,
+    child_relevant,
+    relevance_closure,
+    resolve_operator_values,
+)
+
+__all__ = [
+    "AFAPool",
+    "AFAState",
+    "AND",
+    "OR",
+    "NOT",
+    "TRANS",
+    "FINAL",
+    "WILDCARD",
+    "TextPred",
+    "PositionPred",
+    "NFA",
+    "MFA",
+    "MFABuilder",
+    "compile_query",
+    "compile_filter",
+    "conceptual_eval",
+    "MemoAFAEvaluator",
+    "relevance_closure",
+    "child_relevant",
+    "resolve_operator_values",
+]

@@ -1,0 +1,46 @@
+"""Conceptual MFA evaluation (Fig. 4) — the multiple-pass oracle.
+
+Walks the selecting NFA over the tree from the context node, *eagerly*
+evaluating the AFA gate of every annotated state it passes through (with a
+memoised AFA evaluator, so each ``(node, state)`` is computed once, but the
+tree may still be traversed multiple times — once per filter invocation).
+
+This is the specification HyPE is differentially tested against; the paper
+uses exactly this evaluation to define MFA semantics before presenting the
+single-pass algorithm of Section 6.
+"""
+
+from __future__ import annotations
+
+from ..xtree.node import Node
+from .mfa import MFA
+from .truth import MemoAFAEvaluator
+
+
+def conceptual_eval(mfa: MFA, context: Node) -> set[Node]:
+    """Evaluate ``context[[M]]`` by direct NFA simulation with eager gates."""
+    nfa = mfa.nfa
+    gates = MemoAFAEvaluator(mfa.pool)
+    answers: set[Node] = set()
+    # BFS over (tree node, NFA state); ε-moves are taken stepwise so that a
+    # failed gate on an intermediate state blocks everything behind it.
+    seen: set[tuple[int, int]] = set()
+    frontier: list[tuple[Node, int]] = [(context, nfa.start)]
+    while frontier:
+        node, state = frontier.pop()
+        if (node.node_id, state) in seen:
+            continue
+        seen.add((node.node_id, state))
+        entry = nfa.ann.get(state)
+        if entry is not None and not gates.holds(entry, node):
+            continue  # gate failed: this run dies here
+        if state in nfa.finals:
+            answers.add(node)
+        for successor in nfa.eps[state]:
+            frontier.append((node, successor))
+        for child in node.children:
+            if not child.is_element:
+                continue
+            for successor in nfa.step_targets(state, child.label):
+                frontier.append((child, successor))
+    return answers

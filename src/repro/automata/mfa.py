@@ -1,0 +1,62 @@
+"""Mixed finite state automata (MFA) — Definition of Section 4.
+
+An MFA ``M = (N_s, A)`` couples a selecting NFA ``N_s`` (data-selection
+paths) with a set of AFAs (filters); ``λ`` annotates NFA states with AFA
+entry points.  We store all AFA states in one :class:`AFAPool`; the
+bindings ``X_i = AFA_i`` of the paper correspond to the distinct entry ids
+referenced from ``N_s.ann``.
+
+``M`` and an ``Xreg`` query ``Q`` are *equivalent* when ``n[[M]] = n[[Q]]``
+for every tree and node (Theorem 4.1); :mod:`repro.automata.compile`
+realises the query→MFA direction with the size bounds of Section 5.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .afa import AFAPool
+from .nfa import NFA
+
+
+@dataclass
+class MFA:
+    """An MFA: selecting NFA + AFA pool (+ housekeeping metadata)."""
+
+    nfa: NFA
+    pool: AFAPool
+    #: Optional human-readable description (source query, rewriting info).
+    description: str = ""
+    meta: dict = field(default_factory=dict)
+
+    def size(self) -> int:
+        """|M| = |N_s| + Σ|AFA_i| (states + transitions)."""
+        return self.nfa.size() + self.pool.size()
+
+    def validate(self) -> None:
+        """Check both components and the λ-references."""
+        self.nfa.validate()
+        self.pool.validate()
+        for state, entry in self.nfa.ann.items():
+            if not (0 <= state < self.nfa.num_states):
+                raise_state = f"λ annotates unknown NFA state {state}"
+                from ..errors import AutomatonError
+
+                raise AutomatonError(raise_state)
+            if not (0 <= entry < len(self.pool)):
+                from ..errors import AutomatonError
+
+                raise AutomatonError(
+                    f"λ({state}) references unknown AFA state {entry}"
+                )
+
+    def stats(self) -> dict[str, int]:
+        """Size breakdown used by the rewriting experiments (Theorem 5.1)."""
+        return {
+            "nfa_states": self.nfa.num_states,
+            "nfa_transitions": self.nfa.num_transitions(),
+            "afa_states": len(self.pool),
+            "afa_size": self.pool.size(),
+            "annotations": len(self.nfa.ann),
+            "total": self.size(),
+        }

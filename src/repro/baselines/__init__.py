@@ -1,0 +1,7 @@
+"""Comparator evaluators for the Section 7 experiments."""
+
+from .naive import NaiveEvaluator
+from .twopass import TwoPassEvaluator
+from .xquery_sim import XQuerySimEvaluator
+
+__all__ = ["NaiveEvaluator", "TwoPassEvaluator", "XQuerySimEvaluator"]

@@ -1,0 +1,125 @@
+"""The "JAXP"-profile baseline: conventional node-at-a-time XPath evaluation.
+
+Section 7 compares HyPE against JAXP (Xalan/Xerces).  Xalan evaluates
+XPath location steps with a per-node DOM walker: each step iterates child
+lists node by node, descendant axes walk whole subtrees, and every filter
+is re-evaluated from scratch at each candidate node — there is no sharing
+of filter work between candidates and no pruning of irrelevant subtrees.
+
+Offline we cannot run Xalan itself, so this baseline reproduces that cost
+profile faithfully in the same substrate (pure Python, same tree) as HyPE:
+
+* node-at-a-time child iteration per location step,
+* full subtree walks for ``//``/Kleene closures (revisiting overlapping
+  regions repeatedly, as DOM walkers do),
+* per-candidate filter re-evaluation with zero memoisation.
+
+Answers are exactly the reference semantics; only the cost model matches
+JAXP.  (The bulk set-algebra evaluator in :mod:`repro.xpath.evaluator`
+remains the library's correctness oracle.)
+"""
+
+from __future__ import annotations
+
+from ..xpath import ast
+from ..xpath.parser import parse_query
+from ..xtree.node import Node, XMLTree
+
+
+class NaiveEvaluator:
+    """Node-at-a-time evaluation; the JAXP stand-in of the experiments."""
+
+    name = "naive (JAXP profile)"
+
+    def __init__(self, query: str | ast.Path) -> None:
+        if isinstance(query, str):
+            query = parse_query(query)
+        self.query = query
+
+    def run(self, tree: XMLTree | Node) -> set[Node]:
+        """Evaluate at the tree root (or at a bare context node)."""
+        context = tree.root if isinstance(tree, XMLTree) else tree
+        result: list[Node] = []
+        seen: set[int] = set()
+        for node in self._walk(self.query, context):
+            if node.node_id not in seen:
+                seen.add(node.node_id)
+                result.append(node)
+        return set(result)
+
+    # ------------------------------------------------------------------
+    def _walk(self, query: ast.Path, node: Node):
+        """Yield nodes reached from ``node`` via ``query`` (with duplicates)."""
+        if isinstance(query, ast.Empty):
+            yield node
+            return
+        if isinstance(query, ast.Label):
+            name = query.name
+            for child in node.children:
+                if child.label == name:
+                    yield child
+            return
+        if isinstance(query, ast.Wildcard):
+            for child in node.children:
+                if child.is_element:
+                    yield child
+            return
+        if isinstance(query, ast.DescOrSelf):
+            # Full subtree walk, node by node (the DOM-walker descendant axis).
+            stack = [node]
+            while stack:
+                current = stack.pop()
+                if current.is_element:
+                    yield current
+                    stack.extend(reversed(current.children))
+            return
+        if isinstance(query, ast.Concat):
+            for middle in self._walk(query.left, node):
+                yield from self._walk(query.right, middle)
+            return
+        if isinstance(query, ast.Union):
+            yield from self._walk(query.left, node)
+            yield from self._walk(query.right, node)
+            return
+        if isinstance(query, ast.Star):
+            # Frontier expansion, one node at a time.
+            visited = {node.node_id}
+            frontier = [node]
+            yield node
+            while frontier:
+                current = frontier.pop()
+                for reached in self._walk(query.inner, current):
+                    if reached.node_id not in visited:
+                        visited.add(reached.node_id)
+                        frontier.append(reached)
+                        yield reached
+            return
+        if isinstance(query, ast.Filtered):
+            for candidate in self._walk(query.path, node):
+                if self._holds(query.predicate, candidate):
+                    yield candidate
+            return
+        raise TypeError(f"unknown path node {query!r}")
+
+    def _holds(self, predicate: ast.Filter, node: Node) -> bool:
+        """Filter check: re-evaluated from scratch at every candidate."""
+        if isinstance(predicate, ast.Exists):
+            for _ in self._walk(predicate.path, node):
+                return True
+            return False
+        if isinstance(predicate, ast.TextEquals):
+            for target in self._walk(predicate.path, node):
+                if target.text() == predicate.value:
+                    return True
+            return False
+        if isinstance(predicate, ast.Not):
+            return not self._holds(predicate.inner, node)
+        if isinstance(predicate, ast.And):
+            return self._holds(predicate.left, node) and self._holds(
+                predicate.right, node
+            )
+        if isinstance(predicate, ast.Or):
+            return self._holds(predicate.left, node) or self._holds(
+                predicate.right, node
+            )
+        raise TypeError(f"unknown filter node {predicate!r}")

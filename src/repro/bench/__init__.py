@@ -1,0 +1,16 @@
+"""Benchmark harness: timing, tables, per-figure runners."""
+
+from .runners import SeriesResult, make_algorithms, pruning_statistics, run_series
+from .tables import format_ratios, format_series
+from .timing import Timing, measure
+
+__all__ = [
+    "measure",
+    "Timing",
+    "format_series",
+    "format_ratios",
+    "run_series",
+    "make_algorithms",
+    "pruning_statistics",
+    "SeriesResult",
+]

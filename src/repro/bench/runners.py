@@ -1,0 +1,152 @@
+"""Experiment runners shared by ``benchmarks/`` and the results harness.
+
+Each runner reproduces one figure/table of Section 7: it generates (or
+receives) the document series, runs every algorithm on every size, checks
+all algorithms agree on the answers, and returns the timing matrix.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Mapping, Sequence
+
+from ..automata.mfa import MFA
+from ..baselines.naive import NaiveEvaluator
+from ..baselines.twopass import TwoPassEvaluator
+from ..baselines.xquery_sim import XQuerySimEvaluator
+from ..hype.analyze import ViabilityAnalyzer
+from ..hype.api import to_mfa
+from ..hype.core import HyPEEvaluator
+from ..hype.index import build_index
+from ..workloads.scales import SeriesStep
+from ..xtree.node import XMLTree
+from .timing import Timing, measure
+
+
+@dataclass
+class SeriesResult:
+    """Timing matrix of one experiment."""
+
+    title: str
+    row_labels: list[str] = field(default_factory=list)
+    element_counts: list[int] = field(default_factory=list)
+    answer_counts: list[int] = field(default_factory=list)
+    times: dict[str, list[float]] = field(default_factory=dict)
+
+    def mean_times(self) -> dict[str, list[float]]:
+        return self.times
+
+    def render(self) -> str:
+        from .tables import format_series
+
+        return format_series(
+            self.title,
+            self.row_labels,
+            self.times,
+            extra={
+                "elements": self.element_counts,
+                "answers": self.answer_counts,
+            },
+        )
+
+
+def make_algorithms(
+    query: str, include: Sequence[str]
+) -> dict[str, Callable[[XMLTree], set]]:
+    """Build name→runner callables for the requested algorithms.
+
+    Known names: ``naive`` (JAXP profile), ``twopass`` (Koch profile),
+    ``xquery`` (GALAX profile), ``hype``, ``opthype``, ``opthype-c``.
+    Index construction for the OptHyPE variants is *included* in the
+    measured time on first use per tree — matching the paper, whose index
+    is built during the document scan — then cached per tree.
+    """
+    mfa = to_mfa(query)
+    runners: dict[str, Callable[[XMLTree], set]] = {}
+    index_cache: dict[tuple[int, bool], object] = {}
+
+    def hype_runner(tree: XMLTree) -> set:
+        return HyPEEvaluator(mfa).run(tree.root).answers
+
+    def opt_runner_factory(compressed: bool):
+        def run(tree: XMLTree) -> set:
+            key = (id(tree), compressed)
+            index = index_cache.get(key)
+            if index is None:
+                index = build_index(tree, compressed=compressed)
+                index_cache[key] = index
+            evaluator = HyPEEvaluator(
+                mfa, index=index, analyzer=ViabilityAnalyzer(mfa, index.bits)
+            )
+            return evaluator.run(tree.root).answers
+
+        return run
+
+    for name in include:
+        if name == "naive":
+            runners[name] = NaiveEvaluator(query).run
+        elif name == "twopass":
+            runners[name] = TwoPassEvaluator(mfa).run
+        elif name == "xquery":
+            runners[name] = XQuerySimEvaluator(query).run
+        elif name == "hype":
+            runners[name] = hype_runner
+        elif name == "opthype":
+            runners[name] = opt_runner_factory(False)
+        elif name == "opthype-c":
+            runners[name] = opt_runner_factory(True)
+        else:
+            raise ValueError(f"unknown algorithm {name!r}")
+    return runners
+
+
+def run_series(
+    title: str,
+    query: str,
+    series: Sequence[SeriesStep],
+    algorithms: Sequence[str],
+    repeats: int = 3,
+) -> SeriesResult:
+    """Run one figure's experiment over the document series.
+
+    All algorithms must return identical answer sets on every document —
+    a benchmark that disagrees is a correctness bug, not a data point.
+    """
+    runners = make_algorithms(query, algorithms)
+    result = SeriesResult(title=title)
+    for name in algorithms:
+        result.times[name] = []
+    for step in series:
+        reference: set | None = None
+        result.row_labels.append(step.label)
+        result.element_counts.append(step.element_count)
+        for name in algorithms:
+            runner = runners[name]
+            answers = runner(step.tree)
+            if reference is None:
+                reference = answers
+                result.answer_counts.append(len(answers))
+            elif {n.node_id for n in answers} != {n.node_id for n in reference}:
+                raise AssertionError(
+                    f"{title}: algorithm {name!r} disagrees on {step.label}"
+                )
+            timing: Timing = measure(lambda r=runner, t=step.tree: r(t), repeats)
+            result.times[name].append(timing.mean)
+    return result
+
+
+def pruning_statistics(query: str, tree: XMLTree) -> dict[str, float]:
+    """Fraction of element nodes *not* visited, per HyPE variant (E8)."""
+    mfa: MFA = to_mfa(query)
+    total = tree.element_count
+    out: dict[str, float] = {}
+    plain = HyPEEvaluator(mfa).run(tree.root)
+    out["hype"] = 1.0 - plain.stats.visited_elements / total
+    for name, compressed in (("opthype", False), ("opthype-c", True)):
+        index = build_index(tree, compressed=compressed)
+        evaluator = HyPEEvaluator(
+            mfa, index=index, analyzer=ViabilityAnalyzer(mfa, index.bits)
+        )
+        run = evaluator.run(tree.root)
+        out[name] = 1.0 - run.stats.visited_elements / total
+    return out

@@ -1,0 +1,69 @@
+"""Plain-text series tables in the style of the paper's figures.
+
+Each figure of Section 7 plots evaluation time against document size for a
+set of algorithms; :func:`format_series` renders the same data as an ASCII
+table (one row per document, one column per algorithm) that the benchmark
+harness prints and EXPERIMENTS.md records.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+
+def format_series(
+    title: str,
+    row_labels: Sequence[str],
+    columns: Mapping[str, Sequence[float]],
+    unit: str = "ms",
+    extra: Mapping[str, Sequence[object]] | None = None,
+) -> str:
+    """Render a per-size, per-algorithm series table.
+
+    Args:
+        title: Figure/table caption.
+        row_labels: One label per document size (x-axis).
+        columns: algorithm name -> per-size measurements (seconds).
+        unit: ``"ms"`` or ``"s"`` display unit.
+        extra: Optional additional columns of raw values (e.g. node counts).
+    """
+    scale = 1000.0 if unit == "ms" else 1.0
+    headers = ["size"]
+    if extra:
+        headers.extend(extra.keys())
+    headers.extend(columns.keys())
+    rows: list[list[str]] = []
+    for i, label in enumerate(row_labels):
+        row = [str(label)]
+        if extra:
+            for values in extra.values():
+                row.append(str(values[i]))
+        for series in columns.values():
+            row.append(f"{series[i] * scale:.1f}")
+        rows.append(row)
+    widths = [
+        max(len(headers[c]), *(len(r[c]) for r in rows)) if rows else len(headers[c])
+        for c in range(len(headers))
+    ]
+    lines = [title, ""]
+    lines.append("  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in rows:
+        lines.append("  ".join(cell.rjust(widths[i]) for i, cell in enumerate(row)))
+    lines.append(f"(times in {unit})")
+    return "\n".join(lines)
+
+
+def format_ratios(
+    baseline: str, columns: Mapping[str, Sequence[float]]
+) -> str:
+    """Average speed-up of every column relative to ``baseline``."""
+    base = columns[baseline]
+    parts = []
+    for name, series in columns.items():
+        if name == baseline:
+            continue
+        ratios = [b / s for b, s in zip(base, series) if s > 0]
+        if ratios:
+            parts.append(f"{baseline}/{name} = {sum(ratios) / len(ratios):.2f}x")
+    return "; ".join(parts)

@@ -1,0 +1,40 @@
+"""Timing helpers for the experiment harness.
+
+The paper reports times "averaged over at least 5 runs of each experiment";
+:func:`measure` follows suit with a configurable repeat count and returns
+the mean (plus min/max for dispersion checks).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable
+
+
+@dataclass
+class Timing:
+    """Mean/min/max wall-clock seconds over the repeats."""
+
+    mean: float
+    best: float
+    worst: float
+    repeats: int
+
+    def __str__(self) -> str:
+        return f"{self.mean * 1000:.1f} ms (min {self.best * 1000:.1f})"
+
+
+def measure(fn: Callable[[], object], repeats: int = 5) -> Timing:
+    """Run ``fn`` ``repeats`` times and report wall-clock statistics."""
+    times: list[float] = []
+    for _ in range(max(1, repeats)):
+        start = time.perf_counter()
+        fn()
+        times.append(time.perf_counter() - start)
+    return Timing(
+        mean=sum(times) / len(times),
+        best=min(times),
+        worst=max(times),
+        repeats=len(times),
+    )

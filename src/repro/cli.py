@@ -1,0 +1,252 @@
+"""Command-line interface to the SMOQE reproduction.
+
+Usage (``python -m repro.cli <command> ...``):
+
+* ``generate  --patients N --seed S [--out FILE]`` — emit a hospital document
+* ``validate  DOC.xml DTD.txt`` — check DTD conformance
+* ``query     DOC.xml QUERY [--algorithm hype|opthype|opthype-c]`` — run a
+  (regular) XPath query, print answer count and node paths
+* ``materialize SPEC.view DOC.xml [--out FILE]`` — materialise a view
+* ``view-query  SPEC.view DOC.xml QUERY`` — answer a query on the virtual
+  view (rewrite + HyPE, no materialisation)
+* ``rewrite     SPEC.view QUERY [--to xreg|mfa]`` — show a rewriting
+
+View-spec file format (see ``examples/research.view`` written by tests)::
+
+    source <<<
+    root hospital
+    hospital -> department*
+    ...
+    >>>
+    view <<<
+    root hospital
+    hospital -> patient*
+    ...
+    >>>
+    hospital patient = department/patient[...]
+    patient parent = parent
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .dtd.parse import parse_dtd
+from .dtd.validate import validate
+from .engine.smoqe import SMOQE
+from .errors import ReproError
+from .hype.api import ALGORITHMS, HYPE
+from .rewrite.direct import rewrite_to_xreg
+from .rewrite.mfa_rewrite import rewrite_query
+from .views.materialize import materialize
+from .views.spec import ViewSpec, view_spec
+from .workloads.hospital import HospitalConfig, generate_hospital_document
+from .xpath.parser import parse_query
+from .xpath.unparse import unparse
+from .xtree.node import Node
+from .xtree.parse import parse_xml
+from .xtree.serialize import serialize
+from .xtree.stats import tree_stats
+
+
+def parse_view_spec_file(text: str) -> ViewSpec:
+    """Parse the ``.view`` file format (see module docstring)."""
+    source_dtd, view_dtd = None, None
+    annotations: dict[tuple[str, str], str] = {}
+    lines = text.splitlines()
+    index = 0
+    while index < len(lines):
+        line = lines[index].strip()
+        index += 1
+        if not line or line.startswith("#"):
+            continue
+        if line.startswith(("source", "view")) and line.endswith("<<<"):
+            kind = line.split()[0]
+            block: list[str] = []
+            while index < len(lines) and lines[index].strip() != ">>>":
+                block.append(lines[index])
+                index += 1
+            index += 1  # skip '>>>'
+            dtd = parse_dtd("\n".join(block))
+            if kind == "source":
+                source_dtd = dtd
+            else:
+                view_dtd = dtd
+            continue
+        if "=" in line:
+            left, query = line.split("=", 1)
+            parts = left.split()
+            if len(parts) != 2:
+                raise ReproError(
+                    f"bad annotation line (need 'PARENT CHILD = query'): {line!r}"
+                )
+            annotations[(parts[0], parts[1])] = query.strip()
+            continue
+        raise ReproError(f"unrecognised view-spec line: {line!r}")
+    if source_dtd is None or view_dtd is None:
+        raise ReproError("view-spec file needs both source<<<>>> and view<<<>>>")
+    return view_spec(source_dtd, view_dtd, annotations)
+
+
+def _node_path(node: Node) -> str:
+    parts = [node.label]
+    parts.extend(a.label for a in node.iter_ancestors())
+    return "/" + "/".join(reversed(parts))
+
+
+def _print_answers(nodes, limit: int = 10) -> None:
+    ordered = sorted(nodes, key=lambda n: n.node_id)
+    print(f"{len(ordered)} answer(s)")
+    for node in ordered[:limit]:
+        text = node.text()
+        suffix = f"  {text!r}" if text else ""
+        print(f"  node {node.node_id}: {_node_path(node)}{suffix}")
+    if len(ordered) > limit:
+        print(f"  ... and {len(ordered) - limit} more")
+
+
+# ----------------------------------------------------------------------
+# Subcommands
+# ----------------------------------------------------------------------
+def cmd_generate(args: argparse.Namespace) -> int:
+    doc = generate_hospital_document(
+        HospitalConfig(num_patients=args.patients, seed=args.seed)
+    )
+    xml = serialize(doc, indent=1 if args.pretty else None)
+    if args.out:
+        with open(args.out, "w") as handle:
+            handle.write(xml)
+        print(f"wrote {args.out}: {tree_stats(doc).describe()}")
+    else:
+        print(xml)
+    return 0
+
+
+def cmd_validate(args: argparse.Namespace) -> int:
+    with open(args.document) as handle:
+        tree = parse_xml(handle.read())
+    with open(args.dtd) as handle:
+        dtd = parse_dtd(handle.read())
+    validate(tree, dtd)
+    print(f"valid: {tree_stats(tree).describe()}")
+    return 0
+
+
+def cmd_query(args: argparse.Namespace) -> int:
+    with open(args.document) as handle:
+        tree = parse_xml(handle.read())
+    engine = SMOQE(tree, default_algorithm=args.algorithm)
+    answer = engine.evaluate(args.query)
+    _print_answers(answer.nodes)
+    print(
+        f"visited {answer.stats.visited_elements}/{tree.element_count} "
+        f"elements, |M| = {answer.mfa.size()}"
+    )
+    return 0
+
+
+def cmd_materialize(args: argparse.Namespace) -> int:
+    with open(args.spec) as handle:
+        spec = parse_view_spec_file(handle.read())
+    with open(args.document) as handle:
+        tree = parse_xml(handle.read())
+    view = materialize(spec, tree)
+    xml = serialize(view.tree, indent=1 if args.pretty else None)
+    if args.out:
+        with open(args.out, "w") as handle:
+            handle.write(xml)
+        print(f"wrote {args.out}: {tree_stats(view.tree).describe()}")
+    else:
+        print(xml)
+    return 0
+
+
+def cmd_view_query(args: argparse.Namespace) -> int:
+    with open(args.spec) as handle:
+        spec = parse_view_spec_file(handle.read())
+    with open(args.document) as handle:
+        tree = parse_xml(handle.read())
+    engine = SMOQE(tree, default_algorithm=args.algorithm)
+    engine.register_view("view", spec)
+    answer = engine.answer("view", args.query)
+    _print_answers(answer.nodes)
+    print(f"rewritten |M| = {answer.mfa.size()}")
+    return 0
+
+
+def cmd_rewrite(args: argparse.Namespace) -> int:
+    with open(args.spec) as handle:
+        spec = parse_view_spec_file(handle.read())
+    query = parse_query(args.query)
+    if args.to == "xreg":
+        rewritten = rewrite_to_xreg(spec, query)
+        print(unparse(rewritten))
+        print(f"size: {rewritten.size()} AST nodes", file=sys.stderr)
+    else:
+        mfa = rewrite_query(spec, query)
+        for key, value in mfa.stats().items():
+            print(f"{key}: {value}")
+    return 0
+
+
+# ----------------------------------------------------------------------
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(prog="repro", description=__doc__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    gen = sub.add_parser("generate", help="generate a hospital document")
+    gen.add_argument("--patients", type=int, default=50)
+    gen.add_argument("--seed", type=int, default=0)
+    gen.add_argument("--out")
+    gen.add_argument("--pretty", action="store_true")
+    gen.set_defaults(func=cmd_generate)
+
+    val = sub.add_parser("validate", help="validate a document against a DTD")
+    val.add_argument("document")
+    val.add_argument("dtd")
+    val.set_defaults(func=cmd_validate)
+
+    qry = sub.add_parser("query", help="run a (regular) XPath query")
+    qry.add_argument("document")
+    qry.add_argument("query")
+    qry.add_argument("--algorithm", choices=ALGORITHMS, default=HYPE)
+    qry.set_defaults(func=cmd_query)
+
+    mat = sub.add_parser("materialize", help="materialise a view")
+    mat.add_argument("spec")
+    mat.add_argument("document")
+    mat.add_argument("--out")
+    mat.add_argument("--pretty", action="store_true")
+    mat.set_defaults(func=cmd_materialize)
+
+    vq = sub.add_parser("view-query", help="answer a query on a virtual view")
+    vq.add_argument("spec")
+    vq.add_argument("document")
+    vq.add_argument("query")
+    vq.add_argument("--algorithm", choices=ALGORITHMS, default=HYPE)
+    vq.set_defaults(func=cmd_view_query)
+
+    rwr = sub.add_parser("rewrite", help="show the rewriting of a view query")
+    rwr.add_argument("spec")
+    rwr.add_argument("query")
+    rwr.add_argument("--to", choices=("xreg", "mfa"), default="mfa")
+    rwr.set_defaults(func=cmd_rewrite)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    except OSError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,44 @@
+"""DTD model, parser, graph analysis, validation and document generation."""
+
+from .generate import GeneratorConfig, generate_document
+from .graph import adjacency, alphabet, is_recursive, reachable_types, recursive_types
+from .model import (
+    Choice,
+    Content,
+    DTD,
+    EmptyContent,
+    SeqItem,
+    Sequence,
+    StrContent,
+    dtd_from_mapping,
+)
+from .normalize import NOTHING, normalize_dtd, parse_content_model
+from .parse import parse_dtd
+from .samples import hospital_dtd, hospital_view_dtd
+from .validate import conforms, validate
+
+__all__ = [
+    "DTD",
+    "Content",
+    "StrContent",
+    "EmptyContent",
+    "Sequence",
+    "SeqItem",
+    "Choice",
+    "dtd_from_mapping",
+    "parse_dtd",
+    "normalize_dtd",
+    "parse_content_model",
+    "NOTHING",
+    "adjacency",
+    "alphabet",
+    "is_recursive",
+    "recursive_types",
+    "reachable_types",
+    "validate",
+    "conforms",
+    "GeneratorConfig",
+    "generate_document",
+    "hospital_dtd",
+    "hospital_view_dtd",
+]

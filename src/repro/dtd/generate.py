@@ -1,0 +1,152 @@
+"""DTD-directed random document generator (ToXGene substitute).
+
+The paper generates its experimental documents with ToXGene [1], a
+template-based XML generator, against the recursive hospital DTD of
+Fig. 1(a).  ToXGene is not available offline, so this module implements the
+same capability: a seeded recursive-descent generator that
+
+* conforms to any :class:`~repro.dtd.model.DTD` in the paper's normal form,
+* damps recursion with a depth budget so recursive DTDs terminate,
+* draws starred-item counts from a configurable distribution, and
+* fills PCDATA from per-label text pools (to control query selectivity).
+
+`repro.workloads.hospital` layers the paper's concrete hospital workload on
+top of this generic generator.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Callable, Mapping, Sequence as Seq
+
+from ..xtree.node import Node, TEXT_LABEL, XMLTree
+from .model import Choice, DTD, EmptyContent, Sequence, StrContent
+
+TextPool = Seq[str]
+TextProvider = Callable[[str, random.Random], str]
+
+
+@dataclass
+class GeneratorConfig:
+    """Knobs of the DTD-directed generator.
+
+    Attributes:
+        seed: RNG seed — generation is fully deterministic given the seed.
+        star_mean: Mean number of repetitions for a ``B*`` item.
+        max_depth: Hard depth budget; below ``soft_depth`` recursive starred
+            items shrink geometrically and at ``max_depth`` they produce 0
+            children (choices pick non-recursive options when possible).
+        soft_depth: Depth at which recursion damping starts.
+        text_pools: Per-label pools of PCDATA values; labels without a pool
+            fall back to ``default_text``.
+        text_provider: Optional callable overriding pool lookup entirely.
+        default_text: Fallback PCDATA value.
+        star_overrides: Per ``(parent, child)`` mean repetition overrides.
+    """
+
+    seed: int = 0
+    star_mean: float = 2.0
+    max_depth: int = 30
+    soft_depth: int = 8
+    text_pools: Mapping[str, TextPool] = field(default_factory=dict)
+    text_provider: TextProvider | None = None
+    default_text: str = "v"
+    star_overrides: Mapping[tuple[str, str], float] = field(default_factory=dict)
+
+
+def generate_document(dtd: DTD, config: GeneratorConfig | None = None) -> XMLTree:
+    """Generate one random document conforming to ``dtd``."""
+    cfg = config or GeneratorConfig()
+    rng = random.Random(cfg.seed)
+    recursive = _recursive_types(dtd)
+    root = _generate_node(dtd, dtd.root, 0, rng, cfg, recursive)
+    return XMLTree(root)
+
+
+def _recursive_types(dtd: DTD) -> set[str]:
+    # Local import to avoid a cycle at module import time.
+    from .graph import recursive_types
+
+    return recursive_types(dtd)
+
+
+def _text_for(label: str, rng: random.Random, cfg: GeneratorConfig) -> str:
+    if cfg.text_provider is not None:
+        return cfg.text_provider(label, rng)
+    pool = cfg.text_pools.get(label)
+    if pool:
+        return pool[rng.randrange(len(pool))]
+    return cfg.default_text
+
+
+def _star_count(
+    parent: str,
+    child: str,
+    depth: int,
+    rng: random.Random,
+    cfg: GeneratorConfig,
+    recursive: set[str],
+) -> int:
+    mean = cfg.star_overrides.get((parent, child), cfg.star_mean)
+    if child in recursive:
+        if depth >= cfg.max_depth:
+            return 0
+        if depth > cfg.soft_depth:
+            mean = mean * (0.5 ** (depth - cfg.soft_depth))
+    if mean <= 0:
+        return 0
+    # Geometric-ish: small variance around the mean, never negative.
+    lo = max(0, int(mean) - 1)
+    hi = int(mean) + 1
+    count = rng.randint(lo, hi)
+    if rng.random() < mean - int(mean):
+        count += 1
+    return count
+
+
+def _generate_node(
+    dtd: DTD,
+    label: str,
+    depth: int,
+    rng: random.Random,
+    cfg: GeneratorConfig,
+    recursive: set[str],
+) -> Node:
+    if depth > cfg.max_depth + 64:
+        # A cycle of mandatory (non-starred, non-choice-avoidable) edges has
+        # no finite documents at all; fail loudly instead of recursing forever.
+        from ..errors import DTDError
+
+        raise DTDError(
+            f"DTD recursion through mandatory edges cannot terminate at {label!r}"
+        )
+    node = Node(label)
+    content = dtd.production(label)
+    if isinstance(content, StrContent):
+        node.append(Node(TEXT_LABEL, _text_for(label, rng, cfg)))
+        return node
+    if isinstance(content, EmptyContent):
+        return node
+    if isinstance(content, Choice):
+        options = list(content.options)
+        if depth >= cfg.max_depth:
+            safe = [opt for opt in options if opt not in recursive]
+            if safe:
+                options = safe
+        choice = options[rng.randrange(len(options))]
+        node.append(_generate_node(dtd, choice, depth + 1, rng, cfg, recursive))
+        return node
+    assert isinstance(content, Sequence)
+    for item in content.items:
+        if item.starred:
+            count = _star_count(label, item.label, depth, rng, cfg, recursive)
+            for _ in range(count):
+                node.append(
+                    _generate_node(dtd, item.label, depth + 1, rng, cfg, recursive)
+                )
+        else:
+            node.append(
+                _generate_node(dtd, item.label, depth + 1, rng, cfg, recursive)
+            )
+    return node

@@ -1,0 +1,111 @@
+"""DTD graph analysis: recursion, reachability, alphabets.
+
+A DTD is *recursive* iff its graph (types as vertices, parent/child edges)
+is cyclic (Section 2.2).  Recursion in the view DTD is exactly what makes
+XPath non-closed under rewriting (Theorem 3.1), so these predicates drive
+both the rewriting algorithms and the test suite.
+"""
+
+from __future__ import annotations
+
+from ..errors import DTDError
+from .model import DTD
+
+
+def adjacency(dtd: DTD) -> dict[str, set[str]]:
+    """Child-type adjacency of the DTD graph."""
+    adj: dict[str, set[str]] = {label: set() for label in dtd.productions}
+    for parent, child in dtd.edges():
+        adj[parent].add(child)
+    return adj
+
+
+def is_recursive(dtd: DTD) -> bool:
+    """Whether the DTD graph has a cycle (the DTD is recursively defined)."""
+    return bool(recursive_types(dtd))
+
+
+def recursive_types(dtd: DTD) -> set[str]:
+    """Element types that lie on some cycle of the DTD graph.
+
+    Computed via Tarjan-style strongly connected components: a type is
+    recursive iff its SCC has more than one member or it has a self-loop.
+    """
+    adj = adjacency(dtd)
+    index: dict[str, int] = {}
+    lowlink: dict[str, int] = {}
+    on_stack: set[str] = set()
+    stack: list[str] = []
+    counter = [0]
+    result: set[str] = set()
+
+    def strongconnect(start: str) -> None:
+        # Iterative Tarjan to survive deep DTD graphs.
+        work = [(start, iter(sorted(adj[start])))]
+        index[start] = lowlink[start] = counter[0]
+        counter[0] += 1
+        stack.append(start)
+        on_stack.add(start)
+        while work:
+            node, it = work[-1]
+            advanced = False
+            for succ in it:
+                if succ not in index:
+                    index[succ] = lowlink[succ] = counter[0]
+                    counter[0] += 1
+                    stack.append(succ)
+                    on_stack.add(succ)
+                    work.append((succ, iter(sorted(adj[succ]))))
+                    advanced = True
+                    break
+                if succ in on_stack:
+                    lowlink[node] = min(lowlink[node], index[succ])
+            if advanced:
+                continue
+            work.pop()
+            if work:
+                parent = work[-1][0]
+                lowlink[parent] = min(lowlink[parent], lowlink[node])
+            if lowlink[node] == index[node]:
+                component: list[str] = []
+                while True:
+                    member = stack.pop()
+                    on_stack.discard(member)
+                    component.append(member)
+                    if member == node:
+                        break
+                if len(component) > 1:
+                    result.update(component)
+                elif component[0] in adj[component[0]]:
+                    result.add(component[0])
+
+    for label in dtd.productions:
+        if label not in index:
+            strongconnect(label)
+    return result
+
+
+def reachable_types(dtd: DTD, start: str | None = None) -> set[str]:
+    """Types reachable from ``start`` (default: the root) in the DTD graph."""
+    adj = adjacency(dtd)
+    origin = dtd.root if start is None else start
+    if origin not in adj:
+        raise DTDError(f"unknown element type {origin!r}")
+    seen = {origin}
+    frontier = [origin]
+    while frontier:
+        label = frontier.pop()
+        for child in adj[label]:
+            if child not in seen:
+                seen.add(child)
+                frontier.append(child)
+    return seen
+
+
+def alphabet(dtd: DTD) -> set[str]:
+    """All element type names — the label alphabet ``⋃ Ele``.
+
+    This is the alphabet over which ``//`` desugars to ``(⋃ Ele)*``
+    (Section 2.1).
+    """
+    return set(dtd.productions)

@@ -1,0 +1,184 @@
+"""DTD model in the normal form of Section 2.2 of the paper.
+
+A DTD ``D`` is a triple ``(Ele, P, r)``: a finite set of element types, a
+production map, and a distinguished root type.  Each production ``P(A)`` is
+one of
+
+* ``str`` — the element holds PCDATA,
+* ``ε`` — the element is empty,
+* ``B1, ..., Bn`` — a concatenation where each ``Bi`` is ``B`` or ``B*``,
+* ``B1 + ... + Bn`` — a disjunction of element types (n > 1).
+
+The paper notes that any DTD can be brought to this normal form by
+introducing fresh element types, so nothing is lost by restricting to it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping
+
+from ..errors import DTDError
+
+
+@dataclass(frozen=True)
+class SeqItem:
+    """One item ``B`` or ``B*`` of a concatenation production."""
+
+    label: str
+    starred: bool = False
+
+    def __str__(self) -> str:
+        return f"{self.label}*" if self.starred else self.label
+
+
+@dataclass(frozen=True)
+class StrContent:
+    """``P(A) = str`` — PCDATA content."""
+
+    def child_labels(self) -> tuple[str, ...]:
+        return ()
+
+    def __str__(self) -> str:
+        return "#PCDATA"
+
+
+@dataclass(frozen=True)
+class EmptyContent:
+    """``P(A) = ε`` — no content."""
+
+    def child_labels(self) -> tuple[str, ...]:
+        return ()
+
+    def __str__(self) -> str:
+        return "EMPTY"
+
+
+@dataclass(frozen=True)
+class Sequence:
+    """``P(A) = B1, ..., Bn`` with optional stars."""
+
+    items: tuple[SeqItem, ...]
+
+    def child_labels(self) -> tuple[str, ...]:
+        return tuple(item.label for item in self.items)
+
+    def __str__(self) -> str:
+        return ", ".join(str(item) for item in self.items)
+
+
+@dataclass(frozen=True)
+class Choice:
+    """``P(A) = B1 + ... + Bn`` — exactly one of the alternatives."""
+
+    options: tuple[str, ...]
+
+    def child_labels(self) -> tuple[str, ...]:
+        return self.options
+
+    def __str__(self) -> str:
+        return " + ".join(self.options)
+
+
+Content = StrContent | EmptyContent | Sequence | Choice
+
+
+@dataclass
+class DTD:
+    """A DTD ``(Ele, P, r)`` in the paper's normal form.
+
+    Attributes:
+        root: The distinguished root element type ``r``.
+        productions: Mapping from element type to its :data:`Content`.
+    """
+
+    root: str
+    productions: dict[str, Content] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        self.validate()
+
+    # ------------------------------------------------------------------
+    @property
+    def element_types(self) -> set[str]:
+        """The set ``Ele`` of element types."""
+        return set(self.productions)
+
+    def production(self, label: str) -> Content:
+        """``P(label)``; raises :class:`DTDError` for unknown types."""
+        try:
+            return self.productions[label]
+        except KeyError:
+            raise DTDError(f"unknown element type {label!r}") from None
+
+    def child_types(self, label: str) -> tuple[str, ...]:
+        """All child element types that may appear below ``label``."""
+        return self.production(label).child_labels()
+
+    def edges(self) -> Iterable[tuple[str, str]]:
+        """All parent/child type edges ``(A, B)`` of the DTD graph."""
+        for parent, content in self.productions.items():
+            for child in content.child_labels():
+                yield parent, child
+
+    def size(self) -> int:
+        """|D|: number of types plus total production length."""
+        return len(self.productions) + sum(
+            len(c.child_labels()) for c in self.productions.values()
+        )
+
+    # ------------------------------------------------------------------
+    def validate(self) -> None:
+        """Check internal consistency (root defined, all references bound).
+
+        Raises:
+            DTDError: if the root or any referenced child type lacks a
+                production, or a choice has fewer than two options.
+        """
+        if self.root not in self.productions:
+            raise DTDError(f"root type {self.root!r} has no production")
+        for parent, content in self.productions.items():
+            if isinstance(content, Choice) and len(content.options) < 2:
+                raise DTDError(
+                    f"choice production of {parent!r} needs at least 2 options"
+                )
+            for child in content.child_labels():
+                if child not in self.productions:
+                    raise DTDError(
+                        f"type {child!r} (child of {parent!r}) has no production"
+                    )
+
+    def __str__(self) -> str:
+        lines = [f"root {self.root}"]
+        for label, content in self.productions.items():
+            lines.append(f"{label} -> {content}")
+        return "\n".join(lines)
+
+
+def dtd_from_mapping(root: str, productions: Mapping[str, object]) -> DTD:
+    """Convenience constructor from a plain mapping.
+
+    Values may be:
+
+    * ``"#PCDATA"`` / ``"str"`` → :class:`StrContent`
+    * ``""`` / ``"EMPTY"`` / ``None`` → :class:`EmptyContent`
+    * a list of label strings, ``"B*"`` marking stars → :class:`Sequence`
+    * a tuple of label strings → :class:`Choice`
+    """
+    built: dict[str, Content] = {}
+    for label, spec in productions.items():
+        if spec in ("#PCDATA", "str"):
+            built[label] = StrContent()
+        elif spec in ("", "EMPTY", None):
+            built[label] = EmptyContent()
+        elif isinstance(spec, tuple):
+            built[label] = Choice(tuple(spec))
+        elif isinstance(spec, list):
+            items = tuple(
+                SeqItem(item[:-1], True) if item.endswith("*") else SeqItem(item)
+                for item in spec
+            )
+            built[label] = Sequence(items)
+        else:
+            raise DTDError(f"bad production spec for {label!r}: {spec!r}")
+    return DTD(root, built)

@@ -1,0 +1,253 @@
+"""Normalisation of general DTD content models to the paper's normal form.
+
+Section 2.2: *"This form of DTD's does not lose generality since any DTD
+can be converted to a DTD of this form by using new element types."*  This
+module implements that conversion for general regular-expression content
+models::
+
+    model := alt
+    alt   := cat ('|' cat)*
+    cat   := term (',' term)*
+    term  := atom ('*' | '+' | '?')?
+    atom  := NAME | '(' alt ')' | '#PCDATA' | 'EMPTY'
+
+The normal form only knows ``str``, ``ε``, concatenations of ``B``/``B*``
+and disjunctions of plain types, so the conversion *introduces fresh
+element types* that also appear in conforming documents:
+
+* a nested group or a non-trivial disjunction alternative becomes a fresh
+  wrapper type holding the group's content;
+* ``B+`` becomes ``B, B*``;
+* ``B?`` becomes a fresh choice type ``B-opt -> B + nothing`` where
+  ``nothing`` is a shared empty marker type.
+
+Documents of the original DTD correspond one-to-one to documents of the
+normalised DTD with the wrapper/marker elements inserted — the usual
+normal-form encoding.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+
+from ..errors import DTDParseError
+from .model import Choice, Content, DTD, EmptyContent, SeqItem, Sequence, StrContent
+
+_NAME = re.compile(r"[A-Za-z_][\w.\-]*")
+
+#: Name of the shared empty-marker type introduced for ``?`` encodings.
+NOTHING = "nothing"
+
+
+# ----------------------------------------------------------------------
+# General content-model AST
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class RName:
+    name: str
+
+
+@dataclass(frozen=True)
+class RCat:
+    items: tuple["RModel", ...]
+
+
+@dataclass(frozen=True)
+class RAlt:
+    options: tuple["RModel", ...]
+
+
+@dataclass(frozen=True)
+class RRepeat:
+    inner: "RModel"
+    op: str  # '*', '+', '?'
+
+
+@dataclass(frozen=True)
+class RStr:
+    pass
+
+
+@dataclass(frozen=True)
+class REmpty:
+    pass
+
+
+RModel = RName | RCat | RAlt | RRepeat | RStr | REmpty
+
+
+# ----------------------------------------------------------------------
+# Parsing the general syntax
+# ----------------------------------------------------------------------
+class _ModelParser:
+    def __init__(self, text: str) -> None:
+        self.text = text
+        self.pos = 0
+
+    def _skip_ws(self) -> None:
+        while self.pos < len(self.text) and self.text[self.pos].isspace():
+            self.pos += 1
+
+    def peek(self) -> str:
+        self._skip_ws()
+        return self.text[self.pos] if self.pos < len(self.text) else ""
+
+    def parse(self) -> RModel:
+        model = self.alt()
+        self._skip_ws()
+        if self.pos != len(self.text):
+            raise DTDParseError(
+                f"trailing content-model input at {self.pos}: "
+                f"{self.text[self.pos:]!r}"
+            )
+        return model
+
+    def alt(self) -> RModel:
+        options = [self.cat()]
+        while self.peek() == "|":
+            self.pos += 1
+            options.append(self.cat())
+        if len(options) == 1:
+            return options[0]
+        return RAlt(tuple(options))
+
+    def cat(self) -> RModel:
+        items = [self.term()]
+        while self.peek() == ",":
+            self.pos += 1
+            items.append(self.term())
+        if len(items) == 1:
+            return items[0]
+        return RCat(tuple(items))
+
+    def term(self) -> RModel:
+        atom = self.atom()
+        while self.peek() in ("*", "+", "?"):
+            op = self.text[self.pos]
+            self.pos += 1
+            atom = RRepeat(atom, op)
+        return atom
+
+    def atom(self) -> RModel:
+        self._skip_ws()
+        ch = self.peek()
+        if ch == "(":
+            self.pos += 1
+            inner = self.alt()
+            if self.peek() != ")":
+                raise DTDParseError(f"missing ')' at {self.pos}")
+            self.pos += 1
+            return inner
+        if self.text.startswith("#PCDATA", self.pos):
+            self.pos += len("#PCDATA")
+            return RStr()
+        if self.text.startswith("EMPTY", self.pos):
+            self.pos += len("EMPTY")
+            return REmpty()
+        match = _NAME.match(self.text, self.pos)
+        if not match:
+            raise DTDParseError(
+                f"expected a name or group at {self.pos} in {self.text!r}"
+            )
+        self.pos = match.end()
+        return RName(match.group(0))
+
+
+def parse_content_model(text: str) -> RModel:
+    """Parse a general content-model expression."""
+    return _ModelParser(text.strip()).parse()
+
+
+# ----------------------------------------------------------------------
+# Normalisation
+# ----------------------------------------------------------------------
+@dataclass
+class _Normalizer:
+    productions: dict[str, Content] = field(default_factory=dict)
+    counter: int = 0
+    needs_nothing: bool = False
+
+    def fresh(self, base: str) -> str:
+        self.counter += 1
+        name = f"{base}-g{self.counter}"
+        while name in self.productions:
+            self.counter += 1
+            name = f"{base}-g{self.counter}"
+        return name
+
+    # -- the element type that *holds* a model ------------------------
+    def type_for(self, base: str, model: RModel) -> str:
+        """A type whose production is ``model`` (fresh unless a bare name)."""
+        if isinstance(model, RName):
+            return model.name
+        name = self.fresh(base)
+        self.productions[name] = self.content_for(name, model)
+        return name
+
+    # -- the normal-form production of a model ------------------------
+    def content_for(self, owner: str, model: RModel) -> Content:
+        if isinstance(model, RStr):
+            return StrContent()
+        if isinstance(model, REmpty):
+            return EmptyContent()
+        if isinstance(model, RName):
+            return Sequence((SeqItem(model.name),))
+        if isinstance(model, RAlt):
+            options = tuple(
+                self.type_for(owner, option) for option in model.options
+            )
+            return Choice(options)
+        if isinstance(model, RCat):
+            items: list[SeqItem] = []
+            for part in model.items:
+                items.append(self.item_for(owner, part))
+            return Sequence(tuple(items))
+        if isinstance(model, RRepeat):
+            return Sequence((self.item_for(owner, model),))
+        raise TypeError(f"unknown content model {model!r}")
+
+    def item_for(self, owner: str, model: RModel) -> SeqItem:
+        """One concatenation slot: ``B`` or ``B*`` (with encodings)."""
+        if isinstance(model, RName):
+            return SeqItem(model.name)
+        if isinstance(model, RRepeat):
+            inner_type = self.type_for(owner, model.inner)
+            if model.op == "*":
+                return SeqItem(inner_type, starred=True)
+            if model.op == "+":
+                # B+ = B, B*: needs two slots — wrap in a fresh type.
+                plus = self.fresh(owner)
+                self.productions[plus] = Sequence(
+                    (SeqItem(inner_type), SeqItem(inner_type, starred=True))
+                )
+                return SeqItem(plus)
+            # B? = choice(B, nothing)
+            self.needs_nothing = True
+            opt = self.fresh(owner)
+            self.productions[opt] = Choice((inner_type, NOTHING))
+            return SeqItem(opt)
+        # Nested group in a concatenation slot: wrap it.
+        return SeqItem(self.type_for(owner, model))
+
+
+def normalize_dtd(root: str, models: dict[str, str]) -> DTD:
+    """Convert general content models to a normal-form :class:`DTD`.
+
+    Args:
+        root: Root element type.
+        models: Mapping from element type to a general content-model
+            expression (see module docstring for the syntax).
+
+    Returns:
+        A :class:`DTD` in the paper's normal form, with fresh wrapper types
+        (named ``<owner>-g<N>``) and possibly the shared :data:`NOTHING`
+        marker type.
+    """
+    normalizer = _Normalizer()
+    for label, text in models.items():
+        model = parse_content_model(text)
+        normalizer.productions[label] = normalizer.content_for(label, model)
+    if normalizer.needs_nothing and NOTHING not in normalizer.productions:
+        normalizer.productions[NOTHING] = EmptyContent()
+    return DTD(root, normalizer.productions)

@@ -1,0 +1,88 @@
+"""Textual syntax for DTDs in the paper's normal form.
+
+The syntax mirrors how the paper writes productions (Fig. 1(c))::
+
+    root hospital
+    hospital   -> department*
+    department -> name, patient*
+    patient    -> pname, address, visit*, parent*, sibling*
+    treatment  -> test + medication
+    pname      -> #PCDATA
+    empty      -> EMPTY
+
+Rules: the first non-comment line declares the root; each following line is
+``label -> production``; ``#`` starts a comment; productions are a comma
+sequence of ``B``/``B*`` items, a ``+`` disjunction, ``#PCDATA``, or
+``EMPTY``.
+"""
+
+from __future__ import annotations
+
+import re
+
+from ..errors import DTDParseError
+from .model import Choice, Content, DTD, EmptyContent, SeqItem, Sequence, StrContent
+
+_NAME = re.compile(r"^[A-Za-z_][\w.\-]*$")
+
+
+def parse_dtd(source: str) -> DTD:
+    """Parse the textual DTD syntax into a :class:`DTD`.
+
+    Raises:
+        DTDParseError: on any syntax error (missing root, bad names,
+            mixing ``,`` and ``+`` in one production, ...).
+    """
+    root: str | None = None
+    productions: dict[str, Content] = {}
+    comment = re.compile(r"#(?!PCDATA)")
+    for lineno, raw in enumerate(source.splitlines(), start=1):
+        line = comment.split(raw, 1)[0].strip()
+        if not line:
+            continue
+        if root is None:
+            parts = line.split()
+            if len(parts) != 2 or parts[0] != "root":
+                raise DTDParseError(
+                    f"line {lineno}: expected 'root <name>' first, got {line!r}"
+                )
+            root = parts[1]
+            continue
+        if "->" not in line:
+            raise DTDParseError(f"line {lineno}: expected 'label -> production'")
+        left, right = line.split("->", 1)
+        label = left.strip()
+        if not _NAME.match(label):
+            raise DTDParseError(f"line {lineno}: bad element type name {label!r}")
+        if label in productions:
+            raise DTDParseError(f"line {lineno}: duplicate production for {label!r}")
+        productions[label] = _parse_production(right.strip(), lineno)
+    if root is None:
+        raise DTDParseError("empty DTD: no 'root <name>' declaration")
+    return DTD(root, productions)
+
+
+def _parse_production(text: str, lineno: int) -> Content:
+    if text == "#PCDATA":
+        return StrContent()
+    if text == "EMPTY" or text == "":
+        return EmptyContent()
+    if "+" in text and "," in text:
+        raise DTDParseError(
+            f"line {lineno}: cannot mix ',' and '+' in one production (normal form)"
+        )
+    if "+" in text:
+        options = tuple(part.strip() for part in text.split("+"))
+        for opt in options:
+            if not _NAME.match(opt):
+                raise DTDParseError(f"line {lineno}: bad choice option {opt!r}")
+        return Choice(options)
+    items: list[SeqItem] = []
+    for part in text.split(","):
+        part = part.strip()
+        starred = part.endswith("*")
+        name = part[:-1].strip() if starred else part
+        if not _NAME.match(name):
+            raise DTDParseError(f"line {lineno}: bad sequence item {part!r}")
+        items.append(SeqItem(name, starred))
+    return Sequence(tuple(items))

@@ -1,0 +1,63 @@
+"""The paper's running example: hospital document DTD and view DTD (Fig. 1).
+
+``hospital_dtd()`` is the document DTD ``D`` of Fig. 1(a): departments with
+in-patients, visits with treatments (a test or a medication with diagnosis),
+treating doctors, and the *recursive* family history via ``parent`` and
+``sibling`` which share the full ``patient`` description.
+
+``hospital_view_dtd()`` is the view DTD ``D_V`` of Fig. 1(b) used by the
+research-institute security view of Example 2.2: heart-disease patients,
+their (recursive) parent hierarchy, and per-visit records that are either
+``empty`` (the visit was a test, hidden from the institute) or a
+``diagnosis``.
+"""
+
+from __future__ import annotations
+
+from .model import DTD
+from .parse import parse_dtd
+
+HOSPITAL_DTD_TEXT = """
+root hospital
+hospital   -> department*
+department -> name, patient*
+name       -> #PCDATA
+patient    -> pname, address, visit*, parent*, sibling*
+pname      -> #PCDATA
+address    -> street, city, zip
+street     -> #PCDATA
+city       -> #PCDATA
+zip        -> #PCDATA
+visit      -> date, treatment, doctor
+date       -> #PCDATA
+treatment  -> test + medication
+test       -> #PCDATA
+medication -> type, diagnosis
+type       -> #PCDATA
+diagnosis  -> #PCDATA
+doctor     -> dname, specialty
+dname      -> #PCDATA
+specialty  -> #PCDATA
+parent     -> patient
+sibling    -> patient
+"""
+
+HOSPITAL_VIEW_DTD_TEXT = """
+root hospital
+hospital  -> patient*
+patient   -> parent*, record*
+parent    -> patient
+record    -> empty + diagnosis
+empty     -> EMPTY
+diagnosis -> #PCDATA
+"""
+
+
+def hospital_dtd() -> DTD:
+    """The document DTD ``D`` of Fig. 1(a) (recursive)."""
+    return parse_dtd(HOSPITAL_DTD_TEXT)
+
+
+def hospital_view_dtd() -> DTD:
+    """The view DTD ``D_V`` of Fig. 1(b) (recursive)."""
+    return parse_dtd(HOSPITAL_VIEW_DTD_TEXT)

@@ -1,0 +1,97 @@
+"""Validate XML trees against DTDs in the paper's normal form.
+
+Used in tests to check (a) generated documents conform to the document DTD
+and (b) materialised views conform to the view DTD — the well-formedness
+contract of the view mapping ``σ : D → D_V`` (Section 2.3).
+"""
+
+from __future__ import annotations
+
+from ..errors import ValidationError
+from ..xtree.node import Node, XMLTree
+from .model import Choice, DTD, EmptyContent, Sequence, StrContent
+
+
+def validate(tree: XMLTree, dtd: DTD, strict_sequences: bool = True) -> None:
+    """Check ``tree`` conforms to ``dtd``; raise :class:`ValidationError` if not.
+
+    Args:
+        tree: The document to check.
+        dtd: The DTD to check against.
+        strict_sequences: When ``True``, sequence productions must match the
+            child list exactly in order; when ``False``, order between
+            different item groups is still required but empty star groups
+            may be freely interleaved (lenient mode used for views whose
+            annotations can produce zero nodes for a non-starred child).
+    """
+    if tree.root.label != dtd.root:
+        raise ValidationError(
+            f"root is <{tree.root.label}>, DTD expects <{dtd.root}>"
+        )
+    stack = [tree.root]
+    while stack:
+        node = stack.pop()
+        _validate_node(node, dtd, strict_sequences)
+        stack.extend(node.element_children())
+
+
+def conforms(tree: XMLTree, dtd: DTD, strict_sequences: bool = True) -> bool:
+    """Boolean form of :func:`validate`."""
+    try:
+        validate(tree, dtd, strict_sequences)
+    except ValidationError:
+        return False
+    return True
+
+
+def _validate_node(node: Node, dtd: DTD, strict: bool) -> None:
+    content = dtd.production(node.label)
+    children = node.element_children()
+    if isinstance(content, StrContent):
+        if children:
+            raise ValidationError(
+                f"<{node.label}> must hold only PCDATA, found <{children[0].label}>"
+            )
+        return
+    if isinstance(content, EmptyContent):
+        if node.children:
+            raise ValidationError(f"<{node.label}> must be empty")
+        return
+    if any(child.is_text for child in node.children):
+        raise ValidationError(f"unexpected PCDATA inside <{node.label}>")
+    if isinstance(content, Choice):
+        if len(children) != 1:
+            raise ValidationError(
+                f"<{node.label}> must have exactly one child of "
+                f"{'/'.join(content.options)}, found {len(children)}"
+            )
+        if children[0].label not in content.options:
+            raise ValidationError(
+                f"<{node.label}> child <{children[0].label}> not among "
+                f"{'/'.join(content.options)}"
+            )
+        return
+    assert isinstance(content, Sequence)
+    _match_sequence(node, children, content, strict)
+
+
+def _match_sequence(
+    node: Node, children: list[Node], content: Sequence, strict: bool
+) -> None:
+    pos = 0
+    for item in content.items:
+        if item.starred:
+            while pos < len(children) and children[pos].label == item.label:
+                pos += 1
+        else:
+            if pos < len(children) and children[pos].label == item.label:
+                pos += 1
+            elif strict:
+                found = children[pos].label if pos < len(children) else "nothing"
+                raise ValidationError(
+                    f"<{node.label}>: expected <{item.label}>, found {found}"
+                )
+    if pos != len(children):
+        raise ValidationError(
+            f"<{node.label}>: unexpected trailing child <{children[pos].label}>"
+        )

@@ -1,0 +1,5 @@
+"""The SMOQE engine facade."""
+
+from .smoqe import QueryAnswer, SMOQE
+
+__all__ = ["SMOQE", "QueryAnswer"]

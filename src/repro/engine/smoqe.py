@@ -1,0 +1,163 @@
+"""SMOQE — the Secure MOdular Query Engine (the paper's prototype [10]).
+
+The deployment scenario of Section 1: a server holds an XML document; each
+user group is given a *virtual* view (their authorised window on the data)
+and poses (regular) XPath queries against it.  The engine
+
+1. rewrites the view query into an MFA over the source (Algorithm
+   ``rewrite``, Section 5) — cached per (view, query);
+2. evaluates the MFA with HyPE (or an OptHyPE variant) directly on the
+   source document — no view is ever materialised;
+3. returns the answers.
+
+The engine doubles as a stand-alone regular-XPath engine (the paper calls
+SMOQE "the first regular XPath engine"): :meth:`SMOQE.evaluate` compiles
+and runs any ``Xreg`` query on the source document.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..automata.compile import compile_query
+from ..automata.mfa import MFA
+from ..errors import ViewError
+from ..hype.analyze import ViabilityAnalyzer
+from ..hype.api import ALGORITHMS, HYPE, OPTHYPE, OPTHYPE_C
+from ..hype.core import HyPEEvaluator, HyPEStats
+from ..hype.index import build_index
+from ..rewrite.mfa_rewrite import rewrite_query
+from ..views.spec import ViewSpec
+from ..xpath import ast
+from ..xpath.parser import parse_query
+from ..xpath.unparse import unparse
+from ..xtree.node import Node, XMLTree
+
+
+@dataclass
+class QueryAnswer:
+    """Answer set plus provenance of how it was computed."""
+
+    nodes: set[Node]
+    mfa: MFA
+    stats: HyPEStats
+    algorithm: str
+    view: str | None = None
+    query_text: str = ""
+
+    def ids(self) -> list[int]:
+        """Sorted document-order node ids (stable for display/tests)."""
+        return sorted(node.node_id for node in self.nodes)
+
+
+@dataclass
+class _ViewEntry:
+    spec: ViewSpec
+    rewrites: dict[str, MFA] = field(default_factory=dict)
+
+
+class SMOQE:
+    """One engine instance serves one source document and many views."""
+
+    def __init__(self, document: XMLTree, default_algorithm: str = HYPE) -> None:
+        if default_algorithm not in ALGORITHMS:
+            raise ValueError(f"unknown algorithm {default_algorithm!r}")
+        self.document = document
+        self.default_algorithm = default_algorithm
+        self._views: dict[str, _ViewEntry] = {}
+        self._indexes: dict[bool, object] = {}
+        self._compiled: dict[str, MFA] = {}
+
+    # ------------------------------------------------------------------
+    # View administration
+    # ------------------------------------------------------------------
+    def register_view(self, name: str, spec: ViewSpec) -> None:
+        """Register a view definition under ``name``."""
+        if name in self._views:
+            raise ViewError(f"view {name!r} already registered")
+        self._views[name] = _ViewEntry(spec)
+
+    def views(self) -> list[str]:
+        """Registered view names."""
+        return sorted(self._views)
+
+    def view_spec(self, name: str) -> ViewSpec:
+        """The specification registered under ``name``."""
+        try:
+            return self._views[name].spec
+        except KeyError:
+            raise ViewError(f"unknown view {name!r}") from None
+
+    # ------------------------------------------------------------------
+    # Query answering on views (the headline feature)
+    # ------------------------------------------------------------------
+    def answer(
+        self,
+        view: str,
+        query: str | ast.Path,
+        algorithm: str | None = None,
+    ) -> QueryAnswer:
+        """Answer a query posed on a *virtual* view.
+
+        The rewriting is cached, so repeated queries over the same view pay
+        only evaluation time.
+        """
+        entry = self._views.get(view)
+        if entry is None:
+            raise ViewError(f"unknown view {view!r}")
+        query_ast = parse_query(query) if isinstance(query, str) else query
+        query_text = unparse(query_ast)
+        mfa = entry.rewrites.get(query_text)
+        if mfa is None:
+            mfa = rewrite_query(entry.spec, query_ast)
+            entry.rewrites[query_text] = mfa
+        nodes, stats, algo = self._run(mfa, algorithm)
+        return QueryAnswer(nodes, mfa, stats, algo, view=view, query_text=query_text)
+
+    def rewrite(self, view: str, query: str | ast.Path) -> MFA:
+        """Expose the rewritten MFA (for inspection or external evaluation)."""
+        entry = self._views.get(view)
+        if entry is None:
+            raise ViewError(f"unknown view {view!r}")
+        query_ast = parse_query(query) if isinstance(query, str) else query
+        query_text = unparse(query_ast)
+        mfa = entry.rewrites.get(query_text)
+        if mfa is None:
+            mfa = rewrite_query(entry.spec, query_ast)
+            entry.rewrites[query_text] = mfa
+        return mfa
+
+    # ------------------------------------------------------------------
+    # Stand-alone regular XPath engine
+    # ------------------------------------------------------------------
+    def evaluate(
+        self, query: str | ast.Path, algorithm: str | None = None
+    ) -> QueryAnswer:
+        """Evaluate a (regular) XPath query directly on the source."""
+        query_ast = parse_query(query) if isinstance(query, str) else query
+        query_text = unparse(query_ast)
+        mfa = self._compiled.get(query_text)
+        if mfa is None:
+            mfa = compile_query(query_ast, description=query_text)
+            self._compiled[query_text] = mfa
+        nodes, stats, algo = self._run(mfa, algorithm)
+        return QueryAnswer(nodes, mfa, stats, algo, query_text=query_text)
+
+    # ------------------------------------------------------------------
+    def _run(self, mfa: MFA, algorithm: str | None):
+        algo = algorithm or self.default_algorithm
+        if algo not in ALGORITHMS:
+            raise ValueError(f"unknown algorithm {algo!r}")
+        if algo == HYPE:
+            evaluator = HyPEEvaluator(mfa)
+        else:
+            compressed = algo == OPTHYPE_C
+            index = self._indexes.get(compressed)
+            if index is None:
+                index = build_index(self.document, compressed=compressed)
+                self._indexes[compressed] = index
+            evaluator = HyPEEvaluator(
+                mfa, index=index, analyzer=ViabilityAnalyzer(mfa, index.bits)
+            )
+        result = evaluator.run(self.document.root)
+        return result.answers, result.stats, algo

@@ -1,0 +1,56 @@
+"""Exception hierarchy for the SMOQE reproduction.
+
+All library-raised exceptions derive from :class:`ReproError` so callers can
+catch everything from this package with a single ``except`` clause while
+still being able to distinguish the failure domain.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class XMLParseError(ReproError):
+    """Raised when an XML document string cannot be parsed."""
+
+
+class DTDError(ReproError):
+    """Raised for malformed DTD definitions."""
+
+
+class DTDParseError(DTDError):
+    """Raised when the textual DTD syntax cannot be parsed."""
+
+
+class ValidationError(ReproError):
+    """Raised when a document does not conform to a DTD."""
+
+
+class QueryParseError(ReproError):
+    """Raised when a (regular) XPath query string cannot be parsed."""
+
+
+class QuerySyntaxError(QueryParseError):
+    """Raised for token-level errors in a query string."""
+
+
+class FragmentError(ReproError):
+    """Raised when a query lies outside the expected language fragment."""
+
+
+class ViewError(ReproError):
+    """Raised for ill-formed view specifications."""
+
+
+class RewriteError(ReproError):
+    """Raised when query rewriting fails (e.g. unknown view labels)."""
+
+
+class AutomatonError(ReproError):
+    """Raised for structurally invalid automata."""
+
+
+class EvaluationError(ReproError):
+    """Raised when query/automaton evaluation encounters an invalid state."""

@@ -1,0 +1,29 @@
+"""HyPE: single-pass MFA evaluation, indexes and the OptHyPE variants."""
+
+from .analyze import ViabilityAnalyzer
+from .api import ALGORITHMS, HYPE, OPTHYPE, OPTHYPE_C, evaluate_hype, to_mfa
+from .core import HyPEEvaluator, HyPEResult, HyPEStats, hype_eval
+from .index import (
+    CompressedLabelIndex,
+    LabelBits,
+    SubtreeLabelIndex,
+    build_index,
+)
+
+__all__ = [
+    "hype_eval",
+    "HyPEEvaluator",
+    "HyPEResult",
+    "HyPEStats",
+    "evaluate_hype",
+    "to_mfa",
+    "ALGORITHMS",
+    "HYPE",
+    "OPTHYPE",
+    "OPTHYPE_C",
+    "build_index",
+    "SubtreeLabelIndex",
+    "CompressedLabelIndex",
+    "LabelBits",
+    "ViabilityAnalyzer",
+]

@@ -1,0 +1,74 @@
+"""Convenience API over the HyPE family of evaluators.
+
+``algorithm`` selects the variant of Section 6/7:
+
+* ``"hype"``      — plain HyPE (single pass, mstates/fstates pruning);
+* ``"opthype"``   — HyPE + subtree-label index;
+* ``"opthype-c"`` — HyPE + compressed (interned-mask) index.
+
+Queries may be given as strings, ASTs or pre-compiled MFAs; indexes are
+built per document and can be passed in for reuse across queries.
+"""
+
+from __future__ import annotations
+
+from ..automata.compile import compile_query
+from ..automata.mfa import MFA
+from ..errors import EvaluationError
+from ..xpath import ast
+from ..xpath.parser import parse_query
+from ..xtree.node import Node, XMLTree
+from .core import HyPEEvaluator, HyPEResult
+from .index import Index, build_index
+
+HYPE = "hype"
+OPTHYPE = "opthype"
+OPTHYPE_C = "opthype-c"
+
+ALGORITHMS = (HYPE, OPTHYPE, OPTHYPE_C)
+
+
+def to_mfa(query: str | ast.Path | MFA) -> MFA:
+    """Coerce a query string/AST to a compiled MFA (MFAs pass through)."""
+    if isinstance(query, MFA):
+        return query
+    if isinstance(query, str):
+        query = parse_query(query)
+    return compile_query(query)
+
+
+def evaluate_hype(
+    query: str | ast.Path | MFA,
+    tree: XMLTree | Node,
+    algorithm: str = HYPE,
+    index: Index | None = None,
+) -> HyPEResult:
+    """Evaluate a (regular) XPath query or MFA with the chosen variant.
+
+    Args:
+        query: Query string, AST, or compiled MFA.
+        tree: Document tree (evaluated at its root) or a context node.
+        algorithm: One of :data:`ALGORITHMS`.
+        index: Optional pre-built index (required shape must match the
+            algorithm; plain HyPE ignores it).
+
+    Raises:
+        EvaluationError: for unknown algorithm names or when an opt variant
+            is asked to run on a bare context node without an index.
+    """
+    if algorithm not in ALGORITHMS:
+        raise EvaluationError(
+            f"unknown algorithm {algorithm!r}; pick one of {ALGORITHMS}"
+        )
+    mfa = to_mfa(query)
+    context = tree.root if isinstance(tree, XMLTree) else tree
+    if algorithm == HYPE:
+        return HyPEEvaluator(mfa).run(context)
+    if index is None:
+        if not isinstance(tree, XMLTree):
+            raise EvaluationError(
+                "OptHyPE needs an XMLTree (to build its index) or an "
+                "explicit pre-built index"
+            )
+        index = build_index(tree, compressed=(algorithm == OPTHYPE_C))
+    return HyPEEvaluator(mfa, index=index).run(context)

@@ -1,0 +1,538 @@
+"""HyPE — Hybrid Pass Evaluation of MFAs (Section 6, Fig. 6).
+
+One top-down depth-first pass over the document combines:
+
+* the selecting-NFA run: ``mstates(n)`` per node, with subtrees skipped as
+  soon as no NFA state and no relevant AFA state survives (*pruning*);
+* AFA evaluation: ``fstates↓`` relevance sets flow down, truth values flow
+  back up at pop time (``fstates↑``), with operator states resolved by the
+  least-fixpoint machinery of :mod:`repro.automata.truth`;
+* construction of the candidate-answer structure ``cans``.
+
+``cans`` representation.  The paper describes cans as a DAG with one vertex
+per ``(tree node, NFA state)`` pair of the run, ε-edges kept stepwise, and
+vertices *deleted* when their filter gate turns out false at pop time; a
+final traversal from the initial vertex separates real answers from
+candidates.  We store the same DAG **node-major**: the visit list (node,
+parent visit index, interned ``mstates`` set) plus the rare *death records*
+(gate-failed states per node).  Phase 2 then recomputes the *alive* state
+set per node top-down — ``alive(n)`` is the ε-closure (avoiding dead
+states) of the transitions from ``alive(parent)`` — which is exactly
+vertex reachability in the paper's DAG.  Because state sets are interned,
+subtrees unaffected by any death re-use the phase-1 sets by identity, and
+when no gate failed at all, phase 2 degenerates to reading off the finals
+seen in phase 1.
+
+OptHyPE/OptHyPE-C plug in a subtree-label index plus the viability oracle
+(:mod:`repro.hype.analyze`) to skip subtrees even when states are live but
+provably cannot produce answers or flip a filter to true.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..automata.afa import FINAL, TRANS, WILDCARD
+from ..automata.mfa import MFA
+from ..automata.truth import child_relevant, relevance_closure
+from ..xtree.node import Node
+from .analyze import ViabilityAnalyzer
+from .index import Index
+
+
+@dataclass
+class HyPEStats:
+    """Counters for the experiments of Section 7."""
+
+    visited_elements: int = 0
+    skipped_subtrees: int = 0
+    cans_vertices: int = 0
+    gate_failures: int = 0
+    afa_states_resolved: int = 0
+    answers: int = 0
+
+
+@dataclass
+class HyPEResult:
+    """Answer set plus run statistics."""
+
+    answers: set[Node]
+    stats: HyPEStats = field(default_factory=HyPEStats)
+
+
+_EMPTY = frozenset()
+
+
+class _Frame:
+    """Per-node traversal frame (an entry of the paper's stack ``P``)."""
+
+    __slots__ = (
+        "node",
+        "visit_idx",
+        "mstates",
+        "relevant",
+        "trans_true",
+        "watch",
+        "parent",
+        "has_ann",
+    )
+
+    def __init__(
+        self, node, visit_idx, mstates, relevant, watch, parent, has_ann
+    ) -> None:
+        self.node = node
+        self.visit_idx = visit_idx
+        self.mstates = mstates
+        self.relevant = relevant
+        self.trans_true: set[int] | None = None
+        self.watch = watch
+        self.parent = parent
+        self.has_ann = has_ann
+
+
+class HyPEEvaluator:
+    """Reusable evaluator: per-MFA caches survive across documents."""
+
+    def __init__(
+        self,
+        mfa: MFA,
+        index: Index | None = None,
+        analyzer: ViabilityAnalyzer | None = None,
+    ) -> None:
+        self.mfa = mfa
+        self.index = index
+        if index is not None and analyzer is None:
+            analyzer = ViabilityAnalyzer(mfa, index.bits)
+        self.analyzer = analyzer
+        # fs -> (canonical fs object, id); the canonical object makes the
+        # phase-2 `is` fast path valid.
+        self._set_ids: dict[frozenset, tuple[frozenset, int]] = {}
+        # (mstates id, relevant id, label) ->
+        #     (mstates_v, relevant_v, watch, has_finals, edges_needed)
+        self._child_cache: dict = {}
+        # (mstates id, relevant id, mask) -> filtered pair
+        self._filter_cache: dict = {}
+        # relevant id -> (finals plan, trans plan, operator groups)
+        self._plan_cache: dict[int, tuple] = {}
+        # (r_id, finals bitmask) -> resolved values, for pops with no child
+        # contributions (the overwhelmingly common case).
+        self._pop_cache: dict = {}
+        # (m_id, r_id, finals bitmask) -> frozenset of dead states
+        self._dead_cache: dict = {}
+        # Phase-2 caches.
+        self._step_cache: dict = {}
+        self._avoid_cache: dict = {}
+
+    # ------------------------------------------------------------------
+    def _intern(self, fs: frozenset) -> tuple[frozenset, int]:
+        existing = self._set_ids.get(fs)
+        if existing is not None:
+            return existing
+        entry = (fs, len(self._set_ids))
+        self._set_ids[fs] = entry
+        return entry
+
+    # ------------------------------------------------------------------
+    def run(self, context: Node) -> HyPEResult:
+        """Evaluate ``context[[M]]`` in one pass + one cans traversal."""
+        nfa = self.mfa.nfa
+        pool = self.mfa.pool
+        stats = HyPEStats()
+
+        base0, base_id0 = self._intern(frozenset({nfa.start}))
+        mstates0 = nfa.eps_closure_of(nfa.start)
+        relevant0 = relevance_closure(pool, self._ann_entries(mstates0))
+        mstates0, m_id0 = self._intern(mstates0)
+        relevant0, r_id0 = self._intern(relevant0)
+        if self.index is not None:
+            mstates0, m_id0, relevant0, r_id0 = self._apply_index(
+                base0, base_id0, relevant0, r_id0, context.node_id
+            )
+        if not mstates0 and not relevant0:
+            return HyPEResult(set(), stats)
+
+        # Phase 1 state: the node-major cans DAG.
+        visit_nodes: list[Node] = [context]
+        visit_parents: list[int] = [-1]
+        visit_mstates: list[frozenset] = [mstates0]
+        deaths: dict[int, frozenset] = {}
+        finals_seen: list[Node] = []
+
+        finals = nfa.finals
+        if mstates0 & finals:
+            finals_seen.append(context)
+        visited = 1
+        skipped = 0
+        cans_vertices = len(mstates0)
+
+        has_ann0 = any(s in nfa.ann for s in mstates0)
+        root_frame = _Frame(context, 0, mstates0, relevant0, (), None, has_ann0)
+        child_cache = self._child_cache
+        root_labels = child_cache.get((m_id0, r_id0))
+        if root_labels is None:
+            root_labels = child_cache[(m_id0, r_id0)] = {}
+        stack: list[tuple[_Frame, int, int, dict, object]] = [
+            (root_frame, m_id0, r_id0, root_labels, iter(context.children))
+        ]
+        use_index = self.index is not None
+        nodes_append = visit_nodes.append
+        parents_append = visit_parents.append
+        mstates_append = visit_mstates.append
+        while stack:
+            frame, m_id, r_id, label_map, child_iter = stack[-1]
+            child = next(child_iter, None)  # type: ignore[arg-type]
+            if child is not None:
+                label = child.label
+                if label[0] == "#":  # text node
+                    continue
+                cached = label_map.get(label)
+                if cached is None:
+                    cached = self._compute_child_sets(
+                        frame.mstates, frame.relevant, label
+                    )
+                    label_map[label] = cached
+                (
+                    base_v,
+                    base_idv,
+                    mstates_v,
+                    m_idv,
+                    relevant_v,
+                    r_idv,
+                    watch,
+                    has_final,
+                    has_ann,
+                ) = cached
+                if use_index and (mstates_v or relevant_v):
+                    mstates_v, m_idv, relevant_v, r_idv = self._apply_index(
+                        base_v, base_idv, relevant_v, r_idv, child.node_id
+                    )
+                    has_final = bool(mstates_v & finals)
+                    has_ann = any(s in nfa.ann for s in mstates_v)
+                if not mstates_v and not relevant_v:
+                    skipped += 1
+                    continue
+                visited += 1
+                visit_idx = len(visit_nodes)
+                nodes_append(child)
+                parents_append(frame.visit_idx)
+                mstates_append(mstates_v)
+                cans_vertices += len(mstates_v)
+                if has_final:
+                    finals_seen.append(child)
+                child_frame = _Frame(
+                    child, visit_idx, mstates_v, relevant_v, watch, frame, has_ann
+                )
+                child_labels = child_cache.get((m_idv, r_idv))
+                if child_labels is None:
+                    child_labels = child_cache[(m_idv, r_idv)] = {}
+                stack.append(
+                    (child_frame, m_idv, r_idv, child_labels, iter(child.children))
+                )
+                continue
+            # All children processed: pop (lines 11-21 of Fig. 6).
+            stack.pop()
+            if frame.relevant and (frame.watch or frame.has_ann):
+                self._pop(frame, m_id, r_id, deaths, stats)
+        stats.visited_elements = visited
+        stats.skipped_subtrees = skipped
+        stats.cans_vertices = cans_vertices
+
+        # Phase 2: traverse cans.
+        if not deaths:
+            answers = set(finals_seen)
+        else:
+            answers = self._phase2(
+                visit_nodes, visit_parents, visit_mstates, deaths, finals
+            )
+        stats.answers = len(answers)
+        stats.gate_failures = len(deaths)
+        return HyPEResult(answers, stats)
+
+    # ------------------------------------------------------------------
+    # Descent bookkeeping
+    # ------------------------------------------------------------------
+    def _compute_child_sets(self, mstates, relevant, label):
+        nfa = self.mfa.nfa
+        pool = self.mfa.pool
+        base: set[int] = set()
+        for state in mstates:
+            base |= nfa.step_targets(state, label)
+        mstates_v = nfa.eps_closure(base)
+        targets = child_relevant(pool, relevant, label)
+        targets |= set(self._ann_entries(mstates_v))
+        relevant_v = relevance_closure(pool, targets)
+        states = pool.states
+        watch = tuple(
+            (state, states[state].target)
+            for state in relevant
+            if states[state].kind == TRANS
+            and (states[state].label == label or states[state].label == WILDCARD)
+        )
+        base_v, base_idv = self._intern(frozenset(base))
+        mstates_v, m_idv = self._intern(mstates_v)
+        relevant_v, r_idv = self._intern(relevant_v)
+        has_final = bool(mstates_v & nfa.finals)
+        has_ann = any(s in nfa.ann for s in mstates_v)
+        return (
+            base_v,
+            base_idv,
+            mstates_v,
+            m_idv,
+            relevant_v,
+            r_idv,
+            watch,
+            has_final,
+            has_ann,
+        )
+
+    def _ann_entries(self, mstates) -> list[int]:
+        ann = self.mfa.nfa.ann
+        if not ann:
+            return []
+        return [ann[s] for s in mstates if s in ann]
+
+    def _apply_index(self, base, base_id, relevant, r_id, node_id: int):
+        """Index-based subtree filtering (OptHyPE).
+
+        The filtered ``mstates`` must be the ε-closure of the *base*
+        transition targets restricted to viable states: a viable state
+        whose only ε-path from the base runs through an impassable gate
+        (definitely-false annotation) must NOT survive — intersecting the
+        already-closed set would incorrectly keep it.
+        """
+        assert self.index is not None and self.analyzer is not None
+        mask = self.index.mask(node_id)
+        key = (base_id, r_id, mask)
+        cached = self._filter_cache.get(key)
+        if cached is not None:
+            return cached
+        nfa = self.mfa.nfa
+        viable = self.analyzer.viable_nfa_states(mask)
+        closed: set[int] = set()
+        stack = [s for s in base if s in viable]
+        while stack:
+            state = stack.pop()
+            if state in closed:
+                continue
+            closed.add(state)
+            for target in nfa.eps[state]:
+                if target in viable and target not in closed:
+                    stack.append(target)
+        mstates_f, m_idf = self._intern(frozenset(closed))
+        possible = self.analyzer.afa_possibly_true(mask)
+        relevant_f, r_idf = self._intern(
+            frozenset(s for s in relevant if possible[s])
+        )
+        result = (mstates_f, m_idf, relevant_f, r_idf)
+        self._filter_cache[key] = result
+        return result
+
+    # ------------------------------------------------------------------
+    # Pop: bottom-up AFA resolution and death recording
+    # ------------------------------------------------------------------
+    def _relevant_plan(self, r_id: int, relevant):
+        """Static per-relevant-set evaluation plan (cached).
+
+        Returns (finals, trans, op_groups): final states with their
+        predicates, transition states, and operator states grouped by SCC
+        in dependency-first order.
+        """
+        cached = self._plan_cache.get(r_id)
+        if cached is not None:
+            return cached
+        pool = self.mfa.pool
+        states = pool.states
+        finals: list[tuple[int, object]] = []
+        trans: list[int] = []
+        operators: list[int] = []
+        for state in relevant:
+            holder = states[state]
+            if holder.kind == FINAL:
+                finals.append((state, holder.pred))
+            elif holder.kind == TRANS:
+                trans.append(state)
+            else:
+                operators.append(state)
+        operators.sort(key=pool.scc_of)
+        groups: list[list[tuple[int, str, list[int]]]] = []
+        i = 0
+        while i < len(operators):
+            scc = pool.scc_of(operators[i])
+            group: list[tuple[int, str, list[int]]] = []
+            while i < len(operators) and pool.scc_of(operators[i]) == scc:
+                holder = states[operators[i]]
+                group.append((operators[i], holder.kind, holder.eps))
+                i += 1
+            groups.append(group)
+        plan = (tuple(finals), tuple(trans), tuple(groups))
+        self._plan_cache[r_id] = plan
+        return plan
+
+    def _pop(self, frame: _Frame, m_id: int, r_id: int, deaths, stats) -> None:
+        node = frame.node
+        finals, trans, groups = self._relevant_plan(r_id, frame.relevant)
+        trans_true = frame.trans_true
+        values: dict[int, bool] | None = None
+        if not trans_true:
+            # No child contributed a truth: the resolution depends only on
+            # the relevant set and the final-state predicate outcomes here.
+            bits = 0
+            for position, (state, pred) in enumerate(finals):
+                if pred is None or pred.holds(node):
+                    bits |= 1 << position
+            cache_key = (r_id, bits)
+            values = self._pop_cache.get(cache_key)
+            if values is None:
+                values = self._resolve(finals, trans, groups, None, bits)
+                self._pop_cache[cache_key] = values
+            # Deaths are then also a pure function of (mstates, values).
+            if frame.has_ann:
+                dead_key = (m_id, r_id, bits)
+                dead = self._dead_cache.get(dead_key)
+                if dead is None:
+                    dead = self._compute_dead(frame.mstates, values)
+                    self._dead_cache[dead_key] = dead
+                if dead:
+                    deaths[frame.visit_idx] = dead
+        else:
+            bits = 0
+            for position, (state, pred) in enumerate(finals):
+                if pred is None or pred.holds(node):
+                    bits |= 1 << position
+            values = self._resolve(finals, trans, groups, trans_true, bits)
+            if frame.has_ann:
+                dead = self._compute_dead(frame.mstates, values)
+                if dead:
+                    deaths[frame.visit_idx] = dead
+        stats.afa_states_resolved += len(values)
+        # Report established truths to the parent (fstates↑).
+        if frame.watch and frame.parent is not None:
+            parent = frame.parent
+            trues = parent.trans_true
+            if trues is None:
+                trues = parent.trans_true = set()
+            for watcher, target in frame.watch:
+                if values.get(target, False):
+                    trues.add(watcher)
+
+    def _resolve(self, finals, trans, groups, trans_true, bits) -> dict[int, bool]:
+        """Leaf values + operator fixpoint for one node (or cache entry)."""
+        values: dict[int, bool] = {}
+        for position, (state, _pred) in enumerate(finals):
+            values[state] = bool(bits >> position & 1)
+        if trans_true is None:
+            for state in trans:
+                values[state] = False
+        else:
+            for state in trans:
+                values[state] = state in trans_true
+        get = values.get
+        for group in groups:
+            if len(group) == 1:
+                state, kind, eps = group[0]
+                if kind == "and":
+                    values[state] = all(get(s, False) for s in eps)
+                elif kind == "or":
+                    values[state] = any(get(s, False) for s in eps)
+                else:  # not
+                    values[state] = not get(eps[0], False)
+            else:
+                for state, _kind, _eps in group:
+                    values.setdefault(state, False)
+                changed = True
+                while changed:
+                    changed = False
+                    for state, kind, eps in group:
+                        if kind == "and":
+                            new = all(get(s, False) for s in eps)
+                        else:  # or (NOT cannot be in a cycle)
+                            new = any(get(s, False) for s in eps)
+                        if new and not values[state]:
+                            values[state] = True
+                            changed = True
+        return values
+
+    def _compute_dead(self, mstates, values) -> frozenset[int]:
+        ann = self.mfa.nfa.ann
+        dead: list[int] = []
+        get = values.get
+        for state in mstates:
+            entry = ann.get(state)
+            if entry is not None and not get(entry, False):
+                dead.append(state)
+        return frozenset(dead)
+
+    # ------------------------------------------------------------------
+    # Phase 2: alive-state propagation over the visit list
+    # ------------------------------------------------------------------
+    def _phase2(self, nodes, parents, mstates_list, deaths, finals) -> set[Node]:
+        nfa = self.mfa.nfa
+        answers: set[Node] = set()
+        alive: list[frozenset] = [None] * len(nodes)  # type: ignore[list-item]
+        step_cache = self._step_cache
+        for i, node in enumerate(nodes):
+            parent = parents[i]
+            phase1 = mstates_list[i]
+            dead = deaths.get(i)
+            if parent == -1:
+                current = frozenset({nfa.start}) & phase1
+                current = self._closure_avoiding(current, dead, phase1)
+            else:
+                parent_alive = alive[parent]
+                if dead is None and parent_alive is mstates_list[parent]:
+                    # No divergence above or here: phase-1 set is exact.
+                    current = phase1
+                else:
+                    # parent_alive is always interned, so the frozenset key
+                    # is canonical and stable across runs of this evaluator.
+                    key = (parent_alive, node.label)
+                    base = step_cache.get(key)
+                    if base is None:
+                        base = frozenset(
+                            t
+                            for s in parent_alive
+                            for t in nfa.step_targets(s, node.label)
+                        )
+                        step_cache[key] = base
+                    current = self._closure_avoiding(base & phase1, dead, phase1)
+            alive[i] = current
+            if current & finals:
+                answers.add(node)
+        return answers
+
+    def _closure_avoiding(self, base, dead, universe) -> frozenset:
+        """Stepwise ε-closure within ``universe``, skipping dead states."""
+        nfa = self.mfa.nfa
+        if dead is None and base == universe:
+            return universe
+        cache_key = (base, dead, universe)
+        cached = self._avoid_cache.get(cache_key)
+        if cached is not None:
+            return cached
+        result: set[int] = set()
+        stack = [s for s in base if (dead is None or s not in dead)]
+        while stack:
+            state = stack.pop()
+            if state in result:
+                continue
+            result.add(state)
+            for target in nfa.eps[state]:
+                if target in universe and target not in result:
+                    if dead is None or target not in dead:
+                        stack.append(target)
+        frozen = frozenset(result)
+        if frozen == universe:
+            interned = universe
+        else:
+            interned, _ = self._intern(frozen)
+        self._avoid_cache[cache_key] = interned
+        return interned
+
+
+def hype_eval(
+    mfa: MFA,
+    context: Node,
+    index: Index | None = None,
+) -> HyPEResult:
+    """One-shot HyPE evaluation (builds a fresh evaluator)."""
+    return HyPEEvaluator(mfa, index=index).run(context)

@@ -1,0 +1,132 @@
+"""Subtree-label indexes powering OptHyPE and OptHyPE-C (Section 6).
+
+The paper: *"we developed a novel index structure which enables HyPE to
+skip even more subtrees ... OptHyPE-C [is] the version of HyPE which uses a
+compressed version of the index."*
+
+Our index stores, per tree node, the set of element labels occurring
+*strictly below* the node (plus a marker bit when any text occurs below).
+A subtree whose label set cannot drive the remaining automaton states to an
+accepting configuration can be skipped wholesale — the viability analysis
+lives in :mod:`repro.hype.analyze`.
+
+* :class:`SubtreeLabelIndex` (OptHyPE) stores one bitmask per node.
+* :class:`CompressedLabelIndex` (OptHyPE-C) interns the distinct masks into
+  a small table and stores one small id per node — documents have very few
+  distinct subtree label-sets (bounded by the DTD structure), so this is
+  substantially smaller while answering the same queries.
+"""
+
+from __future__ import annotations
+
+from ..xtree.node import XMLTree
+
+#: Pseudo-label bit marking "some text node occurs in this subtree".
+TEXT_BIT_LABEL = "#text"
+
+
+class LabelBits:
+    """Interns element labels to bit positions shared by index and analyzer."""
+
+    def __init__(self) -> None:
+        self.bit_of: dict[str, int] = {}
+
+    def bit(self, label: str) -> int:
+        """The bit for ``label`` (assigned on first use)."""
+        existing = self.bit_of.get(label)
+        if existing is not None:
+            return existing
+        position = len(self.bit_of)
+        mask = 1 << position
+        self.bit_of[label] = mask
+        return mask
+
+    def bit_if_known(self, label: str) -> int:
+        """The bit for ``label`` or 0 if the label never occurs."""
+        return self.bit_of.get(label, 0)
+
+    @property
+    def element_mask(self) -> int:
+        """Mask of all element-label bits (excludes the text marker)."""
+        total = 0
+        for label, mask in self.bit_of.items():
+            if label != TEXT_BIT_LABEL:
+                total |= mask
+        return total
+
+
+def _compute_masks(tree: XMLTree, bits: LabelBits) -> list[int]:
+    masks = [0] * len(tree.nodes)
+    # Document order puts children after parents, so a reverse sweep sees
+    # every child before its parent.
+    for node in reversed(tree.nodes):
+        parent = node.parent
+        if parent is None:
+            continue
+        if node.is_element:
+            contribution = masks[node.node_id] | bits.bit(node.label)
+        else:
+            contribution = bits.bit(TEXT_BIT_LABEL)
+        masks[parent.node_id] |= contribution
+    return masks
+
+
+class SubtreeLabelIndex:
+    """Uncompressed per-node bitmask index (OptHyPE)."""
+
+    def __init__(self, tree: XMLTree) -> None:
+        self.bits = LabelBits()
+        self.masks = _compute_masks(tree, self.bits)
+
+    def mask(self, node_id: int) -> int:
+        """Strict-descendant label mask of a node."""
+        return self.masks[node_id]
+
+    def memory_entries(self) -> int:
+        """Index footprint proxy: number of stored mask words."""
+        return len(self.masks)
+
+    def distinct_masks(self) -> int:
+        return len(set(self.masks))
+
+
+class CompressedLabelIndex:
+    """Interned-mask index (OptHyPE-C): table of unique masks + small ids."""
+
+    def __init__(self, tree: XMLTree) -> None:
+        self.bits = LabelBits()
+        raw = _compute_masks(tree, self.bits)
+        table: dict[int, int] = {}
+        self.mask_table: list[int] = []
+        self.ids: list[int] = [0] * len(raw)
+        for node_id, mask in enumerate(raw):
+            idx = table.get(mask)
+            if idx is None:
+                idx = len(self.mask_table)
+                table[mask] = idx
+                self.mask_table.append(mask)
+            self.ids[node_id] = idx
+
+    def mask(self, node_id: int) -> int:
+        return self.mask_table[self.ids[node_id]]
+
+    def mask_id(self, node_id: int) -> int:
+        """The interned id — a compact viability-cache key."""
+        return self.ids[node_id]
+
+    def memory_entries(self) -> int:
+        """Footprint proxy: id array + unique-mask table."""
+        return len(self.ids) + len(self.mask_table)
+
+    def distinct_masks(self) -> int:
+        return len(self.mask_table)
+
+
+Index = SubtreeLabelIndex | CompressedLabelIndex
+
+
+def build_index(tree: XMLTree, compressed: bool = False) -> Index:
+    """Build the OptHyPE (or OptHyPE-C when ``compressed``) index."""
+    if compressed:
+        return CompressedLabelIndex(tree)
+    return SubtreeLabelIndex(tree)

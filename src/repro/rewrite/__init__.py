@@ -1,0 +1,21 @@
+"""Query rewriting: the MFA algorithm (Section 5) and the direct closure
+construction (Section 3)."""
+
+from .direct import DirectRewriter, EMPTY_PATH, FALSE_FILTER, rewrite_to_xreg
+from .matrix import PathMatrix, simplify_matrix
+from .mfa_rewrite import MFARewriter, rewrite_query, trim_mfa
+from .state_elim import eliminate_states, mfa_to_xreg
+
+__all__ = [
+    "rewrite_query",
+    "eliminate_states",
+    "mfa_to_xreg",
+    "MFARewriter",
+    "trim_mfa",
+    "rewrite_to_xreg",
+    "DirectRewriter",
+    "PathMatrix",
+    "simplify_matrix",
+    "EMPTY_PATH",
+    "FALSE_FILTER",
+]

@@ -1,0 +1,156 @@
+"""Kleene matrix algebra over ``Xreg`` ASTs (for the direct rewriting).
+
+Rewriting a view query into a source query is regular-language algebra over
+the view-type set: entry ``M[A][B]`` is an ``Xreg`` expression (over the
+*source* DTD) describing how a view path takes an ``A``-context to a
+``B``-typed view node.  Concatenation of view queries is matrix product,
+union is elementwise, and Kleene star is the Floyd–Warshall–Kleene closure.
+
+``None`` entries denote the empty language ∅ (absorbing for concatenation,
+neutral for union); they keep the expressions from drowning in unsatisfiable
+alternatives.
+
+This module is the engine room of Theorem 3.2's constructive proof — and of
+Corollary 3.3's exponential blow-up, which the E9 benchmark measures.
+"""
+
+from __future__ import annotations
+
+from ..xpath import ast
+from ..xpath.normalize import simplify
+
+Entry = ast.Path | None
+
+
+class PathMatrix:
+    """A square matrix over view types with ``Xreg``/∅ entries."""
+
+    def __init__(self, types: tuple[str, ...]) -> None:
+        self.types = types
+        self.entries: dict[tuple[str, str], ast.Path] = {}
+
+    # ------------------------------------------------------------------
+    def get(self, row: str, col: str) -> Entry:
+        return self.entries.get((row, col))
+
+    def set(self, row: str, col: str, value: Entry) -> None:
+        if value is None:
+            self.entries.pop((row, col), None)
+        else:
+            self.entries[(row, col)] = value
+
+    def add(self, row: str, col: str, value: Entry) -> None:
+        """Union ``value`` into an entry."""
+        if value is None:
+            return
+        current = self.entries.get((row, col))
+        self.entries[(row, col)] = _union(current, value)
+
+    def row(self, row: str) -> dict[str, ast.Path]:
+        """Non-empty entries of one row, keyed by column type."""
+        return {
+            col: entry
+            for (r, col), entry in self.entries.items()
+            if r == row
+        }
+
+    def size(self) -> int:
+        """Total AST size over all entries — the |Q'| measure of E9."""
+        return sum(entry.size() for entry in self.entries.values())
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def identity(cls, types: tuple[str, ...]) -> "PathMatrix":
+        matrix = cls(types)
+        for t in types:
+            matrix.set(t, t, ast.Empty())
+        return matrix
+
+    def multiply(self, other: "PathMatrix") -> "PathMatrix":
+        """Matrix product: concatenation along a shared middle type."""
+        result = PathMatrix(self.types)
+        for (row, mid), left in self.entries.items():
+            for col in other.types:
+                right = other.get(mid, col)
+                if right is not None:
+                    result.add(row, col, _concat(left, right))
+        return result
+
+    def union(self, other: "PathMatrix") -> "PathMatrix":
+        result = PathMatrix(self.types)
+        for (row, col), entry in self.entries.items():
+            result.add(row, col, entry)
+        for (row, col), entry in other.entries.items():
+            result.add(row, col, entry)
+        return result
+
+    def star(self) -> "PathMatrix":
+        """Kleene closure via Floyd–Warshall–Kleene.
+
+        ``result[i][j]`` describes all paths made of zero or more query
+        iterations, pivoting through intermediate types one at a time.
+        """
+        closure = PathMatrix(self.types)
+        for key, entry in self.entries.items():
+            closure.entries[key] = entry
+        for pivot in self.types:
+            loop = closure.get(pivot, pivot)
+            loop_star = ast.Star(loop) if loop is not None else None
+            updated = PathMatrix(self.types)
+            for key, entry in closure.entries.items():
+                updated.entries[key] = entry
+            for row in self.types:
+                into = closure.get(row, pivot)
+                if into is None:
+                    continue
+                for col in self.types:
+                    out = closure.get(pivot, col)
+                    if out is None:
+                        continue
+                    middle = into
+                    if loop_star is not None:
+                        middle = _concat(into, loop_star)
+                    updated.add(row, col, _concat(middle, out))
+            closure = updated
+        # Zero iterations: the identity.
+        for t in self.types:
+            closure.add(t, t, ast.Empty())
+        return closure
+
+    def map_filtered(self, filter_for_type) -> "PathMatrix":
+        """Apply ``[filter_for_type(col)]`` to every entry, per end type.
+
+        ``filter_for_type`` returns a :class:`~repro.xpath.ast.Filter` or
+        ``None`` (meaning "definitely false" — the entry is dropped).
+        """
+        result = PathMatrix(self.types)
+        for (row, col), entry in self.entries.items():
+            predicate = filter_for_type(col)
+            if predicate is None:
+                continue
+            result.add(row, col, ast.Filtered(entry, predicate))
+        return result
+
+
+def _concat(left: ast.Path, right: ast.Path) -> ast.Path:
+    if isinstance(left, ast.Empty):
+        return right
+    if isinstance(right, ast.Empty):
+        return left
+    return ast.Concat(left, right)
+
+
+def _union(current: Entry, value: ast.Path) -> ast.Path:
+    if current is None:
+        return value
+    if current == value:
+        return current
+    return ast.Union(current, value)
+
+
+def simplify_matrix(matrix: PathMatrix) -> PathMatrix:
+    """Apply local AST simplification to every entry."""
+    result = PathMatrix(matrix.types)
+    for (row, col), entry in matrix.entries.items():
+        result.entries[(row, col)] = simplify(entry)
+    return result

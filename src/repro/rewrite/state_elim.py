@@ -1,0 +1,114 @@
+"""NFA → ``Xreg`` conversion by state elimination (Theorem 4.1, MFA→query).
+
+Completes the equivalence of Theorem 4.1 in the automaton→query direction
+for *filter-free* MFAs: Brzozowski–McCluskey state elimination over edges
+labelled with ``Xreg`` ASTs.  The output expression is equivalent to the
+automaton but — as Corollary 3.3 predicts (the rewriting problem subsumes
+NFA→regular-expression translation, which is EXPTIME-complete) — its size
+is worst-case exponential in the number of states; :func:`eliminate_states`
+is therefore an analysis/exposition tool, not an execution path.
+
+Annotated MFAs would require reconstructing filter expressions from AFA
+graphs (whose cycles encode stars); rewriting keeps the original filter
+ASTs around instead, so the general direction is intentionally out of
+scope and raises :class:`AutomatonError`.
+"""
+
+from __future__ import annotations
+
+from ..automata.afa import WILDCARD
+from ..automata.mfa import MFA
+from ..automata.nfa import NFA
+from ..errors import AutomatonError
+from ..xpath import ast
+from ..xpath.normalize import simplify
+
+Edge = dict[tuple[int, int], ast.Path]
+
+
+def _edge_union(edges: Edge, key: tuple[int, int], value: ast.Path) -> None:
+    current = edges.get(key)
+    if current is None:
+        edges[key] = value
+    elif current != value:
+        edges[key] = ast.Union(current, value)
+
+
+def _label_path(label: str) -> ast.Path:
+    if label == WILDCARD:
+        return ast.Wildcard()
+    return ast.Label(label)
+
+
+def eliminate_states(nfa: NFA) -> ast.Path:
+    """Convert a filter-free selecting NFA into an equivalent ``Xreg`` query.
+
+    Raises:
+        AutomatonError: if the NFA carries λ-annotations (filters).
+    """
+    if nfa.ann:
+        raise AutomatonError(
+            "state elimination supports filter-free automata only; "
+            "rewriting keeps filter ASTs to avoid AFA reconstruction"
+        )
+    n = nfa.num_states
+    # Fresh virtual start (-1) and accept (-2) states.
+    START, ACCEPT = -1, -2
+    edges: Edge = {}
+    _edge_union(edges, (START, nfa.start), ast.Empty())
+    for final in nfa.finals:
+        _edge_union(edges, (final, ACCEPT), ast.Empty())
+    for source in range(n):
+        for label, targets in nfa.trans[source].items():
+            for target in targets:
+                _edge_union(edges, (source, target), _label_path(label))
+        for target in nfa.eps[source]:
+            _edge_union(edges, (source, target), ast.Empty())
+
+    for victim in range(n):
+        loop = edges.pop((victim, victim), None)
+        incoming = [
+            (source, path)
+            for (source, target), path in list(edges.items())
+            if target == victim and source != victim
+        ]
+        outgoing = [
+            (target, path)
+            for (source, target), path in list(edges.items())
+            if source == victim and target != victim
+        ]
+        for source, in_path in incoming:
+            del edges[(source, victim)]
+        for target, _out in outgoing:
+            del edges[(victim, target)]
+        if not incoming or not outgoing:
+            continue
+        middle: ast.Path | None = (
+            ast.Star(loop) if loop is not None and loop != ast.Empty() else None
+        )
+        for source, in_path in incoming:
+            for target, out_path in outgoing:
+                combined = in_path
+                if middle is not None:
+                    combined = _concat(combined, middle)
+                combined = _concat(combined, out_path)
+                _edge_union(edges, (source, target), combined)
+
+    result = edges.get((START, ACCEPT))
+    if result is None:
+        # The automaton accepts nothing.
+        return ast.Filtered(ast.Empty(), ast.Not(ast.Exists(ast.Empty())))
+    return simplify(result)
+
+
+def _concat(left: ast.Path, right: ast.Path) -> ast.Path:
+    if isinstance(left, ast.Empty):
+        return right
+    if isinstance(right, ast.Empty):
+        return left
+    return ast.Concat(left, right)
+
+
+def mfa_to_xreg(mfa: MFA) -> ast.Path:
+    """Theorem 4.1, automaton→query direction (filter-free MFAs)."""
+    return eliminate_states(mfa.nfa)

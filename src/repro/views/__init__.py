@@ -1,0 +1,24 @@
+"""XML views: specifications, materialisation, security policies, samples."""
+
+from .compose import compose
+from .materialize import MaterializedView, materialize
+from .samples import HEART_DISEASE, SIGMA0_ANNOTATIONS, sigma0
+from .security import ALLOW, DENY, AccessPolicy, derive_view, policy_from_mapping
+from .spec import ViewSpec, copy_view, view_spec
+
+__all__ = [
+    "ViewSpec",
+    "view_spec",
+    "copy_view",
+    "materialize",
+    "compose",
+    "MaterializedView",
+    "sigma0",
+    "SIGMA0_ANNOTATIONS",
+    "HEART_DISEASE",
+    "AccessPolicy",
+    "derive_view",
+    "policy_from_mapping",
+    "ALLOW",
+    "DENY",
+]

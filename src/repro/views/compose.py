@@ -1,0 +1,114 @@
+"""View composition: a view of a view, collapsed into one view of the source.
+
+A natural consequence of closure under rewriting (Theorem 3.2): given
+``σ1 : D → D_V1`` and ``σ2 : D_V1 → D_V2``, the composition
+``σ2 ∘ σ1 : D → D_V2`` is again an annotated-DTD view — every annotation
+``σ2(A, B)`` (an ``Xreg`` query over ``D_V1``) is rewritten through ``σ1``
+into an ``Xreg`` query over ``D`` using the Kleene-matrix rewriter.
+
+Multi-level security policies compose this way: a hospital exposes σ1 to a
+research institute, the institute exposes σ2 of *its* view to students, and
+the hospital can serve the students directly through ``compose(σ2, σ1)``
+without materialising anything.
+
+Typing caveat: the rewriting of ``σ2(A,B)`` depends on the ``D_V1`` type of
+the context node.  We track, per ``D_V2`` type, the set of ``D_V1`` types
+its contexts can have (a reachability fixpoint from the roots); composition
+requires this set to be a singleton for every view type — otherwise the
+composed annotation would be ambiguous and :class:`ViewError` is raised.
+This covers the common case (views whose annotations end at a single type
+per edge); the fully general construction would need pair-typed view DTDs.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from ..errors import ViewError
+from ..xpath import ast
+from ..xpath.normalize import simplify
+from .spec import ViewSpec
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle avoided at runtime
+    from ..rewrite.direct import DirectRewriter
+
+
+def compose(outer: ViewSpec, inner: ViewSpec) -> ViewSpec:
+    """Compose two views: ``compose(σ2, σ1) = σ2 ∘ σ1``.
+
+    Args:
+        outer: ``σ2 : D_V1 → D_V2`` (queries over the inner view).
+        inner: ``σ1 : D → D_V1``.
+
+    Raises:
+        ViewError: if the views do not chain (outer's source DTD must be
+            inner's view DTD) or if a view type has ambiguous inner typing.
+    """
+    from ..rewrite.direct import DirectRewriter  # deferred: import cycle
+
+    if outer.source_dtd.productions != inner.view_dtd.productions:
+        raise ViewError(
+            "views do not chain: outer.source_dtd must equal inner.view_dtd"
+        )
+    rewriter = DirectRewriter(inner)
+    context_types = _context_types(outer, rewriter)
+
+    annotations: dict[tuple[str, str], ast.Path] = {}
+    for (parent, child), query in outer.annotations.items():
+        inner_types = context_types.get(parent)
+        if not inner_types:
+            # Unreachable view type: annotate with an empty query.
+            annotations[(parent, child)] = _empty_path()
+            continue
+        (context_type,) = inner_types  # singleton, enforced below
+        matrix = rewriter.path_matrix(query)
+        alternatives = list(matrix.row(context_type).values())
+        if not alternatives:
+            annotations[(parent, child)] = _empty_path()
+            continue
+        combined = alternatives[0]
+        for alternative in alternatives[1:]:
+            combined = ast.Union(combined, alternative)
+        annotations[(parent, child)] = simplify(combined)
+
+    return ViewSpec(inner.source_dtd, outer.view_dtd, annotations)
+
+
+def _context_types(
+    outer: ViewSpec, rewriter: "DirectRewriter"
+) -> dict[str, set[str]]:
+    """Fixpoint: which inner-view types can be the context of each outer type.
+
+    Raises:
+        ViewError: when some reachable outer type has more than one
+            possible inner context type.
+    """
+    root2 = outer.view_dtd.root
+    root1 = outer.source_dtd.root
+    result: dict[str, set[str]] = {root2: {root1}}
+    frontier = [root2]
+    while frontier:
+        parent = frontier.pop()
+        for context_type in result[parent]:
+            for child in dict.fromkeys(outer.view_dtd.child_types(parent)):
+                query = outer.annotation(parent, child)
+                matrix = rewriter.path_matrix(query)
+                # End types of σ2(parent, child) from this context.
+                end_types = set(matrix.row(context_type))
+                if not end_types:
+                    continue
+                known = result.setdefault(child, set())
+                before = len(known)
+                known |= end_types
+                if len(known) > 1:
+                    raise ViewError(
+                        f"composition is ambiguous: view type {child!r} has "
+                        f"inner context types {sorted(known)}"
+                    )
+                if len(known) != before and child not in frontier:
+                    frontier.append(child)
+    return result
+
+
+def _empty_path() -> ast.Path:
+    return ast.Filtered(ast.Empty(), ast.Not(ast.Exists(ast.Empty())))

@@ -1,0 +1,40 @@
+"""The paper's running security view ``σ0`` (Fig. 1(c), Example 2.2).
+
+Defined for a research institute studying inherited heart disease: the view
+exposes only heart-disease patients and their parent hierarchy; per-visit
+records are an ``empty`` element when the treatment was a test (hidden) and
+a ``diagnosis`` when it was a medication.  Names, addresses, tests and
+doctor data never appear in the view.
+"""
+
+from __future__ import annotations
+
+from ..dtd.samples import hospital_dtd, hospital_view_dtd
+from .spec import ViewSpec, view_spec
+
+#: The diagnosis text that triggers view membership in σ0.
+HEART_DISEASE = "heart disease"
+
+#: Fig. 1(c), queries Q1–Q6, in the paper's concrete syntax.
+SIGMA0_ANNOTATIONS: dict[tuple[str, str], str] = {
+    # Q1: patients with a heart-disease diagnosis
+    ("hospital", "patient"): (
+        "department/patient"
+        "[visit/treatment/medication/diagnosis/text() = 'heart disease']"
+    ),
+    # Q2: the parent hierarchy
+    ("patient", "parent"): "parent",
+    # Q3: records come from visits
+    ("patient", "record"): "visit",
+    # Q4: a parent is described by a patient element
+    ("parent", "patient"): "patient",
+    # Q5: test treatments are exposed as empty records
+    ("record", "empty"): "treatment/test",
+    # Q6: medication treatments expose their diagnosis
+    ("record", "diagnosis"): "treatment/medication/diagnosis",
+}
+
+
+def sigma0() -> ViewSpec:
+    """Build the view specification ``σ0`` of Example 2.2."""
+    return view_spec(hospital_dtd(), hospital_view_dtd(), SIGMA0_ANNOTATIONS)

@@ -1,0 +1,162 @@
+"""Security-policy front end: derive view specifications from access policies.
+
+The paper motivates views by XML access control [2, 5, 9]: the server
+defines, per user group, a view containing all and only the data the group
+may access.  This module provides the policy-level interface in the style
+of Fan/Chan/Garofalakis security views [9]: each document-DTD edge is
+annotated ``allow``, ``deny`` or a conditional ``Xreg`` filter, and a
+:class:`ViewSpec` (over a derived view DTD) is generated mechanically.
+
+* ``allow`` — the child is visible whenever its parent is.
+* ``deny``  — the child subtree is hidden entirely; denied element types are
+  removed from the view DTD (with their now-unreachable descendants).
+* a filter string ``q`` — the child is visible iff ``q`` holds at it; the
+  derived annotation is ``B[q]``.
+
+The derived view keeps the document DTD's shape on visible types, so it is a
+*projection* view; the fully general machinery (restructuring views like
+``σ0``) remains available through :class:`~repro.views.spec.ViewSpec`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping
+
+from ..dtd.graph import reachable_types
+from ..dtd.model import (
+    Choice,
+    Content,
+    DTD,
+    EmptyContent,
+    SeqItem,
+    Sequence,
+    StrContent,
+)
+from ..errors import ViewError
+from ..xpath import ast
+from ..xpath.parser import parse_filter
+from .spec import ViewSpec
+
+ALLOW = "allow"
+DENY = "deny"
+
+
+@dataclass
+class AccessPolicy:
+    """An access policy over a document DTD.
+
+    Attributes:
+        dtd: The document DTD being protected.
+        edge_rules: Per DTD edge ``(A, B)``: ``"allow"``, ``"deny"``, or a
+            filter string/AST making visibility conditional.
+        default: Rule applied to edges absent from ``edge_rules``.
+    """
+
+    dtd: DTD
+    edge_rules: dict[tuple[str, str], str | ast.Filter] = field(
+        default_factory=dict
+    )
+    default: str = ALLOW
+
+    def rule(self, parent: str, child: str) -> str | ast.Filter:
+        """The effective rule for an edge."""
+        return self.edge_rules.get((parent, child), self.default)
+
+
+def derive_view(policy: AccessPolicy) -> ViewSpec:
+    """Derive the :class:`ViewSpec` a policy induces.
+
+    Raises:
+        ViewError: if the policy denies the root's entire content or
+            conditions an edge with an unparsable filter.
+    """
+    dtd = policy.dtd
+    visible = _visible_types(policy)
+    if dtd.root not in visible:
+        raise ViewError("policy hides the document root; view would be empty")
+
+    productions: dict[str, Content] = {}
+    annotations: dict[tuple[str, str], ast.Path] = {}
+    for label in visible:
+        content = dtd.production(label)
+        productions[label] = _project_content(policy, label, content, visible)
+        for child in productions[label].child_labels():
+            annotations[(label, child)] = _annotation(policy, label, child)
+    view_dtd = DTD(dtd.root, productions)
+    return ViewSpec(dtd, view_dtd, annotations)
+
+
+def _visible_types(policy: AccessPolicy) -> set[str]:
+    """Types reachable from the root through non-denied edges."""
+    dtd = policy.dtd
+    seen = {dtd.root}
+    frontier = [dtd.root]
+    while frontier:
+        label = frontier.pop()
+        for child in dtd.child_types(label):
+            if policy.rule(label, child) == DENY:
+                continue
+            if child not in seen:
+                seen.add(child)
+                frontier.append(child)
+    return seen
+
+
+def _project_content(
+    policy: AccessPolicy, label: str, content: Content, visible: set[str]
+) -> Content:
+    if isinstance(content, (StrContent, EmptyContent)):
+        return content
+    if isinstance(content, Sequence):
+        items: list[SeqItem] = []
+        for item in content.items:
+            rule = policy.rule(label, item.label)
+            if rule == DENY:
+                continue
+            conditional = not (isinstance(rule, str) and rule == ALLOW)
+            # Conditional children may be filtered out, so they become
+            # starred in the view DTD to keep it truthful.
+            items.append(SeqItem(item.label, item.starred or conditional))
+        if not items:
+            return EmptyContent()
+        return Sequence(tuple(items))
+    assert isinstance(content, Choice)
+    options = tuple(
+        option
+        for option in content.options
+        if policy.rule(label, option) != DENY
+    )
+    if not options:
+        return EmptyContent()
+    if len(options) == 1:
+        # Normal form requires 2+ choice options; degrade to an optional
+        # child (the other branch of the disjunction is hidden).
+        return Sequence((SeqItem(options[0], True),))
+    return Choice(options)
+
+
+def _annotation(policy: AccessPolicy, parent: str, child: str) -> ast.Path:
+    rule = policy.rule(parent, child)
+    if rule == ALLOW:
+        return ast.Label(child)
+    if rule == DENY:  # pragma: no cover - filtered out before this point
+        raise ViewError(f"denied edge ({parent}, {child}) cannot be annotated")
+    if isinstance(rule, str):
+        rule = parse_filter(rule)
+    return ast.Filtered(ast.Label(child), rule)
+
+
+def policy_from_mapping(
+    dtd: DTD,
+    rules: Mapping[tuple[str, str], str],
+    default: str = ALLOW,
+) -> AccessPolicy:
+    """Build an :class:`AccessPolicy` from a plain mapping of edge rules."""
+    checked: dict[tuple[str, str], str | ast.Filter] = {}
+    edges = set(dtd.edges())
+    for edge, rule in rules.items():
+        if edge not in edges:
+            raise ViewError(f"policy rule for unknown DTD edge {edge}")
+        checked[edge] = rule
+    return AccessPolicy(dtd, checked, default)

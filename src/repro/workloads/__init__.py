@@ -1,0 +1,55 @@
+"""Experimental workloads: documents, query families, size series."""
+
+from .hospital import (
+    DIAGNOSES,
+    HospitalConfig,
+    generate_hospital_document,
+)
+from .ontology import (
+    curated_view,
+    generate_ontology_document,
+    ontology_dtd,
+)
+from .queries import (
+    EXAMPLE_1_1,
+    EXAMPLE_2_1,
+    EXAMPLE_3_1_REWRITTEN,
+    EXAMPLE_4_1,
+    FIG8,
+    FIG8A,
+    FIG8B,
+    FIG8C,
+    FIG9,
+    FIG9A,
+    FIG9B,
+    FIG9C,
+    VIEW_QUERIES,
+    parse_all,
+)
+from .scales import SeriesStep, document_series, scale_factor
+
+__all__ = [
+    "HospitalConfig",
+    "generate_hospital_document",
+    "ontology_dtd",
+    "curated_view",
+    "generate_ontology_document",
+    "DIAGNOSES",
+    "EXAMPLE_1_1",
+    "EXAMPLE_2_1",
+    "EXAMPLE_3_1_REWRITTEN",
+    "EXAMPLE_4_1",
+    "FIG8",
+    "FIG8A",
+    "FIG8B",
+    "FIG8C",
+    "FIG9",
+    "FIG9A",
+    "FIG9B",
+    "FIG9C",
+    "VIEW_QUERIES",
+    "parse_all",
+    "document_series",
+    "SeriesStep",
+    "scale_factor",
+]

@@ -1,0 +1,140 @@
+"""The experimental hospital workload of Section 7 (ToXGene substitute).
+
+The paper generates documents conforming to the recursive hospital DTD of
+Fig. 1(a) with ToXGene: 7–70 MB in 7 MB increments, each increment roughly
+the medical history of 10,000 patients; maximal tree depth 13; mostly
+element nodes with short text values (selectivity knobs, minimal size
+impact).  The smallest document has 303,714 element nodes vs. 151,187 text
+nodes (≈2:1).
+
+This module reproduces the workload *shape* at Python-friendly scale: a
+seeded generator parameterised by the number of top-level patients, with
+recursive parent chains (depth-limited so the maximal depth stays around
+the paper's 13), sibling branches, visits with test/medication treatments,
+and controllable diagnosis selectivity.  Text values come from small pools
+so queries can be selective without inflating document size — matching the
+paper's design.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from ..xtree.build import element
+from ..xtree.node import Node, XMLTree
+
+#: Diagnosis pool; index 0 is the paper's selective value.
+DIAGNOSES = ("heart disease", "flu", "lung disease", "brain disease", "asthma")
+TESTS = ("blood test", "x-ray", "biopsy")
+SPECIALTIES = ("cardiology", "oncology", "neurology", "general")
+MEDICATION_TYPES = ("tablet", "injection", "infusion")
+FIRST_NAMES = ("ann", "bob", "cat", "dan", "eve", "fay", "gus", "hal")
+CITIES = ("edinburgh", "istanbul", "hasselt", "murray hill")
+
+
+@dataclass
+class HospitalConfig:
+    """Workload knobs (defaults follow the paper's proportions).
+
+    Attributes:
+        num_patients: Top-level in-patients (the paper's 10k-per-7MB knob).
+        seed: RNG seed; generation is deterministic given the config.
+        heart_disease_rate: Fraction of visits whose medication diagnosis is
+            "heart disease" (query selectivity).
+        medication_rate: Fraction of treatments that are medications (the
+            rest are tests).
+        parent_chain_decay: Probability of extending the parent chain one
+            more generation (geometric; caps at ``max_generations``).
+        sibling_rate: Expected siblings per patient description.
+        max_generations: Hard bound on ancestor recursion (keeps the tree
+            depth near the paper's 13).
+        departments: Number of hospital departments.
+    """
+
+    num_patients: int = 100
+    seed: int = 0
+    heart_disease_rate: float = 0.25
+    medication_rate: float = 0.6
+    parent_chain_decay: float = 0.55
+    sibling_rate: float = 0.4
+    max_generations: int = 3
+    departments: int = 4
+
+
+def generate_hospital_document(config: HospitalConfig | None = None) -> XMLTree:
+    """Generate one hospital document conforming to Fig. 1(a)'s DTD."""
+    cfg = config or HospitalConfig()
+    rng = random.Random(cfg.seed)
+    hospital = element("hospital")
+    departments = [
+        element("department", element("name", f"dept-{i}"))
+        for i in range(max(1, cfg.departments))
+    ]
+    for dept in departments:
+        hospital.append(dept)
+    for i in range(cfg.num_patients):
+        dept = departments[i % len(departments)]
+        dept.append(_patient(rng, cfg, generation=0))
+    return XMLTree(hospital)
+
+
+def _patient(rng: random.Random, cfg: HospitalConfig, generation: int) -> Node:
+    patient = element(
+        "patient",
+        element("pname", rng.choice(FIRST_NAMES) + f"-{rng.randrange(10_000)}"),
+        _address(rng),
+    )
+    # Ancestors carry fewer visits than in-patients, like real histories.
+    visit_budget = max(1, 2 - generation)
+    for _ in range(rng.randint(1, visit_budget + 1)):
+        patient.append(_visit(rng, cfg))
+    if generation < cfg.max_generations:
+        chain = cfg.parent_chain_decay ** (generation + 1)
+        while rng.random() < chain:
+            patient.append(
+                element("parent", _patient(rng, cfg, generation + 1))
+            )
+            chain *= 0.5
+        if rng.random() < cfg.sibling_rate / (generation + 1):
+            patient.append(
+                element("sibling", _patient(rng, cfg, cfg.max_generations))
+            )
+    return patient
+
+
+def _address(rng: random.Random) -> Node:
+    return element(
+        "address",
+        element("street", f"{rng.randrange(200)} high st"),
+        element("city", rng.choice(CITIES)),
+        element("zip", f"{rng.randrange(99999):05d}"),
+    )
+
+
+def _visit(rng: random.Random, cfg: HospitalConfig) -> Node:
+    if rng.random() < cfg.medication_rate:
+        if rng.random() < cfg.heart_disease_rate:
+            diagnosis = DIAGNOSES[0]
+        else:
+            diagnosis = rng.choice(DIAGNOSES[1:])
+        treatment = element(
+            "treatment",
+            element(
+                "medication",
+                element("type", rng.choice(MEDICATION_TYPES)),
+                element("diagnosis", diagnosis),
+            ),
+        )
+    else:
+        treatment = element("treatment", element("test", rng.choice(TESTS)))
+    return element(
+        "visit",
+        element("date", f"2006-{rng.randrange(1, 13):02d}-{rng.randrange(1, 29):02d}"),
+        treatment,
+        element(
+            "doctor",
+            element("dname", rng.choice(FIRST_NAMES)),
+            element("specialty", rng.choice(SPECIALTIES)),
+        ),
+    )

@@ -1,0 +1,100 @@
+"""A second recursive workload: Gene-Ontology-style term hierarchies.
+
+The paper motivates recursive DTDs with biomedical data — "the Gene
+Ontology database, GO [7]" — and cites [3]: more than half of 60 analysed
+real-world DTDs were recursive.  This workload provides a GO-flavoured
+recursive DTD (terms with ``isa``/``partof`` sub-term relations and
+annotations) plus a generator and a curator view, used by the test suite
+to exercise the algorithms on a second recursion shape (a DAG-like
+multi-axis recursion instead of the hospital's single parent chain).
+"""
+
+from __future__ import annotations
+
+import random
+
+from ..dtd.model import DTD
+from ..dtd.parse import parse_dtd
+from ..views.spec import ViewSpec, view_spec
+from ..xtree.build import element
+from ..xtree.node import Node, XMLTree
+
+ONTOLOGY_DTD_TEXT = """
+root ontology
+ontology   -> term*
+term       -> tname, definition, evidence*, isa*, partof*
+tname      -> #PCDATA
+definition -> #PCDATA
+evidence   -> code, source
+code       -> #PCDATA
+source     -> #PCDATA
+isa        -> term
+partof     -> term
+"""
+
+#: Curator view: only experimentally-evidenced terms, is-a skeleton only.
+CURATED_VIEW_DTD_TEXT = """
+root ontology
+ontology -> cterm*
+cterm    -> cterm*, label*
+label    -> #PCDATA
+"""
+
+CURATED_ANNOTATIONS = {
+    ("ontology", "cterm"): "term[evidence/code/text() = 'EXP']",
+    ("cterm", "cterm"): "isa/term[evidence/code/text() = 'EXP']",
+    ("cterm", "label"): "tname",
+}
+
+EVIDENCE_CODES = ("EXP", "IEA", "ISS", "TAS")
+NAME_STEMS = ("kinase", "binding", "transport", "membrane", "repair")
+
+
+def ontology_dtd() -> DTD:
+    """The recursive GO-flavoured DTD."""
+    return parse_dtd(ONTOLOGY_DTD_TEXT)
+
+
+def curated_view() -> ViewSpec:
+    """Curator security view: EXP-evidenced is-a skeleton."""
+    return view_spec(
+        ontology_dtd(), parse_dtd(CURATED_VIEW_DTD_TEXT), CURATED_ANNOTATIONS
+    )
+
+
+def generate_ontology_document(
+    num_terms: int = 40, seed: int = 0, max_depth: int = 4
+) -> XMLTree:
+    """Generate a deterministic ontology document.
+
+    ``num_terms`` top-level terms, each with a recursive ``isa``/``partof``
+    sub-hierarchy damped by depth.
+    """
+    rng = random.Random(seed)
+    root = element("ontology")
+    for _ in range(num_terms):
+        root.append(_term(rng, 0, max_depth))
+    return XMLTree(root)
+
+
+def _term(rng: random.Random, depth: int, max_depth: int) -> Node:
+    stem = rng.choice(NAME_STEMS)
+    term = element(
+        "term",
+        element("tname", f"{stem}-{rng.randrange(10_000)}"),
+        element("definition", f"the {stem} process"),
+    )
+    for _ in range(rng.randint(0, 2)):
+        term.append(
+            element(
+                "evidence",
+                element("code", rng.choice(EVIDENCE_CODES)),
+                element("source", f"PMID:{rng.randrange(100_000)}"),
+            )
+        )
+    if depth < max_depth:
+        for axis in ("isa", "partof"):
+            count = rng.randint(0, 2 - depth // 2)
+            for _ in range(count):
+                term.append(element(axis, _term(rng, depth + 1, max_depth)))
+    return term

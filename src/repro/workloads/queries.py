@@ -1,0 +1,115 @@
+"""Query workloads: the paper's running examples and the Fig. 8/9 families.
+
+All queries are expressed in the concrete syntax of
+:mod:`repro.xpath.parser`.  Source-document queries run against the
+hospital DTD of Fig. 1(a) (see :mod:`repro.workloads.hospital`); view
+queries run against the view DTD of Fig. 1(b) through the ``σ0`` view.
+"""
+
+from __future__ import annotations
+
+from ..xpath import ast
+from ..xpath.parser import parse_query
+
+# ----------------------------------------------------------------------
+# Running examples from the paper
+# ----------------------------------------------------------------------
+
+#: Example 1.1 — view query: patients whose ancestors also had heart disease.
+EXAMPLE_1_1 = "patient[*//record/diagnosis/text() = 'heart disease']"
+
+#: Example 2.1 — source regular XPath: heart disease skipping a generation.
+Q0_FILTER = (
+    "visit/treatment/medication/diagnosis/text() = 'heart disease'"
+)
+EXAMPLE_2_1 = (
+    "department/patient["
+    f"{Q0_FILTER}"
+    " and (parent/patient[not("
+    f"{Q0_FILTER}"
+    ")]/parent/patient["
+    f"{Q0_FILTER}"
+    "])/(parent/patient[not("
+    f"{Q0_FILTER}"
+    ")]/parent/patient["
+    f"{Q0_FILTER}"
+    "])*]/pname"
+)
+
+#: Example 4.1 — view regular XPath: patients with a heart-disease ancestor.
+EXAMPLE_4_1 = (
+    "(patient/parent)*/patient"
+    "[(parent/patient)*/record/diagnosis/text() = 'heart disease']"
+)
+
+#: Example 3.1 — the paper's hand rewriting of Example 1.1's Q (source side).
+EXAMPLE_3_1_REWRITTEN = (
+    "department/patient"
+    "[visit/treatment/medication/diagnosis/text() = 'heart disease']"
+    "[parent/patient/(parent/patient)*/visit/treatment/medication/diagnosis"
+    "/text() = 'heart disease']"
+)
+
+# ----------------------------------------------------------------------
+# Figure 8 — XPath queries on the source document
+# ----------------------------------------------------------------------
+
+#: Fig. 8(a): a filter returning a large set of nodes (thousands).
+FIG8A = "//patient[.//diagnosis/text() = 'heart disease']"
+
+#: Fig. 8(b): filter conjunctions (a few hundred answers).
+FIG8B = (
+    "//patient[.//diagnosis/text() = 'heart disease'"
+    " and .//specialty/text() = 'cardiology']"
+)
+
+#: Fig. 8(c): filter disjunctions.
+FIG8C = (
+    "//patient[.//test/text() = 'biopsy'"
+    " or .//diagnosis/text() = 'lung disease']"
+)
+
+FIG8 = {"fig8a": FIG8A, "fig8b": FIG8B, "fig8c": FIG8C}
+
+# ----------------------------------------------------------------------
+# Figure 9 — regular XPath queries on the source document
+# ----------------------------------------------------------------------
+
+#: Fig. 9(a): Kleene star outside a filter.
+FIG9A = (
+    "department/patient/(parent/patient)*"
+    "[.//diagnosis/text() = 'heart disease']"
+)
+
+#: Fig. 9(b): filter inside a Kleene star.
+FIG9B = (
+    "department/(patient[visit/treatment/medication]/parent)*"
+    "/patient/pname"
+)
+
+#: Fig. 9(c): Kleene star in a filter.
+FIG9C = (
+    "//patient[(parent/patient)*"
+    "/visit/treatment/medication/diagnosis/text() = 'heart disease']"
+)
+
+FIG9 = {"fig9a": FIG9A, "fig9b": FIG9B, "fig9c": FIG9C}
+
+# ----------------------------------------------------------------------
+# View-query workload (over σ0) for the rewriting experiments
+# ----------------------------------------------------------------------
+
+VIEW_QUERIES = {
+    "all-patients": "patient",
+    "ancestors": "(patient/parent)*/patient",
+    "example-1.1": EXAMPLE_1_1,
+    "example-4.1": EXAMPLE_4_1,
+    "diagnosed": "patient/record/diagnosis",
+    "deep-records": "patient//record",
+    "no-parents": "patient[not(parent)]",
+}
+
+
+def parse_all(workload: dict[str, str]) -> dict[str, ast.Path]:
+    """Parse a name→query-string workload into ASTs (fails fast)."""
+    return {name: parse_query(text) for name, text in workload.items()}

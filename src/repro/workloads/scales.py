@@ -1,0 +1,72 @@
+"""Document size series for the scaling experiments (Fig. 8/9 x-axes).
+
+The paper uses ten documents, 7–70 MB in 7 MB steps (≈10k patients per
+step).  Pure Python evaluates roughly two orders of magnitude fewer nodes
+per second than the paper's engines, so the default series is node-scaled:
+ten steps of ``PATIENTS_PER_STEP`` patients each.  Set the environment
+variable ``REPRO_SCALE`` (a float multiplier) to grow or shrink every step,
+e.g. ``REPRO_SCALE=10`` for a series within 10× of the paper's smallest
+document.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+
+from ..xtree.node import XMLTree
+from .hospital import HospitalConfig, generate_hospital_document
+
+#: Patients per series step at scale 1.0.
+PATIENTS_PER_STEP = 60
+
+#: Number of steps in the full series (like the paper's 10 documents).
+FULL_SERIES_STEPS = 10
+
+
+def scale_factor() -> float:
+    """The ``REPRO_SCALE`` multiplier (default 1.0)."""
+    raw = os.environ.get("REPRO_SCALE", "1.0")
+    try:
+        value = float(raw)
+    except ValueError:
+        return 1.0
+    return max(value, 0.01)
+
+
+@dataclass
+class SeriesStep:
+    """One document of the size series."""
+
+    label: str
+    num_patients: int
+    tree: XMLTree
+
+    @property
+    def element_count(self) -> int:
+        return self.tree.element_count
+
+
+def document_series(
+    steps: int | None = None,
+    seed: int = 2007,
+    heart_disease_rate: float = 0.25,
+) -> list[SeriesStep]:
+    """Generate the document size series (cached per-process by callers).
+
+    Step ``k`` holds ``k × PATIENTS_PER_STEP × REPRO_SCALE`` patients —
+    linear growth, mirroring the paper's 7 MB increments.
+    """
+    count = steps if steps is not None else FULL_SERIES_STEPS
+    factor = scale_factor()
+    series: list[SeriesStep] = []
+    for k in range(1, count + 1):
+        patients = max(1, int(k * PATIENTS_PER_STEP * factor))
+        config = HospitalConfig(
+            num_patients=patients,
+            seed=seed + k,
+            heart_disease_rate=heart_disease_rate,
+        )
+        tree = generate_hospital_document(config)
+        series.append(SeriesStep(label=f"step-{k}", num_patients=patients, tree=tree))
+    return series

@@ -1,0 +1,39 @@
+"""The (regular) XPath language layer: AST, parser, printer, semantics."""
+
+from . import ast, builders
+from .evaluator import eval_path, evaluate, holds
+from .fragment import (
+    X_FRAGMENT,
+    XREG_FRAGMENT,
+    classify,
+    in_x_fragment,
+    require_x,
+    to_xreg,
+    to_xreg_filter,
+)
+from .normalize import canonical, canonical_filter, desugar, nullable, simplify
+from .parser import parse_filter, parse_query
+from .unparse import unparse
+
+__all__ = [
+    "ast",
+    "builders",
+    "parse_query",
+    "parse_filter",
+    "unparse",
+    "evaluate",
+    "eval_path",
+    "holds",
+    "classify",
+    "in_x_fragment",
+    "require_x",
+    "to_xreg",
+    "to_xreg_filter",
+    "X_FRAGMENT",
+    "XREG_FRAGMENT",
+    "canonical",
+    "canonical_filter",
+    "desugar",
+    "nullable",
+    "simplify",
+]

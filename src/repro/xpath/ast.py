@@ -1,0 +1,216 @@
+"""AST for the regular XPath fragment ``Xreg`` and its XPath subfragment ``X``.
+
+Grammar (Section 2.1 of the paper)::
+
+    Q ::= ε | A | Q/Q | Q ∪ Q | Q* | Q[q]
+    q ::= Q | Q/text() = 'c' | ¬q | q ∧ q | q ∨ q
+
+``X`` replaces ``Q*`` by the descendant-or-self axis ``//``; we keep ``//``
+as a distinct surface node (:class:`DescOrSelf`) so fragment membership is
+decidable syntactically, and desugar it to ``Star(Wildcard)`` when an
+``Xreg`` form is required (``//`` ≡ ``(⋃Ele)*``, Section 2.1).
+
+All nodes are frozen dataclasses: hashable and comparable, which the
+dynamic-programming rewriter (Section 5) relies on for memoisation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+class Path:
+    """Base class of path expressions (``Q`` productions)."""
+
+    __slots__ = ()
+
+    def size(self) -> int:
+        """Number of AST nodes — the paper's ``|Q|`` measure."""
+        raise NotImplementedError
+
+
+class Filter:
+    """Base class of filter expressions (``q`` productions)."""
+
+    __slots__ = ()
+
+    def size(self) -> int:
+        raise NotImplementedError
+
+
+# ----------------------------------------------------------------------
+# Path expressions
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class Empty(Path):
+    """``ε`` — the empty path (self)."""
+
+    def size(self) -> int:
+        return 1
+
+
+@dataclass(frozen=True)
+class Label(Path):
+    """``A`` — one child step to elements labelled ``name``."""
+
+    name: str
+
+    def size(self) -> int:
+        return 1
+
+
+@dataclass(frozen=True)
+class Wildcard(Path):
+    """``*`` — one child step to any element."""
+
+    def size(self) -> int:
+        return 1
+
+
+@dataclass(frozen=True)
+class DescOrSelf(Path):
+    """``//`` — descendant-or-self (the ``X`` fragment's only recursion)."""
+
+    def size(self) -> int:
+        return 1
+
+
+@dataclass(frozen=True)
+class Concat(Path):
+    """``Q1/Q2`` — path concatenation."""
+
+    left: Path
+    right: Path
+
+    def size(self) -> int:
+        return 1 + self.left.size() + self.right.size()
+
+
+@dataclass(frozen=True)
+class Union(Path):
+    """``Q1 ∪ Q2`` — path union."""
+
+    left: Path
+    right: Path
+
+    def size(self) -> int:
+        return 1 + self.left.size() + self.right.size()
+
+
+@dataclass(frozen=True)
+class Star(Path):
+    """``Q*`` — Kleene closure (``Xreg`` only)."""
+
+    inner: Path
+
+    def size(self) -> int:
+        return 1 + self.inner.size()
+
+
+@dataclass(frozen=True)
+class Filtered(Path):
+    """``Q[q]`` — keep only end nodes satisfying filter ``q``."""
+
+    path: Path
+    predicate: "Filter"
+
+    def size(self) -> int:
+        return 1 + self.path.size() + self.predicate.size()
+
+
+# ----------------------------------------------------------------------
+# Filter expressions
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class Exists(Filter):
+    """``Q`` as a filter — some node is reachable via ``Q``."""
+
+    path: Path
+
+    def size(self) -> int:
+        return 1 + self.path.size()
+
+
+@dataclass(frozen=True)
+class TextEquals(Filter):
+    """``Q/text() = 'c'`` — some node reachable via ``Q`` has text ``c``."""
+
+    path: Path
+    value: str
+
+    def size(self) -> int:
+        return 1 + self.path.size()
+
+
+@dataclass(frozen=True)
+class Not(Filter):
+    """``¬q``."""
+
+    inner: Filter
+
+    def size(self) -> int:
+        return 1 + self.inner.size()
+
+
+@dataclass(frozen=True)
+class And(Filter):
+    """``q1 ∧ q2``."""
+
+    left: Filter
+    right: Filter
+
+    def size(self) -> int:
+        return 1 + self.left.size() + self.right.size()
+
+
+@dataclass(frozen=True)
+class Or(Filter):
+    """``q1 ∨ q2``."""
+
+    left: Filter
+    right: Filter
+
+    def size(self) -> int:
+        return 1 + self.left.size() + self.right.size()
+
+
+# ----------------------------------------------------------------------
+# Generic traversal helpers
+# ----------------------------------------------------------------------
+def path_children(node: Path | Filter) -> tuple[Path | Filter, ...]:
+    """Direct AST children of a node (paths and filters alike)."""
+    if isinstance(node, (Concat, Union, And, Or)):
+        return (node.left, node.right)
+    if isinstance(node, Star):
+        return (node.inner,)
+    if isinstance(node, Not):
+        return (node.inner,)
+    if isinstance(node, Filtered):
+        return (node.path, node.predicate)
+    if isinstance(node, (Exists, TextEquals)):
+        return (node.path,)
+    return ()
+
+
+def iter_nodes(node: Path | Filter):
+    """Yield every AST node of ``node``'s tree (pre-order)."""
+    stack: list[Path | Filter] = [node]
+    while stack:
+        current = stack.pop()
+        yield current
+        stack.extend(reversed(path_children(current)))
+
+
+def labels_used(node: Path | Filter) -> set[str]:
+    """All element labels mentioned anywhere in the expression."""
+    return {n.name for n in iter_nodes(node) if isinstance(n, Label)}
+
+
+def contains_star(node: Path | Filter) -> bool:
+    """Whether a Kleene star occurs anywhere (``Xreg``-only construct)."""
+    return any(isinstance(n, Star) for n in iter_nodes(node))
+
+
+def contains_desc_or_self(node: Path | Filter) -> bool:
+    """Whether ``//`` occurs anywhere."""
+    return any(isinstance(n, DescOrSelf) for n in iter_nodes(node))

@@ -1,0 +1,88 @@
+"""Reference evaluator: direct recursive set semantics of ``Xreg``.
+
+This is the ground truth every other evaluator (HyPE, the two-pass baseline,
+the XQuery simulation) is differentially tested against, and it doubles as
+the "JAXP"-profile baseline of the experiments: like a conventional XPath
+engine it re-evaluates filters at each candidate node with no cross-node
+sharing, so it performs the repeated subtree passes HyPE avoids.
+
+Semantics (Section 2.1): ``v[[Q]]`` is the set of nodes reachable from ``v``
+via ``Q``; filters hold at a node when the qualifying path is non-empty
+(or the text equality is witnessed).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from ..xtree.node import Node
+from . import ast
+
+
+def evaluate(query: ast.Path, context: Node) -> set[Node]:
+    """Evaluate ``query`` at ``context``: the paper's ``v[[Q]]``."""
+    return eval_path(query, {context})
+
+
+def eval_path(query: ast.Path, nodes: Iterable[Node]) -> set[Node]:
+    """Evaluate ``query`` at every node of ``nodes`` and union the results."""
+    current = set(nodes)
+    return _eval(query, current)
+
+
+def holds(predicate: ast.Filter, node: Node) -> bool:
+    """Whether filter ``predicate`` holds at ``node``."""
+    if isinstance(predicate, ast.Exists):
+        return bool(_eval(predicate.path, {node}))
+    if isinstance(predicate, ast.TextEquals):
+        targets = _eval(predicate.path, {node})
+        return any(t.text() == predicate.value for t in targets)
+    if isinstance(predicate, ast.Not):
+        return not holds(predicate.inner, node)
+    if isinstance(predicate, ast.And):
+        return holds(predicate.left, node) and holds(predicate.right, node)
+    if isinstance(predicate, ast.Or):
+        return holds(predicate.left, node) or holds(predicate.right, node)
+    raise TypeError(f"unknown filter node {predicate!r}")
+
+
+def _eval(query: ast.Path, nodes: set[Node]) -> set[Node]:
+    if not nodes:
+        return set()
+    if isinstance(query, ast.Empty):
+        return set(nodes)
+    if isinstance(query, ast.Label):
+        return {
+            child
+            for node in nodes
+            for child in node.children
+            if child.label == query.name
+        }
+    if isinstance(query, ast.Wildcard):
+        return {
+            child for node in nodes for child in node.children if child.is_element
+        }
+    if isinstance(query, ast.DescOrSelf):
+        result: set[Node] = set()
+        for node in nodes:
+            for descendant in node.iter_subtree():
+                if descendant.is_element:
+                    result.add(descendant)
+        return result
+    if isinstance(query, ast.Concat):
+        return _eval(query.right, _eval(query.left, nodes))
+    if isinstance(query, ast.Union):
+        return _eval(query.left, nodes) | _eval(query.right, nodes)
+    if isinstance(query, ast.Star):
+        # Least fixpoint: reachability via zero or more `inner` hops.
+        reached = set(nodes)
+        frontier = set(nodes)
+        while frontier:
+            step = _eval(query.inner, frontier)
+            frontier = step - reached
+            reached |= frontier
+        return reached
+    if isinstance(query, ast.Filtered):
+        selected = _eval(query.path, nodes)
+        return {node for node in selected if holds(query.predicate, node)}
+    raise TypeError(f"unknown path node {query!r}")

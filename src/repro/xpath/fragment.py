@@ -1,0 +1,44 @@
+"""Fragment analysis: ``X`` (XPath) vs. ``Xreg`` (regular XPath).
+
+Section 2.1: ``X`` is obtained from ``Xreg`` by replacing the general Kleene
+star ``Q*`` with the descendant-or-self axis ``//``.  Membership is purely
+syntactic on our ASTs: a query is in ``X`` iff it contains no ``Star`` node
+(``DescOrSelf`` is allowed), and in ``Xreg`` always (``//`` desugars to
+``Star(Wildcard)``).
+"""
+
+from __future__ import annotations
+
+from ..errors import FragmentError
+from . import ast
+from .normalize import desugar, desugar_filter
+
+X_FRAGMENT = "X"
+XREG_FRAGMENT = "Xreg"
+
+
+def in_x_fragment(node: ast.Path | ast.Filter) -> bool:
+    """Whether the expression lies in the XPath fragment ``X``."""
+    return not ast.contains_star(node)
+
+
+def classify(node: ast.Path | ast.Filter) -> str:
+    """Return ``"X"`` or ``"Xreg"`` for the smallest containing fragment."""
+    return X_FRAGMENT if in_x_fragment(node) else XREG_FRAGMENT
+
+
+def to_xreg(node: ast.Path) -> ast.Path:
+    """Desugar to pure ``Xreg`` (no ``//`` nodes remain)."""
+    return desugar(node)
+
+
+def to_xreg_filter(node: ast.Filter) -> ast.Filter:
+    """Filter version of :func:`to_xreg`."""
+    return desugar_filter(node)
+
+
+def require_x(node: ast.Path) -> ast.Path:
+    """Assert membership in ``X``; raise :class:`FragmentError` otherwise."""
+    if not in_x_fragment(node):
+        raise FragmentError("query uses Kleene star, not in the XPath fragment X")
+    return node

@@ -1,0 +1,112 @@
+"""Tokenizer for the (regular) XPath surface syntax.
+
+The concrete syntax accepted by :mod:`repro.xpath.parser`::
+
+    (patient/parent)*/patient[(parent/patient)*/record/diagnosis/text() = 'heart disease']
+    department/patient[visit/treatment/medication/diagnosis/text() = 'heart disease']
+    patient[* // record/diagnosis/text() = 'heart disease']
+    a/b | c/d
+    .[not(x) and (y or z)]
+
+Notes on the two roles of ``*``: where a *step* is expected it is the
+wildcard; where it follows a complete sub-expression it is the Kleene star.
+The parser makes that call; the lexer just emits ``STAR``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import QuerySyntaxError
+
+# Token kinds
+NAME = "NAME"
+SLASH = "SLASH"  # /
+DSLASH = "DSLASH"  # //
+STAR = "STAR"  # *
+UNION = "UNION"  # |
+LPAREN = "LPAREN"
+RPAREN = "RPAREN"
+LBRACKET = "LBRACKET"
+RBRACKET = "RBRACKET"
+DOT = "DOT"  # . (the empty path ε)
+TEXTFN = "TEXTFN"  # text()
+EQ = "EQ"  # =
+STRING = "STRING"  # '...' or "..."
+NOT = "NOT"
+AND = "AND"
+OR = "OR"
+EOF = "EOF"
+
+_KEYWORDS = {"not": NOT, "and": AND, "or": OR}
+
+_SINGLE = {
+    "*": STAR,
+    "|": UNION,
+    "(": LPAREN,
+    ")": RPAREN,
+    "[": LBRACKET,
+    "]": RBRACKET,
+    ".": DOT,
+    "=": EQ,
+}
+
+
+@dataclass(frozen=True)
+class Token:
+    """One lexical token with its source position (for error messages)."""
+
+    kind: str
+    value: str
+    pos: int
+
+
+def tokenize(source: str) -> list[Token]:
+    """Tokenize ``source``; raises :class:`QuerySyntaxError` on bad input."""
+    tokens: list[Token] = []
+    i = 0
+    n = len(source)
+    while i < n:
+        ch = source[i]
+        if ch.isspace():
+            i += 1
+            continue
+        if ch == "/":
+            if i + 1 < n and source[i + 1] == "/":
+                tokens.append(Token(DSLASH, "//", i))
+                i += 2
+            else:
+                tokens.append(Token(SLASH, "/", i))
+                i += 1
+            continue
+        if ch in _SINGLE:
+            tokens.append(Token(_SINGLE[ch], ch, i))
+            i += 1
+            continue
+        if ch in ("'", '"'):
+            end = source.find(ch, i + 1)
+            if end < 0:
+                raise QuerySyntaxError(f"unterminated string at position {i}")
+            tokens.append(Token(STRING, source[i + 1 : end], i))
+            i = end + 1
+            continue
+        if ch.isalpha() or ch == "_" or ch == "#":
+            j = i + 1
+            while j < n and (source[j].isalnum() or source[j] in "_-.#"):
+                # '.' inside names would swallow the ε token; names in our
+                # DTDs never contain '.', so stop names at '.' boundaries.
+                if source[j] == ".":
+                    break
+                j += 1
+            word = source[i:j]
+            if word == "text" and source[j : j + 2] == "()":
+                tokens.append(Token(TEXTFN, "text()", i))
+                i = j + 2
+                continue
+            kind = _KEYWORDS.get(word, NAME)
+            tokens.append(Token(kind, word, i))
+            i = j
+            continue
+        raise QuerySyntaxError(f"unexpected character {ch!r} at position {i}")
+    tokens.append(Token(EOF, "", n))
+    return tokens

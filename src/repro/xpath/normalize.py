@@ -1,0 +1,216 @@
+"""AST normalisation: desugaring, simplification, canonical association.
+
+Three jobs:
+
+* :func:`desugar` turns the ``X``-fragment surface form ``//`` into the
+  ``Xreg`` form ``Star(Wildcard)`` (``//`` ≡ ``(⋃Ele)*``, Section 2.1).
+* :func:`simplify` applies local semantics-preserving rewrites, notably the
+  star normalisations ``(ε)* → ε``, ``(p*)* → p*`` and
+  ``(ε ∪ p)* → p*`` that keep compiled-automaton cycles label-consuming.
+* :func:`canonical` re-associates ``/`` and ``|`` chains to the left, giving
+  a canonical shape for parser round-trip tests.
+"""
+
+from __future__ import annotations
+
+from . import ast
+
+
+# ----------------------------------------------------------------------
+# Desugaring
+# ----------------------------------------------------------------------
+def desugar(node: ast.Path) -> ast.Path:
+    """Replace every ``//`` with ``Star(Wildcard)`` (path form)."""
+    return _map_paths(node, _desugar_one)
+
+
+def desugar_filter(node: ast.Filter) -> ast.Filter:
+    """Replace every ``//`` with ``Star(Wildcard)`` (filter form)."""
+    return _map_filter_paths(node, _desugar_one)
+
+
+def _desugar_one(node: ast.Path) -> ast.Path:
+    if isinstance(node, ast.DescOrSelf):
+        return ast.Star(ast.Wildcard())
+    return node
+
+
+# ----------------------------------------------------------------------
+# Nullability — whether ε ∈ L(Q) (the path can stay on the context node)
+# ----------------------------------------------------------------------
+def nullable(node: ast.Path) -> bool:
+    """Whether the path may select the context node itself.
+
+    ``Filtered`` paths count as nullable when their path part is — the
+    filter may still reject the context node, so this is a sound
+    over-approximation for the uses below (cycle analysis).
+    """
+    if isinstance(node, ast.Empty):
+        return True
+    if isinstance(node, (ast.Label, ast.Wildcard)):
+        return False
+    if isinstance(node, ast.DescOrSelf):
+        return True
+    if isinstance(node, ast.Star):
+        return True
+    if isinstance(node, ast.Concat):
+        return nullable(node.left) and nullable(node.right)
+    if isinstance(node, ast.Union):
+        return nullable(node.left) or nullable(node.right)
+    if isinstance(node, ast.Filtered):
+        return nullable(node.path)
+    raise TypeError(f"unknown path node {node!r}")
+
+
+# ----------------------------------------------------------------------
+# Simplification
+# ----------------------------------------------------------------------
+def simplify(node: ast.Path) -> ast.Path:
+    """Bottom-up local simplification (semantics preserving)."""
+    if isinstance(node, ast.Concat):
+        left = simplify(node.left)
+        right = simplify(node.right)
+        if isinstance(left, ast.Empty):
+            return right
+        if isinstance(right, ast.Empty):
+            return left
+        return ast.Concat(left, right)
+    if isinstance(node, ast.Union):
+        left = simplify(node.left)
+        right = simplify(node.right)
+        if left == right:
+            return left
+        return ast.Union(left, right)
+    if isinstance(node, ast.Star):
+        inner = simplify(node.inner)
+        if isinstance(inner, ast.Empty):
+            return ast.Empty()
+        if isinstance(inner, ast.Star):
+            return inner
+        # (ε ∪ p)* = p* — stars absorb the ε alternative.
+        if isinstance(inner, ast.Union):
+            stripped = _strip_empty_alternatives(inner)
+            if stripped is None:
+                return ast.Empty()
+            inner = stripped
+            if isinstance(inner, ast.Star):
+                return inner
+        return ast.Star(inner)
+    if isinstance(node, ast.Filtered):
+        return ast.Filtered(simplify(node.path), simplify_filter(node.predicate))
+    return node
+
+
+def simplify_filter(node: ast.Filter) -> ast.Filter:
+    """Bottom-up simplification of filters (paths inside get simplified)."""
+    if isinstance(node, ast.Exists):
+        return ast.Exists(simplify(node.path))
+    if isinstance(node, ast.TextEquals):
+        return ast.TextEquals(simplify(node.path), node.value)
+    if isinstance(node, ast.Not):
+        inner = simplify_filter(node.inner)
+        if isinstance(inner, ast.Not):
+            return inner.inner
+        return ast.Not(inner)
+    if isinstance(node, ast.And):
+        left = simplify_filter(node.left)
+        right = simplify_filter(node.right)
+        if left == right:
+            return left
+        return ast.And(left, right)
+    if isinstance(node, ast.Or):
+        left = simplify_filter(node.left)
+        right = simplify_filter(node.right)
+        if left == right:
+            return left
+        return ast.Or(left, right)
+    raise TypeError(f"unknown filter node {node!r}")
+
+
+def _strip_empty_alternatives(node: ast.Path) -> ast.Path | None:
+    """Remove ``ε`` alternatives from a union tree; ``None`` if all were ε."""
+    if isinstance(node, ast.Empty):
+        return None
+    if isinstance(node, ast.Union):
+        left = _strip_empty_alternatives(node.left)
+        right = _strip_empty_alternatives(node.right)
+        if left is None:
+            return right
+        if right is None:
+            return left
+        return ast.Union(left, right)
+    return node
+
+
+# ----------------------------------------------------------------------
+# Canonical association (for round-trip testing)
+# ----------------------------------------------------------------------
+def canonical(node: ast.Path) -> ast.Path:
+    """Left-associate all ``/`` and ``|`` chains, recursively."""
+    return _map_paths(node, _reassoc)
+
+
+def canonical_filter(node: ast.Filter) -> ast.Filter:
+    """Filter version of :func:`canonical`."""
+    return _map_filter_paths(node, _reassoc)
+
+
+def _reassoc(node: ast.Path) -> ast.Path:
+    if isinstance(node, ast.Concat):
+        items: list[ast.Path] = []
+        _flatten(node, ast.Concat, items)
+        result = items[0]
+        for item in items[1:]:
+            result = ast.Concat(result, item)
+        return result
+    if isinstance(node, ast.Union):
+        items = []
+        _flatten(node, ast.Union, items)
+        result = items[0]
+        for item in items[1:]:
+            result = ast.Union(result, item)
+        return result
+    return node
+
+
+def _flatten(node: ast.Path, kind: type, out: list[ast.Path]) -> None:
+    if isinstance(node, kind):
+        _flatten(node.left, kind, out)  # type: ignore[attr-defined]
+        _flatten(node.right, kind, out)  # type: ignore[attr-defined]
+    else:
+        out.append(node)
+
+
+# ----------------------------------------------------------------------
+# Generic bottom-up mapping
+# ----------------------------------------------------------------------
+def _map_paths(node: ast.Path, fn) -> ast.Path:
+    if isinstance(node, ast.Concat):
+        node = ast.Concat(_map_paths(node.left, fn), _map_paths(node.right, fn))
+    elif isinstance(node, ast.Union):
+        node = ast.Union(_map_paths(node.left, fn), _map_paths(node.right, fn))
+    elif isinstance(node, ast.Star):
+        node = ast.Star(_map_paths(node.inner, fn))
+    elif isinstance(node, ast.Filtered):
+        node = ast.Filtered(
+            _map_paths(node.path, fn), _map_filter_paths(node.predicate, fn)
+        )
+    return fn(node)
+
+
+def _map_filter_paths(node: ast.Filter, fn) -> ast.Filter:
+    if isinstance(node, ast.Exists):
+        return ast.Exists(_map_paths(node.path, fn))
+    if isinstance(node, ast.TextEquals):
+        return ast.TextEquals(_map_paths(node.path, fn), node.value)
+    if isinstance(node, ast.Not):
+        return ast.Not(_map_filter_paths(node.inner, fn))
+    if isinstance(node, ast.And):
+        return ast.And(
+            _map_filter_paths(node.left, fn), _map_filter_paths(node.right, fn)
+        )
+    if isinstance(node, ast.Or):
+        return ast.Or(
+            _map_filter_paths(node.left, fn), _map_filter_paths(node.right, fn)
+        )
+    raise TypeError(f"unknown filter node {node!r}")

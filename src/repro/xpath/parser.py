@@ -1,0 +1,225 @@
+"""Recursive-descent parser for (regular) XPath queries.
+
+Grammar (concrete syntax for Section 2.1)::
+
+    query      := union EOF
+    union      := concat ('|' concat)*
+    concat     := ['//'] postfix (('/' | '//') postfix)* ['//']
+    postfix    := primary ('*' | '[' filter ']')*
+    primary    := '(' union ')' | NAME | '*' | '.'
+    filter     := orexpr
+    orexpr     := andexpr ('or' andexpr)*
+    andexpr    := funary ('and' funary)*
+    funary     := 'not' '(' filter ')' | '(' filter ')' | pathpred
+    pathpred   := 'text()' '=' STRING
+                | union ['/' 'text()' '=' STRING]
+
+``*`` is the wildcard where a step is expected and the Kleene star after a
+complete sub-expression.  A parenthesised group inside a filter is resolved
+by backtracking: it is first parsed as a path and re-parsed as a Boolean
+group if that fails (paths cannot contain ``and``/``or``/``not``).
+"""
+
+from __future__ import annotations
+
+from ..errors import QueryParseError
+from . import ast
+from .lexer import (
+    AND,
+    DOT,
+    DSLASH,
+    EOF,
+    EQ,
+    LBRACKET,
+    LPAREN,
+    NAME,
+    NOT,
+    OR,
+    RBRACKET,
+    RPAREN,
+    SLASH,
+    STAR,
+    STRING,
+    TEXTFN,
+    Token,
+    UNION,
+    tokenize,
+)
+
+_STEP_STARTERS = {NAME, STAR, DOT, LPAREN}
+
+
+class _Parser:
+    def __init__(self, tokens: list[Token]) -> None:
+        self.tokens = tokens
+        self.pos = 0
+
+    # -- token plumbing -------------------------------------------------
+    def peek(self, offset: int = 0) -> Token:
+        return self.tokens[min(self.pos + offset, len(self.tokens) - 1)]
+
+    def advance(self) -> Token:
+        token = self.tokens[self.pos]
+        if token.kind != EOF:
+            self.pos += 1
+        return token
+
+    def expect(self, kind: str) -> Token:
+        token = self.peek()
+        if token.kind != kind:
+            raise QueryParseError(
+                f"expected {kind} at position {token.pos}, found "
+                f"{token.kind}({token.value!r})"
+            )
+        return self.advance()
+
+    def error(self, message: str) -> QueryParseError:
+        token = self.peek()
+        return QueryParseError(f"{message} at position {token.pos} "
+                               f"(near {token.kind}({token.value!r}))")
+
+    # -- path expressions ------------------------------------------------
+    def union(self, in_filter: bool) -> ast.Path:
+        result = self.concat(in_filter)
+        while self.peek().kind == UNION:
+            self.advance()
+            result = ast.Union(result, self.concat(in_filter))
+        return result
+
+    def concat(self, in_filter: bool) -> ast.Path:
+        result: ast.Path
+        if self.peek().kind == DSLASH:
+            self.advance()
+            result = ast.DescOrSelf()
+            if self.peek().kind in _STEP_STARTERS:
+                result = ast.Concat(result, self.postfix(in_filter))
+        else:
+            result = self.postfix(in_filter)
+        while True:
+            kind = self.peek().kind
+            if kind == SLASH:
+                # Inside filters a trailing '/text() = c' belongs to the
+                # enclosing predicate, not to the path.
+                if in_filter and self.peek(1).kind == TEXTFN:
+                    break
+                self.advance()
+                result = ast.Concat(result, self.postfix(in_filter))
+            elif kind == DSLASH:
+                self.advance()
+                result = ast.Concat(result, ast.DescOrSelf())
+                if self.peek().kind in _STEP_STARTERS:
+                    result = ast.Concat(result, self.postfix(in_filter))
+                # otherwise keep looping: '////' chains further '//' steps.
+            else:
+                break
+        return result
+
+    def postfix(self, in_filter: bool) -> ast.Path:
+        result = self.primary(in_filter)
+        while True:
+            kind = self.peek().kind
+            if kind == STAR:
+                self.advance()
+                result = ast.Star(result)
+            elif kind == LBRACKET:
+                self.advance()
+                predicate = self.filter_expr()
+                self.expect(RBRACKET)
+                result = ast.Filtered(result, predicate)
+            else:
+                return result
+
+    def primary(self, in_filter: bool) -> ast.Path:
+        token = self.peek()
+        if token.kind == NAME:
+            self.advance()
+            return ast.Label(token.value)
+        if token.kind == STAR:
+            self.advance()
+            return ast.Wildcard()
+        if token.kind == DOT:
+            self.advance()
+            return ast.Empty()
+        if token.kind == LPAREN:
+            self.advance()
+            inner = self.union(in_filter)
+            self.expect(RPAREN)
+            return inner
+        raise self.error("expected a path step")
+
+    # -- filter expressions ----------------------------------------------
+    def filter_expr(self) -> ast.Filter:
+        return self.or_expr()
+
+    def or_expr(self) -> ast.Filter:
+        result = self.and_expr()
+        while self.peek().kind == OR:
+            self.advance()
+            result = ast.Or(result, self.and_expr())
+        return result
+
+    def and_expr(self) -> ast.Filter:
+        result = self.funary()
+        while self.peek().kind == AND:
+            self.advance()
+            result = ast.And(result, self.funary())
+        return result
+
+    def funary(self) -> ast.Filter:
+        token = self.peek()
+        if token.kind == NOT:
+            self.advance()
+            self.expect(LPAREN)
+            inner = self.filter_expr()
+            self.expect(RPAREN)
+            return ast.Not(inner)
+        if token.kind == LPAREN:
+            # Ambiguous: '(path)/...' vs. '(boolean group)'.  Try the path
+            # reading first; on failure, backtrack to the Boolean reading.
+            saved = self.pos
+            try:
+                return self.path_pred()
+            except QueryParseError:
+                self.pos = saved
+            self.advance()  # '('
+            inner = self.filter_expr()
+            self.expect(RPAREN)
+            return inner
+        return self.path_pred()
+
+    def path_pred(self) -> ast.Filter:
+        if self.peek().kind == TEXTFN:
+            self.advance()
+            self.expect(EQ)
+            value = self.expect(STRING)
+            return ast.TextEquals(ast.Empty(), value.value)
+        path = self.union(in_filter=True)
+        if self.peek().kind == SLASH and self.peek(1).kind == TEXTFN:
+            self.advance()
+            self.advance()
+            self.expect(EQ)
+            value = self.expect(STRING)
+            return ast.TextEquals(path, value.value)
+        return ast.Exists(path)
+
+
+def parse_query(source: str) -> ast.Path:
+    """Parse a (regular) XPath query string into a :class:`~repro.xpath.ast.Path`.
+
+    Raises:
+        QueryParseError: on syntax errors, with the offending position.
+    """
+    parser = _Parser(tokenize(source))
+    result = parser.union(in_filter=False)
+    if parser.peek().kind != EOF:
+        raise parser.error("trailing input after query")
+    return result
+
+
+def parse_filter(source: str) -> ast.Filter:
+    """Parse a filter expression string (the ``q`` production)."""
+    parser = _Parser(tokenize(source))
+    result = parser.filter_expr()
+    if parser.peek().kind != EOF:
+        raise parser.error("trailing input after filter")
+    return result

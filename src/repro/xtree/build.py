@@ -1,0 +1,41 @@
+"""Fluent helpers for constructing XML trees in code.
+
+Used heavily by tests and examples::
+
+    tree = document(
+        element("hospital",
+            element("patient",
+                element("pname", text_node("Alice")),
+            ),
+        )
+    )
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+from .node import Node, TEXT_LABEL, XMLTree
+
+Child = Union[Node, str]
+
+
+def element(label: str, *children: Child) -> Node:
+    """Create an element node; ``str`` children become text nodes."""
+    node = Node(label)
+    for child in children:
+        if isinstance(child, str):
+            node.append(Node(TEXT_LABEL, child))
+        else:
+            node.append(child)
+    return node
+
+
+def text_node(value: str) -> Node:
+    """Create a text (PCDATA) node."""
+    return Node(TEXT_LABEL, value)
+
+
+def document(root: Node) -> XMLTree:
+    """Index ``root`` into a frozen :class:`~repro.xtree.node.XMLTree`."""
+    return XMLTree(root)

@@ -1,0 +1,188 @@
+"""Ordered-tree node model used by every algorithm in this library.
+
+The paper (Section 2) works over ordered node-labelled trees where element
+nodes carry a tag and leaves may be text (PCDATA) nodes.  We model both with
+a single :class:`Node` class: text nodes use the pseudo-label ``#text`` and
+carry a string ``value``; element nodes have a real label and ``value`` is
+``None``.
+
+Trees are built once (via :mod:`repro.xtree.build` or the XML parser) and
+then *frozen*: :func:`index_tree` assigns ids, parents, depth and document
+order, after which algorithms treat the tree as immutable.  This mirrors the
+read-only document trees SMOQE evaluates over.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional
+
+#: Pseudo-label used for text (PCDATA) nodes.
+TEXT_LABEL = "#text"
+
+
+class Node:
+    """A node of an ordered XML tree.
+
+    Attributes:
+        label: Element tag, or :data:`TEXT_LABEL` for text nodes.
+        value: Text content for text nodes, ``None`` for elements.
+        children: Ordered list of child nodes.
+        parent: Parent node, ``None`` for the root (set by :func:`index_tree`).
+        node_id: Document-order integer id (set by :func:`index_tree`).
+        depth: Root depth 0 (set by :func:`index_tree`).
+    """
+
+    __slots__ = ("label", "value", "children", "parent", "node_id", "depth")
+
+    def __init__(self, label: str, value: Optional[str] = None) -> None:
+        self.label = label
+        self.value = value
+        self.children: list[Node] = []
+        self.parent: Optional[Node] = None
+        self.node_id: int = -1
+        self.depth: int = 0
+
+    # ------------------------------------------------------------------
+    # Introspection helpers
+    # ------------------------------------------------------------------
+    @property
+    def is_text(self) -> bool:
+        """Whether this is a text (PCDATA) node."""
+        return self.label == TEXT_LABEL
+
+    @property
+    def is_element(self) -> bool:
+        """Whether this is an element node."""
+        return self.label != TEXT_LABEL
+
+    def text(self) -> str:
+        """Concatenated value of this node's text-node children.
+
+        For a text node, its own value.  This implements the ``text()``
+        accessor of the query language: ``Q/text() = 'c'`` compares against
+        ``node.text()`` of the nodes selected by ``Q``.
+        """
+        if self.is_text:
+            return self.value or ""
+        return "".join(c.value or "" for c in self.children if c.is_text)
+
+    def element_children(self) -> list["Node"]:
+        """Child element nodes, in document order (text children skipped)."""
+        return [c for c in self.children if c.is_element]
+
+    def child_elements(self, label: str) -> list["Node"]:
+        """Child element nodes carrying ``label``, in document order."""
+        return [c for c in self.children if c.label == label]
+
+    # ------------------------------------------------------------------
+    # Traversal
+    # ------------------------------------------------------------------
+    def iter_subtree(self) -> Iterator["Node"]:
+        """Yield this node and all descendants in document (pre-) order."""
+        stack = [self]
+        while stack:
+            node = stack.pop()
+            yield node
+            stack.extend(reversed(node.children))
+
+    def iter_descendants(self) -> Iterator["Node"]:
+        """Yield all proper descendants in document order."""
+        it = self.iter_subtree()
+        next(it)  # skip self
+        yield from it
+
+    def iter_ancestors(self) -> Iterator["Node"]:
+        """Yield proper ancestors, nearest first (requires an indexed tree)."""
+        node = self.parent
+        while node is not None:
+            yield node
+            node = node.parent
+
+    # ------------------------------------------------------------------
+    # Mutation (only valid before the tree is indexed/frozen)
+    # ------------------------------------------------------------------
+    def append(self, child: "Node") -> "Node":
+        """Append ``child`` and return it (for fluent tree building)."""
+        self.children.append(child)
+        return child
+
+    def extend(self, children: list["Node"]) -> None:
+        """Append all ``children`` in order."""
+        self.children.extend(children)
+
+    # ------------------------------------------------------------------
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        if self.is_text:
+            return f"Node(#text={self.value!r}, id={self.node_id})"
+        return f"Node({self.label}, id={self.node_id}, kids={len(self.children)})"
+
+
+class XMLTree:
+    """An indexed XML document tree.
+
+    Wraps the root :class:`Node` together with document-wide metadata the
+    algorithms need: the node count, the set of element labels, and a
+    document-order list of nodes (``nodes[i].node_id == i``).
+    """
+
+    __slots__ = ("root", "nodes", "labels")
+
+    def __init__(self, root: Node) -> None:
+        self.root = root
+        self.nodes: list[Node] = []
+        self.labels: set[str] = set()
+        index_tree(root, self)
+
+    # ------------------------------------------------------------------
+    @property
+    def size(self) -> int:
+        """Total number of nodes (elements and text nodes)."""
+        return len(self.nodes)
+
+    @property
+    def element_count(self) -> int:
+        """Number of element nodes."""
+        return sum(1 for n in self.nodes if n.is_element)
+
+    @property
+    def text_count(self) -> int:
+        """Number of text nodes."""
+        return sum(1 for n in self.nodes if n.is_text)
+
+    def node(self, node_id: int) -> Node:
+        """Return the node with the given document-order id."""
+        return self.nodes[node_id]
+
+    def depth(self) -> int:
+        """Maximal node depth (root is depth 0)."""
+        if not self.nodes:
+            return 0
+        return max(n.depth for n in self.nodes)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"XMLTree(root={self.root.label}, size={self.size})"
+
+
+def index_tree(root: Node, tree: Optional[XMLTree] = None) -> None:
+    """Assign ``node_id``, ``parent`` and ``depth`` in document order.
+
+    Re-entrant: calling it again after structural edits re-freezes the tree.
+    When ``tree`` is given its ``nodes``/``labels`` caches are (re)built.
+    """
+    if tree is not None:
+        tree.nodes.clear()
+        tree.labels.clear()
+    counter = 0
+    stack: list[tuple[Node, Optional[Node], int]] = [(root, None, 0)]
+    while stack:
+        node, parent, depth = stack.pop()
+        node.parent = parent
+        node.depth = depth
+        node.node_id = counter
+        counter += 1
+        if tree is not None:
+            tree.nodes.append(node)
+            if node.is_element:
+                tree.labels.add(node.label)
+        for child in reversed(node.children):
+            stack.append((child, node, depth + 1))

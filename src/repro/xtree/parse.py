@@ -1,0 +1,90 @@
+"""A small, dependency-free XML parser for the fragment this library needs.
+
+The documents in the paper (hospital records, views of them) are plain
+element/PCDATA trees.  We parse exactly that: elements, nested elements,
+text content, self-closing tags, comments, processing instructions and an
+optional XML declaration.  Attributes are parsed and *discarded* (the data
+model of Section 2 has no attributes); entities ``&amp; &lt; &gt; &quot;
+&apos;`` are decoded.
+
+This is intentionally not a general-purpose XML parser — it is the substrate
+the paper's algorithms run on, kept simple and predictable.
+"""
+
+from __future__ import annotations
+
+import re
+
+from ..errors import XMLParseError
+from .node import Node, TEXT_LABEL, XMLTree
+
+_TOKEN = re.compile(r"<[^>]*>|[^<]+")
+_NAME = re.compile(r"[A-Za-z_][\w.\-]*")
+
+_ENTITIES = {
+    "&amp;": "&",
+    "&lt;": "<",
+    "&gt;": ">",
+    "&quot;": '"',
+    "&apos;": "'",
+}
+
+
+def _decode_entities(text: str) -> str:
+    if "&" not in text:
+        return text
+    for entity, char in _ENTITIES.items():
+        text = text.replace(entity, char)
+    return text
+
+
+def parse_xml(source: str) -> XMLTree:
+    """Parse an XML string into an indexed :class:`XMLTree`.
+
+    Raises:
+        XMLParseError: on mismatched tags, missing root, trailing content.
+    """
+    root: Node | None = None
+    stack: list[Node] = []
+    for match in _TOKEN.finditer(source):
+        token = match.group(0)
+        if token.startswith("<"):
+            if token.startswith("<?") or token.startswith("<!"):
+                continue  # declaration, PI, comment, doctype
+            if token.startswith("</"):
+                name = token[2:-1].strip()
+                if not stack:
+                    raise XMLParseError(f"unmatched closing tag </{name}>")
+                open_node = stack.pop()
+                if open_node.label != name:
+                    raise XMLParseError(
+                        f"mismatched tags: <{open_node.label}> closed by </{name}>"
+                    )
+                continue
+            self_closing = token.endswith("/>")
+            body = token[1:-2] if self_closing else token[1:-1]
+            name_match = _NAME.match(body.strip())
+            if name_match is None:
+                raise XMLParseError(f"malformed tag {token!r}")
+            node = Node(name_match.group(0))
+            if stack:
+                stack[-1].append(node)
+            elif root is None:
+                root = node
+            else:
+                raise XMLParseError("multiple root elements")
+            if not self_closing:
+                stack.append(node)
+        else:
+            text = _decode_entities(token)
+            if not stack:
+                if text.strip():
+                    raise XMLParseError("text content outside the root element")
+                continue
+            if text.strip():
+                stack[-1].append(Node(TEXT_LABEL, text.strip()))
+    if stack:
+        raise XMLParseError(f"unclosed element <{stack[-1].label}>")
+    if root is None:
+        raise XMLParseError("no root element found")
+    return XMLTree(root)

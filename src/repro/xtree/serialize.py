@@ -1,0 +1,50 @@
+"""Serialise XML trees back to text.
+
+Round-trips with :mod:`repro.xtree.parse` (modulo insignificant whitespace):
+``parse_xml(serialize(tree))`` reproduces the same labelled tree.
+"""
+
+from __future__ import annotations
+
+from .node import Node, XMLTree
+
+
+def _escape(text: str) -> str:
+    return (
+        text.replace("&", "&amp;")
+        .replace("<", "&lt;")
+        .replace(">", "&gt;")
+    )
+
+
+def serialize(tree: XMLTree | Node, indent: int | None = None) -> str:
+    """Serialise a tree (or subtree root) to an XML string.
+
+    Args:
+        tree: An :class:`XMLTree` or a bare :class:`Node` subtree root.
+        indent: If given, pretty-print with this many spaces per level.
+    """
+    root = tree.root if isinstance(tree, XMLTree) else tree
+    parts: list[str] = []
+    _write(root, parts, indent, 0)
+    joiner = "\n" if indent is not None else ""
+    return joiner.join(parts)
+
+
+def _write(node: Node, parts: list[str], indent: int | None, level: int) -> None:
+    pad = " " * (indent * level) if indent is not None else ""
+    if node.is_text:
+        parts.append(pad + _escape(node.value or ""))
+        return
+    if not node.children:
+        parts.append(f"{pad}<{node.label}/>")
+        return
+    only_text = all(c.is_text for c in node.children)
+    if only_text:
+        content = _escape("".join(c.value or "" for c in node.children))
+        parts.append(f"{pad}<{node.label}>{content}</{node.label}>")
+        return
+    parts.append(f"{pad}<{node.label}>")
+    for child in node.children:
+        _write(child, parts, indent, level + 1)
+    parts.append(f"{pad}</{node.label}>")

@@ -1,0 +1,62 @@
+"""Document statistics used by the experiment harness.
+
+Section 7 of the paper reports documents by size, element/text node counts
+and maximal depth ("The maximal depth of the trees is 13").  This module
+computes the same quantities for our generated documents so EXPERIMENTS.md
+can report comparable workload descriptions.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+
+from .node import XMLTree
+
+
+@dataclass
+class TreeStats:
+    """Summary statistics of one document tree."""
+
+    total_nodes: int
+    element_nodes: int
+    text_nodes: int
+    max_depth: int
+    label_counts: Counter = field(default_factory=Counter)
+    approx_bytes: int = 0
+
+    def describe(self) -> str:
+        """One-line human-readable description."""
+        return (
+            f"{self.total_nodes} nodes ({self.element_nodes} elements, "
+            f"{self.text_nodes} text), depth {self.max_depth}, "
+            f"~{self.approx_bytes / 1_000_000:.2f} MB serialised"
+        )
+
+
+def tree_stats(tree: XMLTree) -> TreeStats:
+    """Compute :class:`TreeStats` for ``tree`` in one pass."""
+    label_counts: Counter = Counter()
+    elements = 0
+    texts = 0
+    max_depth = 0
+    approx_bytes = 0
+    for node in tree.nodes:
+        if node.depth > max_depth:
+            max_depth = node.depth
+        if node.is_text:
+            texts += 1
+            approx_bytes += len(node.value or "")
+        else:
+            elements += 1
+            label_counts[node.label] += 1
+            # "<label>" + "</label>" serialisation cost approximation
+            approx_bytes += 2 * len(node.label) + 5
+    return TreeStats(
+        total_nodes=len(tree.nodes),
+        element_nodes=elements,
+        text_nodes=texts,
+        max_depth=max_depth,
+        label_counts=label_counts,
+        approx_bytes=approx_bytes,
+    )

@@ -1,0 +1,92 @@
+"""Shared fixtures: documents, views, and the paper's running examples."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.dtd import hospital_dtd, hospital_view_dtd
+from repro.engine import SMOQE
+from repro.views import materialize, sigma0
+from repro.workloads import HospitalConfig, generate_hospital_document
+from repro.xtree import parse_xml
+
+
+@pytest.fixture(scope="session")
+def hospital_doc():
+    """A small deterministic hospital document (Fig. 1(a) DTD)."""
+    return generate_hospital_document(HospitalConfig(num_patients=30, seed=11))
+
+
+@pytest.fixture(scope="session")
+def big_hospital_doc():
+    """A medium hospital document for integration-level checks."""
+    return generate_hospital_document(HospitalConfig(num_patients=120, seed=7))
+
+
+@pytest.fixture(scope="session")
+def sigma0_spec():
+    """The paper's security view σ0 (Fig. 1(c))."""
+    return sigma0()
+
+
+@pytest.fixture(scope="session")
+def research_view(sigma0_spec, hospital_doc):
+    """σ0 materialised over the small hospital document."""
+    return materialize(sigma0_spec, hospital_doc)
+
+
+@pytest.fixture(scope="session")
+def doc_dtd():
+    return hospital_dtd()
+
+
+@pytest.fixture(scope="session")
+def view_dtd():
+    return hospital_view_dtd()
+
+
+@pytest.fixture()
+def engine(hospital_doc, sigma0_spec):
+    """A fresh SMOQE engine with the research view registered."""
+    smoqe = SMOQE(hospital_doc)
+    smoqe.register_view("research", sigma0_spec)
+    return smoqe
+
+
+#: A hand-built document shaped like the tree of Fig. 4 (view-DTD shaped).
+FIG4_XML = """
+<hospital>
+  <patient>
+    <parent>
+      <patient>
+        <parent>
+          <patient>
+            <record><diagnosis>asthma</diagnosis></record>
+          </patient>
+        </parent>
+        <record><diagnosis>lung disease</diagnosis></record>
+      </patient>
+    </parent>
+    <record><diagnosis>brain disease</diagnosis></record>
+  </patient>
+  <patient>
+    <parent>
+      <patient>
+        <record><diagnosis>heart disease</diagnosis></record>
+      </patient>
+    </parent>
+    <record><diagnosis>lung disease</diagnosis></record>
+  </patient>
+</hospital>
+"""
+
+
+@pytest.fixture(scope="session")
+def fig4_tree():
+    """The conceptual-evaluation example tree of Fig. 4."""
+    return parse_xml(FIG4_XML)
+
+
+def ids(nodes) -> set[int]:
+    """Node set -> sorted-comparable id set (import from tests)."""
+    return {node.node_id for node in nodes}

@@ -1,0 +1,118 @@
+"""Compilation tests: ``Xreg`` → MFA (Theorem 4.1 direction)."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.automata import MFA, compile_filter, compile_query, conceptual_eval
+from repro.xpath import evaluate, holds, parse_filter, parse_query
+from repro.xtree import parse_xml
+
+from .strategies import paths, trees
+
+TREE = parse_xml(
+    """
+    <r>
+      <a><b>x</b><c><b>y</b></c></a>
+      <a><b>y</b></a>
+      <d><a><b>x</b></a></d>
+    </r>
+    """
+)
+
+QUERIES = [
+    ".",
+    "a",
+    "*",
+    "a/b",
+    "a | d",
+    "//b",
+    "(a)*",
+    "a*",
+    "(a | b)*",
+    "a[b]",
+    "a[b/text() = 'y']",
+    "a[not(c)]",
+    "a[b and c]",
+    "a[c or b/text() = 'y']",
+    "a[.//b/text() = 'y']",
+    "a[c[b]]",
+    "d/a[b]/b",
+    "(a/c)*/b",
+    "a[b]*",
+    ".[a]",
+]
+
+
+@pytest.mark.parametrize("source", QUERIES)
+def test_compiled_equals_reference(source):
+    query = parse_query(source)
+    mfa = compile_query(query)
+    expected = {n.node_id for n in evaluate(query, TREE.root)}
+    got = {n.node_id for n in conceptual_eval(mfa, TREE.root)}
+    assert got == expected
+
+
+def test_compile_returns_valid_mfa():
+    mfa = compile_query(parse_query("a[b]/c*"))
+    assert isinstance(mfa, MFA)
+    mfa.validate()
+
+
+def test_size_linear_in_query():
+    sizes = []
+    for depth in range(1, 6):
+        source = "/".join(["a[b]"] * depth)
+        mfa = compile_query(parse_query(source))
+        sizes.append(mfa.size())
+    deltas = [b - a for a, b in zip(sizes, sizes[1:])]
+    # Linear growth: constant increments.
+    assert len(set(deltas)) == 1
+
+
+def test_stats_breakdown():
+    stats = compile_query(parse_query("a[b]")).stats()
+    assert stats["nfa_states"] >= 3
+    assert stats["afa_states"] >= 2
+    assert stats["annotations"] == 1
+    assert stats["total"] == stats["nfa_states"] + stats[
+        "nfa_transitions"
+    ] + stats["afa_size"]
+
+
+def test_filter_gate_is_fresh_state():
+    """Star hubs must not be gated by filters applying only to path ends."""
+    tree = parse_xml("<r><a><a><b/></a></a></r>")
+    query = parse_query("a*[b]/a")
+    expected = {n.node_id for n in evaluate(query, tree.root)}
+    got = {n.node_id for n in conceptual_eval(compile_query(query), tree.root)}
+    assert got == expected
+
+
+def test_nested_filters_single_afa():
+    """Nested filters compile into one flat AFA (Example 5.2)."""
+    mfa = compile_query(parse_query("a[b[c/text() = 'v']]"))
+    # One annotation, all filter structure inside the single pool.
+    assert len(mfa.nfa.ann) == 1
+
+
+def test_compile_filter_standalone():
+    mfa, entry = compile_filter(parse_filter("b and not(c)"))
+    assert entry in mfa.nfa.ann.values()
+    for a_node in evaluate(parse_query("a"), TREE.root):
+        expected = holds(parse_filter("b and not(c)"), a_node)
+        got = bool(conceptual_eval(mfa, a_node))
+        assert got == expected
+
+
+def test_descendant_compiles_to_self_loop():
+    mfa = compile_query(parse_query("//"))
+    got = {n.node_id for n in conceptual_eval(mfa, TREE.root)}
+    assert got == {n.node_id for n in TREE.nodes if n.is_element}
+
+
+@given(trees(), paths())
+@settings(max_examples=80, deadline=None)
+def test_compiled_equals_reference_random(tree, query):
+    expected = {n.node_id for n in evaluate(query, tree.root)}
+    got = {n.node_id for n in conceptual_eval(compile_query(query), tree.root)}
+    assert got == expected

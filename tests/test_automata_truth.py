@@ -1,0 +1,129 @@
+"""AFA truth machinery tests: closure, child relevance, fixpoints, memo."""
+
+from repro.automata import (
+    AFAPool,
+    MemoAFAEvaluator,
+    TextPred,
+    WILDCARD,
+    child_relevant,
+    compile_filter,
+    relevance_closure,
+    resolve_operator_values,
+)
+from repro.xpath import holds, parse_filter, parse_query
+from repro.xpath.evaluator import evaluate
+from repro.xtree import parse_xml
+
+
+def build_pool():
+    pool = AFAPool()
+    final = pool.new_final(None)
+    trans_a = pool.new_trans("a", final)
+    trans_b = pool.new_trans("b", final)
+    orr = pool.new_or([trans_a, trans_b])
+    nott = pool.new_not(orr)
+    andd = pool.new_and([orr, nott])
+    return pool, {"final": final, "ta": trans_a, "tb": trans_b,
+                  "or": orr, "not": nott, "and": andd}
+
+
+class TestClosure:
+    def test_closure_follows_operator_eps(self):
+        pool, ids = build_pool()
+        closed = relevance_closure(pool, [ids["and"]])
+        assert closed == frozenset(ids.values()) - {ids["final"]}
+
+    def test_closure_stops_at_trans(self):
+        pool, ids = build_pool()
+        closed = relevance_closure(pool, [ids["ta"]])
+        assert closed == frozenset({ids["ta"]})
+
+    def test_child_relevant_by_label(self):
+        pool, ids = build_pool()
+        relevant = frozenset({ids["ta"], ids["tb"], ids["or"]})
+        assert child_relevant(pool, relevant, "a") == {ids["final"]}
+        assert child_relevant(pool, relevant, "zz") == set()
+
+    def test_child_relevant_wildcard(self):
+        pool = AFAPool()
+        final = pool.new_final(None)
+        wild = pool.new_trans(WILDCARD, final)
+        assert child_relevant(pool, {wild}, "anything") == {final}
+
+
+class TestResolve:
+    def test_or_and_not(self):
+        pool, ids = build_pool()
+        relevant = relevance_closure(pool, [ids["and"]])
+        values = resolve_operator_values(
+            pool, relevant, lambda s: s == ids["ta"]
+        )
+        assert values[ids["or"]] is True
+        assert values[ids["not"]] is False
+        assert values[ids["and"]] is False
+
+    def test_all_false_leaves(self):
+        pool, ids = build_pool()
+        relevant = relevance_closure(pool, [ids["and"]])
+        values = resolve_operator_values(pool, relevant, lambda s: False)
+        assert values[ids["or"]] is False
+        assert values[ids["not"]] is True
+
+    def test_cyclic_or_least_fixpoint_false(self):
+        pool = AFAPool()
+        a = pool.new_or()
+        b = pool.new_or([a])
+        pool.wire(a, b)
+        values = resolve_operator_values(pool, [a, b], lambda s: False)
+        assert values[a] is False and values[b] is False
+
+    def test_cyclic_or_with_exit(self):
+        pool = AFAPool()
+        final = pool.new_final(None)
+        a = pool.new_or()
+        b = pool.new_or([a, final])
+        pool.wire(a, b)
+        values = resolve_operator_values(
+            pool, relevance_closure(pool, [a]), lambda s: True
+        )
+        assert values[a] is True and values[b] is True
+
+    def test_empty_and_is_true_empty_or_is_false(self):
+        pool = AFAPool()
+        t = pool.new_and([])
+        f = pool.new_or([])
+        values = resolve_operator_values(pool, [t, f], lambda s: False)
+        assert values[t] is True and values[f] is False
+
+
+class TestMemoEvaluator:
+    TREE = parse_xml("<r><a><b>x</b></a><a><c/></a></r>")
+
+    def check(self, filter_text: str):
+        mfa, entry = compile_filter(parse_filter(filter_text))
+        evaluator = MemoAFAEvaluator(mfa.pool)
+        for node in self.TREE.nodes:
+            if node.is_element:
+                assert evaluator.holds(entry, node) == holds(
+                    parse_filter(filter_text), node
+                ), f"{filter_text} at {node.label}#{node.node_id}"
+
+    def test_existence(self):
+        self.check("a/b")
+
+    def test_text(self):
+        self.check("a/b/text() = 'x'")
+
+    def test_boolean(self):
+        self.check("a and not(a/c)")
+
+    def test_star(self):
+        self.check("(a)*/b")
+
+    def test_memo_shares_work(self):
+        mfa, entry = compile_filter(parse_filter(".//b"))
+        evaluator = MemoAFAEvaluator(mfa.pool)
+        evaluator.holds(entry, self.TREE.root)
+        first = evaluator.evaluations
+        evaluator.holds(entry, self.TREE.root)
+        assert evaluator.evaluations == first  # fully memoised

@@ -1,0 +1,135 @@
+"""CLI tests (all subcommands, via main())."""
+
+import pytest
+
+from repro.cli import main, parse_view_spec_file
+from repro.dtd.samples import HOSPITAL_DTD_TEXT, HOSPITAL_VIEW_DTD_TEXT
+from repro.views.samples import SIGMA0_ANNOTATIONS
+
+SPEC_TEXT = (
+    "# the paper's sigma0 as a .view file\n"
+    "source <<<\n" + HOSPITAL_DTD_TEXT + "\n>>>\n"
+    "view <<<\n" + HOSPITAL_VIEW_DTD_TEXT + "\n>>>\n"
+    + "\n".join(
+        f"{parent} {child} = {query}"
+        for (parent, child), query in SIGMA0_ANNOTATIONS.items()
+    )
+)
+
+
+@pytest.fixture(scope="module")
+def workspace(tmp_path_factory):
+    root = tmp_path_factory.mktemp("cli")
+    spec = root / "research.view"
+    spec.write_text(SPEC_TEXT)
+    doc = root / "hospital.xml"
+    dtd = root / "hospital.dtd"
+    dtd.write_text(HOSPITAL_DTD_TEXT)
+    assert main(
+        ["generate", "--patients", "25", "--seed", "3", "--out", str(doc)]
+    ) == 0
+    return {"spec": spec, "doc": doc, "dtd": root / "hospital.dtd"}
+
+
+class TestSpecFile:
+    def test_parse_view_spec_file(self):
+        spec = parse_view_spec_file(SPEC_TEXT)
+        assert spec.view_dtd.root == "hospital"
+        assert len(spec.annotations) == 6
+
+    def test_bad_annotation_line(self):
+        with pytest.raises(Exception, match="annotation line"):
+            parse_view_spec_file(
+                "source <<<\nroot a\na -> EMPTY\n>>>\n"
+                "view <<<\nroot a\na -> EMPTY\n>>>\n"
+                "toomany parts here = q\n"
+            )
+
+    def test_missing_blocks(self):
+        with pytest.raises(Exception, match="needs both"):
+            parse_view_spec_file("a b = q")
+
+
+class TestCommands:
+    def test_generate_to_stdout(self, capsys):
+        assert main(["generate", "--patients", "2", "--seed", "1"]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("<hospital>")
+
+    def test_validate(self, workspace, capsys):
+        code = main(["validate", str(workspace["doc"]), str(workspace["dtd"])])
+        assert code == 0
+        assert "valid:" in capsys.readouterr().out
+
+    def test_validate_failure_exit_code(self, workspace, tmp_path, capsys):
+        bad = tmp_path / "bad.xml"
+        bad.write_text("<hospital><unknown/></hospital>")
+        code = main(["validate", str(bad), str(workspace["dtd"])])
+        assert code == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_query(self, workspace, capsys):
+        code = main(
+            [
+                "query",
+                str(workspace["doc"]),
+                "department/patient/pname",
+                "--algorithm",
+                "opthype",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "answer(s)" in out and "visited" in out
+
+    def test_query_parse_error(self, workspace, capsys):
+        assert main(["query", str(workspace["doc"]), "a[["]) == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_materialize(self, workspace, tmp_path, capsys):
+        out_file = tmp_path / "view.xml"
+        code = main(
+            [
+                "materialize",
+                str(workspace["spec"]),
+                str(workspace["doc"]),
+                "--out",
+                str(out_file),
+                "--pretty",
+            ]
+        )
+        assert code == 0
+        content = out_file.read_text()
+        assert content.lstrip().startswith("<hospital>")
+        assert "pname" not in content  # hidden by the view
+
+    def test_view_query(self, workspace, capsys):
+        code = main(
+            [
+                "view-query",
+                str(workspace["spec"]),
+                str(workspace["doc"]),
+                "(patient/parent)*/patient[record]",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "rewritten |M|" in out
+
+    def test_rewrite_mfa(self, workspace, capsys):
+        code = main(["rewrite", str(workspace["spec"]), "patient[record]"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "nfa_states:" in out
+
+    def test_rewrite_xreg(self, workspace, capsys):
+        code = main(
+            ["rewrite", str(workspace["spec"]), "patient", "--to", "xreg"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "department/patient" in out
+
+    def test_missing_file_reports_error(self, capsys):
+        assert main(["query", "/nonexistent.xml", "a"]) == 1
+        assert "error:" in capsys.readouterr().err

@@ -1,0 +1,87 @@
+"""DTD graph analysis tests: recursion, reachability, alphabet."""
+
+import pytest
+
+from repro.dtd import (
+    adjacency,
+    alphabet,
+    hospital_dtd,
+    hospital_view_dtd,
+    is_recursive,
+    parse_dtd,
+    reachable_types,
+    recursive_types,
+)
+from repro.errors import DTDError
+
+LINEAR = """
+root r
+r -> a*
+a -> b*
+b -> #PCDATA
+"""
+
+SELF_LOOP = """
+root r
+r -> r*, a
+a -> EMPTY
+"""
+
+TWO_CYCLES = """
+root r
+r -> a*, x*
+a -> b*
+b -> a*
+x -> y
+y -> x*, z
+z -> EMPTY
+"""
+
+
+class TestRecursion:
+    def test_linear_not_recursive(self):
+        assert not is_recursive(parse_dtd(LINEAR))
+
+    def test_self_loop_recursive(self):
+        dtd = parse_dtd(SELF_LOOP)
+        assert is_recursive(dtd)
+        assert recursive_types(dtd) == {"r"}
+
+    def test_two_disjoint_cycles(self):
+        assert recursive_types(parse_dtd(TWO_CYCLES)) == {"a", "b", "x", "y"}
+
+    def test_hospital_dtds_recursive(self):
+        assert is_recursive(hospital_dtd())
+        assert is_recursive(hospital_view_dtd())
+
+    def test_hospital_recursive_types(self):
+        types = recursive_types(hospital_dtd())
+        assert {"patient", "parent", "sibling"} <= types
+        assert "visit" not in types
+
+    def test_view_recursive_types(self):
+        assert recursive_types(hospital_view_dtd()) == {"patient", "parent"}
+
+
+class TestReachability:
+    def test_all_reachable_in_hospital(self):
+        dtd = hospital_dtd()
+        assert reachable_types(dtd) == dtd.element_types
+
+    def test_reachable_from_inner(self):
+        dtd = parse_dtd(TWO_CYCLES)
+        assert reachable_types(dtd, "x") == {"x", "y", "z"}
+
+    def test_unknown_start_rejected(self):
+        with pytest.raises(DTDError):
+            reachable_types(parse_dtd(LINEAR), "ghost")
+
+
+class TestMisc:
+    def test_adjacency(self):
+        adj = adjacency(parse_dtd(LINEAR))
+        assert adj["r"] == {"a"}
+        assert adj["b"] == set()
+
+    def test_alphabet(self):
+        assert alphabet(parse_dtd(LINEAR)) == {"r", "a", "b"}

@@ -1,0 +1,133 @@
+"""DTD model and textual-syntax tests."""
+
+import pytest
+
+from repro.dtd import (
+    Choice,
+    DTD,
+    EmptyContent,
+    SeqItem,
+    Sequence,
+    StrContent,
+    dtd_from_mapping,
+    parse_dtd,
+)
+from repro.errors import DTDError, DTDParseError
+
+
+def small_dtd() -> DTD:
+    return parse_dtd(
+        """
+        root r
+        r -> a*, b
+        a -> #PCDATA
+        b -> c + d
+        c -> EMPTY
+        d -> #PCDATA
+        """
+    )
+
+
+class TestModel:
+    def test_element_types(self):
+        assert small_dtd().element_types == {"r", "a", "b", "c", "d"}
+
+    def test_child_types(self):
+        dtd = small_dtd()
+        assert dtd.child_types("r") == ("a", "b")
+        assert dtd.child_types("b") == ("c", "d")
+        assert dtd.child_types("a") == ()
+
+    def test_edges(self):
+        assert set(small_dtd().edges()) == {
+            ("r", "a"),
+            ("r", "b"),
+            ("b", "c"),
+            ("b", "d"),
+        }
+
+    def test_size_counts_types_and_children(self):
+        assert small_dtd().size() == 5 + 4
+
+    def test_unknown_type_raises(self):
+        with pytest.raises(DTDError, match="unknown element type"):
+            small_dtd().production("zzz")
+
+    def test_missing_root_rejected(self):
+        with pytest.raises(DTDError, match="root"):
+            DTD("nope", {"a": StrContent()})
+
+    def test_dangling_child_rejected(self):
+        with pytest.raises(DTDError, match="no production"):
+            DTD("r", {"r": Sequence((SeqItem("ghost"),))})
+
+    def test_single_option_choice_rejected(self):
+        with pytest.raises(DTDError, match="at least 2"):
+            DTD("r", {"r": Choice(("a",)), "a": StrContent()})
+
+    def test_str_rendering(self):
+        text = str(small_dtd())
+        assert "root r" in text
+        assert "r -> a*, b" in text
+        assert "b -> c + d" in text
+
+
+class TestFromMapping:
+    def test_basic(self):
+        dtd = dtd_from_mapping(
+            "r", {"r": ["a*", "b"], "a": "#PCDATA", "b": ("c", "d"),
+                  "c": "EMPTY", "d": "str"}
+        )
+        assert isinstance(dtd.production("r"), Sequence)
+        assert isinstance(dtd.production("b"), Choice)
+        assert isinstance(dtd.production("c"), EmptyContent)
+        assert isinstance(dtd.production("d"), StrContent)
+        assert dtd.production("r").items[0].starred
+
+    def test_bad_spec_rejected(self):
+        with pytest.raises(DTDError, match="bad production"):
+            dtd_from_mapping("r", {"r": 42})
+
+
+class TestParse:
+    def test_comments_and_blanks(self):
+        dtd = parse_dtd("# header\nroot r\n\nr -> #PCDATA  # trailing\n")
+        assert isinstance(dtd.production("r"), StrContent)
+
+    def test_missing_root_line(self):
+        with pytest.raises(DTDParseError, match="root"):
+            parse_dtd("r -> #PCDATA")
+
+    def test_empty_source(self):
+        with pytest.raises(DTDParseError, match="empty DTD"):
+            parse_dtd("   \n  ")
+
+    def test_missing_arrow(self):
+        with pytest.raises(DTDParseError, match="->"):
+            parse_dtd("root r\nr #PCDATA")
+
+    def test_duplicate_production(self):
+        with pytest.raises(DTDParseError, match="duplicate"):
+            parse_dtd("root r\nr -> #PCDATA\nr -> EMPTY")
+
+    def test_mixed_operators_rejected(self):
+        with pytest.raises(DTDParseError, match="cannot mix"):
+            parse_dtd("root r\nr -> a, b + c\na -> EMPTY\nb -> EMPTY\nc -> EMPTY")
+
+    def test_bad_name(self):
+        with pytest.raises(DTDParseError, match="bad"):
+            parse_dtd("root r\nr -> 9bad")
+
+    def test_empty_production_means_empty_content(self):
+        dtd = parse_dtd("root r\nr -> EMPTY")
+        assert isinstance(dtd.production("r"), EmptyContent)
+
+    def test_hospital_shapes(self):
+        from repro.dtd import hospital_dtd, hospital_view_dtd
+
+        doc = hospital_dtd()
+        assert isinstance(doc.production("treatment"), Choice)
+        assert doc.child_types("parent") == ("patient",)
+        view = hospital_view_dtd()
+        assert view.root == "hospital"
+        assert isinstance(view.production("record"), Choice)

@@ -1,0 +1,129 @@
+"""Normal-form conversion tests (the Section 2.2 generality claim)."""
+
+import pytest
+
+from repro.dtd import (
+    Choice,
+    EmptyContent,
+    GeneratorConfig,
+    NOTHING,
+    Sequence,
+    StrContent,
+    generate_document,
+    is_recursive,
+    normalize_dtd,
+    parse_content_model,
+    validate,
+)
+from repro.dtd.normalize import RAlt, RCat, REmpty, RName, RRepeat, RStr
+from repro.errors import DTDParseError
+
+
+class TestContentModelParser:
+    def test_name(self):
+        assert parse_content_model("a") == RName("a")
+
+    def test_cat(self):
+        assert parse_content_model("a, b") == RCat((RName("a"), RName("b")))
+
+    def test_alt(self):
+        assert parse_content_model("a | b") == RAlt((RName("a"), RName("b")))
+
+    def test_repeats(self):
+        assert parse_content_model("a*") == RRepeat(RName("a"), "*")
+        assert parse_content_model("a+") == RRepeat(RName("a"), "+")
+        assert parse_content_model("a?") == RRepeat(RName("a"), "?")
+
+    def test_nested_group(self):
+        model = parse_content_model("(a | b)*, c")
+        assert model == RCat(
+            (RRepeat(RAlt((RName("a"), RName("b"))), "*"), RName("c"))
+        )
+
+    def test_pcdata_and_empty(self):
+        assert parse_content_model("#PCDATA") == RStr()
+        assert parse_content_model("EMPTY") == REmpty()
+
+    def test_double_repeat(self):
+        assert parse_content_model("(a*)?") == RRepeat(
+            RRepeat(RName("a"), "*"), "?"
+        )
+
+    def test_errors(self):
+        with pytest.raises(DTDParseError):
+            parse_content_model("(a")
+        with pytest.raises(DTDParseError):
+            parse_content_model("a b")
+        with pytest.raises(DTDParseError):
+            parse_content_model("|a")
+
+
+class TestNormalize:
+    MODELS = {
+        "r": "(a | b)*, c?",
+        "a": "(b, c)+",
+        "b": "#PCDATA",
+        "c": "EMPTY",
+    }
+
+    def test_already_normal_stays(self):
+        dtd = normalize_dtd("r", {"r": "a*, b", "a": "#PCDATA", "b": "EMPTY"})
+        assert str(dtd.production("r")) == "a*, b"
+        assert dtd.element_types == {"r", "a", "b"}  # no wrappers introduced
+
+    def test_group_star_gets_wrapper_choice(self):
+        dtd = normalize_dtd("r", self.MODELS)
+        (star_item, opt_item) = dtd.production("r").items
+        assert star_item.starred
+        assert isinstance(dtd.production(star_item.label), Choice)
+        assert set(dtd.production(star_item.label).options) == {"a", "b"}
+
+    def test_optional_becomes_choice_with_nothing(self):
+        dtd = normalize_dtd("r", self.MODELS)
+        opt_item = dtd.production("r").items[1]
+        assert not opt_item.starred
+        choice = dtd.production(opt_item.label)
+        assert isinstance(choice, Choice)
+        assert NOTHING in choice.options and "c" in choice.options
+        assert isinstance(dtd.production(NOTHING), EmptyContent)
+
+    def test_plus_becomes_one_then_star(self):
+        dtd = normalize_dtd("r", self.MODELS)
+        (wrapper_item,) = dtd.production("a").items
+        plus = dtd.production(wrapper_item.label)
+        assert isinstance(plus, Sequence)
+        first, rest = plus.items
+        assert not first.starred and rest.starred
+        assert first.label == rest.label  # the (b, c) group wrapper
+
+    def test_str_and_empty_preserved(self):
+        dtd = normalize_dtd("r", self.MODELS)
+        assert isinstance(dtd.production("b"), StrContent)
+        assert isinstance(dtd.production("c"), EmptyContent)
+
+    def test_result_validates_and_generates(self):
+        dtd = normalize_dtd("r", self.MODELS)
+        for seed in range(4):
+            doc = generate_document(dtd, GeneratorConfig(seed=seed, star_mean=2))
+            validate(doc, dtd)
+
+    def test_recursive_general_model(self):
+        dtd = normalize_dtd(
+            "t", {"t": "name, (isa | partof)*", "name": "#PCDATA",
+                  "isa": "t", "partof": "t"}
+        )
+        assert is_recursive(dtd)
+        doc = generate_document(
+            dtd, GeneratorConfig(seed=1, star_mean=1.2, max_depth=8, soft_depth=3)
+        )
+        validate(doc, dtd)
+
+    def test_fresh_names_do_not_collide(self):
+        dtd = normalize_dtd(
+            "r", {"r": "(a, a)+, (a | r-g1)?", "a": "EMPTY", "r-g1": "EMPTY"}
+        )
+        # user-defined 'r-g1' survives; generated wrappers pick other names
+        assert "r-g1" in dtd.element_types
+        validate(
+            generate_document(dtd, GeneratorConfig(seed=0, star_mean=1)), dtd
+        )

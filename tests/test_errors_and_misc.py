@@ -1,0 +1,107 @@
+"""Exception hierarchy, serialisation properties, and odds-and-ends."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import errors
+from repro.xtree import parse_xml, serialize
+
+from .strategies import trees
+
+
+class TestErrorHierarchy:
+    ALL = [
+        errors.XMLParseError,
+        errors.DTDError,
+        errors.DTDParseError,
+        errors.ValidationError,
+        errors.QueryParseError,
+        errors.QuerySyntaxError,
+        errors.FragmentError,
+        errors.ViewError,
+        errors.RewriteError,
+        errors.AutomatonError,
+        errors.EvaluationError,
+    ]
+
+    @pytest.mark.parametrize("exc", ALL)
+    def test_all_derive_from_repro_error(self, exc):
+        assert issubclass(exc, errors.ReproError)
+
+    def test_dtd_parse_is_dtd_error(self):
+        assert issubclass(errors.DTDParseError, errors.DTDError)
+
+    def test_query_syntax_is_parse_error(self):
+        assert issubclass(errors.QuerySyntaxError, errors.QueryParseError)
+
+    def test_catch_all(self):
+        from repro.xpath import parse_query
+
+        with pytest.raises(errors.ReproError):
+            parse_query("a[[")
+
+
+class TestSerializationProperty:
+    @given(trees())
+    @settings(max_examples=60, deadline=None)
+    def test_parse_serialize_round_trip(self, tree):
+        again = parse_xml(serialize(tree))
+        assert [n.label for n in again.nodes] == [n.label for n in tree.nodes]
+        assert [n.value for n in again.nodes] == [n.value for n in tree.nodes]
+
+    @given(trees())
+    @settings(max_examples=30, deadline=None)
+    def test_pretty_print_round_trip(self, tree):
+        again = parse_xml(serialize(tree, indent=2))
+        assert [n.label for n in again.nodes if n.is_element] == [
+            n.label for n in tree.nodes if n.is_element
+        ]
+
+    @given(st.text(alphabet="abc<>&'\" \n", min_size=0, max_size=30))
+    @settings(max_examples=60, deadline=None)
+    def test_text_escaping_round_trip(self, text):
+        from repro.xtree import document, element
+
+        stripped = text.strip()
+        tree = document(element("a", text))
+        reparsed = parse_xml(serialize(tree))
+        assert reparsed.root.text() == stripped
+
+
+class TestPackageSurface:
+    def test_version(self):
+        import repro
+
+        assert repro.__version__
+
+    def test_all_exports_resolve(self):
+        import repro
+
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_subpackage_exports_resolve(self):
+        import repro.automata
+        import repro.baselines
+        import repro.bench
+        import repro.dtd
+        import repro.hype
+        import repro.rewrite
+        import repro.views
+        import repro.workloads
+        import repro.xpath
+        import repro.xtree
+
+        for module in (
+            repro.automata,
+            repro.dtd,
+            repro.hype,
+            repro.rewrite,
+            repro.views,
+            repro.workloads,
+            repro.xpath,
+            repro.xtree,
+        ):
+            for name in module.__all__:
+                assert hasattr(module, name), f"{module.__name__}.{name}"

@@ -1,0 +1,71 @@
+"""Smoke tests: the shipped example scripts run end to end.
+
+The two heavier examples (medical_research, regular_xpath_engine) are
+exercised with their modules imported and their core calls invoked on
+smaller documents, so the suite stays fast while every example code path
+is still executed.
+"""
+
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def load_example(name: str):
+    spec = importlib.util.spec_from_file_location(name, EXAMPLES / f"{name}.py")
+    module = importlib.util.module_from_spec(spec)
+    sys.modules[name] = module
+    spec.loader.exec_module(module)  # type: ignore[union-attr]
+    return module
+
+
+class TestExamples:
+    def test_quickstart_runs(self, capsys):
+        module = load_example("quickstart")
+        module.main()
+        out = capsys.readouterr().out
+        assert "answers" in out and "rewritten" in out
+
+    def test_secure_hospital_view_runs(self, capsys):
+        module = load_example("secure_hospital_view")
+        module.main()
+        out = capsys.readouterr().out
+        assert "verified" in out
+        assert "(must be 0)" in out
+
+    def test_medical_research_components(self, capsys):
+        from repro import HospitalConfig, generate_hospital_document
+
+        module = load_example("medical_research")
+        # Same flow as main(), smaller cohort.
+        from repro.engine import SMOQE
+
+        document = generate_hospital_document(
+            HospitalConfig(num_patients=40, seed=13, heart_disease_rate=0.5,
+                           parent_chain_decay=0.7, max_generations=3)
+        )
+        engine = SMOQE(document, default_algorithm="opthype")
+        for name, query in module.PATTERNS.items():
+            answer = engine.evaluate(query)
+            assert answer.stats.visited_elements <= document.element_count
+
+    def test_regular_xpath_engine_line_up(self, capsys):
+        from repro import HospitalConfig, generate_hospital_document
+
+        module = load_example("regular_xpath_engine")
+        document = generate_hospital_document(
+            HospitalConfig(num_patients=25, seed=99)
+        )
+        module.line_up(document, "department/patient/pname", include_naive=True)
+        out = capsys.readouterr().out
+        assert "hype" in out and "JAXP" in out
+
+    def test_research_view_file_parses(self):
+        from repro.cli import parse_view_spec_file
+
+        spec = parse_view_spec_file((EXAMPLES / "research.view").read_text())
+        assert len(spec.annotations) == 6

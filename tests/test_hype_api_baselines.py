@@ -1,0 +1,116 @@
+"""HyPE convenience API and baseline-evaluator tests."""
+
+import pytest
+
+from repro.automata import compile_query
+from repro.baselines import NaiveEvaluator, TwoPassEvaluator, XQuerySimEvaluator
+from repro.errors import EvaluationError
+from repro.hype import ALGORITHMS, HYPE, OPTHYPE, OPTHYPE_C, evaluate_hype, to_mfa
+from repro.xpath import evaluate, parse_query
+from repro.xtree import parse_xml
+
+TREE = parse_xml(
+    """
+    <r>
+      <a><b>x</b><c><b>y</b></c></a>
+      <a><b>y</b></a>
+      <d><a><b>x</b></a></d>
+    </r>
+    """
+)
+
+QUERIES = [
+    "a",
+    "a/b",
+    "//b",
+    "(a)*",
+    "a[b/text() = 'y']",
+    "a[not(c)]",
+    "a[c or b/text() = 'y']",
+    "a[.//b]",
+    "(a | d)*/b",
+    "a[c[b]]*",
+]
+
+
+class TestEvaluateHype:
+    @pytest.mark.parametrize("algorithm", ALGORITHMS)
+    @pytest.mark.parametrize("source", QUERIES)
+    def test_all_algorithms_agree(self, algorithm, source):
+        expected = {n.node_id for n in evaluate(parse_query(source), TREE.root)}
+        result = evaluate_hype(source, TREE, algorithm=algorithm)
+        assert {n.node_id for n in result.answers} == expected
+
+    def test_accepts_ast_and_mfa(self):
+        query = parse_query("a/b")
+        as_ast = evaluate_hype(query, TREE)
+        as_mfa = evaluate_hype(compile_query(query), TREE)
+        assert {n.node_id for n in as_ast.answers} == {
+            n.node_id for n in as_mfa.answers
+        }
+
+    def test_unknown_algorithm_rejected(self):
+        with pytest.raises(EvaluationError, match="unknown algorithm"):
+            evaluate_hype("a", TREE, algorithm="quantum")
+
+    def test_opt_needs_tree_or_index(self):
+        with pytest.raises(EvaluationError, match="index"):
+            evaluate_hype("a", TREE.root, algorithm=OPTHYPE)
+
+    def test_opt_with_prebuilt_index(self):
+        from repro.hype import build_index
+
+        index = build_index(TREE)
+        result = evaluate_hype("a", TREE.root, algorithm=OPTHYPE, index=index)
+        assert len(result.answers) == 2
+
+    def test_to_mfa_passthrough(self):
+        mfa = compile_query(parse_query("a"))
+        assert to_mfa(mfa) is mfa
+
+    def test_hype_on_context_node(self):
+        (d_node,) = evaluate(parse_query("d"), TREE.root)
+        result = evaluate_hype("a", d_node, algorithm=HYPE)
+        assert len(result.answers) == 1
+
+
+class TestBaselines:
+    @pytest.mark.parametrize(
+        "factory", [NaiveEvaluator, TwoPassEvaluator, XQuerySimEvaluator]
+    )
+    @pytest.mark.parametrize("source", QUERIES)
+    def test_baseline_matches_reference(self, factory, source):
+        expected = {n.node_id for n in evaluate(parse_query(source), TREE.root)}
+        got = {n.node_id for n in factory(source).run(TREE)}
+        assert got == expected, f"{factory.__name__}: {source}"
+
+    def test_baselines_on_generated_document(self, hospital_doc):
+        source = "//patient[.//diagnosis/text() = 'heart disease']"
+        expected = {
+            n.node_id for n in evaluate(parse_query(source), hospital_doc.root)
+        }
+        for factory in (NaiveEvaluator, TwoPassEvaluator, XQuerySimEvaluator):
+            got = {n.node_id for n in factory(source).run(hospital_doc)}
+            assert got == expected, factory.__name__
+
+    def test_twopass_accepts_mfa(self):
+        mfa = compile_query(parse_query("a[b]"))
+        assert len(TwoPassEvaluator(mfa).run(TREE)) == 2
+
+    def test_twopass_evaluates_filters_everywhere(self):
+        """The two-pass profile computes AFA values at every element node —
+        the inefficiency HyPE's pruning avoids."""
+        evaluator = TwoPassEvaluator("d/a[b]")
+        values = evaluator._bottom_up(TREE, evaluator._preprocess(TREE))
+        assert len([v for i, v in enumerate(values) if TREE.node(i).is_element]) \
+            == TREE.element_count
+
+    def test_xquery_sim_star_terminates_on_cycle_free_growth(self):
+        tree = parse_xml("<a><a><a><a/></a></a></a>")
+        got = XQuerySimEvaluator("(a)*").run(tree)
+        assert len(got) == 4
+
+    def test_names_describe_profiles(self):
+        assert "JAXP" in NaiveEvaluator("a").name
+        assert "Koch" in TwoPassEvaluator("a").name
+        assert "GALAX" in XQuerySimEvaluator("a").name

@@ -1,0 +1,164 @@
+"""Subtree-label index and viability-analysis tests (OptHyPE machinery)."""
+
+import pytest
+
+from repro.automata import compile_query
+from repro.hype import (
+    CompressedLabelIndex,
+    HyPEEvaluator,
+    SubtreeLabelIndex,
+    ViabilityAnalyzer,
+    build_index,
+)
+from repro.xpath import evaluate, parse_query
+from repro.xtree import parse_xml
+
+TREE = parse_xml(
+    """
+    <r>
+      <a><b>x</b></a>
+      <c><d/><d/></c>
+      <a><c><b>y</b></c></a>
+    </r>
+    """
+)
+
+
+class TestIndexes:
+    def test_masks_cover_strict_descendants(self):
+        index = SubtreeLabelIndex(TREE)
+        bits = index.bits
+        root_mask = index.mask(TREE.root.node_id)
+        for label in ("a", "b", "c", "d"):
+            assert root_mask & bits.bit_of[label]
+        assert not root_mask & bits.bit_of.get("r", 0)
+
+    def test_leaf_mask_empty(self):
+        index = SubtreeLabelIndex(TREE)
+        for node in TREE.nodes:
+            if node.is_element and not node.children:
+                assert index.mask(node.node_id) == 0
+
+    def test_text_marker_bit(self):
+        index = SubtreeLabelIndex(TREE)
+        text_bit = index.bits.bit_of["#text"]
+        a_first = TREE.root.element_children()[0]
+        assert index.mask(a_first.node_id) & text_bit
+        c_node = TREE.root.element_children()[1]
+        assert not index.mask(c_node.node_id) & text_bit
+
+    def test_compressed_equals_plain(self):
+        plain = SubtreeLabelIndex(TREE)
+        compressed = CompressedLabelIndex(TREE)
+        for node in TREE.nodes:
+            assert plain.mask(node.node_id) == compressed.mask(node.node_id)
+
+    def test_compressed_is_smaller_on_repetitive_docs(self):
+        from repro.workloads import HospitalConfig, generate_hospital_document
+
+        doc = generate_hospital_document(HospitalConfig(num_patients=40, seed=3))
+        plain = SubtreeLabelIndex(doc)
+        compressed = CompressedLabelIndex(doc)
+        assert compressed.distinct_masks() == plain.distinct_masks()
+        assert compressed.distinct_masks() < doc.size / 10
+
+    def test_build_index_dispatch(self):
+        assert isinstance(build_index(TREE), SubtreeLabelIndex)
+        assert isinstance(build_index(TREE, compressed=True), CompressedLabelIndex)
+
+    def test_mask_id_stability(self):
+        compressed = CompressedLabelIndex(TREE)
+        leaf_ids = {
+            compressed.mask_id(n.node_id)
+            for n in TREE.nodes
+            if n.is_element and not n.children
+        }
+        assert len(leaf_ids) == 1  # all childless elements share mask 0
+
+
+class TestViability:
+    def test_unreachable_label_kills_nfa(self):
+        mfa = compile_query(parse_query("//b"))
+        index = build_index(TREE)
+        analyzer = ViabilityAnalyzer(mfa, index.bits)
+        # The <c><d/><d/></c> subtree has no b anywhere: nothing viable
+        # except final states already satisfied.
+        c_node = TREE.root.element_children()[1]
+        viable = analyzer.viable_nfa_states(index.mask(c_node.node_id))
+        finals = mfa.nfa.finals
+        assert viable <= frozenset(
+            s for s in range(mfa.nfa.num_states) if s in finals
+        ) | frozenset()
+
+    def test_afa_possibly_true_requires_labels(self):
+        mfa = compile_query(parse_query(".[x/y]"))
+        index = build_index(TREE)
+        analyzer = ViabilityAnalyzer(mfa, index.bits)
+        possible = analyzer.afa_possibly_true(index.mask(TREE.root.node_id))
+        entry = next(iter(mfa.nfa.ann.values()))
+        assert possible[entry] is False  # no x labels in the document
+
+    def test_text_predicate_needs_text_bit(self):
+        mfa = compile_query(parse_query(".[d/text() = 'v']"))
+        index = build_index(TREE)
+        analyzer = ViabilityAnalyzer(mfa, index.bits)
+        c_node = TREE.root.element_children()[1]  # d children but no text
+        possible = analyzer.afa_possibly_true(index.mask(c_node.node_id))
+        entry = next(iter(mfa.nfa.ann.values()))
+        assert possible[entry] is False
+
+    def test_not_is_conservative(self):
+        mfa = compile_query(parse_query(".[not(zzz)]"))
+        index = build_index(TREE)
+        analyzer = ViabilityAnalyzer(mfa, index.bits)
+        possible = analyzer.afa_possibly_true(0)
+        entry = next(iter(mfa.nfa.ann.values()))
+        assert possible[entry] is True
+
+    def test_caches_by_mask(self):
+        mfa = compile_query(parse_query("//b"))
+        index = build_index(TREE)
+        analyzer = ViabilityAnalyzer(mfa, index.bits)
+        first = analyzer.viable_nfa_states(index.mask(0))
+        second = analyzer.viable_nfa_states(index.mask(0))
+        assert first is second
+
+
+class TestOptHyPECorrectness:
+    QUERIES = [
+        "//b",
+        "a/b",
+        "a[b/text() = 'y']",
+        "a[not(b)]",
+        "c/d",
+        "(a | c)*/b",
+        "a[.//b]",
+    ]
+
+    @pytest.mark.parametrize("source", QUERIES)
+    @pytest.mark.parametrize("compressed", [False, True])
+    def test_matches_reference(self, source, compressed):
+        query = parse_query(source)
+        expected = {n.node_id for n in evaluate(query, TREE.root)}
+        index = build_index(TREE, compressed=compressed)
+        result = HyPEEvaluator(compile_query(query), index=index).run(TREE.root)
+        assert {n.node_id for n in result.answers} == expected
+
+    def test_index_prunes_more_than_plain(self):
+        query = parse_query("//b[text() = 'zzz']")
+        mfa = compile_query(query)
+        plain = HyPEEvaluator(mfa).run(TREE.root)
+        opt = HyPEEvaluator(mfa, index=build_index(TREE)).run(TREE.root)
+        assert opt.stats.visited_elements <= plain.stats.visited_elements
+        assert opt.answers == plain.answers == set()
+
+    def test_regression_gate_blocked_epsilon_path(self):
+        """A viable final state reachable only through an impassable gate
+        must not survive index filtering (the restricted-closure fix)."""
+        tree = parse_xml("<a><b><b>x<a>x</a></b><b/></b><a/></a>")
+        query = parse_query("(a[a[a/text() = 'x']])*")
+        expected = {n.node_id for n in evaluate(query, tree.root)}
+        result = HyPEEvaluator(
+            compile_query(query), index=build_index(tree)
+        ).run(tree.root)
+        assert {n.node_id for n in result.answers} == expected

@@ -1,0 +1,160 @@
+"""Whole-pipeline integration tests: every subsystem in one flow.
+
+Flow 1 (hospital): generate → validate → register σ0 → answer with every
+algorithm → cross-check against materialise-then-evaluate.
+
+Flow 2 (ontology): normalise a general DTD → generate → derive a policy
+view → compose with a second view → answer through the engine.
+"""
+
+import pytest
+
+from repro.dtd import normalize_dtd, validate
+from repro.engine import SMOQE
+from repro.hype import ALGORITHMS
+from repro.views import compose, materialize, sigma0, view_spec
+from repro.workloads import (
+    EXAMPLE_4_1,
+    HospitalConfig,
+    generate_hospital_document,
+)
+from repro.xpath import evaluate, parse_query
+
+
+class TestHospitalFlow:
+    @pytest.fixture(scope="class")
+    def setup(self):
+        doc = generate_hospital_document(
+            HospitalConfig(num_patients=50, seed=23, heart_disease_rate=0.4)
+        )
+        from repro.dtd import hospital_dtd
+
+        validate(doc, hospital_dtd())
+        engine = SMOQE(doc)
+        spec = sigma0()
+        engine.register_view("research", spec)
+        view = materialize(spec, doc)
+        return doc, engine, view
+
+    @pytest.mark.parametrize("algorithm", ALGORITHMS)
+    @pytest.mark.parametrize(
+        "query_text",
+        [
+            "patient",
+            EXAMPLE_4_1,
+            "patient[record/empty]",
+            "//diagnosis",
+        ],
+    )
+    def test_every_algorithm_matches_view_semantics(
+        self, setup, algorithm, query_text
+    ):
+        doc, engine, view = setup
+        expected = {
+            n.node_id
+            for n in view.sources(
+                evaluate(parse_query(query_text), view.tree.root)
+            )
+        }
+        answer = engine.answer("research", query_text, algorithm=algorithm)
+        assert set(answer.ids()) == expected
+
+    def test_rewrite_cache_shared_across_algorithms(self, setup):
+        _doc, engine, _view = setup
+        first = engine.answer("research", "patient", algorithm="hype")
+        second = engine.answer("research", "patient", algorithm="opthype")
+        assert first.mfa is second.mfa
+
+
+class TestNormalizedOntologyFlow:
+    """General DTD → normal form → view → composition → engine."""
+
+    MODELS = {
+        "catalog": "(entry)+",
+        "entry": "title, (ref | note)*",
+        "title": "#PCDATA",
+        "ref": "entry?",
+        "note": "#PCDATA",
+    }
+
+    @pytest.fixture(scope="class")
+    def setup(self):
+        from repro.dtd import GeneratorConfig, generate_document
+
+        dtd = normalize_dtd("catalog", self.MODELS)
+        doc = generate_document(
+            dtd,
+            GeneratorConfig(
+                seed=11,
+                star_mean=1.5,
+                max_depth=10,
+                soft_depth=4,
+                text_pools={"title": ["alpha", "beta"], "note": ["n1"]},
+            ),
+        )
+        validate(doc, dtd)
+        return dtd, doc
+
+    def test_normalized_dtd_round_trips_through_views(self, setup):
+        dtd, doc = setup
+        # A projection view exposing entries and titles only.
+        view_dtd_text = """
+        root catalog
+        catalog -> item*
+        item    -> item*, name*
+        name    -> #PCDATA
+        """
+        from repro.dtd import parse_dtd
+
+        # Normalisation introduced wrappers: catalog -> catalog-g1 (the '+'
+        # encoding) and ref -> <choice wrapper> (the '?' encoding), so the
+        # annotations step through them ('*' matches any wrapper).
+        spec = view_spec(
+            dtd,
+            parse_dtd(view_dtd_text),
+            {
+                ("catalog", "item"): "catalog-g1/entry",
+                ("item", "item"): "ref/*/entry",
+                ("item", "name"): "title",
+            },
+        )
+        engine = SMOQE(doc)
+        engine.register_view("catalogue", spec)
+        view = materialize(spec, doc)
+        for query_text in ("item", "(item)*/item/name", "item[name]"):
+            expected = {
+                n.node_id
+                for n in view.sources(
+                    evaluate(parse_query(query_text), view.tree.root)
+                )
+            }
+            answer = engine.answer("catalogue", query_text)
+            assert set(answer.ids()) == expected, query_text
+
+    def test_composition_over_normalized_source(self, setup):
+        dtd, doc = setup
+        from repro.dtd import parse_dtd
+
+        v1 = view_spec(
+            dtd,
+            parse_dtd(
+                "root catalog\ncatalog -> item*\nitem -> item*, name*\n"
+                "name -> #PCDATA"
+            ),
+            {
+                ("catalog", "item"): "catalog-g1/entry",
+                ("item", "item"): "ref/*/entry",
+                ("item", "name"): "title",
+            },
+        )
+        v2 = view_spec(
+            v1.view_dtd,
+            parse_dtd("root index\nindex -> label*\nlabel -> #PCDATA"),
+            {("index", "label"): "(item)*/name"},
+        )
+        composed = compose(v2, v1)
+        two_step = materialize(v2, materialize(v1, doc).tree)
+        one_step = materialize(composed, doc)
+        assert sorted(
+            n.text() for n in two_step.tree.root.element_children()
+        ) == sorted(n.text() for n in one_step.tree.root.element_children())

@@ -1,0 +1,173 @@
+"""Direct ``Xreg → Xreg`` rewriting tests (Theorem 3.2 / Corollary 3.3)."""
+
+import pytest
+
+from repro.rewrite import rewrite_query, rewrite_to_xreg
+from repro.rewrite.direct import DirectRewriter, EMPTY_PATH
+from repro.rewrite.matrix import PathMatrix
+from repro.views import materialize, sigma0
+from repro.xpath import ast, evaluate, parse_query
+from repro.xtree import parse_xml
+
+from .test_views_materialize import HOSPITAL_XML
+
+QUERIES = [
+    ".",
+    "patient",
+    "patient/parent/patient",
+    "(patient/parent)*/patient",
+    "patient/record/diagnosis",
+    "patient[record/diagnosis/text() = 'heart disease']",
+    "patient[*//record]",
+    "patient[not(parent)]",
+    "patient[parent and record]",
+    "//diagnosis",
+    "patient/*",
+]
+
+
+class TestCorrectness:
+    @pytest.fixture(scope="class")
+    def source(self):
+        return parse_xml(HOSPITAL_XML)
+
+    @pytest.mark.parametrize("query_text", QUERIES)
+    def test_direct_rewriting_correct(self, source, query_text):
+        spec = sigma0()
+        query = parse_query(query_text)
+        view = materialize(spec, source)
+        expected = {
+            n.node_id for n in view.sources(evaluate(query, view.tree.root))
+        }
+        rewritten = rewrite_to_xreg(spec, query)
+        got = {n.node_id for n in evaluate(rewritten, source.root)}
+        assert got == expected, query_text
+
+    def test_example_31_shape(self, source):
+        """Example 3.1: the hand rewriting of Example 1.1's query."""
+        spec = sigma0()
+        query = parse_query(
+            "patient[*//record/diagnosis/text() = 'heart disease']"
+        )
+        rewritten = rewrite_to_xreg(spec, query)
+        hand = parse_query(
+            "department/patient"
+            "[visit/treatment/medication/diagnosis/text() = 'heart disease']"
+            "[(parent/patient)/((parent | record)/(patient | empty | diagnosis))*"
+            "/visit/treatment/medication/diagnosis/text() = 'heart disease']"
+        )
+        # Not syntactically identical, but semantically equal on the doc:
+        got = {n.node_id for n in evaluate(rewritten, source.root)}
+        view = materialize(spec, source)
+        expected = {
+            n.node_id for n in view.sources(evaluate(query, view.tree.root))
+        }
+        assert got == expected
+
+    def test_unsatisfiable_query_rewrites_to_empty(self, source):
+        rewritten = rewrite_to_xreg(sigma0(), parse_query("nonexistent"))
+        assert rewritten == EMPTY_PATH
+        assert evaluate(rewritten, source.root) == set()
+
+    def test_not_false_is_true(self, source):
+        """¬(provably false filter) must become 'always true'."""
+        spec = sigma0()
+        query = parse_query("patient[not(nonexistent)]")
+        view = materialize(spec, source)
+        expected = {
+            n.node_id for n in view.sources(evaluate(query, view.tree.root))
+        }
+        rewritten = rewrite_to_xreg(spec, query)
+        got = {n.node_id for n in evaluate(rewritten, source.root)}
+        assert got == expected
+
+
+class TestBlowup:
+    """Corollary 3.3: the direct rewriting explodes where the MFA stays small.
+
+    The nested-star family ``(*/*)*, ((*/*)*/(*/*)*)*, ...`` roughly doubles
+    ``|Q|`` per level; the matrix-star rewriting multiplies by ~8 per level
+    while the MFA grows linearly with ``|Q|`` (Theorem 5.1).
+    """
+
+    FAMILY = [
+        "(*/*)*",
+        "((*/*)*/(*/*)*)*",
+        "(((*/*)*/(*/*)*)*/((*/*)*/(*/*)*)*)*",
+    ]
+
+    def test_direct_grows_superlinearly(self):
+        spec = sigma0()
+        sizes = [
+            rewrite_to_xreg(spec, parse_query(q)).size() for q in self.FAMILY
+        ]
+        assert sizes[1] > 5 * sizes[0]
+        assert sizes[2] > 5 * sizes[1]
+
+    def test_mfa_stays_linear_in_query(self):
+        spec = sigma0()
+        queries = [parse_query(q) for q in self.FAMILY]
+        mfa_sizes = [rewrite_query(spec, q).size() for q in queries]
+        # per-|Q| ratio stays within a constant band
+        ratios = [m / q.size() for m, q in zip(mfa_sizes, queries)]
+        assert max(ratios) < 2.5 * min(ratios)
+
+    def test_direct_overtakes_mfa(self):
+        spec = sigma0()
+        deep = parse_query(self.FAMILY[2])
+        assert rewrite_to_xreg(spec, deep).size() > 5 * rewrite_query(
+            spec, deep
+        ).size()
+
+
+class TestPathMatrix:
+    TYPES = ("p", "q")
+
+    def test_identity(self):
+        ident = PathMatrix.identity(self.TYPES)
+        assert ident.get("p", "p") == ast.Empty()
+        assert ident.get("p", "q") is None
+
+    def test_multiply_routes_through_middle(self):
+        left = PathMatrix(self.TYPES)
+        left.set("p", "q", ast.Label("a"))
+        right = PathMatrix(self.TYPES)
+        right.set("q", "p", ast.Label("b"))
+        product = left.multiply(right)
+        assert product.get("p", "p") == ast.Concat(ast.Label("a"), ast.Label("b"))
+        assert product.get("p", "q") is None
+
+    def test_union_merges(self):
+        one = PathMatrix(self.TYPES)
+        one.set("p", "q", ast.Label("a"))
+        two = PathMatrix(self.TYPES)
+        two.set("p", "q", ast.Label("b"))
+        merged = one.union(two)
+        assert merged.get("p", "q") == ast.Union(ast.Label("a"), ast.Label("b"))
+
+    def test_union_dedupes_equal_entries(self):
+        one = PathMatrix(self.TYPES)
+        one.set("p", "q", ast.Label("a"))
+        assert one.union(one).get("p", "q") == ast.Label("a")
+
+    def test_star_includes_zero_iterations(self):
+        step = PathMatrix(self.TYPES)
+        step.set("p", "q", ast.Label("a"))
+        closure = step.star()
+        assert closure.get("p", "p") is not None  # ε
+        assert closure.get("p", "q") is not None
+
+    def test_star_cycle(self):
+        step = PathMatrix(self.TYPES)
+        step.set("p", "q", ast.Label("a"))
+        step.set("q", "p", ast.Label("b"))
+        closure = step.star()
+        entry = closure.get("p", "p")
+        assert entry is not None and ast.contains_star(entry)
+
+    def test_row_and_size(self):
+        m = PathMatrix(self.TYPES)
+        m.set("p", "q", ast.Label("a"))
+        m.set("p", "p", ast.Label("b"))
+        assert set(m.row("p")) == {"p", "q"}
+        assert m.size() == 2

@@ -1,0 +1,234 @@
+"""Algorithm ``rewrite`` tests (Section 5): MFA rewriting correctness.
+
+The defining equation: for every source tree ``T``,
+``M(T) = Q(σ(T))`` as source-node sets (view answers mapped through
+provenance).
+"""
+
+import pytest
+
+from repro.dtd import GeneratorConfig, generate_document, parse_dtd
+from repro.hype import evaluate_hype
+from repro.rewrite import rewrite_query
+from repro.rewrite.mfa_rewrite import MFARewriter
+from repro.views import copy_view, materialize, sigma0, view_spec
+from repro.xpath import ast, evaluate, parse_query
+from repro.xpath.builders import filt, label, seq, star, union
+from repro.xtree import parse_xml
+
+from .test_views_materialize import HOSPITAL_XML
+
+VIEW_QUERIES = [
+    ".",
+    "patient",
+    "patient/parent",
+    "patient/parent/patient",
+    "(patient/parent)*/patient",
+    "patient/record/diagnosis",
+    "patient/record/empty",
+    "patient[record/diagnosis/text() = 'heart disease']",
+    "patient[record/empty]",
+    "(patient/parent)*/patient[(parent/patient)*/record/diagnosis/text() = 'heart disease']",
+    "patient[*//record]",
+    "patient//diagnosis",
+    "patient[not(parent)]",
+    "patient[parent and record]",
+    "patient[parent or record]",
+    "patient/*",
+    "//record",
+    "patient[record/diagnosis/text() = 'flu']",
+]
+
+
+def check(spec, source, query_text):
+    query = parse_query(query_text)
+    view = materialize(spec, source)
+    expected = {
+        n.node_id for n in view.sources(evaluate(query, view.tree.root))
+    }
+    mfa = rewrite_query(spec, query)
+    got = {n.node_id for n in evaluate_hype(mfa, source).answers}
+    assert got == expected, query_text
+    return mfa
+
+
+class TestSigma0:
+    @pytest.fixture(scope="class")
+    def source(self):
+        return parse_xml(HOSPITAL_XML)
+
+    @pytest.mark.parametrize("query_text", VIEW_QUERIES)
+    def test_rewriting_correct_small(self, source, query_text):
+        check(sigma0(), source, query_text)
+
+    @pytest.mark.parametrize(
+        "query_text",
+        [
+            "patient",
+            "(patient/parent)*/patient",
+            "patient[*//record/diagnosis/text() = 'heart disease']",
+            "(patient/parent)*/patient[(parent/patient)*/record/diagnosis/text() = 'heart disease']",
+        ],
+    )
+    def test_rewriting_correct_generated(self, hospital_doc, query_text):
+        check(sigma0(), hospital_doc, query_text)
+
+
+class TestIdentityView:
+    """Rewriting over the identity view must preserve semantics verbatim."""
+
+    DTD = parse_dtd(
+        """
+        root r
+        r -> a*
+        a -> a*, t*
+        t -> #PCDATA
+        """
+    )
+
+    @pytest.fixture(scope="class")
+    def source(self):
+        return generate_document(
+            self.DTD,
+            GeneratorConfig(
+                seed=9,
+                star_mean=1.6,
+                max_depth=8,
+                soft_depth=3,
+                text_pools={"t": ["x", "y"]},
+            ),
+        )
+
+    @pytest.mark.parametrize(
+        "query_text",
+        [
+            "a",
+            "a/a",
+            "a*",
+            "(a/a)*",
+            "a[t]",
+            "a[t/text() = 'x']",
+            "a[not(t)]",
+            "a*[a[t/text() = 'y']]",
+            "//t",
+            "a//t",
+        ],
+    )
+    def test_identity_rewriting(self, source, query_text):
+        spec = copy_view(self.DTD)
+        query = parse_query(query_text)
+        expected = {n.node_id for n in evaluate(query, source.root)}
+        mfa = rewrite_query(spec, query)
+        got = {n.node_id for n in evaluate_hype(mfa, source).answers}
+        assert got == expected
+
+
+class TestSharingRegression:
+    """Value-keyed memo sharing would accept X/X/Y for X/Y | X* (see module
+    docstring of repro.rewrite.mfa_rewrite)."""
+
+    DTD = parse_dtd(
+        """
+        root r
+        r -> a*
+        a -> a*, y*
+        y -> EMPTY
+        """
+    )
+
+    def test_same_subquery_at_two_positions(self):
+        source = generate_document(
+            self.DTD, GeneratorConfig(seed=3, star_mean=1.4, max_depth=8, soft_depth=3)
+        )
+        spec = copy_view(self.DTD)
+        query = parse_query("a/y | a*")
+        expected = {n.node_id for n in evaluate(query, source.root)}
+        got = {
+            n.node_id
+            for n in evaluate_hype(rewrite_query(spec, query), source).answers
+        }
+        assert got == expected
+
+    def test_shared_ast_objects_tolerated(self):
+        source = generate_document(
+            self.DTD, GeneratorConfig(seed=4, star_mean=1.5, max_depth=8, soft_depth=3)
+        )
+        spec = copy_view(self.DTD)
+        shared = label("a")  # same object at two positions
+        query = union(seq(shared, "y"), star(shared))
+        expected = {n.node_id for n in evaluate(query, source.root)}
+        got = {
+            n.node_id
+            for n in evaluate_hype(rewrite_query(spec, query), source).answers
+        }
+        assert got == expected
+
+
+class TestSizeBound:
+    """Theorem 5.1: |M| = O(|Q| · |σ| · |D_V|)."""
+
+    def test_linear_in_query_size(self):
+        spec = sigma0()
+        sizes = []
+        for depth in range(1, 6):
+            query = parse_query("/".join(["patient[record]"] * depth))
+            mfa = rewrite_query(spec, query)
+            sizes.append((query.size(), mfa.size()))
+        # |M| growth per unit of |Q| stays bounded (no blow-up).
+        ratios = [m / q for q, m in sizes]
+        assert max(ratios) <= spec.size() * len(spec.view_dtd.productions)
+        deltas = [b[1] - a[1] for a, b in zip(sizes, sizes[1:])]
+        assert max(deltas) <= 4 * min(deltas) + 16
+
+    def test_star_stays_polynomial(self):
+        spec = sigma0()
+        small = rewrite_query(spec, parse_query("(patient/parent)*"))
+        big = rewrite_query(
+            spec, parse_query("((patient/parent)*/patient/record)*")
+        )
+        assert big.size() < 40 * small.size()
+
+    def test_rewritten_mfa_validates(self):
+        mfa = rewrite_query(sigma0(), parse_query("(patient/parent)*/patient"))
+        mfa.validate()
+
+
+class TestTextOnNonStrTypes:
+    """TextEquals over view types without str content (the ``empty`` type)."""
+
+    SRC = parse_dtd("root s\ns -> t*\nt -> #PCDATA")
+    VIEW = parse_dtd("root v\nv -> e*\ne -> EMPTY")
+
+    def test_empty_type_text_is_empty_string(self):
+        spec = view_spec(self.SRC, self.VIEW, {("v", "e"): "t"})
+        source = parse_xml("<s><t>payload</t></s>")
+        for constant, expect_match in (("", True), ("payload", False)):
+            query = ast.Filtered(
+                ast.Empty(), ast.TextEquals(ast.Label("e"), constant)
+            )
+            view = materialize(spec, source)
+            expected = {
+                n.node_id
+                for n in view.sources(evaluate(query, view.tree.root))
+            }
+            got = {
+                n.node_id
+                for n in evaluate_hype(rewrite_query(spec, query), source).answers
+            }
+            assert got == expected
+            assert bool(expected) is expect_match
+
+
+class TestRewriterInternals:
+    def test_dead_view_label_yields_empty(self):
+        spec = sigma0()
+        mfa = rewrite_query(spec, parse_query("nonexistent"))
+        source = parse_xml(HOSPITAL_XML)
+        assert evaluate_hype(mfa, source).answers == set()
+
+    def test_rewriter_reusable_for_many_queries(self):
+        rewriter = MFARewriter(sigma0())
+        first = rewriter.rewrite(parse_query("patient"))
+        second = rewriter.rewrite(parse_query("patient/record"))
+        first.validate()
+        second.validate()

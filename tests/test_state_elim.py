@@ -1,0 +1,100 @@
+"""State elimination tests (Theorem 4.1, automaton→query direction)."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.automata import NFA, compile_query
+from repro.errors import AutomatonError
+from repro.rewrite import eliminate_states, mfa_to_xreg
+from repro.xpath import ast, evaluate, parse_query
+from repro.xtree import parse_xml
+
+from .strategies import trees
+
+TREE = parse_xml(
+    "<r><a><b><a><c/></a></b></a><c/><b><b/></b></r>"
+)
+
+FILTER_FREE = [
+    ".",
+    "a",
+    "a/b",
+    "a | b",
+    "(a)*",
+    "(a/b)*",
+    "a/(b/a)*/c",
+    "//c",
+    "(a | b)*/c",
+    "*",
+    "**",
+]
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("source", FILTER_FREE)
+    def test_compile_then_eliminate_preserves_semantics(self, source):
+        query = parse_query(source)
+        mfa = compile_query(query)
+        back = mfa_to_xreg(mfa)
+        expected = {n.node_id for n in evaluate(query, TREE.root)}
+        got = {n.node_id for n in evaluate(back, TREE.root)}
+        assert got == expected, source
+
+    @given(trees())
+    @settings(max_examples=30, deadline=None)
+    def test_round_trip_on_random_trees(self, tree):
+        for source in ("(a/b)*", "a/(b | c)*", "//b"):
+            query = parse_query(source)
+            back = mfa_to_xreg(compile_query(query))
+            assert {n.node_id for n in evaluate(query, tree.root)} == {
+                n.node_id for n in evaluate(back, tree.root)
+            }
+
+
+class TestEdgeCases:
+    def test_annotated_mfa_rejected(self):
+        mfa = compile_query(parse_query("a[b]"))
+        with pytest.raises(AutomatonError, match="filter-free"):
+            mfa_to_xreg(mfa)
+
+    def test_empty_language(self):
+        nfa = NFA()
+        start = nfa.new_state()
+        nfa.new_state()  # unreachable final
+        nfa.start = start
+        nfa.finals = set()  # accepts nothing
+        result = eliminate_states(nfa)
+        assert evaluate(result, TREE.root) == set()
+
+    def test_single_accepting_state(self):
+        nfa = NFA()
+        state = nfa.new_state()
+        nfa.start = state
+        nfa.finals = {state}
+        assert eliminate_states(nfa) == ast.Empty()
+
+    def test_self_loop(self):
+        nfa = NFA()
+        state = nfa.new_state()
+        nfa.add_edge(state, "a", state)
+        nfa.start = state
+        nfa.finals = {state}
+        result = eliminate_states(nfa)
+        expected = {n.node_id for n in evaluate(parse_query("(a)*"), TREE.root)}
+        assert {n.node_id for n in evaluate(result, TREE.root)} == expected
+
+
+class TestBlowupEvidence:
+    """Second data point for Corollary 3.3: NFA→regex output growth."""
+
+    def test_size_grows_faster_than_automaton(self):
+        sizes = []
+        for depth in (2, 4, 6):
+            source = "/".join(["(a | b)"] * depth) + "*" * 0
+            query = parse_query(f"(({source})*)")
+            mfa = compile_query(query)
+            back = mfa_to_xreg(mfa)
+            sizes.append((mfa.size(), back.size()))
+        automaton_growth = sizes[-1][0] / sizes[0][0]
+        expression_growth = sizes[-1][1] / sizes[0][1]
+        assert expression_growth > automaton_growth

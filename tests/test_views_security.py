@@ -1,0 +1,110 @@
+"""Security-policy front end tests (the [9]-style access-control layer)."""
+
+import pytest
+
+from repro.dtd import hospital_dtd, parse_dtd
+from repro.dtd.model import Choice, EmptyContent, Sequence
+from repro.errors import ViewError
+from repro.views import materialize
+from repro.views.security import (
+    ALLOW,
+    DENY,
+    AccessPolicy,
+    derive_view,
+    policy_from_mapping,
+)
+from repro.xpath import evaluate, parse_query
+from repro.xtree import parse_xml, serialize
+
+SRC = parse_dtd(
+    """
+    root r
+    r -> pub*, priv*, mix*
+    pub -> #PCDATA
+    priv -> #PCDATA
+    mix -> pub*, priv*
+    """
+)
+
+DOC = parse_xml(
+    "<r><pub>open</pub><priv>secret</priv>"
+    "<mix><pub>ok</pub><priv>hidden</priv></mix></r>"
+)
+
+
+class TestDeriveView:
+    def test_allow_everything_is_identity_shape(self):
+        spec = derive_view(AccessPolicy(SRC))
+        view = materialize(spec, DOC)
+        assert serialize(view.tree) == serialize(DOC)
+
+    def test_deny_hides_subtree(self):
+        policy = policy_from_mapping(
+            SRC, {("r", "priv"): DENY, ("mix", "priv"): DENY}
+        )
+        view = materialize(derive_view(policy), DOC)
+        text = serialize(view.tree)
+        assert "secret" not in text and "hidden" not in text
+        assert "open" in text and "ok" in text
+
+    def test_denied_types_removed_from_view_dtd(self):
+        policy = policy_from_mapping(
+            SRC, {("r", "priv"): DENY, ("mix", "priv"): DENY}
+        )
+        spec = derive_view(policy)
+        assert "priv" not in spec.view_dtd.element_types
+
+    def test_conditional_edge_filters(self):
+        policy = policy_from_mapping(SRC, {("r", "pub"): "text() = 'open'"})
+        view = materialize(derive_view(policy), DOC)
+        pubs = evaluate(parse_query("pub"), view.tree.root)
+        assert {p.text() for p in pubs} == {"open"}
+
+    def test_conditional_children_become_starred(self):
+        src = parse_dtd("root r\nr -> a\na -> #PCDATA")
+        policy = policy_from_mapping(src, {("r", "a"): "text() = 'keep'"})
+        spec = derive_view(policy)
+        content = spec.view_dtd.production("r")
+        assert isinstance(content, Sequence)
+        assert content.items[0].starred
+
+    def test_default_deny(self):
+        policy = AccessPolicy(SRC, {("r", "pub"): ALLOW}, default=DENY)
+        spec = derive_view(policy)
+        assert spec.view_dtd.element_types == {"r", "pub"}
+
+    def test_choice_with_denied_option_degrades(self):
+        src = parse_dtd(
+            "root r\nr -> ch\nch -> x + y\nx -> #PCDATA\ny -> #PCDATA"
+        )
+        policy = policy_from_mapping(src, {("ch", "y"): DENY})
+        spec = derive_view(policy)
+        content = spec.view_dtd.production("ch")
+        assert isinstance(content, Sequence)  # single option -> optional child
+
+    def test_fully_denied_content_becomes_empty(self):
+        src = parse_dtd("root r\nr -> a*\na -> #PCDATA")
+        policy = policy_from_mapping(src, {("r", "a"): DENY})
+        spec = derive_view(policy)
+        assert isinstance(spec.view_dtd.production("r"), EmptyContent)
+
+    def test_rule_for_unknown_edge_rejected(self):
+        with pytest.raises(ViewError, match="unknown DTD edge"):
+            policy_from_mapping(SRC, {("r", "ghost"): DENY})
+
+    def test_hospital_policy_round_trip(self):
+        dtd = hospital_dtd()
+        policy = policy_from_mapping(
+            dtd,
+            {
+                ("patient", "pname"): DENY,
+                ("patient", "address"): DENY,
+                ("visit", "doctor"): DENY,
+                ("patient", "sibling"): DENY,
+            },
+        )
+        spec = derive_view(policy)
+        assert "doctor" not in spec.view_dtd.element_types
+        assert "sibling" not in spec.view_dtd.element_types
+        # the recursive parent hierarchy survives
+        assert ("parent", "patient") in set(spec.view_dtd.edges())

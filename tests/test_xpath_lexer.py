@@ -1,0 +1,88 @@
+"""Lexer tests."""
+
+import pytest
+
+from repro.errors import QuerySyntaxError
+from repro.xpath.lexer import (
+    AND,
+    DOT,
+    DSLASH,
+    EOF,
+    EQ,
+    LBRACKET,
+    LPAREN,
+    NAME,
+    NOT,
+    OR,
+    RBRACKET,
+    RPAREN,
+    SLASH,
+    STAR,
+    STRING,
+    TEXTFN,
+    UNION,
+    tokenize,
+)
+
+
+def kinds(source: str) -> list[str]:
+    return [t.kind for t in tokenize(source)]
+
+
+class TestTokens:
+    def test_simple_path(self):
+        assert kinds("a/b") == [NAME, SLASH, NAME, EOF]
+
+    def test_double_slash(self):
+        assert kinds("a//b") == [NAME, DSLASH, NAME, EOF]
+
+    def test_star_and_union(self):
+        assert kinds("(a|b)*") == [LPAREN, NAME, UNION, NAME, RPAREN, STAR, EOF]
+
+    def test_filter_brackets(self):
+        assert kinds("a[b]") == [NAME, LBRACKET, NAME, RBRACKET, EOF]
+
+    def test_dot(self):
+        assert kinds(".") == [DOT, EOF]
+
+    def test_text_function(self):
+        assert kinds("text() = 'c'") == [TEXTFN, EQ, STRING, EOF]
+
+    def test_text_as_name_when_no_parens(self):
+        assert kinds("text") == [NAME, EOF]
+
+    def test_keywords(self):
+        assert kinds("not and or") == [NOT, AND, OR, EOF]
+
+    def test_keyword_prefix_is_name(self):
+        assert kinds("android") == [NAME, EOF]
+        assert kinds("nottingham") == [NAME, EOF]
+
+    def test_single_and_double_quotes(self):
+        tokens = tokenize("'one' \"two\"")
+        assert [t.value for t in tokens[:-1]] == ["one", "two"]
+
+    def test_string_keeps_spaces(self):
+        assert tokenize("'heart disease'")[0].value == "heart disease"
+
+    def test_names_with_dash_underscore(self):
+        assert tokenize("foo-bar_baz9")[0].value == "foo-bar_baz9"
+
+    def test_whitespace_ignored(self):
+        assert kinds("  a  /  b  ") == [NAME, SLASH, NAME, EOF]
+
+    def test_positions_recorded(self):
+        tokens = tokenize("a / b")
+        assert tokens[0].pos == 0
+        assert tokens[1].pos == 2
+        assert tokens[2].pos == 4
+
+
+class TestErrors:
+    def test_unterminated_string(self):
+        with pytest.raises(QuerySyntaxError, match="unterminated"):
+            tokenize("'oops")
+
+    def test_unexpected_character(self):
+        with pytest.raises(QuerySyntaxError, match="unexpected character"):
+            tokenize("a ? b")

@@ -1,0 +1,184 @@
+"""Parser tests: every construct of the Section 2.1 grammar."""
+
+import pytest
+
+from repro.errors import QueryParseError
+from repro.xpath import ast, parse_filter, parse_query
+
+
+class TestPaths:
+    def test_label(self):
+        assert parse_query("a") == ast.Label("a")
+
+    def test_empty_path(self):
+        assert parse_query(".") == ast.Empty()
+
+    def test_wildcard_step(self):
+        assert parse_query("*") == ast.Wildcard()
+
+    def test_concat_left_assoc(self):
+        assert parse_query("a/b/c") == ast.Concat(
+            ast.Concat(ast.Label("a"), ast.Label("b")), ast.Label("c")
+        )
+
+    def test_union(self):
+        assert parse_query("a | b") == ast.Union(ast.Label("a"), ast.Label("b"))
+
+    def test_union_binds_weaker_than_concat(self):
+        assert parse_query("a/b | c") == ast.Union(
+            ast.Concat(ast.Label("a"), ast.Label("b")), ast.Label("c")
+        )
+
+    def test_kleene_star_on_group(self):
+        assert parse_query("(a/b)*") == ast.Star(
+            ast.Concat(ast.Label("a"), ast.Label("b"))
+        )
+
+    def test_kleene_star_on_label(self):
+        assert parse_query("a*") == ast.Star(ast.Label("a"))
+
+    def test_star_as_wildcard_after_slash(self):
+        assert parse_query("a/*") == ast.Concat(ast.Label("a"), ast.Wildcard())
+
+    def test_double_star_is_wildcard_closure(self):
+        assert parse_query("**") == ast.Star(ast.Wildcard())
+
+    def test_descendant_or_self_between(self):
+        assert parse_query("a//b") == ast.Concat(
+            ast.Concat(ast.Label("a"), ast.DescOrSelf()), ast.Label("b")
+        )
+
+    def test_leading_descendant(self):
+        assert parse_query("//a") == ast.Concat(ast.DescOrSelf(), ast.Label("a"))
+
+    def test_bare_descendant(self):
+        assert parse_query("//") == ast.DescOrSelf()
+
+    def test_trailing_descendant(self):
+        assert parse_query("a//") == ast.Concat(ast.Label("a"), ast.DescOrSelf())
+
+    def test_parens_grouping(self):
+        assert parse_query("a/(b | c)") == ast.Concat(
+            ast.Label("a"), ast.Union(ast.Label("b"), ast.Label("c"))
+        )
+
+    def test_star_then_filter(self):
+        q = parse_query("a*[b]")
+        assert isinstance(q, ast.Filtered)
+        assert isinstance(q.path, ast.Star)
+
+    def test_filter_then_star(self):
+        q = parse_query("a[b]*")
+        assert isinstance(q, ast.Star)
+        assert isinstance(q.inner, ast.Filtered)
+
+
+class TestFilters:
+    def test_existence_filter(self):
+        assert parse_query("a[b]") == ast.Filtered(
+            ast.Label("a"), ast.Exists(ast.Label("b"))
+        )
+
+    def test_text_equality(self):
+        q = parse_query("a[b/text() = 'c']")
+        assert q.predicate == ast.TextEquals(ast.Label("b"), "c")
+
+    def test_text_equality_on_self(self):
+        q = parse_query("a[text() = 'c']")
+        assert q.predicate == ast.TextEquals(ast.Empty(), "c")
+
+    def test_text_equality_deep_path(self):
+        q = parse_query("a[b/c/text() = 'v']")
+        assert q.predicate == ast.TextEquals(
+            ast.Concat(ast.Label("b"), ast.Label("c")), "v"
+        )
+
+    def test_not(self):
+        q = parse_query("a[not(b)]")
+        assert q.predicate == ast.Not(ast.Exists(ast.Label("b")))
+
+    def test_and_or_precedence(self):
+        q = parse_query("a[b and c or d]")
+        assert q.predicate == ast.Or(
+            ast.And(ast.Exists(ast.Label("b")), ast.Exists(ast.Label("c"))),
+            ast.Exists(ast.Label("d")),
+        )
+
+    def test_parenthesised_boolean_group(self):
+        q = parse_query("a[(b or c) and d]")
+        assert q.predicate == ast.And(
+            ast.Or(ast.Exists(ast.Label("b")), ast.Exists(ast.Label("c"))),
+            ast.Exists(ast.Label("d")),
+        )
+
+    def test_parenthesised_path_in_filter(self):
+        q = parse_query("a[(b | c)/d]")
+        assert q.predicate == ast.Exists(
+            ast.Concat(ast.Union(ast.Label("b"), ast.Label("c")), ast.Label("d"))
+        )
+
+    def test_star_path_in_filter(self):
+        q = parse_query("a[(b/c)*/d]")
+        inner = q.predicate.path
+        assert isinstance(inner, ast.Concat)
+        assert isinstance(inner.left, ast.Star)
+
+    def test_nested_filters(self):
+        q = parse_query("a[b[c]]")
+        assert q.predicate == ast.Exists(
+            ast.Filtered(ast.Label("b"), ast.Exists(ast.Label("c")))
+        )
+
+    def test_descendant_in_filter(self):
+        q = parse_query("a[*//b]")
+        path = q.predicate.path
+        assert isinstance(path, ast.Concat)
+
+    def test_multiple_filters_stack(self):
+        q = parse_query("a[b][c]")
+        assert isinstance(q, ast.Filtered)
+        assert isinstance(q.path, ast.Filtered)
+
+    def test_parse_filter_entry_point(self):
+        f = parse_filter("not(a) and b/text() = 'x'")
+        assert isinstance(f, ast.And)
+
+    def test_paper_example_41(self):
+        q = parse_query(
+            "(patient/parent)*/patient"
+            "[(parent/patient)*/record/diagnosis/text() = 'heart disease']"
+        )
+        assert isinstance(q, ast.Concat)
+        assert isinstance(q.left, ast.Star)
+        assert isinstance(q.right, ast.Filtered)
+        assert isinstance(q.right.predicate, ast.TextEquals)
+
+
+class TestErrors:
+    def test_trailing_garbage(self):
+        with pytest.raises(QueryParseError, match="trailing"):
+            parse_query("a b")
+
+    def test_dangling_slash(self):
+        with pytest.raises(QueryParseError):
+            parse_query("a/")
+
+    def test_unclosed_paren(self):
+        with pytest.raises(QueryParseError):
+            parse_query("(a/b")
+
+    def test_unclosed_bracket(self):
+        with pytest.raises(QueryParseError):
+            parse_query("a[b")
+
+    def test_empty_query(self):
+        with pytest.raises(QueryParseError):
+            parse_query("")
+
+    def test_not_requires_parens(self):
+        with pytest.raises(QueryParseError):
+            parse_query("a[not b]")
+
+    def test_error_mentions_position(self):
+        with pytest.raises(QueryParseError, match="position"):
+            parse_query("a/]")

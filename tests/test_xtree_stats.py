@@ -1,0 +1,30 @@
+"""Tree statistics tests."""
+
+from repro.xtree import document, element, parse_xml, tree_stats
+
+
+class TestStats:
+    def test_counts(self):
+        tree = parse_xml("<a><b>x</b><c/></a>")
+        stats = tree_stats(tree)
+        assert stats.total_nodes == 4
+        assert stats.element_nodes == 3
+        assert stats.text_nodes == 1
+
+    def test_depth(self):
+        tree = parse_xml("<a><b><c><d/></c></b></a>")
+        assert tree_stats(tree).max_depth == 3
+
+    def test_label_counts(self):
+        tree = parse_xml("<a><b/><b/><c/></a>")
+        stats = tree_stats(tree)
+        assert stats.label_counts["b"] == 2
+        assert stats.label_counts["a"] == 1
+
+    def test_bytes_positive(self):
+        tree = document(element("abc", "sometext"))
+        assert tree_stats(tree).approx_bytes > 8
+
+    def test_describe_mentions_counts(self):
+        text = tree_stats(parse_xml("<a><b>x</b></a>")).describe()
+        assert "3 nodes" in text and "2 elements" in text
