@@ -1,0 +1,27 @@
+# Convenience targets; everything also works with plain pytest.
+# PYTHONPATH=src keeps the tree importable without an editable install
+# (offline containers without `wheel`); `make install` is the other path.
+
+PY ?= python
+export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
+
+.PHONY: test bench bench-smoke bench-serve install
+
+test:
+	$(PY) -m pytest -x -q
+
+install:
+	$(PY) -m pip install -e .
+
+bench:
+	$(PY) -m pytest benchmarks/ --benchmark-only -q
+
+# One tiny serve benchmark: catches batching perf/equivalence regressions
+# in seconds (CI runs this on every push).
+bench-smoke:
+	$(PY) -m pytest benchmarks/test_serve_throughput.py -q \
+	    --benchmark-disable-gc --benchmark-warmup=off
+	$(PY) -m repro.cli bench-serve --patients 30 --requests 16 --repeats 1
+
+bench-serve:
+	$(PY) -m repro.cli bench-serve

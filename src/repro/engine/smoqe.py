@@ -17,16 +17,21 @@ and runs any ``Xreg`` query on the source document.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from ..automata.compile import compile_query
 from ..automata.mfa import MFA
 from ..errors import ViewError
-from ..hype.analyze import ViabilityAnalyzer
-from ..hype.api import ALGORITHMS, HYPE, OPTHYPE, OPTHYPE_C
-from ..hype.core import HyPEEvaluator, HyPEStats
-from ..hype.index import build_index
+from ..hype.api import ALGORITHMS, HYPE
+from ..hype.core import HyPEStats
 from ..rewrite.mfa_rewrite import rewrite_query
+from ..serve.cache import (
+    CachedPlan,
+    CacheStats,
+    PlanCache,
+    normalized_query_text,
+    plan_for,
+)
 from ..views.spec import ViewSpec
 from ..xpath import ast
 from ..xpath.parser import parse_query
@@ -53,20 +58,31 @@ class QueryAnswer:
 @dataclass
 class _ViewEntry:
     spec: ViewSpec
-    rewrites: dict[str, MFA] = field(default_factory=dict)
 
 
 class SMOQE:
-    """One engine instance serves one source document and many views."""
+    """One engine instance serves one source document and many views.
 
-    def __init__(self, document: XMLTree, default_algorithm: str = HYPE) -> None:
+    Compiled plans (rewritten MFAs and directly compiled queries) live in
+    a shared :class:`repro.serve.cache.PlanCache` keyed by ``(view,
+    normalised query)`` — pass one in to share plans with a
+    :class:`repro.serve.service.QueryService` over the same document.
+    """
+
+    def __init__(
+        self,
+        document: XMLTree,
+        default_algorithm: str = HYPE,
+        cache: PlanCache | None = None,
+        cache_capacity: int = 256,
+    ) -> None:
         if default_algorithm not in ALGORITHMS:
             raise ValueError(f"unknown algorithm {default_algorithm!r}")
         self.document = document
         self.default_algorithm = default_algorithm
+        self.cache = cache if cache is not None else PlanCache(cache_capacity)
         self._views: dict[str, _ViewEntry] = {}
         self._indexes: dict[bool, object] = {}
-        self._compiled: dict[str, MFA] = {}
 
     # ------------------------------------------------------------------
     # View administration
@@ -102,30 +118,30 @@ class SMOQE:
         The rewriting is cached, so repeated queries over the same view pay
         only evaluation time.
         """
-        entry = self._views.get(view)
-        if entry is None:
-            raise ViewError(f"unknown view {view!r}")
         query_ast = parse_query(query) if isinstance(query, str) else query
-        query_text = unparse(query_ast)
-        mfa = entry.rewrites.get(query_text)
-        if mfa is None:
-            mfa = rewrite_query(entry.spec, query_ast)
-            entry.rewrites[query_text] = mfa
-        nodes, stats, algo = self._run(mfa, algorithm)
-        return QueryAnswer(nodes, mfa, stats, algo, view=view, query_text=query_text)
+        plan = self._rewritten(view, query_ast)
+        nodes, stats, algo = self._run(plan, algorithm)
+        return QueryAnswer(
+            nodes, plan.mfa, stats, algo, view=view, query_text=unparse(query_ast)
+        )
 
     def rewrite(self, view: str, query: str | ast.Path) -> MFA:
         """Expose the rewritten MFA (for inspection or external evaluation)."""
+        query_ast = parse_query(query) if isinstance(query, str) else query
+        return self._rewritten(view, query_ast).mfa
+
+    def _rewritten(self, view: str, query_ast: ast.Path) -> CachedPlan:
         entry = self._views.get(view)
         if entry is None:
             raise ViewError(f"unknown view {view!r}")
-        query_ast = parse_query(query) if isinstance(query, str) else query
-        query_text = unparse(query_ast)
-        mfa = entry.rewrites.get(query_text)
-        if mfa is None:
-            mfa = rewrite_query(entry.spec, query_ast)
-            entry.rewrites[query_text] = mfa
-        return mfa
+        return plan_for(
+            self.cache,
+            (view, normalized_query_text(query_ast)),
+            entry.spec,
+            lambda: CachedPlan(
+                rewrite_query(entry.spec, query_ast), spec=entry.spec
+            ),
+        )
 
     # ------------------------------------------------------------------
     # Stand-alone regular XPath engine
@@ -136,28 +152,26 @@ class SMOQE:
         """Evaluate a (regular) XPath query directly on the source."""
         query_ast = parse_query(query) if isinstance(query, str) else query
         query_text = unparse(query_ast)
-        mfa = self._compiled.get(query_text)
-        if mfa is None:
-            mfa = compile_query(query_ast, description=query_text)
-            self._compiled[query_text] = mfa
-        nodes, stats, algo = self._run(mfa, algorithm)
-        return QueryAnswer(nodes, mfa, stats, algo, query_text=query_text)
+        plan = plan_for(
+            self.cache,
+            (None, normalized_query_text(query_ast)),
+            None,
+            lambda: CachedPlan(
+                compile_query(query_ast, description=query_text)
+            ),
+        )
+        nodes, stats, algo = self._run(plan, algorithm)
+        return QueryAnswer(nodes, plan.mfa, stats, algo, query_text=query_text)
 
     # ------------------------------------------------------------------
-    def _run(self, mfa: MFA, algorithm: str | None):
+    def _run(self, plan: CachedPlan, algorithm: str | None):
         algo = algorithm or self.default_algorithm
         if algo not in ALGORITHMS:
             raise ValueError(f"unknown algorithm {algo!r}")
-        if algo == HYPE:
-            evaluator = HyPEEvaluator(mfa)
-        else:
-            compressed = algo == OPTHYPE_C
-            index = self._indexes.get(compressed)
-            if index is None:
-                index = build_index(self.document, compressed=compressed)
-                self._indexes[compressed] = index
-            evaluator = HyPEEvaluator(
-                mfa, index=index, analyzer=ViabilityAnalyzer(mfa, index.bits)
-            )
+        evaluator = plan.evaluator(algo, self.document, self._indexes)
         result = evaluator.run(self.document.root)
         return result.answers, result.stats, algo
+
+    def cache_stats(self) -> CacheStats:
+        """Plan-cache hit/miss/eviction counters."""
+        return self.cache.stats

@@ -54,3 +54,11 @@ class AutomatonError(ReproError):
 
 class EvaluationError(ReproError):
     """Raised when query/automaton evaluation encounters an invalid state."""
+
+
+class ServiceError(ReproError):
+    """Raised for invalid requests to the multi-tenant query service."""
+
+
+class AuthorizationError(ServiceError):
+    """Raised when a tenant requests data outside its security view."""

@@ -133,12 +133,15 @@ class HyPEEvaluator:
         return entry
 
     # ------------------------------------------------------------------
-    def run(self, context: Node) -> HyPEResult:
-        """Evaluate ``context[[M]]`` in one pass + one cans traversal."""
+    def initial_sets(self, context: Node):
+        """Root ``(mstates, m_id, relevant, r_id)`` after index filtering.
+
+        Shared by :meth:`run` and the batched evaluator
+        (:mod:`repro.serve.batch`), which drives many evaluators through
+        one document pass and needs each lane's root sets up front.
+        """
         nfa = self.mfa.nfa
         pool = self.mfa.pool
-        stats = HyPEStats()
-
         base0, base_id0 = self._intern(frozenset({nfa.start}))
         mstates0 = nfa.eps_closure_of(nfa.start)
         relevant0 = relevance_closure(pool, self._ann_entries(mstates0))
@@ -148,6 +151,31 @@ class HyPEEvaluator:
             mstates0, m_id0, relevant0, r_id0 = self._apply_index(
                 base0, base_id0, relevant0, r_id0, context.node_id
             )
+        return mstates0, m_id0, relevant0, r_id0
+
+    def collect_answers(
+        self, visit_nodes, visit_parents, visit_mstates, deaths, finals_seen
+    ) -> set[Node]:
+        """Phase 2 over an externally-built cans DAG (batch reuse)."""
+        if not deaths:
+            return set(finals_seen)
+        return self._phase2(
+            visit_nodes, visit_parents, visit_mstates, deaths, self.mfa.nfa.finals
+        )
+
+    # ------------------------------------------------------------------
+    def run(self, context: Node) -> HyPEResult:
+        """Evaluate ``context[[M]]`` in one pass + one cans traversal.
+
+        The descent below is mirrored lane-wise by
+        ``repro.serve.batch.BatchEvaluator._pass`` (kept separate for
+        hot-path speed): changes here must be reflected there, with
+        ``tests/test_serve_batch.py`` enforcing the equivalence.
+        """
+        nfa = self.mfa.nfa
+        stats = HyPEStats()
+
+        mstates0, m_id0, relevant0, r_id0 = self.initial_sets(context)
         if not mstates0 and not relevant0:
             return HyPEResult(set(), stats)
 

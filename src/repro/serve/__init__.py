@@ -1,0 +1,54 @@
+"""``repro.serve`` — the multi-tenant secure query service.
+
+The paper's deployment scenario (Section 1): one server holds an XML
+source; each user group is confined to its own security view and poses
+(regular) XPath queries against it.  This package turns the single-shot
+:class:`repro.engine.smoqe.SMOQE` engine into a serving system:
+
+* :mod:`repro.serve.cache` — bounded, thread-safe LRU cache of compiled
+  plans keyed by ``(view, normalised query)``;
+* :mod:`repro.serve.batch` — batched HyPE: N MFAs share one top-down
+  document pass, pruning a subtree only when *every* live automaton
+  allows it;
+* :mod:`repro.serve.service` — the :class:`QueryService` façade (tenants,
+  authorisation, batching, metrics);
+* :mod:`repro.serve.session` — per-tenant session registry;
+* :mod:`repro.serve.metrics` — service counters and table rendering.
+
+Attribute access is lazy (PEP 562): :mod:`repro.engine.smoqe` depends on
+:mod:`repro.serve.cache` for its plan cache while
+:mod:`repro.serve.service` depends on the engine's ``QueryAnswer``, and
+eager re-exports here would close that cycle.
+"""
+
+from importlib import import_module
+
+_EXPORTS = {
+    "BatchEvaluator": "batch",
+    "BatchResult": "batch",
+    "BatchStats": "batch",
+    "CachedPlan": "cache",
+    "CacheStats": "cache",
+    "PlanCache": "cache",
+    "normalized_query_text": "cache",
+    "MetricsSnapshot": "metrics",
+    "ServiceMetrics": "metrics",
+    "QueryRequest": "service",
+    "QueryService": "service",
+    "TenantBinding": "service",
+    "Session": "session",
+    "SessionRegistry": "session",
+}
+
+__all__ = sorted(_EXPORTS)
+
+
+def __getattr__(name: str):
+    module_name = _EXPORTS.get(name)
+    if module_name is None:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    return getattr(import_module(f".{module_name}", __name__), name)
+
+
+def __dir__() -> list[str]:
+    return sorted(set(globals()) | set(_EXPORTS))

@@ -1,0 +1,241 @@
+"""Bounded, thread-safe LRU cache of compiled query plans.
+
+Rewriting a view query into an MFA (Section 5) dominates per-request cost
+once documents are held in memory, so the service caches plans keyed by
+``(view, normalised query)``: two textual variants of the same query
+(``//b`` vs ``(*)*/b``, redundant stars, re-associated unions) share one
+entry.  The cache is the single plan store for both the stand-alone
+:class:`repro.engine.smoqe.SMOQE` engine and the multi-tenant
+:class:`repro.serve.service.QueryService`.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Callable, Hashable, Iterator, TypeVar
+
+from ..automata.mfa import MFA
+from ..hype.analyze import ViabilityAnalyzer
+from ..hype.api import HYPE, OPTHYPE_C
+from ..hype.core import HyPEEvaluator
+from ..hype.index import build_index
+from ..xpath import ast
+from ..xpath.normalize import canonical, desugar, simplify
+from ..xpath.parser import parse_query
+from ..xpath.unparse import unparse
+from ..xtree.node import XMLTree
+
+V = TypeVar("V")
+
+#: Cache key: (view name or None for direct source queries, normalised text).
+CacheKey = tuple[str | None, str]
+
+
+def normalized_query_text(query: str | ast.Path) -> str:
+    """Canonical text of a query, used as the cache-key component.
+
+    Normalisation is semantics-preserving (desugar ``//``, star/union
+    simplification, left re-association), so syntactic variants of one
+    query map to one plan.
+    """
+    query_ast = parse_query(query) if isinstance(query, str) else query
+    return unparse(canonical(simplify(desugar(query_ast))))
+
+
+@dataclass
+class CachedPlan:
+    """The cache's value type: a compiled MFA plus reusable evaluators.
+
+    Both :class:`repro.engine.smoqe.SMOQE` and
+    :class:`repro.serve.service.QueryService` store :class:`CachedPlan`
+    values, so one :class:`PlanCache` can be shared between an engine and
+    a service over the same document.  Evaluators are built lazily per
+    algorithm and reused across runs (their per-MFA caches keep paying
+    off).
+
+    ``spec`` records the view specification the plan was compiled
+    against (``None`` for direct source queries): cache keys carry only
+    the view *name*, so holders sharing a cache must check ``spec``
+    identity on a hit and recompile on mismatch — otherwise two holders
+    binding the same name to different specs would serve each other's
+    rewritings.
+
+    Evaluators themselves are NOT thread-safe (they mutate internal
+    memo tables during a run); callers serialise runs per evaluator —
+    ``QueryService`` holds its evaluation lock around every run.
+    """
+
+    mfa: MFA
+    spec: object | None = None
+    evaluators: dict[str, HyPEEvaluator] = field(default_factory=dict)
+
+    def evaluator(
+        self, algorithm: str, document: XMLTree, indexes: dict
+    ) -> HyPEEvaluator:
+        """The (cached) evaluator realising ``algorithm`` for this plan.
+
+        ``indexes`` is the caller's per-document index cache
+        (``compressed -> Index``), shared across plans.
+        """
+        evaluator = self.evaluators.get(algorithm)
+        if evaluator is not None:
+            return evaluator
+        if algorithm == HYPE:
+            evaluator = HyPEEvaluator(self.mfa)
+        else:
+            compressed = algorithm == OPTHYPE_C
+            index = indexes.get(compressed)
+            if index is None:
+                index = build_index(document, compressed=compressed)
+                indexes[compressed] = index
+            evaluator = HyPEEvaluator(
+                self.mfa,
+                index=index,
+                analyzer=ViabilityAnalyzer(self.mfa, index.bits),
+            )
+        self.evaluators[algorithm] = evaluator
+        return evaluator
+
+
+def plan_for(
+    cache: "PlanCache",
+    key: CacheKey,
+    spec: object | None,
+    factory: Callable[[], CachedPlan],
+) -> CachedPlan:
+    """Fetch a plan, recompiling when the cached one targets another spec.
+
+    The spec-identity check is what makes *sharing* a cache safe: a hit
+    under the right ``(view, query)`` key but the wrong specification
+    object (same view name registered differently by another holder) is
+    treated as a miss and overwritten.
+    """
+    plan, created = cache.get_or_create(key, factory)
+    if not created and plan.spec is not spec:
+        plan = cache.put(key, factory())
+    return plan
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss/eviction counters (a point-in-time copy is a snapshot)."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from cache (0.0 when unused)."""
+        total = self.lookups
+        return self.hits / total if total else 0.0
+
+    def snapshot(self) -> "CacheStats":
+        return CacheStats(self.hits, self.misses, self.evictions)
+
+
+class PlanCache:
+    """A bounded LRU mapping :data:`CacheKey` → compiled plan.
+
+    All operations take one internal lock, so the cache is safe to share
+    between serving threads.  ``get_or_create`` runs the factory *inside*
+    the lock: plan compilation is deterministic and the lock guarantees a
+    key is compiled at most once (no thundering herd on a cold key).
+    """
+
+    def __init__(self, capacity: int = 256) -> None:
+        if capacity < 1:
+            raise ValueError(f"cache capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self._entries: OrderedDict[Hashable, object] = OrderedDict()
+        self._lock = threading.Lock()
+        self._stats = CacheStats()
+
+    # ------------------------------------------------------------------
+    def get(self, key: Hashable) -> object | None:
+        """Return the cached plan (refreshing recency) or ``None``."""
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                self._stats.misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self._stats.hits += 1
+            return entry
+
+    def put(self, key: Hashable, value: V) -> V:
+        """Insert ``value``, evicting the least recently used on overflow."""
+        with self._lock:
+            self._store(key, value)
+        return value
+
+    def get_or_create(
+        self, key: Hashable, factory: Callable[[], V]
+    ) -> tuple[V, bool]:
+        """Return ``(plan, created)``; compile via ``factory`` on a miss."""
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is not None:
+                self._entries.move_to_end(key)
+                self._stats.hits += 1
+                return entry, False  # type: ignore[return-value]
+            self._stats.misses += 1
+            value = factory()
+            self._store(key, value)
+            return value, True
+
+    def _store(self, key: Hashable, value: object) -> None:
+        if key in self._entries:
+            self._entries.move_to_end(key)
+        self._entries[key] = value
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+            self._stats.evictions += 1
+
+    # ------------------------------------------------------------------
+    def invalidate(self, key: Hashable) -> bool:
+        """Drop one entry; returns whether it existed."""
+        with self._lock:
+            return self._entries.pop(key, None) is not None
+
+    def invalidate_view(self, view: str | None) -> int:
+        """Drop every plan compiled for ``view`` (e.g. on re-registration)."""
+        with self._lock:
+            doomed = [
+                key
+                for key in self._entries
+                if isinstance(key, tuple) and key and key[0] == view
+            ]
+            for key in doomed:
+                del self._entries[key]
+            return len(doomed)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def __contains__(self, key: Hashable) -> bool:
+        with self._lock:
+            return key in self._entries
+
+    def keys(self) -> Iterator[Hashable]:
+        """Snapshot of keys, least recently used first."""
+        with self._lock:
+            return iter(list(self._entries))
+
+    @property
+    def stats(self) -> CacheStats:
+        """A point-in-time copy of the counters."""
+        with self._lock:
+            return self._stats.snapshot()

@@ -1,0 +1,170 @@
+"""Service metrics: request, latency, cache and batching counters.
+
+The recorder (:class:`ServiceMetrics`) is thread-safe and cheap to update
+on the hot path; :meth:`ServiceMetrics.snapshot` produces an immutable
+:class:`MetricsSnapshot` whose :meth:`MetricsSnapshot.format_table`
+renders through :func:`repro.bench.tables.format_series`, so service
+numbers drop straight into the benchmark harness' output format.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+
+from ..bench.tables import format_series
+from .cache import CacheStats
+
+
+@dataclass
+class LatencyStats:
+    """Aggregated request latencies (seconds)."""
+
+    count: int = 0
+    total: float = 0.0
+    min: float = float("inf")
+    max: float = 0.0
+
+    def record(self, seconds: float) -> None:
+        self.count += 1
+        self.total += seconds
+        if seconds < self.min:
+            self.min = seconds
+        if seconds > self.max:
+            self.max = seconds
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def snapshot(self) -> "LatencyStats":
+        return LatencyStats(self.count, self.total, self.min, self.max)
+
+
+@dataclass
+class TenantMetrics:
+    """Per-tenant request accounting."""
+
+    requests: int = 0
+    answers: int = 0
+    latency: LatencyStats = field(default_factory=LatencyStats)
+
+    def snapshot(self) -> "TenantMetrics":
+        return TenantMetrics(self.requests, self.answers, self.latency.snapshot())
+
+
+@dataclass
+class MetricsSnapshot:
+    """Immutable point-in-time view of the service counters."""
+
+    requests: int
+    rejected: int
+    batch_runs: int
+    batched_queries: int
+    batch_visited: int
+    sequential_visited: int
+    latency: LatencyStats
+    cache: CacheStats
+    tenants: dict[str, TenantMetrics]
+
+    @property
+    def batch_saved_visits(self) -> int:
+        """Element visits batching avoided vs. per-query passes."""
+        return self.sequential_visited - self.batch_visited
+
+    def format_table(self, title: str = "service metrics") -> str:
+        """Render per-tenant rows in the benchmark-table format."""
+        tenants = sorted(self.tenants)
+        return format_series(
+            title,
+            row_labels=tenants,
+            columns={
+                "mean": [self.tenants[t].latency.mean for t in tenants],
+                "max": [self.tenants[t].latency.max if self.tenants[t].latency.count else 0.0 for t in tenants],
+            },
+            unit="ms",
+            extra={
+                "requests": [self.tenants[t].requests for t in tenants],
+                "answers": [self.tenants[t].answers for t in tenants],
+            },
+        )
+
+    def describe(self) -> str:
+        """One-paragraph summary for CLI output."""
+        lines = [
+            f"requests: {self.requests} ({self.rejected} rejected)",
+            (
+                f"plan cache: {self.cache.hits} hit(s), "
+                f"{self.cache.misses} miss(es), "
+                f"{self.cache.evictions} eviction(s), "
+                f"hit rate {self.cache.hit_rate:.0%}"
+            ),
+        ]
+        if self.batch_runs:
+            lines.append(
+                f"batching: {self.batched_queries} query(ies) in "
+                f"{self.batch_runs} shared pass(es), visited "
+                f"{self.batch_visited} vs {self.sequential_visited} "
+                f"sequential element(s) "
+                f"(saved {self.batch_saved_visits})"
+            )
+        return "\n".join(lines)
+
+
+class ServiceMetrics:
+    """Thread-safe recorder behind :class:`MetricsSnapshot`."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._requests = 0
+        self._rejected = 0
+        self._batch_runs = 0
+        self._batched_queries = 0
+        self._batch_visited = 0
+        self._sequential_visited = 0
+        self._latency = LatencyStats()
+        self._tenants: dict[str, TenantMetrics] = {}
+
+    # ------------------------------------------------------------------
+    def record_request(
+        self, tenant: str, seconds: float, answers: int
+    ) -> None:
+        with self._lock:
+            self._requests += 1
+            self._latency.record(seconds)
+            per_tenant = self._tenants.get(tenant)
+            if per_tenant is None:
+                per_tenant = self._tenants[tenant] = TenantMetrics()
+            per_tenant.requests += 1
+            per_tenant.answers += answers
+            per_tenant.latency.record(seconds)
+
+    def record_rejection(self) -> None:
+        with self._lock:
+            self._rejected += 1
+
+    def record_batch(
+        self, queries: int, visited: int, sequential_visited: int
+    ) -> None:
+        with self._lock:
+            self._batch_runs += 1
+            self._batched_queries += queries
+            self._batch_visited += visited
+            self._sequential_visited += sequential_visited
+
+    # ------------------------------------------------------------------
+    def snapshot(self, cache: CacheStats | None = None) -> MetricsSnapshot:
+        with self._lock:
+            return MetricsSnapshot(
+                requests=self._requests,
+                rejected=self._rejected,
+                batch_runs=self._batch_runs,
+                batched_queries=self._batched_queries,
+                batch_visited=self._batch_visited,
+                sequential_visited=self._sequential_visited,
+                latency=self._latency.snapshot(),
+                cache=cache or CacheStats(),
+                tenants={
+                    name: tm.snapshot() for name, tm in self._tenants.items()
+                },
+            )

@@ -1,0 +1,292 @@
+"""The multi-tenant secure query service (the paper's deployment scenario).
+
+One :class:`QueryService` holds one source document.  Each *tenant* (user
+group) is bound to a security view at registration time; every request is
+authorised against that binding, so a tenant can never evaluate outside
+its own window on the data — the access-control guarantee of Section 1.
+A tenant bound to ``view=None`` is trusted with direct (unrewritten)
+regular-XPath access to the source.
+
+Two serving paths:
+
+* :meth:`QueryService.submit` — one request: authorise, fetch or compile
+  the plan from the shared LRU :class:`repro.serve.cache.PlanCache`, run
+  HyPE, record metrics.
+* :meth:`QueryService.submit_many` — many requests over the same
+  document: plans are gathered per request and evaluated by one
+  :class:`repro.serve.batch.BatchEvaluator` pass, so K queries cost one
+  shared traversal instead of K.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass
+
+from ..automata.compile import compile_query
+from ..engine.smoqe import QueryAnswer
+from ..errors import AuthorizationError, ServiceError, ViewError
+from ..hype.api import ALGORITHMS, HYPE
+from ..rewrite.mfa_rewrite import rewrite_query
+from ..views.spec import ViewSpec
+from ..xpath import ast
+from ..xpath.parser import parse_query
+from ..xpath.unparse import unparse
+from ..xtree.node import XMLTree
+from .batch import BatchEvaluator, BatchStats
+from .cache import CachedPlan, PlanCache, normalized_query_text, plan_for
+from .metrics import MetricsSnapshot, ServiceMetrics
+from .session import Session, SessionRegistry
+
+
+@dataclass
+class TenantBinding:
+    """A tenant's authorisation record: its view and allowed algorithms."""
+
+    tenant: str
+    view: str | None
+    algorithms: tuple[str, ...] = ALGORITHMS
+
+
+@dataclass
+class QueryRequest:
+    """One unit of work for :meth:`QueryService.submit_many`."""
+
+    tenant: str
+    query: str | ast.Path
+    algorithm: str | None = None
+    session_id: str | None = None
+
+
+class QueryService:
+    """Serve many tenants' queries over one in-memory source document."""
+
+    def __init__(
+        self,
+        document: XMLTree,
+        default_algorithm: str = HYPE,
+        cache: PlanCache | None = None,
+        cache_capacity: int = 256,
+    ) -> None:
+        if default_algorithm not in ALGORITHMS:
+            raise ValueError(f"unknown algorithm {default_algorithm!r}")
+        self.document = document
+        self.default_algorithm = default_algorithm
+        self.cache = cache if cache is not None else PlanCache(cache_capacity)
+        self.sessions = SessionRegistry()
+        self.metrics = ServiceMetrics()
+        self._views: dict[str, ViewSpec] = {}
+        self._tenants: dict[str, TenantBinding] = {}
+        self._indexes: dict[bool, object] = {}
+        # HyPE evaluators mutate per-plan memo tables during a run, so
+        # concurrent submits serialise the evaluation phase (planning,
+        # cache, sessions and metrics all take their own finer locks).
+        self._eval_lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+    # Administration
+    # ------------------------------------------------------------------
+    def register_view(self, name: str, spec: ViewSpec) -> None:
+        """Register a security view; replacing one invalidates its plans."""
+        if name in self._views:
+            self.cache.invalidate_view(name)
+        self._views[name] = spec
+
+    def register_tenant(
+        self,
+        tenant: str,
+        view: str | None,
+        algorithms: tuple[str, ...] | None = None,
+    ) -> TenantBinding:
+        """Bind ``tenant`` to ``view`` (``None`` = trusted direct access).
+
+        An explicitly empty ``algorithms`` tuple is a deny-all binding.
+        """
+        if view is not None and view not in self._views:
+            raise ViewError(f"unknown view {view!r}")
+        binding = TenantBinding(
+            tenant,
+            view,
+            ALGORITHMS if algorithms is None else tuple(algorithms),
+        )
+        self._tenants[tenant] = binding
+        return binding
+
+    def tenants(self) -> list[str]:
+        return sorted(self._tenants)
+
+    def views(self) -> list[str]:
+        return sorted(self._views)
+
+    def open_session(self, tenant: str) -> Session:
+        self._binding(tenant)  # authorise before handing out a session
+        return self.sessions.open(tenant)
+
+    # ------------------------------------------------------------------
+    # Authorisation
+    # ------------------------------------------------------------------
+    def _binding(self, tenant: str) -> TenantBinding:
+        binding = self._tenants.get(tenant)
+        if binding is None:
+            raise AuthorizationError(f"unknown tenant {tenant!r}")
+        return binding
+
+    def _authorize(
+        self,
+        tenant: str,
+        algorithm: str | None,
+        session_id: str | None,
+    ) -> tuple[TenantBinding, str]:
+        binding = self._binding(tenant)
+        algo = algorithm or self.default_algorithm
+        if algo not in ALGORITHMS:
+            raise ServiceError(f"unknown algorithm {algo!r}")
+        if algo not in binding.algorithms:
+            raise AuthorizationError(
+                f"tenant {tenant!r} may not use algorithm {algo!r}"
+            )
+        if session_id is not None:
+            session = self.sessions.get(session_id)
+            if session.tenant != tenant:
+                raise AuthorizationError(
+                    f"session {session_id!r} does not belong to {tenant!r}"
+                )
+        return binding, algo
+
+    # ------------------------------------------------------------------
+    # Plan management
+    # ------------------------------------------------------------------
+    def _plan(
+        self, binding: TenantBinding, query: str | ast.Path
+    ) -> tuple[CachedPlan, str]:
+        query_ast = parse_query(query) if isinstance(query, str) else query
+        key = (binding.view, normalized_query_text(query_ast))
+
+        spec = None if binding.view is None else self._views[binding.view]
+
+        def compile_plan() -> CachedPlan:
+            if spec is None:
+                mfa = compile_query(query_ast, description=unparse(query_ast))
+            else:
+                mfa = rewrite_query(spec, query_ast)
+            return CachedPlan(mfa, spec=spec)
+
+        plan = plan_for(self.cache, key, spec, compile_plan)
+        return plan, unparse(query_ast)
+
+    # ------------------------------------------------------------------
+    # Serving
+    # ------------------------------------------------------------------
+    def submit(
+        self,
+        tenant: str,
+        query: str | ast.Path,
+        algorithm: str | None = None,
+        session_id: str | None = None,
+    ) -> QueryAnswer:
+        """Authorise, plan, evaluate and account one request."""
+        try:
+            binding, algo = self._authorize(tenant, algorithm, session_id)
+            plan, query_text = self._plan(binding, query)
+        except ServiceError:
+            self.metrics.record_rejection()
+            raise
+        started = time.perf_counter()
+        with self._eval_lock:
+            evaluator = plan.evaluator(algo, self.document, self._indexes)
+            result = evaluator.run(self.document.root)
+        elapsed = time.perf_counter() - started
+        self.metrics.record_request(tenant, elapsed, len(result.answers))
+        if session_id is not None:
+            self.sessions.get(session_id).touch(query_text)
+        return QueryAnswer(
+            result.answers,
+            plan.mfa,
+            result.stats,
+            algo,
+            view=binding.view,
+            query_text=query_text,
+        )
+
+    def submit_many(
+        self, requests: list[QueryRequest]
+    ) -> tuple[list[QueryAnswer], BatchStats]:
+        """Serve many same-document requests through one shared pass.
+
+        Returns answers in request order plus the shared-pass counters.
+        Authorisation failures raise before any evaluation starts, so a
+        batch is all-or-nothing.  Requests resolving to the same
+        ``(plan, algorithm)`` share one lane — their answers are computed
+        once and fanned out — so the reported ``sequential_visited``
+        (what N per-request passes would have cost) also counts the
+        avoided duplicate evaluations.
+        """
+        if not requests:
+            return [], BatchStats()
+        grants = []
+        for request in requests:
+            try:
+                binding, algo = self._authorize(
+                    request.tenant, request.algorithm, request.session_id
+                )
+                plan, query_text = self._plan(binding, request.query)
+            except ServiceError:
+                self.metrics.record_rejection()
+                raise
+            grants.append((request, binding, algo, plan, query_text))
+        started = time.perf_counter()
+        with self._eval_lock:
+            lane_of: dict[tuple[int, str], int] = {}
+            evaluators = []
+            request_lane: list[int] = []
+            for _request, _binding, algo, plan, _query_text in grants:
+                key = (id(plan), algo)
+                lane = lane_of.get(key)
+                if lane is None:
+                    lane = lane_of[key] = len(evaluators)
+                    evaluators.append(
+                        plan.evaluator(algo, self.document, self._indexes)
+                    )
+                request_lane.append(lane)
+            outcome = BatchEvaluator(evaluators).run(self.document.root)
+        elapsed = time.perf_counter() - started
+        # Attribute the shared pass evenly across the batched requests.
+        share = elapsed / len(grants)
+        answers: list[QueryAnswer] = []
+        for (request, binding, algo, plan, query_text), lane in zip(
+            grants, request_lane
+        ):
+            result = outcome.results[lane]
+            self.metrics.record_request(
+                request.tenant, share, len(result.answers)
+            )
+            if request.session_id is not None:
+                self.sessions.get(request.session_id).touch(query_text)
+            answers.append(
+                QueryAnswer(
+                    result.answers,
+                    plan.mfa,
+                    result.stats,
+                    algo,
+                    view=binding.view,
+                    query_text=query_text,
+                )
+            )
+        stats = BatchStats(
+            lanes=len(evaluators),
+            visited_elements=outcome.stats.visited_elements,
+            skipped_subtrees=outcome.stats.skipped_subtrees,
+            sequential_visited=sum(
+                a.stats.visited_elements for a in answers
+            ),
+        )
+        self.metrics.record_batch(
+            len(grants), stats.visited_elements, stats.sequential_visited
+        )
+        return answers, stats
+
+    # ------------------------------------------------------------------
+    def metrics_snapshot(self) -> MetricsSnapshot:
+        """Counters + cache stats, consumable by :mod:`repro.bench.tables`."""
+        return self.metrics.snapshot(self.cache.stats)

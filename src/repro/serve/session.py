@@ -1,0 +1,85 @@
+"""Session registry: authenticated conversations between tenants and the
+service.
+
+A session is the unit the front-end would hand out as a token: it pins a
+tenant (and therefore a view — the tenant's authorised window on the
+data) and accumulates per-conversation counters.  The registry is
+thread-safe and is consulted by :class:`repro.serve.service.QueryService`
+on every submit carrying a session id.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+import time
+from dataclasses import dataclass, field
+
+from ..errors import ServiceError
+
+
+@dataclass
+class Session:
+    """One tenant conversation (identified by ``session_id``)."""
+
+    session_id: str
+    tenant: str
+    created_at: float = field(default_factory=time.time)
+    requests: int = 0
+    last_query: str = ""
+
+    def touch(self, query_text: str) -> None:
+        self.requests += 1
+        self.last_query = query_text
+
+
+class SessionRegistry:
+    """Thread-safe id → :class:`Session` map with per-tenant accounting."""
+
+    def __init__(self) -> None:
+        self._sessions: dict[str, Session] = {}
+        self._lock = threading.Lock()
+        self._counter = itertools.count(1)
+
+    # ------------------------------------------------------------------
+    def open(self, tenant: str) -> Session:
+        """Open a session for ``tenant`` and return it."""
+        with self._lock:
+            session_id = f"s{next(self._counter)}"
+            session = Session(session_id=session_id, tenant=tenant)
+            self._sessions[session_id] = session
+            return session
+
+    def get(self, session_id: str) -> Session:
+        """Look a session up; raise :class:`ServiceError` if unknown."""
+        with self._lock:
+            session = self._sessions.get(session_id)
+        if session is None:
+            raise ServiceError(f"unknown session {session_id!r}")
+        return session
+
+    def close(self, session_id: str) -> Session:
+        """Close (remove) a session; raise if unknown."""
+        with self._lock:
+            session = self._sessions.pop(session_id, None)
+        if session is None:
+            raise ServiceError(f"unknown session {session_id!r}")
+        return session
+
+    # ------------------------------------------------------------------
+    def active(self) -> list[Session]:
+        """Open sessions, oldest first."""
+        with self._lock:
+            return sorted(self._sessions.values(), key=lambda s: s.session_id)
+
+    def per_tenant(self) -> dict[str, int]:
+        """Open-session count per tenant."""
+        counts: dict[str, int] = {}
+        with self._lock:
+            for session in self._sessions.values():
+                counts[session.tenant] = counts.get(session.tenant, 0) + 1
+        return counts
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._sessions)

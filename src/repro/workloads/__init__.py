@@ -27,8 +27,22 @@ from .queries import (
     parse_all,
 )
 from .scales import SeriesStep, document_series, scale_factor
+from .traffic import (
+    TrafficConfig,
+    TrafficRequest,
+    generate_traffic,
+    register_tenants,
+    tenant_names,
+    waves,
+)
 
 __all__ = [
+    "TrafficConfig",
+    "TrafficRequest",
+    "generate_traffic",
+    "register_tenants",
+    "tenant_names",
+    "waves",
     "HospitalConfig",
     "generate_hospital_document",
     "ontology_dtd",

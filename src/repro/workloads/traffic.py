@@ -1,0 +1,95 @@
+"""Multi-tenant hospital traffic: the serving workload for ``repro.serve``.
+
+Models the paper's deployment scenario as a request stream: several
+research-institute tenants confined to the security view ``σ0`` pose view
+queries (the Fig. 1(b) workload), while a trusted ``admin`` tenant runs
+direct source queries (the Fig. 8 family).  Generation is seeded and
+deterministic; requests repeat queries with a Zipf-ish skew so the plan
+cache and the batcher both see realistic reuse.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from ..views.samples import sigma0
+from .queries import FIG8, VIEW_QUERIES
+
+
+@dataclass
+class TrafficConfig:
+    """Knobs for the request stream.
+
+    Attributes:
+        num_tenants: Research tenants (each bound to its own ``σ0`` copy).
+        num_requests: Total requests to generate.
+        seed: RNG seed; the stream is deterministic given the config.
+        admin_rate: Fraction of requests issued by the trusted ``admin``
+            tenant directly against the source (Fig. 8 queries).
+        hot_fraction: Probability a request re-draws from the two hottest
+            view queries (cache/batch reuse skew).
+    """
+
+    num_tenants: int = 4
+    num_requests: int = 32
+    seed: int = 0
+    admin_rate: float = 0.2
+    hot_fraction: float = 0.5
+
+
+@dataclass
+class TrafficRequest:
+    """One generated request: who asks what."""
+
+    tenant: str
+    query: str
+    name: str
+
+
+def tenant_names(config: TrafficConfig) -> list[str]:
+    """Research tenant ids, e.g. ``["inst-0", "inst-1", ...]``."""
+    return [f"inst-{i}" for i in range(max(1, config.num_tenants))]
+
+
+def register_tenants(service, config: TrafficConfig) -> None:
+    """Register the workload's views and tenants on a ``QueryService``.
+
+    Every research tenant gets its own registered copy of ``σ0`` (separate
+    cache keyspace per group, as separate institutes would have), and the
+    ``admin`` tenant is bound to the source directly.
+    """
+    for i, tenant in enumerate(tenant_names(config)):
+        view = f"research-{i}"
+        service.register_view(view, sigma0())
+        service.register_tenant(tenant, view)
+    service.register_tenant("admin", None)
+
+
+def generate_traffic(config: TrafficConfig | None = None) -> list[TrafficRequest]:
+    """Generate the mixed query/view request stream."""
+    cfg = config or TrafficConfig()
+    rng = random.Random(cfg.seed)
+    tenants = tenant_names(cfg)
+    view_items = sorted(VIEW_QUERIES.items())
+    hot = view_items[: max(1, len(view_items) // 3)]
+    admin_items = sorted(FIG8.items())
+    requests: list[TrafficRequest] = []
+    for _ in range(cfg.num_requests):
+        if admin_items and rng.random() < cfg.admin_rate:
+            name, query = rng.choice(admin_items)
+            requests.append(TrafficRequest("admin", query, name))
+            continue
+        pool = hot if rng.random() < cfg.hot_fraction else view_items
+        name, query = rng.choice(pool)
+        requests.append(TrafficRequest(rng.choice(tenants), query, name))
+    return requests
+
+
+def waves(requests: list[TrafficRequest], wave_size: int) -> list[list[TrafficRequest]]:
+    """Chunk the stream into arrival waves (the unit ``submit_many`` sees)."""
+    if wave_size < 1:
+        raise ValueError(f"wave size must be >= 1, got {wave_size}")
+    return [
+        requests[i : i + wave_size] for i in range(0, len(requests), wave_size)
+    ]

@@ -1,0 +1,109 @@
+"""CLI tests for the serving subcommands (serve-batch, bench-serve)."""
+
+import pytest
+
+from repro.cli import main
+from repro.dtd.samples import HOSPITAL_DTD_TEXT, HOSPITAL_VIEW_DTD_TEXT
+from repro.views.samples import SIGMA0_ANNOTATIONS
+
+SPEC_TEXT = (
+    "source <<<\n" + HOSPITAL_DTD_TEXT + "\n>>>\n"
+    "view <<<\n" + HOSPITAL_VIEW_DTD_TEXT + "\n>>>\n"
+    + "\n".join(
+        f"{parent} {child} = {query}"
+        for (parent, child), query in SIGMA0_ANNOTATIONS.items()
+    )
+)
+
+QUERIES = [
+    "//patient[.//diagnosis/text() = 'heart disease']",
+    "department/name",
+    "//doctor/specialty",
+    "//visit/date",
+]
+
+
+@pytest.fixture(scope="module")
+def workspace(tmp_path_factory):
+    root = tmp_path_factory.mktemp("cli_serve")
+    doc = root / "hospital.xml"
+    spec = root / "research.view"
+    spec.write_text(SPEC_TEXT)
+    assert main(
+        ["generate", "--patients", "20", "--seed", "7", "--out", str(doc)]
+    ) == 0
+    return {"doc": doc, "spec": spec}
+
+
+class TestServeBatch:
+    def test_source_queries(self, workspace, capsys):
+        assert main(["serve-batch", str(workspace["doc"]), *QUERIES]) == 0
+        out = capsys.readouterr().out
+        assert out.count("query:") == len(QUERIES)
+        assert "in one shared pass" in out
+        assert f"batched {len(QUERIES)} query(ies)" in out
+
+    def test_view_queries_with_spec(self, workspace, capsys):
+        assert main(
+            [
+                "serve-batch",
+                str(workspace["doc"]),
+                "patient",
+                "patient/record/diagnosis",
+                "--spec",
+                str(workspace["spec"]),
+            ]
+        ) == 0
+        out = capsys.readouterr().out
+        assert out.count("query:") == 2
+        assert "answer(s)" in out
+
+    def test_output_ids_stable_across_runs_and_batching(self, workspace, capsys):
+        """Batched CLI output lists node ids in document order every run."""
+        assert main(["serve-batch", str(workspace["doc"]), *QUERIES]) == 0
+        batched = capsys.readouterr().out
+        assert main(["serve-batch", str(workspace["doc"]), *QUERIES]) == 0
+        again = capsys.readouterr().out
+        assert batched == again
+        # Per-query answer listing matches the single-query path exactly.
+        assert main(["query", str(workspace["doc"]), QUERIES[0]]) == 0
+        single = capsys.readouterr().out
+        single_listing = [
+            line for line in single.splitlines() if line.startswith("  node ")
+        ]
+        batched_listing = [
+            line for line in batched.splitlines() if line.startswith("  node ")
+        ]
+        assert single_listing == batched_listing[: len(single_listing)]
+        # Listed ids are strictly increasing (document order).
+        listed = [
+            int(line.split()[1].rstrip(":")) for line in single_listing
+        ]
+        assert listed == sorted(listed)
+
+    def test_missing_document_fails_cleanly(self, capsys):
+        assert main(["serve-batch", "/no/such/file.xml", "a"]) == 1
+        assert "error:" in capsys.readouterr().err
+
+
+class TestBenchServe:
+    def test_small_run(self, capsys):
+        assert main(
+            [
+                "bench-serve",
+                "--patients",
+                "12",
+                "--requests",
+                "8",
+                "--tenants",
+                "2",
+                "--wave",
+                "4",
+                "--repeats",
+                "1",
+            ]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "sequential" in out and "batched" in out
+        assert "plan cache" in out
+        assert "per-tenant latency" in out

@@ -1,0 +1,130 @@
+"""Batch-vs-sequential equivalence: answers, stats and pruning counters.
+
+The batched evaluator must be *observationally identical* per query to N
+sequential :class:`HyPEEvaluator` runs — same answer sets, same per-lane
+visited/skipped/gate-failure counters — while the shared pass visits no
+more elements than the sequential total.
+"""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.automata.compile import compile_query
+from repro.hype.core import HyPEEvaluator
+from repro.hype.index import build_index
+from repro.serve.batch import BatchEvaluator
+from repro.workloads import FIG8, FIG9, VIEW_QUERIES
+from repro.xpath.parser import parse_query
+
+from .conftest import ids
+from .strategies import paths, trees
+
+
+def assert_batch_matches_sequential(tree, queries, indexed=False):
+    """Run ``queries`` batched and sequentially; compare lane by lane."""
+    mfas = [compile_query(parse_query(q)) for q in queries]
+    index = build_index(tree) if indexed else None
+    sequential = [
+        HyPEEvaluator(mfa, index=index).run(tree.root) for mfa in mfas
+    ]
+    batch = BatchEvaluator(
+        [HyPEEvaluator(mfa, index=index) for mfa in mfas]
+    ).run(tree.root)
+    assert len(batch.results) == len(sequential)
+    for seq, bat in zip(sequential, batch.results):
+        assert ids(bat.answers) == ids(seq.answers)
+        assert bat.stats.visited_elements == seq.stats.visited_elements
+        assert bat.stats.skipped_subtrees == seq.stats.skipped_subtrees
+        assert bat.stats.gate_failures == seq.stats.gate_failures
+        assert bat.stats.cans_vertices == seq.stats.cans_vertices
+        assert bat.stats.answers == seq.stats.answers
+    total_sequential = sum(r.stats.visited_elements for r in sequential)
+    assert batch.stats.sequential_visited == total_sequential
+    assert batch.stats.visited_elements <= total_sequential
+    assert batch.stats.saved_visits >= 0
+    return batch
+
+
+class TestBatchOnHospital:
+    def test_source_queries_match(self, hospital_doc):
+        queries = sorted(FIG8.values()) + sorted(FIG9.values())
+        batch = assert_batch_matches_sequential(hospital_doc, queries)
+        # Six-plus overlapping queries must share traversal work.
+        assert batch.stats.visited_elements < batch.stats.sequential_visited
+
+    def test_indexed_lanes_match(self, hospital_doc):
+        queries = sorted(FIG8.values())
+        assert_batch_matches_sequential(hospital_doc, queries, indexed=True)
+
+    def test_mixed_plain_and_indexed_lanes(self, hospital_doc):
+        index = build_index(hospital_doc)
+        queries = sorted(FIG8.values())
+        mfas = [compile_query(parse_query(q)) for q in queries]
+        evaluators = [
+            HyPEEvaluator(mfa, index=index if i % 2 else None)
+            for i, mfa in enumerate(mfas)
+        ]
+        sequential = [e.run(hospital_doc.root) for e in evaluators]
+        fresh = [
+            HyPEEvaluator(mfa, index=index if i % 2 else None)
+            for i, mfa in enumerate(mfas)
+        ]
+        batch = BatchEvaluator(fresh).run(hospital_doc.root)
+        for seq, bat in zip(sequential, batch.results):
+            assert ids(bat.answers) == ids(seq.answers)
+
+    def test_rewritten_view_queries_match(self, engine):
+        mfas = [
+            engine.rewrite("research", q) for q in sorted(VIEW_QUERIES.values())
+        ]
+        sequential = [
+            HyPEEvaluator(mfa).run(engine.document.root) for mfa in mfas
+        ]
+        batch = BatchEvaluator(list(mfas)).run(engine.document.root)
+        for seq, bat in zip(sequential, batch.results):
+            assert ids(bat.answers) == ids(seq.answers)
+            assert bat.stats.visited_elements == seq.stats.visited_elements
+
+    def test_dead_lane_gets_empty_zero_stat_result(self, hospital_doc):
+        batch = BatchEvaluator(
+            [
+                compile_query(parse_query("nosuchlabel/child")),
+                compile_query(parse_query("department/name")),
+            ]
+        ).run(hospital_doc.root)
+        dead, live = batch.results
+        assert dead.answers == set()
+        assert live.answers
+        sequential = HyPEEvaluator(
+            compile_query(parse_query("nosuchlabel/child"))
+        ).run(hospital_doc.root)
+        assert dead.stats.visited_elements == sequential.stats.visited_elements
+
+    def test_reusing_batch_evaluator_is_stable(self, hospital_doc):
+        batch = BatchEvaluator(
+            [compile_query(parse_query(q)) for q in sorted(FIG8.values())]
+        )
+        first = batch.run(hospital_doc.root)
+        second = batch.run(hospital_doc.root)
+        for a, b in zip(first.results, second.results):
+            assert ids(a.answers) == ids(b.answers)
+        assert first.stats.visited_elements == second.stats.visited_elements
+
+    def test_empty_batch_rejected(self):
+        with pytest.raises(ValueError, match="at least one"):
+            BatchEvaluator([])
+
+
+class TestBatchProperty:
+    @settings(max_examples=60, deadline=None)
+    @given(tree=trees(), qs=paths(), q2=paths())
+    def test_random_tree_random_queries(self, tree, qs, q2):
+        mfas = [compile_query(qs), compile_query(q2)]
+        sequential = [HyPEEvaluator(mfa).run(tree.root) for mfa in mfas]
+        batch = BatchEvaluator(list(mfas)).run(tree.root)
+        for seq, bat in zip(sequential, batch.results):
+            assert ids(bat.answers) == ids(seq.answers)
+            assert bat.stats.visited_elements == seq.stats.visited_elements
+            assert bat.stats.skipped_subtrees == seq.stats.skipped_subtrees
+            assert bat.stats.gate_failures == seq.stats.gate_failures
+        assert batch.stats.visited_elements <= batch.stats.sequential_visited

@@ -1,0 +1,185 @@
+"""Plan-cache tests: LRU behaviour, counters, normalisation, threading."""
+
+import threading
+
+import pytest
+
+from repro.engine import SMOQE
+from repro.serve.cache import PlanCache, normalized_query_text
+
+
+class TestNormalizedQueryText:
+    def test_syntactic_variants_share_a_key(self):
+        assert normalized_query_text("//b") == normalized_query_text("(*)*/b")
+        assert normalized_query_text("(a/b)") == normalized_query_text("a/b")
+        assert normalized_query_text("((a)*)*") == normalized_query_text("a*")
+
+    def test_distinct_queries_stay_distinct(self):
+        assert normalized_query_text("a/b") != normalized_query_text("b/a")
+        assert normalized_query_text("a[b]") != normalized_query_text("a[c]")
+
+    def test_accepts_ast(self):
+        from repro.xpath.parser import parse_query
+
+        assert normalized_query_text(parse_query("a/b")) == normalized_query_text(
+            "a/b"
+        )
+
+
+class TestPlanCache:
+    def test_get_put_and_counters(self):
+        cache = PlanCache(capacity=4)
+        key = ("v", "q")
+        assert cache.get(key) is None
+        cache.put(key, "plan")
+        assert cache.get(key) == "plan"
+        stats = cache.stats
+        assert (stats.hits, stats.misses, stats.evictions) == (1, 1, 0)
+        assert stats.lookups == 2
+        assert stats.hit_rate == pytest.approx(0.5)
+
+    def test_get_or_create_reports_creation(self):
+        cache = PlanCache(capacity=4)
+        calls = []
+        value, created = cache.get_or_create("k", lambda: calls.append(1) or "x")
+        assert (value, created) == ("x", True)
+        value, created = cache.get_or_create("k", lambda: calls.append(1) or "y")
+        assert (value, created) == ("x", False)
+        assert len(calls) == 1
+
+    def test_lru_eviction_order(self):
+        cache = PlanCache(capacity=2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        assert cache.get("a") == 1  # refresh 'a'; 'b' is now LRU
+        cache.put("c", 3)
+        assert "b" not in cache
+        assert "a" in cache and "c" in cache
+        assert cache.stats.evictions == 1
+
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ValueError, match="capacity"):
+            PlanCache(capacity=0)
+
+    def test_invalidate_view_drops_only_that_view(self):
+        cache = PlanCache(capacity=8)
+        cache.put(("v1", "q1"), 1)
+        cache.put(("v1", "q2"), 2)
+        cache.put(("v2", "q1"), 3)
+        cache.put((None, "q1"), 4)
+        assert cache.invalidate_view("v1") == 2
+        assert len(cache) == 2
+        assert ("v2", "q1") in cache and (None, "q1") in cache
+
+    def test_invalidate_and_clear(self):
+        cache = PlanCache(capacity=8)
+        cache.put("k", 1)
+        assert cache.invalidate("k") is True
+        assert cache.invalidate("k") is False
+        cache.put("k", 1)
+        cache.clear()
+        assert len(cache) == 0
+
+    def test_thread_safety_smoke(self):
+        cache = PlanCache(capacity=16)
+        errors = []
+
+        def worker(offset: int) -> None:
+            try:
+                for i in range(200):
+                    key = ("v", (offset + i) % 32)
+                    cache.get_or_create(key, lambda key=key: key)
+                    cache.get(key)
+            except Exception as error:  # pragma: no cover - failure path
+                errors.append(error)
+
+        threads = [threading.Thread(target=worker, args=(k,)) for k in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+        assert len(cache) <= 16
+        stats = cache.stats
+        assert stats.lookups == 4 * 200 * 2
+
+
+class TestSMOQEDelegation:
+    def test_engine_uses_shared_plan_cache(self, hospital_doc, sigma0_spec):
+        cache = PlanCache(capacity=8)
+        engine = SMOQE(hospital_doc, cache=cache)
+        engine.register_view("research", sigma0_spec)
+        first = engine.answer("research", "patient")
+        again = engine.answer("research", "(patient)")  # same normalised key
+        assert first.ids() == again.ids()
+        stats = engine.cache_stats()
+        assert stats.misses == 1 and stats.hits == 1
+        assert ("research", "patient") in cache
+
+    def test_direct_queries_cache_under_none_view(self, hospital_doc):
+        engine = SMOQE(hospital_doc)
+        engine.evaluate("//pname")
+        engine.evaluate("//pname")
+        assert engine.cache_stats().hits == 1
+        assert (None, normalized_query_text("//pname")) in engine.cache
+
+    def test_cache_shared_between_engine_and_service(
+        self, hospital_doc, sigma0_spec
+    ):
+        """Engine and service store the same CachedPlan values, so one
+        cache serves both without type clashes in either fill order."""
+        from repro.serve.service import QueryService
+
+        cache = PlanCache(capacity=16)
+        service = QueryService(hospital_doc, cache=cache)
+        service.register_tenant("admin", None)
+        engine = SMOQE(hospital_doc, cache=cache)
+        engine.register_view("research", sigma0_spec)
+        # Service fills, engine hits — and the other way around.
+        served = service.submit("admin", "department/name")
+        direct = engine.evaluate("department/name")
+        assert served.ids() == direct.ids()
+        engine.evaluate("//pname")
+        assert service.submit("admin", "//pname").ids() == engine.evaluate(
+            "//pname"
+        ).ids()
+        stats = cache.stats
+        assert stats.hits >= 2
+
+    def test_same_view_name_different_spec_never_cross_serves(
+        self, hospital_doc, sigma0_spec
+    ):
+        """Cache sharers binding one view name to different specs must
+        each get plans compiled against their own spec."""
+        from repro.dtd import hospital_dtd, hospital_view_dtd
+        from repro.views.spec import view_spec
+        from repro.views.samples import SIGMA0_ANNOTATIONS
+
+        # A stricter variant of sigma0: no parent hierarchy is exposed.
+        restricted = view_spec(
+            hospital_dtd(),
+            hospital_view_dtd(),
+            {**SIGMA0_ANNOTATIONS, ("patient", "parent"): "parent[not(.)]"},
+        )
+        cache = PlanCache(capacity=8)
+        open_engine = SMOQE(hospital_doc, cache=cache)
+        open_engine.register_view("research", sigma0_spec)
+        locked_engine = SMOQE(hospital_doc, cache=cache)
+        locked_engine.register_view("research", restricted)
+        query = "patient/parent"
+        open_answer = open_engine.answer("research", query)
+        locked_answer = locked_engine.answer("research", query)
+        assert locked_answer.ids() == []  # never sees sigma0's rewriting
+        fresh = SMOQE(hospital_doc)
+        fresh.register_view("research", sigma0_spec)
+        assert open_answer.ids() == fresh.answer("research", query).ids()
+        # And the open engine is not poisoned by the restricted plan.
+        assert open_engine.answer("research", query).ids() == open_answer.ids()
+
+    def test_eviction_recompiles_transparently(self, hospital_doc):
+        engine = SMOQE(hospital_doc, cache=PlanCache(capacity=1))
+        a = engine.evaluate("department/name")
+        engine.evaluate("//pname")  # evicts the first plan
+        b = engine.evaluate("department/name")  # recompiled
+        assert a.ids() == b.ids()
+        assert engine.cache_stats().evictions >= 1
