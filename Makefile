@@ -5,7 +5,7 @@
 PY ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test bench bench-smoke bench-serve install
+.PHONY: test bench bench-smoke bench-serve bench-front front-smoke install
 
 test:
 	$(PY) -m pytest -x -q
@@ -25,3 +25,12 @@ bench-smoke:
 
 bench-serve:
 	$(PY) -m repro.cli bench-serve
+
+bench-front:
+	$(PY) -m repro.cli bench-front
+
+# Front-end smoke: boots the asyncio NDJSON server on an ephemeral port,
+# runs a scripted wave through the client helper and checks the reply
+# stream (coalescing, answers, error mapping, metrics). CI runs this.
+front-smoke:
+	$(PY) -m repro.cli serve-front --smoke --patients 30 --tenants 2

@@ -16,6 +16,14 @@ Usage (``python -m repro.cli <command> ...``):
 * ``bench-serve [--patients N --tenants T --requests R]`` — run the
   multi-tenant hospital traffic workload sequentially and batched and
   print a comparison table
+* ``serve-front [--document DOC.xml] [--host H --port P]`` — boot the
+  asyncio NDJSON socket front-end (per-wave admission control in front
+  of the query service); ``--smoke`` instead boots it on an ephemeral
+  port, runs a scripted wave through the client helper and checks the
+  reply stream (the CI front-smoke target)
+* ``bench-front [--requests R --gap-ms G]`` — replay the seeded traffic
+  stream through the admission controller with inter-arrival jitter and
+  compare coalesced waves against per-request sequential submits
 
 View-spec file format (see ``examples/research.view`` written by tests)::
 
@@ -296,6 +304,243 @@ def cmd_bench_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def _front_service(args: argparse.Namespace):
+    """Build the (document, service) pair the front-end commands serve."""
+    from .serve.service import QueryService
+    from .workloads.traffic import TrafficConfig, register_tenants
+
+    if getattr(args, "document", None):
+        with open(args.document) as handle:
+            tree = parse_xml(handle.read())
+    else:
+        tree = generate_hospital_document(
+            HospitalConfig(num_patients=args.patients, seed=args.seed)
+        )
+    service = QueryService(tree)
+    if getattr(args, "spec", None):
+        with open(args.spec) as handle:
+            spec = parse_view_spec_file(handle.read())
+        service.register_view("view", spec)
+        service.register_tenant("cli", "view")
+        service.register_tenant("admin", None)
+    else:
+        config = TrafficConfig(num_tenants=args.tenants, seed=args.seed)
+        register_tenants(service, config)
+    return service
+
+
+def _admission_config(args: argparse.Namespace):
+    from .serve.admission import AdmissionConfig
+
+    return AdmissionConfig(
+        max_wave=args.max_wave, max_wait=args.max_wait_ms / 1000.0
+    )
+
+
+async def _front_smoke(service, admission) -> int:
+    """Boot the server, run a scripted wave, check the reply stream."""
+    from .serve.frontend import FrontendClient, QueryFrontend
+    from .workloads.traffic import TrafficConfig, generate_traffic
+
+    failures: list[str] = []
+
+    def check(condition: bool, what: str) -> None:
+        print(f"[smoke] {'ok' if condition else 'FAIL'}: {what}")
+        if not condition:
+            failures.append(what)
+
+    frontend = QueryFrontend(service, admission)
+    host, port = await frontend.start("127.0.0.1", 0)
+    print(f"[smoke] frontend listening on {host}:{port}")
+    client = await FrontendClient.connect(host, port)
+    try:
+        pong = await client.ping()
+        check(pong.get("ok") and pong.get("pong"), "ping round trip")
+
+        tenant = service.tenants()[0]
+        opened = await client.open_session(tenant)
+        check(opened.get("ok") is True, f"open session for {tenant!r}")
+        session = opened.get("session")
+
+        traffic = generate_traffic(
+            TrafficConfig(num_tenants=2, num_requests=8, seed=5)
+        )
+        scripted = [
+            {"tenant": r.tenant, "query": r.query, "limit": -1}
+            for r in traffic
+            if r.tenant in service.tenants()
+        ]
+        replies = await client.query_many(scripted)
+        check(
+            len(replies) == len(scripted),
+            f"every scripted request answered ({len(replies)}/{len(scripted)})",
+        )
+        check(
+            all(reply.get("ok") for reply in replies),
+            "all scripted replies ok",
+        )
+        largest = max(
+            (reply["wave"]["size"] for reply in replies if reply.get("ok")),
+            default=0,
+        )
+        check(largest >= 2, f"pipelined burst coalesced (largest wave {largest})")
+        for message, reply in zip(scripted, replies):
+            expected = service.submit(message["tenant"], message["query"]).ids()
+            if reply.get("count") != len(expected) or reply.get("ids") != expected:
+                check(False, f"answers match direct submit for {message['query']!r}")
+                break
+        else:
+            check(True, "answers match direct per-request submits")
+
+        in_session = await client.query(tenant, "*", session=session)
+        check(in_session.get("ok") is True, "session-scoped query")
+        denied = await client.query("stranger", "*")
+        check(
+            denied.get("ok") is False
+            and denied.get("error") == "authorization",
+            "unknown tenant rejected as authorization error",
+        )
+        garbled = await client.query(tenant, "]][[")
+        check(
+            garbled.get("ok") is False
+            and garbled.get("error") == "invalid-query",
+            "malformed query rejected as invalid-query",
+        )
+        closed = await client.close_session(session)
+        check(closed.get("ok") is True, "close session")
+
+        metrics = await client.metrics()
+        counters = metrics.get("metrics", {})
+        check(
+            metrics.get("ok") is True and counters.get("waves", 0) >= 1,
+            f"metrics report admission waves ({counters.get('waves')})",
+        )
+        check(
+            counters.get("rejected", 0) >= 2,
+            "rejections counted (authorization + parse)",
+        )
+    finally:
+        await client.aclose()
+        await frontend.close()
+    if failures:
+        print(f"[smoke] {len(failures)} check(s) FAILED", file=sys.stderr)
+        return 1
+    print("[smoke] all checks passed")
+    return 0
+
+
+def cmd_serve_front(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from .serve.frontend import QueryFrontend
+
+    service = _front_service(args)
+    admission = _admission_config(args)
+    if args.smoke:
+        return asyncio.run(_front_smoke(service, admission))
+
+    async def _serve() -> None:
+        frontend = QueryFrontend(service, admission)
+        host, port = await frontend.start(args.host, args.port)
+        print(
+            f"frontend listening on {host}:{port} "
+            f"(tenants: {', '.join(service.tenants())}; "
+            f"max wave {admission.max_wave}, "
+            f"max wait {admission.max_wait * 1000:.0f} ms)",
+            flush=True,
+        )
+        try:
+            await frontend.serve_forever()
+        finally:
+            await frontend.close()
+
+    try:
+        asyncio.run(_serve())
+    except KeyboardInterrupt:
+        print("frontend stopped")
+    return 0
+
+
+def cmd_bench_front(args: argparse.Namespace) -> int:
+    import asyncio
+    import time
+
+    from .serve.admission import AdmissionController
+    from .serve.service import QueryRequest, QueryService
+    from .workloads.traffic import (
+        ArrivalConfig,
+        TrafficConfig,
+        generate_traffic,
+        register_tenants,
+    )
+    from .bench.tables import format_series
+
+    document = generate_hospital_document(
+        HospitalConfig(num_patients=args.patients, seed=args.seed)
+    )
+    config = TrafficConfig(
+        num_tenants=args.tenants, num_requests=args.requests, seed=args.seed
+    )
+    traffic = generate_traffic(config)
+
+    # Per-request sequential baseline: every request pays its own pass.
+    sequential = QueryService(document)
+    register_tenants(sequential, config)
+    seq_started = time.perf_counter()
+    seq_answers = [sequential.submit(r.tenant, r.query) for r in traffic]
+    seq_elapsed = time.perf_counter() - seq_started
+    seq_visited = sum(a.stats.visited_elements for a in seq_answers)
+
+    # Front-end replay: jittered arrivals coalesce into admission waves.
+    front = QueryService(document)
+    register_tenants(front, config)
+    controller = AdmissionController(front, _admission_config(args))
+    arrivals = ArrivalConfig(
+        mean_gap=args.gap_ms / 1000.0, jitter=args.jitter, seed=args.seed
+    )
+
+    async def replay() -> list:
+        from .workloads.traffic import replay_async
+
+        return await replay_async(
+            lambda r: controller.submit(QueryRequest(r.tenant, r.query)),
+            traffic,
+            arrivals,
+        )
+
+    front_started = time.perf_counter()
+    outcomes = asyncio.run(replay())
+    front_elapsed = time.perf_counter() - front_started
+    errors = [o for o in outcomes if isinstance(o, BaseException)]
+    if errors:
+        raise ReproError(f"front-end replay failed: {errors[0]}")
+    snapshot = front.metrics_snapshot()
+    print(
+        format_series(
+            f"bench-front: {len(traffic)} requests, {args.tenants} tenants, "
+            f"gap {args.gap_ms:.1f} ms, max wave {args.max_wave}",
+            row_labels=["per-request", "front-end"],
+            columns={"wall": [seq_elapsed, front_elapsed]},
+            extra={
+                "visited": [seq_visited, snapshot.batch_visited],
+                "waves": [len(traffic), snapshot.waves],
+            },
+        )
+    )
+    print()
+    print(
+        f"admission: mean wave size "
+        f"{snapshot.mean_wave_size:.2f} "
+        f"(largest {snapshot.largest_wave}), "
+        f"visited {snapshot.batch_visited} vs {seq_visited} "
+        f"per-request element(s) "
+        f"(saved {seq_visited - snapshot.batch_visited})"
+    )
+    print()
+    print(snapshot.describe())
+    return 0
+
+
 # ----------------------------------------------------------------------
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(prog="repro", description=__doc__)
@@ -359,6 +604,40 @@ def build_parser() -> argparse.ArgumentParser:
     bsv.add_argument("--wave", type=int, default=8)
     bsv.add_argument("--repeats", type=int, default=3)
     bsv.set_defaults(func=cmd_bench_serve)
+
+    sfr = sub.add_parser(
+        "serve-front",
+        help="boot the asyncio NDJSON front-end with admission control",
+    )
+    sfr.add_argument("--document", help="XML file to serve (default: generated)")
+    sfr.add_argument("--spec", help="view-spec file (registers tenant 'cli')")
+    sfr.add_argument("--patients", type=int, default=60)
+    sfr.add_argument("--seed", type=int, default=0)
+    sfr.add_argument("--tenants", type=int, default=4)
+    sfr.add_argument("--host", default="127.0.0.1")
+    sfr.add_argument("--port", type=int, default=7407)
+    sfr.add_argument("--max-wave", type=int, default=8)
+    sfr.add_argument("--max-wait-ms", type=float, default=20.0)
+    sfr.add_argument(
+        "--smoke",
+        action="store_true",
+        help="boot on an ephemeral port, run a scripted wave, check replies",
+    )
+    sfr.set_defaults(func=cmd_serve_front)
+
+    bfr = sub.add_parser(
+        "bench-front",
+        help="replay jittered traffic through admission control vs per-request",
+    )
+    bfr.add_argument("--patients", type=int, default=60)
+    bfr.add_argument("--seed", type=int, default=0)
+    bfr.add_argument("--tenants", type=int, default=4)
+    bfr.add_argument("--requests", type=int, default=24)
+    bfr.add_argument("--gap-ms", type=float, default=1.0)
+    bfr.add_argument("--jitter", type=float, default=0.75)
+    bfr.add_argument("--max-wave", type=int, default=8)
+    bfr.add_argument("--max-wait-ms", type=float, default=30.0)
+    bfr.set_defaults(func=cmd_bench_front)
     return parser
 
 

@@ -13,7 +13,11 @@ source; each user group is confined to its own security view and poses
 * :mod:`repro.serve.service` — the :class:`QueryService` façade (tenants,
   authorisation, batching, metrics);
 * :mod:`repro.serve.session` — per-tenant session registry;
-* :mod:`repro.serve.metrics` — service counters and table rendering.
+* :mod:`repro.serve.metrics` — service counters and table rendering;
+* :mod:`repro.serve.admission` — per-wave admission control: concurrent
+  async arrivals coalesce into ``submit_wave`` batches;
+* :mod:`repro.serve.frontend` — the asyncio NDJSON socket server (and
+  client helper) in front of the service.
 
 Attribute access is lazy (PEP 562): :mod:`repro.engine.smoqe` depends on
 :mod:`repro.serve.cache` for its plan cache while
@@ -24,6 +28,9 @@ eager re-exports here would close that cycle.
 from importlib import import_module
 
 _EXPORTS = {
+    "AdmissionConfig": "admission",
+    "AdmissionController": "admission",
+    "AdmittedAnswer": "admission",
     "BatchEvaluator": "batch",
     "BatchResult": "batch",
     "BatchStats": "batch",
@@ -31,11 +38,16 @@ _EXPORTS = {
     "CacheStats": "cache",
     "PlanCache": "cache",
     "normalized_query_text": "cache",
+    "FrontendClient": "frontend",
+    "QueryFrontend": "frontend",
+    "start_frontend": "frontend",
     "MetricsSnapshot": "metrics",
     "ServiceMetrics": "metrics",
     "QueryRequest": "service",
     "QueryService": "service",
     "TenantBinding": "service",
+    "WaveResult": "service",
+    "rejection_kind": "service",
     "Session": "session",
     "SessionRegistry": "session",
 }

@@ -1,0 +1,204 @@
+"""Per-wave admission control: coalescing concurrent arrivals into waves.
+
+PR 1's :meth:`repro.serve.service.QueryService.submit_many` only batches
+when a caller hands it a pre-assembled list — concurrent arrivals from
+independent clients never coalesce on their own.  The
+:class:`AdmissionController` closes that gap on an asyncio event loop:
+
+* an arriving request joins the *open* wave;
+* the first arrival of a wave becomes its leader and holds the wave open
+  for at most :attr:`AdmissionConfig.max_wait` seconds or until
+  :attr:`AdmissionConfig.max_wave` requests have joined, whichever is
+  first;
+* the leader then dispatches the whole wave through
+  :meth:`QueryService.submit_wave` in a worker thread
+  (``run_in_executor``), so the event loop keeps accepting arrivals —
+  the *next* wave collects while the previous one evaluates;
+* every waiter gets its own answer (or its own rejection) back.
+
+Because the service's wave path evaluates all admitted requests in one
+shared :class:`repro.serve.batch.BatchEvaluator` pass, K coalesced
+requests cost roughly the union of their visit sets instead of the sum —
+the batching win now arises from traffic itself.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from concurrent.futures import Executor
+from dataclasses import dataclass
+
+from ..engine.smoqe import QueryAnswer
+from ..errors import ReproError
+from .batch import BatchStats
+from .service import QueryRequest, QueryService, WaveResult
+
+
+@dataclass
+class AdmissionConfig:
+    """Knobs for wave formation.
+
+    Attributes:
+        max_wave: Dispatch as soon as this many requests have joined the
+            open wave.
+        max_wait: Hold the wave open at most this many seconds after its
+            first arrival (the latency price of coalescing).
+    """
+
+    max_wave: int = 8
+    max_wait: float = 0.02
+
+    def __post_init__(self) -> None:
+        if self.max_wave < 1:
+            raise ValueError(f"max_wave must be >= 1, got {self.max_wave}")
+        if self.max_wait < 0:
+            raise ValueError(f"max_wait must be >= 0, got {self.max_wait}")
+
+
+@dataclass
+class AdmittedAnswer:
+    """One request's answer plus the wave it was served in."""
+
+    answer: QueryAnswer
+    wave_size: int
+    wave_stats: BatchStats
+
+
+class AdmissionController:
+    """Coalesce concurrent async arrivals into ``submit_wave`` batches.
+
+    All state is touched only from the owning event loop (asyncio is
+    cooperatively scheduled, so no locks are needed); the blocking
+    evaluation runs in ``executor`` via ``run_in_executor``.  Wave
+    accounting (waves, sizes, mean) lives in the service's metrics —
+    ``service.metrics_snapshot()`` reports it.
+    """
+
+    def __init__(
+        self,
+        service: QueryService,
+        config: AdmissionConfig | None = None,
+        executor: Executor | None = None,
+    ) -> None:
+        self.service = service
+        self.config = config or AdmissionConfig()
+        self._executor = executor
+        self._pending: list[tuple[QueryRequest, asyncio.Future]] = []
+        self._collecting = False
+        self._wave_full: asyncio.Event | None = None
+        # Strong refs to fire-and-forget tasks (overflow re-leads,
+        # cancelled-leader handoffs) — the loop only keeps weak ones.
+        self._housekeeping: set[asyncio.Task] = set()
+
+    # ------------------------------------------------------------------
+    async def submit(self, request: QueryRequest) -> AdmittedAnswer:
+        """Join the open wave and await this request's answer.
+
+        Raises the request's own :class:`repro.errors.ReproError` if it
+        was rejected (other requests in the wave are unaffected).
+        """
+        loop = asyncio.get_running_loop()
+        future: asyncio.Future = loop.create_future()
+        self._pending.append((request, future))
+        if self._collecting:
+            if (
+                len(self._pending) >= self.config.max_wave
+                and self._wave_full is not None
+            ):
+                self._wave_full.set()
+        else:
+            await self._lead_wave()
+        return await future
+
+    async def flush(self) -> None:
+        """Trigger dispatch of whatever is pending without waiting out
+        the window (waiters' futures resolve as their waves complete)."""
+        if self._wave_full is not None:
+            self._wave_full.set()
+        elif self._pending:
+            # Same invariant as _lead_wave: dispatch only from a
+            # housekeeping task, so cancelling flush() strands no waiter.
+            wave = self._take_wave()
+            if wave:
+                self._spawn(self._dispatch(wave))
+
+    # ------------------------------------------------------------------
+    async def _lead_wave(self) -> None:
+        """First arrival's duty: hold the wave open, then dispatch it."""
+        self._collecting = True
+        self._wave_full = asyncio.Event()
+        if len(self._pending) >= self.config.max_wave:
+            self._wave_full.set()
+        try:
+            await asyncio.wait_for(
+                self._wave_full.wait(), timeout=self.config.max_wait
+            )
+        except asyncio.TimeoutError:
+            pass
+        finally:
+            # Dispatch from a housekeeping task, never from the leader
+            # itself: cancelling the leader (a caller timeout on submit,
+            # a dropped connection) must not strand the other waiters —
+            # whether the cancel lands in the window above or during the
+            # evaluation that would follow.
+            wave = self._take_wave()
+            if wave:
+                self._spawn(self._dispatch(wave))
+
+    def _spawn(self, coro) -> None:
+        """create_task with a strong reference held until completion."""
+        task = asyncio.get_running_loop().create_task(coro)
+        self._housekeeping.add(task)
+        task.add_done_callback(self._housekeeping.discard)
+
+    def _take_wave(self) -> list[tuple[QueryRequest, asyncio.Future]]:
+        """Close the open wave, capped at ``max_wave`` requests.
+
+        A burst can append past the cap between the full-event firing and
+        the leader resuming, so the overflow stays pending and is re-led
+        as the next wave by a synthetic leader task.
+        """
+        wave = self._pending[: self.config.max_wave]
+        del self._pending[: self.config.max_wave]
+        self._collecting = False
+        self._wave_full = None
+        if self._pending:
+            self._spawn(self._relead())
+        return wave
+
+    async def _relead(self) -> None:
+        """Lead the overflow of a capped wave (unless a new arrival already
+        took over leadership)."""
+        if self._pending and not self._collecting:
+            await self._lead_wave()
+
+    async def _dispatch(
+        self, wave: list[tuple[QueryRequest, asyncio.Future]]
+    ) -> None:
+        """Evaluate one wave off-loop and fan results out to the waiters."""
+        if not wave:
+            return
+        loop = asyncio.get_running_loop()
+        requests = [request for request, _future in wave]
+        try:
+            result: WaveResult = await loop.run_in_executor(
+                self._executor, self.service.submit_wave, requests
+            )
+        except Exception as error:  # defensive: keep waiters unblocked
+            for _request, future in wave:
+                if not future.done():
+                    future.set_exception(error)
+            return
+        for (_request, future), outcome in zip(wave, result.outcomes):
+            if future.done():  # waiter was cancelled mid-wave
+                continue
+            if isinstance(outcome, ReproError):
+                future.set_exception(outcome)
+            else:
+                future.set_result(
+                    AdmittedAnswer(
+                        answer=outcome,
+                        wave_size=len(wave),
+                        wave_stats=result.stats,
+                    )
+                )

@@ -1,0 +1,392 @@
+"""Async I/O front-end: a newline-delimited-JSON socket server.
+
+The network face of the service: clients connect over TCP and exchange
+one JSON object per line.  Every ``query`` op goes through the
+:class:`repro.serve.admission.AdmissionController`, so requests arriving
+concurrently — from many connections, or pipelined on one — coalesce
+into waves and share one :class:`repro.serve.batch.BatchEvaluator`
+document pass.  Evaluation runs in a worker thread; the event loop keeps
+reading sockets while a wave evaluates.
+
+Protocol (one request object per line, one reply object per line)::
+
+    {"op": "open",    "tenant": T}                  -> {"ok": true, "session": S, ...}
+    {"op": "query",   "tenant": T, "query": Q,
+     "session": S?, "algorithm": A?, "limit": N?}   -> {"ok": true, "count": n, "ids": [...],
+                                                        "wave": {"size": k, "lanes": l, ...}}
+    {"op": "close",   "session": S}                 -> {"ok": true, "requests": n, ...}
+    {"op": "metrics"}                               -> {"ok": true, "metrics": {...}}
+    {"op": "ping"}                                  -> {"ok": true, "pong": true}
+
+Any request may carry an ``"id"`` field, echoed verbatim in its reply;
+pipelined requests on one connection are answered in *completion* order,
+so clients that pipeline must correlate by id
+(:meth:`FrontendClient.query_many` does).  Failures never close the
+connection: they come back as ``{"ok": false, "error": KIND, "message":
+...}`` where ``KIND`` is ``"authorization"`` / ``"service"`` /
+``"invalid-query"`` (per-tenant authorisation and parse failures,
+classified exactly as the service metrics count them),
+``"bad-request"`` for malformed protocol input, or ``"internal"`` for
+an unexpected server-side error.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from concurrent.futures import Executor
+
+from ..errors import ReproError
+from .admission import AdmissionConfig, AdmissionController
+from .service import QueryRequest, QueryService, rejection_kind
+
+DEFAULT_HOST = "127.0.0.1"
+DEFAULT_PORT = 7407
+
+#: Default cap on ids returned per query reply (full count is always sent).
+DEFAULT_ID_LIMIT = 100
+
+#: Per-line stream buffer cap (server and client). A request line longer
+#: than this is answered with ``bad-request`` and the connection dropped —
+#: past the buffer the line framing is unrecoverable.
+LINE_LIMIT = 1 << 20
+
+
+class QueryFrontend:
+    """The NDJSON socket server wrapping one :class:`QueryService`."""
+
+    def __init__(
+        self,
+        service: QueryService,
+        admission: AdmissionConfig | None = None,
+        executor: Executor | None = None,
+    ) -> None:
+        self.service = service
+        self.admission = AdmissionController(service, admission, executor)
+        self.host: str | None = None
+        self.port: int | None = None
+        self._server: asyncio.AbstractServer | None = None
+        self._connections: set[asyncio.Task] = set()
+
+    # ------------------------------------------------------------------
+    async def start(
+        self, host: str = DEFAULT_HOST, port: int = 0
+    ) -> tuple[str, int]:
+        """Bind and start accepting; returns the bound ``(host, port)``.
+
+        ``port=0`` binds an ephemeral port (use the returned one).
+        """
+        self._server = await asyncio.start_server(
+            self._handle_client, host, port, limit=LINE_LIMIT
+        )
+        sockname = self._server.sockets[0].getsockname()
+        self.host, self.port = sockname[0], sockname[1]
+        return self.host, self.port
+
+    async def serve_forever(self) -> None:
+        if self._server is None:
+            raise RuntimeError("frontend not started")
+        await self._server.serve_forever()
+
+    async def close(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        # Stop established connections too (the server close above only
+        # stops the listening socket): cancel each handler out of its
+        # blocking read — its ``finally`` still flushes in-flight replies
+        # and closes the transport — then wait for all of them.
+        if self._connections:
+            for task in list(self._connections):
+                task.cancel()
+            await asyncio.gather(*self._connections, return_exceptions=True)
+
+    async def __aenter__(self) -> "QueryFrontend":
+        return self
+
+    async def __aexit__(self, *exc_info) -> None:
+        await self.close()
+
+    # ------------------------------------------------------------------
+    async def _handle_client(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        """One connection: spawn a task per request line so pipelined
+        requests coalesce into waves instead of serialising."""
+        conn = asyncio.current_task()
+        if conn is not None:
+            self._connections.add(conn)
+            conn.add_done_callback(self._connections.discard)
+        write_lock = asyncio.Lock()
+        tasks: set[asyncio.Task] = set()
+        try:
+            while True:
+                try:
+                    line = await reader.readline()
+                except (asyncio.LimitOverrunError, ValueError):
+                    # Oversized line: framing past the buffer cap is
+                    # unrecoverable — reply, then drop the connection.
+                    reply = {
+                        "ok": False,
+                        "error": "bad-request",
+                        "message": (
+                            f"request line exceeds {LINE_LIMIT} bytes"
+                        ),
+                    }
+                    async with write_lock:
+                        writer.write((json.dumps(reply) + "\n").encode())
+                        try:
+                            await writer.drain()
+                        except (ConnectionError, OSError):
+                            pass
+                    break
+                if not line:
+                    break
+                line = line.strip()
+                if not line:
+                    continue
+                task = asyncio.create_task(
+                    self._serve_line(line, writer, write_lock)
+                )
+                tasks.add(task)
+                task.add_done_callback(tasks.discard)
+        except asyncio.CancelledError:
+            pass  # close() cancelled us: exit normally so the stream
+            # machinery never sees a cancelled handler task (3.11 logs it)
+        finally:
+            if tasks:
+                await asyncio.gather(*tasks, return_exceptions=True)
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError, asyncio.CancelledError):
+                pass  # already tearing down; the transport is closed
+
+    async def _serve_line(
+        self, line: bytes, writer: asyncio.StreamWriter, lock: asyncio.Lock
+    ) -> None:
+        try:
+            message = json.loads(line)
+            if not isinstance(message, dict):
+                raise ValueError("request must be a JSON object")
+        except ValueError as error:
+            reply: dict = {
+                "ok": False,
+                "error": "bad-request",
+                "message": f"invalid request line: {error}",
+            }
+        else:
+            try:
+                reply = await self._reply_for(message)
+            except Exception as error:
+                # A reply must go out for every request line, no matter
+                # what — a swallowed exception would hang the client.
+                reply = {
+                    "ok": False,
+                    "error": "internal",
+                    "message": f"{type(error).__name__}: {error}",
+                }
+            if "id" in message:
+                reply["id"] = message["id"]
+        data = (json.dumps(reply) + "\n").encode()
+        async with lock:
+            writer.write(data)
+            try:
+                await writer.drain()
+            except (ConnectionError, OSError):
+                pass  # client went away; nothing left to tell it
+
+    async def _reply_for(self, message: dict) -> dict:
+        op = message.get("op")
+        try:
+            if op == "open":
+                session = self.service.open_session(str(message["tenant"]))
+                return {
+                    "ok": True,
+                    "session": session.session_id,
+                    "tenant": session.tenant,
+                }
+            if op == "query":
+                return await self._serve_query(message)
+            if op == "close":
+                session = self.service.sessions.close(str(message["session"]))
+                return {
+                    "ok": True,
+                    "session": session.session_id,
+                    "tenant": session.tenant,
+                    "requests": session.requests,
+                }
+            if op == "metrics":
+                snapshot = self.service.metrics_snapshot()
+                return {"ok": True, "metrics": snapshot.as_dict()}
+            if op == "ping":
+                return {"ok": True, "pong": True}
+            return {
+                "ok": False,
+                "error": "bad-request",
+                "message": f"unknown op {op!r}",
+            }
+        except KeyError as error:
+            return {
+                "ok": False,
+                "error": "bad-request",
+                "message": f"missing field {error.args[0]!r}",
+            }
+        except ReproError as error:
+            return {
+                "ok": False,
+                "error": rejection_kind(error),
+                "message": str(error),
+            }
+
+    async def _serve_query(self, message: dict) -> dict:
+        try:
+            limit = int(message.get("limit", DEFAULT_ID_LIMIT))
+        except (TypeError, ValueError):
+            return {
+                "ok": False,
+                "error": "bad-request",
+                "message": f"limit must be an integer, got {message['limit']!r}",
+            }
+        request = QueryRequest(
+            tenant=str(message["tenant"]),
+            query=str(message["query"]),
+            algorithm=message.get("algorithm"),
+            session_id=message.get("session"),
+        )
+        admitted = await self.admission.submit(request)
+        answer = admitted.answer
+        ids = answer.ids()
+        return {
+            "ok": True,
+            "tenant": request.tenant,
+            "query": answer.query_text,
+            "view": answer.view,
+            "algorithm": answer.algorithm,
+            "count": len(ids),
+            "ids": ids if limit < 0 else ids[:limit],
+            "wave": {
+                "size": admitted.wave_size,
+                "lanes": admitted.wave_stats.lanes,
+                "visited": admitted.wave_stats.visited_elements,
+                "saved": admitted.wave_stats.saved_visits,
+            },
+        }
+
+
+async def start_frontend(
+    service: QueryService,
+    host: str = DEFAULT_HOST,
+    port: int = 0,
+    admission: AdmissionConfig | None = None,
+) -> QueryFrontend:
+    """Build and start a :class:`QueryFrontend` in one call."""
+    frontend = QueryFrontend(service, admission)
+    await frontend.start(host, port)
+    return frontend
+
+
+class FrontendClient:
+    """Line-protocol client helper (tests, the CLI and the smoke script).
+
+    Sequential use: :meth:`request` (or the op wrappers) sends one line
+    and awaits one reply.  Concurrent use: :meth:`query_many` pipelines a
+    burst of queries on this one connection — the server evaluates them
+    as one or more admission waves — and returns replies in send order.
+    """
+
+    def __init__(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        self._reader = reader
+        self._writer = writer
+        self._next_id = 0
+
+    @classmethod
+    async def connect(
+        cls, host: str = DEFAULT_HOST, port: int = DEFAULT_PORT
+    ) -> "FrontendClient":
+        reader, writer = await asyncio.open_connection(
+            host, port, limit=LINE_LIMIT
+        )
+        return cls(reader, writer)
+
+    async def aclose(self) -> None:
+        self._writer.close()
+        try:
+            await self._writer.wait_closed()
+        except (ConnectionError, OSError):
+            pass
+
+    async def __aenter__(self) -> "FrontendClient":
+        return self
+
+    async def __aexit__(self, *exc_info) -> None:
+        await self.aclose()
+
+    # ------------------------------------------------------------------
+    async def request(self, message: dict) -> dict:
+        """Send one request object; await and return its reply object."""
+        self._writer.write((json.dumps(message) + "\n").encode())
+        await self._writer.drain()
+        return await self._read_reply()
+
+    async def _read_reply(self) -> dict:
+        line = await self._reader.readline()
+        if not line:
+            raise ConnectionError("frontend closed the connection")
+        return json.loads(line)
+
+    async def query_many(self, messages: list[dict]) -> list[dict]:
+        """Pipeline a burst of ``query`` payloads; replies in send order.
+
+        Each payload is a dict of ``query``-op fields (without ``op``);
+        ids are assigned here and stripped from the returned replies'
+        correlation handling — the reply list lines up with ``messages``.
+        """
+        ids = []
+        burst = []
+        for message in messages:
+            tag = f"c{self._next_id}"
+            self._next_id += 1
+            ids.append(tag)
+            burst.append({"op": "query", "id": tag, **message})
+        payload = "".join(json.dumps(m) + "\n" for m in burst).encode()
+        self._writer.write(payload)
+        await self._writer.drain()
+        by_id: dict[str, dict] = {}
+        while len(by_id) < len(ids):
+            reply = await self._read_reply()
+            by_id[reply.get("id")] = reply
+        return [by_id[tag] for tag in ids]
+
+    # ------------------------------------------------------------------
+    async def open_session(self, tenant: str) -> dict:
+        return await self.request({"op": "open", "tenant": tenant})
+
+    async def query(
+        self,
+        tenant: str,
+        query: str,
+        session: str | None = None,
+        algorithm: str | None = None,
+        limit: int | None = None,
+    ) -> dict:
+        message: dict = {"op": "query", "tenant": tenant, "query": query}
+        if session is not None:
+            message["session"] = session
+        if algorithm is not None:
+            message["algorithm"] = algorithm
+        if limit is not None:
+            message["limit"] = limit
+        return await self.request(message)
+
+    async def close_session(self, session: str) -> dict:
+        return await self.request({"op": "close", "session": session})
+
+    async def metrics(self) -> dict:
+        return await self.request({"op": "metrics"})
+
+    async def ping(self) -> dict:
+        return await self.request({"op": "ping"})

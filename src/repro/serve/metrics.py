@@ -18,18 +18,22 @@ from .cache import CacheStats
 
 @dataclass
 class LatencyStats:
-    """Aggregated request latencies (seconds)."""
+    """Aggregated request latencies (seconds).
+
+    ``min``/``max`` are ``0.0`` until the first record, so empty stats
+    render as zeros instead of leaking a ``float("inf")`` sentinel.
+    """
 
     count: int = 0
     total: float = 0.0
-    min: float = float("inf")
+    min: float = 0.0
     max: float = 0.0
 
     def record(self, seconds: float) -> None:
+        if self.count == 0 or seconds < self.min:
+            self.min = seconds
         self.count += 1
         self.total += seconds
-        if seconds < self.min:
-            self.min = seconds
         if seconds > self.max:
             self.max = seconds
 
@@ -66,11 +70,21 @@ class MetricsSnapshot:
     latency: LatencyStats
     cache: CacheStats
     tenants: dict[str, TenantMetrics]
+    rejected_kinds: dict[str, int] = field(default_factory=dict)
+    waves: int = 0
+    wave_requests: int = 0
+    wave_admitted: int = 0
+    largest_wave: int = 0
 
     @property
     def batch_saved_visits(self) -> int:
         """Element visits batching avoided vs. per-query passes."""
         return self.sequential_visited - self.batch_visited
+
+    @property
+    def mean_wave_size(self) -> float:
+        """Average requests coalesced per admission wave (0.0 when none)."""
+        return self.wave_requests / self.waves if self.waves else 0.0
 
     def format_table(self, title: str = "service metrics") -> str:
         """Render per-tenant rows in the benchmark-table format."""
@@ -80,7 +94,7 @@ class MetricsSnapshot:
             row_labels=tenants,
             columns={
                 "mean": [self.tenants[t].latency.mean for t in tenants],
-                "max": [self.tenants[t].latency.max if self.tenants[t].latency.count else 0.0 for t in tenants],
+                "max": [self.tenants[t].latency.max for t in tenants],
             },
             unit="ms",
             extra={
@@ -91,8 +105,15 @@ class MetricsSnapshot:
 
     def describe(self) -> str:
         """One-paragraph summary for CLI output."""
+        rejected = f"{self.rejected} rejected"
+        if self.rejected_kinds:
+            kinds = ", ".join(
+                f"{count} {kind}"
+                for kind, count in sorted(self.rejected_kinds.items())
+            )
+            rejected = f"{rejected}: {kinds}"
         lines = [
-            f"requests: {self.requests} ({self.rejected} rejected)",
+            f"requests: {self.requests} ({rejected})",
             (
                 f"plan cache: {self.cache.hits} hit(s), "
                 f"{self.cache.misses} miss(es), "
@@ -100,6 +121,14 @@ class MetricsSnapshot:
                 f"hit rate {self.cache.hit_rate:.0%}"
             ),
         ]
+        if self.waves:
+            lines.append(
+                f"admission: {self.wave_requests} request(s) in "
+                f"{self.waves} wave(s) "
+                f"(mean {self.mean_wave_size:.1f}/wave, "
+                f"largest {self.largest_wave}, "
+                f"{self.wave_admitted} admitted)"
+            )
         if self.batch_runs:
             lines.append(
                 f"batching: {self.batched_queries} query(ies) in "
@@ -110,6 +139,43 @@ class MetricsSnapshot:
             )
         return "\n".join(lines)
 
+    def as_dict(self) -> dict:
+        """JSON-serialisable counters (the front-end ``metrics`` reply)."""
+        return {
+            "requests": self.requests,
+            "rejected": self.rejected,
+            "rejected_kinds": dict(self.rejected_kinds),
+            "waves": self.waves,
+            "wave_requests": self.wave_requests,
+            "wave_admitted": self.wave_admitted,
+            "largest_wave": self.largest_wave,
+            "mean_wave_size": self.mean_wave_size,
+            "batch_runs": self.batch_runs,
+            "batched_queries": self.batched_queries,
+            "batch_visited": self.batch_visited,
+            "sequential_visited": self.sequential_visited,
+            "latency": {
+                "count": self.latency.count,
+                "mean": self.latency.mean,
+                "min": self.latency.min,
+                "max": self.latency.max,
+            },
+            "cache": {
+                "hits": self.cache.hits,
+                "misses": self.cache.misses,
+                "evictions": self.cache.evictions,
+                "hit_rate": self.cache.hit_rate,
+            },
+            "tenants": {
+                name: {
+                    "requests": tm.requests,
+                    "answers": tm.answers,
+                    "mean_latency": tm.latency.mean,
+                }
+                for name, tm in sorted(self.tenants.items())
+            },
+        }
+
 
 class ServiceMetrics:
     """Thread-safe recorder behind :class:`MetricsSnapshot`."""
@@ -118,10 +184,15 @@ class ServiceMetrics:
         self._lock = threading.Lock()
         self._requests = 0
         self._rejected = 0
+        self._rejected_kinds: dict[str, int] = {}
         self._batch_runs = 0
         self._batched_queries = 0
         self._batch_visited = 0
         self._sequential_visited = 0
+        self._waves = 0
+        self._wave_requests = 0
+        self._wave_admitted = 0
+        self._largest_wave = 0
         self._latency = LatencyStats()
         self._tenants: dict[str, TenantMetrics] = {}
 
@@ -139,9 +210,21 @@ class ServiceMetrics:
             per_tenant.answers += answers
             per_tenant.latency.record(seconds)
 
-    def record_rejection(self) -> None:
+    def record_rejection(self, kind: str = "service") -> None:
+        """Count one rejected request, classified by failure ``kind``."""
         with self._lock:
             self._rejected += 1
+            self._rejected_kinds[kind] = self._rejected_kinds.get(kind, 0) + 1
+
+    def record_wave(self, size: int, admitted: int) -> None:
+        """Count one admission wave of ``size`` requests (``admitted`` of
+        which passed authorisation into the shared evaluation pass)."""
+        with self._lock:
+            self._waves += 1
+            self._wave_requests += size
+            self._wave_admitted += admitted
+            if size > self._largest_wave:
+                self._largest_wave = size
 
     def record_batch(
         self, queries: int, visited: int, sequential_visited: int
@@ -167,4 +250,9 @@ class ServiceMetrics:
                 tenants={
                     name: tm.snapshot() for name, tm in self._tenants.items()
                 },
+                rejected_kinds=dict(self._rejected_kinds),
+                waves=self._waves,
+                wave_requests=self._wave_requests,
+                wave_admitted=self._wave_admitted,
+                largest_wave=self._largest_wave,
             )

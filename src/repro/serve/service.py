@@ -26,7 +26,7 @@ from dataclasses import dataclass
 
 from ..automata.compile import compile_query
 from ..engine.smoqe import QueryAnswer
-from ..errors import AuthorizationError, ServiceError, ViewError
+from ..errors import AuthorizationError, ReproError, ServiceError, ViewError
 from ..hype.api import ALGORITHMS, HYPE
 from ..rewrite.mfa_rewrite import rewrite_query
 from ..views.spec import ViewSpec
@@ -57,6 +57,43 @@ class QueryRequest:
     query: str | ast.Path
     algorithm: str | None = None
     session_id: str | None = None
+
+
+@dataclass
+class WaveResult:
+    """Per-request outcomes of one admission wave.
+
+    Unlike :meth:`QueryService.submit_many` (all-or-nothing), a wave
+    keeps going when individual requests fail authorisation or parsing:
+    ``outcomes`` holds, in request order, either the request's
+    :class:`QueryAnswer` or the :class:`repro.errors.ReproError` that
+    rejected it.  ``stats`` covers the shared evaluation pass the
+    admitted requests ran in.
+    """
+
+    outcomes: list[QueryAnswer | ReproError]
+    stats: BatchStats
+
+    @property
+    def admitted(self) -> int:
+        """Requests that reached the shared evaluation pass."""
+        return sum(
+            not isinstance(outcome, ReproError) for outcome in self.outcomes
+        )
+
+    @property
+    def rejected(self) -> int:
+        """Requests rejected before evaluation."""
+        return len(self.outcomes) - self.admitted
+
+
+def rejection_kind(error: ReproError) -> str:
+    """Classify a rejected request for the metrics counters."""
+    if isinstance(error, AuthorizationError):
+        return "authorization"
+    if isinstance(error, ServiceError):
+        return "service"
+    return "invalid-query"
 
 
 class QueryService:
@@ -137,7 +174,14 @@ class QueryService:
         tenant: str,
         algorithm: str | None,
         session_id: str | None,
-    ) -> tuple[TenantBinding, str]:
+    ) -> tuple[TenantBinding, str, Session | None]:
+        """Authorise and return the binding, algorithm and session.
+
+        The :class:`Session` object (not just its id) is captured here so
+        accounting after evaluation touches the admitted session directly
+        — a session closed mid-flight must not fail a request (let alone
+        a whole wave) that was admitted while it was open.
+        """
         binding = self._binding(tenant)
         algo = algorithm or self.default_algorithm
         if algo not in ALGORITHMS:
@@ -146,13 +190,14 @@ class QueryService:
             raise AuthorizationError(
                 f"tenant {tenant!r} may not use algorithm {algo!r}"
             )
+        session = None
         if session_id is not None:
             session = self.sessions.get(session_id)
             if session.tenant != tenant:
                 raise AuthorizationError(
                     f"session {session_id!r} does not belong to {tenant!r}"
                 )
-        return binding, algo
+        return binding, algo, session
 
     # ------------------------------------------------------------------
     # Plan management
@@ -187,10 +232,14 @@ class QueryService:
     ) -> QueryAnswer:
         """Authorise, plan, evaluate and account one request."""
         try:
-            binding, algo = self._authorize(tenant, algorithm, session_id)
+            binding, algo, session = self._authorize(
+                tenant, algorithm, session_id
+            )
             plan, query_text = self._plan(binding, query)
-        except ServiceError:
-            self.metrics.record_rejection()
+        except ReproError as error:
+            # Parse/rewrite failures reject a request just as authorisation
+            # failures do; classify so every rejection is counted.
+            self.metrics.record_rejection(rejection_kind(error))
             raise
         started = time.perf_counter()
         with self._eval_lock:
@@ -198,8 +247,8 @@ class QueryService:
             result = evaluator.run(self.document.root)
         elapsed = time.perf_counter() - started
         self.metrics.record_request(tenant, elapsed, len(result.answers))
-        if session_id is not None:
-            self.sessions.get(session_id).touch(query_text)
+        if session is not None:
+            session.touch(query_text)
         return QueryAnswer(
             result.answers,
             plan.mfa,
@@ -227,20 +276,64 @@ class QueryService:
         grants = []
         for request in requests:
             try:
-                binding, algo = self._authorize(
-                    request.tenant, request.algorithm, request.session_id
-                )
-                plan, query_text = self._plan(binding, request.query)
-            except ServiceError:
-                self.metrics.record_rejection()
+                grants.append(self._admit(request))
+            except ReproError as error:
+                self.metrics.record_rejection(rejection_kind(error))
                 raise
-            grants.append((request, binding, algo, plan, query_text))
+        return self._evaluate_grants(grants)
+
+    def submit_wave(self, requests: list[QueryRequest]) -> WaveResult:
+        """Serve one admission wave with per-request outcomes.
+
+        The wave-friendly sibling of :meth:`submit_many`: requests that
+        fail authorisation or parsing are rejected *individually* (counted
+        in the metrics and returned as that slot's outcome) while every
+        admitted request still shares one evaluation pass.  This is the
+        entry point the async front-end dispatches coalesced waves
+        through.
+        """
+        if not requests:
+            return WaveResult([], BatchStats())
+        outcomes: list[QueryAnswer | ReproError] = [None] * len(requests)
+        grants = []
+        admitted_slots: list[int] = []
+        for slot, request in enumerate(requests):
+            try:
+                grant = self._admit(request)
+            except ReproError as error:
+                self.metrics.record_rejection(rejection_kind(error))
+                outcomes[slot] = error
+                continue
+            grants.append(grant)
+            admitted_slots.append(slot)
+        if grants:
+            answers, stats = self._evaluate_grants(grants)
+        else:
+            answers, stats = [], BatchStats()
+        for slot, answer in zip(admitted_slots, answers):
+            outcomes[slot] = answer
+        self.metrics.record_wave(len(requests), admitted=len(grants))
+        return WaveResult(outcomes, stats)
+
+    # ------------------------------------------------------------------
+    def _admit(self, request: QueryRequest):
+        """Authorise + plan one request (the pre-evaluation gate)."""
+        binding, algo, session = self._authorize(
+            request.tenant, request.algorithm, request.session_id
+        )
+        plan, query_text = self._plan(binding, request.query)
+        return (request, binding, algo, plan, query_text, session)
+
+    def _evaluate_grants(
+        self, grants: list
+    ) -> tuple[list[QueryAnswer], BatchStats]:
+        """Run admitted grants through one shared pass and account them."""
         started = time.perf_counter()
         with self._eval_lock:
             lane_of: dict[tuple[int, str], int] = {}
             evaluators = []
             request_lane: list[int] = []
-            for _request, _binding, algo, plan, _query_text in grants:
+            for _request, _binding, algo, plan, _query_text, _session in grants:
                 key = (id(plan), algo)
                 lane = lane_of.get(key)
                 if lane is None:
@@ -254,15 +347,18 @@ class QueryService:
         # Attribute the shared pass evenly across the batched requests.
         share = elapsed / len(grants)
         answers: list[QueryAnswer] = []
-        for (request, binding, algo, plan, query_text), lane in zip(
+        for (request, binding, algo, plan, query_text, session), lane in zip(
             grants, request_lane
         ):
             result = outcome.results[lane]
             self.metrics.record_request(
                 request.tenant, share, len(result.answers)
             )
-            if request.session_id is not None:
-                self.sessions.get(request.session_id).touch(query_text)
+            if session is not None:
+                # The session captured at admission: touching it directly
+                # keeps a close() racing the evaluation from failing the
+                # wave after every answer was already computed.
+                session.touch(query_text)
             answers.append(
                 QueryAnswer(
                     result.answers,

@@ -25,12 +25,20 @@ class Session:
     session_id: str
     tenant: str
     created_at: float = field(default_factory=time.time)
+    #: Monotonic open order assigned by the registry; ``created_at`` has
+    #: clock resolution ties, so ordering decisions use ``seq``.
+    seq: int = 0
     requests: int = 0
     last_query: str = ""
+    _lock: threading.Lock = field(
+        default_factory=threading.Lock, repr=False, compare=False
+    )
 
     def touch(self, query_text: str) -> None:
-        self.requests += 1
-        self.last_query = query_text
+        """Record one served request (safe under concurrent submits)."""
+        with self._lock:
+            self.requests += 1
+            self.last_query = query_text
 
 
 class SessionRegistry:
@@ -45,9 +53,11 @@ class SessionRegistry:
     def open(self, tenant: str) -> Session:
         """Open a session for ``tenant`` and return it."""
         with self._lock:
-            session_id = f"s{next(self._counter)}"
-            session = Session(session_id=session_id, tenant=tenant)
-            self._sessions[session_id] = session
+            number = next(self._counter)
+            session = Session(
+                session_id=f"s{number}", tenant=tenant, seq=number
+            )
+            self._sessions[session.session_id] = session
             return session
 
     def get(self, session_id: str) -> Session:
@@ -68,9 +78,9 @@ class SessionRegistry:
 
     # ------------------------------------------------------------------
     def active(self) -> list[Session]:
-        """Open sessions, oldest first."""
+        """Open sessions, oldest first (by open order, not id string)."""
         with self._lock:
-            return sorted(self._sessions.values(), key=lambda s: s.session_id)
+            return sorted(self._sessions.values(), key=lambda s: s.seq)
 
     def per_tenant(self) -> dict[str, int]:
         """Open-session count per tenant."""

@@ -10,8 +10,10 @@ cache and the batcher both see realistic reuse.
 
 from __future__ import annotations
 
+import asyncio
 import random
 from dataclasses import dataclass
+from typing import Awaitable, Callable
 
 from ..views.samples import sigma0
 from .queries import FIG8, VIEW_QUERIES
@@ -93,3 +95,63 @@ def waves(requests: list[TrafficRequest], wave_size: int) -> list[list[TrafficRe
     return [
         requests[i : i + wave_size] for i in range(0, len(requests), wave_size)
     ]
+
+
+# ----------------------------------------------------------------------
+# Async replay: the stream as live traffic for the admission front-end
+# ----------------------------------------------------------------------
+@dataclass
+class ArrivalConfig:
+    """Inter-arrival timing for :func:`replay_async`.
+
+    Gaps are drawn uniformly from ``mean_gap * [1 - jitter, 1 + jitter]``
+    seconds — deterministic given ``seed``, so a replay is repeatable
+    while still presenting the ragged concurrency real clients would.
+    """
+
+    mean_gap: float = 0.002
+    jitter: float = 0.75
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.mean_gap < 0:
+            raise ValueError(f"mean_gap must be >= 0, got {self.mean_gap}")
+        if not 0.0 <= self.jitter <= 1.0:
+            raise ValueError(f"jitter must be in [0, 1], got {self.jitter}")
+
+
+def arrival_gaps(count: int, config: ArrivalConfig | None = None) -> list[float]:
+    """The seeded gap (seconds) *before* each of ``count`` arrivals.
+
+    The first gap is always ``0.0`` — the replay starts immediately.
+    """
+    cfg = config or ArrivalConfig()
+    rng = random.Random(cfg.seed)
+    gaps = [0.0]
+    for _ in range(max(0, count - 1)):
+        spread = cfg.mean_gap * cfg.jitter
+        gaps.append(cfg.mean_gap - spread + rng.random() * 2 * spread)
+    return gaps[:count]
+
+
+async def replay_async(
+    submit: Callable[[TrafficRequest], Awaitable],
+    requests: list[TrafficRequest],
+    arrivals: ArrivalConfig | None = None,
+) -> list:
+    """Replay the stream as live traffic with inter-arrival jitter.
+
+    ``submit`` is an async entry point (an
+    :meth:`repro.serve.admission.AdmissionController.submit` wrapper or a
+    :class:`repro.serve.frontend.FrontendClient` call); each request is
+    fired as its own task after its seeded gap, so requests whose gaps
+    are shorter than service time overlap and coalesce into admission
+    waves.  Returns the per-request results in stream order (an exception
+    raised for a request is returned in its slot, not raised here).
+    """
+    tasks: list[asyncio.Task] = []
+    for request, gap in zip(requests, arrival_gaps(len(requests), arrivals)):
+        if gap > 0:
+            await asyncio.sleep(gap)
+        tasks.append(asyncio.create_task(submit(request)))
+    return await asyncio.gather(*tasks, return_exceptions=True)

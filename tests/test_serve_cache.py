@@ -5,7 +5,7 @@ import threading
 import pytest
 
 from repro.engine import SMOQE
-from repro.serve.cache import PlanCache, normalized_query_text
+from repro.serve.cache import CachedPlan, PlanCache, normalized_query_text, plan_for
 
 
 class TestNormalizedQueryText:
@@ -102,6 +102,112 @@ class TestPlanCache:
         assert len(cache) <= 16
         stats = cache.stats
         assert stats.lookups == 4 * 200 * 2
+
+
+class TestPlanForSpecMismatch:
+    def test_plan_for_recompiles_on_spec_mismatch(self):
+        """A hit under the right key but the wrong spec object is a miss."""
+        cache = PlanCache(capacity=4)
+        spec_a, spec_b = object(), object()
+        compiles = []
+
+        def factory_for(spec):
+            def factory():
+                compiles.append(spec)
+                return CachedPlan(mfa=None, spec=spec)
+
+            return factory
+
+        key = ("research", "patient")
+        first = plan_for(cache, key, spec_a, factory_for(spec_a))
+        assert first.spec is spec_a and compiles == [spec_a]
+        # Same key, same spec: served from cache, no recompilation.
+        assert plan_for(cache, key, spec_a, factory_for(spec_a)) is first
+        assert compiles == [spec_a]
+        # Same key, different spec (another holder of the shared cache):
+        # recompiled and overwritten.
+        second = plan_for(cache, key, spec_b, factory_for(spec_b))
+        assert second.spec is spec_b and compiles == [spec_a, spec_b]
+        # The overwrite is visible to subsequent lookups, so holder A now
+        # misses the spec check and recompiles again.
+        third = plan_for(cache, key, spec_a, factory_for(spec_a))
+        assert third.spec is spec_a and compiles.count(spec_a) == 2
+
+    def test_service_reregistration_recompiles_for_cache_sharer(
+        self, hospital_doc, sigma0_spec
+    ):
+        """Re-registering a view with a *different* ViewSpec on a service
+        must not let an engine sharing the PlanCache serve stale plans."""
+        from repro.dtd import hospital_dtd, hospital_view_dtd
+        from repro.serve.service import QueryService
+        from repro.views.samples import SIGMA0_ANNOTATIONS
+        from repro.views.spec import view_spec
+
+        restricted = view_spec(
+            hospital_dtd(),
+            hospital_view_dtd(),
+            {**SIGMA0_ANNOTATIONS, ("patient", "parent"): "parent[not(.)]"},
+        )
+        cache = PlanCache(capacity=8)
+        service = QueryService(hospital_doc, cache=cache)
+        service.register_view("research", sigma0_spec)
+        service.register_tenant("institute", "research")
+        engine = SMOQE(hospital_doc, cache=cache)
+        engine.register_view("research", restricted)
+
+        open_answer = service.submit("institute", "patient/parent")
+        assert engine.answer("research", "patient/parent").ids() == []
+        # The service re-registers its view with the restricted spec: its
+        # plans are invalidated AND later submits compile against the new
+        # spec, never reusing the engine's or its own stale entries.
+        service.register_view("research", restricted)
+        assert service.submit("institute", "patient/parent").ids() == []
+        # Flipping back recompiles again (no poisoning either direction).
+        service.register_view("research", sigma0_spec)
+        assert (
+            service.submit("institute", "patient/parent").ids()
+            == open_answer.ids()
+        )
+
+    def test_eviction_accounting_under_capacity_pressure(self):
+        cache = PlanCache(capacity=2)
+        for i in range(6):
+            cache.put(("v", f"q{i}"), i)
+        stats = cache.stats
+        assert len(cache) == 2
+        assert stats.evictions == 4
+        # Only the two most recent keys survive.
+        assert ("v", "q4") in cache and ("v", "q5") in cache
+
+    def test_spec_mismatch_overwrite_evicts_nothing_extra(self):
+        """plan_for's overwrite replaces in place — eviction counters only
+        move when capacity forces an LRU drop."""
+        cache = PlanCache(capacity=2)
+        spec_a, spec_b = object(), object()
+        key = ("v", "q")
+        plan_for(cache, key, spec_a, lambda: CachedPlan(None, spec=spec_a))
+        plan_for(cache, key, spec_b, lambda: CachedPlan(None, spec=spec_b))
+        assert len(cache) == 1
+        assert cache.stats.evictions == 0
+        # Pressure from other keys still evicts and counts normally.
+        cache.put(("v", "other1"), 1)
+        cache.put(("v", "other2"), 2)
+        assert cache.stats.evictions == 1
+
+    def test_engine_answers_stay_correct_across_evictions(
+        self, hospital_doc, sigma0_spec
+    ):
+        """Eviction + recompilation under pressure never changes answers."""
+        engine = SMOQE(hospital_doc, cache=PlanCache(capacity=2))
+        engine.register_view("research", sigma0_spec)
+        baseline = {
+            q: engine.answer("research", q).ids()
+            for q in ("patient", "patient/record", "patient/parent")
+        }
+        for _ in range(3):  # cycle so every plan is evicted at least once
+            for query, expected in baseline.items():
+                assert engine.answer("research", query).ids() == expected
+        assert engine.cache_stats().evictions >= 3
 
 
 class TestSMOQEDelegation:

@@ -1,0 +1,302 @@
+"""Front-end tests: the NDJSON socket protocol end to end."""
+
+import asyncio
+import json
+
+import pytest
+
+from repro.serve.admission import AdmissionConfig
+from repro.serve.frontend import FrontendClient, QueryFrontend, start_frontend
+from repro.serve.service import QueryService
+from repro.workloads import VIEW_QUERIES
+
+
+@pytest.fixture()
+def service(hospital_doc, sigma0_spec):
+    svc = QueryService(hospital_doc)
+    svc.register_view("research", sigma0_spec)
+    svc.register_tenant("institute", "research")
+    svc.register_tenant("admin", None)
+    return svc
+
+
+def run_with_frontend(service, scenario, admission=None):
+    """Boot a frontend on an ephemeral port, run ``scenario(client)``."""
+
+    async def main():
+        frontend = QueryFrontend(
+            service, admission or AdmissionConfig(max_wave=8, max_wait=0.02)
+        )
+        host, port = await frontend.start("127.0.0.1", 0)
+        client = await FrontendClient.connect(host, port)
+        try:
+            return await scenario(client, frontend)
+        finally:
+            await client.aclose()
+            await frontend.close()
+
+    return asyncio.run(main())
+
+
+class TestProtocol:
+    def test_ping(self, service):
+        async def scenario(client, _frontend):
+            return await client.ping()
+
+        reply = run_with_frontend(service, scenario)
+        assert reply == {"ok": True, "pong": True}
+
+    def test_query_round_trip_matches_direct_submit(self, service):
+        async def scenario(client, _frontend):
+            return await client.query("institute", "patient", limit=-1)
+
+        reply = run_with_frontend(service, scenario)
+        expected = service.submit("institute", "patient")
+        assert reply["ok"] is True
+        assert reply["count"] == len(expected.ids())
+        assert reply["ids"] == expected.ids()
+        assert reply["view"] == "research"
+        assert reply["wave"]["size"] == 1
+
+    def test_id_limit_truncates_ids_not_count(self, service):
+        async def scenario(client, _frontend):
+            return await client.query("institute", "patient", limit=2)
+
+        reply = run_with_frontend(service, scenario)
+        assert len(reply["ids"]) == 2
+        assert reply["count"] > 2
+
+    def test_session_lifecycle_over_the_wire(self, service):
+        async def scenario(client, _frontend):
+            opened = await client.open_session("institute")
+            queried = await client.query(
+                "institute", "patient", session=opened["session"]
+            )
+            closed = await client.close_session(opened["session"])
+            return opened, queried, closed
+
+        opened, queried, closed = run_with_frontend(service, scenario)
+        assert opened["ok"] and opened["tenant"] == "institute"
+        assert queried["ok"]
+        assert closed["ok"] and closed["requests"] == 1
+
+    def test_metrics_op(self, service):
+        async def scenario(client, _frontend):
+            await client.query("institute", "patient")
+            return await client.metrics()
+
+        reply = run_with_frontend(service, scenario)
+        assert reply["ok"] is True
+        assert reply["metrics"]["requests"] == 1
+        assert reply["metrics"]["waves"] == 1
+
+    def test_pipelined_burst_coalesces(self, service):
+        queries = sorted(VIEW_QUERIES.values())[:4]
+
+        async def scenario(client, _frontend):
+            return await client.query_many(
+                [{"tenant": "institute", "query": q} for q in queries]
+            )
+
+        replies = run_with_frontend(
+            service,
+            scenario,
+            admission=AdmissionConfig(max_wave=4, max_wait=0.5),
+        )
+        assert all(reply["ok"] for reply in replies)
+        assert max(reply["wave"]["size"] for reply in replies) >= 2
+        for query, reply in zip(queries, replies):
+            assert reply["query"]  # echoed normalised text
+            assert reply["count"] == len(service.submit("institute", query).ids())
+
+
+class TestErrorMapping:
+    def test_unknown_tenant_is_authorization_error(self, service):
+        async def scenario(client, _frontend):
+            return await client.query("stranger", "patient")
+
+        reply = run_with_frontend(service, scenario)
+        assert reply["ok"] is False
+        assert reply["error"] == "authorization"
+        assert "stranger" in reply["message"]
+
+    def test_malformed_query_is_invalid_query(self, service):
+        async def scenario(client, _frontend):
+            return await client.query("institute", "]][[")
+
+        reply = run_with_frontend(service, scenario)
+        assert reply == {
+            "ok": False,
+            "error": "invalid-query",
+            "message": reply["message"],
+        }
+
+    def test_session_tenant_mismatch_is_authorization(self, service):
+        async def scenario(client, _frontend):
+            opened = await client.open_session("institute")
+            return await client.query(
+                "admin", "//pname", session=opened["session"]
+            )
+
+        reply = run_with_frontend(service, scenario)
+        assert reply["ok"] is False and reply["error"] == "authorization"
+
+    def test_unknown_algorithm_is_service_error(self, service):
+        async def scenario(client, _frontend):
+            return await client.query("institute", "patient", algorithm="magic")
+
+        reply = run_with_frontend(service, scenario)
+        assert reply["ok"] is False and reply["error"] == "service"
+
+    def test_bad_json_line_is_bad_request(self, service):
+        async def scenario(client, _frontend):
+            client._writer.write(b"this is not json\n")
+            await client._writer.drain()
+            return await client._read_reply()
+
+        reply = run_with_frontend(service, scenario)
+        assert reply["ok"] is False and reply["error"] == "bad-request"
+
+    def test_non_object_json_is_bad_request(self, service):
+        async def scenario(client, _frontend):
+            client._writer.write(b"[1, 2, 3]\n")
+            await client._writer.drain()
+            return await client._read_reply()
+
+        reply = run_with_frontend(service, scenario)
+        assert reply["ok"] is False and reply["error"] == "bad-request"
+
+    def test_non_integer_limit_is_bad_request_not_a_hang(self, service):
+        """Regression: a null/non-numeric limit killed the per-line task
+        before any reply was written, hanging the client forever."""
+
+        async def scenario(client, _frontend):
+            null_limit = await asyncio.wait_for(
+                client.request(
+                    {
+                        "op": "query",
+                        "tenant": "institute",
+                        "query": "patient",
+                        "limit": None,
+                    }
+                ),
+                timeout=5.0,
+            )
+            text_limit = await asyncio.wait_for(
+                client.request(
+                    {
+                        "op": "query",
+                        "tenant": "institute",
+                        "query": "patient",
+                        "limit": "ten",
+                    }
+                ),
+                timeout=5.0,
+            )
+            return null_limit, text_limit
+
+        null_limit, text_limit = run_with_frontend(service, scenario)
+        for reply in (null_limit, text_limit):
+            assert reply["ok"] is False and reply["error"] == "bad-request"
+            assert "limit" in reply["message"]
+
+    def test_unknown_op_and_missing_field(self, service):
+        async def scenario(client, _frontend):
+            unknown = await client.request({"op": "teleport"})
+            missing = await client.request({"op": "query", "tenant": "admin"})
+            return unknown, missing
+
+        unknown, missing = run_with_frontend(service, scenario)
+        assert unknown["error"] == "bad-request"
+        assert missing["error"] == "bad-request"
+        assert "query" in missing["message"]
+
+    def test_failed_requests_keep_the_connection_alive(self, service):
+        async def scenario(client, _frontend):
+            await client.query("stranger", "patient")
+            return await client.query("institute", "patient")
+
+        reply = run_with_frontend(service, scenario)
+        assert reply["ok"] is True
+
+    def test_oversized_line_gets_a_reply_before_disconnect(self, service):
+        """Regression: a line past the stream limit raised out of the
+        read loop — no reply, an unhandled-exception log, a dead socket."""
+        from repro.serve.frontend import LINE_LIMIT
+
+        async def scenario(client, _frontend):
+            huge = json.dumps(
+                {"op": "query", "tenant": "institute", "query": "x" * (LINE_LIMIT + 64)}
+            )
+            client._writer.write(huge.encode() + b"\n")
+            await client._writer.drain()
+            reply = await asyncio.wait_for(client._read_reply(), timeout=5.0)
+            # Framing is unrecoverable, so the server then closes.
+            closed = await client._reader.readline()
+            return reply, closed
+
+        reply, closed = run_with_frontend(service, scenario)
+        assert reply["ok"] is False and reply["error"] == "bad-request"
+        assert "exceeds" in reply["message"]
+        assert closed == b""
+
+    def test_rejections_reach_service_metrics(self, service):
+        async def scenario(client, _frontend):
+            await client.query("stranger", "patient")
+            await client.query("institute", "]][[")
+            return await client.metrics()
+
+        reply = run_with_frontend(service, scenario)
+        kinds = reply["metrics"]["rejected_kinds"]
+        assert kinds == {"authorization": 1, "invalid-query": 1}
+
+
+class TestLifecycle:
+    def test_start_frontend_helper_and_id_echo(self, service):
+        async def main():
+            frontend = await start_frontend(service, port=0)
+            client = await FrontendClient.connect(frontend.host, frontend.port)
+            try:
+                reply = await client.request({"op": "ping", "id": "abc"})
+            finally:
+                await client.aclose()
+                await frontend.close()
+            return reply
+
+        reply = asyncio.run(main())
+        assert reply["id"] == "abc" and reply["pong"] is True
+
+    def test_close_returns_while_a_client_is_still_connected(self, service):
+        """Regression: ``close()`` awaited connection handlers without
+        cancelling them, so it hung until every client disconnected."""
+
+        async def main():
+            frontend = await start_frontend(service, port=0)
+            client = await FrontendClient.connect(frontend.host, frontend.port)
+            assert (await client.ping())["pong"] is True
+            # Idle client stays connected; close must not wait for it.
+            await asyncio.wait_for(frontend.close(), timeout=5.0)
+            await client.aclose()
+
+        asyncio.run(main())
+
+    def test_two_connections_share_the_service(self, service):
+        async def main():
+            frontend = await start_frontend(service, port=0)
+            one = await FrontendClient.connect(frontend.host, frontend.port)
+            two = await FrontendClient.connect(frontend.host, frontend.port)
+            try:
+                first, second = await asyncio.gather(
+                    one.query("institute", "patient"),
+                    two.query("admin", "//pname"),
+                )
+            finally:
+                await one.aclose()
+                await two.aclose()
+                await frontend.close()
+            return first, second
+
+        first, second = asyncio.run(main())
+        assert first["ok"] and second["ok"]
+        snap = service.metrics_snapshot()
+        assert snap.requests == 2

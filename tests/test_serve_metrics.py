@@ -1,0 +1,93 @@
+"""Metrics tests: latency sentinels, rejection kinds, wave counters."""
+
+import math
+
+from repro.serve.cache import CacheStats
+from repro.serve.metrics import LatencyStats, ServiceMetrics
+
+
+class TestLatencyStats:
+    def test_empty_stats_report_zero_not_inf(self):
+        """Regression: ``min`` stayed ``float("inf")`` with no records."""
+        empty = LatencyStats()
+        assert empty.min == 0.0
+        assert empty.max == 0.0
+        assert empty.mean == 0.0
+        snap = empty.snapshot()
+        assert snap.min == 0.0 and math.isfinite(snap.min)
+
+    def test_min_max_after_records(self):
+        stats = LatencyStats()
+        stats.record(0.5)
+        assert stats.min == 0.5 and stats.max == 0.5
+        stats.record(0.2)
+        stats.record(0.9)
+        assert stats.min == 0.2 and stats.max == 0.9
+        assert stats.mean == (0.5 + 0.2 + 0.9) / 3
+
+    def test_empty_tenant_latency_renders_finite(self):
+        """The rendered table carries no inf even without the old ad-hoc
+        ``count`` guard in ``format_table``."""
+        metrics = ServiceMetrics()
+        metrics.record_request("t", 0.001, answers=1)
+        table = metrics.snapshot(CacheStats()).format_table()
+        assert "inf" not in table
+
+
+class TestRejectionKinds:
+    def test_rejections_classified(self):
+        metrics = ServiceMetrics()
+        metrics.record_rejection("authorization")
+        metrics.record_rejection("authorization")
+        metrics.record_rejection("invalid-query")
+        metrics.record_rejection()  # default kind
+        snap = metrics.snapshot()
+        assert snap.rejected == 4
+        assert snap.rejected_kinds == {
+            "authorization": 2,
+            "invalid-query": 1,
+            "service": 1,
+        }
+        assert "2 authorization" in snap.describe()
+
+    def test_describe_without_rejections(self):
+        snap = ServiceMetrics().snapshot()
+        assert "0 rejected" in snap.describe()
+
+
+class TestWaveCounters:
+    def test_record_wave_accumulates(self):
+        metrics = ServiceMetrics()
+        metrics.record_wave(4, admitted=4)
+        metrics.record_wave(6, admitted=5)
+        metrics.record_wave(2, admitted=2)
+        snap = metrics.snapshot()
+        assert snap.waves == 3
+        assert snap.wave_requests == 12
+        assert snap.wave_admitted == 11
+        assert snap.largest_wave == 6
+        assert snap.mean_wave_size == 4.0
+        assert "admission: 12 request(s) in 3 wave(s)" in snap.describe()
+
+    def test_no_waves_no_admission_line(self):
+        snap = ServiceMetrics().snapshot()
+        assert snap.mean_wave_size == 0.0
+        assert "admission" not in snap.describe()
+
+
+class TestAsDict:
+    def test_snapshot_as_dict_is_json_shaped(self):
+        import json
+
+        metrics = ServiceMetrics()
+        metrics.record_request("t", 0.002, answers=3)
+        metrics.record_wave(2, admitted=2)
+        metrics.record_rejection("authorization")
+        payload = metrics.snapshot(CacheStats(hits=1, misses=2)).as_dict()
+        round_tripped = json.loads(json.dumps(payload))
+        assert round_tripped["requests"] == 1
+        assert round_tripped["rejected_kinds"] == {"authorization": 1}
+        assert round_tripped["waves"] == 1
+        assert round_tripped["cache"]["misses"] == 2
+        assert round_tripped["tenants"]["t"]["answers"] == 3
+        assert round_tripped["latency"]["min"] == 0.002

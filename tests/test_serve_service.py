@@ -2,9 +2,15 @@
 
 import pytest
 
-from repro.errors import AuthorizationError, ServiceError, ViewError
+from repro.errors import (
+    AuthorizationError,
+    QueryParseError,
+    ReproError,
+    ServiceError,
+    ViewError,
+)
 from repro.serve.cache import PlanCache
-from repro.serve.service import QueryRequest, QueryService
+from repro.serve.service import QueryRequest, QueryService, rejection_kind
 from repro.workloads import (
     FIG8A,
     VIEW_QUERIES,
@@ -124,6 +130,46 @@ class TestMetrics:
         assert "institute" in table and "admin" in table
         assert "(times in ms)" in table
 
+    def test_parse_failure_counts_as_rejection(self, service):
+        """Regression: malformed queries escaped the rejection counter
+        (only ``ServiceError`` was caught, not parse failures)."""
+        with pytest.raises(QueryParseError):
+            service.submit("institute", "]][[")
+        snap = service.metrics_snapshot()
+        assert snap.rejected == 1
+        assert snap.rejected_kinds == {"invalid-query": 1}
+
+    def test_parse_failure_counts_in_submit_many(self, service):
+        with pytest.raises(QueryParseError):
+            service.submit_many(
+                [
+                    QueryRequest("institute", "patient"),
+                    QueryRequest("institute", "]][["),
+                ]
+            )
+        assert service.metrics_snapshot().rejected == 1
+
+    def test_rejection_kinds_split_by_cause(self, service):
+        with pytest.raises(AuthorizationError):
+            service.submit("stranger", "patient")
+        with pytest.raises(ServiceError):
+            service.submit("institute", "patient", algorithm="magic")
+        with pytest.raises(QueryParseError):
+            service.submit("institute", "]][[")
+        snap = service.metrics_snapshot()
+        assert snap.rejected == 3
+        assert snap.rejected_kinds == {
+            "authorization": 1,
+            "service": 1,
+            "invalid-query": 1,
+        }
+
+    def test_rejection_kind_classifier(self):
+        assert rejection_kind(AuthorizationError("x")) == "authorization"
+        assert rejection_kind(ServiceError("x")) == "service"
+        assert rejection_kind(QueryParseError("x")) == "invalid-query"
+        assert rejection_kind(ReproError("x")) == "invalid-query"
+
     def test_describe_mentions_batching_only_after_batches(self, service):
         service.submit("institute", "patient")
         assert "batching" not in service.metrics_snapshot().describe()
@@ -176,6 +222,84 @@ class TestSubmitMany:
         answers, _stats = service.submit_many(requests)
         assert answers[0].view is None
         assert answers[1].view == "research"
+
+
+class TestSubmitWave:
+    def test_wave_matches_submit_many_when_all_admitted(self, service):
+        requests = [
+            QueryRequest("institute", q) for q in sorted(VIEW_QUERIES.values())
+        ]
+        expected, _stats = service.submit_many(requests)
+        result = service.submit_wave(requests)
+        assert result.admitted == len(requests)
+        assert result.rejected == 0
+        assert [o.ids() for o in result.outcomes] == [
+            a.ids() for a in expected
+        ]
+        assert result.stats.visited_elements < result.stats.sequential_visited
+
+    def test_wave_isolates_per_request_failures(self, service):
+        """Unlike submit_many, one bad request doesn't sink the wave."""
+        requests = [
+            QueryRequest("institute", "patient"),
+            QueryRequest("stranger", "patient"),  # unknown tenant
+            QueryRequest("institute", "]][["),  # parse failure
+            QueryRequest("admin", FIG8A),
+        ]
+        result = service.submit_wave(requests)
+        assert result.admitted == 2 and result.rejected == 2
+        good = result.outcomes[0]
+        assert good.ids() == service.submit("institute", "patient").ids()
+        assert isinstance(result.outcomes[1], AuthorizationError)
+        assert isinstance(result.outcomes[2], QueryParseError)
+        assert result.outcomes[3].view is None
+
+    def test_wave_counts_rejections_and_waves(self, service):
+        service.submit_wave(
+            [
+                QueryRequest("institute", "patient"),
+                QueryRequest("stranger", "patient"),
+            ]
+        )
+        snap = service.metrics_snapshot()
+        assert snap.waves == 1
+        assert snap.wave_requests == 2
+        assert snap.wave_admitted == 1
+        assert snap.rejected == 1
+        assert snap.rejected_kinds == {"authorization": 1}
+
+    def test_session_closed_mid_flight_does_not_poison_the_wave(self, service):
+        """Regression: accounting re-looked the session up by id after
+        evaluation, so a close() racing the shared pass raised
+        ServiceError and discarded every answer in the wave."""
+        session = service.open_session("institute")
+        requests = [
+            QueryRequest(
+                "institute", "patient", session_id=session.session_id
+            ),
+            QueryRequest("admin", FIG8A),
+        ]
+        grants = [service._admit(r) for r in requests]
+        # The session vanishes between admission and evaluation.
+        service.sessions.close(session.session_id)
+        answers, stats = service._evaluate_grants(grants)
+        assert len(answers) == 2
+        assert answers[0].ids() == service.submit("institute", "patient").ids()
+        # Accounting landed on the session object captured at admission.
+        assert session.requests == 1
+        snap = service.metrics_snapshot()
+        assert snap.requests == 3 and snap.rejected == 0
+
+    def test_all_rejected_wave_still_returns(self, service):
+        result = service.submit_wave([QueryRequest("stranger", "patient")])
+        assert result.admitted == 0
+        assert isinstance(result.outcomes[0], AuthorizationError)
+        assert result.stats.lanes == 0
+
+    def test_empty_wave(self, service):
+        result = service.submit_wave([])
+        assert result.outcomes == []
+        assert service.metrics_snapshot().waves == 0
 
 
 class TestTrafficWorkload:

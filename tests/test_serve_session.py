@@ -1,0 +1,109 @@
+"""Session registry tests: ordering, locking, lifecycle regressions."""
+
+import threading
+
+import pytest
+
+from repro.errors import ServiceError
+from repro.serve.session import Session, SessionRegistry
+
+
+class TestActiveOrdering:
+    def test_active_is_open_order_past_nine_sessions(self):
+        """Regression: sorting by id *string* put "s10" before "s2"."""
+        registry = SessionRegistry()
+        opened = [registry.open(f"tenant-{i % 3}") for i in range(12)]
+        assert [s.session_id for s in registry.active()] == [
+            s.session_id for s in opened
+        ]
+        # Explicitly: s10..s12 come after s9, not between s1 and s2.
+        ids = [s.session_id for s in registry.active()]
+        assert ids.index("s10") > ids.index("s9")
+        assert ids.index("s2") < ids.index("s10")
+
+    def test_active_order_survives_closing_in_the_middle(self):
+        registry = SessionRegistry()
+        opened = [registry.open("t") for _ in range(11)]
+        registry.close(opened[4].session_id)
+        expected = [s.session_id for s in opened if s.session_id != "s5"]
+        assert [s.session_id for s in registry.active()] == expected
+
+    def test_seq_is_monotonic(self):
+        registry = SessionRegistry()
+        seqs = [registry.open("t").seq for _ in range(5)]
+        assert seqs == sorted(seqs)
+        assert len(set(seqs)) == 5
+
+
+class TestTouchLocking:
+    def test_touch_updates_counters(self):
+        session = Session(session_id="s1", tenant="t")
+        session.touch("patient")
+        assert session.requests == 1
+        assert session.last_query == "patient"
+
+    def test_touch_mutates_under_the_session_lock(self):
+        """Regression: ``touch`` mutated ``requests``/``last_query`` with
+        no lock at all, breaking the registry's thread-safety contract.
+        Deterministic check: while the session lock is held, ``touch``
+        must block instead of mutating."""
+        session = Session(session_id="s1", tenant="t")
+        assert session._lock.acquire(blocking=False)
+        try:
+            toucher = threading.Thread(target=session.touch, args=("q",))
+            toucher.start()
+            toucher.join(timeout=0.2)
+            assert toucher.is_alive(), "touch() ran outside the lock"
+            assert session.requests == 0
+        finally:
+            session._lock.release()
+        toucher.join(timeout=5)
+        assert not toucher.is_alive()
+        assert session.requests == 1
+        assert session.last_query == "q"
+
+    def test_concurrent_touch_never_loses_requests(self):
+        """Regression: ``requests += 1`` raced outside any lock."""
+        import sys
+
+        session = Session(session_id="s1", tenant="t")
+        per_thread, threads = 2000, 8
+        barrier = threading.Barrier(threads)
+
+        def worker(tag: int) -> None:
+            barrier.wait()
+            for i in range(per_thread):
+                session.touch(f"q-{tag}-{i}")
+
+        workers = [
+            threading.Thread(target=worker, args=(t,)) for t in range(threads)
+        ]
+        old_interval = sys.getswitchinterval()
+        sys.setswitchinterval(1e-6)  # force preemption inside touch()
+        try:
+            for w in workers:
+                w.start()
+            for w in workers:
+                w.join()
+        finally:
+            sys.setswitchinterval(old_interval)
+        assert session.requests == per_thread * threads
+        # last_query is whatever thread touched last, but always a full write.
+        assert session.last_query.startswith("q-")
+
+
+class TestLifecycle:
+    def test_get_and_close_unknown_session(self):
+        registry = SessionRegistry()
+        with pytest.raises(ServiceError, match="unknown session"):
+            registry.get("s1")
+        with pytest.raises(ServiceError, match="unknown session"):
+            registry.close("s1")
+
+    def test_len_and_per_tenant(self):
+        registry = SessionRegistry()
+        registry.open("a")
+        registry.open("a")
+        registry.open("b")
+        assert len(registry) == 3
+        assert registry.per_tenant() == {"a": 2, "b": 1}
