@@ -5,7 +5,7 @@
 PY ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test bench bench-smoke bench-serve bench-front front-smoke install
+.PHONY: test bench bench-smoke bench-serve bench-front front-smoke concurrency-smoke install
 
 test:
 	$(PY) -m pytest -x -q
@@ -34,3 +34,10 @@ bench-front:
 # stream (coalescing, answers, error mapping, metrics). CI runs this.
 front-smoke:
 	$(PY) -m repro.cli serve-front --smoke --patients 30 --tenants 2
+
+# Concurrency smoke: the concurrent-waves benchmark asserts >= 2 waves
+# evaluated in flight at once (pool peak gauge) and that overlapped
+# waves beat the serialised sum on wall-clock, with answers identical
+# to sequential evaluation. CI runs this.
+concurrency-smoke:
+	$(PY) -m pytest benchmarks/test_concurrent_waves.py -q

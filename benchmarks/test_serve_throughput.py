@@ -23,7 +23,7 @@ from repro.workloads import (
     waves,
 )
 from repro.automata.compile import compile_query
-from repro.hype.core import HyPEEvaluator
+from repro.hype.core import CompiledPlan
 from repro.xpath.parser import parse_query
 
 #: A wave of concurrent source queries (N = 6 >= 4).
@@ -31,7 +31,7 @@ WAVE = sorted(FIG8.values()) + sorted(FIG9.values())
 
 
 def _sequential(mfas, root):
-    return [HyPEEvaluator(mfa).run(root) for mfa in mfas]
+    return [CompiledPlan(mfa).run(root) for mfa in mfas]
 
 
 def test_batched_pass_visits_fewer_elements(benchmark, bench_doc):
@@ -39,8 +39,9 @@ def test_batched_pass_visits_fewer_elements(benchmark, bench_doc):
     mfas = [compile_query(parse_query(q)) for q in WAVE]
     assert len(mfas) >= 4
     sequential = _sequential(mfas, bench_doc.root)
+    plans = [CompiledPlan(mfa) for mfa in mfas]
     batch_result = benchmark.pedantic(
-        lambda: BatchEvaluator(list(mfas)).run(bench_doc.root),
+        lambda: BatchEvaluator(plans).run(bench_doc.root),
         rounds=3,
         iterations=1,
     )

@@ -35,8 +35,10 @@ from .hype import (
     HYPE,
     OPTHYPE,
     OPTHYPE_C,
+    CompiledPlan,
     HyPEResult,
     build_index,
+    compile_plan,
     evaluate_hype,
     hype_eval,
 )
@@ -99,6 +101,8 @@ __all__ = [
     # evaluation
     "hype_eval",
     "evaluate_hype",
+    "CompiledPlan",
+    "compile_plan",
     "HyPEResult",
     "build_index",
     "HYPE",

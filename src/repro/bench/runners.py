@@ -16,7 +16,7 @@ from ..baselines.twopass import TwoPassEvaluator
 from ..baselines.xquery_sim import XQuerySimEvaluator
 from ..hype.analyze import ViabilityAnalyzer
 from ..hype.api import to_mfa
-from ..hype.core import HyPEEvaluator
+from ..hype.core import CompiledPlan
 from ..hype.index import build_index
 from ..workloads.scales import SeriesStep
 from ..xtree.node import XMLTree
@@ -66,7 +66,7 @@ def make_algorithms(
     index_cache: dict[tuple[int, bool], object] = {}
 
     def hype_runner(tree: XMLTree) -> set:
-        return HyPEEvaluator(mfa).run(tree.root).answers
+        return CompiledPlan(mfa).run(tree.root).answers
 
     def opt_runner_factory(compressed: bool):
         def run(tree: XMLTree) -> set:
@@ -75,10 +75,10 @@ def make_algorithms(
             if index is None:
                 index = build_index(tree, compressed=compressed)
                 index_cache[key] = index
-            evaluator = HyPEEvaluator(
+            plan = CompiledPlan(
                 mfa, index=index, analyzer=ViabilityAnalyzer(mfa, index.bits)
             )
-            return evaluator.run(tree.root).answers
+            return plan.run(tree.root).answers
 
         return run
 
@@ -140,13 +140,13 @@ def pruning_statistics(query: str, tree: XMLTree) -> dict[str, float]:
     mfa: MFA = to_mfa(query)
     total = tree.element_count
     out: dict[str, float] = {}
-    plain = HyPEEvaluator(mfa).run(tree.root)
+    plain = CompiledPlan(mfa).run(tree.root)
     out["hype"] = 1.0 - plain.stats.visited_elements / total
     for name, compressed in (("opthype", False), ("opthype-c", True)):
         index = build_index(tree, compressed=compressed)
-        evaluator = HyPEEvaluator(
+        plan = CompiledPlan(
             mfa, index=index, analyzer=ViabilityAnalyzer(mfa, index.bits)
         )
-        run = evaluator.run(tree.root)
+        run = plan.run(tree.root)
         out[name] = 1.0 - run.stats.visited_elements / total
     return out

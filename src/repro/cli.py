@@ -18,9 +18,11 @@ Usage (``python -m repro.cli <command> ...``):
   print a comparison table
 * ``serve-front [--document DOC.xml] [--host H --port P]`` — boot the
   asyncio NDJSON socket front-end (per-wave admission control in front
-  of the query service); ``--smoke`` instead boots it on an ephemeral
-  port, runs a scripted wave through the client helper and checks the
-  reply stream (the CI front-smoke target)
+  of the query service; ``--pool-size`` bounds concurrent evaluations,
+  ``--max-pending`` caps in-flight queries per connection); ``--smoke``
+  instead boots it on an ephemeral port, runs a scripted wave through
+  the client helper and checks the reply stream (the CI front-smoke
+  target)
 * ``bench-front [--requests R --gap-ms G]`` — replay the seeded traffic
   stream through the admission controller with inter-arrival jitter and
   compare coalesced waves against per-request sequential submits
@@ -48,6 +50,8 @@ import sys
 
 from .dtd.parse import parse_dtd
 from .dtd.validate import validate
+from .serve.frontend import DEFAULT_MAX_PENDING
+from .serve.pool import DEFAULT_POOL_SIZE
 from .engine.smoqe import SMOQE
 from .errors import ReproError
 from .hype.api import ALGORITHMS, HYPE
@@ -280,6 +284,8 @@ def cmd_bench_serve(args: argparse.Namespace) -> int:
     for wave in request_waves:
         batched.submit_many(wave)
     bat_snapshot = batched.metrics_snapshot()
+    for used in (sequential, batched_timed, batched):
+        used.close()
     print(
         format_series(
             f"bench-serve: {len(traffic)} requests, "
@@ -316,7 +322,7 @@ def _front_service(args: argparse.Namespace):
         tree = generate_hospital_document(
             HospitalConfig(num_patients=args.patients, seed=args.seed)
         )
-    service = QueryService(tree)
+    service = QueryService(tree, pool_size=args.pool_size)
     if getattr(args, "spec", None):
         with open(args.spec) as handle:
             spec = parse_view_spec_file(handle.read())
@@ -440,13 +446,17 @@ def cmd_serve_front(args: argparse.Namespace) -> int:
         return asyncio.run(_front_smoke(service, admission))
 
     async def _serve() -> None:
-        frontend = QueryFrontend(service, admission)
+        frontend = QueryFrontend(
+            service, admission, max_pending=args.max_pending
+        )
         host, port = await frontend.start(args.host, args.port)
         print(
             f"frontend listening on {host}:{port} "
             f"(tenants: {', '.join(service.tenants())}; "
             f"max wave {admission.max_wave}, "
-            f"max wait {admission.max_wait * 1000:.0f} ms)",
+            f"max wait {admission.max_wait * 1000:.0f} ms, "
+            f"pool size {service.pool.size}, "
+            f"max pending/conn {args.max_pending})",
             flush=True,
         )
         try:
@@ -492,7 +502,7 @@ def cmd_bench_front(args: argparse.Namespace) -> int:
     seq_visited = sum(a.stats.visited_elements for a in seq_answers)
 
     # Front-end replay: jittered arrivals coalesce into admission waves.
-    front = QueryService(document)
+    front = QueryService(document, pool_size=args.pool_size)
     register_tenants(front, config)
     controller = AdmissionController(front, _admission_config(args))
     arrivals = ArrivalConfig(
@@ -515,6 +525,8 @@ def cmd_bench_front(args: argparse.Namespace) -> int:
     if errors:
         raise ReproError(f"front-end replay failed: {errors[0]}")
     snapshot = front.metrics_snapshot()
+    sequential.close()
+    front.close()
     print(
         format_series(
             f"bench-front: {len(traffic)} requests, {args.tenants} tenants, "
@@ -619,6 +631,18 @@ def build_parser() -> argparse.ArgumentParser:
     sfr.add_argument("--max-wave", type=int, default=8)
     sfr.add_argument("--max-wait-ms", type=float, default=20.0)
     sfr.add_argument(
+        "--pool-size",
+        type=int,
+        default=DEFAULT_POOL_SIZE,
+        help="bound on concurrently evaluating waves/requests",
+    )
+    sfr.add_argument(
+        "--max-pending",
+        type=int,
+        default=DEFAULT_MAX_PENDING,
+        help="per-connection cap on in-flight queries (backpressure)",
+    )
+    sfr.add_argument(
         "--smoke",
         action="store_true",
         help="boot on an ephemeral port, run a scripted wave, check replies",
@@ -637,6 +661,12 @@ def build_parser() -> argparse.ArgumentParser:
     bfr.add_argument("--jitter", type=float, default=0.75)
     bfr.add_argument("--max-wave", type=int, default=8)
     bfr.add_argument("--max-wait-ms", type=float, default=30.0)
+    bfr.add_argument(
+        "--pool-size",
+        type=int,
+        default=DEFAULT_POOL_SIZE,
+        help="bound on concurrently evaluating waves",
+    )
     bfr.set_defaults(func=cmd_bench_front)
     return parser
 

@@ -168,8 +168,8 @@ class SMOQE:
         algo = algorithm or self.default_algorithm
         if algo not in ALGORITHMS:
             raise ValueError(f"unknown algorithm {algo!r}")
-        evaluator = plan.evaluator(algo, self.document, self._indexes)
-        result = evaluator.run(self.document.root)
+        compiled = plan.compiled(algo, self.document, self._indexes)
+        result = compiled.run(self.document.root)
         return result.answers, result.stats, algo
 
     def cache_stats(self) -> CacheStats:

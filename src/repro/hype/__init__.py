@@ -1,8 +1,23 @@
 """HyPE: single-pass MFA evaluation, indexes and the OptHyPE variants."""
 
 from .analyze import ViabilityAnalyzer
-from .api import ALGORITHMS, HYPE, OPTHYPE, OPTHYPE_C, evaluate_hype, to_mfa
-from .core import HyPEEvaluator, HyPEResult, HyPEStats, hype_eval
+from .api import (
+    ALGORITHMS,
+    HYPE,
+    OPTHYPE,
+    OPTHYPE_C,
+    compile_plan,
+    evaluate_hype,
+    to_mfa,
+)
+from .core import (
+    CompiledPlan,
+    HyPEEvaluator,
+    HyPEResult,
+    HyPEStats,
+    RunCursor,
+    hype_eval,
+)
 from .index import (
     CompressedLabelIndex,
     LabelBits,
@@ -12,6 +27,9 @@ from .index import (
 
 __all__ = [
     "hype_eval",
+    "CompiledPlan",
+    "RunCursor",
+    "compile_plan",
     "HyPEEvaluator",
     "HyPEResult",
     "HyPEStats",

@@ -18,7 +18,7 @@ from ..errors import EvaluationError
 from ..xpath import ast
 from ..xpath.parser import parse_query
 from ..xtree.node import Node, XMLTree
-from .core import HyPEEvaluator, HyPEResult
+from .core import CompiledPlan, HyPEResult
 from .index import Index, build_index
 
 HYPE = "hype"
@@ -35,6 +35,46 @@ def to_mfa(query: str | ast.Path | MFA) -> MFA:
     if isinstance(query, str):
         query = parse_query(query)
     return compile_query(query)
+
+
+def compile_plan(
+    query: str | ast.Path | MFA,
+    algorithm: str = HYPE,
+    tree: XMLTree | None = None,
+    index: Index | None = None,
+) -> CompiledPlan:
+    """Compile a query into a reusable, thread-safe :class:`CompiledPlan`.
+
+    The returned plan is immutable after warmup: many threads may call
+    its :meth:`CompiledPlan.run` concurrently, and its memo tables stay
+    warm across documents and runs.
+
+    Args:
+        query: Query string, AST, or compiled MFA.
+        algorithm: One of :data:`ALGORITHMS`.
+        tree: Document to build the OptHyPE index from when ``index``
+            is not supplied (plain HyPE needs neither).
+        index: Optional pre-built index for the opt variants.
+
+    Raises:
+        EvaluationError: for unknown algorithm names or when an opt
+            variant has neither a tree nor a pre-built index.
+    """
+    if algorithm not in ALGORITHMS:
+        raise EvaluationError(
+            f"unknown algorithm {algorithm!r}; pick one of {ALGORITHMS}"
+        )
+    mfa = to_mfa(query)
+    if algorithm == HYPE:
+        return CompiledPlan(mfa)
+    if index is None:
+        if tree is None:
+            raise EvaluationError(
+                "OptHyPE needs an XMLTree (to build its index) or an "
+                "explicit pre-built index"
+            )
+        index = build_index(tree, compressed=(algorithm == OPTHYPE_C))
+    return CompiledPlan(mfa, index=index)
 
 
 def evaluate_hype(
@@ -56,19 +96,11 @@ def evaluate_hype(
         EvaluationError: for unknown algorithm names or when an opt variant
             is asked to run on a bare context node without an index.
     """
-    if algorithm not in ALGORITHMS:
-        raise EvaluationError(
-            f"unknown algorithm {algorithm!r}; pick one of {ALGORITHMS}"
-        )
-    mfa = to_mfa(query)
     context = tree.root if isinstance(tree, XMLTree) else tree
-    if algorithm == HYPE:
-        return HyPEEvaluator(mfa).run(context)
-    if index is None:
-        if not isinstance(tree, XMLTree):
-            raise EvaluationError(
-                "OptHyPE needs an XMLTree (to build its index) or an "
-                "explicit pre-built index"
-            )
-        index = build_index(tree, compressed=(algorithm == OPTHYPE_C))
-    return HyPEEvaluator(mfa, index=index).run(context)
+    plan = compile_plan(
+        query,
+        algorithm=algorithm,
+        tree=tree if isinstance(tree, XMLTree) else None,
+        index=index,
+    )
+    return plan.run(context)

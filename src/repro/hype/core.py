@@ -26,10 +26,28 @@ seen in phase 1.
 OptHyPE/OptHyPE-C plug in a subtree-label index plus the viability oracle
 (:mod:`repro.hype.analyze`) to skip subtrees even when states are live but
 provably cannot produce answers or flip a filter to true.
+
+Plan/run split.  Evaluation state comes in two kinds with very different
+lifetimes, and the classes here mirror that:
+
+* :class:`CompiledPlan` — the reusable half: the MFA, the optional index
+  and viability analyzer, and every per-MFA memo table (interned state
+  sets, child-transition cache, relevant-set plans, pop/death caches,
+  phase-2 caches).  A plan is *immutable after warmup*: the tables only
+  ever gain entries, every entry is a pure function of its key, and the
+  id-minting intern table is lock-guarded — so one plan can be executed
+  by many threads at once and shared across tenants, lanes and services.
+* :class:`RunCursor` — the per-run half: the visit list, death records
+  and counters of ONE evaluation.  Cursors are cheap, built per run, and
+  never shared between threads.
+
+``HyPEEvaluator`` remains as a deprecated alias of :class:`CompiledPlan`
+for code written against the pre-split API.
 """
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
 
 from ..automata.afa import FINAL, TRANS, WILDCARD
@@ -90,8 +108,17 @@ class _Frame:
         self.has_ann = has_ann
 
 
-class HyPEEvaluator:
-    """Reusable evaluator: per-MFA caches survive across documents."""
+class CompiledPlan:
+    """One compiled MFA plus its reusable, thread-safe memo tables.
+
+    Concurrency contract: every table is fill-only, every entry is a
+    deterministic function of its key, and the canonical objects inside
+    entries all come from the lock-guarded intern table — so concurrent
+    fills of the same key produce identical values and a lost write costs
+    only duplicated work, never a wrong answer.  Only :meth:`_intern`
+    takes the lock (it mints ids; a race there could alias two different
+    sets to one id, which WOULD corrupt the keyed caches).
+    """
 
     def __init__(
         self,
@@ -104,11 +131,15 @@ class HyPEEvaluator:
         if index is not None and analyzer is None:
             analyzer = ViabilityAnalyzer(mfa, index.bits)
         self.analyzer = analyzer
+        # Guards id minting in _intern; every other table is benign to
+        # race on (see class docstring).
+        self._intern_lock = threading.Lock()
         # fs -> (canonical fs object, id); the canonical object makes the
         # phase-2 `is` fast path valid.
         self._set_ids: dict[frozenset, tuple[frozenset, int]] = {}
-        # (mstates id, relevant id, label) ->
-        #     (mstates_v, relevant_v, watch, has_finals, edges_needed)
+        # (mstates id, relevant id) -> {label ->
+        #     (base, base_id, mstates_v, m_id, relevant_v, r_id, watch,
+        #      has_finals, has_ann)}
         self._child_cache: dict = {}
         # (mstates id, relevant id, mask) -> filtered pair
         self._filter_cache: dict = {}
@@ -128,17 +159,34 @@ class HyPEEvaluator:
         existing = self._set_ids.get(fs)
         if existing is not None:
             return existing
-        entry = (fs, len(self._set_ids))
-        self._set_ids[fs] = entry
-        return entry
+        with self._intern_lock:
+            existing = self._set_ids.get(fs)
+            if existing is not None:
+                return existing
+            entry = (fs, len(self._set_ids))
+            self._set_ids[fs] = entry
+            return entry
+
+    def _child_labels(self, m_id: int, r_id: int) -> dict:
+        """The (shared) per-(m, r) label map of the child cache."""
+        key = (m_id, r_id)
+        labels = self._child_cache.get(key)
+        if labels is None:
+            # setdefault keeps concurrent first fills on one shared dict.
+            labels = self._child_cache.setdefault(key, {})
+        return labels
 
     # ------------------------------------------------------------------
+    def cursor(self) -> "RunCursor":
+        """A fresh per-run cursor over this plan."""
+        return RunCursor(self)
+
     def initial_sets(self, context: Node):
         """Root ``(mstates, m_id, relevant, r_id)`` after index filtering.
 
         Shared by :meth:`run` and the batched evaluator
-        (:mod:`repro.serve.batch`), which drives many evaluators through
-        one document pass and needs each lane's root sets up front.
+        (:mod:`repro.serve.batch`), which drives many plans through one
+        document pass and needs each lane's root sets up front.
         """
         nfa = self.mfa.nfa
         pool = self.mfa.pool
@@ -156,7 +204,7 @@ class HyPEEvaluator:
     def collect_answers(
         self, visit_nodes, visit_parents, visit_mstates, deaths, finals_seen
     ) -> set[Node]:
-        """Phase 2 over an externally-built cans DAG (batch reuse)."""
+        """Phase 2 over an externally-built cans DAG (cursor/batch reuse)."""
         if not deaths:
             return set(finals_seen)
         return self._phase2(
@@ -167,45 +215,35 @@ class HyPEEvaluator:
     def run(self, context: Node) -> HyPEResult:
         """Evaluate ``context[[M]]`` in one pass + one cans traversal.
 
-        The descent below is mirrored lane-wise by
-        ``repro.serve.batch.BatchEvaluator._pass`` (kept separate for
-        hot-path speed): changes here must be reflected there, with
-        ``tests/test_serve_batch.py`` enforcing the equivalence.
+        Safe to call from many threads at once: all mutable per-run state
+        lives on a private :class:`RunCursor`.  The descent below is
+        mirrored lane-wise by ``repro.serve.batch.BatchEvaluator._pass``
+        (kept separate for hot-path speed): changes here must be
+        reflected there, with ``tests/test_serve_batch.py`` enforcing the
+        equivalence.
         """
         nfa = self.mfa.nfa
-        stats = HyPEStats()
-
-        mstates0, m_id0, relevant0, r_id0 = self.initial_sets(context)
-        if not mstates0 and not relevant0:
-            return HyPEResult(set(), stats)
-
-        # Phase 1 state: the node-major cans DAG.
-        visit_nodes: list[Node] = [context]
-        visit_parents: list[int] = [-1]
-        visit_mstates: list[frozenset] = [mstates0]
-        deaths: dict[int, frozenset] = {}
-        finals_seen: list[Node] = []
+        cursor = RunCursor(self)
+        root = cursor.admit_root(context)
+        if root is None:
+            return cursor.finish()
+        root_frame, m_id0, r_id0, root_labels = root
 
         finals = nfa.finals
-        if mstates0 & finals:
-            finals_seen.append(context)
+        deaths = cursor.deaths
+        finals_seen = cursor.finals_seen
+        visit_nodes = cursor.visit_nodes
         visited = 1
         skipped = 0
-        cans_vertices = len(mstates0)
+        cans_vertices = cursor.cans_vertices
 
-        has_ann0 = any(s in nfa.ann for s in mstates0)
-        root_frame = _Frame(context, 0, mstates0, relevant0, (), None, has_ann0)
-        child_cache = self._child_cache
-        root_labels = child_cache.get((m_id0, r_id0))
-        if root_labels is None:
-            root_labels = child_cache[(m_id0, r_id0)] = {}
         stack: list[tuple[_Frame, int, int, dict, object]] = [
             (root_frame, m_id0, r_id0, root_labels, iter(context.children))
         ]
         use_index = self.index is not None
         nodes_append = visit_nodes.append
-        parents_append = visit_parents.append
-        mstates_append = visit_mstates.append
+        parents_append = cursor.visit_parents.append
+        mstates_append = cursor.visit_mstates.append
         while stack:
             frame, m_id, r_id, label_map, child_iter = stack[-1]
             child = next(child_iter, None)  # type: ignore[arg-type]
@@ -250,9 +288,7 @@ class HyPEEvaluator:
                 child_frame = _Frame(
                     child, visit_idx, mstates_v, relevant_v, watch, frame, has_ann
                 )
-                child_labels = child_cache.get((m_idv, r_idv))
-                if child_labels is None:
-                    child_labels = child_cache[(m_idv, r_idv)] = {}
+                child_labels = self._child_labels(m_idv, r_idv)
                 stack.append(
                     (child_frame, m_idv, r_idv, child_labels, iter(child.children))
                 )
@@ -260,21 +296,11 @@ class HyPEEvaluator:
             # All children processed: pop (lines 11-21 of Fig. 6).
             stack.pop()
             if frame.relevant and (frame.watch or frame.has_ann):
-                self._pop(frame, m_id, r_id, deaths, stats)
-        stats.visited_elements = visited
-        stats.skipped_subtrees = skipped
-        stats.cans_vertices = cans_vertices
-
-        # Phase 2: traverse cans.
-        if not deaths:
-            answers = set(finals_seen)
-        else:
-            answers = self._phase2(
-                visit_nodes, visit_parents, visit_mstates, deaths, finals
-            )
-        stats.answers = len(answers)
-        stats.gate_failures = len(deaths)
-        return HyPEResult(answers, stats)
+                self._pop(frame, m_id, r_id, deaths, cursor.stats)
+        cursor.visited = visited
+        cursor.skipped = skipped
+        cursor.cans_vertices = cans_vertices
+        return cursor.finish()
 
     # ------------------------------------------------------------------
     # Descent bookkeeping
@@ -512,7 +538,7 @@ class HyPEEvaluator:
                     current = phase1
                 else:
                     # parent_alive is always interned, so the frozenset key
-                    # is canonical and stable across runs of this evaluator.
+                    # is canonical and stable across runs of this plan.
                     key = (parent_alive, node.label)
                     base = step_cache.get(key)
                     if base is None:
@@ -557,10 +583,97 @@ class HyPEEvaluator:
         return interned
 
 
+class RunCursor:
+    """Per-run traversal state of ONE evaluation of one plan.
+
+    A cursor carries exactly what one depth-first pass accumulates: the
+    node-major cans DAG (visit lists), the death records, the finals seen
+    in phase 1, and the counters.  Cursors are cheap to build, private to
+    their run, and never synchronised — all sharing happens through the
+    plan's memo tables.  Both the sequential :meth:`CompiledPlan.run` and
+    the lanes of :class:`repro.serve.batch.BatchEvaluator` record through
+    this class, so a batched lane is *observationally identical* to a
+    sequential run.
+    """
+
+    __slots__ = (
+        "plan",
+        "stats",
+        "visit_nodes",
+        "visit_parents",
+        "visit_mstates",
+        "deaths",
+        "finals_seen",
+        "visited",
+        "skipped",
+        "cans_vertices",
+    )
+
+    def __init__(self, plan: CompiledPlan) -> None:
+        self.plan = plan
+        self.stats = HyPEStats()
+        self.visit_nodes: list[Node] = []
+        self.visit_parents: list[int] = []
+        self.visit_mstates: list[frozenset] = []
+        self.deaths: dict[int, frozenset] = {}
+        self.finals_seen: list[Node] = []
+        self.visited = 0
+        self.skipped = 0
+        self.cans_vertices = 0
+
+    def admit_root(self, context: Node):
+        """Enter ``context`` as the run's root visit.
+
+        Returns ``(frame, m_id, r_id, label_map)`` for the descent, or
+        ``None`` when the plan is dead at the root (the run then finishes
+        immediately with the all-zero result).
+        """
+        plan = self.plan
+        mstates0, m_id0, relevant0, r_id0 = plan.initial_sets(context)
+        if not mstates0 and not relevant0:
+            return None
+        nfa = plan.mfa.nfa
+        self.visit_nodes.append(context)
+        self.visit_parents.append(-1)
+        self.visit_mstates.append(mstates0)
+        self.visited = 1
+        self.cans_vertices = len(mstates0)
+        if mstates0 & nfa.finals:
+            self.finals_seen.append(context)
+        has_ann0 = any(s in nfa.ann for s in mstates0)
+        frame = _Frame(context, 0, mstates0, relevant0, (), None, has_ann0)
+        return frame, m_id0, r_id0, plan._child_labels(m_id0, r_id0)
+
+    def finish(self) -> HyPEResult:
+        """Phase 2 (cans traversal) + the run's final counters."""
+        stats = self.stats
+        stats.visited_elements = self.visited
+        stats.skipped_subtrees = self.skipped
+        stats.cans_vertices = self.cans_vertices
+        answers = self.plan.collect_answers(
+            self.visit_nodes,
+            self.visit_parents,
+            self.visit_mstates,
+            self.deaths,
+            self.finals_seen,
+        )
+        stats.answers = len(answers)
+        stats.gate_failures = len(self.deaths)
+        return HyPEResult(answers, stats)
+
+
+class HyPEEvaluator(CompiledPlan):
+    """Deprecated alias of :class:`CompiledPlan`.
+
+    Kept so code written before the plan/run-state split keeps importing
+    and constructing; new code should say ``CompiledPlan``.
+    """
+
+
 def hype_eval(
     mfa: MFA,
     context: Node,
     index: Index | None = None,
 ) -> HyPEResult:
-    """One-shot HyPE evaluation (builds a fresh evaluator)."""
-    return HyPEEvaluator(mfa, index=index).run(context)
+    """One-shot HyPE evaluation (builds a fresh plan)."""
+    return CompiledPlan(mfa, index=index).run(context)

@@ -14,10 +14,14 @@ source; each user group is confined to its own security view and poses
   authorisation, batching, metrics);
 * :mod:`repro.serve.session` — per-tenant session registry;
 * :mod:`repro.serve.metrics` — service counters and table rendering;
+* :mod:`repro.serve.pool` — the bounded evaluation worker pool:
+  thread-safe compiled plans let independent waves overlap, with
+  queue-wait and in-flight gauges for the metrics layer;
 * :mod:`repro.serve.admission` — per-wave admission control: concurrent
   async arrivals coalesce into ``submit_wave`` batches;
 * :mod:`repro.serve.frontend` — the asyncio NDJSON socket server (and
-  client helper) in front of the service.
+  client helper, with per-connection backpressure) in front of the
+  service.
 
 Attribute access is lazy (PEP 562): :mod:`repro.engine.smoqe` depends on
 :mod:`repro.serve.cache` for its plan cache while
@@ -43,6 +47,9 @@ _EXPORTS = {
     "start_frontend": "frontend",
     "MetricsSnapshot": "metrics",
     "ServiceMetrics": "metrics",
+    "DEFAULT_POOL_SIZE": "pool",
+    "ExecutionPool": "pool",
+    "PoolOutcome": "pool",
     "QueryRequest": "service",
     "QueryService": "service",
     "TenantBinding": "service",

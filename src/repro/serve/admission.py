@@ -13,7 +13,11 @@ independent clients never coalesce on their own.  The
 * the leader then dispatches the whole wave through
   :meth:`QueryService.submit_wave` in a worker thread
   (``run_in_executor``), so the event loop keeps accepting arrivals —
-  the *next* wave collects while the previous one evaluates;
+  the *next* wave collects while the previous one evaluates, and since
+  the service routes evaluation through its bounded
+  :class:`repro.serve.pool.ExecutionPool` (compiled plans are
+  thread-safe), independent waves also *evaluate* concurrently instead
+  of queueing behind one global lock;
 * every waiter gets its own answer (or its own rejection) back.
 
 Because the service's wave path evaluates all admitted requests in one

@@ -1,28 +1,33 @@
-"""Batched HyPE: N MFAs evaluated in one shared top-down document pass.
+"""Batched HyPE: N plans evaluated in one shared top-down document pass.
 
-Sequential serving runs one :class:`repro.hype.core.HyPEEvaluator` pass
+Sequential serving runs one :class:`repro.hype.core.CompiledPlan` pass
 per query, so K concurrent queries over one source cost K document
 traversals even though the traversals are identical in shape.  The batch
 evaluator instead drives every automaton down a *single* depth-first pass
 (a network of automata sharing one execution context): each automaton is
-a *lane* carrying its own ``mstates``/``fstates`` frames, and a subtree is
-descended iff **at least one** lane keeps live states for it — i.e. a
+a *lane* carrying its own ``mstates``/``fstates`` cursor, and a subtree
+is descended iff **at least one** lane keeps live states for it — i.e. a
 subtree is pruned only when *every* live automaton allows the prune.
 
 Correctness: a lane computes child sets only at nodes where it is itself
-live, calls the same per-evaluator transition/pop machinery, and records
-its own cans DAG — exactly the state the sequential run would build.  So
-per-lane answers *and* per-lane statistics (visited, skipped, gate
-failures) are identical to N sequential runs; only the shared traversal
-count (:class:`BatchStats`) differs, and that is the win being measured.
+live, calls the same per-plan transition/pop machinery, and records its
+own cans DAG into its own :class:`repro.hype.core.RunCursor` — exactly
+the state the sequential run would build.  So per-lane answers *and*
+per-lane statistics (visited, skipped, gate failures) are identical to N
+sequential runs; only the shared traversal count (:class:`BatchStats`)
+differs, and that is the win being measured.
+
+Sharing: lanes are :class:`CompiledPlan` objects, so two lanes given the
+*same* plan object (e.g. the same view query admitted for two tenants)
+fill and read one set of memo tables, and the tables stay warm across
+batches and across the service's worker pool — plans are thread-safe.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from ..automata.mfa import MFA
-from ..hype.core import HyPEEvaluator, HyPEResult, HyPEStats, _Frame
+from ..hype.core import CompiledPlan, HyPEResult, RunCursor, _Frame
 from ..xtree.node import Node
 
 
@@ -59,110 +64,57 @@ class BatchResult:
         return len(self.results)
 
 
-class _Lane:
-    """One automaton's private state within the shared pass."""
-
-    __slots__ = (
-        "evaluator",
-        "stats",
-        "visit_nodes",
-        "visit_parents",
-        "visit_mstates",
-        "deaths",
-        "finals_seen",
-        "visited",
-        "skipped",
-        "cans_vertices",
-    )
-
-    def __init__(self, evaluator: HyPEEvaluator) -> None:
-        self.evaluator = evaluator
-        self.stats = HyPEStats()
-        self.visit_nodes: list[Node] = []
-        self.visit_parents: list[int] = []
-        self.visit_mstates: list = []
-        self.deaths: dict[int, frozenset] = {}
-        self.finals_seen: list[Node] = []
-        self.visited = 0
-        self.skipped = 0
-        self.cans_vertices = 0
-
-    def finish(self) -> HyPEResult:
-        """Phase 2 (cans traversal) — identical to the sequential tail."""
-        stats = self.stats
-        stats.visited_elements = self.visited
-        stats.skipped_subtrees = self.skipped
-        stats.cans_vertices = self.cans_vertices
-        answers = self.evaluator.collect_answers(
-            self.visit_nodes,
-            self.visit_parents,
-            self.visit_mstates,
-            self.deaths,
-            self.finals_seen,
-        )
-        stats.answers = len(answers)
-        stats.gate_failures = len(self.deaths)
-        return HyPEResult(answers, stats)
-
-
 class BatchEvaluator:
-    """Evaluate many MFAs over one document in a single shared pass.
+    """Evaluate many compiled plans over one document in a single pass.
 
-    Accepts compiled MFAs or pre-built (possibly index-equipped)
-    :class:`HyPEEvaluator` instances; lanes may mix plain HyPE and
-    OptHyPE evaluators freely since each lane prunes with its own
-    machinery.  Evaluators are reused across :meth:`run` calls, so their
-    per-MFA caches keep paying off.
+    Takes :class:`repro.hype.core.CompiledPlan` lanes only — plans may
+    mix plain HyPE and OptHyPE (index-equipped) freely since each lane
+    prunes with its own machinery, and one plan object may back several
+    lanes (its memo tables are shared and thread-safe).  Passing a raw
+    MFA was deprecated with the plan/run-state split: compile it first.
     """
 
-    def __init__(self, plans: list[MFA | HyPEEvaluator]) -> None:
+    def __init__(self, plans: list[CompiledPlan]) -> None:
         if not plans:
             raise ValueError("BatchEvaluator needs at least one plan")
-        self.evaluators = [
-            plan if isinstance(plan, HyPEEvaluator) else HyPEEvaluator(plan)
-            for plan in plans
-        ]
+        for plan in plans:
+            if not isinstance(plan, CompiledPlan):
+                raise TypeError(
+                    "BatchEvaluator takes CompiledPlan lanes only since the "
+                    "plan/run-state split; wrap the automaton first: "
+                    f"CompiledPlan(mfa) — got {type(plan).__name__!r}"
+                )
+        self.plans = list(plans)
 
     # ------------------------------------------------------------------
     def run(self, context: Node) -> BatchResult:
         """Evaluate every lane's ``context[[M]]`` in one shared pass."""
-        stats = BatchStats(lanes=len(self.evaluators))
-        lanes = [_Lane(evaluator) for evaluator in self.evaluators]
+        stats = BatchStats(lanes=len(self.plans))
+        cursors = [RunCursor(plan) for plan in self.plans]
 
-        # Root admission: a lane with empty root sets never enters the pass
+        # Root admission: a lane dead at the root never enters the pass
         # (the sequential run returns the all-zero result immediately).
         root_entries = []
-        for lane in lanes:
-            evaluator = lane.evaluator
-            mstates0, m_id0, relevant0, r_id0 = evaluator.initial_sets(context)
-            if not mstates0 and not relevant0:
+        for cursor in cursors:
+            root = cursor.admit_root(context)
+            if root is None:
                 continue
-            nfa = evaluator.mfa.nfa
-            lane.visit_nodes.append(context)
-            lane.visit_parents.append(-1)
-            lane.visit_mstates.append(mstates0)
-            lane.visited = 1
-            lane.cans_vertices = len(mstates0)
-            if mstates0 & nfa.finals:
-                lane.finals_seen.append(context)
-            has_ann0 = any(s in nfa.ann for s in mstates0)
-            frame = _Frame(context, 0, mstates0, relevant0, (), None, has_ann0)
-            label_map = evaluator._child_cache.setdefault((m_id0, r_id0), {})
-            root_entries.append((lane, frame, m_id0, r_id0, label_map))
+            frame, m_id0, r_id0, label_map = root
+            root_entries.append((cursor, frame, m_id0, r_id0, label_map))
 
         if root_entries:
             stats.visited_elements = 1
-            self._pass(context, root_entries, lanes, stats)
+            self._pass(context, root_entries, stats)
 
-        results = [lane.finish() for lane in lanes]
+        results = [cursor.finish() for cursor in cursors]
         stats.sequential_visited = sum(r.stats.visited_elements for r in results)
         return BatchResult(results, stats)
 
     # ------------------------------------------------------------------
-    def _pass(self, context: Node, root_entries, lanes, stats: BatchStats) -> None:
+    def _pass(self, context: Node, root_entries, stats: BatchStats) -> None:
         """The shared depth-first pass (Fig. 6 driven once for all lanes).
 
-        This mirrors the phase-1 descent of ``HyPEEvaluator.run``
+        This mirrors the phase-1 descent of ``CompiledPlan.run``
         deliberately rather than sharing a per-child callable — the
         descent is the hottest loop in the library and an indirection
         there costs every sequential query.  Any change to the sequential
@@ -178,21 +130,21 @@ class BatchEvaluator:
             if child is None:
                 # All children processed: pop every lane's frame.
                 stack.pop()
-                for lane, frame, m_id, r_id, _label_map in entries:
+                for cursor, frame, m_id, r_id, _label_map in entries:
                     if frame.relevant and (frame.watch or frame.has_ann):
-                        lane.evaluator._pop(
-                            frame, m_id, r_id, lane.deaths, lane.stats
+                        cursor.plan._pop(
+                            frame, m_id, r_id, cursor.deaths, cursor.stats
                         )
                 continue
             label = child.label
             if label[0] == "#":  # text node
                 continue
             survivors = []
-            for lane, frame, _m_id, _r_id, label_map in entries:
-                evaluator = lane.evaluator
+            for cursor, frame, _m_id, _r_id, label_map in entries:
+                plan = cursor.plan
                 cached = label_map.get(label)
                 if cached is None:
-                    cached = evaluator._compute_child_sets(
+                    cached = plan._compute_child_sets(
                         frame.mstates, frame.relevant, label
                     )
                     label_map[label] = cached
@@ -207,33 +159,31 @@ class BatchEvaluator:
                     has_final,
                     has_ann,
                 ) = cached
-                nfa = evaluator.mfa.nfa
-                if evaluator.index is not None and (mstates_v or relevant_v):
-                    mstates_v, m_idv, relevant_v, r_idv = evaluator._apply_index(
+                nfa = plan.mfa.nfa
+                if plan.index is not None and (mstates_v or relevant_v):
+                    mstates_v, m_idv, relevant_v, r_idv = plan._apply_index(
                         base_v, base_idv, relevant_v, r_idv, child.node_id
                     )
                     has_final = bool(mstates_v & nfa.finals)
                     has_ann = any(s in nfa.ann for s in mstates_v)
                 if not mstates_v and not relevant_v:
                     # This lane prunes the subtree; others may still descend.
-                    lane.skipped += 1
+                    cursor.skipped += 1
                     continue
-                lane.visited += 1
-                visit_idx = len(lane.visit_nodes)
-                lane.visit_nodes.append(child)
-                lane.visit_parents.append(frame.visit_idx)
-                lane.visit_mstates.append(mstates_v)
-                lane.cans_vertices += len(mstates_v)
+                cursor.visited += 1
+                visit_idx = len(cursor.visit_nodes)
+                cursor.visit_nodes.append(child)
+                cursor.visit_parents.append(frame.visit_idx)
+                cursor.visit_mstates.append(mstates_v)
+                cursor.cans_vertices += len(mstates_v)
                 if has_final:
-                    lane.finals_seen.append(child)
+                    cursor.finals_seen.append(child)
                 child_frame = _Frame(
                     child, visit_idx, mstates_v, relevant_v, watch, frame, has_ann
                 )
-                child_labels = evaluator._child_cache.setdefault(
-                    (m_idv, r_idv), {}
-                )
+                child_labels = plan._child_labels(m_idv, r_idv)
                 survivors.append(
-                    (lane, child_frame, m_idv, r_idv, child_labels)
+                    (cursor, child_frame, m_idv, r_idv, child_labels)
                 )
             if survivors:
                 stats.visited_elements += 1

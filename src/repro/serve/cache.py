@@ -19,7 +19,7 @@ from typing import Callable, Hashable, Iterator, TypeVar
 from ..automata.mfa import MFA
 from ..hype.analyze import ViabilityAnalyzer
 from ..hype.api import HYPE, OPTHYPE_C
-from ..hype.core import HyPEEvaluator
+from ..hype.core import CompiledPlan
 from ..hype.index import build_index
 from ..xpath import ast
 from ..xpath.normalize import canonical, desugar, simplify
@@ -46,14 +46,17 @@ def normalized_query_text(query: str | ast.Path) -> str:
 
 @dataclass
 class CachedPlan:
-    """The cache's value type: a compiled MFA plus reusable evaluators.
+    """The cache's value type: a compiled MFA plus its executable plans.
 
     Both :class:`repro.engine.smoqe.SMOQE` and
     :class:`repro.serve.service.QueryService` store :class:`CachedPlan`
     values, so one :class:`PlanCache` can be shared between an engine and
-    a service over the same document.  Evaluators are built lazily per
-    algorithm and reused across runs (their per-MFA caches keep paying
-    off).
+    a service over the same document — and, because
+    :class:`repro.hype.core.CompiledPlan` is thread-safe, the same
+    compiled plan serves every tenant bound to the view and every worker
+    of the evaluation pool at once.  Plans are built lazily per algorithm
+    (under a per-entry lock so a cold algorithm is compiled exactly once)
+    and reused across runs: their memo tables keep paying off.
 
     ``spec`` records the view specification the plan was compiled
     against (``None`` for direct source queries): cache keys carry only
@@ -61,42 +64,47 @@ class CachedPlan:
     identity on a hit and recompile on mismatch — otherwise two holders
     binding the same name to different specs would serve each other's
     rewritings.
-
-    Evaluators themselves are NOT thread-safe (they mutate internal
-    memo tables during a run); callers serialise runs per evaluator —
-    ``QueryService`` holds its evaluation lock around every run.
     """
 
     mfa: MFA
     spec: object | None = None
-    evaluators: dict[str, HyPEEvaluator] = field(default_factory=dict)
+    plans: dict[str, CompiledPlan] = field(default_factory=dict)
+    _lock: threading.Lock = field(
+        default_factory=threading.Lock, repr=False, compare=False
+    )
 
-    def evaluator(
+    def compiled(
         self, algorithm: str, document: XMLTree, indexes: dict
-    ) -> HyPEEvaluator:
-        """The (cached) evaluator realising ``algorithm`` for this plan.
+    ) -> CompiledPlan:
+        """The (cached) compiled plan realising ``algorithm``.
 
         ``indexes`` is the caller's per-document index cache
-        (``compressed -> Index``), shared across plans.
+        (``compressed -> Index``), shared across plans; ``setdefault``
+        keeps concurrent cold builds converging on one index object.
         """
-        evaluator = self.evaluators.get(algorithm)
-        if evaluator is not None:
-            return evaluator
-        if algorithm == HYPE:
-            evaluator = HyPEEvaluator(self.mfa)
-        else:
-            compressed = algorithm == OPTHYPE_C
-            index = indexes.get(compressed)
-            if index is None:
-                index = build_index(document, compressed=compressed)
-                indexes[compressed] = index
-            evaluator = HyPEEvaluator(
-                self.mfa,
-                index=index,
-                analyzer=ViabilityAnalyzer(self.mfa, index.bits),
-            )
-        self.evaluators[algorithm] = evaluator
-        return evaluator
+        plan = self.plans.get(algorithm)
+        if plan is not None:
+            return plan
+        with self._lock:
+            plan = self.plans.get(algorithm)
+            if plan is not None:
+                return plan
+            if algorithm == HYPE:
+                plan = CompiledPlan(self.mfa)
+            else:
+                compressed = algorithm == OPTHYPE_C
+                index = indexes.get(compressed)
+                if index is None:
+                    index = indexes.setdefault(
+                        compressed, build_index(document, compressed=compressed)
+                    )
+                plan = CompiledPlan(
+                    self.mfa,
+                    index=index,
+                    analyzer=ViabilityAnalyzer(self.mfa, index.bits),
+                )
+            self.plans[algorithm] = plan
+            return plan
 
 
 def plan_for(

@@ -26,8 +26,17 @@ connection: they come back as ``{"ok": false, "error": KIND, "message":
 ...}`` where ``KIND`` is ``"authorization"`` / ``"service"`` /
 ``"invalid-query"`` (per-tenant authorisation and parse failures,
 classified exactly as the service metrics count them),
-``"bad-request"`` for malformed protocol input, or ``"internal"`` for
-an unexpected server-side error.
+``"bad-request"`` for malformed protocol input, ``"overloaded"`` for
+backpressure (see below), or ``"internal"`` for an unexpected
+server-side error.
+
+Backpressure: each connection may have at most
+:attr:`QueryFrontend.max_pending` queries in flight (sent but not yet
+answered).  A ``query`` line arriving past that cap is answered
+immediately with a structured ``overloaded`` rejection (id echoed, the
+connection stays up, other ops pass freely) and counted under the
+``overloaded`` rejection kind in the service metrics — a client should
+drain replies before pipelining more.
 """
 
 from __future__ import annotations
@@ -46,6 +55,10 @@ DEFAULT_PORT = 7407
 #: Default cap on ids returned per query reply (full count is always sent).
 DEFAULT_ID_LIMIT = 100
 
+#: Default cap on in-flight (unanswered) queries per connection; excess
+#: query lines get a structured ``overloaded`` rejection.
+DEFAULT_MAX_PENDING = 32
+
 #: Per-line stream buffer cap (server and client). A request line longer
 #: than this is answered with ``bad-request`` and the connection dropped —
 #: past the buffer the line framing is unrecoverable.
@@ -60,9 +73,13 @@ class QueryFrontend:
         service: QueryService,
         admission: AdmissionConfig | None = None,
         executor: Executor | None = None,
+        max_pending: int = DEFAULT_MAX_PENDING,
     ) -> None:
+        if max_pending < 1:
+            raise ValueError(f"max_pending must be >= 1, got {max_pending}")
         self.service = service
         self.admission = AdmissionController(service, admission, executor)
+        self.max_pending = max_pending
         self.host: str | None = None
         self.port: int | None = None
         self._server: asyncio.AbstractServer | None = None
@@ -113,13 +130,21 @@ class QueryFrontend:
         self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
     ) -> None:
         """One connection: spawn a task per request line so pipelined
-        requests coalesce into waves instead of serialising."""
+        requests coalesce into waves instead of serialising.  Query lines
+        past the per-connection pending cap are rejected inline."""
         conn = asyncio.current_task()
         if conn is not None:
             self._connections.add(conn)
             conn.add_done_callback(self._connections.discard)
         write_lock = asyncio.Lock()
         tasks: set[asyncio.Task] = set()
+        pending_queries = 0
+
+        def _query_done(task: asyncio.Task) -> None:
+            nonlocal pending_queries
+            pending_queries -= 1
+            tasks.discard(task)
+
         try:
             while True:
                 try:
@@ -127,30 +152,64 @@ class QueryFrontend:
                 except (asyncio.LimitOverrunError, ValueError):
                     # Oversized line: framing past the buffer cap is
                     # unrecoverable — reply, then drop the connection.
-                    reply = {
-                        "ok": False,
-                        "error": "bad-request",
-                        "message": (
-                            f"request line exceeds {LINE_LIMIT} bytes"
-                        ),
-                    }
-                    async with write_lock:
-                        writer.write((json.dumps(reply) + "\n").encode())
-                        try:
-                            await writer.drain()
-                        except (ConnectionError, OSError):
-                            pass
+                    await self._send(
+                        writer,
+                        write_lock,
+                        {
+                            "ok": False,
+                            "error": "bad-request",
+                            "message": (
+                                f"request line exceeds {LINE_LIMIT} bytes"
+                            ),
+                        },
+                    )
                     break
                 if not line:
                     break
                 line = line.strip()
                 if not line:
                     continue
+                try:
+                    message = json.loads(line)
+                    if not isinstance(message, dict):
+                        raise ValueError("request must be a JSON object")
+                except ValueError as error:
+                    await self._send(
+                        writer,
+                        write_lock,
+                        {
+                            "ok": False,
+                            "error": "bad-request",
+                            "message": f"invalid request line: {error}",
+                        },
+                    )
+                    continue
+                is_query = message.get("op") == "query"
+                if is_query and pending_queries >= self.max_pending:
+                    # Backpressure: reject rather than queue without bound.
+                    self.service.metrics.record_rejection("overloaded")
+                    reply = {
+                        "ok": False,
+                        "error": "overloaded",
+                        "message": (
+                            f"connection has {pending_queries} pending "
+                            f"query(ies) (cap {self.max_pending}); drain "
+                            "replies before pipelining more"
+                        ),
+                    }
+                    if "id" in message:
+                        reply["id"] = message["id"]
+                    await self._send(writer, write_lock, reply)
+                    continue
                 task = asyncio.create_task(
-                    self._serve_line(line, writer, write_lock)
+                    self._serve_message(message, writer, write_lock)
                 )
                 tasks.add(task)
-                task.add_done_callback(tasks.discard)
+                if is_query:
+                    pending_queries += 1
+                    task.add_done_callback(_query_done)
+                else:
+                    task.add_done_callback(tasks.discard)
         except asyncio.CancelledError:
             pass  # close() cancelled us: exit normally so the stream
             # machinery never sees a cancelled handler task (3.11 logs it)
@@ -163,32 +222,9 @@ class QueryFrontend:
             except (ConnectionError, OSError, asyncio.CancelledError):
                 pass  # already tearing down; the transport is closed
 
-    async def _serve_line(
-        self, line: bytes, writer: asyncio.StreamWriter, lock: asyncio.Lock
+    async def _send(
+        self, writer: asyncio.StreamWriter, lock: asyncio.Lock, reply: dict
     ) -> None:
-        try:
-            message = json.loads(line)
-            if not isinstance(message, dict):
-                raise ValueError("request must be a JSON object")
-        except ValueError as error:
-            reply: dict = {
-                "ok": False,
-                "error": "bad-request",
-                "message": f"invalid request line: {error}",
-            }
-        else:
-            try:
-                reply = await self._reply_for(message)
-            except Exception as error:
-                # A reply must go out for every request line, no matter
-                # what — a swallowed exception would hang the client.
-                reply = {
-                    "ok": False,
-                    "error": "internal",
-                    "message": f"{type(error).__name__}: {error}",
-                }
-            if "id" in message:
-                reply["id"] = message["id"]
         data = (json.dumps(reply) + "\n").encode()
         async with lock:
             writer.write(data)
@@ -196,6 +232,23 @@ class QueryFrontend:
                 await writer.drain()
             except (ConnectionError, OSError):
                 pass  # client went away; nothing left to tell it
+
+    async def _serve_message(
+        self, message: dict, writer: asyncio.StreamWriter, lock: asyncio.Lock
+    ) -> None:
+        try:
+            reply = await self._reply_for(message)
+        except Exception as error:
+            # A reply must go out for every request line, no matter
+            # what — a swallowed exception would hang the client.
+            reply = {
+                "ok": False,
+                "error": "internal",
+                "message": f"{type(error).__name__}: {error}",
+            }
+        if "id" in message:
+            reply["id"] = message["id"]
+        await self._send(writer, lock, reply)
 
     async def _reply_for(self, message: dict) -> dict:
         op = message.get("op")
@@ -280,9 +333,10 @@ async def start_frontend(
     host: str = DEFAULT_HOST,
     port: int = 0,
     admission: AdmissionConfig | None = None,
+    max_pending: int = DEFAULT_MAX_PENDING,
 ) -> QueryFrontend:
     """Build and start a :class:`QueryFrontend` in one call."""
-    frontend = QueryFrontend(service, admission)
+    frontend = QueryFrontend(service, admission, max_pending=max_pending)
     await frontend.start(host, port)
     return frontend
 

@@ -59,7 +59,15 @@ class TenantMetrics:
 
 @dataclass
 class MetricsSnapshot:
-    """Immutable point-in-time view of the service counters."""
+    """Immutable point-in-time view of the service counters.
+
+    ``latency`` covers pure *evaluation* time; ``queue_wait`` covers the
+    time requests sat queued for an evaluation-pool worker.  The two used
+    to be folded together (the old global evaluation lock's wait was
+    timed inside "latency"), which made pool overlap invisible.
+    ``in_flight_evaluations`` / ``peak_in_flight`` are the pool's gauges
+    at snapshot time.
+    """
 
     requests: int
     rejected: int
@@ -75,6 +83,10 @@ class MetricsSnapshot:
     wave_requests: int = 0
     wave_admitted: int = 0
     largest_wave: int = 0
+    queue_wait: LatencyStats = field(default_factory=LatencyStats)
+    in_flight_evaluations: int = 0
+    peak_in_flight: int = 0
+    pool_size: int = 0
 
     @property
     def batch_saved_visits(self) -> int:
@@ -137,6 +149,14 @@ class MetricsSnapshot:
                 f"sequential element(s) "
                 f"(saved {self.batch_saved_visits})"
             )
+        if self.pool_size:
+            lines.append(
+                f"evaluation pool: size {self.pool_size}, "
+                f"{self.in_flight_evaluations} in flight "
+                f"(peak {self.peak_in_flight}); "
+                f"queue wait mean {self.queue_wait.mean * 1000:.2f} ms, "
+                f"evaluate mean {self.latency.mean * 1000:.2f} ms"
+            )
         return "\n".join(lines)
 
     def as_dict(self) -> dict:
@@ -159,6 +179,17 @@ class MetricsSnapshot:
                 "mean": self.latency.mean,
                 "min": self.latency.min,
                 "max": self.latency.max,
+            },
+            "queue_wait": {
+                "count": self.queue_wait.count,
+                "mean": self.queue_wait.mean,
+                "min": self.queue_wait.min,
+                "max": self.queue_wait.max,
+            },
+            "in_flight_evaluations": self.in_flight_evaluations,
+            "pool": {
+                "size": self.pool_size,
+                "peak_in_flight": self.peak_in_flight,
             },
             "cache": {
                 "hits": self.cache.hits,
@@ -194,21 +225,29 @@ class ServiceMetrics:
         self._wave_admitted = 0
         self._largest_wave = 0
         self._latency = LatencyStats()
+        self._queue_wait = LatencyStats()
         self._tenants: dict[str, TenantMetrics] = {}
 
     # ------------------------------------------------------------------
     def record_request(
-        self, tenant: str, seconds: float, answers: int
+        self, tenant: str, queue_wait: float, eval_seconds: float, answers: int
     ) -> None:
+        """Account one served request.
+
+        ``queue_wait`` (time spent waiting for a pool worker) and
+        ``eval_seconds`` (the evaluation itself) are recorded separately;
+        per-tenant latency tracks evaluation only.
+        """
         with self._lock:
             self._requests += 1
-            self._latency.record(seconds)
+            self._latency.record(eval_seconds)
+            self._queue_wait.record(queue_wait)
             per_tenant = self._tenants.get(tenant)
             if per_tenant is None:
                 per_tenant = self._tenants[tenant] = TenantMetrics()
             per_tenant.requests += 1
             per_tenant.answers += answers
-            per_tenant.latency.record(seconds)
+            per_tenant.latency.record(eval_seconds)
 
     def record_rejection(self, kind: str = "service") -> None:
         """Count one rejected request, classified by failure ``kind``."""
@@ -236,7 +275,15 @@ class ServiceMetrics:
             self._sequential_visited += sequential_visited
 
     # ------------------------------------------------------------------
-    def snapshot(self, cache: CacheStats | None = None) -> MetricsSnapshot:
+    def snapshot(
+        self,
+        cache: CacheStats | None = None,
+        *,
+        in_flight: int = 0,
+        peak_in_flight: int = 0,
+        pool_size: int = 0,
+    ) -> MetricsSnapshot:
+        """Counters + the caller-supplied pool gauges at this instant."""
         with self._lock:
             return MetricsSnapshot(
                 requests=self._requests,
@@ -255,4 +302,8 @@ class ServiceMetrics:
                 wave_requests=self._wave_requests,
                 wave_admitted=self._wave_admitted,
                 largest_wave=self._largest_wave,
+                queue_wait=self._queue_wait.snapshot(),
+                in_flight_evaluations=in_flight,
+                peak_in_flight=peak_in_flight,
+                pool_size=pool_size,
             )

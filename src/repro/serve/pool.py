@@ -1,0 +1,127 @@
+"""Bounded evaluation worker pool: independent waves overlap.
+
+Before the plan/run-state split the service serialised every evaluation
+behind one global lock — the lock *was* the thread-safety story, and its
+wait time silently inflated the reported evaluation latency.  Compiled
+plans are now thread-safe (:class:`repro.hype.core.CompiledPlan`), so the
+lock's two jobs come apart:
+
+* **bounding** — at most :attr:`ExecutionPool.size` evaluations run at
+  once; excess work queues (that queue time is what the old lock hid,
+  and it is now measured separately as ``queue_wait``);
+* **overlap** — up to ``size`` independent waves/requests evaluate
+  concurrently.  Under a GIL build the evaluations interleave rather
+  than parallelise, but a wave no longer waits for an unrelated wave to
+  *finish* before starting: its evaluation overlaps the other wave's
+  admission window, I/O and tail, and on free-threaded builds it
+  parallelises outright.
+
+The pool also keeps the gauges the metrics layer reports: evaluations in
+flight right now, the peak ever observed (the concurrency proof used by
+``benchmarks/test_concurrent_waves.py``), and the completed count.
+
+Re-entrancy: :meth:`execute` blocks the calling thread until a worker
+finishes the job — never call it from inside a pool worker, a full pool
+would deadlock waiting on itself.  The service's call paths (caller
+threads and the front-end's ``run_in_executor`` threads) all sit outside
+the pool, so this cannot arise there.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from concurrent.futures import Future, ThreadPoolExecutor
+from dataclasses import dataclass
+from typing import Any, Callable
+
+#: Default bound on concurrent evaluations per service.
+DEFAULT_POOL_SIZE = 4
+
+
+@dataclass
+class PoolOutcome:
+    """One executed job: its result plus the split timings.
+
+    ``queue_wait`` is the time the job sat dispatched-but-not-started
+    (all workers busy); ``eval_seconds`` is the time the job itself ran.
+    The metrics layer records the two separately so pool overlap is
+    measurable instead of being folded into "latency".
+    """
+
+    result: Any
+    queue_wait: float
+    eval_seconds: float
+
+
+class ExecutionPool:
+    """A bounded worker pool for (thread-safe) plan evaluations."""
+
+    def __init__(self, size: int = DEFAULT_POOL_SIZE) -> None:
+        if size < 1:
+            raise ValueError(f"pool size must be >= 1, got {size}")
+        self.size = size
+        self._executor = ThreadPoolExecutor(
+            max_workers=size, thread_name_prefix="repro-eval"
+        )
+        self._lock = threading.Lock()
+        self._in_flight = 0
+        self._peak_in_flight = 0
+        self._completed = 0
+
+    # ------------------------------------------------------------------
+    def execute(self, work: Callable[[], Any]) -> PoolOutcome:
+        """Run ``work`` on a pool worker; block until it finishes."""
+        return self.dispatch(work).result()
+
+    def dispatch(self, work: Callable[[], Any]) -> "Future[PoolOutcome]":
+        """Queue ``work``; the future resolves to its :class:`PoolOutcome`."""
+        enqueued = time.perf_counter()
+        return self._executor.submit(self._run, work, enqueued)
+
+    def _run(self, work: Callable[[], Any], enqueued: float) -> PoolOutcome:
+        started = time.perf_counter()
+        with self._lock:
+            self._in_flight += 1
+            if self._in_flight > self._peak_in_flight:
+                self._peak_in_flight = self._in_flight
+        try:
+            result = work()
+        finally:
+            with self._lock:
+                self._in_flight -= 1
+                self._completed += 1
+        return PoolOutcome(
+            result=result,
+            queue_wait=started - enqueued,
+            eval_seconds=time.perf_counter() - started,
+        )
+
+    # ------------------------------------------------------------------
+    @property
+    def in_flight(self) -> int:
+        """Evaluations executing right now (the gauge metrics report)."""
+        with self._lock:
+            return self._in_flight
+
+    @property
+    def peak_in_flight(self) -> int:
+        """Most evaluations ever observed executing at once."""
+        with self._lock:
+            return self._peak_in_flight
+
+    @property
+    def completed(self) -> int:
+        """Jobs finished (successfully or not) since the pool started."""
+        with self._lock:
+            return self._completed
+
+    def shutdown(self, wait: bool = True) -> None:
+        """Stop the workers (idempotent); pending jobs still run."""
+        self._executor.shutdown(wait=wait)
+
+    def __enter__(self) -> "ExecutionPool":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.shutdown()

@@ -16,12 +16,17 @@ Two serving paths:
   document: plans are gathered per request and evaluated by one
   :class:`repro.serve.batch.BatchEvaluator` pass, so K queries cost one
   shared traversal instead of K.
+
+Concurrency: compiled plans are immutable-after-warmup and thread-safe
+(:class:`repro.hype.core.CompiledPlan`), so evaluation needs no global
+lock — every run is dispatched to a bounded
+:class:`repro.serve.pool.ExecutionPool`, letting independent waves and
+requests overlap while queue-wait and evaluation time are measured
+separately.
 """
 
 from __future__ import annotations
 
-import threading
-import time
 from dataclasses import dataclass
 
 from ..automata.compile import compile_query
@@ -37,6 +42,7 @@ from ..xtree.node import XMLTree
 from .batch import BatchEvaluator, BatchStats
 from .cache import CachedPlan, PlanCache, normalized_query_text, plan_for
 from .metrics import MetricsSnapshot, ServiceMetrics
+from .pool import DEFAULT_POOL_SIZE, ExecutionPool
 from .session import Session, SessionRegistry
 
 
@@ -105,6 +111,8 @@ class QueryService:
         default_algorithm: str = HYPE,
         cache: PlanCache | None = None,
         cache_capacity: int = 256,
+        pool: ExecutionPool | None = None,
+        pool_size: int = DEFAULT_POOL_SIZE,
     ) -> None:
         if default_algorithm not in ALGORITHMS:
             raise ValueError(f"unknown algorithm {default_algorithm!r}")
@@ -116,10 +124,24 @@ class QueryService:
         self._views: dict[str, ViewSpec] = {}
         self._tenants: dict[str, TenantBinding] = {}
         self._indexes: dict[bool, object] = {}
-        # HyPE evaluators mutate per-plan memo tables during a run, so
-        # concurrent submits serialise the evaluation phase (planning,
-        # cache, sessions and metrics all take their own finer locks).
-        self._eval_lock = threading.Lock()
+        # Compiled plans are thread-safe, so there is no evaluation lock:
+        # every run goes through a bounded worker pool (pass ``pool`` to
+        # share one pool between services over the same hardware).
+        self._owns_pool = pool is None
+        self.pool = pool if pool is not None else ExecutionPool(pool_size)
+
+    def close(self) -> None:
+        """Release the evaluation workers (only a pool this service
+        created; a shared pool passed in stays up for its other users).
+        Idempotent; the service must not be used afterwards."""
+        if self._owns_pool:
+            self.pool.shutdown(wait=True)
+
+    def __enter__(self) -> "QueryService":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
 
     # ------------------------------------------------------------------
     # Administration
@@ -241,12 +263,14 @@ class QueryService:
             # failures do; classify so every rejection is counted.
             self.metrics.record_rejection(rejection_kind(error))
             raise
-        started = time.perf_counter()
-        with self._eval_lock:
-            evaluator = plan.evaluator(algo, self.document, self._indexes)
-            result = evaluator.run(self.document.root)
-        elapsed = time.perf_counter() - started
-        self.metrics.record_request(tenant, elapsed, len(result.answers))
+        compiled = plan.compiled(algo, self.document, self._indexes)
+        outcome = self.pool.execute(
+            lambda: compiled.run(self.document.root)
+        )
+        result = outcome.result
+        self.metrics.record_request(
+            tenant, outcome.queue_wait, outcome.eval_seconds, len(result.answers)
+        )
         if session is not None:
             session.touch(query_text)
         return QueryAnswer(
@@ -327,32 +351,36 @@ class QueryService:
     def _evaluate_grants(
         self, grants: list
     ) -> tuple[list[QueryAnswer], BatchStats]:
-        """Run admitted grants through one shared pass and account them."""
-        started = time.perf_counter()
-        with self._eval_lock:
-            lane_of: dict[tuple[int, str], int] = {}
-            evaluators = []
-            request_lane: list[int] = []
-            for _request, _binding, algo, plan, _query_text, _session in grants:
-                key = (id(plan), algo)
-                lane = lane_of.get(key)
-                if lane is None:
-                    lane = lane_of[key] = len(evaluators)
-                    evaluators.append(
-                        plan.evaluator(algo, self.document, self._indexes)
-                    )
-                request_lane.append(lane)
-            outcome = BatchEvaluator(evaluators).run(self.document.root)
-        elapsed = time.perf_counter() - started
+        """Run admitted grants through one shared pass and account them.
+
+        Requests resolving to the same compiled plan — e.g. two tenants
+        bound to one view posing the same query — share one lane, so the
+        plan's memo tables are filled once and read by every request.
+        """
+        lane_of: dict[int, int] = {}
+        lanes = []
+        request_lane: list[int] = []
+        for _request, _binding, algo, plan, _query_text, _session in grants:
+            compiled = plan.compiled(algo, self.document, self._indexes)
+            lane = lane_of.get(id(compiled))
+            if lane is None:
+                lane = lane_of[id(compiled)] = len(lanes)
+                lanes.append(compiled)
+            request_lane.append(lane)
+        pooled = self.pool.execute(
+            lambda: BatchEvaluator(lanes).run(self.document.root)
+        )
+        outcome = pooled.result
         # Attribute the shared pass evenly across the batched requests.
-        share = elapsed / len(grants)
+        wait_share = pooled.queue_wait / len(grants)
+        eval_share = pooled.eval_seconds / len(grants)
         answers: list[QueryAnswer] = []
         for (request, binding, algo, plan, query_text, session), lane in zip(
             grants, request_lane
         ):
             result = outcome.results[lane]
             self.metrics.record_request(
-                request.tenant, share, len(result.answers)
+                request.tenant, wait_share, eval_share, len(result.answers)
             )
             if session is not None:
                 # The session captured at admission: touching it directly
@@ -370,7 +398,7 @@ class QueryService:
                 )
             )
         stats = BatchStats(
-            lanes=len(evaluators),
+            lanes=len(lanes),
             visited_elements=outcome.stats.visited_elements,
             skipped_subtrees=outcome.stats.skipped_subtrees,
             sequential_visited=sum(
@@ -384,5 +412,10 @@ class QueryService:
 
     # ------------------------------------------------------------------
     def metrics_snapshot(self) -> MetricsSnapshot:
-        """Counters + cache stats, consumable by :mod:`repro.bench.tables`."""
-        return self.metrics.snapshot(self.cache.stats)
+        """Counters + cache stats + the pool's gauges at this instant."""
+        return self.metrics.snapshot(
+            self.cache.stats,
+            in_flight=self.pool.in_flight,
+            peak_in_flight=self.pool.peak_in_flight,
+            pool_size=self.pool.size,
+        )

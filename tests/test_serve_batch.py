@@ -1,7 +1,7 @@
 """Batch-vs-sequential equivalence: answers, stats and pruning counters.
 
 The batched evaluator must be *observationally identical* per query to N
-sequential :class:`HyPEEvaluator` runs — same answer sets, same per-lane
+sequential :class:`CompiledPlan` runs — same answer sets, same per-lane
 visited/skipped/gate-failure counters — while the shared pass visits no
 more elements than the sequential total.
 """
@@ -10,7 +10,7 @@ import pytest
 from hypothesis import given, settings
 
 from repro.automata.compile import compile_query
-from repro.hype.core import HyPEEvaluator
+from repro.hype.core import CompiledPlan
 from repro.hype.index import build_index
 from repro.serve.batch import BatchEvaluator
 from repro.workloads import FIG8, FIG9, VIEW_QUERIES
@@ -25,10 +25,10 @@ def assert_batch_matches_sequential(tree, queries, indexed=False):
     mfas = [compile_query(parse_query(q)) for q in queries]
     index = build_index(tree) if indexed else None
     sequential = [
-        HyPEEvaluator(mfa, index=index).run(tree.root) for mfa in mfas
+        CompiledPlan(mfa, index=index).run(tree.root) for mfa in mfas
     ]
     batch = BatchEvaluator(
-        [HyPEEvaluator(mfa, index=index) for mfa in mfas]
+        [CompiledPlan(mfa, index=index) for mfa in mfas]
     ).run(tree.root)
     assert len(batch.results) == len(sequential)
     for seq, bat in zip(sequential, batch.results):
@@ -60,13 +60,13 @@ class TestBatchOnHospital:
         index = build_index(hospital_doc)
         queries = sorted(FIG8.values())
         mfas = [compile_query(parse_query(q)) for q in queries]
-        evaluators = [
-            HyPEEvaluator(mfa, index=index if i % 2 else None)
+        plans = [
+            CompiledPlan(mfa, index=index if i % 2 else None)
             for i, mfa in enumerate(mfas)
         ]
-        sequential = [e.run(hospital_doc.root) for e in evaluators]
+        sequential = [p.run(hospital_doc.root) for p in plans]
         fresh = [
-            HyPEEvaluator(mfa, index=index if i % 2 else None)
+            CompiledPlan(mfa, index=index if i % 2 else None)
             for i, mfa in enumerate(mfas)
         ]
         batch = BatchEvaluator(fresh).run(hospital_doc.root)
@@ -78,9 +78,11 @@ class TestBatchOnHospital:
             engine.rewrite("research", q) for q in sorted(VIEW_QUERIES.values())
         ]
         sequential = [
-            HyPEEvaluator(mfa).run(engine.document.root) for mfa in mfas
+            CompiledPlan(mfa).run(engine.document.root) for mfa in mfas
         ]
-        batch = BatchEvaluator(list(mfas)).run(engine.document.root)
+        batch = BatchEvaluator(
+            [CompiledPlan(mfa) for mfa in mfas]
+        ).run(engine.document.root)
         for seq, bat in zip(sequential, batch.results):
             assert ids(bat.answers) == ids(seq.answers)
             assert bat.stats.visited_elements == seq.stats.visited_elements
@@ -88,21 +90,24 @@ class TestBatchOnHospital:
     def test_dead_lane_gets_empty_zero_stat_result(self, hospital_doc):
         batch = BatchEvaluator(
             [
-                compile_query(parse_query("nosuchlabel/child")),
-                compile_query(parse_query("department/name")),
+                CompiledPlan(compile_query(parse_query("nosuchlabel/child"))),
+                CompiledPlan(compile_query(parse_query("department/name"))),
             ]
         ).run(hospital_doc.root)
         dead, live = batch.results
         assert dead.answers == set()
         assert live.answers
-        sequential = HyPEEvaluator(
+        sequential = CompiledPlan(
             compile_query(parse_query("nosuchlabel/child"))
         ).run(hospital_doc.root)
         assert dead.stats.visited_elements == sequential.stats.visited_elements
 
     def test_reusing_batch_evaluator_is_stable(self, hospital_doc):
         batch = BatchEvaluator(
-            [compile_query(parse_query(q)) for q in sorted(FIG8.values())]
+            [
+                CompiledPlan(compile_query(parse_query(q)))
+                for q in sorted(FIG8.values())
+            ]
         )
         first = batch.run(hospital_doc.root)
         second = batch.run(hospital_doc.root)
@@ -114,14 +119,35 @@ class TestBatchOnHospital:
         with pytest.raises(ValueError, match="at least one"):
             BatchEvaluator([])
 
+    def test_raw_mfa_lane_rejected_with_guidance(self):
+        """The pre-split ``MFA | HyPEEvaluator`` union is gone: a raw MFA
+        lane must fail loudly, pointing at the CompiledPlan wrapper."""
+        mfa = compile_query(parse_query("department/name"))
+        with pytest.raises(TypeError, match="CompiledPlan"):
+            BatchEvaluator([mfa])
+
+    def test_lanes_sharing_one_plan_object_match(self, hospital_doc):
+        """Two lanes backed by ONE CompiledPlan (the cross-tenant sharing
+        case) still produce per-lane results identical to sequential."""
+        shared = CompiledPlan(compile_query(parse_query("department/name")))
+        expected = CompiledPlan(
+            compile_query(parse_query("department/name"))
+        ).run(hospital_doc.root)
+        batch = BatchEvaluator([shared, shared]).run(hospital_doc.root)
+        for lane in batch.results:
+            assert ids(lane.answers) == ids(expected.answers)
+            assert lane.stats == expected.stats
+
 
 class TestBatchProperty:
     @settings(max_examples=60, deadline=None)
     @given(tree=trees(), qs=paths(), q2=paths())
     def test_random_tree_random_queries(self, tree, qs, q2):
         mfas = [compile_query(qs), compile_query(q2)]
-        sequential = [HyPEEvaluator(mfa).run(tree.root) for mfa in mfas]
-        batch = BatchEvaluator(list(mfas)).run(tree.root)
+        sequential = [CompiledPlan(mfa).run(tree.root) for mfa in mfas]
+        batch = BatchEvaluator([CompiledPlan(mfa) for mfa in mfas]).run(
+            tree.root
+        )
         for seq, bat in zip(sequential, batch.results):
             assert ids(bat.answers) == ids(seq.answers)
             assert bat.stats.visited_elements == seq.stats.visited_elements

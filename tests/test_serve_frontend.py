@@ -251,6 +251,107 @@ class TestErrorMapping:
         assert kinds == {"authorization": 1, "invalid-query": 1}
 
 
+class TestBackpressure:
+    def run_with_capped_frontend(
+        self, service, scenario, max_pending, admission
+    ):
+        async def main():
+            frontend = QueryFrontend(
+                service, admission, max_pending=max_pending
+            )
+            host, port = await frontend.start("127.0.0.1", 0)
+            client = await FrontendClient.connect(host, port)
+            try:
+                return await scenario(client, frontend)
+            finally:
+                await client.aclose()
+                await frontend.close()
+
+        return asyncio.run(main())
+
+    def test_cap_validated(self, service):
+        with pytest.raises(ValueError, match="max_pending"):
+            QueryFrontend(service, max_pending=0)
+
+    def test_excess_pipelined_queries_get_overloaded_replies(self, service):
+        """A burst past the per-connection cap: the excess queries are
+        rejected with a structured ``overloaded`` reply (ids echoed, the
+        connection stays usable) while the admitted ones still answer."""
+
+        async def scenario(client, _frontend):
+            burst = [
+                {
+                    "op": "query",
+                    "id": f"q{i}",
+                    "tenant": "institute",
+                    "query": "patient",
+                }
+                for i in range(5)
+            ]
+            payload = "".join(json.dumps(m) + "\n" for m in burst).encode()
+            client._writer.write(payload)
+            await client._writer.drain()
+            replies = {}
+            for _ in burst:
+                reply = await asyncio.wait_for(client._read_reply(), timeout=10)
+                replies[reply["id"]] = reply
+            # The connection survives backpressure.
+            follow_up = await asyncio.wait_for(
+                client.query("institute", "patient"), timeout=10
+            )
+            metrics = await client.metrics()
+            return replies, follow_up, metrics
+
+        # A long admission window keeps the first queries pending while
+        # the rest of the burst hits the cap.
+        replies, follow_up, metrics = self.run_with_capped_frontend(
+            service,
+            scenario,
+            max_pending=2,
+            admission=AdmissionConfig(max_wave=8, max_wait=0.25),
+        )
+        overloaded = [r for r in replies.values() if not r["ok"]]
+        served = [r for r in replies.values() if r["ok"]]
+        assert len(served) == 2
+        assert len(overloaded) == 3
+        for reply in overloaded:
+            assert reply["error"] == "overloaded"
+            assert "drain replies" in reply["message"]
+        assert follow_up["ok"] is True
+        assert metrics["metrics"]["rejected_kinds"]["overloaded"] == 3
+
+    def test_non_query_ops_pass_while_queries_are_capped(self, service):
+        async def scenario(client, _frontend):
+            client._writer.write(
+                (
+                    json.dumps(
+                        {
+                            "op": "query",
+                            "id": "pending",
+                            "tenant": "institute",
+                            "query": "patient",
+                        }
+                    )
+                    + "\n"
+                ).encode()
+            )
+            await client._writer.drain()
+            # While the query waits out the admission window, pings and
+            # metrics are not subject to the cap.
+            pong = await asyncio.wait_for(client.ping(), timeout=10)
+            pending = await asyncio.wait_for(client._read_reply(), timeout=10)
+            return pong, pending
+
+        pong, pending = self.run_with_capped_frontend(
+            service,
+            scenario,
+            max_pending=1,
+            admission=AdmissionConfig(max_wave=8, max_wait=0.2),
+        )
+        assert pong["pong"] is True
+        assert pending["id"] == "pending" and pending["ok"] is True
+
+
 class TestLifecycle:
     def test_start_frontend_helper_and_id_echo(self, service):
         async def main():

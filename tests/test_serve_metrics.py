@@ -29,9 +29,39 @@ class TestLatencyStats:
         """The rendered table carries no inf even without the old ad-hoc
         ``count`` guard in ``format_table``."""
         metrics = ServiceMetrics()
-        metrics.record_request("t", 0.001, answers=1)
+        metrics.record_request("t", 0.0, 0.001, answers=1)
         table = metrics.snapshot(CacheStats()).format_table()
         assert "inf" not in table
+
+
+class TestQueueWaitSplit:
+    def test_queue_wait_and_evaluate_recorded_separately(self):
+        """Regression: the old recorder timed the global evaluation
+        lock's wait inside "latency"; the two must stay apart so pool
+        overlap is measurable."""
+        metrics = ServiceMetrics()
+        metrics.record_request("t", 0.010, 0.002, answers=1)
+        metrics.record_request("t", 0.030, 0.004, answers=0)
+        snap = metrics.snapshot()
+        assert snap.latency.count == 2
+        assert snap.latency.max == 0.004
+        assert snap.queue_wait.count == 2
+        assert snap.queue_wait.min == 0.010
+        assert snap.queue_wait.max == 0.030
+        # Per-tenant latency tracks evaluation only.
+        assert snap.tenants["t"].latency.max == 0.004
+
+    def test_pool_gauges_flow_into_snapshot(self):
+        metrics = ServiceMetrics()
+        snap = metrics.snapshot(in_flight=3, peak_in_flight=5, pool_size=8)
+        assert snap.in_flight_evaluations == 3
+        assert snap.peak_in_flight == 5
+        assert snap.pool_size == 8
+        assert "evaluation pool: size 8, 3 in flight (peak 5)" in snap.describe()
+
+    def test_no_pool_no_pool_line(self):
+        snap = ServiceMetrics().snapshot()
+        assert "evaluation pool" not in snap.describe()
 
 
 class TestRejectionKinds:
@@ -80,10 +110,15 @@ class TestAsDict:
         import json
 
         metrics = ServiceMetrics()
-        metrics.record_request("t", 0.002, answers=3)
+        metrics.record_request("t", 0.001, 0.002, answers=3)
         metrics.record_wave(2, admitted=2)
         metrics.record_rejection("authorization")
-        payload = metrics.snapshot(CacheStats(hits=1, misses=2)).as_dict()
+        payload = metrics.snapshot(
+            CacheStats(hits=1, misses=2),
+            in_flight=1,
+            peak_in_flight=2,
+            pool_size=4,
+        ).as_dict()
         round_tripped = json.loads(json.dumps(payload))
         assert round_tripped["requests"] == 1
         assert round_tripped["rejected_kinds"] == {"authorization": 1}
@@ -91,3 +126,6 @@ class TestAsDict:
         assert round_tripped["cache"]["misses"] == 2
         assert round_tripped["tenants"]["t"]["answers"] == 3
         assert round_tripped["latency"]["min"] == 0.002
+        assert round_tripped["queue_wait"]["max"] == 0.001
+        assert round_tripped["in_flight_evaluations"] == 1
+        assert round_tripped["pool"] == {"size": 4, "peak_in_flight": 2}
