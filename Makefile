@@ -5,7 +5,7 @@
 PY ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test bench bench-smoke bench-serve bench-front front-smoke concurrency-smoke install
+.PHONY: test bench bench-smoke bench-serve bench-front front-smoke concurrency-smoke cache-smoke warm install
 
 test:
 	$(PY) -m pytest -x -q
@@ -41,3 +41,14 @@ front-smoke:
 # to sequential evaluation. CI runs this.
 concurrency-smoke:
 	$(PY) -m pytest benchmarks/test_concurrent_waves.py -q
+
+# Persistent-cache smoke: a second process over a populated --plan-dir
+# must skip every MFA rewrite (compile-stage counters at zero), beat the
+# cold pipeline on compile time, and answer identically. CI runs this.
+cache-smoke:
+	$(PY) -m pytest benchmarks/test_warm_restart.py -q
+
+# Precompile the default hospital workload into ./plans (demo of the
+# warm subcommand; serve-front --plan-dir plans then boots warm).
+warm:
+	$(PY) -m repro.cli warm --plan-dir plans

@@ -19,7 +19,7 @@ import pytest
 
 from repro.automata import compile_query, conceptual_eval
 from repro.baselines import TwoPassEvaluator
-from repro.hype import HyPEEvaluator, build_index
+from repro.hype import CompiledPlan, build_index
 from repro.workloads import FIG8A
 from repro.xpath import parse_query
 
@@ -31,7 +31,7 @@ QUERY = FIG8A  # descendant selection + descendant filter: filter-heavy
 )
 def test_pass_structure_ablation(benchmark, bench_doc, engine):
     mfa = compile_query(parse_query(QUERY))
-    hype = HyPEEvaluator(mfa)
+    hype = CompiledPlan(mfa)
     expected = {n.node_id for n in hype.run(bench_doc.root).answers}
     if engine == "hype-single-pass":
         benchmark(hype.run, bench_doc.root)

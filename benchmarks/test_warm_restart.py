@@ -1,0 +1,161 @@
+"""Warm restart: a populated plan store eliminates MFA rewrites entirely.
+
+The persistent plan cache's acceptance property, proven across a real
+process boundary:
+
+1. a **first process** — ``python -m repro.cli warm`` — compiles the
+   workload's queries and persists their artifacts into ``--plan-dir``;
+2. a **second process** (this test) boots services against the populated
+   directory and serves the same workload.  The compile stage counters
+   must show **zero** ``rewrite``/``translate`` runs, the compile wall
+   time must beat the cold pipeline by a wide margin, and every answer —
+   across tenants, single submits and batched waves — must be identical
+   to a cold-start run.
+
+Timing comparison protocol: only *compile-stage* seconds are compared
+(rewriting vs rehydrating), not end-to-end wall time — evaluation cost is
+identical on both sides by construction and would only add noise.
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.compile import PlanStore
+from repro.compile.pipeline import REWRITE, TRANSLATE
+from repro.serve.service import QueryRequest, QueryService
+from repro.views.samples import sigma0
+from repro.workloads import (
+    FIG8,
+    HospitalConfig,
+    VIEW_QUERIES,
+    generate_hospital_document,
+)
+
+VIEW_SET = sorted(VIEW_QUERIES.values())
+DIRECT_SET = sorted(FIG8.values())
+REPO_SRC = Path(__file__).resolve().parent.parent / "src"
+
+
+@pytest.fixture(scope="module")
+def restart_doc():
+    return generate_hospital_document(HospitalConfig(num_patients=40, seed=17))
+
+
+def _service(document, directory) -> QueryService:
+    service = QueryService(document, plan_store=PlanStore(directory))
+    service.register_view("research", sigma0())
+    service.register_tenant("institute", "research")
+    service.register_tenant("clinic", "research")
+    service.register_tenant("admin", None)
+    return service
+
+
+def _drive(service: QueryService) -> list:
+    """The workload: per-tenant submits plus one batched wave."""
+    answers = []
+    for tenant in ("institute", "clinic"):
+        answers.extend(
+            service.submit(tenant, query).ids() for query in VIEW_SET
+        )
+    answers.extend(service.submit("admin", query).ids() for query in DIRECT_SET)
+    wave = [QueryRequest("institute", query) for query in VIEW_SET]
+    wave += [QueryRequest("admin", query) for query in DIRECT_SET]
+    batched, _stats = service.submit_many(wave)
+    answers.extend(answer.ids() for answer in batched)
+    return answers
+
+
+def test_second_process_skips_all_rewrites_and_beats_cold_compile(
+    restart_doc, tmp_path
+):
+    # Cold baseline: fresh directory, this process pays every rewrite.
+    cold_dir = tmp_path / "cold"
+    with _service(restart_doc, cold_dir) as cold:
+        cold_answers = _drive(cold)
+        cold_compile = cold.cache.compiler.metrics.snapshot()
+    assert cold_compile.stage(REWRITE).count == len(VIEW_SET)
+    assert cold_compile.stage(TRANSLATE).count == len(DIRECT_SET)
+
+    # First process: the CLI warms a separate store with the same
+    # workload (its defaults are exactly VIEW_QUERIES over σ0 + FIG8).
+    warm_dir = tmp_path / "warm"
+    completed = subprocess.run(
+        [sys.executable, "-m", "repro.cli", "warm", "--plan-dir", str(warm_dir)],
+        capture_output=True,
+        text=True,
+        env={**os.environ, "PYTHONPATH": str(REPO_SRC)},
+        timeout=120,
+    )
+    assert completed.returncode == 0, completed.stderr
+    assert f"{len(VIEW_SET) + len(DIRECT_SET)} compiled" in completed.stdout
+    assert len(PlanStore(warm_dir)) == len(VIEW_SET) + len(DIRECT_SET)
+
+    # Second process (simulated here by a brand-new cache + service over
+    # the CLI-populated directory — nothing in memory carries over).
+    with _service(restart_doc, warm_dir) as warm:
+        warm_answers = _drive(warm)
+        warm_compile = warm.cache.compiler.metrics.snapshot()
+        snapshot = warm.metrics_snapshot()
+
+    # Zero MFA rewrites for previously-seen (view, query) pairs ...
+    assert warm_compile.stage(REWRITE).count == 0
+    assert warm_compile.stage(TRANSLATE).count == 0
+    assert snapshot.plan_misses == 0
+    assert snapshot.plan_l2_hits == len(VIEW_SET) + len(DIRECT_SET)
+    # ... identical answers across tenants and serving paths ...
+    assert warm_answers == cold_answers
+    # ... and the warm compile path (parse + normalize only) beats the
+    # cold pipeline on compile time by a wide margin.
+    assert warm_compile.total_seconds < cold_compile.total_seconds / 2, (
+        f"warm compile {warm_compile.total_seconds:.6f}s not well under "
+        f"cold {cold_compile.total_seconds:.6f}s"
+    )
+
+
+def test_restarted_store_survives_a_second_cli_process(restart_doc, tmp_path):
+    """serve-batch in a subprocess, twice: the restart reports L2 hits,
+    no rewrites, and prints byte-identical answer listings."""
+    plan_dir = tmp_path / "plans"
+    doc_path = tmp_path / "doc.xml"
+    spec_path = Path(__file__).resolve().parent.parent / "examples" / "research.view"
+    from repro.xtree.serialize import serialize
+
+    doc_path.write_text(serialize(restart_doc))
+    args = [
+        sys.executable,
+        "-m",
+        "repro.cli",
+        "serve-batch",
+        str(doc_path),
+        VIEW_SET[0],
+        VIEW_SET[1],
+        "--spec",
+        str(spec_path),
+        "--plan-dir",
+        str(plan_dir),
+    ]
+    env = {**os.environ, "PYTHONPATH": str(REPO_SRC)}
+    cold = subprocess.run(
+        args, capture_output=True, text=True, env=env, timeout=120
+    )
+    assert cold.returncode == 0, cold.stderr
+    assert "2 miss(es)" in cold.stdout
+    assert "rewrite 2x" in cold.stdout
+    warm = subprocess.run(
+        args, capture_output=True, text=True, env=env, timeout=120
+    )
+    assert warm.returncode == 0, warm.stderr
+    assert "2 L2 hit(s), 0 miss(es)" in warm.stdout
+    assert "rewrite" not in warm.stdout
+
+    def answer_lines(text: str) -> list[str]:
+        return [line for line in text.splitlines() if line.startswith("  node ")]
+
+    assert answer_lines(warm.stdout) == answer_lines(cold.stdout)
+    assert answer_lines(cold.stdout)

@@ -12,6 +12,7 @@ from .afa import (
     TRANS,
     WILDCARD,
 )
+from .codec import CodecError, mfa_from_dict, mfa_to_dict
 from .compile import MFABuilder, compile_filter, compile_query
 from .conceptual import conceptual_eval
 from .mfa import MFA
@@ -37,6 +38,9 @@ __all__ = [
     "NFA",
     "MFA",
     "MFABuilder",
+    "CodecError",
+    "mfa_to_dict",
+    "mfa_from_dict",
     "compile_query",
     "compile_filter",
     "conceptual_eval",

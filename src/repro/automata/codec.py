@@ -1,0 +1,176 @@
+"""MFA ⇄ plain-data codec (the serialisation layer under plan artifacts).
+
+Compiled plans have to survive a process restart for the persistent plan
+cache (``repro.compile``), and an MFA is the only part of a plan worth
+persisting: every evaluator memo table rebuilds lazily from it.  This
+module maps an :class:`repro.automata.mfa.MFA` to JSON-compatible plain
+data and back.
+
+Encoding invariants:
+
+* **deterministic** — all sets are emitted sorted, so the same MFA always
+  produces byte-identical payloads (artifacts can be content-compared);
+* **self-checking** — :func:`mfa_from_dict` rebuilds through the normal
+  constructors and runs :meth:`MFA.validate`, so a structurally broken
+  payload (truncated, wrong types, dangling ids) raises
+  :class:`CodecError` instead of yielding a plan that misbehaves at
+  evaluation time.  This is integrity checking against *accident*, not
+  authentication: a well-formed payload decodes regardless of author
+  (see the trust-boundary note in :mod:`repro.compile.store`);
+* **closed** — only structures this package itself produces are encoded
+  (the two final-state predicate kinds, the three operator kinds); an
+  unknown kind is a :class:`CodecError` on either side.
+
+The payload is one layer of the versioned artifact format; the version
+number itself lives in :mod:`repro.compile.artifact` (the codec encodes
+one MFA, the artifact wraps it with key metadata).
+"""
+
+from __future__ import annotations
+
+import json
+
+from ..errors import ReproError
+from .afa import AFAPool, AFAState, AND, FINAL, NOT, OR, PositionPred, TextPred, TRANS
+from .mfa import MFA
+from .nfa import NFA
+
+_OPERATOR_KINDS = (AND, OR, NOT)
+
+
+class CodecError(ReproError):
+    """Raised when an MFA payload cannot be decoded (corrupt/unknown)."""
+
+
+def mfa_to_dict(mfa: MFA) -> dict:
+    """Encode ``mfa`` as deterministic JSON-compatible plain data."""
+    nfa = mfa.nfa
+    return {
+        "nfa": {
+            "num_states": nfa.num_states,
+            "start": nfa.start,
+            "finals": sorted(nfa.finals),
+            "trans": [
+                [
+                    [label, sorted(targets)]
+                    for label, targets in sorted(labelled.items())
+                ]
+                for labelled in nfa.trans
+            ],
+            "eps": [sorted(targets) for targets in nfa.eps],
+            "ann": [[state, entry] for state, entry in sorted(nfa.ann.items())],
+        },
+        "pool": [_state_to_dict(state) for state in mfa.pool.states],
+        "description": mfa.description,
+        "meta": _jsonable_meta(mfa.meta),
+    }
+
+
+def mfa_from_dict(data: object) -> MFA:
+    """Decode :func:`mfa_to_dict` output back into a validated MFA.
+
+    Raises:
+        CodecError: on any structural problem — wrong types, dangling
+            state ids, unknown kinds.  Callers holding persisted payloads
+            treat this as a cache miss and recompile.
+    """
+    try:
+        mfa = _decode(data)
+        mfa.validate()
+    except CodecError:
+        raise
+    except (
+        ReproError,
+        AttributeError,
+        KeyError,
+        IndexError,
+        TypeError,
+        ValueError,
+    ) as error:
+        raise CodecError(f"malformed MFA payload: {error}") from error
+    return mfa
+
+
+# ----------------------------------------------------------------------
+def _state_to_dict(state: AFAState) -> dict:
+    if state.kind == TRANS:
+        return {"kind": TRANS, "label": state.label, "target": state.target}
+    if state.kind == FINAL:
+        return {"kind": FINAL, "pred": _pred_to_dict(state.pred)}
+    if state.kind in _OPERATOR_KINDS:
+        return {"kind": state.kind, "eps": list(state.eps)}
+    raise CodecError(f"unknown AFA state kind {state.kind!r}")
+
+
+def _pred_to_dict(pred) -> dict | None:
+    if pred is None:
+        return None
+    if isinstance(pred, TextPred):
+        return {"kind": "text", "value": pred.value}
+    if isinstance(pred, PositionPred):
+        return {"kind": "position", "k": pred.k}
+    raise CodecError(f"unknown final-state predicate {pred!r}")
+
+
+def _pred_from_dict(data: object):
+    if data is None:
+        return None
+    if not isinstance(data, dict):
+        raise CodecError(f"predicate payload must be an object, got {data!r}")
+    kind = data.get("kind")
+    if kind == "text":
+        return TextPred(str(data["value"]))
+    if kind == "position":
+        return PositionPred(int(data["k"]))
+    raise CodecError(f"unknown predicate kind {kind!r}")
+
+
+def _decode(data: object) -> MFA:
+    if not isinstance(data, dict):
+        raise CodecError(f"MFA payload must be an object, got {type(data).__name__}")
+    nfa_data = data["nfa"]
+    nfa = NFA()
+    for _ in range(int(nfa_data["num_states"])):
+        nfa.new_state()
+    for source, labelled in enumerate(nfa_data["trans"]):
+        for label, targets in labelled:
+            for target in targets:
+                nfa.add_edge(source, str(label), int(target))
+    for source, targets in enumerate(nfa_data["eps"]):
+        for target in targets:
+            nfa.add_eps(source, int(target))
+    for state, entry in nfa_data["ann"]:
+        nfa.annotate(int(state), int(entry))
+    nfa.start = int(nfa_data["start"])
+    nfa.finals = {int(final) for final in nfa_data["finals"]}
+
+    pool = AFAPool()
+    for holder in data["pool"]:
+        kind = holder.get("kind")
+        if kind == TRANS:
+            state = AFAState(
+                TRANS, label=str(holder["label"]), target=int(holder["target"])
+            )
+        elif kind == FINAL:
+            state = AFAState(FINAL, pred=_pred_from_dict(holder.get("pred")))
+        elif kind in _OPERATOR_KINDS:
+            state = AFAState(kind, eps=[int(e) for e in holder["eps"]])
+        else:
+            raise CodecError(f"unknown AFA state kind {kind!r}")
+        pool.states.append(state)
+
+    meta = data.get("meta")
+    return MFA(
+        nfa,
+        pool,
+        description=str(data.get("description", "")),
+        meta=dict(meta) if isinstance(meta, dict) else {},
+    )
+
+
+def _jsonable_meta(meta: dict) -> dict:
+    """The subset of ``meta`` that survives JSON (rest is dropped)."""
+    try:
+        return json.loads(json.dumps(meta))
+    except (TypeError, ValueError):
+        return {}

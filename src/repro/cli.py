@@ -16,6 +16,11 @@ Usage (``python -m repro.cli <command> ...``):
 * ``bench-serve [--patients N --tenants T --requests R]`` — run the
   multi-tenant hospital traffic workload sequentially and batched and
   print a comparison table
+* ``warm --plan-dir DIR [--spec SPEC.view] [QUERY ...]`` — precompile
+  queries (default: the hospital traffic workload's) into a persistent
+  plan store, so services booted with the same ``--plan-dir`` skip the
+  MFA rewrites entirely (``serve-batch``, ``bench-serve``, ``serve-front``
+  and ``bench-front`` all accept ``--plan-dir``)
 * ``serve-front [--document DOC.xml] [--host H --port P]`` — boot the
   asyncio NDJSON socket front-end (per-wave admission control in front
   of the query service; ``--pool-size`` bounds concurrent evaluations,
@@ -208,12 +213,24 @@ def cmd_rewrite(args: argparse.Namespace) -> int:
     return 0
 
 
+def _plan_store(args: argparse.Namespace):
+    """The on-disk plan tier behind ``--plan-dir`` (``None`` without it)."""
+    plan_dir = getattr(args, "plan_dir", None)
+    if not plan_dir:
+        return None
+    from .compile.store import PlanStore
+
+    return PlanStore(plan_dir)
+
+
 def cmd_serve_batch(args: argparse.Namespace) -> int:
     from .serve.service import QueryRequest, QueryService
 
     with open(args.document) as handle:
         tree = parse_xml(handle.read())
-    service = QueryService(tree, default_algorithm=args.algorithm)
+    service = QueryService(
+        tree, default_algorithm=args.algorithm, plan_store=_plan_store(args)
+    )
     if args.spec:
         with open(args.spec) as handle:
             spec = parse_view_spec_file(handle.read())
@@ -232,6 +249,11 @@ def cmd_serve_batch(args: argparse.Namespace) -> int:
         f"vs {stats.sequential_visited} sequentially "
         f"(saved {stats.saved_visits})"
     )
+    if args.plan_dir:
+        # Surface the tier accounting so a warm restart is verifiable
+        # from the outside (the warm-restart smoke greps these lines).
+        print(service.metrics_snapshot().describe())
+    service.close()
     return 0
 
 
@@ -256,8 +278,12 @@ def cmd_bench_serve(args: argparse.Namespace) -> int:
     )
     traffic = generate_traffic(config)
 
+    store = _plan_store(args)
+
     def fresh_service() -> QueryService:
-        service = QueryService(document)
+        # All runs share the store (when given): the first compiles and
+        # persists, the rest rehydrate — exactly a restart's behaviour.
+        service = QueryService(document, plan_store=store)
         register_tenants(service, config)
         return service
 
@@ -310,6 +336,59 @@ def cmd_bench_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_warm(args: argparse.Namespace) -> int:
+    """Precompile a workload's queries into a persistent plan store.
+
+    Compilation is document-independent (the rewrite works over the view
+    specification alone), so warming needs no XML input: every process
+    later booted with the same ``--plan-dir`` rehydrates these plans
+    instead of rewriting.
+    """
+    from .compile import FORMAT_VERSION, PlanStore, QueryCompiler
+    from .serve.cache import PlanCache
+
+    store = PlanStore(args.plan_dir)
+    targets: list[tuple[object, str]] = []
+    if args.queries:
+        spec = None
+        if args.spec:
+            with open(args.spec) as handle:
+                spec = parse_view_spec_file(handle.read())
+        targets = [(spec, query) for query in args.queries]
+    else:
+        if args.spec:
+            raise ReproError("--spec without queries; pass the QUERY list too")
+        # Default: the multi-tenant hospital traffic workload — σ0 view
+        # queries plus the admin tenant's direct Fig. 8 family.
+        from .views.samples import sigma0
+        from .workloads.queries import FIG8, VIEW_QUERIES
+
+        view = sigma0()
+        targets = [(view, query) for _, query in sorted(VIEW_QUERIES.items())]
+        targets += [(None, query) for _, query in sorted(FIG8.items())]
+
+    compiler = QueryCompiler()
+    cache = PlanCache(
+        capacity=max(1, len(targets)), store=store, compiler=compiler
+    )
+    for spec, query in targets:
+        cache.plan(spec, query)
+    stats = cache.stats
+    print(
+        f"warmed {args.plan_dir}: {stats.misses} compiled, "
+        f"{stats.l2_hits} already stored, {stats.hits} duplicate(s); "
+        f"store now holds {len(store)} plan(s) "
+        f"(format v{FORMAT_VERSION})"
+    )
+    for stage, counters in compiler.metrics.snapshot().as_dict().items():
+        if counters["count"]:
+            print(
+                f"  {stage}: {counters['count']}x "
+                f"{counters['seconds'] * 1000:.2f} ms"
+            )
+    return 0
+
+
 def _front_service(args: argparse.Namespace):
     """Build the (document, service) pair the front-end commands serve."""
     from .serve.service import QueryService
@@ -322,7 +401,9 @@ def _front_service(args: argparse.Namespace):
         tree = generate_hospital_document(
             HospitalConfig(num_patients=args.patients, seed=args.seed)
         )
-    service = QueryService(tree, pool_size=args.pool_size)
+    service = QueryService(
+        tree, pool_size=args.pool_size, plan_store=_plan_store(args)
+    )
     if getattr(args, "spec", None):
         with open(args.spec) as handle:
             spec = parse_view_spec_file(handle.read())
@@ -425,6 +506,20 @@ async def _front_smoke(service, admission) -> int:
             counters.get("rejected", 0) >= 2,
             "rejections counted (authorization + parse)",
         )
+        # Cold boots compile (misses + rewrite stages); a boot over a
+        # populated --plan-dir rehydrates instead (L2 hits, no rewrite).
+        # Either way the tier and stage counters must be exposed and add
+        # up to the plans this run resolved.
+        resolved = counters.get("plan_misses", 0) + counters.get(
+            "plan_l2_hits", 0
+        )
+        check(
+            resolved >= 1
+            and "l2_hits" in counters.get("cache", {})
+            and counters.get("compile", {}).get("normalize", {}).get("count", 0)
+            >= 1,
+            "plan-tier and compile-stage counters exposed",
+        )
     finally:
         await client.aclose()
         await frontend.close()
@@ -502,7 +597,9 @@ def cmd_bench_front(args: argparse.Namespace) -> int:
     seq_visited = sum(a.stats.visited_elements for a in seq_answers)
 
     # Front-end replay: jittered arrivals coalesce into admission waves.
-    front = QueryService(document, pool_size=args.pool_size)
+    front = QueryService(
+        document, pool_size=args.pool_size, plan_store=_plan_store(args)
+    )
     register_tenants(front, config)
     controller = AdmissionController(front, _admission_config(args))
     arrivals = ArrivalConfig(
@@ -604,7 +701,28 @@ def build_parser() -> argparse.ArgumentParser:
     srv.add_argument("--spec", help="view-spec file; queries become view queries")
     srv.add_argument("--algorithm", choices=ALGORITHMS, default=HYPE)
     srv.add_argument("--limit", type=int, default=10)
+    srv.add_argument(
+        "--plan-dir",
+        help="persistent plan store directory (restarts reuse compiled plans)",
+    )
     srv.set_defaults(func=cmd_serve_batch)
+
+    wrm = sub.add_parser(
+        "warm", help="precompile queries into a persistent plan store"
+    )
+    wrm.add_argument(
+        "--plan-dir", required=True, help="plan store directory to populate"
+    )
+    wrm.add_argument(
+        "--spec", help="view-spec file the QUERY list rewrites over"
+    )
+    wrm.add_argument(
+        "queries",
+        nargs="*",
+        metavar="QUERY",
+        help="queries to precompile (default: the hospital traffic workload)",
+    )
+    wrm.set_defaults(func=cmd_warm)
 
     bsv = sub.add_parser(
         "bench-serve", help="multi-tenant traffic: sequential vs batched"
@@ -615,6 +733,10 @@ def build_parser() -> argparse.ArgumentParser:
     bsv.add_argument("--requests", type=int, default=24)
     bsv.add_argument("--wave", type=int, default=8)
     bsv.add_argument("--repeats", type=int, default=3)
+    bsv.add_argument(
+        "--plan-dir",
+        help="persistent plan store shared by the benchmark's services",
+    )
     bsv.set_defaults(func=cmd_bench_serve)
 
     sfr = sub.add_parser(
@@ -643,6 +765,10 @@ def build_parser() -> argparse.ArgumentParser:
         help="per-connection cap on in-flight queries (backpressure)",
     )
     sfr.add_argument(
+        "--plan-dir",
+        help="persistent plan store directory (restarts start warm)",
+    )
+    sfr.add_argument(
         "--smoke",
         action="store_true",
         help="boot on an ephemeral port, run a scripted wave, check replies",
@@ -666,6 +792,10 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=DEFAULT_POOL_SIZE,
         help="bound on concurrently evaluating waves",
+    )
+    bfr.add_argument(
+        "--plan-dir",
+        help="persistent plan store for the front-end service",
     )
     bfr.set_defaults(func=cmd_bench_front)
     return parser

@@ -1,0 +1,146 @@
+"""Plan artifacts: the versioned, serialisable output of query compilation.
+
+A :class:`PlanArtifact` is everything a restarted process needs to
+rehydrate a thread-safe :class:`repro.hype.core.CompiledPlan` without
+redoing the MFA rewrite: the trimmed MFA (codec-encoded via
+:mod:`repro.automata.codec`) plus the key metadata that makes the record
+self-describing — the view fingerprint it was compiled against, the
+normalised query text, and the format version.  Evaluator memo tables are
+deliberately NOT part of an artifact: they rebuild lazily on first run,
+which keeps artifacts small and the format stable across evaluator
+changes.
+
+Key scheme.  An artifact's cache key is ``(view_fingerprint,
+normalized_query, format_version)``:
+
+* ``view_fingerprint`` — :meth:`repro.views.spec.ViewSpec.fingerprint`,
+  a content hash of the full specification (``None`` for direct source
+  queries).  Two holders binding the same view *name* to different specs
+  get different keys, so a shared cache or store can never cross-serve
+  rewritings.
+* ``normalized_query`` — ``unparse(normal_form(ast))``
+  (:func:`repro.xpath.normalize.normal_form`), so syntactic variants of
+  one query share one artifact.
+* ``format_version`` — :data:`FORMAT_VERSION`.  Bump it whenever the
+  codec payload, the fingerprint recipe, or the normalisation recipe
+  changes; old on-disk artifacts then simply stop matching and are
+  recompiled (never mis-read).
+
+Decoding is strict: anything unexpected — not JSON, wrong version, codec
+failure — raises :class:`ArtifactError`, which the store layer treats as
+a cache miss.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+
+from ..automata.codec import CodecError, mfa_from_dict, mfa_to_dict
+from ..automata.mfa import MFA
+from ..errors import ReproError
+
+#: Version of the persisted plan format (codec payload + key scheme).
+FORMAT_VERSION = 1
+
+#: Cache key of one compiled plan: (view fingerprint | None, normalised
+#: query text, format version).
+PlanKey = tuple[str | None, str, int]
+
+
+class ArtifactError(ReproError):
+    """Raised when a serialised artifact cannot be decoded."""
+
+
+@dataclass(frozen=True, eq=False)
+class PlanArtifact:
+    """One compiled plan as a persistable record.
+
+    ``mfa`` is the live (trimmed, validated) automaton; ``stages`` holds
+    the per-stage compile timings of the compilation that produced it
+    (informational — not serialised).
+    """
+
+    mfa: MFA
+    normalized_query: str
+    view_fingerprint: str | None = None
+    description: str = ""
+    format_version: int = FORMAT_VERSION
+    stages: dict[str, float] = field(default_factory=dict)
+
+    def cache_key(self) -> PlanKey:
+        """The collision-safe key this artifact is stored under."""
+        return (self.view_fingerprint, self.normalized_query, self.format_version)
+
+    # ------------------------------------------------------------------
+    def to_payload(self) -> dict:
+        """JSON-compatible plain data (deterministic for a given plan)."""
+        return {
+            "format_version": self.format_version,
+            "view_fingerprint": self.view_fingerprint,
+            "normalized_query": self.normalized_query,
+            "description": self.description,
+            "mfa": mfa_to_dict(self.mfa),
+        }
+
+    def to_bytes(self) -> bytes:
+        """Canonical serialised form (sorted keys, compact separators)."""
+        return json.dumps(
+            self.to_payload(), sort_keys=True, separators=(",", ":")
+        ).encode("utf-8")
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_payload(cls, data: object) -> "PlanArtifact":
+        """Decode plain data; strict about shape and version.
+
+        Raises:
+            ArtifactError: wrong type, missing fields, version mismatch,
+                or an MFA payload the codec rejects.
+        """
+        if not isinstance(data, dict):
+            raise ArtifactError(
+                f"artifact payload must be an object, got {type(data).__name__}"
+            )
+        version = data.get("format_version")
+        if version != FORMAT_VERSION:
+            raise ArtifactError(
+                f"artifact format version {version!r} != {FORMAT_VERSION} "
+                "(stale or future plan store entry)"
+            )
+        try:
+            fingerprint = data["view_fingerprint"]
+            normalized = data["normalized_query"]
+            mfa = mfa_from_dict(data["mfa"])
+        except CodecError as error:
+            raise ArtifactError(str(error)) from error
+        except KeyError as error:
+            raise ArtifactError(f"artifact payload missing {error}") from error
+        if fingerprint is not None and not isinstance(fingerprint, str):
+            raise ArtifactError(
+                f"view_fingerprint must be a string or null, got {fingerprint!r}"
+            )
+        if not isinstance(normalized, str):
+            raise ArtifactError(
+                f"normalized_query must be a string, got {normalized!r}"
+            )
+        return cls(
+            mfa=mfa,
+            normalized_query=normalized,
+            view_fingerprint=fingerprint,
+            description=str(data.get("description", "")),
+            format_version=FORMAT_VERSION,
+        )
+
+    @classmethod
+    def from_bytes(cls, raw: bytes) -> "PlanArtifact":
+        """Decode :meth:`to_bytes` output.
+
+        Raises:
+            ArtifactError: on any decode failure (treat as cache miss).
+        """
+        try:
+            data = json.loads(raw.decode("utf-8"))
+        except (ValueError, UnicodeDecodeError) as error:
+            raise ArtifactError(f"artifact is not valid JSON: {error}") from error
+        return cls.from_payload(data)

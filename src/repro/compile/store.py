@@ -1,0 +1,162 @@
+"""The on-disk plan tier: a directory of serialised plan artifacts.
+
+A :class:`PlanStore` persists :class:`repro.compile.artifact.PlanArtifact`
+records keyed by ``(view_fingerprint, normalized_query, format_version)``
+so a restarted service starts warm: previously-seen queries rehydrate
+from disk instead of re-running the MFA rewrite.
+
+Durability policy:
+
+* **atomic writes** — artifacts are written to a temporary file in the
+  store directory and ``os.replace``-d into place, so readers (including
+  other processes sharing the directory) only ever see complete files;
+* **corruption tolerance** — a file that fails to decode (truncated,
+  accidentally corrupted, or written by a different
+  :data:`FORMAT_VERSION`) is treated as a miss and counted under
+  ``corrupt``; the next compilation simply overwrites it.  Decoded
+  artifacts must also echo the exact key they were looked up under;
+* **best-effort saves** — serving never fails because the disk does: an
+  unwritable store counts an ``error`` and the plan stays memory-only.
+
+**Trust boundary.** Validation is *structural*, not cryptographic: a
+well-formed artifact placed in the directory under a view's key will be
+served as that view's rewriting.  The store directory must therefore be
+writable only by principals trusted with every view it caches — the
+same trust the service places in its own process memory.  Artifacts are
+not authenticated; do not point ``--plan-dir`` at a directory untrusted
+writers can reach.
+
+File layout: one ``<sha256-of-key>.plan.json`` per artifact, flat in the
+store directory.  The digest covers all three key components, so stores
+may be shared between views, tenants and (equally trusted) processes.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import threading
+from dataclasses import dataclass
+from pathlib import Path
+
+from .artifact import ArtifactError, PlanArtifact, PlanKey
+
+#: Suffix of artifact files inside a store directory.
+PLAN_SUFFIX = ".plan.json"
+
+
+@dataclass
+class StoreStats:
+    """Disk-tier counters (a point-in-time copy is a snapshot)."""
+
+    hits: int = 0
+    misses: int = 0
+    corrupt: int = 0
+    stores: int = 0
+    errors: int = 0
+
+    def snapshot(self) -> "StoreStats":
+        return StoreStats(
+            self.hits, self.misses, self.corrupt, self.stores, self.errors
+        )
+
+
+class PlanStore:
+    """A directory of plan artifacts, safe to share across processes."""
+
+    def __init__(self, root: str | os.PathLike) -> None:
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        self._lock = threading.Lock()
+        self._stats = StoreStats()
+
+    # ------------------------------------------------------------------
+    def path_for(self, key: PlanKey) -> Path:
+        """The artifact file backing ``key``."""
+        digest = hashlib.sha256()
+        fingerprint, normalized, version = key
+        digest.update(b"\x00" if fingerprint is None else fingerprint.encode())
+        digest.update(b"\x01")
+        digest.update(normalized.encode("utf-8"))
+        digest.update(b"\x01")
+        digest.update(str(version).encode())
+        return self.root / f"{digest.hexdigest()}{PLAN_SUFFIX}"
+
+    # ------------------------------------------------------------------
+    def load(self, key: PlanKey) -> PlanArtifact | None:
+        """The stored artifact for ``key``, or ``None`` on any miss.
+
+        Unreadable, undecodable, version-mismatched and key-mismatched
+        files all count as misses (the latter three also as ``corrupt``);
+        the caller recompiles and overwrites.
+        """
+        path = self.path_for(key)
+        try:
+            raw = path.read_bytes()
+        except FileNotFoundError:
+            self._count("misses")
+            return None
+        except OSError:
+            self._count("misses", "errors")
+            return None
+        try:
+            artifact = PlanArtifact.from_bytes(raw)
+        except ArtifactError:
+            self._count("misses", "corrupt")
+            return None
+        if artifact.cache_key() != key:
+            # A digest collision or a file moved between stores: never
+            # serve a plan under a key it was not compiled for.
+            self._count("misses", "corrupt")
+            return None
+        self._count("hits")
+        return artifact
+
+    def save(self, key: PlanKey, artifact: PlanArtifact) -> bool:
+        """Persist ``artifact`` under ``key`` atomically (best effort).
+
+        Returns whether the write landed; failures are counted, not
+        raised — a full or read-only disk must not fail serving.
+        """
+        path = self.path_for(key)
+        tmp = path.with_name(
+            f"{path.name}.tmp.{os.getpid()}.{threading.get_ident()}"
+        )
+        try:
+            tmp.write_bytes(artifact.to_bytes())
+            os.replace(tmp, path)
+        except OSError:
+            self._count("errors")
+            try:
+                tmp.unlink(missing_ok=True)
+            except OSError:
+                pass
+            return False
+        self._count("stores")
+        return True
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        """Number of artifact files currently in the store."""
+        return sum(1 for _ in self.root.glob(f"*{PLAN_SUFFIX}"))
+
+    def clear(self) -> int:
+        """Delete every artifact file; returns how many were removed."""
+        removed = 0
+        for path in self.root.glob(f"*{PLAN_SUFFIX}"):
+            try:
+                path.unlink()
+                removed += 1
+            except OSError:
+                self._count("errors")
+        return removed
+
+    @property
+    def stats(self) -> StoreStats:
+        with self._lock:
+            return self._stats.snapshot()
+
+    def _count(self, *fields: str) -> None:
+        with self._lock:
+            for name in fields:
+                setattr(self._stats, name, getattr(self._stats, name) + 1)

@@ -5,7 +5,8 @@ user group is given a *virtual* view (their authorised window on the data)
 and poses (regular) XPath queries against it.  The engine
 
 1. rewrites the view query into an MFA over the source (Algorithm
-   ``rewrite``, Section 5) — cached per (view, query);
+   ``rewrite``, Section 5) — through the :mod:`repro.compile` pipeline,
+   cached per ``(view fingerprint, normalised query)``;
 2. evaluates the MFA with HyPE (or an OptHyPE variant) directly on the
    source document — no view is ever materialised;
 3. returns the answers.
@@ -19,19 +20,11 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from ..automata.compile import compile_query
 from ..automata.mfa import MFA
 from ..errors import ViewError
 from ..hype.api import ALGORITHMS, HYPE
 from ..hype.core import HyPEStats
-from ..rewrite.mfa_rewrite import rewrite_query
-from ..serve.cache import (
-    CachedPlan,
-    CacheStats,
-    PlanCache,
-    normalized_query_text,
-    plan_for,
-)
+from ..serve.cache import CachedPlan, CacheStats, PlanCache
 from ..views.spec import ViewSpec
 from ..xpath import ast
 from ..xpath.parser import parse_query
@@ -64,9 +57,12 @@ class SMOQE:
     """One engine instance serves one source document and many views.
 
     Compiled plans (rewritten MFAs and directly compiled queries) live in
-    a shared :class:`repro.serve.cache.PlanCache` keyed by ``(view,
-    normalised query)`` — pass one in to share plans with a
-    :class:`repro.serve.service.QueryService` over the same document.
+    a shared two-tier :class:`repro.serve.cache.PlanCache` keyed by
+    ``(view fingerprint, normalised query, format version)`` — pass one
+    in to share plans with a
+    :class:`repro.serve.service.QueryService` over the same document, or
+    construct it over a :class:`repro.compile.store.PlanStore` to reuse
+    plans across restarts.
     """
 
     def __init__(
@@ -134,14 +130,7 @@ class SMOQE:
         entry = self._views.get(view)
         if entry is None:
             raise ViewError(f"unknown view {view!r}")
-        return plan_for(
-            self.cache,
-            (view, normalized_query_text(query_ast)),
-            entry.spec,
-            lambda: CachedPlan(
-                rewrite_query(entry.spec, query_ast), spec=entry.spec
-            ),
-        )
+        return self.cache.plan(entry.spec, query_ast)
 
     # ------------------------------------------------------------------
     # Stand-alone regular XPath engine
@@ -151,17 +140,11 @@ class SMOQE:
     ) -> QueryAnswer:
         """Evaluate a (regular) XPath query directly on the source."""
         query_ast = parse_query(query) if isinstance(query, str) else query
-        query_text = unparse(query_ast)
-        plan = plan_for(
-            self.cache,
-            (None, normalized_query_text(query_ast)),
-            None,
-            lambda: CachedPlan(
-                compile_query(query_ast, description=query_text)
-            ),
-        )
+        plan = self.cache.plan(None, query_ast)
         nodes, stats, algo = self._run(plan, algorithm)
-        return QueryAnswer(nodes, plan.mfa, stats, algo, query_text=query_text)
+        return QueryAnswer(
+            nodes, plan.mfa, stats, algo, query_text=unparse(query_ast)
+        )
 
     # ------------------------------------------------------------------
     def _run(self, plan: CachedPlan, algorithm: str | None):

@@ -48,6 +48,7 @@ for code written against the pre-split API.
 from __future__ import annotations
 
 import threading
+import warnings
 from dataclasses import dataclass, field
 
 from ..automata.afa import FINAL, TRANS, WILDCARD
@@ -153,6 +154,44 @@ class CompiledPlan:
         # Phase-2 caches.
         self._step_cache: dict = {}
         self._avoid_cache: dict = {}
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def for_algorithm(
+        cls,
+        mfa: MFA,
+        algorithm: str,
+        document,
+        indexes: dict,
+    ) -> "CompiledPlan":
+        """Build (or rehydrate) the plan realising ``algorithm`` on ``mfa``.
+
+        This is the one constructor path everything above the evaluator
+        uses — the plan cache wiring a fresh compilation, and the
+        persistent tier rehydrating an MFA decoded from a
+        :class:`repro.compile.artifact.PlanArtifact`.  Artifacts carry
+        only the automaton: the document-side index is (re)built or
+        fetched from ``indexes`` (the caller's per-document cache,
+        ``compressed -> Index``; ``setdefault`` keeps concurrent cold
+        builds converging on one object) and every memo table starts
+        empty, filling lazily on first run.
+        """
+        from .api import ALGORITHMS, HYPE, OPTHYPE_C
+        from .index import build_index
+
+        if algorithm not in ALGORITHMS:
+            raise ValueError(f"unknown algorithm {algorithm!r}")
+        if algorithm == HYPE:
+            return cls(mfa)
+        compressed = algorithm == OPTHYPE_C
+        index = indexes.get(compressed)
+        if index is None:
+            index = indexes.setdefault(
+                compressed, build_index(document, compressed=compressed)
+            )
+        return cls(
+            mfa, index=index, analyzer=ViabilityAnalyzer(mfa, index.bits)
+        )
 
     # ------------------------------------------------------------------
     def _intern(self, fs: frozenset) -> tuple[frozenset, int]:
@@ -666,8 +705,19 @@ class HyPEEvaluator(CompiledPlan):
     """Deprecated alias of :class:`CompiledPlan`.
 
     Kept so code written before the plan/run-state split keeps importing
-    and constructing; new code should say ``CompiledPlan``.
+    and constructing; new code should say ``CompiledPlan``.  Construction
+    emits a :class:`DeprecationWarning` (behaviour is otherwise
+    identical).
     """
+
+    def __init__(self, *args, **kwargs) -> None:
+        warnings.warn(
+            "HyPEEvaluator is a deprecated alias; construct "
+            "repro.hype.core.CompiledPlan instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        super().__init__(*args, **kwargs)
 
 
 def hype_eval(

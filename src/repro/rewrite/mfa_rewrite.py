@@ -83,8 +83,14 @@ class MFARewriter:
         self._pins: list[ast.Path | ast.Filter] = []
 
     # ------------------------------------------------------------------
-    def rewrite(self, query: ast.Path) -> MFA:
-        """Compute the MFA ``M`` with ``M(T) = Q(σ(T))`` for all ``T``."""
+    def rewrite(self, query: ast.Path, *, trim: bool = True) -> MFA:
+        """Compute the MFA ``M`` with ``M(T) = Q(σ(T))`` for all ``T``.
+
+        ``trim=False`` returns the raw construction (dead filter-path
+        fragments still in the selecting NFA); callers that time the
+        pipeline stage-by-stage (:mod:`repro.compile`) run
+        :func:`trim_mfa` themselves.
+        """
         prepared = _uniquify_path(simplify(to_xreg(query)))
         self._pins.append(prepared)
         fragment = self.rewr(prepared, self.spec.view_dtd.root)
@@ -93,7 +99,7 @@ class MFARewriter:
             set(fragment.all_finals()),
             description="rewritten view query",
         )
-        return trim_mfa(mfa)
+        return trim_mfa(mfa) if trim else mfa
 
     # ------------------------------------------------------------------
     # rewr(Q', A) — the typed dynamic program
@@ -405,12 +411,16 @@ def trim_mfa(mfa: MFA) -> MFA:
     return result
 
 
-def rewrite_query(spec: ViewSpec, query: ast.Path | str) -> MFA:
+def rewrite_query(
+    spec: ViewSpec, query: ast.Path | str, *, trim: bool = True
+) -> MFA:
     """One-shot MFA rewriting: ``rewrite_query(σ, Q)`` returns ``M``.
 
     For any source tree ``T``: evaluating ``M`` at ``T``'s root equals
     ``Q(σ(T))`` as source-node sets (view answers mapped by provenance).
+    ``trim=False`` skips the final :func:`trim_mfa` (see
+    :meth:`MFARewriter.rewrite`).
     """
     if isinstance(query, str):
         query = parse_query(query)
-    return MFARewriter(spec).rewrite(query)
+    return MFARewriter(spec).rewrite(query, trim=trim)

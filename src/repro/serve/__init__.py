@@ -5,8 +5,10 @@ source; each user group is confined to its own security view and poses
 (regular) XPath queries against it.  This package turns the single-shot
 :class:`repro.engine.smoqe.SMOQE` engine into a serving system:
 
-* :mod:`repro.serve.cache` — bounded, thread-safe LRU cache of compiled
-  plans keyed by ``(view, normalised query)``;
+* :mod:`repro.serve.cache` — two-tier plan cache: a bounded, thread-safe
+  in-memory LRU over an optional on-disk
+  :class:`repro.compile.store.PlanStore`, keyed by ``(view fingerprint,
+  normalised query, format version)``;
 * :mod:`repro.serve.batch` — batched HyPE: N MFAs share one top-down
   document pass, pruning a subtree only when *every* live automaton
   allows it;
@@ -42,6 +44,7 @@ _EXPORTS = {
     "CacheStats": "cache",
     "PlanCache": "cache",
     "normalized_query_text": "cache",
+    "plan_key": "cache",
     "FrontendClient": "frontend",
     "QueryFrontend": "frontend",
     "start_frontend": "frontend",

@@ -1,10 +1,32 @@
-"""Bounded, thread-safe LRU cache of compiled query plans.
+"""Two-tier plan cache: in-memory LRU over an optional on-disk store.
 
 Rewriting a view query into an MFA (Section 5) dominates per-request cost
-once documents are held in memory, so the service caches plans keyed by
-``(view, normalised query)``: two textual variants of the same query
-(``//b`` vs ``(*)*/b``, redundant stars, re-associated unions) share one
-entry.  The cache is the single plan store for both the stand-alone
+once documents are held in memory, so compiled plans are cached — and
+since the compilation pipeline became a first-class subsystem
+(:mod:`repro.compile`), they are cached under collision-safe keys and can
+outlive the process:
+
+* **L1** — the bounded, thread-safe LRU of live :class:`CachedPlan`
+  values (one thread-safe :class:`repro.hype.core.CompiledPlan` per
+  algorithm, shared by every tenant, lane and pool worker);
+* **L2** — an optional :class:`repro.compile.store.PlanStore` directory
+  of serialised :class:`repro.compile.artifact.PlanArtifact` records.
+  An L1 miss consults the store and rehydrates before compiling, and
+  every fresh compilation is written back — so a service restarted
+  against a populated store performs **zero MFA rewrites** for
+  previously-seen ``(view, query)`` pairs.
+
+Keys are ``(view_fingerprint, normalized_query, format_version)``:
+the fingerprint is a content hash of the :class:`ViewSpec`
+(:meth:`repro.views.spec.ViewSpec.fingerprint`, ``None`` for direct
+source queries), so two holders binding the same view *name* to
+different specifications can never share a plan — the old manual
+spec-identity check is gone because the key itself is collision-safe.
+The flip side is deliberate too: two registrations of *identical* specs
+(same content, different objects or names) share one plan and its warm
+memo tables.
+
+The cache is the single plan store for both the stand-alone
 :class:`repro.engine.smoqe.SMOQE` engine and the multi-tenant
 :class:`repro.serve.service.QueryService`.
 """
@@ -17,20 +39,22 @@ from dataclasses import dataclass, field
 from typing import Callable, Hashable, Iterator, TypeVar
 
 from ..automata.mfa import MFA
-from ..hype.analyze import ViabilityAnalyzer
-from ..hype.api import HYPE, OPTHYPE_C
+from ..compile.artifact import PlanArtifact, PlanKey
+from ..compile.pipeline import NormalizedQuery, QueryCompiler
+from ..compile.store import PlanStore
 from ..hype.core import CompiledPlan
-from ..hype.index import build_index
+from ..views.spec import ViewSpec
 from ..xpath import ast
-from ..xpath.normalize import canonical, desugar, simplify
+from ..xpath.normalize import normal_form
 from ..xpath.parser import parse_query
 from ..xpath.unparse import unparse
 from ..xtree.node import XMLTree
 
 V = TypeVar("V")
 
-#: Cache key: (view name or None for direct source queries, normalised text).
-CacheKey = tuple[str | None, str]
+#: Cache key: (view fingerprint or None for direct source queries,
+#: normalised query text, plan format version).
+CacheKey = PlanKey
 
 
 def normalized_query_text(query: str | ast.Path) -> str:
@@ -38,10 +62,20 @@ def normalized_query_text(query: str | ast.Path) -> str:
 
     Normalisation is semantics-preserving (desugar ``//``, star/union
     simplification, left re-association), so syntactic variants of one
-    query map to one plan.
+    query map to one plan.  This text is part of the on-disk key scheme
+    (see :mod:`repro.compile.artifact`), pinned by golden tests.
     """
     query_ast = parse_query(query) if isinstance(query, str) else query
-    return unparse(canonical(simplify(desugar(query_ast))))
+    return unparse(normal_form(query_ast))
+
+
+def plan_key(spec: ViewSpec | None, query: str | ast.Path) -> CacheKey:
+    """The collision-safe key ``(spec, query)`` resolves to.
+
+    Delegates to :meth:`repro.compile.pipeline.QueryCompiler.plan_key` —
+    the one authoritative constructor of the persistent key scheme.
+    """
+    return QueryCompiler().plan_key(spec, query)
 
 
 @dataclass
@@ -58,16 +92,13 @@ class CachedPlan:
     (under a per-entry lock so a cold algorithm is compiled exactly once)
     and reused across runs: their memo tables keep paying off.
 
-    ``spec`` records the view specification the plan was compiled
-    against (``None`` for direct source queries): cache keys carry only
-    the view *name*, so holders sharing a cache must check ``spec``
-    identity on a hit and recompile on mismatch — otherwise two holders
-    binding the same name to different specs would serve each other's
-    rewritings.
+    ``artifact`` is the serialisable record this plan came from (or was
+    written to) — ``None`` for values inserted through the generic
+    ``put``/``get_or_create`` API.
     """
 
     mfa: MFA
-    spec: object | None = None
+    artifact: PlanArtifact | None = None
     plans: dict[str, CompiledPlan] = field(default_factory=dict)
     _lock: threading.Lock = field(
         default_factory=threading.Lock, repr=False, compare=False
@@ -79,8 +110,9 @@ class CachedPlan:
         """The (cached) compiled plan realising ``algorithm``.
 
         ``indexes`` is the caller's per-document index cache
-        (``compressed -> Index``), shared across plans; ``setdefault``
-        keeps concurrent cold builds converging on one index object.
+        (``compressed -> Index``), shared across plans; construction
+        delegates to :meth:`repro.hype.core.CompiledPlan.for_algorithm`,
+        the same rehydration path a persisted artifact takes.
         """
         plan = self.plans.get(algorithm)
         if plan is not None:
@@ -89,82 +121,148 @@ class CachedPlan:
             plan = self.plans.get(algorithm)
             if plan is not None:
                 return plan
-            if algorithm == HYPE:
-                plan = CompiledPlan(self.mfa)
-            else:
-                compressed = algorithm == OPTHYPE_C
-                index = indexes.get(compressed)
-                if index is None:
-                    index = indexes.setdefault(
-                        compressed, build_index(document, compressed=compressed)
-                    )
-                plan = CompiledPlan(
-                    self.mfa,
-                    index=index,
-                    analyzer=ViabilityAnalyzer(self.mfa, index.bits),
-                )
+            plan = CompiledPlan.for_algorithm(
+                self.mfa, algorithm, document, indexes
+            )
             self.plans[algorithm] = plan
             return plan
 
 
-def plan_for(
-    cache: "PlanCache",
-    key: CacheKey,
-    spec: object | None,
-    factory: Callable[[], CachedPlan],
-) -> CachedPlan:
-    """Fetch a plan, recompiling when the cached one targets another spec.
-
-    The spec-identity check is what makes *sharing* a cache safe: a hit
-    under the right ``(view, query)`` key but the wrong specification
-    object (same view name registered differently by another holder) is
-    treated as a miss and overwritten.
-    """
-    plan, created = cache.get_or_create(key, factory)
-    if not created and plan.spec is not spec:
-        plan = cache.put(key, factory())
-    return plan
-
-
 @dataclass
 class CacheStats:
-    """Hit/miss/eviction counters (a point-in-time copy is a snapshot)."""
+    """Tiered hit/miss/eviction counters (a copy is a snapshot).
+
+    ``hits`` counts L1 (in-memory) hits; ``l2_hits`` counts lookups
+    served by rehydrating an artifact from the on-disk store; ``misses``
+    counts full misses, i.e. fresh compilations.
+    """
 
     hits: int = 0
     misses: int = 0
     evictions: int = 0
+    l2_hits: int = 0
+
+    @property
+    def l1_hits(self) -> int:
+        """Alias of ``hits`` under its tiered name."""
+        return self.hits
+
+    @property
+    def total_hits(self) -> int:
+        """Lookups that avoided compilation (either tier)."""
+        return self.hits + self.l2_hits
 
     @property
     def lookups(self) -> int:
-        return self.hits + self.misses
+        return self.total_hits + self.misses
 
     @property
     def hit_rate(self) -> float:
-        """Fraction of lookups served from cache (0.0 when unused)."""
+        """Fraction of lookups served from either tier (0.0 when unused)."""
         total = self.lookups
-        return self.hits / total if total else 0.0
+        return self.total_hits / total if total else 0.0
 
     def snapshot(self) -> "CacheStats":
-        return CacheStats(self.hits, self.misses, self.evictions)
+        return CacheStats(self.hits, self.misses, self.evictions, self.l2_hits)
 
 
 class PlanCache:
-    """A bounded LRU mapping :data:`CacheKey` → compiled plan.
+    """A bounded LRU of compiled plans over an optional disk tier.
 
-    All operations take one internal lock, so the cache is safe to share
-    between serving threads.  ``get_or_create`` runs the factory *inside*
-    the lock: plan compilation is deterministic and the lock guarantees a
-    key is compiled at most once (no thundering herd on a cold key).
+    The L1 map takes one internal lock, so the cache is safe to share
+    between serving threads.  :meth:`plan` — the high-level entry every
+    engine/service lookup goes through — resolves a cold key (store
+    probe, compilation, write-back) *outside* that lock under a per-key
+    resolution gate: a key is still loaded/compiled at most once (no
+    thundering herd), but L1 hits for other keys never queue behind one
+    key's disk I/O or rewrite.  The generic ``get``/``put``/
+    ``get_or_create`` API of the L1 tier remains for callers managing
+    their own values (its factory runs inside the lock, as before).
     """
 
-    def __init__(self, capacity: int = 256) -> None:
+    def __init__(
+        self,
+        capacity: int = 256,
+        store: PlanStore | None = None,
+        compiler: QueryCompiler | None = None,
+    ) -> None:
         if capacity < 1:
             raise ValueError(f"cache capacity must be >= 1, got {capacity}")
         self.capacity = capacity
+        self.store = store
+        self.compiler = compiler if compiler is not None else QueryCompiler()
         self._entries: OrderedDict[Hashable, object] = OrderedDict()
         self._lock = threading.Lock()
         self._stats = CacheStats()
+        #: key -> gate lock held by the thread currently resolving it.
+        self._resolving: dict[Hashable, threading.Lock] = {}
 
+    # ------------------------------------------------------------------
+    # The compilation-aware two-tier lookup
+    # ------------------------------------------------------------------
+    def plan(
+        self, spec: ViewSpec | None, query: str | ast.Path | NormalizedQuery
+    ) -> CachedPlan:
+        """Fetch or build the plan for ``query`` over ``spec``.
+
+        Lookup order: L1 (live plans) → L2 (artifact store, when
+        configured) → the compilation pipeline.  Rehydrated and freshly
+        compiled plans are promoted into L1; fresh compilations are also
+        written back to the store, so every process sharing the
+        directory — and every future restart — starts warm.
+        """
+        normalized = self.compiler.normalize(query)
+        key = self.compiler.plan_key(spec, normalized)
+        while True:
+            with self._lock:
+                entry = self._entries.get(key)
+                if entry is not None:
+                    self._entries.move_to_end(key)
+                    self._stats.hits += 1
+                    return entry  # type: ignore[return-value]
+                gate = self._resolving.get(key)
+                if gate is None:
+                    # We own this key's resolution; the gate is released
+                    # (and removed) once the entry is published.
+                    gate = self._resolving[key] = threading.Lock()
+                    gate.acquire()
+                    break
+            # Someone else is resolving this key: wait for their gate,
+            # then re-check L1 (or take over if they failed).
+            with gate:
+                pass
+        try:
+            return self._resolve(key, spec, normalized)
+        finally:
+            with self._lock:
+                self._resolving.pop(key, None)
+            gate.release()
+
+    def _resolve(
+        self, key: Hashable, spec: ViewSpec | None, normalized: NormalizedQuery
+    ) -> CachedPlan:
+        """Store probe + compile + write-back for one cold key (gated)."""
+        if self.store is not None:
+            artifact = self.store.load(key)
+            if artifact is not None:
+                plan = CachedPlan(artifact.mfa, artifact=artifact)
+                with self._lock:
+                    self._stats.l2_hits += 1
+                    self._store(key, plan)
+                return plan
+        fresh: PlanArtifact = self.compiler.compile(spec, normalized)
+        plan = CachedPlan(fresh.mfa, artifact=fresh)
+        with self._lock:
+            self._stats.misses += 1
+            self._store(key, plan)
+        # Write-back after publication: the save is atomic and idempotent,
+        # so waiters (already served from L1) never queue behind it.
+        if self.store is not None:
+            self.store.save(key, fresh)
+        return plan
+
+    # ------------------------------------------------------------------
+    # Generic L1 operations
     # ------------------------------------------------------------------
     def get(self, key: Hashable) -> object | None:
         """Return the cached plan (refreshing recency) or ``None``."""
@@ -213,7 +311,14 @@ class PlanCache:
             return self._entries.pop(key, None) is not None
 
     def invalidate_view(self, view: str | None) -> int:
-        """Drop every plan compiled for ``view`` (e.g. on re-registration)."""
+        """Drop every L1 plan keyed under fingerprint ``view``.
+
+        With fingerprints in the key a replaced registration can never be
+        *served* stale entries; invalidation just releases their memory
+        early (pass the old spec's ``fingerprint()``).  Store files are
+        left in place — they stay valid for any holder still using that
+        specification.
+        """
         with self._lock:
             doomed = [
                 key

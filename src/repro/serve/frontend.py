@@ -18,6 +18,13 @@ Protocol (one request object per line, one reply object per line)::
     {"op": "metrics"}                               -> {"ok": true, "metrics": {...}}
     {"op": "ping"}                                  -> {"ok": true, "pong": true}
 
+The ``metrics`` payload is :meth:`MetricsSnapshot.as_dict`, which since
+the two-tier plan cache includes the plan-tier counters
+(``plan_l1_hits`` / ``plan_l2_hits`` / ``plan_misses``) and the
+per-stage compile timings (``compile``) — a restarted server fronting a
+populated ``--plan-dir`` shows ``rewrite`` counts of zero for
+previously-seen queries.
+
 Any request may carry an ``"id"`` field, echoed verbatim in its reply;
 pipelined requests on one connection are answered in *completion* order,
 so clients that pipeline must correlate by id

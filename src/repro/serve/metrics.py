@@ -13,6 +13,8 @@ import threading
 from dataclasses import dataclass, field
 
 from ..bench.tables import format_series
+from ..compile.pipeline import CompileStats
+from ..compile.store import StoreStats
 from .cache import CacheStats
 
 
@@ -87,6 +89,24 @@ class MetricsSnapshot:
     in_flight_evaluations: int = 0
     peak_in_flight: int = 0
     pool_size: int = 0
+    compile: CompileStats = field(default_factory=CompileStats)
+    #: Disk-tier counters; ``None`` when no plan store is configured.
+    store: StoreStats | None = None
+
+    @property
+    def plan_l1_hits(self) -> int:
+        """Lookups served by the in-memory plan tier."""
+        return self.cache.l1_hits
+
+    @property
+    def plan_l2_hits(self) -> int:
+        """Lookups served by rehydrating an on-disk plan artifact."""
+        return self.cache.l2_hits
+
+    @property
+    def plan_misses(self) -> int:
+        """Lookups that ran the full compilation pipeline."""
+        return self.cache.misses
 
     @property
     def batch_saved_visits(self) -> int:
@@ -127,12 +147,37 @@ class MetricsSnapshot:
         lines = [
             f"requests: {self.requests} ({rejected})",
             (
-                f"plan cache: {self.cache.hits} hit(s), "
-                f"{self.cache.misses} miss(es), "
+                f"plan cache: {self.plan_l1_hits} L1 + "
+                f"{self.plan_l2_hits} L2 hit(s), "
+                f"{self.plan_misses} miss(es), "
                 f"{self.cache.evictions} eviction(s), "
                 f"hit rate {self.cache.hit_rate:.0%}"
             ),
         ]
+        stages = [
+            (name, stage)
+            for name, stage in self.compile.as_dict().items()
+            if stage["count"]
+        ]
+        if stages:
+            rendered = ", ".join(
+                f"{name} {stage['count']}x {stage['seconds'] * 1000:.2f} ms"
+                for name, stage in stages
+            )
+            lines.append(f"compile stages: {rendered}")
+        if self.store is not None:
+            line = (
+                f"plan store: {self.store.hits} hit(s), "
+                f"{self.store.misses} miss(es), "
+                f"{self.store.stores} write(s)"
+            )
+            # Degradations an operator must see: corrupt files are being
+            # recompiled, or the store directory is not writable/readable.
+            if self.store.corrupt:
+                line += f", {self.store.corrupt} CORRUPT"
+            if self.store.errors:
+                line += f", {self.store.errors} I/O error(s)"
+            lines.append(line)
         if self.waves:
             lines.append(
                 f"admission: {self.wave_requests} request(s) in "
@@ -191,11 +236,26 @@ class MetricsSnapshot:
                 "size": self.pool_size,
                 "peak_in_flight": self.peak_in_flight,
             },
+            "plan_l1_hits": self.plan_l1_hits,
+            "plan_l2_hits": self.plan_l2_hits,
+            "plan_misses": self.plan_misses,
             "cache": {
                 "hits": self.cache.hits,
+                "l1_hits": self.cache.l1_hits,
+                "l2_hits": self.cache.l2_hits,
                 "misses": self.cache.misses,
                 "evictions": self.cache.evictions,
                 "hit_rate": self.cache.hit_rate,
+            },
+            "compile": self.compile.as_dict(),
+            "plan_store": None
+            if self.store is None
+            else {
+                "hits": self.store.hits,
+                "misses": self.store.misses,
+                "corrupt": self.store.corrupt,
+                "stores": self.store.stores,
+                "errors": self.store.errors,
             },
             "tenants": {
                 name: {
@@ -279,11 +339,13 @@ class ServiceMetrics:
         self,
         cache: CacheStats | None = None,
         *,
+        compile: CompileStats | None = None,
+        store: StoreStats | None = None,
         in_flight: int = 0,
         peak_in_flight: int = 0,
         pool_size: int = 0,
     ) -> MetricsSnapshot:
-        """Counters + the caller-supplied pool gauges at this instant."""
+        """Counters + the caller-supplied cache/compile/store/pool gauges."""
         with self._lock:
             return MetricsSnapshot(
                 requests=self._requests,
@@ -306,4 +368,6 @@ class ServiceMetrics:
                 in_flight_evaluations=in_flight,
                 peak_in_flight=peak_in_flight,
                 pool_size=pool_size,
+                compile=compile or CompileStats(),
+                store=store,
             )

@@ -29,18 +29,17 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from ..automata.compile import compile_query
+from ..compile.store import PlanStore
 from ..engine.smoqe import QueryAnswer
 from ..errors import AuthorizationError, ReproError, ServiceError, ViewError
 from ..hype.api import ALGORITHMS, HYPE
-from ..rewrite.mfa_rewrite import rewrite_query
 from ..views.spec import ViewSpec
 from ..xpath import ast
 from ..xpath.parser import parse_query
 from ..xpath.unparse import unparse
 from ..xtree.node import XMLTree
 from .batch import BatchEvaluator, BatchStats
-from .cache import CachedPlan, PlanCache, normalized_query_text, plan_for
+from .cache import CachedPlan, PlanCache
 from .metrics import MetricsSnapshot, ServiceMetrics
 from .pool import DEFAULT_POOL_SIZE, ExecutionPool
 from .session import Session, SessionRegistry
@@ -111,6 +110,7 @@ class QueryService:
         default_algorithm: str = HYPE,
         cache: PlanCache | None = None,
         cache_capacity: int = 256,
+        plan_store: PlanStore | None = None,
         pool: ExecutionPool | None = None,
         pool_size: int = DEFAULT_POOL_SIZE,
     ) -> None:
@@ -118,7 +118,14 @@ class QueryService:
             raise ValueError(f"unknown algorithm {default_algorithm!r}")
         self.document = document
         self.default_algorithm = default_algorithm
-        self.cache = cache if cache is not None else PlanCache(cache_capacity)
+        # ``plan_store`` wires the on-disk tier under a cache this service
+        # creates (a restart against the same directory starts warm); an
+        # explicitly passed ``cache`` keeps its own store configuration.
+        self.cache = (
+            cache
+            if cache is not None
+            else PlanCache(cache_capacity, store=plan_store)
+        )
         self.sessions = SessionRegistry()
         self.metrics = ServiceMetrics()
         self._views: dict[str, ViewSpec] = {}
@@ -147,9 +154,15 @@ class QueryService:
     # Administration
     # ------------------------------------------------------------------
     def register_view(self, name: str, spec: ViewSpec) -> None:
-        """Register a security view; replacing one invalidates its plans."""
-        if name in self._views:
-            self.cache.invalidate_view(name)
+        """Register a security view; replacing one drops its live plans.
+
+        Cache keys carry the spec's content fingerprint, so plans of a
+        replaced registration could never be served to the new one — the
+        invalidation merely releases their memory early.
+        """
+        old = self._views.get(name)
+        if old is not None and old.fingerprint() != spec.fingerprint():
+            self.cache.invalidate_view(old.fingerprint())
         self._views[name] = spec
 
     def register_tenant(
@@ -228,18 +241,8 @@ class QueryService:
         self, binding: TenantBinding, query: str | ast.Path
     ) -> tuple[CachedPlan, str]:
         query_ast = parse_query(query) if isinstance(query, str) else query
-        key = (binding.view, normalized_query_text(query_ast))
-
         spec = None if binding.view is None else self._views[binding.view]
-
-        def compile_plan() -> CachedPlan:
-            if spec is None:
-                mfa = compile_query(query_ast, description=unparse(query_ast))
-            else:
-                mfa = rewrite_query(spec, query_ast)
-            return CachedPlan(mfa, spec=spec)
-
-        plan = plan_for(self.cache, key, spec, compile_plan)
+        plan = self.cache.plan(spec, query_ast)
         return plan, unparse(query_ast)
 
     # ------------------------------------------------------------------
@@ -412,9 +415,12 @@ class QueryService:
 
     # ------------------------------------------------------------------
     def metrics_snapshot(self) -> MetricsSnapshot:
-        """Counters + cache stats + the pool's gauges at this instant."""
+        """Counters + cache/compile stats + pool gauges at this instant."""
+        store = self.cache.store
         return self.metrics.snapshot(
             self.cache.stats,
+            compile=self.cache.compiler.metrics.snapshot(),
+            store=None if store is None else store.stats,
             in_flight=self.pool.in_flight,
             peak_in_flight=self.pool.peak_in_flight,
             pool_size=self.pool.size,

@@ -11,6 +11,7 @@ paper adopts.
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass, field
 from typing import Mapping
 
@@ -46,6 +47,7 @@ class ViewSpec:
                 query = parse_query(query)
             parsed[edge] = to_xreg(query)
         self.annotations = parsed
+        self._fingerprint: str | None = None
         self.validate()
 
     # ------------------------------------------------------------------
@@ -68,6 +70,42 @@ class ViewSpec:
         from ..dtd.graph import is_recursive
 
         return is_recursive(self.view_dtd)
+
+    # ------------------------------------------------------------------
+    def fingerprint(self) -> str:
+        """Content hash of the specification (hex, stable across processes).
+
+        Two :class:`ViewSpec` instances describing the same view — same
+        DTDs, same annotations up to semantics-preserving query
+        normalisation — share a fingerprint, while any change to either
+        DTD or any annotation produces a new one.  Plan-cache keys carry
+        this hash instead of the registered view *name*, so holders of a
+        shared cache (or of one on-disk plan store) can never serve each
+        other's rewritings across different specs.  The canonical text
+        below is part of the persistent key scheme: changing it is a
+        format change (bump ``repro.compile.artifact.FORMAT_VERSION``).
+        """
+        if self._fingerprint is None:
+            digest = hashlib.sha256()
+            for line in self._canonical_lines():
+                digest.update(line.encode("utf-8"))
+                digest.update(b"\n")
+            self._fingerprint = digest.hexdigest()
+        return self._fingerprint
+
+    def _canonical_lines(self) -> list[str]:
+        """Order-independent textual form of the spec (hash input)."""
+        from ..xpath.normalize import normal_form
+        from ..xpath.unparse import unparse
+
+        lines = ["source"]
+        lines.extend(_canonical_dtd_lines(self.source_dtd))
+        lines.append("view")
+        lines.extend(_canonical_dtd_lines(self.view_dtd))
+        lines.append("annotations")
+        for (parent, child), query in sorted(self.annotations.items()):
+            lines.append(f"{parent} {child} = {unparse(normal_form(query))}")
+        return lines
 
     # ------------------------------------------------------------------
     def validate(self) -> None:
@@ -101,6 +139,16 @@ class ViewSpec:
         for (parent, child), query in sorted(self.annotations.items()):
             lines.append(f"sigma({parent}, {child}) = {unparse(query)}")
         return "\n".join(lines)
+
+
+def _canonical_dtd_lines(dtd: DTD) -> list[str]:
+    """Production lines sorted by element type (insertion-order free)."""
+    lines = [f"root {dtd.root}"]
+    lines.extend(
+        f"{label} -> {content}"
+        for label, content in sorted(dtd.productions.items())
+    )
+    return lines
 
 
 def view_spec(

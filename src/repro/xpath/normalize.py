@@ -143,6 +143,47 @@ def _strip_empty_alternatives(node: ast.Path) -> ast.Path | None:
 
 
 # ----------------------------------------------------------------------
+# Normal form (the query-compilation pipeline's normalize stage)
+# ----------------------------------------------------------------------
+def normal_form(node: ast.Path) -> ast.Path:
+    """The full normalisation behind plan-cache keys (``repro.compile``).
+
+    Semantics-preserving: syntactic variants of one query — ``//b`` vs
+    ``(*)*/b``, redundant stars, re-associated unions, duplicate union
+    alternatives — map to one normal form and hence one cache key.
+    Duplicates are removed across whole union *chains* (not just adjacent
+    pairs, which is all :func:`simplify` sees), and simplification runs
+    again afterwards so shapes the dedup uncovers (e.g. a union collapsing
+    to a lone nested star) still reduce.  The unparse text of this form is
+    part of the on-disk plan-store key scheme, so changes here are format
+    changes: bump ``repro.compile.artifact.FORMAT_VERSION`` alongside.
+    """
+    return canonical(
+        simplify(_dedupe_unions(simplify(desugar(node))))
+    )
+
+
+def _dedupe_unions(node: ast.Path) -> ast.Path:
+    """Drop duplicate alternatives from every union chain (set semantics)."""
+
+    def dedupe(candidate: ast.Path) -> ast.Path:
+        if not isinstance(candidate, ast.Union):
+            return candidate
+        items: list[ast.Path] = []
+        _flatten(candidate, ast.Union, items)
+        unique: list[ast.Path] = []
+        for item in items:
+            if item not in unique:
+                unique.append(item)
+        result = unique[0]
+        for item in unique[1:]:
+            result = ast.Union(result, item)
+        return result
+
+    return _map_paths(node, dedupe)
+
+
+# ----------------------------------------------------------------------
 # Canonical association (for round-trip testing)
 # ----------------------------------------------------------------------
 def canonical(node: ast.Path) -> ast.Path:

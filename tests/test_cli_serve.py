@@ -107,3 +107,76 @@ class TestBenchServe:
         assert "sequential" in out and "batched" in out
         assert "plan cache" in out
         assert "per-tenant latency" in out
+
+
+class TestWarmAndPlanDir:
+    def test_warm_populates_a_store(self, tmp_path, capsys):
+        plan_dir = tmp_path / "plans"
+        assert main(["warm", "--plan-dir", str(plan_dir)]) == 0
+        out = capsys.readouterr().out
+        assert "compiled" in out and "rewrite" in out
+        stored = list(plan_dir.glob("*.plan.json"))
+        assert stored  # the workload's plans landed on disk
+        # Warming again compiles nothing: everything is already stored.
+        assert main(["warm", "--plan-dir", str(plan_dir)]) == 0
+        out = capsys.readouterr().out
+        assert "0 compiled" in out
+        assert "rewrite" not in out
+
+    def test_warm_explicit_queries_over_a_spec(
+        self, workspace, tmp_path, capsys
+    ):
+        plan_dir = tmp_path / "plans"
+        assert main(
+            [
+                "warm",
+                "--plan-dir",
+                str(plan_dir),
+                "--spec",
+                str(workspace["spec"]),
+                "patient",
+                "patient/record/diagnosis",
+            ]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "2 compiled" in out
+        assert len(list(plan_dir.glob("*.plan.json"))) == 2
+
+    def test_warm_spec_without_queries_errors(self, workspace, tmp_path, capsys):
+        assert main(
+            [
+                "warm",
+                "--plan-dir",
+                str(tmp_path / "plans"),
+                "--spec",
+                str(workspace["spec"]),
+            ]
+        ) == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_serve_batch_restart_hits_the_store(
+        self, workspace, tmp_path, capsys
+    ):
+        plan_dir = str(tmp_path / "plans")
+        args = [
+            "serve-batch",
+            str(workspace["doc"]),
+            "patient",
+            "patient/record/diagnosis",
+            "--spec",
+            str(workspace["spec"]),
+            "--plan-dir",
+            plan_dir,
+        ]
+        assert main(args) == 0
+        cold = capsys.readouterr().out
+        assert "2 miss(es)" in cold
+        assert "rewrite 2x" in cold
+        assert main(args) == 0
+        warm = capsys.readouterr().out
+        assert "2 L2 hit(s), 0 miss(es)" in warm
+        assert "rewrite" not in warm
+        # Identical answer listings cold vs warm.
+        cold_nodes = [l for l in cold.splitlines() if l.startswith("  node ")]
+        warm_nodes = [l for l in warm.splitlines() if l.startswith("  node ")]
+        assert cold_nodes == warm_nodes

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.automata import compile_query
-from repro.hype import HyPEEvaluator, build_index, evaluate_hype, hype_eval
+from repro.hype import CompiledPlan, build_index, evaluate_hype, hype_eval
 from repro.xpath import evaluate, parse_query
 from repro.xtree import parse_xml
 
@@ -49,7 +49,7 @@ def test_hype_matches_reference(source):
 
 @pytest.mark.parametrize("source", QUERIES)
 def test_warm_runs_stable(source):
-    evaluator = HyPEEvaluator(compile_query(parse_query(source)))
+    evaluator = CompiledPlan(compile_query(parse_query(source)))
     first = {n.node_id for n in evaluator.run(TREE.root).answers}
     for _ in range(3):
         assert {n.node_id for n in evaluator.run(TREE.root).answers} == first
@@ -106,7 +106,7 @@ class TestPruning:
 
 class TestEvaluatorReuse:
     def test_same_mfa_many_documents(self):
-        evaluator = HyPEEvaluator(compile_query(parse_query("a[b]")))
+        evaluator = CompiledPlan(compile_query(parse_query("a[b]")))
         other = parse_xml("<r><a><b/></a></r>")
         assert len(evaluator.run(TREE.root).answers) == 2
         assert len(evaluator.run(other.root).answers) == 1
@@ -147,3 +147,19 @@ class TestDeathPropagation:
         query = parse_query(".[a]/a")
         got = hype_eval(compile_query(query), TREE.root).answers
         assert len(got) == 2
+
+
+class TestDeprecatedAlias:
+    def test_hype_evaluator_warns_and_behaves_identically(self):
+        from repro.hype import HyPEEvaluator
+
+        mfa = compile_query(parse_query("a/b"))
+        with pytest.warns(DeprecationWarning, match="HyPEEvaluator"):
+            legacy = HyPEEvaluator(mfa)
+        assert isinstance(legacy, CompiledPlan)
+        modern = hype_eval(mfa, TREE.root)
+        result = legacy.run(TREE.root)
+        assert {n.node_id for n in result.answers} == {
+            n.node_id for n in modern.answers
+        }
+        assert result.stats.visited_elements == modern.stats.visited_elements

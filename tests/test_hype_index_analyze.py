@@ -5,7 +5,7 @@ import pytest
 from repro.automata import compile_query
 from repro.hype import (
     CompressedLabelIndex,
-    HyPEEvaluator,
+    CompiledPlan,
     SubtreeLabelIndex,
     ViabilityAnalyzer,
     build_index,
@@ -141,14 +141,14 @@ class TestOptHyPECorrectness:
         query = parse_query(source)
         expected = {n.node_id for n in evaluate(query, TREE.root)}
         index = build_index(TREE, compressed=compressed)
-        result = HyPEEvaluator(compile_query(query), index=index).run(TREE.root)
+        result = CompiledPlan(compile_query(query), index=index).run(TREE.root)
         assert {n.node_id for n in result.answers} == expected
 
     def test_index_prunes_more_than_plain(self):
         query = parse_query("//b[text() = 'zzz']")
         mfa = compile_query(query)
-        plain = HyPEEvaluator(mfa).run(TREE.root)
-        opt = HyPEEvaluator(mfa, index=build_index(TREE)).run(TREE.root)
+        plain = CompiledPlan(mfa).run(TREE.root)
+        opt = CompiledPlan(mfa, index=build_index(TREE)).run(TREE.root)
         assert opt.stats.visited_elements <= plain.stats.visited_elements
         assert opt.answers == plain.answers == set()
 
@@ -158,7 +158,7 @@ class TestOptHyPECorrectness:
         tree = parse_xml("<a><b><b>x<a>x</a></b><b/></b><a/></a>")
         query = parse_query("(a[a[a/text() = 'x']])*")
         expected = {n.node_id for n in evaluate(query, tree.root)}
-        result = HyPEEvaluator(
+        result = CompiledPlan(
             compile_query(query), index=build_index(tree)
         ).run(tree.root)
         assert {n.node_id for n in result.answers} == expected

@@ -1,0 +1,329 @@
+"""Persistent plan tier tests: store durability + two-tier cache + restart.
+
+The acceptance property of the persistent cache: a ``QueryService``
+restarted against a populated plan store performs **zero MFA rewrites**
+for previously-seen ``(view, query)`` pairs — asserted via the compile
+stage counters — and returns answers identical to a cold run, across
+tenants and through the single-submit, batch and NDJSON-frontend paths.
+"""
+
+import asyncio
+import json
+
+import pytest
+
+from repro.compile import FORMAT_VERSION, PlanStore, QueryCompiler
+from repro.compile.pipeline import REWRITE, TRANSLATE
+from repro.serve.cache import PlanCache, plan_key
+from repro.serve.service import QueryRequest, QueryService
+from repro.workloads import FIG8, VIEW_QUERIES
+
+
+@pytest.fixture()
+def store(tmp_path):
+    return PlanStore(tmp_path / "plans")
+
+
+class TestPlanStore:
+    def test_load_missing_is_a_miss(self, store):
+        assert store.load(("fp", "q", FORMAT_VERSION)) is None
+        assert store.stats.misses == 1
+
+    def test_save_load_round_trip(self, store, sigma0_spec):
+        compiler = QueryCompiler()
+        artifact = compiler.compile(sigma0_spec, "patient")
+        key = artifact.cache_key()
+        assert store.save(key, artifact) is True
+        loaded = store.load(key)
+        assert loaded is not None
+        assert loaded.to_bytes() == artifact.to_bytes()
+        assert len(store) == 1
+        stats = store.stats
+        assert stats.stores == 1 and stats.hits == 1
+
+    def test_corrupt_file_is_a_miss_and_overwritten(self, store):
+        compiler = QueryCompiler()
+        artifact = compiler.compile(None, "a/b")
+        key = artifact.cache_key()
+        store.save(key, artifact)
+        store.path_for(key).write_bytes(b"{truncated garbage")
+        assert store.load(key) is None
+        assert store.stats.corrupt == 1
+        # The next save simply overwrites the corrupt file.
+        store.save(key, artifact)
+        assert store.load(key) is not None
+
+    def test_version_mismatch_is_a_miss(self, store):
+        compiler = QueryCompiler()
+        artifact = compiler.compile(None, "a/b")
+        key = artifact.cache_key()
+        store.save(key, artifact)
+        payload = json.loads(store.path_for(key).read_bytes())
+        payload["format_version"] = FORMAT_VERSION + 1
+        store.path_for(key).write_text(json.dumps(payload))
+        assert store.load(key) is None
+        assert store.stats.corrupt == 1
+
+    def test_key_mismatch_is_never_served(self, store):
+        """A file holding a valid artifact for a *different* key (moved
+        between stores, digest collision) must not be served."""
+        compiler = QueryCompiler()
+        ours = compiler.compile(None, "a/b")
+        other = compiler.compile(None, "c/d")
+        store.path_for(ours.cache_key()).write_bytes(other.to_bytes())
+        assert store.load(ours.cache_key()) is None
+        assert store.stats.corrupt == 1
+
+    def test_writes_are_atomic_no_partials_visible(self, store):
+        compiler = QueryCompiler()
+        artifact = compiler.compile(None, "a/b")
+        store.save(artifact.cache_key(), artifact)
+        leftovers = [
+            path
+            for path in store.root.iterdir()
+            if ".tmp." in path.name
+        ]
+        assert leftovers == []
+        assert len(store) == 1
+
+    def test_clear_removes_artifacts(self, store):
+        compiler = QueryCompiler()
+        for query in ("a", "b", "c"):
+            artifact = compiler.compile(None, query)
+            store.save(artifact.cache_key(), artifact)
+        assert store.clear() == 3
+        assert len(store) == 0
+
+
+class TestTwoTierCache:
+    def test_miss_then_l1_then_l2(self, tmp_path, hospital_doc, sigma0_spec):
+        directory = tmp_path / "plans"
+        cache = PlanCache(store=PlanStore(directory))
+        cache.plan(sigma0_spec, "patient")  # cold: compile + persist
+        cache.plan(sigma0_spec, "patient")  # L1
+        stats = cache.stats
+        assert (stats.misses, stats.l1_hits, stats.l2_hits) == (1, 1, 0)
+        # A fresh cache over the same directory rehydrates from disk.
+        restarted = PlanCache(store=PlanStore(directory))
+        restarted.plan(sigma0_spec, "patient")
+        restarted.plan(sigma0_spec, "patient")
+        stats = restarted.stats
+        assert (stats.misses, stats.l1_hits, stats.l2_hits) == (0, 1, 1)
+        assert restarted.compiler.metrics.snapshot().rewrites == 0
+
+    def test_syntactic_variants_share_the_stored_plan(self, tmp_path, sigma0_spec):
+        directory = tmp_path / "plans"
+        cold = PlanCache(store=PlanStore(directory))
+        cold.plan(sigma0_spec, "//record")
+        warm = PlanCache(store=PlanStore(directory))
+        warm.plan(sigma0_spec, "(*)*/record")  # variant, same key
+        assert warm.stats.l2_hits == 1
+        assert warm.compiler.metrics.snapshot().rewrites == 0
+
+    def test_cache_without_store_never_touches_disk(self, sigma0_spec):
+        cache = PlanCache()
+        cache.plan(sigma0_spec, "patient")
+        assert cache.store is None
+        assert cache.stats.l2_hits == 0
+
+    def test_different_specs_stay_isolated_on_disk(self, tmp_path, sigma0_spec):
+        from repro.dtd import hospital_dtd, hospital_view_dtd
+        from repro.views.samples import SIGMA0_ANNOTATIONS
+        from repro.views.spec import view_spec
+
+        restricted = view_spec(
+            hospital_dtd(),
+            hospital_view_dtd(),
+            {**SIGMA0_ANNOTATIONS, ("patient", "parent"): "parent[not(.)]"},
+        )
+        directory = tmp_path / "plans"
+        cache = PlanCache(store=PlanStore(directory))
+        cache.plan(sigma0_spec, "patient/parent")
+        other = PlanCache(store=PlanStore(directory))
+        other.plan(restricted, "patient/parent")
+        # The restricted spec's lookup never matched sigma0's artifact.
+        assert other.stats.l2_hits == 0 and other.stats.misses == 1
+        assert len(PlanStore(directory)) == 2
+
+
+def _populate(service: QueryService) -> None:
+    service.register_tenant("institute", "research")
+    service.register_tenant("clinic", "research")
+    service.register_tenant("admin", None)
+
+
+VIEW_SET = sorted(VIEW_QUERIES.values())[:4]
+DIRECT_SET = sorted(FIG8.values())[:2]
+
+
+class TestWarmRestartAcrossPaths:
+    """The ISSUE acceptance criterion, end to end."""
+
+    def _boot(self, hospital_doc, sigma0_spec, directory) -> QueryService:
+        service = QueryService(
+            hospital_doc, plan_store=PlanStore(directory)
+        )
+        service.register_view("research", sigma0_spec)
+        _populate(service)
+        return service
+
+    def _drive(self, service: QueryService) -> dict:
+        """Exercise single, batch and wave paths across tenants."""
+        results: dict[str, list] = {}
+        for tenant in ("institute", "clinic"):
+            results[f"submit:{tenant}"] = [
+                service.submit(tenant, query).ids() for query in VIEW_SET
+            ]
+        results["submit:admin"] = [
+            service.submit("admin", query).ids() for query in DIRECT_SET
+        ]
+        batch = [QueryRequest("institute", query) for query in VIEW_SET]
+        batch += [QueryRequest("admin", query) for query in DIRECT_SET]
+        answers, _stats = service.submit_many(batch)
+        results["batch"] = [answer.ids() for answer in answers]
+        wave = service.submit_wave(
+            [QueryRequest("clinic", query) for query in VIEW_SET]
+        )
+        results["wave"] = [outcome.ids() for outcome in wave.outcomes]
+        return results
+
+    def test_restart_skips_all_rewrites_and_matches_cold_answers(
+        self, tmp_path, hospital_doc, sigma0_spec
+    ):
+        directory = tmp_path / "plans"
+        with self._boot(hospital_doc, sigma0_spec, directory) as cold:
+            cold_results = self._drive(cold)
+            cold_compile = cold.cache.compiler.metrics.snapshot()
+            assert cold_compile.stage(REWRITE).count == len(VIEW_SET)
+            assert cold_compile.stage(TRANSLATE).count == len(DIRECT_SET)
+
+        # The "restarted process": a brand-new service + cache over the
+        # same directory.  Same answers, zero MFA rewrites.
+        with self._boot(hospital_doc, sigma0_spec, directory) as warm:
+            warm_results = self._drive(warm)
+            warm_compile = warm.cache.compiler.metrics.snapshot()
+            snapshot = warm.metrics_snapshot()
+        assert warm_results == cold_results
+        assert warm_compile.stage(REWRITE).count == 0
+        assert warm_compile.stage(TRANSLATE).count == 0
+        assert snapshot.plan_misses == 0
+        assert snapshot.plan_l2_hits == len(VIEW_SET) + len(DIRECT_SET)
+        assert snapshot.as_dict()["compile"][REWRITE]["count"] == 0
+
+    def test_restart_matches_through_the_ndjson_frontend(
+        self, tmp_path, hospital_doc, sigma0_spec
+    ):
+        from repro.serve.admission import AdmissionConfig
+        from repro.serve.frontend import FrontendClient, QueryFrontend
+
+        directory = tmp_path / "plans"
+        queries = VIEW_SET[:3]
+
+        def run_frontend(service: QueryService) -> list:
+            async def main():
+                frontend = QueryFrontend(
+                    service, AdmissionConfig(max_wave=4, max_wait=0.01)
+                )
+                host, port = await frontend.start("127.0.0.1", 0)
+                client = await FrontendClient.connect(host, port)
+                try:
+                    replies = await client.query_many(
+                        [
+                            {"tenant": "institute", "query": q, "limit": -1}
+                            for q in queries
+                        ]
+                    )
+                finally:
+                    await client.aclose()
+                    await frontend.close()
+                return replies
+
+            return asyncio.run(main())
+
+        with self._boot(hospital_doc, sigma0_spec, directory) as cold:
+            cold_replies = run_frontend(cold)
+        with self._boot(hospital_doc, sigma0_spec, directory) as warm:
+            warm_replies = run_frontend(warm)
+            warm_compile = warm.cache.compiler.metrics.snapshot()
+
+        assert all(reply["ok"] for reply in cold_replies + warm_replies)
+        assert [r["ids"] for r in warm_replies] == [
+            r["ids"] for r in cold_replies
+        ]
+        assert warm_compile.stage(REWRITE).count == 0
+
+    def test_partially_warm_store_compiles_only_the_new(
+        self, tmp_path, hospital_doc, sigma0_spec
+    ):
+        directory = tmp_path / "plans"
+        with self._boot(hospital_doc, sigma0_spec, directory) as cold:
+            cold.submit("institute", VIEW_SET[0])
+        with self._boot(hospital_doc, sigma0_spec, directory) as warm:
+            warm.submit("clinic", VIEW_SET[0])  # other tenant, stored plan
+            warm.submit("clinic", VIEW_SET[1])  # genuinely new
+            stats = warm.cache.stats
+            compile_stats = warm.cache.compiler.metrics.snapshot()
+        assert stats.l2_hits == 1 and stats.misses == 1
+        assert compile_stats.stage(REWRITE).count == 1
+
+    def test_corrupted_store_entry_recompiles_transparently(
+        self, tmp_path, hospital_doc, sigma0_spec
+    ):
+        directory = tmp_path / "plans"
+        with self._boot(hospital_doc, sigma0_spec, directory) as cold:
+            expected = cold.submit("institute", VIEW_SET[0]).ids()
+        store = PlanStore(directory)
+        key = plan_key(sigma0_spec, VIEW_SET[0])
+        store.path_for(key).write_bytes(b"\x00 corrupt \x00")
+        with self._boot(hospital_doc, sigma0_spec, directory) as warm:
+            assert warm.submit("institute", VIEW_SET[0]).ids() == expected
+            stats = warm.cache.stats
+        assert stats.misses == 1 and stats.l2_hits == 0
+        # ... and the recompilation healed the store for the next boot.
+        with self._boot(hospital_doc, sigma0_spec, directory) as healed:
+            assert healed.submit("institute", VIEW_SET[0]).ids() == expected
+            assert healed.cache.stats.l2_hits == 1
+
+
+class TestResolutionGate:
+    def test_cold_key_race_compiles_once_and_serves_all(
+        self, tmp_path, sigma0_spec
+    ):
+        """Threads racing one cold key: exactly one pipeline run, every
+        thread gets the published plan, and the L1 lock is never held
+        across the resolution (other keys stay servable meanwhile)."""
+        import threading
+
+        cache = PlanCache(store=PlanStore(tmp_path / "plans"))
+        barrier = threading.Barrier(6)
+        plans, errors = [], []
+
+        def worker():
+            try:
+                barrier.wait(timeout=10)
+                plans.append(cache.plan(sigma0_spec, "patient/record"))
+            except Exception as error:  # pragma: no cover - failure path
+                errors.append(error)
+
+        threads = [threading.Thread(target=worker) for _ in range(6)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=30)
+        assert not errors
+        assert len({id(plan) for plan in plans}) == 1  # one published plan
+        stats = cache.stats
+        assert stats.misses == 1 and stats.hits == 5
+        assert cache.compiler.metrics.snapshot().rewrites == 1
+        assert len(cache._resolving) == 0  # no leaked gates
+
+    def test_failed_resolution_releases_the_gate(self, sigma0_spec):
+        """A compile error must not wedge the key: the next caller takes
+        over (and a valid query on the same cache still works)."""
+        from repro.errors import ReproError
+
+        cache = PlanCache()
+        with pytest.raises(ReproError):
+            cache.plan(None, "]][[")  # parse failure inside plan()
+        assert len(cache._resolving) == 0
+        assert cache.plan(sigma0_spec, "patient") is not None

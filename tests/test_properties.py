@@ -21,7 +21,7 @@ from repro.automata import compile_query, conceptual_eval
 from repro.baselines import TwoPassEvaluator, XQuerySimEvaluator
 from repro.dtd import GeneratorConfig, generate_document, parse_dtd
 from repro.dtd.validate import conforms
-from repro.hype import HyPEEvaluator, build_index, evaluate_hype
+from repro.hype import CompiledPlan, build_index, evaluate_hype
 from repro.rewrite import rewrite_query, rewrite_to_xreg
 from repro.views import materialize, view_spec
 from repro.xpath import ast, evaluate, parse_query, unparse
@@ -46,11 +46,11 @@ class TestEvaluatorAgreement:
         expected = reference_ids(query, tree)
         mfa = compile_query(query)
         assert {
-            n.node_id for n in HyPEEvaluator(mfa).run(tree.root).answers
+            n.node_id for n in CompiledPlan(mfa).run(tree.root).answers
         } == expected
         for compressed in (False, True):
             index = build_index(tree, compressed=compressed)
-            got = HyPEEvaluator(mfa, index=index).run(tree.root).answers
+            got = CompiledPlan(mfa, index=index).run(tree.root).answers
             assert {n.node_id for n in got} == expected
 
     @given(trees(), paths())

@@ -1,11 +1,12 @@
-"""Plan-cache tests: LRU behaviour, counters, normalisation, threading."""
+"""Plan-cache tests: LRU behaviour, counters, fingerprint keys, threading."""
 
 import threading
 
 import pytest
 
+from repro.compile import FORMAT_VERSION
 from repro.engine import SMOQE
-from repro.serve.cache import CachedPlan, PlanCache, normalized_query_text, plan_for
+from repro.serve.cache import PlanCache, normalized_query_text, plan_key
 
 
 class TestNormalizedQueryText:
@@ -26,6 +27,29 @@ class TestNormalizedQueryText:
         )
 
 
+class TestPlanKey:
+    def test_direct_queries_key_under_none_fingerprint(self):
+        key = plan_key(None, "//b")
+        assert key == (None, normalized_query_text("//b"), FORMAT_VERSION)
+
+    def test_same_content_specs_share_a_key(self, sigma0_spec):
+        from repro.views.samples import sigma0
+
+        assert plan_key(sigma0_spec, "patient") == plan_key(sigma0(), "patient")
+
+    def test_different_specs_never_share_a_key(self, sigma0_spec):
+        from repro.dtd import hospital_dtd, hospital_view_dtd
+        from repro.views.samples import SIGMA0_ANNOTATIONS
+        from repro.views.spec import view_spec
+
+        restricted = view_spec(
+            hospital_dtd(),
+            hospital_view_dtd(),
+            {**SIGMA0_ANNOTATIONS, ("patient", "parent"): "parent[not(.)]"},
+        )
+        assert plan_key(sigma0_spec, "patient") != plan_key(restricted, "patient")
+
+
 class TestPlanCache:
     def test_get_put_and_counters(self):
         cache = PlanCache(capacity=4)
@@ -35,6 +59,7 @@ class TestPlanCache:
         assert cache.get(key) == "plan"
         stats = cache.stats
         assert (stats.hits, stats.misses, stats.evictions) == (1, 1, 0)
+        assert stats.l1_hits == 1 and stats.l2_hits == 0
         assert stats.lookups == 2
         assert stats.hit_rate == pytest.approx(0.5)
 
@@ -104,34 +129,65 @@ class TestPlanCache:
         assert stats.lookups == 4 * 200 * 2
 
 
-class TestPlanForSpecMismatch:
-    def test_plan_for_recompiles_on_spec_mismatch(self):
-        """A hit under the right key but the wrong spec object is a miss."""
-        cache = PlanCache(capacity=4)
-        spec_a, spec_b = object(), object()
-        compiles = []
+class TestFingerprintKeys:
+    """The spec fingerprint *is* the isolation mechanism: no manual
+    spec-identity checks remain anywhere."""
 
-        def factory_for(spec):
-            def factory():
-                compiles.append(spec)
-                return CachedPlan(mfa=None, spec=spec)
+    def test_same_view_name_different_specs_never_share_a_plan(
+        self, hospital_doc, sigma0_spec
+    ):
+        """Regression (the documented footgun): two services binding the
+        same view *name* to different specs must never share a plan."""
+        from repro.dtd import hospital_dtd, hospital_view_dtd
+        from repro.serve.service import QueryService
+        from repro.views.samples import SIGMA0_ANNOTATIONS
+        from repro.views.spec import view_spec
 
-            return factory
+        restricted = view_spec(
+            hospital_dtd(),
+            hospital_view_dtd(),
+            {**SIGMA0_ANNOTATIONS, ("patient", "parent"): "parent[not(.)]"},
+        )
+        cache = PlanCache(capacity=8)
+        open_service = QueryService(hospital_doc, cache=cache)
+        open_service.register_view("research", sigma0_spec)
+        open_service.register_tenant("institute", "research")
+        locked_service = QueryService(hospital_doc, cache=cache)
+        locked_service.register_view("research", restricted)
+        locked_service.register_tenant("institute", "research")
 
-        key = ("research", "patient")
-        first = plan_for(cache, key, spec_a, factory_for(spec_a))
-        assert first.spec is spec_a and compiles == [spec_a]
-        # Same key, same spec: served from cache, no recompilation.
-        assert plan_for(cache, key, spec_a, factory_for(spec_a)) is first
-        assert compiles == [spec_a]
-        # Same key, different spec (another holder of the shared cache):
-        # recompiled and overwritten.
-        second = plan_for(cache, key, spec_b, factory_for(spec_b))
-        assert second.spec is spec_b and compiles == [spec_a, spec_b]
-        # The overwrite is visible to subsequent lookups, so holder A now
-        # misses the spec check and recompiles again.
-        third = plan_for(cache, key, spec_a, factory_for(spec_a))
-        assert third.spec is spec_a and compiles.count(spec_a) == 2
+        query = "patient/parent"
+        open_answer = open_service.submit("institute", query)
+        locked_answer = locked_service.submit("institute", query)
+        assert locked_answer.ids() == []  # never sees sigma0's rewriting
+        assert open_answer.ids() != []
+        # Both plans live side by side under their own fingerprints.
+        assert plan_key(sigma0_spec, query) in cache
+        assert plan_key(restricted, query) in cache
+        assert cache.stats.misses == 2
+        # Neither holder is poisoned by the other's plan afterwards.
+        assert open_service.submit("institute", query).ids() == open_answer.ids()
+        assert locked_service.submit("institute", query).ids() == []
+        open_service.close()
+        locked_service.close()
+
+    def test_identical_content_specs_share_one_plan(self, hospital_doc):
+        """The flip side: same *content* under different names/objects is
+        one fingerprint, so tenants share the warm plan."""
+        from repro.serve.service import QueryService
+        from repro.views.samples import sigma0
+
+        cache = PlanCache(capacity=8)
+        with QueryService(hospital_doc, cache=cache) as service:
+            service.register_view("research-a", sigma0())
+            service.register_view("research-b", sigma0())
+            service.register_tenant("a", "research-a")
+            service.register_tenant("b", "research-b")
+            first = service.submit("a", "patient")
+            second = service.submit("b", "patient")
+            assert first.ids() == second.ids()
+            stats = cache.stats
+            assert stats.misses == 1 and stats.hits == 1
 
     def test_service_reregistration_recompiles_for_cache_sharer(
         self, hospital_doc, sigma0_spec
@@ -158,8 +214,8 @@ class TestPlanForSpecMismatch:
         open_answer = service.submit("institute", "patient/parent")
         assert engine.answer("research", "patient/parent").ids() == []
         # The service re-registers its view with the restricted spec: its
-        # plans are invalidated AND later submits compile against the new
-        # spec, never reusing the engine's or its own stale entries.
+        # later submits compile (or share) against the new spec, never
+        # reusing sigma0's entries.
         service.register_view("research", restricted)
         assert service.submit("institute", "patient/parent").ids() == []
         # Flipping back recompiles again (no poisoning either direction).
@@ -168,6 +224,7 @@ class TestPlanForSpecMismatch:
             service.submit("institute", "patient/parent").ids()
             == open_answer.ids()
         )
+        service.close()
 
     def test_eviction_accounting_under_capacity_pressure(self):
         cache = PlanCache(capacity=2)
@@ -178,21 +235,6 @@ class TestPlanForSpecMismatch:
         assert stats.evictions == 4
         # Only the two most recent keys survive.
         assert ("v", "q4") in cache and ("v", "q5") in cache
-
-    def test_spec_mismatch_overwrite_evicts_nothing_extra(self):
-        """plan_for's overwrite replaces in place — eviction counters only
-        move when capacity forces an LRU drop."""
-        cache = PlanCache(capacity=2)
-        spec_a, spec_b = object(), object()
-        key = ("v", "q")
-        plan_for(cache, key, spec_a, lambda: CachedPlan(None, spec=spec_a))
-        plan_for(cache, key, spec_b, lambda: CachedPlan(None, spec=spec_b))
-        assert len(cache) == 1
-        assert cache.stats.evictions == 0
-        # Pressure from other keys still evicts and counts normally.
-        cache.put(("v", "other1"), 1)
-        cache.put(("v", "other2"), 2)
-        assert cache.stats.evictions == 1
 
     def test_engine_answers_stay_correct_across_evictions(
         self, hospital_doc, sigma0_spec
@@ -220,14 +262,14 @@ class TestSMOQEDelegation:
         assert first.ids() == again.ids()
         stats = engine.cache_stats()
         assert stats.misses == 1 and stats.hits == 1
-        assert ("research", "patient") in cache
+        assert plan_key(sigma0_spec, "patient") in cache
 
     def test_direct_queries_cache_under_none_view(self, hospital_doc):
         engine = SMOQE(hospital_doc)
         engine.evaluate("//pname")
         engine.evaluate("//pname")
         assert engine.cache_stats().hits == 1
-        assert (None, normalized_query_text("//pname")) in engine.cache
+        assert plan_key(None, "//pname") in engine.cache
 
     def test_cache_shared_between_engine_and_service(
         self, hospital_doc, sigma0_spec
@@ -251,36 +293,7 @@ class TestSMOQEDelegation:
         ).ids()
         stats = cache.stats
         assert stats.hits >= 2
-
-    def test_same_view_name_different_spec_never_cross_serves(
-        self, hospital_doc, sigma0_spec
-    ):
-        """Cache sharers binding one view name to different specs must
-        each get plans compiled against their own spec."""
-        from repro.dtd import hospital_dtd, hospital_view_dtd
-        from repro.views.spec import view_spec
-        from repro.views.samples import SIGMA0_ANNOTATIONS
-
-        # A stricter variant of sigma0: no parent hierarchy is exposed.
-        restricted = view_spec(
-            hospital_dtd(),
-            hospital_view_dtd(),
-            {**SIGMA0_ANNOTATIONS, ("patient", "parent"): "parent[not(.)]"},
-        )
-        cache = PlanCache(capacity=8)
-        open_engine = SMOQE(hospital_doc, cache=cache)
-        open_engine.register_view("research", sigma0_spec)
-        locked_engine = SMOQE(hospital_doc, cache=cache)
-        locked_engine.register_view("research", restricted)
-        query = "patient/parent"
-        open_answer = open_engine.answer("research", query)
-        locked_answer = locked_engine.answer("research", query)
-        assert locked_answer.ids() == []  # never sees sigma0's rewriting
-        fresh = SMOQE(hospital_doc)
-        fresh.register_view("research", sigma0_spec)
-        assert open_answer.ids() == fresh.answer("research", query).ids()
-        # And the open engine is not poisoned by the restricted plan.
-        assert open_engine.answer("research", query).ids() == open_answer.ids()
+        service.close()
 
     def test_eviction_recompiles_transparently(self, hospital_doc):
         engine = SMOQE(hospital_doc, cache=PlanCache(capacity=1))

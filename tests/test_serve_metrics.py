@@ -129,3 +129,85 @@ class TestAsDict:
         assert round_tripped["queue_wait"]["max"] == 0.001
         assert round_tripped["in_flight_evaluations"] == 1
         assert round_tripped["pool"] == {"size": 4, "peak_in_flight": 2}
+
+
+class TestPlanTierSplit:
+    def test_tier_counters_surface_in_snapshot(self):
+        metrics = ServiceMetrics()
+        snap = metrics.snapshot(CacheStats(hits=3, misses=2, l2_hits=4))
+        assert snap.plan_l1_hits == 3
+        assert snap.plan_l2_hits == 4
+        assert snap.plan_misses == 2
+        assert snap.cache.total_hits == 7
+        assert snap.cache.hit_rate == (3 + 4) / (3 + 4 + 2)
+
+    def test_describe_renders_both_tiers(self):
+        metrics = ServiceMetrics()
+        snap = metrics.snapshot(CacheStats(hits=3, misses=2, l2_hits=4))
+        assert "plan cache: 3 L1 + 4 L2 hit(s), 2 miss(es)" in snap.describe()
+
+    def test_as_dict_exposes_tier_and_compile_counters(self):
+        import json
+
+        from repro.compile.pipeline import CompileMetrics
+
+        compile_metrics = CompileMetrics()
+        compile_metrics.record("rewrite", 0.004)
+        compile_metrics.record("rewrite", 0.006)
+        compile_metrics.record("trim", 0.001)
+        metrics = ServiceMetrics()
+        payload = metrics.snapshot(
+            CacheStats(hits=1, misses=2, l2_hits=3),
+            compile=compile_metrics.snapshot(),
+        ).as_dict()
+        round_tripped = json.loads(json.dumps(payload))
+        assert round_tripped["plan_l1_hits"] == 1
+        assert round_tripped["plan_l2_hits"] == 3
+        assert round_tripped["plan_misses"] == 2
+        assert round_tripped["cache"]["l2_hits"] == 3
+        assert round_tripped["compile"]["rewrite"]["count"] == 2
+        assert round_tripped["compile"]["rewrite"]["seconds"] > 0.009
+        assert round_tripped["compile"]["trim"]["count"] == 1
+        assert round_tripped["compile"]["parse"]["count"] == 0
+
+    def test_describe_lists_only_stages_that_ran(self):
+        from repro.compile.pipeline import CompileMetrics
+
+        compile_metrics = CompileMetrics()
+        compile_metrics.record("translate", 0.002)
+        metrics = ServiceMetrics()
+        text = metrics.snapshot(
+            CacheStats(), compile=compile_metrics.snapshot()
+        ).describe()
+        assert "compile stages: translate 1x" in text
+        assert "rewrite" not in text
+
+    def test_no_compile_activity_no_stage_line(self):
+        snap = ServiceMetrics().snapshot(CacheStats())
+        assert "compile stages" not in snap.describe()
+
+
+class TestStoreStatsSurface:
+    def test_store_counters_flow_into_snapshot(self):
+        from repro.compile.store import StoreStats
+
+        metrics = ServiceMetrics()
+        snap = metrics.snapshot(
+            CacheStats(), store=StoreStats(hits=2, misses=1, corrupt=3, errors=1)
+        )
+        assert "plan store: 2 hit(s), 1 miss(es)" in snap.describe()
+        assert "3 CORRUPT" in snap.describe()
+        assert "1 I/O error(s)" in snap.describe()
+        payload = snap.as_dict()
+        assert payload["plan_store"] == {
+            "hits": 2,
+            "misses": 1,
+            "corrupt": 3,
+            "stores": 0,
+            "errors": 1,
+        }
+
+    def test_no_store_no_line_and_null_payload(self):
+        snap = ServiceMetrics().snapshot(CacheStats())
+        assert "plan store" not in snap.describe()
+        assert snap.as_dict()["plan_store"] is None

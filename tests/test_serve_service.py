@@ -42,10 +42,26 @@ class TestAdministration:
         assert service.views() == ["research"]
 
     def test_reregistering_view_invalidates_plans(self, service, sigma0_spec):
+        from repro.dtd import hospital_dtd, hospital_view_dtd
+        from repro.serve.cache import plan_key
+        from repro.views.samples import SIGMA0_ANNOTATIONS
+        from repro.views.spec import view_spec
+
         service.submit("institute", "patient")
-        assert ("research", "patient") in service.cache
+        key = plan_key(sigma0_spec, "patient")
+        assert key in service.cache
+        # Re-registering the same content keeps the warm plans (keys carry
+        # the spec fingerprint, and it has not changed).
         service.register_view("research", sigma0_spec)
-        assert ("research", "patient") not in service.cache
+        assert key in service.cache
+        # Re-registering *different* content drops the old spec's plans.
+        restricted = view_spec(
+            hospital_dtd(),
+            hospital_view_dtd(),
+            {**SIGMA0_ANNOTATIONS, ("patient", "parent"): "parent[not(.)]"},
+        )
+        service.register_view("research", restricted)
+        assert key not in service.cache
 
 
 class TestAuthorization:
