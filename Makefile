@@ -5,7 +5,7 @@
 PY ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test bench bench-smoke bench-serve bench-front front-smoke concurrency-smoke cache-smoke warm install
+.PHONY: test bench bench-smoke bench-serve bench-front bench-hot bench-hot-smoke front-smoke concurrency-smoke cache-smoke warm install
 
 test:
 	$(PY) -m pytest -x -q
@@ -28,6 +28,17 @@ bench-serve:
 
 bench-front:
 	$(PY) -m repro.cli bench-front
+
+# Hot-loop benchmark: single-run nodes/sec (string vs interned columnar
+# path, all three algorithms) + cold-vs-shared-document serve throughput.
+# Writes BENCH_hype.json at the repo root — the perf trajectory record.
+bench-hot:
+	$(PY) benchmarks/bench_hot.py --check
+
+# Tiny-size variant with the acceptance floors enforced (>=1.5x shared
+# serve throughput, exactly one index build). CI runs this.
+bench-hot-smoke:
+	$(PY) benchmarks/bench_hot.py --smoke --out /tmp/BENCH_hype.json
 
 # Front-end smoke: boots the asyncio NDJSON server on an ephemeral port,
 # runs a scripted wave through the client helper and checks the reply

@@ -159,3 +159,99 @@ def test_restarted_store_survives_a_second_cli_process(restart_doc, tmp_path):
 
     assert answer_lines(warm.stdout) == answer_lines(cold.stdout)
     assert answer_lines(cold.stdout)
+
+
+def test_doc_dir_restart_skips_rewrites_and_index_builds(restart_doc, tmp_path):
+    """The full persistence story: a restart over ``--plan-dir`` +
+    ``--doc-dir`` performs ZERO rewrites and ZERO index builds for
+    previously-seen (view, query, document) triples — and answers
+    identically."""
+    from repro.docstore import DocumentStore
+
+    plan_dir = tmp_path / "plans"
+    doc_dir = tmp_path / "docs"
+
+    def boot():
+        store = DocumentStore(index_dir=doc_dir)
+        service = QueryService(
+            store.adopt(restart_doc),
+            default_algorithm="opthype-c",
+            plan_store=PlanStore(plan_dir),
+            document_store=store,
+        )
+        service.register_view("research", sigma0())
+        service.register_tenant("institute", "research")
+        service.register_tenant("admin", None)
+        return store, service
+
+    def drive(service):
+        answers = [service.submit("institute", q).ids() for q in VIEW_SET]
+        answers += [service.submit("admin", q).ids() for q in DIRECT_SET]
+        return answers
+
+    cold_store, cold = boot()
+    with cold:
+        cold_answers = drive(cold)
+    assert cold_store.stats.index_builds == 1
+    assert cold_store.stats.index_stores == 1
+
+    # "Restart": brand-new store + service, nothing carried in memory.
+    warm_store, warm = boot()
+    with warm:
+        warm_answers = drive(warm)
+        warm_compile = warm.cache.compiler.metrics.snapshot()
+        snapshot = warm.metrics_snapshot()
+    assert warm_store.stats.index_builds == 0
+    assert warm_store.stats.index_loads == 1
+    assert warm_compile.stage(REWRITE).count == 0
+    assert warm_compile.stage(TRANSLATE).count == 0
+    assert snapshot.plan_misses == 0
+    assert snapshot.doc_index_builds == 0
+    assert warm_answers == cold_answers
+
+
+def test_doc_dir_restart_across_cli_processes(restart_doc, tmp_path):
+    """serve-batch twice with --plan-dir + --doc-dir: the second process
+    reports an index load instead of a build, and identical answers."""
+    plan_dir = tmp_path / "plans"
+    doc_dir = tmp_path / "docs"
+    doc_path = tmp_path / "doc.xml"
+    spec_path = Path(__file__).resolve().parent.parent / "examples" / "research.view"
+    from repro.xtree.serialize import serialize
+
+    doc_path.write_text(serialize(restart_doc))
+    args = [
+        sys.executable,
+        "-m",
+        "repro.cli",
+        "serve-batch",
+        str(doc_path),
+        VIEW_SET[0],
+        VIEW_SET[1],
+        "--spec",
+        str(spec_path),
+        "--algorithm",
+        "opthype",
+        "--plan-dir",
+        str(plan_dir),
+        "--doc-dir",
+        str(doc_dir),
+    ]
+    env = {**os.environ, "PYTHONPATH": str(REPO_SRC)}
+    cold = subprocess.run(
+        args, capture_output=True, text=True, env=env, timeout=120
+    )
+    assert cold.returncode == 0, cold.stderr
+    assert "1 index build(s), 0 load(s)" in cold.stdout
+    warm = subprocess.run(
+        args, capture_output=True, text=True, env=env, timeout=120
+    )
+    assert warm.returncode == 0, warm.stderr
+    assert "0 index build(s), 1 load(s)" in warm.stdout
+    assert "rewrite" not in warm.stdout
+
+    def answer_lines(text: str) -> list[str]:
+        return [line for line in text.splitlines() if line.startswith("  node ")]
+
+    assert answer_lines(warm.stdout) == answer_lines(cold.stdout)
+    assert answer_lines(cold.stdout)

@@ -39,12 +39,17 @@ FINAL = "final"
 
 @dataclass(frozen=True)
 class TextPred:
-    """Final-state predicate ``text() = value``."""
+    """Final-state predicate ``text() = value``.
+
+    Evaluated per relevant node on the HyPE hot path, so it reads the
+    frozen tree's per-node text cache instead of re-walking and
+    re-joining the text children on every probe.
+    """
 
     value: str
 
     def holds(self, node: Node) -> bool:
-        return node.text() == self.value
+        return node.text_cached() == self.value
 
 
 @dataclass(frozen=True)
@@ -54,12 +59,13 @@ class PositionPred:
     k: int
 
     def holds(self, node: Node) -> bool:
-        if node.parent is None:
+        parent = node.parent
+        if parent is None:
             return self.k == 1
-        position = 0
-        for sibling in node.parent.children:
-            if sibling.is_element:
-                position += 1
+        # The cached element-kid list turns the per-probe sibling walk
+        # into one identity scan (and amortises across probes).
+        elems = parent.element_children_cached()
+        for position, sibling in enumerate(elems, start=1):
             if sibling is node:
                 return position == self.k
         return False

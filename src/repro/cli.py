@@ -16,11 +16,15 @@ Usage (``python -m repro.cli <command> ...``):
 * ``bench-serve [--patients N --tenants T --requests R]`` — run the
   multi-tenant hospital traffic workload sequentially and batched and
   print a comparison table
-* ``warm --plan-dir DIR [--spec SPEC.view] [QUERY ...]`` — precompile
-  queries (default: the hospital traffic workload's) into a persistent
-  plan store, so services booted with the same ``--plan-dir`` skip the
-  MFA rewrites entirely (``serve-batch``, ``bench-serve``, ``serve-front``
-  and ``bench-front`` all accept ``--plan-dir``)
+* ``warm --plan-dir DIR [--gc] [--spec SPEC.view] [QUERY ...]`` —
+  precompile queries (default: the hospital traffic workload's) into a
+  persistent plan store, so services booted with the same ``--plan-dir``
+  skip the MFA rewrites entirely (``serve-batch``, ``bench-serve``,
+  ``serve-front`` and ``bench-front`` all accept ``--plan-dir``);
+  ``--gc`` first reclaims stale/corrupt artifact files.  The analogous
+  ``--doc-dir`` (same four commands) persists built OptHyPE document
+  indexes keyed by content hash, so a restart also skips index
+  construction
 * ``serve-front [--document DOC.xml] [--host H --port P]`` — boot the
   asyncio NDJSON socket front-end (per-wave admission control in front
   of the query service; ``--pool-size`` bounds concurrent evaluations,
@@ -223,13 +227,39 @@ def _plan_store(args: argparse.Namespace):
     return PlanStore(plan_dir)
 
 
+def _document_store(args: argparse.Namespace):
+    """The document store behind ``--doc-dir`` (``None`` without it).
+
+    The store shares parsed documents and their OptHyPE indexes across
+    every service of the process, and persists built indexes under the
+    directory so a restart skips index construction for
+    previously-seen documents.
+    """
+    doc_dir = getattr(args, "doc_dir", None)
+    if not doc_dir:
+        return None
+    from .docstore import DocumentStore
+
+    return DocumentStore(index_dir=doc_dir)
+
+
 def cmd_serve_batch(args: argparse.Namespace) -> int:
     from .serve.service import QueryRequest, QueryService
 
+    doc_store = _document_store(args)
     with open(args.document) as handle:
-        tree = parse_xml(handle.read())
+        content = handle.read()
+    if doc_store is not None:
+        # Content-addressed: the parse and the index builds are shared
+        # with (and persisted for) every other holder of this document.
+        document = doc_store.get(content)
+    else:
+        document = parse_xml(content)
     service = QueryService(
-        tree, default_algorithm=args.algorithm, plan_store=_plan_store(args)
+        document,
+        default_algorithm=args.algorithm,
+        plan_store=_plan_store(args),
+        document_store=doc_store,
     )
     if args.spec:
         with open(args.spec) as handle:
@@ -249,7 +279,7 @@ def cmd_serve_batch(args: argparse.Namespace) -> int:
         f"vs {stats.sequential_visited} sequentially "
         f"(saved {stats.saved_visits})"
     )
-    if args.plan_dir:
+    if args.plan_dir or args.doc_dir:
         # Surface the tier accounting so a warm restart is verifiable
         # from the outside (the warm-restart smoke greps these lines).
         print(service.metrics_snapshot().describe())
@@ -279,11 +309,14 @@ def cmd_bench_serve(args: argparse.Namespace) -> int:
     traffic = generate_traffic(config)
 
     store = _plan_store(args)
+    doc_store = _document_store(args)
 
     def fresh_service() -> QueryService:
-        # All runs share the store (when given): the first compiles and
+        # All runs share the stores (when given): the first compiles and
         # persists, the rest rehydrate — exactly a restart's behaviour.
-        service = QueryService(document, plan_store=store)
+        service = QueryService(
+            document, plan_store=store, document_store=doc_store
+        )
         register_tenants(service, config)
         return service
 
@@ -367,6 +400,12 @@ def cmd_warm(args: argparse.Namespace) -> int:
         targets = [(view, query) for _, query in sorted(VIEW_QUERIES.items())]
         targets += [(None, query) for _, query in sorted(FIG8.items())]
 
+    if args.gc:
+        removed = store.gc()
+        print(
+            f"gc: removed {removed} stale/corrupt artifact file(s) "
+            f"(non-v{FORMAT_VERSION} or undecodable)"
+        )
     compiler = QueryCompiler()
     cache = PlanCache(
         capacity=max(1, len(targets)), store=store, compiler=compiler
@@ -401,8 +440,14 @@ def _front_service(args: argparse.Namespace):
         tree = generate_hospital_document(
             HospitalConfig(num_patients=args.patients, seed=args.seed)
         )
+    doc_store = _document_store(args)
+    if doc_store is not None:
+        tree = doc_store.adopt(tree)
     service = QueryService(
-        tree, pool_size=args.pool_size, plan_store=_plan_store(args)
+        tree,
+        pool_size=args.pool_size,
+        plan_store=_plan_store(args),
+        document_store=doc_store,
     )
     if getattr(args, "spec", None):
         with open(args.spec) as handle:
@@ -598,7 +643,10 @@ def cmd_bench_front(args: argparse.Namespace) -> int:
 
     # Front-end replay: jittered arrivals coalesce into admission waves.
     front = QueryService(
-        document, pool_size=args.pool_size, plan_store=_plan_store(args)
+        document,
+        pool_size=args.pool_size,
+        plan_store=_plan_store(args),
+        document_store=_document_store(args),
     )
     register_tenants(front, config)
     controller = AdmissionController(front, _admission_config(args))
@@ -705,6 +753,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--plan-dir",
         help="persistent plan store directory (restarts reuse compiled plans)",
     )
+    srv.add_argument(
+        "--doc-dir",
+        help="persistent document-index directory (restarts reuse "
+        "OptHyPE indexes; documents shared by content hash)",
+    )
     srv.set_defaults(func=cmd_serve_batch)
 
     wrm = sub.add_parser(
@@ -722,6 +775,11 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="QUERY",
         help="queries to precompile (default: the hospital traffic workload)",
     )
+    wrm.add_argument(
+        "--gc",
+        action="store_true",
+        help="first remove stale (old-format) and corrupt artifact files",
+    )
     wrm.set_defaults(func=cmd_warm)
 
     bsv = sub.add_parser(
@@ -736,6 +794,10 @@ def build_parser() -> argparse.ArgumentParser:
     bsv.add_argument(
         "--plan-dir",
         help="persistent plan store shared by the benchmark's services",
+    )
+    bsv.add_argument(
+        "--doc-dir",
+        help="persistent document-index directory shared by the services",
     )
     bsv.set_defaults(func=cmd_bench_serve)
 
@@ -769,6 +831,10 @@ def build_parser() -> argparse.ArgumentParser:
         help="persistent plan store directory (restarts start warm)",
     )
     sfr.add_argument(
+        "--doc-dir",
+        help="persistent document-index directory (restarts skip index builds)",
+    )
+    sfr.add_argument(
         "--smoke",
         action="store_true",
         help="boot on an ephemeral port, run a scripted wave, check replies",
@@ -796,6 +862,10 @@ def build_parser() -> argparse.ArgumentParser:
     bfr.add_argument(
         "--plan-dir",
         help="persistent plan store for the front-end service",
+    )
+    bfr.add_argument(
+        "--doc-dir",
+        help="persistent document-index directory for the front-end service",
     )
     bfr.set_defaults(func=cmd_bench_front)
     return parser

@@ -33,6 +33,7 @@ a cache miss.
 
 from __future__ import annotations
 
+import gzip
 import json
 from dataclasses import dataclass, field
 
@@ -41,7 +42,14 @@ from ..automata.mfa import MFA
 from ..errors import ReproError
 
 #: Version of the persisted plan format (codec payload + key scheme).
-FORMAT_VERSION = 1
+#: v2: artifact files are gzip-compressed (decoding still accepts plain
+#: JSON, so hand-written or legacy-layout payloads of the current
+#: version remain readable; the version lives in the key, so v1 files
+#: are simply never looked up — ``PlanStore.gc`` reclaims them).
+FORMAT_VERSION = 2
+
+#: gzip magic bytes; anything else is decoded as plain JSON.
+_GZIP_MAGIC = b"\x1f\x8b"
 
 #: Cache key of one compiled plan: (view fingerprint | None, normalised
 #: query text, format version).
@@ -84,10 +92,17 @@ class PlanArtifact:
         }
 
     def to_bytes(self) -> bytes:
-        """Canonical serialised form (sorted keys, compact separators)."""
-        return json.dumps(
-            self.to_payload(), sort_keys=True, separators=(",", ":")
-        ).encode("utf-8")
+        """Canonical serialised form: gzip over deterministic JSON.
+
+        ``mtime=0`` keeps the bytes a pure function of the payload, so
+        round-trip equality tests (and content-based dedup) still hold.
+        """
+        return gzip.compress(
+            json.dumps(
+                self.to_payload(), sort_keys=True, separators=(",", ":")
+            ).encode("utf-8"),
+            mtime=0,
+        )
 
     # ------------------------------------------------------------------
     @classmethod
@@ -134,11 +149,22 @@ class PlanArtifact:
 
     @classmethod
     def from_bytes(cls, raw: bytes) -> "PlanArtifact":
-        """Decode :meth:`to_bytes` output.
+        """Decode :meth:`to_bytes` output (gzip or plain JSON).
+
+        Compression is sniffed from the gzip magic, so an uncompressed
+        JSON artifact of the current format version still decodes —
+        only genuinely corrupt bytes are rejected.
 
         Raises:
             ArtifactError: on any decode failure (treat as cache miss).
         """
+        if raw[:2] == _GZIP_MAGIC:
+            try:
+                raw = gzip.decompress(raw)
+            except (OSError, EOFError) as error:
+                raise ArtifactError(
+                    f"artifact gzip stream is corrupt: {error}"
+                ) from error
         try:
             data = json.loads(raw.decode("utf-8"))
         except (ValueError, UnicodeDecodeError) as error:

@@ -54,10 +54,16 @@ class StoreStats:
     corrupt: int = 0
     stores: int = 0
     errors: int = 0
+    gc_removed: int = 0
 
     def snapshot(self) -> "StoreStats":
         return StoreStats(
-            self.hits, self.misses, self.corrupt, self.stores, self.errors
+            self.hits,
+            self.misses,
+            self.corrupt,
+            self.stores,
+            self.errors,
+            self.gc_removed,
         )
 
 
@@ -134,6 +140,42 @@ class PlanStore:
             return False
         self._count("stores")
         return True
+
+    # ------------------------------------------------------------------
+    def gc(self) -> int:
+        """Reclaim artifact files a current-format process can never load.
+
+        Removes files that fail to decode (corrupt/truncated), carry a
+        stale or future :data:`FORMAT_VERSION` (their keys can never be
+        looked up by this process — they linger forever otherwise), or
+        sit at a path that does not match their own key (moved between
+        stores or digest-colliding).  Healthy current-version artifacts
+        are untouched.  Returns the number removed; each is also counted
+        under ``gc_removed`` in :attr:`stats`.
+        """
+        removed = 0
+        for path in sorted(self.root.glob(f"*{PLAN_SUFFIX}")):
+            try:
+                raw = path.read_bytes()
+            except OSError:
+                self._count("errors")
+                continue
+            keep = False
+            try:
+                artifact = PlanArtifact.from_bytes(raw)
+                keep = self.path_for(artifact.cache_key()) == path
+            except ArtifactError:
+                keep = False
+            if keep:
+                continue
+            try:
+                path.unlink()
+            except OSError:
+                self._count("errors")
+                continue
+            removed += 1
+            self._count("gc_removed")
+        return removed
 
     # ------------------------------------------------------------------
     def __len__(self) -> int:

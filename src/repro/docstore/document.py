@@ -1,0 +1,151 @@
+"""A parsed-and-frozen document plus every derived, shareable asset.
+
+The paper's single-pass guarantee makes the *document-side* assets — the
+parsed tree, the columnar layout and the OptHyPE subtree-label indexes —
+strictly more valuable than any per-query state: they are shared by every
+tenant, lane, wave and algorithm variant that touches the document.  An
+:class:`IndexedDocument` bundles them under build-exactly-once semantics:
+
+* ``tree`` — the frozen :class:`repro.xtree.node.XMLTree`;
+* ``layout`` — the interned columnar tables
+  (:class:`repro.docstore.layout.DocumentLayout`), built eagerly so the
+  evaluator hot loop is columnar from the first request;
+* ``index_for(compressed)`` — the OptHyPE (or OptHyPE-C) index, built
+  at most once per variant behind a per-variant lock; when the owning
+  :class:`repro.docstore.store.DocumentStore` has a persistent tier
+  (``--doc-dir``), a previously-persisted index is loaded instead of
+  rebuilt and fresh builds are written back.
+
+``index_for`` also satisfies the index-provider protocol of
+:meth:`repro.hype.core.CompiledPlan.for_algorithm`, so an
+:class:`IndexedDocument` can be passed wherever the older per-service
+``dict[bool, Index]`` cache went — with the difference that N concurrent
+cold requests now trigger exactly ONE build (counted in
+``stats.index_builds``) instead of racing N.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+
+from ..hype.index import Index, build_index
+from ..xtree.node import XMLTree
+from .layout import DocumentLayout
+
+
+def content_digest(content: str) -> str:
+    """The content address of a document: sha256 over its XML text."""
+    return hashlib.sha256(content.encode("utf-8")).hexdigest()
+
+
+class IndexedDocument:
+    """One frozen document plus its shared layout and indexes.
+
+    Instances are immutable from the caller's point of view: the tree
+    and layout never change, and the index slots only ever go from
+    unbuilt to built.  Safe to share across threads and services.
+
+    ``stats`` is the (possibly store-shared) counter block index builds
+    and tier hits are recorded into; ``tier`` is the optional on-disk
+    index tier.  Both default to private/absent for stand-alone use.
+    """
+
+    def __init__(
+        self,
+        tree: XMLTree,
+        content_hash: str | None = None,
+        stats=None,
+        tier=None,
+    ) -> None:
+        from .store import DocStoreStats  # cycle-free at call time
+
+        self.tree = tree
+        self.layout = DocumentLayout(tree)
+        self._content_hash = content_hash
+        self.stats = stats if stats is not None else DocStoreStats()
+        self.tier = tier
+        self._indexes: dict[bool, Index] = {}
+        self._index_locks = {False: threading.Lock(), True: threading.Lock()}
+        self._hash_lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_content(cls, content: str, **kwargs) -> "IndexedDocument":
+        """Parse ``content`` into a frozen, addressed document.
+
+        The address is the hash of the *canonical* serialisation (the
+        same scheme :class:`repro.docstore.store.DocumentStore` uses),
+        so textual variants of one document share one address.
+        """
+        from ..xtree.parse import parse_xml
+
+        tree = parse_xml(content)
+        return cls(tree, **kwargs)
+
+    @property
+    def content_hash(self) -> str:
+        """The document's content address (computed lazily when adopted).
+
+        Documents parsed from text carry the hash of that text; trees
+        built in memory (generators, tests) are hashed over their
+        canonical serialisation on first need — deterministic, so a
+        regenerated document (same config, same seed) addresses the
+        same persisted indexes across restarts.
+        """
+        digest = self._content_hash
+        if digest is None:
+            with self._hash_lock:
+                digest = self._content_hash
+                if digest is None:
+                    from ..xtree.serialize import serialize
+
+                    digest = content_digest(serialize(self.tree))
+                    self._content_hash = digest
+        return digest
+
+    # ------------------------------------------------------------------
+    @property
+    def root(self):
+        """The document root (mirrors :class:`XMLTree` for callers)."""
+        return self.tree.root
+
+    @property
+    def size(self) -> int:
+        return self.tree.size
+
+    # ------------------------------------------------------------------
+    def index_for(self, compressed: bool) -> Index:
+        """The OptHyPE(-C) index, built (or tier-loaded) exactly once.
+
+        The per-variant lock makes N threads racing a cold document
+        converge on one build; ``stats.index_builds`` counts real
+        constructions, ``stats.index_loads`` counts tier rehydrations.
+        """
+        index = self._indexes.get(compressed)
+        if index is not None:
+            return index
+        with self._index_locks[compressed]:
+            index = self._indexes.get(compressed)
+            if index is not None:
+                return index
+            index = None
+            if self.tier is not None:
+                index = self.tier.load(
+                    self.content_hash, compressed, self.tree.size
+                )
+            if index is None:
+                index = build_index(self.tree, compressed=compressed)
+                self.stats.count("index_builds")
+                if self.tier is not None:
+                    self.tier.save(self.content_hash, compressed, index)
+            self._indexes[compressed] = index
+            return index
+
+    def built_indexes(self) -> dict[bool, Index]:
+        """Snapshot of the variants already built (for introspection)."""
+        return dict(self._indexes)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        short = (self._content_hash or "?")[:12]
+        return f"IndexedDocument({short}, size={self.tree.size})"

@@ -1,0 +1,169 @@
+"""Columnar document layout: interned labels + flattened child spans.
+
+HyPE's inner loop spends its Python time on exactly four things per
+child visit: reading ``child.label`` (an attribute dereference), testing
+``label[0] == "#"`` (the text-node skip), hashing the label string into
+the per-``(mstates, relevant)`` child cache, and allocating an iterator
+over ``node.children`` (text children included) per visited node.  None
+of that work depends on the query — it is a pure function of the frozen
+document — so a :class:`DocumentLayout` precomputes it once per
+document into flat integer arrays (the array-of-struct layout of
+high-throughput tree engines):
+
+* ``labels`` / ``label_ids`` — the interned element-label table
+  (dense ids ``0..num_labels-1`` in first-appearance document order);
+* ``node_label`` — per ``node_id``, the interned label id
+  (:data:`TEXT_ID` for text nodes);
+* ``kid_ids`` / ``kid_labels`` / ``kid_start`` — the flattened
+  element-children table: node ``i``'s element children are
+  ``kid_ids[kid_start[i]:kid_start[i+1]]``, with their label ids in
+  the parallel ``kid_labels`` slice.  Text children are excluded at
+  build time, so the hot loop never re-tests them.
+
+The evaluator (:meth:`repro.hype.core.CompiledPlan.run` with a
+``layout``) walks these arrays instead of :class:`Node` objects and
+keys its child-transition rows by integer label id — a list index
+instead of a string-keyed dict probe.  Per-``(plan, layout)`` rows live
+here (:meth:`DocumentLayout.rows_for`) keyed weakly by plan, because
+label ids are *per-document*: a plain-HyPE plan may outlive this
+document and serve another one whose interning differs.
+
+Layouts are immutable once built, like the frozen trees they describe,
+and therefore freely shared across threads, tenants and lanes.
+"""
+
+from __future__ import annotations
+
+import threading
+import weakref
+
+from ..xtree.node import Node, XMLTree
+
+#: ``node_label`` entry for text (PCDATA) nodes.
+TEXT_ID = -1
+
+
+class DocumentLayout:
+    """Flattened columnar tables of one frozen :class:`XMLTree`."""
+
+    __slots__ = (
+        "tree",
+        "nodes",
+        "labels",
+        "label_ids",
+        "node_label",
+        "kid_ids",
+        "kid_labels",
+        "kid_start",
+        "_freeze_count",
+        "_rows",
+        "_rows_lock",
+        "__weakref__",
+    )
+
+    def __init__(self, tree: XMLTree) -> None:
+        self.tree = tree
+        # The freeze generation this layout snapshots.  index_tree()
+        # re-freezes IN PLACE (the nodes list object is reused), so
+        # object identity alone cannot detect a re-frozen tree — the
+        # stamp makes covers() stand down and the evaluator fall back
+        # to the always-correct string path.
+        self._freeze_count = getattr(tree, "freeze_count", 0)
+        #: Document-order node list (``nodes[i].node_id == i``) — the
+        #: bridge back from columnar ids to the Node objects answers,
+        #: predicates and phase 2 operate on.
+        self.nodes: list[Node] = tree.nodes
+        self.labels: list[str] = []
+        self.label_ids: dict[str, int] = {}
+        size = len(tree.nodes)
+        self.node_label: list[int] = [TEXT_ID] * size
+        self.kid_ids: list[int] = []
+        self.kid_labels: list[int] = []
+        self.kid_start: list[int] = [0] * (size + 1)
+        self._build()
+        #: plan -> {(m_id, r_id) -> row}; weak keys so an evicted plan
+        #: releases its rows with it.
+        self._rows: "weakref.WeakKeyDictionary" = weakref.WeakKeyDictionary()
+        self._rows_lock = threading.Lock()
+
+    def _build(self) -> None:
+        label_ids = self.label_ids
+        labels = self.labels
+        node_label = self.node_label
+        for node in self.nodes:
+            if node.is_element:
+                lid = label_ids.get(node.label)
+                if lid is None:
+                    lid = label_ids[node.label] = len(labels)
+                    labels.append(node.label)
+                node_label[node.node_id] = lid
+        kid_ids = self.kid_ids
+        kid_labels = self.kid_labels
+        kid_start = self.kid_start
+        for node in self.nodes:
+            kid_start[node.node_id] = len(kid_ids)
+            for child in node.children:
+                cid = child.node_id
+                lid = node_label[cid]
+                if lid != TEXT_ID:
+                    kid_ids.append(cid)
+                    kid_labels.append(lid)
+        kid_start[len(self.nodes)] = len(kid_ids)
+
+    # ------------------------------------------------------------------
+    @property
+    def num_labels(self) -> int:
+        return len(self.labels)
+
+    def span(self, node_id: int) -> tuple[int, int]:
+        """The ``kid_ids``/``kid_labels`` span of a node's element kids."""
+        return self.kid_start[node_id], self.kid_start[node_id + 1]
+
+    def covers(self, node: Node) -> bool:
+        """Whether ``node`` belongs to this layout's document *as frozen*.
+
+        The columnar run indexes the tables by ``node_id``, so it is
+        only valid for nodes of the tree the layout was built from —
+        and only for the freeze it snapshotted: a structural edit +
+        :func:`repro.xtree.node.index_tree` re-freeze bumps the tree's
+        ``freeze_count``, after which this layout stands down (the
+        evaluator falls back to the string path) instead of silently
+        serving the stale structure.
+        """
+        if getattr(self.tree, "freeze_count", 0) != self._freeze_count:
+            return False
+        node_id = node.node_id
+        return 0 <= node_id < len(self.nodes) and self.nodes[node_id] is node
+
+    # ------------------------------------------------------------------
+    def rows_for(self, plan) -> dict:
+        """The per-``(plan, layout)`` child-transition row table.
+
+        Rows map ``(m_id, r_id)`` to a list indexed by label id whose
+        entries are the plan's cached child-set tuples (``None`` until
+        first computed).  Entries are a deterministic function of their
+        key, so concurrent fills are benign — the same contract as the
+        plan's own string-keyed tables.
+        """
+        rows = self._rows.get(plan)
+        if rows is None:
+            with self._rows_lock:
+                rows = self._rows.get(plan)
+                if rows is None:
+                    rows = self._rows[plan] = {}
+        return rows
+
+    def memory_entries(self) -> int:
+        """Footprint proxy: total stored integers across the tables."""
+        return (
+            len(self.node_label)
+            + len(self.kid_ids)
+            + len(self.kid_labels)
+            + len(self.kid_start)
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"DocumentLayout(nodes={len(self.nodes)}, "
+            f"labels={len(self.labels)}, kids={len(self.kid_ids)})"
+        )

@@ -1,0 +1,432 @@
+"""Content-addressed document store + persistent OptHyPE index tier.
+
+The serving stack used to treat documents as caller-owned: every
+service, tenant and benchmark run re-parsed the same XML and rebuilt the
+same OptHyPE index.  The :class:`DocumentStore` makes documents a shared,
+content-addressed asset instead:
+
+* ``get(content)`` hashes the XML text (sha256) and parses **at most
+  once per content hash** — concurrent cold requests for one document
+  wait on a per-key gate and receive the same shared
+  :class:`repro.docstore.document.IndexedDocument`;
+* every holder of that document shares one columnar layout and one
+  OptHyPE index per variant (built exactly once, see
+  :meth:`IndexedDocument.index_for`);
+* with a persistent tier (``--doc-dir``), built indexes are serialised
+  to disk — version-tagged, atomically written, validated on load — so
+  a restarted service skips index construction for previously-seen
+  documents just as ``--plan-dir`` lets it skip the MFA rewrite.
+
+Durability policy mirrors :class:`repro.compile.store.PlanStore`:
+atomic tmp-file + ``os.replace`` writes, corruption/version/shape
+mismatches are counted misses (the index is rebuilt and the file
+overwritten), and an unwritable disk degrades to memory-only operation
+— it never fails serving.
+
+**Trust boundary.** Like the plan store, validation is structural, not
+cryptographic: point ``--doc-dir`` only at directories writable solely
+by principals as trusted as the service process itself.
+"""
+
+from __future__ import annotations
+
+import gzip
+import json
+import os
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+from pathlib import Path
+
+from ..hype.index import (
+    CompressedLabelIndex,
+    Index,
+    LabelBits,
+    SubtreeLabelIndex,
+)
+from ..xtree.node import XMLTree
+from .document import IndexedDocument, content_digest
+
+#: Version of the persisted document-index format.  Bump whenever the
+#: payload layout or the index semantics change; old files then simply
+#: stop matching (their filename carries the version) and are rebuilt.
+DOC_FORMAT_VERSION = 1
+
+#: Suffix of index files inside a ``--doc-dir``.
+DOC_INDEX_SUFFIX = ".docidx.json.gz"
+
+
+@dataclass
+class DocStoreStats:
+    """Document-tier counters (a point-in-time copy is a snapshot).
+
+    ``hits``/``misses`` count in-memory document resolutions (a miss is
+    a parse or adoption); ``index_builds`` counts real OptHyPE index
+    constructions — the number the whole tier exists to minimise —
+    while ``index_loads``/``index_stores`` count the persistent tier's
+    rehydrations and write-backs.  ``corrupt`` counts on-disk index
+    files that failed validation (rebuilt and overwritten), ``errors``
+    counts I/O failures, ``evictions`` counts LRU drops.
+    """
+
+    hits: int = 0
+    misses: int = 0
+    index_builds: int = 0
+    index_loads: int = 0
+    index_stores: int = 0
+    corrupt: int = 0
+    errors: int = 0
+    evictions: int = 0
+
+    def __post_init__(self) -> None:
+        self._lock = threading.Lock()
+
+    def count(self, *fields: str, n: int = 1) -> None:
+        with self._lock:
+            for name in fields:
+                setattr(self, name, getattr(self, name) + n)
+
+    def snapshot(self) -> "DocStoreStats":
+        with self._lock:
+            return DocStoreStats(
+                self.hits,
+                self.misses,
+                self.index_builds,
+                self.index_loads,
+                self.index_stores,
+                self.corrupt,
+                self.errors,
+                self.evictions,
+            )
+
+
+class DocIndexTier:
+    """The on-disk index tier of one ``--doc-dir`` directory."""
+
+    def __init__(self, root: str | os.PathLike, stats: DocStoreStats) -> None:
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        self.stats = stats
+
+    # ------------------------------------------------------------------
+    def path_for(self, content_hash: str, compressed: bool) -> Path:
+        """The index file backing one ``(document, variant)`` pair.
+
+        The filename spells out its key (the content hash is already a
+        safe hex string), so operators can audit a directory directly
+        and version bumps leave old files visibly stale.
+        """
+        variant = "c" if compressed else "u"
+        return self.root / (
+            f"{content_hash}.{variant}.v{DOC_FORMAT_VERSION}{DOC_INDEX_SUFFIX}"
+        )
+
+    # ------------------------------------------------------------------
+    def load(
+        self, content_hash: str, compressed: bool, expected_size: int
+    ) -> Index | None:
+        """Rehydrate a persisted index, or ``None`` on any miss.
+
+        Validation is strict: version, content hash and variant must
+        echo the key, the mask arrays must cover exactly
+        ``expected_size`` nodes, and the payload must decode.  Any
+        failure counts as ``corrupt`` (the caller rebuilds and the next
+        save overwrites the bad file).
+        """
+        path = self.path_for(content_hash, compressed)
+        try:
+            raw = path.read_bytes()
+        except FileNotFoundError:
+            return None
+        except OSError:
+            self.stats.count("errors")
+            return None
+        try:
+            payload = json.loads(gzip.decompress(raw).decode("utf-8"))
+            index = _index_from_payload(
+                payload, content_hash, compressed, expected_size
+            )
+        except (OSError, EOFError, ValueError, KeyError, TypeError):
+            # EOFError: gzip's truncated-stream signal — a half-written
+            # or bit-rotted file must degrade to a counted rebuild, not
+            # fail serving.
+            self.stats.count("corrupt")
+            return None
+        self.stats.count("index_loads")
+        return index
+
+    def save(self, content_hash: str, compressed: bool, index: Index) -> bool:
+        """Persist ``index`` atomically (best effort; failures counted)."""
+        path = self.path_for(content_hash, compressed)
+        tmp = path.with_name(
+            f"{path.name}.tmp.{os.getpid()}.{threading.get_ident()}"
+        )
+        payload = _index_to_payload(index, content_hash, compressed)
+        try:
+            tmp.write_bytes(
+                gzip.compress(
+                    json.dumps(
+                        payload, sort_keys=True, separators=(",", ":")
+                    ).encode("utf-8"),
+                    mtime=0,
+                )
+            )
+            os.replace(tmp, path)
+        except OSError:
+            self.stats.count("errors")
+            try:
+                tmp.unlink(missing_ok=True)
+            except OSError:
+                pass
+            return False
+        self.stats.count("index_stores")
+        return True
+
+    def __len__(self) -> int:
+        """Number of index files currently in the tier."""
+        return sum(1 for _ in self.root.glob(f"*{DOC_INDEX_SUFFIX}"))
+
+
+def _index_to_payload(
+    index: Index, content_hash: str, compressed: bool
+) -> dict:
+    """The self-describing JSON record of one built index.
+
+    ``bits`` is the label→bit assignment in bit order — serialising the
+    actual assignment makes a rehydrated index behave *identically* to
+    the one that was built (same masks, same viability cache keys).
+    """
+    in_order = sorted(index.bits.bit_of, key=index.bits.bit_of.__getitem__)
+    payload = {
+        "doc_format_version": DOC_FORMAT_VERSION,
+        "content_hash": content_hash,
+        "compressed": compressed,
+        "bits": in_order,
+    }
+    if compressed:
+        payload["mask_table"] = list(index.mask_table)
+        payload["ids"] = list(index.ids)
+    else:
+        payload["masks"] = list(index.masks)
+    return payload
+
+
+def _index_from_payload(
+    payload: dict, content_hash: str, compressed: bool, expected_size: int
+) -> Index:
+    """Decode and validate one index record (raises ``ValueError``)."""
+    if payload.get("doc_format_version") != DOC_FORMAT_VERSION:
+        raise ValueError("document-index format version mismatch")
+    if payload.get("content_hash") != content_hash:
+        raise ValueError("document-index content hash mismatch")
+    if payload.get("compressed") is not compressed:
+        raise ValueError("document-index variant mismatch")
+    labels = payload["bits"]
+    if not isinstance(labels, list) or not all(
+        isinstance(label, str) for label in labels
+    ):
+        raise ValueError("document-index bits must be a list of labels")
+    bits = LabelBits()
+    for label in labels:
+        bits.bit(label)
+    if len(bits.bit_of) != len(labels):
+        raise ValueError("document-index bit labels must be unique")
+    if compressed:
+        table = _int_list(payload["mask_table"])
+        ids = _int_list(payload["ids"])
+        if len(ids) != expected_size:
+            raise ValueError("document-index id array does not cover the tree")
+        if ids and not (0 <= min(ids) and max(ids) < len(table)):
+            raise ValueError("document-index ids point outside the mask table")
+        return CompressedLabelIndex.from_parts(bits, table, ids)
+    masks = _int_list(payload["masks"])
+    if len(masks) != expected_size:
+        raise ValueError("document-index mask array does not cover the tree")
+    return SubtreeLabelIndex.from_parts(bits, masks)
+
+
+def _int_list(values: object) -> list[int]:
+    if not isinstance(values, list) or not all(
+        isinstance(v, int) and not isinstance(v, bool) for v in values
+    ):
+        raise ValueError("document-index arrays must hold integers")
+    return values
+
+
+class DocumentStore:
+    """A bounded, content-addressed cache of shared indexed documents.
+
+    Thread-safe.  Cold content is parsed (and its layout built) exactly
+    once behind a per-hash resolution gate — the same no-thundering-herd
+    discipline as :class:`repro.serve.cache.PlanCache` — and every
+    caller receives the same shared :class:`IndexedDocument`, so their
+    index builds converge too.
+    """
+
+    def __init__(
+        self,
+        capacity: int = 16,
+        index_dir: str | os.PathLike | None = None,
+    ) -> None:
+        if capacity < 1:
+            raise ValueError(f"store capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self.stats = DocStoreStats()
+        self.tier = (
+            DocIndexTier(index_dir, self.stats) if index_dir else None
+        )
+        self._docs: OrderedDict[str, IndexedDocument] = OrderedDict()
+        #: raw-text digest -> canonical digest.  Documents are ADDRESSED
+        #: by the hash of their canonical serialisation (so a file with
+        #: a trailing newline, odd whitespace, or entity variants shares
+        #: one entry — and one persisted index — with its canonical
+        #: form); raw digests are kept only as a fast path that lets a
+        #: repeated ``get`` of the same text skip the re-parse.
+        self._aliases: dict[str, str] = {}
+        self._lock = threading.Lock()
+        self._resolving: dict[str, threading.Lock] = {}
+
+    # ------------------------------------------------------------------
+    def get(self, content: str) -> IndexedDocument:
+        """The shared document for ``content`` (parsed at most once).
+
+        The entry is keyed by the *canonical* content address (hash of
+        the parsed tree's canonical serialisation), so every textual
+        variant of one document — and every ``adopt`` of its tree —
+        resolves to the same shared entry and the same ``--doc-dir``
+        index files.
+        """
+        raw_digest = content_digest(content)
+        while True:
+            with self._lock:
+                canonical = self._aliases.get(raw_digest)
+                if canonical is not None:
+                    doc = self._docs.get(canonical)
+                    if doc is not None:
+                        self._docs.move_to_end(canonical)
+                        self.stats.count("hits")
+                        return doc
+                gate = self._resolving.get(raw_digest)
+                if gate is None:
+                    gate = self._resolving[raw_digest] = threading.Lock()
+                    gate.acquire()
+                    break
+            with gate:
+                pass
+        try:
+            from ..xtree.parse import parse_xml
+            from ..xtree.serialize import serialize
+
+            tree = parse_xml(content)
+            canonical = content_digest(serialize(tree))
+            with self._lock:
+                self._alias(raw_digest, canonical)
+                doc = self._docs.get(canonical)
+                if doc is not None:
+                    # Another textual variant already registered this
+                    # document: share its entry (the parse was the alias
+                    # table's warm-up cost, paid once per variant).
+                    self._docs.move_to_end(canonical)
+                    self.stats.count("hits")
+                    return doc
+            doc = IndexedDocument(
+                tree, canonical, stats=self.stats, tier=self.tier
+            )
+            self._insert(canonical, doc)
+            return doc
+        finally:
+            with self._lock:
+                self._resolving.pop(raw_digest, None)
+            gate.release()
+
+    def adopt(self, tree: XMLTree) -> IndexedDocument:
+        """Register an already-parsed tree under its content address.
+
+        The address is the hash of the tree's canonical serialisation —
+        the same scheme :meth:`get` resolves to — so an adopted
+        generator-built document and the same document parsed from any
+        textual variant share one entry (and one index).
+        """
+        from ..xtree.serialize import serialize
+
+        return self._get(
+            content_digest(serialize(tree)),
+            lambda digest: IndexedDocument(
+                tree, digest, stats=self.stats, tier=self.tier
+            ),
+        )
+
+    def resolve(
+        self, content_hash: str, uses: int = 1
+    ) -> IndexedDocument | None:
+        """The live document at ``content_hash``, or ``None``.
+
+        The request-path lookup: a hit refreshes LRU recency and counts
+        toward ``hits`` (the shared-document proof the metrics surface);
+        a miss counts too, and the caller falls back to whatever strong
+        reference it holds (or re-``get``s with the content).  ``uses``
+        is the number of requests this one lookup serves — a batched
+        wave resolves once but counts every admitted request, so the
+        hit counter stays comparable across serving paths.
+        """
+        with self._lock:
+            doc = self._docs.get(content_hash)
+            if doc is None:
+                self.stats.count("misses")
+                return None
+            self._docs.move_to_end(content_hash)
+            self.stats.count("hits", n=uses)
+            return doc
+
+    # ------------------------------------------------------------------
+    def _get(self, digest: str, factory) -> IndexedDocument:
+        while True:
+            with self._lock:
+                doc = self._docs.get(digest)
+                if doc is not None:
+                    self._docs.move_to_end(digest)
+                    self.stats.count("hits")
+                    return doc
+                gate = self._resolving.get(digest)
+                if gate is None:
+                    gate = self._resolving[digest] = threading.Lock()
+                    gate.acquire()
+                    break
+            with gate:
+                pass
+        try:
+            doc = factory(digest)
+            self._insert(digest, doc)
+            return doc
+        finally:
+            with self._lock:
+                self._resolving.pop(digest, None)
+            gate.release()
+
+    def _insert(self, digest: str, doc: IndexedDocument) -> None:
+        with self._lock:
+            self.stats.count("misses")
+            self._docs[digest] = doc
+            while len(self._docs) > self.capacity:
+                self._docs.popitem(last=False)
+                self.stats.count("evictions")
+
+    def _alias(self, raw_digest: str, canonical: str) -> None:
+        """Record the raw→canonical mapping (bounded; callers hold the
+        lock).  The table is a pure fast path, so clearing it on
+        overflow costs only re-parses, never correctness."""
+        if len(self._aliases) >= max(64, 4 * self.capacity):
+            self._aliases.clear()
+        self._aliases[raw_digest] = canonical
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._docs)
+
+    def __contains__(self, content_hash: str) -> bool:
+        with self._lock:
+            return content_hash in self._docs
+
+    def snapshot_stats(self) -> DocStoreStats:
+        return self.stats.snapshot()

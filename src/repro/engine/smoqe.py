@@ -67,18 +67,28 @@ class SMOQE:
 
     def __init__(
         self,
-        document: XMLTree,
+        document: "XMLTree | IndexedDocument",
         default_algorithm: str = HYPE,
         cache: PlanCache | None = None,
         cache_capacity: int = 256,
     ) -> None:
+        from ..docstore.document import IndexedDocument
+
         if default_algorithm not in ALGORITHMS:
             raise ValueError(f"unknown algorithm {default_algorithm!r}")
-        self.document = document
+        # Plain trees are wrapped into a (private) IndexedDocument, so
+        # the engine gets the columnar hot loop and build-once indexes
+        # transparently; passing a store-shared document shares its
+        # layout and indexes with every other holder.
+        self._doc = (
+            document
+            if isinstance(document, IndexedDocument)
+            else IndexedDocument(document)
+        )
+        self.document = self._doc.tree
         self.default_algorithm = default_algorithm
         self.cache = cache if cache is not None else PlanCache(cache_capacity)
         self._views: dict[str, _ViewEntry] = {}
-        self._indexes: dict[bool, object] = {}
 
     # ------------------------------------------------------------------
     # View administration
@@ -151,8 +161,9 @@ class SMOQE:
         algo = algorithm or self.default_algorithm
         if algo not in ALGORITHMS:
             raise ValueError(f"unknown algorithm {algo!r}")
-        compiled = plan.compiled(algo, self.document, self._indexes)
-        result = compiled.run(self.document.root)
+        doc = self._doc
+        compiled = plan.compiled(algo, doc.tree, doc)
+        result = compiled.run(doc.tree.root, layout=doc.layout)
         return result.answers, result.stats, algo
 
     def cache_stats(self) -> CacheStats:

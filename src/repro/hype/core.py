@@ -82,6 +82,20 @@ class HyPEResult:
 _EMPTY = frozenset()
 
 
+def _plan_row(rows: dict, m_id: int, r_id: int, num_labels: int) -> list:
+    """The per-``(m, r)`` label-id row of a plan's columnar child cache.
+
+    Rows live in the layout's per-plan table (label ids are document
+    scoped); ``setdefault`` keeps concurrent first fills on one shared
+    list, the same benign-race contract as the string-keyed tables.
+    Shared with ``repro.serve.batch``'s columnar pass.
+    """
+    row = rows.get((m_id, r_id))
+    if row is None:
+        row = rows.setdefault((m_id, r_id), [None] * num_labels)
+    return row
+
+
 class _Frame:
     """Per-node traversal frame (an entry of the paper's stack ``P``)."""
 
@@ -151,6 +165,13 @@ class CompiledPlan:
         self._pop_cache: dict = {}
         # (m_id, r_id, finals bitmask) -> frozenset of dead states
         self._dead_cache: dict = {}
+        # (m_id, r_id, watch) -> (deaths | None, watchers-to-report,
+        # resolved count) for *quiet* pops — no child-reported truths and
+        # no node-dependent final predicates — whose entire outcome is a
+        # pure function of the key; ``False`` marks keys that carry
+        # predicates and must take the full path.  Most pops of a run
+        # are quiet, so this collapses them to one dict probe.
+        self._quiet_cache: dict = {}
         # Phase-2 caches.
         self._step_cache: dict = {}
         self._avoid_cache: dict = {}
@@ -170,11 +191,14 @@ class CompiledPlan:
         uses — the plan cache wiring a fresh compilation, and the
         persistent tier rehydrating an MFA decoded from a
         :class:`repro.compile.artifact.PlanArtifact`.  Artifacts carry
-        only the automaton: the document-side index is (re)built or
-        fetched from ``indexes`` (the caller's per-document cache,
-        ``compressed -> Index``; ``setdefault`` keeps concurrent cold
-        builds converging on one object) and every memo table starts
-        empty, filling lazily on first run.
+        only the automaton: the document-side index comes from
+        ``indexes``, which is either an *index provider* (anything with
+        an ``index_for(compressed)`` method — canonically
+        :class:`repro.docstore.document.IndexedDocument`, which builds
+        or tier-loads each variant exactly once under a lock) or the
+        legacy plain ``dict[bool, Index]`` cache (``setdefault`` keeps
+        concurrent cold builds converging on one object).  Every memo
+        table starts empty, filling lazily on first run.
         """
         from .api import ALGORITHMS, HYPE, OPTHYPE_C
         from .index import build_index
@@ -184,11 +208,15 @@ class CompiledPlan:
         if algorithm == HYPE:
             return cls(mfa)
         compressed = algorithm == OPTHYPE_C
-        index = indexes.get(compressed)
-        if index is None:
-            index = indexes.setdefault(
-                compressed, build_index(document, compressed=compressed)
-            )
+        index_for = getattr(indexes, "index_for", None)
+        if index_for is not None:
+            index = index_for(compressed)
+        else:
+            index = indexes.get(compressed)
+            if index is None:
+                index = indexes.setdefault(
+                    compressed, build_index(document, compressed=compressed)
+                )
         return cls(
             mfa, index=index, analyzer=ViabilityAnalyzer(mfa, index.bits)
         )
@@ -251,7 +279,7 @@ class CompiledPlan:
         )
 
     # ------------------------------------------------------------------
-    def run(self, context: Node) -> HyPEResult:
+    def run(self, context: Node, layout=None) -> HyPEResult:
         """Evaluate ``context[[M]]`` in one pass + one cans traversal.
 
         Safe to call from many threads at once: all mutable per-run state
@@ -260,7 +288,18 @@ class CompiledPlan:
         (kept separate for hot-path speed): changes here must be
         reflected there, with ``tests/test_serve_batch.py`` enforcing the
         equivalence.
+
+        ``layout`` — a :class:`repro.docstore.layout.DocumentLayout` of
+        the context's document — switches the descent to the interned
+        columnar fast path (:meth:`_run_columnar`): flat integer arrays
+        instead of ``Node`` attribute walks, child rows keyed by interned
+        label id instead of string-hashed dicts.  Answers and per-run
+        :class:`HyPEStats` are identical either way (property-tested in
+        ``tests/test_hype_columnar.py``); a layout that does not cover
+        ``context`` falls back to the string path.
         """
+        if layout is not None and layout.covers(context):
+            return self._run_columnar(context, layout)
         nfa = self.mfa.nfa
         cursor = RunCursor(self)
         root = cursor.admit_root(context)
@@ -341,6 +380,127 @@ class CompiledPlan:
         cursor.cans_vertices = cans_vertices
         return cursor.finish()
 
+    def _run_columnar(self, context: Node, layout) -> HyPEResult:
+        """The interned columnar descent (the document-layout fast path).
+
+        Observationally identical to the string-path loop in :meth:`run`
+        — same visits in the same order, same counters, same cans DAG —
+        but driven by the layout's flat tables: children come from the
+        precomputed element-kid spans (text nodes excluded at layout
+        build, so the per-child ``"#"`` test is gone), labels are
+        interned ints, and the per-``(mstates, relevant)`` child cache is
+        a list indexed by label id instead of a string-keyed dict.  Node
+        objects are only materialised for *surviving* children (the cans
+        DAG, predicates and phase 2 need them).  Mirrored lane-wise by
+        ``repro.serve.batch.BatchEvaluator._pass_columnar``.
+        """
+        nfa = self.mfa.nfa
+        cursor = RunCursor(self)
+        root = cursor.admit_root(context)
+        if root is None:
+            return cursor.finish()
+        root_frame, m_id0, r_id0, _root_labels = root
+        rows = layout.rows_for(self)
+        num_labels = layout.num_labels
+        row0 = _plan_row(rows, m_id0, r_id0, num_labels)
+
+        finals = nfa.finals
+        ann = nfa.ann
+        deaths = cursor.deaths
+        finals_seen = cursor.finals_seen
+        visit_nodes = cursor.visit_nodes
+        visited = 1
+        skipped = 0
+        cans_vertices = cursor.cans_vertices
+
+        nodes = layout.nodes
+        kid_ids = layout.kid_ids
+        kid_labels = layout.kid_labels
+        kid_start = layout.kid_start
+        labels = layout.labels
+        use_index = self.index is not None
+        nodes_append = visit_nodes.append
+        parents_append = cursor.visit_parents.append
+        mstates_append = cursor.visit_mstates.append
+
+        cid0 = context.node_id
+        # Frames are mutable lists so the kid cursor advances in place:
+        # [frame, m_id, r_id, row, next_kid, kid_end].
+        stack: list[list] = [
+            [root_frame, m_id0, r_id0, row0, kid_start[cid0], kid_start[cid0 + 1]]
+        ]
+        stack_append = stack.append
+        while stack:
+            top = stack[-1]
+            ki = top[4]
+            if ki < top[5]:
+                top[4] = ki + 1
+                frame = top[0]
+                lid = kid_labels[ki]
+                cached = top[3][lid]
+                if cached is None:
+                    cached = self._compute_child_sets(
+                        frame.mstates, frame.relevant, labels[lid]
+                    )
+                    top[3][lid] = cached
+                (
+                    base_v,
+                    base_idv,
+                    mstates_v,
+                    m_idv,
+                    relevant_v,
+                    r_idv,
+                    watch,
+                    has_final,
+                    has_ann,
+                ) = cached
+                cid = kid_ids[ki]
+                if use_index and (mstates_v or relevant_v):
+                    mstates_v, m_idv, relevant_v, r_idv = self._apply_index(
+                        base_v, base_idv, relevant_v, r_idv, cid
+                    )
+                    has_final = bool(mstates_v & finals)
+                    has_ann = any(s in ann for s in mstates_v)
+                if not mstates_v and not relevant_v:
+                    skipped += 1
+                    continue
+                visited += 1
+                child = nodes[cid]
+                visit_idx = len(visit_nodes)
+                nodes_append(child)
+                parents_append(frame.visit_idx)
+                mstates_append(mstates_v)
+                cans_vertices += len(mstates_v)
+                if has_final:
+                    finals_seen.append(child)
+                child_frame = _Frame(
+                    child, visit_idx, mstates_v, relevant_v, watch, frame, has_ann
+                )
+                row_key = (m_idv, r_idv)
+                child_row = rows.get(row_key)
+                if child_row is None:
+                    child_row = rows.setdefault(row_key, [None] * num_labels)
+                stack_append(
+                    [
+                        child_frame,
+                        m_idv,
+                        r_idv,
+                        child_row,
+                        kid_start[cid],
+                        kid_start[cid + 1],
+                    ]
+                )
+                continue
+            # All element kids processed: pop (lines 11-21 of Fig. 6).
+            stack.pop()
+            frame = top[0]
+            if frame.relevant and (frame.watch or frame.has_ann):
+                self._pop(frame, top[1], top[2], deaths, cursor.stats)
+        cursor.visited = visited
+        cursor.skipped = skipped
+        cursor.cans_vertices = cans_vertices
+        return cursor.finish()
+
     # ------------------------------------------------------------------
     # Descent bookkeeping
     # ------------------------------------------------------------------
@@ -394,11 +554,14 @@ class CompiledPlan:
         already-closed set would incorrectly keep it.
         """
         assert self.index is not None and self.analyzer is not None
-        mask = self.index.mask(node_id)
-        key = (base_id, r_id, mask)
+        # mask_key is an int for both variants: the raw mask (OptHyPE) or
+        # the interned mask id (OptHyPE-C) — small and O(1) to hash even
+        # when the label alphabet makes masks wide.
+        key = (base_id, r_id, self.index.mask_key(node_id))
         cached = self._filter_cache.get(key)
         if cached is not None:
             return cached
+        mask = self.index.mask(node_id)
         nfa = self.mfa.nfa
         viable = self.analyzer.viable_nfa_states(mask)
         closed: set[int] = set()
@@ -463,8 +626,31 @@ class CompiledPlan:
 
     def _pop(self, frame: _Frame, m_id: int, r_id: int, deaths, stats) -> None:
         node = frame.node
-        finals, trans, groups = self._relevant_plan(r_id, frame.relevant)
         trans_true = frame.trans_true
+        if not trans_true:
+            # Quiet pop: no child reported a truth.  If the relevant set
+            # also has no node-dependent final predicates, the whole
+            # outcome (deaths, watcher reports, resolved count) is a
+            # pure function of (m_id, r_id, watch) — serve it from one
+            # cache probe.
+            quiet_key = (m_id, r_id, frame.watch)
+            quiet = self._quiet_cache.get(quiet_key)
+            if quiet is None:
+                quiet = self._compute_quiet(quiet_key, frame)
+            if quiet is not False:
+                dead, report, resolved = quiet
+                if dead:
+                    deaths[frame.visit_idx] = dead
+                stats.afa_states_resolved += resolved
+                if report:
+                    parent = frame.parent
+                    if parent is not None:
+                        trues = parent.trans_true
+                        if trues is None:
+                            trues = parent.trans_true = set()
+                        trues.update(report)
+                return
+        finals, trans, groups = self._relevant_plan(r_id, frame.relevant)
         values: dict[int, bool] | None = None
         if not trans_true:
             # No child contributed a truth: the resolution depends only on
@@ -507,6 +693,37 @@ class CompiledPlan:
             for watcher, target in frame.watch:
                 if values.get(target, False):
                     trues.add(watcher)
+
+    def _compute_quiet(self, quiet_key, frame: _Frame):
+        """Build (or reject) one quiet-pop cache entry.
+
+        Returns ``False`` — and caches it — when the relevant set carries
+        final-state predicates, whose outcome depends on the node and so
+        cannot be memoised per ``(m_id, r_id, watch)``.
+        """
+        m_id, r_id, watch = quiet_key
+        finals, trans, groups = self._relevant_plan(r_id, frame.relevant)
+        if finals:
+            self._quiet_cache[quiet_key] = False
+            return False
+        cache_key = (r_id, 0)
+        values = self._pop_cache.get(cache_key)
+        if values is None:
+            values = self._resolve(finals, trans, groups, None, 0)
+            self._pop_cache[cache_key] = values
+        dead = None
+        if frame.has_ann:
+            dead_key = (m_id, r_id, 0)
+            dead = self._dead_cache.get(dead_key)
+            if dead is None:
+                dead = self._compute_dead(frame.mstates, values)
+                self._dead_cache[dead_key] = dead
+        report = tuple(
+            watcher for watcher, target in watch if values.get(target, False)
+        )
+        quiet = (dead, report, len(values))
+        self._quiet_cache[quiet_key] = quiet
+        return quiet
 
     def _resolve(self, finals, trans, groups, trans_true, bits) -> dict[int, bool]:
         """Leaf values + operator fixpoint for one node (or cache entry)."""

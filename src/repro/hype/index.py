@@ -78,8 +78,27 @@ class SubtreeLabelIndex:
         self.bits = LabelBits()
         self.masks = _compute_masks(tree, self.bits)
 
+    @classmethod
+    def from_parts(
+        cls, bits: LabelBits, masks: list[int]
+    ) -> "SubtreeLabelIndex":
+        """Rehydrate a persisted index without recomputing the masks."""
+        self = cls.__new__(cls)
+        self.bits = bits
+        self.masks = masks
+        return self
+
     def mask(self, node_id: int) -> int:
         """Strict-descendant label mask of a node."""
+        return self.masks[node_id]
+
+    def mask_key(self, node_id: int) -> int:
+        """Evaluator cache key for a node's mask.
+
+        The uncompressed index has no interned-id table (that is
+        OptHyPE-C's whole trick), so the key is the mask itself — an
+        ``int`` either way, per the evaluator's int-keyed cache contract.
+        """
         return self.masks[node_id]
 
     def memory_entries(self) -> int:
@@ -107,11 +126,31 @@ class CompressedLabelIndex:
                 self.mask_table.append(mask)
             self.ids[node_id] = idx
 
+    @classmethod
+    def from_parts(
+        cls, bits: LabelBits, mask_table: list[int], ids: list[int]
+    ) -> "CompressedLabelIndex":
+        """Rehydrate a persisted index without recomputing the masks."""
+        self = cls.__new__(cls)
+        self.bits = bits
+        self.mask_table = mask_table
+        self.ids = ids
+        return self
+
     def mask(self, node_id: int) -> int:
         return self.mask_table[self.ids[node_id]]
 
     def mask_id(self, node_id: int) -> int:
         """The interned id — a compact viability-cache key."""
+        return self.ids[node_id]
+
+    def mask_key(self, node_id: int) -> int:
+        """Evaluator cache key: the small interned id, not the mask.
+
+        Mask bitmasks grow with the label alphabet; hashing the interned
+        id keeps the evaluator's index-filter cache probes O(1) on wide
+        documents.
+        """
         return self.ids[node_id]
 
     def memory_entries(self) -> int:

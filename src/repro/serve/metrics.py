@@ -15,6 +15,7 @@ from dataclasses import dataclass, field
 from ..bench.tables import format_series
 from ..compile.pipeline import CompileStats
 from ..compile.store import StoreStats
+from ..docstore.store import DocStoreStats
 from .cache import CacheStats
 
 
@@ -92,6 +93,19 @@ class MetricsSnapshot:
     compile: CompileStats = field(default_factory=CompileStats)
     #: Disk-tier counters; ``None`` when no plan store is configured.
     store: StoreStats | None = None
+    #: Document-tier counters (shared store's when one is wired, the
+    #: service's own document otherwise); ``None`` on old snapshots.
+    doc_store: DocStoreStats | None = None
+
+    @property
+    def doc_hits(self) -> int:
+        """Requests served by an already-resolved shared document."""
+        return self.doc_store.hits if self.doc_store is not None else 0
+
+    @property
+    def doc_index_builds(self) -> int:
+        """Real OptHyPE index constructions (the number sharing minimises)."""
+        return self.doc_store.index_builds if self.doc_store is not None else 0
 
     @property
     def plan_l1_hits(self) -> int:
@@ -177,6 +191,20 @@ class MetricsSnapshot:
                 line += f", {self.store.corrupt} CORRUPT"
             if self.store.errors:
                 line += f", {self.store.errors} I/O error(s)"
+            if self.store.gc_removed:
+                line += f", {self.store.gc_removed} gc-removed"
+            lines.append(line)
+        if self.doc_store is not None:
+            doc = self.doc_store
+            line = (
+                f"doc store: {doc.hits} hit(s), {doc.misses} miss(es), "
+                f"{doc.index_builds} index build(s), "
+                f"{doc.index_loads} load(s), {doc.index_stores} write(s)"
+            )
+            if doc.corrupt:
+                line += f", {doc.corrupt} CORRUPT"
+            if doc.errors:
+                line += f", {doc.errors} I/O error(s)"
             lines.append(line)
         if self.waves:
             lines.append(
@@ -256,6 +284,21 @@ class MetricsSnapshot:
                 "corrupt": self.store.corrupt,
                 "stores": self.store.stores,
                 "errors": self.store.errors,
+                "gc_removed": self.store.gc_removed,
+            },
+            "doc_hits": self.doc_hits,
+            "doc_index_builds": self.doc_index_builds,
+            "doc_store": None
+            if self.doc_store is None
+            else {
+                "hits": self.doc_store.hits,
+                "misses": self.doc_store.misses,
+                "index_builds": self.doc_store.index_builds,
+                "index_loads": self.doc_store.index_loads,
+                "index_stores": self.doc_store.index_stores,
+                "corrupt": self.doc_store.corrupt,
+                "errors": self.doc_store.errors,
+                "evictions": self.doc_store.evictions,
             },
             "tenants": {
                 name: {
@@ -341,6 +384,7 @@ class ServiceMetrics:
         *,
         compile: CompileStats | None = None,
         store: StoreStats | None = None,
+        doc_store: DocStoreStats | None = None,
         in_flight: int = 0,
         peak_in_flight: int = 0,
         pool_size: int = 0,
@@ -370,4 +414,5 @@ class ServiceMetrics:
                 pool_size=pool_size,
                 compile=compile or CompileStats(),
                 store=store,
+                doc_store=doc_store,
             )

@@ -30,6 +30,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from ..compile.store import PlanStore
+from ..docstore.document import IndexedDocument
+from ..docstore.store import DocumentStore
 from ..engine.smoqe import QueryAnswer
 from ..errors import AuthorizationError, ReproError, ServiceError, ViewError
 from ..hype.api import ALGORITHMS, HYPE
@@ -106,17 +108,33 @@ class QueryService:
 
     def __init__(
         self,
-        document: XMLTree,
+        document: XMLTree | IndexedDocument,
         default_algorithm: str = HYPE,
         cache: PlanCache | None = None,
         cache_capacity: int = 256,
         plan_store: PlanStore | None = None,
+        document_store: DocumentStore | None = None,
         pool: ExecutionPool | None = None,
         pool_size: int = DEFAULT_POOL_SIZE,
     ) -> None:
         if default_algorithm not in ALGORITHMS:
             raise ValueError(f"unknown algorithm {default_algorithm!r}")
-        self.document = document
+        # The document tier: every request path works over a shared
+        # IndexedDocument (columnar layout for the hot loop, OptHyPE
+        # indexes built exactly once).  With a ``document_store`` the
+        # document is registered under its content address and request
+        # paths re-resolve it through the store — so the store's
+        # hits/index_builds counters prove the sharing, and a store with
+        # a persistent tier (``--doc-dir``) lets a restart skip index
+        # construction entirely.
+        self._document_store = document_store
+        if isinstance(document, IndexedDocument):
+            self._doc = document
+        elif document_store is not None:
+            self._doc = document_store.adopt(document)
+        else:
+            self._doc = IndexedDocument(document)
+        self.document = self._doc.tree
         self.default_algorithm = default_algorithm
         # ``plan_store`` wires the on-disk tier under a cache this service
         # creates (a restart against the same directory starts warm); an
@@ -130,7 +148,6 @@ class QueryService:
         self.metrics = ServiceMetrics()
         self._views: dict[str, ViewSpec] = {}
         self._tenants: dict[str, TenantBinding] = {}
-        self._indexes: dict[bool, object] = {}
         # Compiled plans are thread-safe, so there is no evaluation lock:
         # every run goes through a bounded worker pool (pass ``pool`` to
         # share one pool between services over the same hardware).
@@ -266,9 +283,10 @@ class QueryService:
             # failures do; classify so every rejection is counted.
             self.metrics.record_rejection(rejection_kind(error))
             raise
-        compiled = plan.compiled(algo, self.document, self._indexes)
+        doc = self._resolve_document()
+        compiled = plan.compiled(algo, doc.tree, doc)
         outcome = self.pool.execute(
-            lambda: compiled.run(self.document.root)
+            lambda: compiled.run(doc.tree.root, layout=doc.layout)
         )
         result = outcome.result
         self.metrics.record_request(
@@ -343,6 +361,23 @@ class QueryService:
         return WaveResult(outcomes, stats)
 
     # ------------------------------------------------------------------
+    def _resolve_document(self, uses: int = 1) -> IndexedDocument:
+        """The request path's document lookup.
+
+        With a document store the lookup goes through the store by
+        content address — counting a ``doc_hits`` per served request
+        (a batched wave resolves once with ``uses`` = its size), the
+        observable proof that every tenant/lane/wave shares one parsed
+        document and one index build — falling back to this service's
+        strong reference if the store has evicted the entry.
+        """
+        store = self._document_store
+        if store is not None:
+            doc = store.resolve(self._doc.content_hash, uses=uses)
+            if doc is not None:
+                return doc
+        return self._doc
+
     def _admit(self, request: QueryRequest):
         """Authorise + plan one request (the pre-evaluation gate)."""
         binding, algo, session = self._authorize(
@@ -360,18 +395,19 @@ class QueryService:
         bound to one view posing the same query — share one lane, so the
         plan's memo tables are filled once and read by every request.
         """
+        doc = self._resolve_document(uses=len(grants))
         lane_of: dict[int, int] = {}
         lanes = []
         request_lane: list[int] = []
         for _request, _binding, algo, plan, _query_text, _session in grants:
-            compiled = plan.compiled(algo, self.document, self._indexes)
+            compiled = plan.compiled(algo, doc.tree, doc)
             lane = lane_of.get(id(compiled))
             if lane is None:
                 lane = lane_of[id(compiled)] = len(lanes)
                 lanes.append(compiled)
             request_lane.append(lane)
         pooled = self.pool.execute(
-            lambda: BatchEvaluator(lanes).run(self.document.root)
+            lambda: BatchEvaluator(lanes).run(doc.tree.root, layout=doc.layout)
         )
         outcome = pooled.result
         # Attribute the shared pass evenly across the batched requests.
@@ -417,10 +453,19 @@ class QueryService:
     def metrics_snapshot(self) -> MetricsSnapshot:
         """Counters + cache/compile stats + pool gauges at this instant."""
         store = self.cache.store
+        # Document-tier counters: the shared store's when one is wired
+        # (its hits/misses span every service sharing it), otherwise the
+        # private stats block of this service's own document.
+        doc_stats = (
+            self._document_store.stats
+            if self._document_store is not None
+            else self._doc.stats
+        )
         return self.metrics.snapshot(
             self.cache.stats,
             compile=self.cache.compiler.metrics.snapshot(),
             store=None if store is None else store.stats,
+            doc_store=doc_stats.snapshot(),
             in_flight=self.pool.in_flight,
             peak_in_flight=self.pool.peak_in_flight,
             pool_size=self.pool.size,

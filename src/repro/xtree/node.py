@@ -32,7 +32,16 @@ class Node:
         depth: Root depth 0 (set by :func:`index_tree`).
     """
 
-    __slots__ = ("label", "value", "children", "parent", "node_id", "depth")
+    __slots__ = (
+        "label",
+        "value",
+        "children",
+        "parent",
+        "node_id",
+        "depth",
+        "_text_cache",
+        "_elems_cache",
+    )
 
     def __init__(self, label: str, value: Optional[str] = None) -> None:
         self.label = label
@@ -41,6 +50,8 @@ class Node:
         self.parent: Optional[Node] = None
         self.node_id: int = -1
         self.depth: int = 0
+        self._text_cache: Optional[str] = None
+        self._elems_cache: Optional[list["Node"]] = None
 
     # ------------------------------------------------------------------
     # Introspection helpers
@@ -66,9 +77,34 @@ class Node:
             return self.value or ""
         return "".join(c.value or "" for c in self.children if c.is_text)
 
+    def text_cached(self) -> str:
+        """Like :meth:`text`, computed once per freeze.
+
+        Valid on frozen trees (every evaluator input): the evaluators'
+        text predicates call this per relevant node, and :meth:`text`'s
+        per-call list walk + join dominates pops on text-heavy queries.
+        :func:`index_tree` invalidates the cache, so re-freezing after a
+        structural edit keeps the two variants agreeing.
+        """
+        text = self._text_cache
+        if text is None:
+            text = self._text_cache = self.text()
+        return text
+
     def element_children(self) -> list["Node"]:
         """Child element nodes, in document order (text children skipped)."""
         return [c for c in self.children if c.is_element]
+
+    def element_children_cached(self) -> list["Node"]:
+        """Like :meth:`element_children`, computed once per freeze.
+
+        Callers must not mutate the returned list — it is the shared
+        cache.  Invalidated by :func:`index_tree` like the text cache.
+        """
+        elems = self._elems_cache
+        if elems is None:
+            elems = self._elems_cache = self.element_children()
+        return elems
 
     def child_elements(self, label: str) -> list["Node"]:
         """Child element nodes carrying ``label``, in document order."""
@@ -125,12 +161,16 @@ class XMLTree:
     document-order list of nodes (``nodes[i].node_id == i``).
     """
 
-    __slots__ = ("root", "nodes", "labels")
+    __slots__ = ("root", "nodes", "labels", "freeze_count")
 
     def __init__(self, root: Node) -> None:
         self.root = root
         self.nodes: list[Node] = []
         self.labels: set[str] = set()
+        #: Bumped by every (re-)freeze; derived structures built against
+        #: one freeze (e.g. a columnar DocumentLayout) record it and
+        #: stand down when the tree has been re-frozen since.
+        self.freeze_count = 0
         index_tree(root, self)
 
     # ------------------------------------------------------------------
@@ -172,6 +212,7 @@ def index_tree(root: Node, tree: Optional[XMLTree] = None) -> None:
     if tree is not None:
         tree.nodes.clear()
         tree.labels.clear()
+        tree.freeze_count = getattr(tree, "freeze_count", 0) + 1
     counter = 0
     stack: list[tuple[Node, Optional[Node], int]] = [(root, None, 0)]
     while stack:
@@ -179,6 +220,10 @@ def index_tree(root: Node, tree: Optional[XMLTree] = None) -> None:
         node.parent = parent
         node.depth = depth
         node.node_id = counter
+        # (Re-)freezing invalidates the lazy per-node caches: structural
+        # edits before this call may have changed children or text.
+        node._text_cache = None
+        node._elems_cache = None
         counter += 1
         if tree is not None:
             tree.nodes.append(node)

@@ -7,6 +7,7 @@ so changing either output is a format change — bump
 deliberately, never accidentally.
 """
 
+import gzip
 import json
 
 import pytest
@@ -228,7 +229,7 @@ class TestArtifactRoundTrip:
 
     def test_tampered_mfa_raises(self):
         artifact = QueryCompiler().compile(None, "a[b]/c")
-        payload = json.loads(artifact.to_bytes())
+        payload = json.loads(gzip.decompress(artifact.to_bytes()))
         payload["mfa"]["nfa"]["start"] = 10_000  # dangling state id
         with pytest.raises(ArtifactError):
             PlanArtifact.from_payload(payload)

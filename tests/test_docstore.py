@@ -1,0 +1,303 @@
+"""Document-store tests: content addressing, shared indexes, persistence.
+
+The acceptance properties of the document tier:
+
+* one content hash ⇒ one parse, one layout, one index build per variant,
+  no matter how many tenants/threads/requests resolve the document;
+* a restarted process over the same ``--doc-dir`` loads the persisted
+  index instead of rebuilding (``index_loads`` up, ``index_builds`` 0),
+  and a rehydrated index behaves identically to a built one;
+* corruption, version skew and key mismatches on disk degrade to a
+  counted rebuild — never a crash, never a wrong index.
+"""
+
+import gzip
+import json
+import threading
+
+import pytest
+
+from repro.docstore import (
+    DOC_FORMAT_VERSION,
+    DocumentStore,
+    IndexedDocument,
+    TEXT_ID,
+    content_digest,
+)
+from repro.hype.index import build_index
+from repro.workloads.hospital import HospitalConfig, generate_hospital_document
+from repro.xtree.parse import parse_xml
+from repro.xtree.serialize import serialize
+
+
+@pytest.fixture()
+def hospital_tree():
+    return generate_hospital_document(HospitalConfig(num_patients=4, seed=7))
+
+
+@pytest.fixture()
+def hospital_xml(hospital_tree):
+    return serialize(hospital_tree)
+
+
+class TestDocumentLayout:
+    def test_columnar_tables_match_the_tree(self, hospital_tree):
+        doc = IndexedDocument(hospital_tree)
+        layout = doc.layout
+        for node in hospital_tree.nodes:
+            if node.is_element:
+                assert layout.labels[layout.node_label[node.node_id]] == node.label
+            else:
+                assert layout.node_label[node.node_id] == TEXT_ID
+            start, end = layout.span(node.node_id)
+            kids = [layout.nodes[cid] for cid in layout.kid_ids[start:end]]
+            assert kids == node.element_children()
+            assert [
+                layout.labels[lid] for lid in layout.kid_labels[start:end]
+            ] == [c.label for c in kids]
+
+    def test_label_ids_are_dense_and_unique(self, hospital_tree):
+        layout = IndexedDocument(hospital_tree).layout
+        assert sorted(layout.label_ids.values()) == list(
+            range(len(layout.labels))
+        )
+        assert set(layout.labels) == hospital_tree.labels
+
+    def test_covers_rejects_foreign_nodes(self, hospital_tree):
+        layout = IndexedDocument(hospital_tree).layout
+        other = generate_hospital_document(HospitalConfig(num_patients=2, seed=1))
+        assert layout.covers(hospital_tree.root)
+        assert layout.covers(hospital_tree.nodes[-1])
+        assert not layout.covers(other.root.children[0])
+
+
+class TestDocumentStore:
+    def test_same_content_shares_one_document(self, hospital_xml):
+        store = DocumentStore()
+        first = store.get(hospital_xml)
+        second = store.get(hospital_xml)
+        assert first is second
+        stats = store.stats
+        assert stats.misses == 1 and stats.hits == 1
+
+    def test_adopt_and_parse_share_one_address(self, hospital_tree, hospital_xml):
+        store = DocumentStore()
+        adopted = store.adopt(hospital_tree)
+        parsed = store.get(hospital_xml)
+        # The generator-built tree and its serialised text hash alike, so
+        # the second resolution is a hit on the adopted entry.
+        assert parsed is adopted
+        assert adopted.content_hash == content_digest(hospital_xml)
+
+    def test_textual_variants_share_one_canonical_address(self, hospital_xml):
+        """Regression: get() used to key by raw-text hash while adopt()
+        keyed by canonical serialisation, so a doc.xml with a trailing
+        newline got its own entry (and its own --doc-dir index files)."""
+        store = DocumentStore()
+        canonical = store.get(hospital_xml)
+        with_newline = store.get(hospital_xml + "\n")
+        pretty = store.get(hospital_xml.replace("><", ">\n<", 3))
+        assert with_newline is canonical
+        assert pretty is canonical
+        assert len(store) == 1
+        # Repeating a known variant is a pure hit (alias fast path).
+        assert store.get(hospital_xml + "\n") is canonical
+        assert store.stats.misses == 1
+
+    def test_variant_text_and_doc_dir_share_index_files(
+        self, tmp_path, hospital_xml
+    ):
+        cold = DocumentStore(index_dir=tmp_path / "docs")
+        cold.get(hospital_xml).index_for(True)
+        warm = DocumentStore(index_dir=tmp_path / "docs")
+        warm.get(hospital_xml + "\n").index_for(True)
+        # The non-canonical text still finds the persisted index.
+        assert warm.stats.index_builds == 0 and warm.stats.index_loads == 1
+        assert len(cold.tier) == 1
+
+    def test_resolve_counts_request_path_hits(self, hospital_xml):
+        store = DocumentStore()
+        doc = store.get(hospital_xml)
+        for _ in range(5):
+            assert store.resolve(doc.content_hash) is doc
+        assert store.resolve("0" * 64) is None
+        stats = store.stats
+        assert stats.hits == 5 and stats.misses == 2
+
+    def test_lru_eviction_is_counted(self):
+        store = DocumentStore(capacity=1)
+        store.get("<a/>")
+        store.get("<b/>")
+        assert len(store) == 1
+        assert store.stats.evictions == 1
+
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ValueError):
+            DocumentStore(capacity=0)
+
+    def test_concurrent_cold_content_parses_once(self, hospital_xml):
+        store = DocumentStore()
+        docs = []
+        barrier = threading.Barrier(8)
+
+        def resolve():
+            barrier.wait()
+            docs.append(store.get(hospital_xml))
+
+        threads = [threading.Thread(target=resolve) for _ in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert len({id(doc) for doc in docs}) == 1
+        assert store.stats.misses == 1
+
+
+class TestIndexSharing:
+    def test_index_built_exactly_once_per_variant(self, hospital_tree):
+        doc = IndexedDocument(hospital_tree)
+        a = doc.index_for(False)
+        b = doc.index_for(False)
+        c = doc.index_for(True)
+        assert a is b and c is not a
+        assert doc.stats.index_builds == 2
+        assert set(doc.built_indexes()) == {False, True}
+
+    def test_n_threads_one_cold_document_one_build(self, hospital_xml):
+        """The concurrency acceptance: N threads racing a cold document
+        trigger exactly one index build (per variant)."""
+        store = DocumentStore()
+        doc = store.get(hospital_xml)
+        indexes = []
+        barrier = threading.Barrier(8)
+
+        def build():
+            barrier.wait()
+            indexes.append(doc.index_for(True))
+
+        threads = [threading.Thread(target=build) for _ in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert len({id(index) for index in indexes}) == 1
+        assert store.stats.index_builds == 1
+
+
+class TestPersistentTier:
+    def test_restart_loads_instead_of_building(self, tmp_path, hospital_xml):
+        cold = DocumentStore(index_dir=tmp_path / "docs")
+        cold.get(hospital_xml).index_for(True)
+        assert cold.stats.index_builds == 1
+        assert cold.stats.index_stores == 1
+
+        warm = DocumentStore(index_dir=tmp_path / "docs")
+        loaded = warm.get(hospital_xml).index_for(True)
+        assert warm.stats.index_builds == 0
+        assert warm.stats.index_loads == 1
+        built = cold.get(hospital_xml).index_for(True)
+        # A rehydrated index is observationally identical to a built one.
+        assert loaded.bits.bit_of == built.bits.bit_of
+        assert loaded.mask_table == built.mask_table
+        assert loaded.ids == built.ids
+
+    def test_uncompressed_variant_round_trips(self, tmp_path, hospital_xml):
+        cold = DocumentStore(index_dir=tmp_path / "docs")
+        built = cold.get(hospital_xml).index_for(False)
+        warm = DocumentStore(index_dir=tmp_path / "docs")
+        loaded = warm.get(hospital_xml).index_for(False)
+        assert warm.stats.index_builds == 0 and warm.stats.index_loads == 1
+        assert loaded.masks == built.masks
+        assert loaded.bits.bit_of == built.bits.bit_of
+
+    def test_corrupt_index_file_is_counted_and_rebuilt(
+        self, tmp_path, hospital_xml
+    ):
+        cold = DocumentStore(index_dir=tmp_path / "docs")
+        doc = cold.get(hospital_xml)
+        doc.index_for(True)
+        path = cold.tier.path_for(doc.content_hash, True)
+        path.write_bytes(b"\x00 not gzip \x00")
+
+        warm = DocumentStore(index_dir=tmp_path / "docs")
+        warm.get(hospital_xml).index_for(True)
+        assert warm.stats.corrupt == 1
+        assert warm.stats.index_builds == 1  # rebuilt
+        assert warm.stats.index_stores == 1  # and overwritten
+
+    def test_tampered_payload_is_rejected(self, tmp_path, hospital_xml):
+        cold = DocumentStore(index_dir=tmp_path / "docs")
+        doc = cold.get(hospital_xml)
+        doc.index_for(False)
+        path = cold.tier.path_for(doc.content_hash, False)
+        payload = json.loads(gzip.decompress(path.read_bytes()))
+        payload["masks"] = payload["masks"][:-1]  # no longer covers the tree
+        path.write_bytes(gzip.compress(json.dumps(payload).encode()))
+
+        warm = DocumentStore(index_dir=tmp_path / "docs")
+        warm.get(hospital_xml).index_for(False)
+        assert warm.stats.corrupt == 1 and warm.stats.index_builds == 1
+
+    def test_truncated_gzip_index_is_a_counted_miss(
+        self, tmp_path, hospital_xml
+    ):
+        """Regression: a half-written .docidx.json.gz raises EOFError
+        inside gzip — it must degrade to a counted rebuild, never crash
+        serving."""
+        cold = DocumentStore(index_dir=tmp_path / "docs")
+        doc = cold.get(hospital_xml)
+        doc.index_for(True)
+        path = cold.tier.path_for(doc.content_hash, True)
+        raw = path.read_bytes()
+        path.write_bytes(raw[: len(raw) // 2])  # valid magic, truncated body
+
+        warm = DocumentStore(index_dir=tmp_path / "docs")
+        index = warm.get(hospital_xml).index_for(True)
+        assert index is not None
+        assert warm.stats.corrupt == 1 and warm.stats.index_builds == 1
+
+    def test_content_hash_mismatch_is_rejected(self, tmp_path, hospital_xml):
+        """A file renamed onto another document's key must not be served."""
+        cold = DocumentStore(index_dir=tmp_path / "docs")
+        doc = cold.get(hospital_xml)
+        doc.index_for(True)
+        other_xml = "<hospital><department/></hospital>"
+        other_hash = content_digest(other_xml)
+        source = cold.tier.path_for(doc.content_hash, True)
+        target = cold.tier.path_for(other_hash, True)
+        target.write_bytes(source.read_bytes())
+
+        warm = DocumentStore(index_dir=tmp_path / "docs")
+        warm.get(other_xml).index_for(True)
+        assert warm.stats.corrupt == 1 and warm.stats.index_builds == 1
+
+    def test_unwritable_tier_degrades_to_memory_only(
+        self, tmp_path, hospital_xml, monkeypatch
+    ):
+        store = DocumentStore(index_dir=tmp_path / "docs")
+        monkeypatch.setattr(
+            "repro.docstore.store.os.replace",
+            lambda *a, **k: (_ for _ in ()).throw(OSError("disk full")),
+        )
+        index = store.get(hospital_xml).index_for(True)
+        assert index is not None
+        assert store.stats.errors == 1 and store.stats.index_stores == 0
+
+    def test_loaded_index_answers_like_built(self, tmp_path, hospital_xml):
+        from repro.hype.core import CompiledPlan
+        from repro.hype.api import to_mfa
+
+        cold = DocumentStore(index_dir=tmp_path / "docs")
+        cold.get(hospital_xml).index_for(True)
+        warm = DocumentStore(index_dir=tmp_path / "docs")
+        doc = warm.get(hospital_xml)
+        tree = doc.tree
+        fresh = build_index(tree, compressed=True)
+        loaded = doc.index_for(True)
+        assert warm.stats.index_loads == 1
+        query = "//patient[.//diagnosis/text() = 'heart disease']"
+        mfa = to_mfa(query)
+        a = CompiledPlan(mfa, index=fresh).run(tree.root)
+        b = CompiledPlan(mfa, index=loaded).run(tree.root)
+        assert a.answers == b.answers
+        assert a.stats == b.stats

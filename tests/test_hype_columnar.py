@@ -1,0 +1,181 @@
+"""Columnar-path equivalence: the interned hot loop changes nothing.
+
+The acceptance property of the layout fast path: for ANY document and
+ANY query, evaluating through the columnar tables (interned label ids,
+flattened kid spans, int-keyed child rows) returns byte-identical
+answers AND byte-identical per-run :class:`HyPEStats` to the
+string-label path — across all three algorithm variants, sequentially
+and batched, and through the full service stack.
+"""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.docstore import DocumentStore, IndexedDocument
+from repro.hype.api import ALGORITHMS, OPTHYPE, compile_plan
+from repro.serve.batch import BatchEvaluator
+from repro.serve.service import QueryRequest, QueryService
+from repro.workloads.hospital import HospitalConfig, generate_hospital_document
+from repro.workloads.queries import FIG8
+from repro.xtree.serialize import serialize
+
+from .strategies import paths, trees
+
+
+@given(trees(), paths())
+@settings(max_examples=60, deadline=None)
+def test_columnar_run_is_identical_to_string_run(tree, query):
+    doc = IndexedDocument(tree)
+    for algorithm in ALGORITHMS:
+        plan = compile_plan(query, algorithm=algorithm, tree=tree)
+        string_path = plan.run(tree.root)
+        columnar = plan.run(tree.root, layout=doc.layout)
+        assert columnar.answers == string_path.answers
+        assert columnar.stats == string_path.stats
+
+
+@given(trees(), paths(max_leaves=5), paths(max_leaves=5))
+@settings(max_examples=40, deadline=None)
+def test_columnar_batch_is_identical_to_string_batch(tree, first, second):
+    doc = IndexedDocument(tree)
+    plans = [
+        compile_plan(first, algorithm="hype"),
+        compile_plan(second, algorithm="opthype-c", tree=tree),
+    ]
+    string_path = BatchEvaluator(plans).run(tree.root)
+    columnar = BatchEvaluator(plans).run(tree.root, layout=doc.layout)
+    assert string_path.stats == columnar.stats
+    for a, b in zip(string_path.results, columnar.results):
+        assert a.answers == b.answers
+        assert a.stats == b.stats
+
+
+@given(trees(), paths())
+@settings(max_examples=40, deadline=None)
+def test_columnar_subtree_contexts_agree(tree, query):
+    """The layout covers every node, not just the root."""
+    doc = IndexedDocument(tree)
+    contexts = [n for n in tree.nodes if n.is_element][:5]
+    plan = compile_plan(query, algorithm="hype")
+    for context in contexts:
+        a = plan.run(context)
+        b = plan.run(context, layout=doc.layout)
+        assert a.answers == b.answers
+        assert a.stats == b.stats
+
+
+def test_refrozen_tree_invalidates_the_layout():
+    """Regression: index_tree re-freezes IN PLACE (same nodes list
+    object), so a stale layout used to keep passing covers() and the
+    columnar path silently dropped nodes added by the documented
+    edit + re-freeze protocol."""
+    from repro.xtree.build import document, element
+    from repro.xtree.node import Node, index_tree
+
+    tree = document(element("a", element("b"), element("c")))
+    doc = IndexedDocument(tree)
+    stale_layout = doc.layout
+    plan = compile_plan("//b", algorithm="hype")
+    assert len(plan.run(tree.root, layout=stale_layout).answers) == 1
+
+    tree.root.append(Node("b"))
+    index_tree(tree.root, tree)
+
+    assert not stale_layout.covers(tree.root)
+    via_layout = plan.run(tree.root, layout=stale_layout)
+    direct = plan.run(tree.root)
+    assert len(direct.answers) == 2
+    assert via_layout.answers == direct.answers
+    assert via_layout.stats == direct.stats
+    # A layout built against the new freeze covers it again.
+    fresh = IndexedDocument(tree)
+    assert fresh.layout.covers(tree.root)
+    refreshed = plan.run(tree.root, layout=fresh.layout)
+    assert refreshed.answers == direct.answers
+
+
+def test_foreign_layout_falls_back_to_string_path():
+    tree = generate_hospital_document(HospitalConfig(num_patients=2, seed=0))
+    other = generate_hospital_document(HospitalConfig(num_patients=3, seed=9))
+    layout = IndexedDocument(other).layout
+    plan = compile_plan("//patient", algorithm="hype")
+    direct = plan.run(tree.root)
+    fallen_back = plan.run(tree.root, layout=layout)
+    assert fallen_back.answers == direct.answers
+    assert fallen_back.stats == direct.stats
+
+
+def test_one_plan_serves_two_documents_with_distinct_layouts():
+    """Label ids are per-document: a shared HyPE plan must not leak one
+    document's interning into another's rows."""
+    plan = compile_plan("//patient/record", algorithm="hype")
+    for seed in (1, 2, 3):
+        tree = generate_hospital_document(
+            HospitalConfig(num_patients=2, seed=seed)
+        )
+        doc = IndexedDocument(tree)
+        a = plan.run(tree.root)
+        b = plan.run(tree.root, layout=doc.layout)
+        assert a.answers == b.answers and a.stats == b.stats
+
+
+class TestServiceSharing:
+    @pytest.fixture()
+    def store_and_service(self):
+        tree = generate_hospital_document(HospitalConfig(num_patients=6, seed=2))
+        store = DocumentStore()
+        service = QueryService(
+            tree, default_algorithm=OPTHYPE, document_store=store
+        )
+        service.register_tenant("t", None)
+        yield store, service, tree
+        service.close()
+
+    def test_n_requests_one_index_build(self, store_and_service):
+        """The acceptance metric: ``doc_index_builds == 1`` while
+        ``doc_hits >= N - 1`` for N requests over one document."""
+        store, service, _tree = store_and_service
+        n = 8
+        for _ in range(n):
+            service.submit("t", FIG8["fig8a"])
+        snap = service.metrics_snapshot()
+        assert snap.doc_index_builds == 1
+        assert snap.doc_hits >= n - 1
+        payload = snap.as_dict()
+        assert payload["doc_index_builds"] == 1
+        assert payload["doc_hits"] >= n - 1
+        assert payload["doc_store"]["index_builds"] == 1
+        assert "doc store: " in snap.describe()
+
+    def test_store_backed_answers_match_plain_service(self, store_and_service):
+        store, service, tree = store_and_service
+        with QueryService(tree, default_algorithm=OPTHYPE) as plain:
+            plain.register_tenant("t", None)
+            for query in FIG8.values():
+                a = service.submit("t", query)
+                b = plain.submit("t", query)
+                assert a.ids() == b.ids()
+                assert a.stats == b.stats
+
+    def test_batched_wave_shares_the_store_document(self, store_and_service):
+        store, service, _tree = store_and_service
+        requests = [QueryRequest("t", q) for q in FIG8.values()] * 2
+        result = service.submit_wave(requests)
+        assert result.rejected == 0
+        assert store.stats.index_builds == 1
+
+    def test_two_services_one_store_share_one_build(self):
+        tree = generate_hospital_document(HospitalConfig(num_patients=4, seed=5))
+        xml = serialize(tree)
+        store = DocumentStore()
+        with QueryService(
+            store.get(xml), default_algorithm=OPTHYPE, document_store=store
+        ) as first, QueryService(
+            store.get(xml), default_algorithm=OPTHYPE, document_store=store
+        ) as second:
+            first.register_tenant("t", None)
+            second.register_tenant("t", None)
+            a = first.submit("t", "//patient")
+            b = second.submit("t", "//patient")
+            assert a.ids() == b.ids()
+            assert store.stats.index_builds == 1

@@ -8,6 +8,7 @@ tenants and through the single-submit, batch and NDJSON-frontend paths.
 """
 
 import asyncio
+import gzip
 import json
 
 import pytest
@@ -58,7 +59,7 @@ class TestPlanStore:
         artifact = compiler.compile(None, "a/b")
         key = artifact.cache_key()
         store.save(key, artifact)
-        payload = json.loads(store.path_for(key).read_bytes())
+        payload = json.loads(gzip.decompress(store.path_for(key).read_bytes()))
         payload["format_version"] = FORMAT_VERSION + 1
         store.path_for(key).write_text(json.dumps(payload))
         assert store.load(key) is None
@@ -327,3 +328,113 @@ class TestResolutionGate:
             cache.plan(None, "]][[")  # parse failure inside plan()
         assert len(cache._resolving) == 0
         assert cache.plan(sigma0_spec, "patient") is not None
+
+
+class TestArtifactCompression:
+    def test_artifacts_are_gzip_on_disk_but_plain_json_decodes(self, store):
+        """v2 artifacts are gzip-compressed; an uncompressed JSON payload
+        of the current version must still decode (treat-as-miss only on
+        real corruption)."""
+        from repro.compile import PlanArtifact
+
+        compiler = QueryCompiler()
+        artifact = compiler.compile(None, "a/b")
+        key = artifact.cache_key()
+        store.save(key, artifact)
+        raw = store.path_for(key).read_bytes()
+        assert raw[:2] == b"\x1f\x8b"  # gzip magic
+        # Rewrite the same payload uncompressed: still a hit, not corrupt.
+        store.path_for(key).write_bytes(gzip.decompress(raw))
+        loaded = store.load(key)
+        assert loaded is not None
+        assert loaded.to_bytes() == artifact.to_bytes()
+        assert store.stats.corrupt == 0
+        # And the bytes themselves are deterministic (mtime pinned).
+        assert artifact.to_bytes() == PlanArtifact.from_bytes(raw).to_bytes()
+
+    def test_truncated_gzip_stream_is_a_miss(self, store):
+        compiler = QueryCompiler()
+        artifact = compiler.compile(None, "a/b")
+        key = artifact.cache_key()
+        store.save(key, artifact)
+        raw = store.path_for(key).read_bytes()
+        store.path_for(key).write_bytes(raw[: len(raw) // 2])
+        assert store.load(key) is None
+        assert store.stats.corrupt == 1
+
+
+class TestStoreGC:
+    def _stale_version_file(self, store, query="c/d"):
+        """Plant a file whose payload carries an old format version."""
+        compiler = QueryCompiler()
+        artifact = compiler.compile(None, query)
+        key = artifact.cache_key()
+        payload = json.loads(gzip.decompress(artifact.to_bytes()))
+        payload["format_version"] = FORMAT_VERSION - 1
+        path = store.root / f"stale-{abs(hash(query))}.plan.json"
+        path.write_bytes(gzip.compress(json.dumps(payload).encode()))
+        return path
+
+    def test_gc_removes_stale_corrupt_and_misplaced_only(self, store):
+        compiler = QueryCompiler()
+        healthy = compiler.compile(None, "a/b")
+        store.save(healthy.cache_key(), healthy)
+        healthy_path = store.path_for(healthy.cache_key())
+
+        stale = self._stale_version_file(store)
+        corrupt = store.root / "garbage.plan.json"
+        corrupt.write_bytes(b"{not json at all")
+        other = compiler.compile(None, "e/f")
+        misplaced = store.root / "misplaced.plan.json"
+        misplaced.write_bytes(other.to_bytes())
+
+        removed = store.gc()
+        assert removed == 3
+        assert healthy_path.exists()
+        assert not stale.exists()
+        assert not corrupt.exists()
+        assert not misplaced.exists()
+        assert store.stats.gc_removed == 3
+        # The healthy artifact still loads afterwards.
+        assert store.load(healthy.cache_key()) is not None
+
+    def test_gc_on_clean_store_removes_nothing(self, store):
+        compiler = QueryCompiler()
+        for query in ("a/b", "c", "a[b]/c"):
+            artifact = compiler.compile(None, query)
+            store.save(artifact.cache_key(), artifact)
+        assert store.gc() == 0
+        assert len(store) == 3
+
+    def test_gc_removed_flows_into_service_metrics(self, store, tmp_path):
+        from repro.workloads.hospital import (
+            HospitalConfig,
+            generate_hospital_document,
+        )
+
+        self._stale_version_file(store)
+        store.gc()
+        tree = generate_hospital_document(HospitalConfig(num_patients=2, seed=0))
+        with QueryService(tree, plan_store=store) as service:
+            service.register_tenant("t", None)
+            service.submit("t", "hospital")
+            snapshot = service.metrics_snapshot()
+        assert snapshot.store is not None
+        assert snapshot.store.gc_removed == 1
+        assert snapshot.as_dict()["plan_store"]["gc_removed"] == 1
+        assert "1 gc-removed" in snapshot.describe()
+
+    def test_warm_cli_gc_flag(self, store, capsys):
+        from repro.cli import main
+
+        stale = self._stale_version_file(store)
+        assert stale.exists()
+        code = main(
+            ["warm", "--plan-dir", str(store.root), "--gc", "a/b"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "gc: removed 1" in out
+        assert not stale.exists()
+        # The warmed plan landed and survives the gc.
+        assert len(store) == 1

@@ -205,6 +205,7 @@ class TestStoreStatsSurface:
             "corrupt": 3,
             "stores": 0,
             "errors": 1,
+            "gc_removed": 0,
         }
 
     def test_no_store_no_line_and_null_payload(self):

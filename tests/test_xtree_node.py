@@ -113,3 +113,49 @@ class TestTraversal:
 
     def test_depth_method(self):
         assert sample_tree().depth() == 3
+
+
+class TestCachedVariants:
+    """The lazy hot-path variants must be behaviour-identical to the
+    allocating originals, including across a re-freeze."""
+
+    def test_text_cached_matches_text_everywhere(self):
+        tree = sample_tree()
+        for node in tree.nodes:
+            assert node.text_cached() == node.text()
+            # Second read serves the cache; still identical.
+            assert node.text_cached() == node.text()
+
+    def test_element_children_cached_matches_everywhere(self):
+        tree = sample_tree()
+        for node in tree.nodes:
+            assert node.element_children_cached() == node.element_children()
+            assert node.element_children_cached() == node.element_children()
+
+    def test_cached_list_is_shared_not_copied(self):
+        tree = sample_tree()
+        root = tree.root
+        assert root.element_children_cached() is root.element_children_cached()
+        # The allocating variant still returns a fresh list per call.
+        assert root.element_children() is not root.element_children()
+
+    def test_refreeze_invalidates_both_caches(self):
+        tree = sample_tree()
+        root = tree.root
+        before_text = root.text_cached()
+        before_elems = root.element_children_cached()
+        # Structural edit + re-freeze (the documented mutation protocol).
+        root.append(text_node("extra"))
+        root.append(element("z"))
+        index_tree(root, tree)
+        assert root.text_cached() == root.text() == before_text + "extra"
+        assert root.element_children_cached() == root.element_children()
+        assert len(root.element_children_cached()) == len(before_elems) + 1
+
+    def test_text_node_and_empty_element(self):
+        tree = sample_tree()
+        text = next(n for n in tree.nodes if n.is_text)
+        empty = next(n for n in tree.nodes if n.is_element and not n.children)
+        assert text.text_cached() == text.text() == (text.value or "")
+        assert empty.text_cached() == ""
+        assert empty.element_children_cached() == []
