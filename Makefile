@@ -5,7 +5,7 @@
 PY ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test bench bench-smoke bench-serve bench-front bench-hot bench-hot-smoke front-smoke concurrency-smoke cache-smoke warm install
+.PHONY: test bench bench-smoke bench-serve bench-front bench-hot bench-hot-smoke front-smoke obs-smoke concurrency-smoke cache-smoke warm install
 
 test:
 	$(PY) -m pytest -x -q
@@ -45,6 +45,15 @@ bench-hot-smoke:
 # stream (coalescing, answers, error mapping, metrics). CI runs this.
 front-smoke:
 	$(PY) -m repro.cli serve-front --smoke --patients 30 --tenants 2
+
+# Observability smoke: boots the front-end with tracing + access logging
+# on an ephemeral port, replays a seeded burst and checks the three obs
+# surfaces — complete span trees (request through compile/doc-store/
+# evaluate, children within the root), a parseable Prometheus exposition
+# whose +Inf latency bucket equals the request counter, and a valid
+# trace-correlated NDJSON access log. CI runs this.
+obs-smoke:
+	$(PY) -m repro.cli serve-front --obs-smoke --patients 30 --tenants 2
 
 # Concurrency smoke: the concurrent-waves benchmark asserts >= 2 waves
 # evaluated in flight at once (pool peak gauge) and that overlapped

@@ -35,6 +35,17 @@ Usage (``python -m repro.cli <command> ...``):
 * ``bench-front [--requests R --gap-ms G]`` — replay the seeded traffic
   stream through the admission controller with inter-arrival jitter and
   compare coalesced waves against per-request sequential submits
+* observability: ``serve-front`` and ``bench-front`` accept
+  ``--trace-sample RATE`` (request tracing; errored/slow traces always
+  kept), ``--slow-ms MS`` (slow-query threshold for trace retention and
+  the slow log) and ``--access-log FILE`` (trace-correlated NDJSON
+  access log); ``serve-front --obs-smoke`` runs the observability smoke
+  (Prometheus exposition parses, trace op returns complete span trees,
+  slow log is valid NDJSON — the CI obs-smoke target)
+* ``obs --host H --port P [--limit N] [--prometheus]`` — fetch and
+  pretty-print recent traces (span trees with durations and
+  attributes) or the Prometheus text exposition from a running
+  ``serve-front``
 
 View-spec file format (see ``examples/research.view`` written by tests)::
 
@@ -469,6 +480,61 @@ def _admission_config(args: argparse.Namespace):
     )
 
 
+def _add_obs_flags(parser: argparse.ArgumentParser) -> None:
+    """The shared observability flags (serve-front and bench-front)."""
+    parser.add_argument(
+        "--trace-sample",
+        type=float,
+        default=None,
+        metavar="RATE",
+        help="enable request tracing, keeping this fraction of traces "
+        "(errored and slow traces are always kept)",
+    )
+    parser.add_argument(
+        "--slow-ms",
+        type=float,
+        default=None,
+        metavar="MS",
+        help="slow-query threshold: slower requests are always traced "
+        "and logged",
+    )
+    parser.add_argument(
+        "--access-log",
+        default=None,
+        metavar="FILE",
+        help="append one NDJSON entry per request to FILE "
+        "(trace-correlated; without it --slow-ms logs slow/errored "
+        "requests to stderr)",
+    )
+
+
+def _obs_setup(args: argparse.Namespace):
+    """Build the (tracer, access logger) pair the obs flags ask for."""
+    from .obs.log import AccessLogger, StructuredLog
+    from .obs.trace import Tracer
+
+    slow_seconds = (
+        None if args.slow_ms is None else args.slow_ms / 1000.0
+    )
+    tracer = None
+    if args.trace_sample is not None:
+        tracer = Tracer(
+            sample_rate=args.trace_sample, slow_seconds=slow_seconds
+        )
+    access_logger = None
+    if args.access_log is not None:
+        access_logger = AccessLogger(
+            StructuredLog(args.access_log),
+            slow_seconds=slow_seconds,
+            access=True,
+        )
+    elif slow_seconds is not None:
+        access_logger = AccessLogger(
+            StructuredLog(sys.stderr), slow_seconds=slow_seconds
+        )
+    return tracer, access_logger
+
+
 async def _front_smoke(service, admission) -> int:
     """Boot the server, run a scripted wave, check the reply stream."""
     from .serve.frontend import FrontendClient, QueryFrontend
@@ -575,6 +641,151 @@ async def _front_smoke(service, admission) -> int:
     return 0
 
 
+async def _obs_smoke(service, admission) -> int:
+    """Boot a traced front-end, replay a burst, check the obs surfaces.
+
+    The CI obs-smoke target: asserts (1) every request produced a
+    retained trace whose span tree covers request → admission → plan →
+    queue-wait → doc-store → evaluate with children summing within the
+    root, (2) the Prometheus exposition parses and its latency
+    histogram's ``+Inf`` bucket equals the request counter, (3) the
+    access log is valid trace-correlated NDJSON.
+    """
+    import io
+    import json as json_mod
+
+    from .obs.export import parse_exposition
+    from .obs.log import AccessLogger, StructuredLog
+    from .obs.trace import Tracer, span_roots
+    from .serve.frontend import FrontendClient, QueryFrontend
+    from .workloads.traffic import TrafficConfig, generate_traffic
+
+    failures: list[str] = []
+
+    def check(condition: bool, what: str) -> None:
+        print(f"[obs-smoke] {'ok' if condition else 'FAIL'}: {what}")
+        if not condition:
+            failures.append(what)
+
+    tracer = Tracer(sample_rate=1.0, slow_seconds=None)
+    log_buffer = io.StringIO()
+    access_logger = AccessLogger(
+        StructuredLog(log_buffer), slow_seconds=0.0, access=True
+    )
+    frontend = QueryFrontend(
+        service, admission, tracer=tracer, access_log=access_logger
+    )
+    host, port = await frontend.start("127.0.0.1", 0)
+    print(f"[obs-smoke] traced frontend listening on {host}:{port}")
+    client = await FrontendClient.connect(host, port)
+    try:
+        traffic = generate_traffic(
+            TrafficConfig(num_tenants=2, num_requests=8, seed=5)
+        )
+        scripted = [
+            {"tenant": r.tenant, "query": r.query, "limit": 0}
+            for r in traffic
+            if r.tenant in service.tenants()
+        ]
+        replies = await client.query_many(scripted)
+        served = sum(1 for reply in replies if reply.get("ok"))
+        check(
+            served == len(scripted),
+            f"burst served under tracing ({served}/{len(scripted)})",
+        )
+
+        traced = await client.trace()
+        traces = traced.get("traces", [])
+        check(
+            traced.get("ok") is True and len(traces) == len(scripted),
+            f"trace op returns every request's trace ({len(traces)})",
+        )
+        stage_names = (
+            "admission.hold",
+            "plan",
+            "queue.wait",
+            "docstore.resolve",
+            "evaluate",
+        )
+        complete = 0
+        for trace in traces:
+            roots = span_roots(trace)
+            if len(roots) != 1 or roots[0]["name"] != "request":
+                continue
+            names = {s["name"] for s in trace["spans"]}
+            if not all(stage in names for stage in stage_names):
+                continue
+            root = roots[0]
+            child_total = sum(c["duration_ms"] for c in root["children"])
+            if child_total <= root["duration_ms"] * 1.001:
+                complete += 1
+        check(
+            complete == len(traces),
+            f"complete span trees, children within root ({complete})",
+        )
+        tiers = {
+            s["attributes"].get("tier")
+            for trace in traces
+            for s in trace["spans"]
+            if s["name"] == "plan"
+        }
+        check(
+            tiers and tiers <= {"l1", "l2", "compile"} and "l1" in tiers,
+            f"plan spans carry cache-tier annotations ({sorted(tiers)})",
+        )
+
+        prom = await client.prometheus()
+        try:
+            samples = parse_exposition(prom.get("prometheus", ""))
+        except ValueError as error:
+            samples = {}
+            check(False, f"prometheus exposition parses ({error})")
+        else:
+            check(True, "prometheus exposition parses")
+        if samples:
+            requests_total = samples.get("repro_requests_total", {}).get("")
+            buckets = samples.get("repro_request_latency_seconds_bucket", {})
+            inf = buckets.get('le="+Inf"')
+            check(
+                requests_total is not None and inf == requests_total,
+                f"+Inf latency bucket equals request counter "
+                f"({inf} == {requests_total})",
+            )
+
+        entries = [
+            json_mod.loads(line)
+            for line in log_buffer.getvalue().splitlines()
+            if line
+        ]
+        check(
+            len(entries) == len(scripted),
+            f"access log has one NDJSON entry per request ({len(entries)})",
+        )
+        correlated = sum(
+            1
+            for entry in entries
+            if entry.get("trace_id")
+            and any(t["trace_id"] == entry["trace_id"] for t in traces)
+        )
+        check(
+            correlated == len(entries),
+            f"every log entry correlates to a retained trace ({correlated})",
+        )
+        staged = sum(1 for entry in entries if entry.get("stages"))
+        check(
+            staged == len(entries),
+            f"log entries carry stage annotations ({staged})",
+        )
+    finally:
+        await client.aclose()
+        await frontend.close()
+    if failures:
+        print(f"[obs-smoke] {len(failures)} check(s) FAILED", file=sys.stderr)
+        return 1
+    print("[obs-smoke] all checks passed")
+    return 0
+
+
 def cmd_serve_front(args: argparse.Namespace) -> int:
     import asyncio
 
@@ -584,19 +795,32 @@ def cmd_serve_front(args: argparse.Namespace) -> int:
     admission = _admission_config(args)
     if args.smoke:
         return asyncio.run(_front_smoke(service, admission))
+    if args.obs_smoke:
+        return asyncio.run(_obs_smoke(service, admission))
+    tracer, access_logger = _obs_setup(args)
 
     async def _serve() -> None:
         frontend = QueryFrontend(
-            service, admission, max_pending=args.max_pending
+            service,
+            admission,
+            max_pending=args.max_pending,
+            tracer=tracer,
+            access_log=access_logger,
         )
         host, port = await frontend.start(args.host, args.port)
+        obs_note = ""
+        if tracer is not None:
+            obs_note = f", trace sample {tracer.sample_rate:g}"
+        if access_logger is not None:
+            target = access_logger.log.path or "stderr"
+            obs_note += f", access log {target}"
         print(
             f"frontend listening on {host}:{port} "
             f"(tenants: {', '.join(service.tenants())}; "
             f"max wave {admission.max_wave}, "
             f"max wait {admission.max_wait * 1000:.0f} ms, "
             f"pool size {service.pool.size}, "
-            f"max pending/conn {args.max_pending})",
+            f"max pending/conn {args.max_pending}{obs_note})",
             flush=True,
         )
         try:
@@ -653,15 +877,41 @@ def cmd_bench_front(args: argparse.Namespace) -> int:
     arrivals = ArrivalConfig(
         mean_gap=args.gap_ms / 1000.0, jitter=args.jitter, seed=args.seed
     )
+    tracer, access_logger = _obs_setup(args)
+
+    async def submit_one(r):
+        request = QueryRequest(r.tenant, r.query)
+        if tracer is None and access_logger is None:
+            return await controller.submit(request)
+        started = time.perf_counter()
+        if tracer is not None:
+            with tracer.trace(
+                "request", tenant=r.tenant, query=r.query
+            ) as root:
+                admitted = await controller.submit(request)
+        else:
+            root = None
+            admitted = await controller.submit(request)
+        if access_logger is not None:
+            from .obs.trace import Tracer as _Tracer
+
+            trace = (
+                None
+                if root is None
+                else _Tracer.export_trace(root.trace, root, "inline")
+            )
+            access_logger.record(
+                tenant=r.tenant,
+                query=r.query,
+                duration=time.perf_counter() - started,
+                trace=trace,
+            )
+        return admitted
 
     async def replay() -> list:
         from .workloads.traffic import replay_async
 
-        return await replay_async(
-            lambda r: controller.submit(QueryRequest(r.tenant, r.query)),
-            traffic,
-            arrivals,
-        )
+        return await replay_async(submit_one, traffic, arrivals)
 
     front_started = time.perf_counter()
     outcomes = asyncio.run(replay())
@@ -695,7 +945,71 @@ def cmd_bench_front(args: argparse.Namespace) -> int:
     )
     print()
     print(snapshot.describe())
+    if tracer is not None:
+        print()
+        print(
+            f"tracing: {tracer.started} trace(s) started, "
+            f"{tracer.store.kept} kept "
+            f"(sample rate {tracer.sample_rate:g})"
+        )
     return 0
+
+
+def cmd_obs(args: argparse.Namespace) -> int:
+    """Fetch and pretty-print traces (or metrics) from a live front-end."""
+    import asyncio
+
+    from .obs.trace import span_roots
+    from .serve.frontend import FrontendClient
+
+    def render_span(node: dict, depth: int) -> None:
+        pad = "  " * depth
+        attrs = " ".join(
+            f"{key}={value}" for key, value in node["attributes"].items()
+        )
+        line = (
+            f"{pad}{node['name']}  {node['duration_ms']:.2f} ms"
+            f"{'  ' + attrs if attrs else ''}"
+        )
+        if node["error"]:
+            line += f"  ERROR: {node['error']}"
+        print(line)
+        for child in node["children"]:
+            render_span(child, depth + 1)
+
+    async def fetch() -> int:
+        client = await FrontendClient.connect(args.host, args.port)
+        try:
+            if args.prometheus:
+                reply = await client.prometheus()
+                if reply.get("ok") is not True:
+                    print(f"error: {reply.get('message')}", file=sys.stderr)
+                    return 1
+                print(reply["prometheus"], end="")
+                return 0
+            reply = await client.trace(limit=args.limit)
+            if reply.get("ok") is not True:
+                print(f"error: {reply.get('message')}", file=sys.stderr)
+                return 1
+            traces = reply.get("traces", [])
+            print(
+                f"{len(traces)} trace(s) "
+                f"(kept {reply.get('kept')}, dropped {reply.get('dropped')}, "
+                f"started {reply.get('started')})"
+            )
+            for trace in traces:
+                print()
+                print(
+                    f"trace {trace['trace_id']}  {trace['duration_ms']:.2f} ms"
+                    f"  kept={trace['kept']}  spans={len(trace['spans'])}"
+                )
+                for root in span_roots(trace):
+                    render_span(root, 1)
+            return 0
+        finally:
+            await client.aclose()
+
+    return asyncio.run(fetch())
 
 
 # ----------------------------------------------------------------------
@@ -839,6 +1153,13 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="boot on an ephemeral port, run a scripted wave, check replies",
     )
+    sfr.add_argument(
+        "--obs-smoke",
+        action="store_true",
+        help="boot traced on an ephemeral port and check the observability "
+        "surfaces (traces, Prometheus exposition, access log)",
+    )
+    _add_obs_flags(sfr)
     sfr.set_defaults(func=cmd_serve_front)
 
     bfr = sub.add_parser(
@@ -867,7 +1188,24 @@ def build_parser() -> argparse.ArgumentParser:
         "--doc-dir",
         help="persistent document-index directory for the front-end service",
     )
+    _add_obs_flags(bfr)
     bfr.set_defaults(func=cmd_bench_front)
+
+    obs = sub.add_parser(
+        "obs",
+        help="pretty-print traces or metrics from a running serve-front",
+    )
+    obs.add_argument("--host", default="127.0.0.1")
+    obs.add_argument("--port", type=int, default=7407)
+    obs.add_argument(
+        "--limit", type=int, default=None, help="newest N traces only"
+    )
+    obs.add_argument(
+        "--prometheus",
+        action="store_true",
+        help="print the Prometheus text exposition instead of traces",
+    )
+    obs.set_defaults(func=cmd_obs)
     return parser
 
 

@@ -33,6 +33,7 @@ import time
 from dataclasses import dataclass, field
 
 from ..automata.compile import compile_query
+from ..obs.trace import span
 from ..views.spec import ViewSpec
 from ..xpath import ast
 from ..xpath.normalize import normal_form
@@ -201,9 +202,12 @@ class QueryCompiler:
 
     # ------------------------------------------------------------------
     def _timed(self, stage: str, fn, *args, _stages=None, **kwargs):
-        started = time.perf_counter()
-        result = fn(*args, **kwargs)
-        elapsed = time.perf_counter() - started
+        # span() is a no-op (one contextvar read) unless the request that
+        # triggered this compilation carries an active trace.
+        with span(f"compile.{stage}"):
+            started = time.perf_counter()
+            result = fn(*args, **kwargs)
+            elapsed = time.perf_counter() - started
         self.metrics.record(stage, elapsed)
         if _stages is not None:
             _stages[stage] = _stages.get(stage, 0.0) + elapsed

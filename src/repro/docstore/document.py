@@ -30,6 +30,7 @@ import hashlib
 import threading
 
 from ..hype.index import Index, build_index
+from ..obs.trace import span
 from ..xtree.node import XMLTree
 from .layout import DocumentLayout
 
@@ -135,7 +136,12 @@ class IndexedDocument:
                     self.content_hash, compressed, self.tree.size
                 )
             if index is None:
-                index = build_index(self.tree, compressed=compressed)
+                with span(
+                    "docstore.index_build",
+                    compressed=compressed,
+                    size=self.tree.size,
+                ):
+                    index = build_index(self.tree, compressed=compressed)
                 self.stats.count("index_builds")
                 if self.tier is not None:
                     self.tier.save(self.content_hash, compressed, index)

@@ -1,0 +1,52 @@
+"""``repro.obs`` — end-to-end request tracing, histograms and export.
+
+PRs 1–5 built the serving machinery (admission waves, execution pool,
+two-tier plan cache, shared document store); this package makes that
+machinery *observable*:
+
+* :mod:`repro.obs.trace` — a :class:`Tracer` producing trace-id/span-id
+  :class:`Span` trees with contextvar-based propagation that survives
+  both the asyncio front-end and :class:`repro.serve.pool.ExecutionPool`
+  worker threads, probabilistic sampling (errored/slow requests are
+  always kept) and a bounded ring-buffer :class:`TraceStore`;
+* :mod:`repro.obs.hist` — a fixed log-bucket :class:`Histogram`
+  (O(1) record, mergeable) behind the p50/p95/p99 latency percentiles;
+* :mod:`repro.obs.export` — Prometheus text-exposition rendering of a
+  :class:`repro.serve.metrics.MetricsSnapshot`;
+* :mod:`repro.obs.log` — a structured NDJSON access/slow-query log,
+  correlated with traces by trace id.
+
+The instrumentation contract is ambient: lower layers (the compile
+pipeline, the document store, the evaluation pool) call
+:func:`repro.obs.trace.span` / :func:`repro.obs.trace.add_span`, which
+are no-ops costing one contextvar read unless a request's root span is
+active — so a service run without a tracer pays (measurably, see
+``BENCH_hype.json`` ``tracing``) nothing on the hot path.
+"""
+
+from .hist import Histogram
+from .log import AccessLogger, StructuredLog
+from .trace import (
+    Span,
+    TraceStore,
+    Tracer,
+    add_span,
+    current_span,
+    span,
+    span_roots,
+)
+from .export import render_prometheus
+
+__all__ = [
+    "AccessLogger",
+    "Histogram",
+    "Span",
+    "StructuredLog",
+    "TraceStore",
+    "Tracer",
+    "add_span",
+    "current_span",
+    "render_prometheus",
+    "span",
+    "span_roots",
+]

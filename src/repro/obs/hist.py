@@ -1,0 +1,184 @@
+"""Fixed log-bucket latency histograms: O(1) record, mergeable, p-quantiles.
+
+Count/mean/min/max aggregates (all the service reported before this
+package) hide exactly the behaviour a serving system is judged on — the
+tail.  A :class:`Histogram` fixes that at O(1) per record: bucket
+boundaries are a fixed geometric ladder (``LOWEST * GROWTH**i`` seconds),
+so recording is one ``log2`` and one list increment, two histograms
+merge by adding bucket counts (waves, shards, restarts), and any
+quantile is a single cumulative walk with linear interpolation inside
+the landing bucket.
+
+The ladder spans 10 µs – ~1.4 h with 2× resolution, which brackets
+everything this service does (sub-millisecond cache hits through
+multi-second cold rewrites) while keeping the whole histogram 32 ints —
+cheap enough to carry one per tenant.  The boundaries are also exactly
+the ``le`` labels of the Prometheus exposition
+(:func:`repro.obs.export.render_prometheus`), so scrape-side quantiles
+agree with the in-process ones.
+"""
+
+from __future__ import annotations
+
+import math
+
+#: Lower edge of the first finite bucket, in seconds (10 µs).
+LOWEST = 1e-5
+
+#: Geometric growth factor between bucket upper bounds.
+GROWTH = 2.0
+
+#: Number of finite buckets; one implicit +Inf overflow bucket follows.
+BUCKETS = 29
+
+#: Upper bounds of the finite buckets (seconds), ascending.
+BOUNDS = tuple(LOWEST * GROWTH**i for i in range(BUCKETS))
+
+_LOG_GROWTH = math.log(GROWTH)
+
+
+def bucket_index(seconds: float) -> int:
+    """The bucket ``seconds`` lands in (``BUCKETS`` = the +Inf bucket).
+
+    Bucket ``i`` holds values in ``(BOUNDS[i-1], BOUNDS[i]]`` (bucket 0
+    holds everything up to ``LOWEST``), mirroring Prometheus ``le``
+    semantics.
+    """
+    if seconds <= LOWEST:
+        return 0
+    index = min(math.ceil(math.log(seconds / LOWEST) / _LOG_GROWTH), BUCKETS)
+    # Float round-trip guard: log/exp noise must never shift a value
+    # across its boundary (le semantics are part of the export contract).
+    if index < BUCKETS and seconds > BOUNDS[index]:
+        index += 1
+    elif index > 0 and seconds <= BOUNDS[index - 1]:
+        index -= 1
+    return index
+
+
+class Histogram:
+    """A mergeable log-bucket histogram of non-negative seconds."""
+
+    __slots__ = ("counts", "count", "total", "min", "max")
+
+    def __init__(self) -> None:
+        self.counts = [0] * (BUCKETS + 1)
+        self.count = 0
+        self.total = 0.0
+        self.min = 0.0
+        self.max = 0.0
+
+    # ------------------------------------------------------------------
+    def record(self, seconds: float) -> None:
+        """O(1): one log, one increment."""
+        if seconds < 0.0:
+            seconds = 0.0
+        if self.count == 0 or seconds < self.min:
+            self.min = seconds
+        if seconds > self.max:
+            self.max = seconds
+        self.count += 1
+        self.total += seconds
+        self.counts[bucket_index(seconds)] += 1
+
+    def merge(self, other: "Histogram") -> "Histogram":
+        """Fold ``other`` into this histogram (returns self)."""
+        if other.count:
+            if self.count == 0 or other.min < self.min:
+                self.min = other.min
+            if other.max > self.max:
+                self.max = other.max
+        self.count += other.count
+        self.total += other.total
+        for i, n in enumerate(other.counts):
+            self.counts[i] += n
+        return self
+
+    def copy(self) -> "Histogram":
+        clone = Histogram()
+        clone.counts = list(self.counts)
+        clone.count = self.count
+        clone.total = self.total
+        clone.min = self.min
+        clone.max = self.max
+        return clone
+
+    # ------------------------------------------------------------------
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def quantile(self, q: float) -> float:
+        """The q-quantile estimate (0.0 with no records).
+
+        Walks the cumulative counts to the landing bucket and
+        interpolates linearly inside it, then clamps into the observed
+        ``[min, max]`` — so a single-sample histogram reports that
+        sample for every quantile instead of a bucket boundary.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q}")
+        if self.count == 0:
+            return 0.0
+        rank = q * self.count
+        cumulative = 0
+        for i, n in enumerate(self.counts):
+            if n == 0:
+                continue
+            if cumulative + n >= rank:
+                lower = 0.0 if i == 0 else BOUNDS[i - 1]
+                upper = BOUNDS[i] if i < BUCKETS else self.max
+                fraction = (rank - cumulative) / n
+                value = lower + (upper - lower) * fraction
+                return min(max(value, self.min), self.max)
+            cumulative += n
+        return self.max
+
+    @property
+    def p50(self) -> float:
+        return self.quantile(0.50)
+
+    @property
+    def p95(self) -> float:
+        return self.quantile(0.95)
+
+    @property
+    def p99(self) -> float:
+        return self.quantile(0.99)
+
+    # ------------------------------------------------------------------
+    def cumulative_buckets(self) -> list[tuple[float, int]]:
+        """Prometheus-shaped ``(le, cumulative_count)`` pairs.
+
+        The final pair's bound is ``math.inf`` and its count equals
+        :attr:`count` — the classic ``+Inf`` invariant.
+        """
+        pairs: list[tuple[float, int]] = []
+        cumulative = 0
+        for i, n in enumerate(self.counts[:BUCKETS]):
+            cumulative += n
+            pairs.append((BOUNDS[i], cumulative))
+        pairs.append((math.inf, cumulative + self.counts[BUCKETS]))
+        return pairs
+
+    def as_dict(self) -> dict:
+        """JSON-safe summary (``+Inf`` spelled as a string)."""
+        return {
+            "count": self.count,
+            "sum": self.total,
+            "min": self.min,
+            "max": self.max,
+            "p50": self.p50,
+            "p95": self.p95,
+            "p99": self.p99,
+            "buckets": [
+                {"le": "+Inf" if math.isinf(le) else le, "count": n}
+                for le, n in self.cumulative_buckets()
+            ],
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Histogram(count={self.count}, p50={self.p50 * 1000:.2f}ms, "
+            f"p99={self.p99 * 1000:.2f}ms)"
+        )

@@ -1,0 +1,160 @@
+"""Structured NDJSON access and slow-query logging, trace-correlated.
+
+One entry per line, one JSON object per entry — the same framing as the
+front-end protocol, so the log is greppable and machine-parseable with
+zero dependencies.  Two modes share one writer:
+
+* **access log** (``access=True``): every request gets an entry;
+* **slow-query log** (``access=False``): only requests at or above
+  ``slow_seconds``, and every errored request, get one — the
+  production-friendly default.
+
+Every entry carries the request's ``trace_id`` (when tracing is on), so
+a slow entry is a pointer into the trace ring buffer — and because slow
+traces are always retained by the :class:`repro.obs.trace.Tracer`, the
+pointer dereferences.  Entries also inline the *stage annotations*
+mined from the request's own spans (plan-cache tier, per-stage compile
+times, doc-store resolution, evaluation shape), so the common question
+— "which stage ate the time" — is answerable from the log line alone.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from typing import IO
+
+
+class StructuredLog:
+    """A thread-safe NDJSON sink (path or open text stream).
+
+    Entries are written with ``sort_keys`` so diffs and greps are
+    stable; each ``write`` is one line, flushed, under a lock — safe
+    from pool workers and executor threads alike.
+    """
+
+    def __init__(self, target: str | IO[str]) -> None:
+        self._lock = threading.Lock()
+        if isinstance(target, str):
+            self._stream: IO[str] = open(target, "a", encoding="utf-8")
+            self._owns_stream = True
+            self.path: str | None = target
+        else:
+            self._stream = target
+            self._owns_stream = False
+            self.path = None
+        self._entries = 0
+
+    def write(self, entry: dict) -> None:
+        line = json.dumps(entry, sort_keys=True, separators=(",", ":"))
+        with self._lock:
+            self._stream.write(line + "\n")
+            self._stream.flush()
+            self._entries += 1
+
+    @property
+    def entries(self) -> int:
+        with self._lock:
+            return self._entries
+
+    def close(self) -> None:
+        with self._lock:
+            if self._owns_stream and not self._stream.closed:
+                self._stream.close()
+
+    def __enter__(self) -> "StructuredLog":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+#: Span names whose attributes are mined into slow-entry annotations.
+_ANNOTATED_PREFIXES = ("plan", "compile.", "docstore.", "queue.", "evaluate")
+
+
+def annotations_from_spans(spans: list[dict]) -> dict:
+    """Condense a trace's spans into per-stage log annotations.
+
+    Returns ``{span_name: {"ms": duration, ...attributes}}``; repeated
+    names (per-stage compile spans across retries) accumulate their
+    durations and keep the last attributes.
+    """
+    summary: dict[str, dict] = {}
+    for span in spans:
+        name = span["name"]
+        if not name.startswith(_ANNOTATED_PREFIXES):
+            continue
+        entry = summary.get(name)
+        if entry is None:
+            entry = summary[name] = {"ms": 0.0}
+        entry["ms"] += span["duration_ms"]
+        for key, value in span["attributes"].items():
+            entry[key] = value
+        if span.get("error"):
+            entry["error"] = span["error"]
+    return summary
+
+
+class AccessLogger:
+    """Decides which requests get a log entry, and writes them.
+
+    ``slow_seconds`` is the slow-query threshold (``None`` disables the
+    slow classification); ``access`` selects access-log mode (log
+    everything) over slow-log mode (slow + errored only).
+    """
+
+    def __init__(
+        self,
+        log: StructuredLog,
+        slow_seconds: float | None = None,
+        access: bool = False,
+    ) -> None:
+        self.log = log
+        self.slow_seconds = slow_seconds
+        self.access = access
+
+    # ------------------------------------------------------------------
+    def record(
+        self,
+        *,
+        tenant: str | None,
+        query: str | None,
+        duration: float,
+        error: str | None = None,
+        trace: dict | None = None,
+        trace_id: str | None = None,
+        **extra,
+    ) -> bool:
+        """Write one request's entry if it qualifies; returns whether.
+
+        ``trace`` is the request's exported trace record (when its
+        tracer kept it): its id correlates the entry and its spans
+        become the stage annotations.  ``extra`` fields (wave size,
+        answer count, view, algorithm ...) are inlined verbatim.
+        """
+        slow = (
+            self.slow_seconds is not None and duration >= self.slow_seconds
+        )
+        if not (self.access or slow or error is not None):
+            return False
+        entry: dict = {
+            "ts": time.time(),
+            "tenant": tenant,
+            "query": query,
+            "duration_ms": duration * 1000.0,
+            "slow": slow,
+        }
+        if error is not None:
+            entry["error"] = error
+        if trace is not None:
+            entry["trace_id"] = trace["trace_id"]
+            stages = annotations_from_spans(trace["spans"])
+            if stages:
+                entry["stages"] = stages
+        elif trace_id is not None:
+            entry["trace_id"] = trace_id
+        entry.update(extra)
+        self.log.write(entry)
+        return True

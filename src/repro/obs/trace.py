@@ -1,0 +1,404 @@
+"""Request tracing: trace-id/span-id span trees with ambient propagation.
+
+The model is deliberately small — a :class:`Span` is a named, monotonic
+``[start, end)`` interval with typed attributes and a parent link; a
+*trace* is the set of spans sharing one trace id, rooted at the span the
+:class:`Tracer` opened for the request.  What makes it useful across
+this codebase's layers is the propagation contract:
+
+* the **current span** lives in a :mod:`contextvars` variable, so the
+  asyncio front-end's per-request tasks each see their own root;
+* crossing into a thread (``run_in_executor``, the
+  :class:`repro.serve.pool.ExecutionPool`) is the *caller's* job:
+  capture ``contextvars.copy_context()`` where the trace is active and
+  ``ctx.run(...)`` on the other side.  The pool and the admission
+  controller both do this, so a span opened inside a pool worker
+  attaches to the request that dispatched the work — never to a
+  neighbouring wave's trace;
+* layers that merely *annotate* (the compile pipeline, the document
+  store) call the module-level :func:`span` / :func:`add_span` helpers,
+  which cost one contextvar read and do nothing unless a trace is
+  active — no tracer reference is threaded through their constructors.
+
+Retention: the sampling decision is probabilistic per trace
+(``sample_rate``), but errored traces and traces slower than
+``slow_seconds`` are always kept — the traces an operator actually
+wants are exactly the ones sampling would lose.  Finished traces land
+in a bounded ring-buffer :class:`TraceStore` whose JSON export is what
+the front-end's ``trace`` op and the ``repro obs`` CLI read.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import random
+import threading
+import time
+from collections import deque
+from contextvars import ContextVar
+
+#: Attribute values allowed on spans (JSON-safe scalars).
+AttrValue = str | int | float | bool | None
+
+#: The ambient current span.  ``None`` means no trace is active in this
+#: context and every instrumentation helper is a no-op.
+_ACTIVE: ContextVar["Span | None"] = ContextVar("repro_obs_span", default=None)
+
+
+class _ActiveTrace:
+    """Mutable per-trace state shared by all of the trace's spans.
+
+    Spans can finish on different threads (event loop, executor
+    threads, pool workers), so the finished-span list is lock-guarded.
+    ``origin`` is the ``perf_counter`` instant of the root's start —
+    every span start/end is stored relative to it, which keeps the
+    export monotonic and immune to wall-clock steps.
+    """
+
+    __slots__ = (
+        "trace_id",
+        "origin",
+        "started_at",
+        "sampled",
+        "spans",
+        "lock",
+        "_next_span",
+    )
+
+    def __init__(self, trace_id: str, sampled: bool) -> None:
+        self.trace_id = trace_id
+        self.origin = time.perf_counter()
+        self.started_at = time.time()
+        self.sampled = sampled
+        self.spans: list[Span] = []
+        self.lock = threading.Lock()
+        self._next_span = 0
+
+    def next_span_id(self) -> str:
+        with self.lock:
+            self._next_span += 1
+            return f"{self.trace_id}-{self._next_span:03d}"
+
+    def finish(self, span: "Span") -> None:
+        with self.lock:
+            self.spans.append(span)
+
+
+class Span:
+    """One named interval of one trace.
+
+    ``start``/``end`` are ``perf_counter`` instants (monotonic);
+    ``attributes`` holds JSON-safe scalars; ``error`` is a one-line
+    classification set when the spanned work raised (or when the caller
+    marks a failure explicitly via :meth:`fail`).
+    """
+
+    __slots__ = (
+        "trace",
+        "span_id",
+        "parent_id",
+        "name",
+        "start",
+        "end",
+        "attributes",
+        "error",
+    )
+
+    def __init__(
+        self,
+        trace: _ActiveTrace,
+        name: str,
+        parent_id: str | None,
+        start: float | None = None,
+    ) -> None:
+        self.trace = trace
+        self.span_id = trace.next_span_id()
+        self.parent_id = parent_id
+        self.name = name
+        self.start = time.perf_counter() if start is None else start
+        self.end: float | None = None
+        self.attributes: dict[str, AttrValue] = {}
+        self.error: str | None = None
+
+    # ------------------------------------------------------------------
+    @property
+    def trace_id(self) -> str:
+        return self.trace.trace_id
+
+    @property
+    def duration(self) -> float:
+        """Seconds spanned (0.0 while unfinished)."""
+        return 0.0 if self.end is None else self.end - self.start
+
+    def set(self, **attributes: AttrValue) -> "Span":
+        """Attach attributes (later calls overwrite same-named keys)."""
+        self.attributes.update(attributes)
+        return self
+
+    def fail(self, error: str) -> "Span":
+        """Mark the span (and hence its trace) as errored."""
+        self.error = error
+        return self
+
+    def finish(self, end: float | None = None) -> None:
+        """Close the interval and hand the span to its trace (idempotent)."""
+        if self.end is not None:
+            return
+        self.end = time.perf_counter() if end is None else end
+        self.trace.finish(self)
+
+    # ------------------------------------------------------------------
+    def as_dict(self) -> dict:
+        """JSON record; times are milliseconds relative to the root start."""
+        return {
+            "trace_id": self.trace.trace_id,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "name": self.name,
+            "start_ms": (self.start - self.trace.origin) * 1000.0,
+            "duration_ms": self.duration * 1000.0,
+            "attributes": dict(self.attributes),
+            "error": self.error,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Span({self.name!r}, id={self.span_id}, "
+            f"duration={self.duration * 1000:.2f}ms)"
+        )
+
+
+# ----------------------------------------------------------------------
+# Ambient helpers (the instrumentation surface lower layers use)
+# ----------------------------------------------------------------------
+def current_span() -> Span | None:
+    """The context's active span, or ``None`` outside any trace."""
+    return _ACTIVE.get()
+
+
+@contextlib.contextmanager
+def span(name: str, **attributes: AttrValue):
+    """Open a child span of the context's active span.
+
+    Yields the new :class:`Span` (so callers can ``.set(...)`` more
+    attributes as they learn them) — or ``None``, doing nothing, when no
+    trace is active.  An exception raised inside the block marks the
+    span errored and propagates.
+    """
+    parent = _ACTIVE.get()
+    if parent is None:
+        yield None
+        return
+    child = Span(parent.trace, name, parent.span_id)
+    if attributes:
+        child.attributes.update(attributes)
+    token = _ACTIVE.set(child)
+    try:
+        yield child
+    except BaseException as error:
+        child.error = f"{type(error).__name__}: {error}"
+        raise
+    finally:
+        _ACTIVE.reset(token)
+        child.finish()
+
+
+def add_span(
+    name: str, start: float, end: float, **attributes: AttrValue
+) -> Span | None:
+    """Record an already-timed interval as a child of the active span.
+
+    For work whose timing is measured out-of-band — the pool's
+    queue-wait, a shared evaluation pass attributed to each admitted
+    request — where a context-manager span cannot wrap the interval.
+    ``start``/``end`` are ``perf_counter`` instants.
+    """
+    parent = _ACTIVE.get()
+    if parent is None:
+        return None
+    child = Span(parent.trace, name, parent.span_id, start=start)
+    if attributes:
+        child.attributes.update(attributes)
+    child.finish(end)
+    return child
+
+
+# ----------------------------------------------------------------------
+def span_roots(trace: dict) -> list[dict]:
+    """Assemble a trace export's flat span list into nested trees.
+
+    Returns the root spans (no parent in the record), each with a
+    ``children`` list, recursively, ordered by start time.  Used by the
+    ``repro obs`` pretty-printer and the smoke checks that assert a
+    trace is *complete* (one root whose tree covers every tier).
+    """
+    nodes = {s["span_id"]: dict(s, children=[]) for s in trace["spans"]}
+    roots: list[dict] = []
+    for node in nodes.values():
+        parent = nodes.get(node["parent_id"])
+        if parent is None:
+            roots.append(node)
+        else:
+            parent["children"].append(node)
+    for node in nodes.values():
+        node["children"].sort(key=lambda child: child["start_ms"])
+    roots.sort(key=lambda root: root["start_ms"])
+    return roots
+
+
+class TraceStore:
+    """A bounded ring buffer of finished trace records (thread-safe).
+
+    Holds plain JSON-safe dicts, not live spans — a stored trace is an
+    immutable export.  The newest ``capacity`` traces win; the oldest
+    are silently dropped (``dropped`` counts them).
+    """
+
+    def __init__(self, capacity: int = 256) -> None:
+        if capacity < 1:
+            raise ValueError(f"trace store capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self._traces: deque[dict] = deque(maxlen=capacity)
+        self._lock = threading.Lock()
+        self._kept = 0
+        self._dropped = 0
+
+    def add(self, trace: dict) -> None:
+        with self._lock:
+            if len(self._traces) == self.capacity:
+                self._dropped += 1
+            self._traces.append(trace)
+            self._kept += 1
+
+    def recent(self, limit: int | None = None) -> list[dict]:
+        """Newest-first export of up to ``limit`` traces."""
+        with self._lock:
+            traces = list(self._traces)
+        traces.reverse()
+        return traces if limit is None else traces[:limit]
+
+    @property
+    def kept(self) -> int:
+        """Traces retained (sampled, errored or slow) since start."""
+        with self._lock:
+            return self._kept
+
+    @property
+    def dropped(self) -> int:
+        """Retained traces later evicted by the ring bound."""
+        with self._lock:
+            return self._dropped
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._traces)
+
+
+class Tracer:
+    """Factory of request traces; owns sampling and the ring buffer.
+
+    ``sample_rate`` is the probabilistic keep fraction (1.0 = keep all,
+    0.0 = keep none); errored traces, and traces slower than
+    ``slow_seconds`` (when set), are kept regardless — sampling controls
+    volume, never visibility of failures.  ``seed`` makes the sampling
+    stream deterministic for tests.
+    """
+
+    def __init__(
+        self,
+        sample_rate: float = 1.0,
+        slow_seconds: float | None = None,
+        capacity: int = 256,
+        seed: int | None = None,
+    ) -> None:
+        if not 0.0 <= sample_rate <= 1.0:
+            raise ValueError(
+                f"sample_rate must be in [0, 1], got {sample_rate}"
+            )
+        if slow_seconds is not None and slow_seconds < 0:
+            raise ValueError(f"slow_seconds must be >= 0, got {slow_seconds}")
+        self.sample_rate = sample_rate
+        self.slow_seconds = slow_seconds
+        self.store = TraceStore(capacity)
+        self._rng = random.Random(seed)
+        self._lock = threading.Lock()
+        self._next_trace = 0
+        self._started = 0
+
+    # ------------------------------------------------------------------
+    def _new_trace_id(self) -> str:
+        with self._lock:
+            self._next_trace += 1
+            self._started += 1
+            serial = self._next_trace
+        return f"{self._rng.getrandbits(32):08x}{serial:08x}"
+
+    def _decide_sample(self) -> bool:
+        if self.sample_rate >= 1.0:
+            return True
+        if self.sample_rate <= 0.0:
+            return False
+        with self._lock:
+            return self._rng.random() < self.sample_rate
+
+    @property
+    def started(self) -> int:
+        """Root traces ever opened (kept or not)."""
+        with self._lock:
+            return self._started
+
+    # ------------------------------------------------------------------
+    @contextlib.contextmanager
+    def trace(self, name: str, **attributes: AttrValue):
+        """Open a root span (a new trace) in the current context.
+
+        On exit the trace's retention is decided: kept when sampled, or
+        when the root erred, or when the root's duration reached
+        ``slow_seconds``.  Nested calls start *independent* traces only
+        when no trace is active; inside one, this degrades to a child
+        span so instrumented layers compose without double roots.
+        """
+        if _ACTIVE.get() is not None:
+            with span(name, **attributes) as child:
+                yield child
+            return
+        active = _ActiveTrace(self._new_trace_id(), self._decide_sample())
+        root = Span(active, name, parent_id=None)
+        if attributes:
+            root.attributes.update(attributes)
+        token = _ACTIVE.set(root)
+        try:
+            yield root
+        except BaseException as error:
+            root.error = f"{type(error).__name__}: {error}"
+            raise
+        finally:
+            _ACTIVE.reset(token)
+            root.finish()
+            self._retain(active, root)
+
+    def _retain(self, active: _ActiveTrace, root: Span) -> None:
+        errored = any(s.error for s in active.spans)
+        slow = (
+            self.slow_seconds is not None
+            and root.duration >= self.slow_seconds
+        )
+        if not (active.sampled or errored or slow):
+            return
+        reason = (
+            "error" if errored else ("slow" if slow else "sampled")
+        )
+        self.store.add(self.export_trace(active, root, reason))
+
+    @staticmethod
+    def export_trace(active: _ActiveTrace, root: Span, reason: str) -> dict:
+        """The immutable JSON record one finished trace stores."""
+        spans = sorted(active.spans, key=lambda s: s.start)
+        return {
+            "trace_id": active.trace_id,
+            "root": root.name,
+            "started_at": active.started_at,
+            "duration_ms": root.duration * 1000.0,
+            "kept": reason,
+            "spans": [s.as_dict() for s in spans],
+        }

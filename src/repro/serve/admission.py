@@ -29,11 +29,15 @@ the batching win now arises from traffic itself.
 from __future__ import annotations
 
 import asyncio
+import contextvars
+import functools
+import time
 from concurrent.futures import Executor
 from dataclasses import dataclass
 
 from ..engine.smoqe import QueryAnswer
 from ..errors import ReproError
+from ..obs.trace import add_span, current_span
 from .batch import BatchStats
 from .service import QueryRequest, QueryService, WaveResult
 
@@ -87,7 +91,18 @@ class AdmissionController:
         self.service = service
         self.config = config or AdmissionConfig()
         self._executor = executor
-        self._pending: list[tuple[QueryRequest, asyncio.Future]] = []
+        # Each pending entry: (request, future, captured contextvars
+        # context or None, arrival perf_counter).  The context is taken
+        # where the request's trace is active, so spans recorded during
+        # the off-loop wave evaluation attach to the right trace.
+        self._pending: list[
+            tuple[
+                QueryRequest,
+                asyncio.Future,
+                contextvars.Context | None,
+                float,
+            ]
+        ] = []
         self._collecting = False
         self._wave_full: asyncio.Event | None = None
         # Strong refs to fire-and-forget tasks (overflow re-leads,
@@ -103,7 +118,12 @@ class AdmissionController:
         """
         loop = asyncio.get_running_loop()
         future: asyncio.Future = loop.create_future()
-        self._pending.append((request, future))
+        # Capture the trace context only when a trace is actually active:
+        # with tracing off this is one contextvar read per request.
+        ctx = (
+            contextvars.copy_context() if current_span() is not None else None
+        )
+        self._pending.append((request, future, ctx, time.perf_counter()))
         if self._collecting:
             if (
                 len(self._pending) >= self.config.max_wave
@@ -155,7 +175,7 @@ class AdmissionController:
         self._housekeeping.add(task)
         task.add_done_callback(self._housekeeping.discard)
 
-    def _take_wave(self) -> list[tuple[QueryRequest, asyncio.Future]]:
+    def _take_wave(self) -> list[tuple]:
         """Close the open wave, capped at ``max_wave`` requests.
 
         A burst can append past the cap between the full-event firing and
@@ -176,24 +196,47 @@ class AdmissionController:
         if self._pending and not self._collecting:
             await self._lead_wave()
 
-    async def _dispatch(
-        self, wave: list[tuple[QueryRequest, asyncio.Future]]
-    ) -> None:
+    async def _dispatch(self, wave: list[tuple]) -> None:
         """Evaluate one wave off-loop and fan results out to the waiters."""
         if not wave:
             return
         loop = asyncio.get_running_loop()
-        requests = [request for request, _future in wave]
+        requests = [request for request, _future, _ctx, _arrival in wave]
+        contexts = [ctx for _request, _future, ctx, _arrival in wave]
+        # The coalescing window each request sat in, recorded into its
+        # own trace before the wave leaves the loop.  These ctx.run calls
+        # and submit_wave's re-entries of the same contexts are strictly
+        # sequential (loop thread now, one executor thread after).
+        dispatched = time.perf_counter()
+        for _request, _future, ctx, arrival in wave:
+            if ctx is not None:
+                ctx.run(
+                    add_span,
+                    "admission.hold",
+                    arrival,
+                    dispatched,
+                    wave=len(wave),
+                )
+        # Only thread the contexts through when at least one request is
+        # traced — with tracing off the call stays the plain legacy shape.
+        if any(ctx is not None for ctx in contexts):
+            call = functools.partial(
+                self.service.submit_wave, requests, contexts=contexts
+            )
+        else:
+            call = functools.partial(self.service.submit_wave, requests)
         try:
             result: WaveResult = await loop.run_in_executor(
-                self._executor, self.service.submit_wave, requests
+                self._executor, call
             )
         except Exception as error:  # defensive: keep waiters unblocked
-            for _request, future in wave:
+            for _request, future, _ctx, _arrival in wave:
                 if not future.done():
                     future.set_exception(error)
             return
-        for (_request, future), outcome in zip(wave, result.outcomes):
+        for (_request, future, _ctx, _arrival), outcome in zip(
+            wave, result.outcomes
+        ):
             if future.done():  # waiter was cancelled mid-wave
                 continue
             if isinstance(outcome, ReproError):

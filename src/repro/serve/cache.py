@@ -43,6 +43,7 @@ from ..compile.artifact import PlanArtifact, PlanKey
 from ..compile.pipeline import NormalizedQuery, QueryCompiler
 from ..compile.store import PlanStore
 from ..hype.core import CompiledPlan
+from ..obs.trace import span
 from ..views.spec import ViewSpec
 from ..xpath import ast
 from ..xpath.normalize import normal_form
@@ -211,35 +212,42 @@ class PlanCache:
         written back to the store, so every process sharing the
         directory — and every future restart — starts warm.
         """
-        normalized = self.compiler.normalize(query)
-        key = self.compiler.plan_key(spec, normalized)
-        while True:
-            with self._lock:
-                entry = self._entries.get(key)
-                if entry is not None:
-                    self._entries.move_to_end(key)
-                    self._stats.hits += 1
-                    return entry  # type: ignore[return-value]
-                gate = self._resolving.get(key)
-                if gate is None:
-                    # We own this key's resolution; the gate is released
-                    # (and removed) once the entry is published.
-                    gate = self._resolving[key] = threading.Lock()
-                    gate.acquire()
-                    break
-            # Someone else is resolving this key: wait for their gate,
-            # then re-check L1 (or take over if they failed).
-            with gate:
-                pass
-        try:
-            return self._resolve(key, spec, normalized)
-        finally:
-            with self._lock:
-                self._resolving.pop(key, None)
-            gate.release()
+        with span("plan") as plan_span:
+            normalized = self.compiler.normalize(query)
+            key = self.compiler.plan_key(spec, normalized)
+            while True:
+                with self._lock:
+                    entry = self._entries.get(key)
+                    if entry is not None:
+                        self._entries.move_to_end(key)
+                        self._stats.hits += 1
+                        if plan_span is not None:
+                            plan_span.set(tier="l1")
+                        return entry  # type: ignore[return-value]
+                    gate = self._resolving.get(key)
+                    if gate is None:
+                        # We own this key's resolution; the gate is released
+                        # (and removed) once the entry is published.
+                        gate = self._resolving[key] = threading.Lock()
+                        gate.acquire()
+                        break
+                # Someone else is resolving this key: wait for their gate,
+                # then re-check L1 (or take over if they failed).
+                with gate:
+                    pass
+            try:
+                return self._resolve(key, spec, normalized, plan_span)
+            finally:
+                with self._lock:
+                    self._resolving.pop(key, None)
+                gate.release()
 
     def _resolve(
-        self, key: Hashable, spec: ViewSpec | None, normalized: NormalizedQuery
+        self,
+        key: Hashable,
+        spec: ViewSpec | None,
+        normalized: NormalizedQuery,
+        plan_span=None,
     ) -> CachedPlan:
         """Store probe + compile + write-back for one cold key (gated)."""
         if self.store is not None:
@@ -249,12 +257,16 @@ class PlanCache:
                 with self._lock:
                     self._stats.l2_hits += 1
                     self._store(key, plan)
+                if plan_span is not None:
+                    plan_span.set(tier="l2")
                 return plan
         fresh: PlanArtifact = self.compiler.compile(spec, normalized)
         plan = CachedPlan(fresh.mfa, artifact=fresh)
         with self._lock:
             self._stats.misses += 1
             self._store(key, plan)
+        if plan_span is not None:
+            plan_span.set(tier="compile")
         # Write-back after publication: the save is atomic and idempotent,
         # so waiters (already served from L1) never queue behind it.
         if self.store is not None:

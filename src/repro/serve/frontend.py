@@ -16,7 +16,19 @@ Protocol (one request object per line, one reply object per line)::
                                                         "wave": {"size": k, "lanes": l, ...}}
     {"op": "close",   "session": S}                 -> {"ok": true, "requests": n, ...}
     {"op": "metrics"}                               -> {"ok": true, "metrics": {...}}
+    {"op": "prometheus"}                            -> {"ok": true, "prometheus": "..."}
+    {"op": "trace",   "limit": N?}                  -> {"ok": true, "traces": [...], ...}
     {"op": "ping"}                                  -> {"ok": true, "pong": true}
+
+Observability: construct the front-end with a
+:class:`repro.obs.trace.Tracer` and every query gets a root ``request``
+span whose children cover admission hold, plan/compile, document
+resolution, pool queue-wait and evaluation; retained traces are served
+by the ``trace`` op (newest first).  ``prometheus`` renders the metrics
+snapshot in the Prometheus text exposition
+(:func:`repro.obs.export.render_prometheus`).  An
+:class:`repro.obs.log.AccessLogger` adds trace-correlated NDJSON
+access/slow-query logging.
 
 The ``metrics`` payload is :meth:`MetricsSnapshot.as_dict`, which since
 the two-tier plan cache includes the plan-tier counters
@@ -50,9 +62,13 @@ from __future__ import annotations
 
 import asyncio
 import json
+import time
 from concurrent.futures import Executor
 
 from ..errors import ReproError
+from ..obs.export import render_prometheus
+from ..obs.log import AccessLogger
+from ..obs.trace import Tracer
 from .admission import AdmissionConfig, AdmissionController
 from .service import QueryRequest, QueryService, rejection_kind
 
@@ -81,12 +97,16 @@ class QueryFrontend:
         admission: AdmissionConfig | None = None,
         executor: Executor | None = None,
         max_pending: int = DEFAULT_MAX_PENDING,
+        tracer: Tracer | None = None,
+        access_log: AccessLogger | None = None,
     ) -> None:
         if max_pending < 1:
             raise ValueError(f"max_pending must be >= 1, got {max_pending}")
         self.service = service
         self.admission = AdmissionController(service, admission, executor)
         self.max_pending = max_pending
+        self.tracer = tracer
+        self.access_log = access_log
         self.host: str | None = None
         self.port: int | None = None
         self._server: asyncio.AbstractServer | None = None
@@ -194,7 +214,11 @@ class QueryFrontend:
                 is_query = message.get("op") == "query"
                 if is_query and pending_queries >= self.max_pending:
                     # Backpressure: reject rather than queue without bound.
-                    self.service.metrics.record_rejection("overloaded")
+                    tenant = message.get("tenant")
+                    self.service.metrics.record_rejection(
+                        "overloaded",
+                        tenant=None if tenant is None else str(tenant),
+                    )
                     reply = {
                         "ok": False,
                         "error": "overloaded",
@@ -280,6 +304,26 @@ class QueryFrontend:
             if op == "metrics":
                 snapshot = self.service.metrics_snapshot()
                 return {"ok": True, "metrics": snapshot.as_dict()}
+            if op == "prometheus":
+                snapshot = self.service.metrics_snapshot()
+                return {"ok": True, "prometheus": render_prometheus(snapshot)}
+            if op == "trace":
+                if self.tracer is None:
+                    return {
+                        "ok": False,
+                        "error": "bad-request",
+                        "message": "tracing is not enabled on this server",
+                    }
+                limit = message.get("limit")
+                return {
+                    "ok": True,
+                    "traces": self.tracer.store.recent(
+                        None if limit is None else int(limit)
+                    ),
+                    "kept": self.tracer.store.kept,
+                    "dropped": self.tracer.store.dropped,
+                    "started": self.tracer.started,
+                }
             if op == "ping":
                 return {"ok": True, "pong": True}
             return {
@@ -315,7 +359,65 @@ class QueryFrontend:
             algorithm=message.get("algorithm"),
             session_id=message.get("session"),
         )
-        admitted = await self.admission.submit(request)
+        if self.tracer is None and self.access_log is None:
+            admitted = await self.admission.submit(request)
+            return self._query_reply(request, admitted, limit)
+        started = time.perf_counter()
+        root = None
+        try:
+            if self.tracer is not None:
+                with self.tracer.trace(
+                    "request", tenant=request.tenant, query=str(request.query)
+                ) as root:
+                    admitted = await self.admission.submit(request)
+                    root.set(
+                        answers=len(admitted.answer.nodes),
+                        wave=admitted.wave_size,
+                    )
+            else:
+                admitted = await self.admission.submit(request)
+        except ReproError as error:
+            self._log_query(
+                request,
+                time.perf_counter() - started,
+                root,
+                error=rejection_kind(error),
+            )
+            raise
+        self._log_query(
+            request,
+            time.perf_counter() - started,
+            root,
+            answers=len(admitted.answer.nodes),
+            wave=admitted.wave_size,
+        )
+        return self._query_reply(request, admitted, limit)
+
+    def _log_query(
+        self, request: QueryRequest, duration: float, root, **fields
+    ) -> None:
+        """One access/slow-log entry for a finished (or rejected) query.
+
+        The trace record is exported directly from the finished root
+        span, so log entries carry stage annotations even for traces the
+        sampler chose not to retain in the ring buffer.
+        """
+        if self.access_log is None:
+            return
+        trace = None
+        if root is not None:
+            trace = Tracer.export_trace(root.trace, root, "inline")
+        self.access_log.record(
+            tenant=request.tenant,
+            query=str(request.query),
+            duration=duration,
+            error=fields.pop("error", None),
+            trace=trace,
+            **fields,
+        )
+
+    @staticmethod
+    def _query_reply(request: QueryRequest, admitted, limit: int) -> dict:
         answer = admitted.answer
         ids = answer.ids()
         return {
@@ -341,9 +443,17 @@ async def start_frontend(
     port: int = 0,
     admission: AdmissionConfig | None = None,
     max_pending: int = DEFAULT_MAX_PENDING,
+    tracer: Tracer | None = None,
+    access_log: AccessLogger | None = None,
 ) -> QueryFrontend:
     """Build and start a :class:`QueryFrontend` in one call."""
-    frontend = QueryFrontend(service, admission, max_pending=max_pending)
+    frontend = QueryFrontend(
+        service,
+        admission,
+        max_pending=max_pending,
+        tracer=tracer,
+        access_log=access_log,
+    )
     await frontend.start(host, port)
     return frontend
 
@@ -448,6 +558,15 @@ class FrontendClient:
 
     async def metrics(self) -> dict:
         return await self.request({"op": "metrics"})
+
+    async def prometheus(self) -> dict:
+        return await self.request({"op": "prometheus"})
+
+    async def trace(self, limit: int | None = None) -> dict:
+        message: dict = {"op": "trace"}
+        if limit is not None:
+            message["limit"] = limit
+        return await self.request(message)
 
     async def ping(self) -> dict:
         return await self.request({"op": "ping"})

@@ -10,13 +10,25 @@ numbers drop straight into the benchmark harness' output format.
 from __future__ import annotations
 
 import threading
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, fields
 
 from ..bench.tables import format_series
 from ..compile.pipeline import CompileStats
 from ..compile.store import StoreStats
 from ..docstore.store import DocStoreStats
+from ..obs.hist import Histogram
 from .cache import CacheStats
+
+
+def _stats_fields(stats) -> dict:
+    """Every declared counter of a stats dataclass, by name.
+
+    The parity contract of :meth:`MetricsSnapshot.as_dict`: a counter
+    added to ``CacheStats``/``StoreStats``/``DocStoreStats`` shows up in
+    the JSON payload automatically, so ``describe()`` can never render a
+    number the dict omits (locked by the parity test).
+    """
+    return {f.name: getattr(stats, f.name) for f in fields(stats)}
 
 
 @dataclass
@@ -25,12 +37,17 @@ class LatencyStats:
 
     ``min``/``max`` are ``0.0`` until the first record, so empty stats
     render as zeros instead of leaking a ``float("inf")`` sentinel.
+    Every record also lands in a log-bucket histogram
+    (:class:`repro.obs.hist.Histogram`), so tail percentiles
+    (:attr:`p50`/:attr:`p95`/:attr:`p99`) report alongside the legacy
+    count/mean/min/max aggregates.
     """
 
     count: int = 0
     total: float = 0.0
     min: float = 0.0
     max: float = 0.0
+    hist: Histogram = field(default_factory=Histogram, compare=False)
 
     def record(self, seconds: float) -> None:
         if self.count == 0 or seconds < self.min:
@@ -39,25 +56,57 @@ class LatencyStats:
         self.total += seconds
         if seconds > self.max:
             self.max = seconds
+        self.hist.record(seconds)
 
     @property
     def mean(self) -> float:
         return self.total / self.count if self.count else 0.0
 
+    @property
+    def p50(self) -> float:
+        return self.hist.p50
+
+    @property
+    def p95(self) -> float:
+        return self.hist.p95
+
+    @property
+    def p99(self) -> float:
+        return self.hist.p99
+
     def snapshot(self) -> "LatencyStats":
-        return LatencyStats(self.count, self.total, self.min, self.max)
+        return LatencyStats(
+            self.count, self.total, self.min, self.max, self.hist.copy()
+        )
+
+    def as_dict(self) -> dict:
+        """JSON summary: the legacy aggregate shape plus percentiles."""
+        return {
+            "count": self.count,
+            "mean": self.mean,
+            "min": self.min,
+            "max": self.max,
+            "p50": self.p50,
+            "p95": self.p95,
+            "p99": self.p99,
+        }
 
 
 @dataclass
 class TenantMetrics:
-    """Per-tenant request accounting."""
+    """Per-tenant request accounting (rejections included, so rejected
+    traffic is visible per tenant instead of vanishing into the global
+    counter)."""
 
     requests: int = 0
     answers: int = 0
+    rejections: int = 0
     latency: LatencyStats = field(default_factory=LatencyStats)
 
     def snapshot(self) -> "TenantMetrics":
-        return TenantMetrics(self.requests, self.answers, self.latency.snapshot())
+        return TenantMetrics(
+            self.requests, self.answers, self.rejections, self.latency.snapshot()
+        )
 
 
 @dataclass
@@ -146,6 +195,7 @@ class MetricsSnapshot:
             extra={
                 "requests": [self.tenants[t].requests for t in tenants],
                 "answers": [self.tenants[t].answers for t in tenants],
+                "rejections": [self.tenants[t].rejections for t in tenants],
             },
         )
 
@@ -228,7 +278,10 @@ class MetricsSnapshot:
                 f"{self.in_flight_evaluations} in flight "
                 f"(peak {self.peak_in_flight}); "
                 f"queue wait mean {self.queue_wait.mean * 1000:.2f} ms, "
-                f"evaluate mean {self.latency.mean * 1000:.2f} ms"
+                f"evaluate mean {self.latency.mean * 1000:.2f} ms "
+                f"(p50 {self.latency.p50 * 1000:.2f} / "
+                f"p95 {self.latency.p95 * 1000:.2f} / "
+                f"p99 {self.latency.p99 * 1000:.2f} ms)"
             )
         return "\n".join(lines)
 
@@ -247,18 +300,8 @@ class MetricsSnapshot:
             "batched_queries": self.batched_queries,
             "batch_visited": self.batch_visited,
             "sequential_visited": self.sequential_visited,
-            "latency": {
-                "count": self.latency.count,
-                "mean": self.latency.mean,
-                "min": self.latency.min,
-                "max": self.latency.max,
-            },
-            "queue_wait": {
-                "count": self.queue_wait.count,
-                "mean": self.queue_wait.mean,
-                "min": self.queue_wait.min,
-                "max": self.queue_wait.max,
-            },
+            "latency": self.latency.as_dict(),
+            "queue_wait": self.queue_wait.as_dict(),
             "in_flight_evaluations": self.in_flight_evaluations,
             "pool": {
                 "size": self.pool_size,
@@ -268,43 +311,26 @@ class MetricsSnapshot:
             "plan_l2_hits": self.plan_l2_hits,
             "plan_misses": self.plan_misses,
             "cache": {
-                "hits": self.cache.hits,
+                **_stats_fields(self.cache),
                 "l1_hits": self.cache.l1_hits,
-                "l2_hits": self.cache.l2_hits,
-                "misses": self.cache.misses,
-                "evictions": self.cache.evictions,
                 "hit_rate": self.cache.hit_rate,
             },
             "compile": self.compile.as_dict(),
             "plan_store": None
             if self.store is None
-            else {
-                "hits": self.store.hits,
-                "misses": self.store.misses,
-                "corrupt": self.store.corrupt,
-                "stores": self.store.stores,
-                "errors": self.store.errors,
-                "gc_removed": self.store.gc_removed,
-            },
+            else _stats_fields(self.store),
             "doc_hits": self.doc_hits,
             "doc_index_builds": self.doc_index_builds,
             "doc_store": None
             if self.doc_store is None
-            else {
-                "hits": self.doc_store.hits,
-                "misses": self.doc_store.misses,
-                "index_builds": self.doc_store.index_builds,
-                "index_loads": self.doc_store.index_loads,
-                "index_stores": self.doc_store.index_stores,
-                "corrupt": self.doc_store.corrupt,
-                "errors": self.doc_store.errors,
-                "evictions": self.doc_store.evictions,
-            },
+            else _stats_fields(self.doc_store),
             "tenants": {
                 name: {
                     "requests": tm.requests,
                     "answers": tm.answers,
+                    "rejections": tm.rejections,
                     "mean_latency": tm.latency.mean,
+                    "max_latency": tm.latency.max,
                 }
                 for name, tm in sorted(self.tenants.items())
             },
@@ -352,11 +378,23 @@ class ServiceMetrics:
             per_tenant.answers += answers
             per_tenant.latency.record(eval_seconds)
 
-    def record_rejection(self, kind: str = "service") -> None:
-        """Count one rejected request, classified by failure ``kind``."""
+    def record_rejection(
+        self, kind: str = "service", tenant: str | None = None
+    ) -> None:
+        """Count one rejected request, classified by failure ``kind``.
+
+        When the rejected request named a ``tenant``, the rejection is
+        also attributed to that tenant's row, so per-tenant dashboards
+        see rejected traffic rather than only the global total.
+        """
         with self._lock:
             self._rejected += 1
             self._rejected_kinds[kind] = self._rejected_kinds.get(kind, 0) + 1
+            if tenant is not None:
+                per_tenant = self._tenants.get(tenant)
+                if per_tenant is None:
+                    per_tenant = self._tenants[tenant] = TenantMetrics()
+                per_tenant.rejections += 1
 
     def record_wave(self, size: int, admitted: int) -> None:
         """Count one admission wave of ``size`` requests (``admitted`` of

@@ -29,6 +29,7 @@ the pool, so this cannot arise there.
 
 from __future__ import annotations
 
+import contextvars
 import threading
 import time
 from concurrent.futures import Future, ThreadPoolExecutor
@@ -47,11 +48,19 @@ class PoolOutcome:
     (all workers busy); ``eval_seconds`` is the time the job itself ran.
     The metrics layer records the two separately so pool overlap is
     measurable instead of being folded into "latency".
+
+    ``enqueued``/``started``/``finished`` are the absolute
+    ``perf_counter`` instants behind those durations, so tracing callers
+    can attach queue-wait and evaluate spans at the times the phases
+    actually happened rather than re-timing around the pool.
     """
 
     result: Any
     queue_wait: float
     eval_seconds: float
+    enqueued: float = 0.0
+    started: float = 0.0
+    finished: float = 0.0
 
 
 class ExecutionPool:
@@ -75,26 +84,43 @@ class ExecutionPool:
         return self.dispatch(work).result()
 
     def dispatch(self, work: Callable[[], Any]) -> "Future[PoolOutcome]":
-        """Queue ``work``; the future resolves to its :class:`PoolOutcome`."""
-        enqueued = time.perf_counter()
-        return self._executor.submit(self._run, work, enqueued)
+        """Queue ``work``; the future resolves to its :class:`PoolOutcome`.
 
-    def _run(self, work: Callable[[], Any], enqueued: float) -> PoolOutcome:
+        The dispatcher's :mod:`contextvars` context is captured here and
+        entered on the worker, so an active trace span (or any other
+        context state) propagates across the thread hop —
+        ``ThreadPoolExecutor`` alone would run the job in the worker's
+        own empty context.
+        """
+        enqueued = time.perf_counter()
+        ctx = contextvars.copy_context()
+        return self._executor.submit(self._run, work, enqueued, ctx)
+
+    def _run(
+        self,
+        work: Callable[[], Any],
+        enqueued: float,
+        ctx: contextvars.Context,
+    ) -> PoolOutcome:
         started = time.perf_counter()
         with self._lock:
             self._in_flight += 1
             if self._in_flight > self._peak_in_flight:
                 self._peak_in_flight = self._in_flight
         try:
-            result = work()
+            result = ctx.run(work)
         finally:
             with self._lock:
                 self._in_flight -= 1
                 self._completed += 1
+        finished = time.perf_counter()
         return PoolOutcome(
             result=result,
             queue_wait=started - enqueued,
-            eval_seconds=time.perf_counter() - started,
+            eval_seconds=finished - started,
+            enqueued=enqueued,
+            started=started,
+            finished=finished,
         )
 
     # ------------------------------------------------------------------

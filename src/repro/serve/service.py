@@ -27,6 +27,8 @@ separately.
 
 from __future__ import annotations
 
+import contextvars
+import time
 from dataclasses import dataclass
 
 from ..compile.store import PlanStore
@@ -35,6 +37,7 @@ from ..docstore.store import DocumentStore
 from ..engine.smoqe import QueryAnswer
 from ..errors import AuthorizationError, ReproError, ServiceError, ViewError
 from ..hype.api import ALGORITHMS, HYPE
+from ..obs.trace import add_span, span
 from ..views.spec import ViewSpec
 from ..xpath import ast
 from ..xpath.parser import parse_query
@@ -281,7 +284,7 @@ class QueryService:
         except ReproError as error:
             # Parse/rewrite failures reject a request just as authorisation
             # failures do; classify so every rejection is counted.
-            self.metrics.record_rejection(rejection_kind(error))
+            self.metrics.record_rejection(rejection_kind(error), tenant=tenant)
             raise
         doc = self._resolve_document()
         compiled = plan.compiled(algo, doc.tree, doc)
@@ -289,6 +292,15 @@ class QueryService:
             lambda: compiled.run(doc.tree.root, layout=doc.layout)
         )
         result = outcome.result
+        add_span("queue.wait", outcome.enqueued, outcome.started)
+        add_span(
+            "evaluate",
+            outcome.started,
+            outcome.finished,
+            algorithm=algo,
+            answers=len(result.answers),
+            visited=result.stats.visited_elements,
+        )
         self.metrics.record_request(
             tenant, outcome.queue_wait, outcome.eval_seconds, len(result.answers)
         )
@@ -323,11 +335,17 @@ class QueryService:
             try:
                 grants.append(self._admit(request))
             except ReproError as error:
-                self.metrics.record_rejection(rejection_kind(error))
+                self.metrics.record_rejection(
+                    rejection_kind(error), tenant=request.tenant
+                )
                 raise
         return self._evaluate_grants(grants)
 
-    def submit_wave(self, requests: list[QueryRequest]) -> WaveResult:
+    def submit_wave(
+        self,
+        requests: list[QueryRequest],
+        contexts: list[contextvars.Context | None] | None = None,
+    ) -> WaveResult:
         """Serve one admission wave with per-request outcomes.
 
         The wave-friendly sibling of :meth:`submit_many`: requests that
@@ -336,23 +354,41 @@ class QueryService:
         admitted request still shares one evaluation pass.  This is the
         entry point the async front-end dispatches coalesced waves
         through.
+
+        ``contexts`` (parallel to ``requests``) carries each request's
+        captured :mod:`contextvars` context — when a slot has one, its
+        admission (plan/compile spans) runs inside it and the shared
+        pass's timings are mirrored into it, so every request's trace
+        shows the full wave it rode in.  The per-slot ``ctx.run`` calls
+        are sequential in this one thread: a Context object must never
+        be entered concurrently.
         """
         if not requests:
             return WaveResult([], BatchStats())
         outcomes: list[QueryAnswer | ReproError] = [None] * len(requests)
         grants = []
+        grant_contexts: list[contextvars.Context | None] = []
         admitted_slots: list[int] = []
         for slot, request in enumerate(requests):
+            ctx = contexts[slot] if contexts is not None else None
             try:
-                grant = self._admit(request)
+                if ctx is not None:
+                    grant = ctx.run(self._admit, request)
+                else:
+                    grant = self._admit(request)
             except ReproError as error:
-                self.metrics.record_rejection(rejection_kind(error))
+                self.metrics.record_rejection(
+                    rejection_kind(error), tenant=request.tenant
+                )
                 outcomes[slot] = error
                 continue
             grants.append(grant)
+            grant_contexts.append(ctx)
             admitted_slots.append(slot)
         if grants:
-            answers, stats = self._evaluate_grants(grants)
+            answers, stats = self._evaluate_grants(
+                grants, contexts=grant_contexts
+            )
         else:
             answers, stats = [], BatchStats()
         for slot, answer in zip(admitted_slots, answers):
@@ -372,11 +408,16 @@ class QueryService:
         strong reference if the store has evicted the entry.
         """
         store = self._document_store
-        if store is not None:
-            doc = store.resolve(self._doc.content_hash, uses=uses)
-            if doc is not None:
-                return doc
-        return self._doc
+        with span("docstore.resolve", uses=uses) as resolve_span:
+            if store is not None:
+                doc = store.resolve(self._doc.content_hash, uses=uses)
+                if doc is not None:
+                    if resolve_span is not None:
+                        resolve_span.set(source="store")
+                    return doc
+            if resolve_span is not None:
+                resolve_span.set(source="local")
+            return self._doc
 
     def _admit(self, request: QueryRequest):
         """Authorise + plan one request (the pre-evaluation gate)."""
@@ -387,15 +428,24 @@ class QueryService:
         return (request, binding, algo, plan, query_text, session)
 
     def _evaluate_grants(
-        self, grants: list
+        self,
+        grants: list,
+        contexts: list[contextvars.Context | None] | None = None,
     ) -> tuple[list[QueryAnswer], BatchStats]:
         """Run admitted grants through one shared pass and account them.
 
         Requests resolving to the same compiled plan — e.g. two tenants
         bound to one view posing the same query — share one lane, so the
         plan's memo tables are filled once and read by every request.
+
+        Shared-pass phases (document resolution, queue wait, the batched
+        evaluation) happen once per wave but serve every grant — with
+        ``contexts`` they are mirrored as spans into *each* request's
+        trace, at the absolute instants the shared work ran.
         """
+        resolve_start = time.perf_counter()
         doc = self._resolve_document(uses=len(grants))
+        resolve_end = time.perf_counter()
         lane_of: dict[int, int] = {}
         lanes = []
         request_lane: list[int] = []
@@ -414,10 +464,38 @@ class QueryService:
         wait_share = pooled.queue_wait / len(grants)
         eval_share = pooled.eval_seconds / len(grants)
         answers: list[QueryAnswer] = []
-        for (request, binding, algo, plan, query_text, session), lane in zip(
-            grants, request_lane
-        ):
+        for index, (
+            (request, binding, algo, plan, query_text, session),
+            lane,
+        ) in enumerate(zip(grants, request_lane)):
             result = outcome.results[lane]
+            ctx = contexts[index] if contexts is not None else None
+            if ctx is not None:
+                # Mirror the shared-pass phases into this request's trace
+                # at their real absolute times.  Sequential ctx.run calls:
+                # a Context must not be entered from two threads at once.
+                ctx.run(
+                    add_span,
+                    "docstore.resolve",
+                    resolve_start,
+                    resolve_end,
+                    uses=len(grants),
+                )
+                ctx.run(
+                    add_span, "queue.wait", pooled.enqueued, pooled.started
+                )
+                ctx.run(
+                    add_span,
+                    "evaluate",
+                    pooled.started,
+                    pooled.finished,
+                    algorithm=algo,
+                    wave=len(grants),
+                    lanes=len(lanes),
+                    lane=lane,
+                    answers=len(result.answers),
+                    visited=outcome.stats.visited_elements,
+                )
             self.metrics.record_request(
                 request.tenant, wait_share, eval_share, len(result.answers)
             )

@@ -1,0 +1,233 @@
+"""Export-surface tests: Prometheus exposition + structured NDJSON logs."""
+
+import io
+import json
+
+import pytest
+
+from repro.obs.export import parse_exposition, render_prometheus
+from repro.obs.log import AccessLogger, StructuredLog, annotations_from_spans
+from repro.serve.service import QueryService
+from repro.workloads.hospital import HospitalConfig, generate_hospital_document
+from repro.workloads.traffic import TrafficConfig, register_tenants
+
+
+@pytest.fixture()
+def served_metrics():
+    """A snapshot with real traffic behind it (hits, misses, tenants,
+    latency samples, one rejection)."""
+    tree = generate_hospital_document(HospitalConfig(num_patients=12, seed=3))
+    service = QueryService(tree)
+    register_tenants(service, TrafficConfig(num_tenants=2, seed=3))
+    tenants = [t for t in service.tenants() if t != "admin"]
+    for tenant in tenants:
+        for query in ("//patient", "//ward", "//patient"):
+            service.submit(tenant, query)
+    try:
+        service.submit("nobody", "*")
+    except Exception:
+        pass
+    snapshot = service.metrics.snapshot()
+    service.close()
+    return snapshot
+
+
+class TestRenderPrometheus:
+    def test_round_trips_through_the_parser(self, served_metrics):
+        text = render_prometheus(served_metrics)
+        families = parse_exposition(text)
+        assert families  # non-empty and structurally valid
+        assert "repro_requests_total" in families
+        assert "repro_request_latency_seconds_bucket" in families
+
+    def test_inf_bucket_equals_request_counter(self, served_metrics):
+        """The acceptance invariant: the +Inf latency bucket count equals
+        the request counter."""
+        families = parse_exposition(render_prometheus(served_metrics))
+        requests = families["repro_requests_total"][""]
+        inf_bucket = families["repro_request_latency_seconds_bucket"]['le="+Inf"']
+        assert inf_bucket == requests > 0
+        count = families["repro_request_latency_seconds_count"][""]
+        assert count == inf_bucket
+
+    def test_buckets_are_cumulative(self, served_metrics):
+        families = parse_exposition(render_prometheus(served_metrics))
+        buckets = families["repro_request_latency_seconds_bucket"]
+        ordered = sorted(
+            ((label, value) for label, value in buckets.items()),
+            key=lambda item: (
+                float("inf")
+                if "+Inf" in item[0]
+                else float(item[0].split('"')[1])
+            ),
+        )
+        values = [value for _, value in ordered]
+        assert values == sorted(values)
+
+    def test_single_help_and_type_per_family(self, served_metrics):
+        text = render_prometheus(served_metrics)
+        seen_help, seen_type = set(), set()
+        for line in text.splitlines():
+            if line.startswith("# HELP "):
+                name = line.split()[2]
+                assert name not in seen_help, f"duplicate HELP for {name}"
+                seen_help.add(name)
+            elif line.startswith("# TYPE "):
+                name = line.split()[2]
+                assert name not in seen_type, f"duplicate TYPE for {name}"
+                seen_type.add(name)
+        assert seen_help == seen_type
+
+    def test_counters_end_in_total_and_match_snapshot(self, served_metrics):
+        families = parse_exposition(render_prometheus(served_metrics))
+        assert families["repro_requests_total"][""] == served_metrics.requests
+        assert (
+            families["repro_plan_cache_misses_total"][""]
+            == served_metrics.cache.misses
+        )
+        tier_hits = families["repro_plan_cache_hits_total"]
+        assert tier_hits['tier="l1"'] == served_metrics.cache.l1_hits
+        assert tier_hits['tier="l2"'] == served_metrics.cache.l2_hits
+
+    def test_tenant_series_present(self, served_metrics):
+        families = parse_exposition(render_prometheus(served_metrics))
+        tenant_requests = families["repro_tenant_requests_total"]
+        for tenant, stats in served_metrics.tenants.items():
+            assert tenant_requests[f'tenant="{tenant}"'] == stats.requests
+        # Per-tenant latency histograms keep the +Inf invariant too.
+        tenant_buckets = families["repro_tenant_latency_seconds_bucket"]
+        for tenant, stats in served_metrics.tenants.items():
+            key = f'le="+Inf",tenant="{tenant}"'
+            alt = f'tenant="{tenant}",le="+Inf"'
+            value = tenant_buckets.get(key, tenant_buckets.get(alt))
+            assert value == stats.latency.count
+
+    def test_rejections_surface(self, served_metrics):
+        assert served_metrics.rejected >= 1
+        families = parse_exposition(render_prometheus(served_metrics))
+        rejected = families["repro_rejected_total"]
+        assert sum(rejected.values()) == served_metrics.rejected
+
+    def test_custom_namespace(self, served_metrics):
+        text = render_prometheus(served_metrics, namespace="smoqe")
+        assert "smoqe_requests_total" in text
+        assert "repro_" not in text
+
+    def test_parser_rejects_garbage(self):
+        with pytest.raises(ValueError):
+            parse_exposition("this is not an exposition\n")
+
+
+class TestStructuredLog:
+    def test_ndjson_lines_sorted_and_compact(self):
+        buffer = io.StringIO()
+        log = StructuredLog(buffer)
+        log.write({"b": 2, "a": 1})
+        log.write({"x": "y"})
+        lines = buffer.getvalue().splitlines()
+        assert lines[0] == '{"a":1,"b":2}'
+        assert json.loads(lines[1]) == {"x": "y"}
+        assert log.entries == 2
+        assert log.path is None
+
+    def test_file_target_and_close(self, tmp_path):
+        target = tmp_path / "access.ndjson"
+        with StructuredLog(str(target)) as log:
+            log.write({"ok": True})
+            assert log.path == str(target)
+        lines = target.read_text().splitlines()
+        assert json.loads(lines[0]) == {"ok": True}
+
+    def test_thread_safe_line_atomicity(self, tmp_path):
+        import threading
+
+        target = tmp_path / "concurrent.ndjson"
+        with StructuredLog(str(target)) as log:
+            def worker(n):
+                for i in range(50):
+                    log.write({"worker": n, "i": i})
+            threads = [
+                threading.Thread(target=worker, args=(n,)) for n in range(4)
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+        lines = target.read_text().splitlines()
+        assert len(lines) == 200
+        for line in lines:
+            json.loads(line)  # every line individually valid
+
+
+class TestAccessLogger:
+    def _logger(self, **kwargs):
+        buffer = io.StringIO()
+        return AccessLogger(StructuredLog(buffer), **kwargs), buffer
+
+    def test_access_mode_logs_everything(self):
+        logger, buffer = self._logger(access=True)
+        assert logger.record(tenant="t", query="//a", duration=0.001) is True
+        entry = json.loads(buffer.getvalue())
+        assert entry["tenant"] == "t"
+        assert entry["query"] == "//a"
+        assert entry["duration_ms"] == pytest.approx(1.0)
+        assert entry["slow"] is False
+        assert "error" not in entry
+
+    def test_slow_only_mode_filters(self):
+        logger, buffer = self._logger(slow_seconds=0.1)
+        assert logger.record(tenant="t", query="//a", duration=0.001) is False
+        assert buffer.getvalue() == ""
+        assert logger.record(tenant="t", query="//a", duration=0.5) is True
+        entry = json.loads(buffer.getvalue())
+        assert entry["slow"] is True
+
+    def test_errors_always_qualify(self):
+        logger, buffer = self._logger(slow_seconds=10.0)
+        assert (
+            logger.record(
+                tenant="t", query="//a", duration=0.001, error="unknown-tenant"
+            )
+            is True
+        )
+        entry = json.loads(buffer.getvalue())
+        assert entry["error"] == "unknown-tenant"
+
+    def test_trace_correlation_and_stage_annotations(self):
+        from repro.obs.trace import Tracer, span
+
+        tracer = Tracer(sample_rate=1.0)
+        with tracer.trace("request") as root:
+            with span("plan", tier="l1"):
+                pass
+            with span("evaluate", answers=3):
+                pass
+        trace = Tracer.export_trace(root.trace, root, "inline")
+        logger, buffer = self._logger(access=True)
+        logger.record(tenant="t", query="//a", duration=0.002, trace=trace)
+        entry = json.loads(buffer.getvalue())
+        assert entry["trace_id"] == trace["trace_id"]
+        assert "plan" in entry["stages"]
+        assert entry["stages"]["plan"]["tier"] == "l1"
+        assert entry["stages"]["evaluate"]["answers"] == 3
+
+
+class TestAnnotationsFromSpans:
+    def test_aggregates_annotated_prefixes_only(self):
+        spans = [
+            {"name": "request", "duration_ms": 10.0, "attributes": {}},
+            {"name": "plan", "duration_ms": 2.0, "attributes": {"tier": "l1"}},
+            {"name": "queue.wait", "duration_ms": 1.0, "attributes": {}},
+            {"name": "queue.wait", "duration_ms": 3.0, "attributes": {}},
+            {
+                "name": "evaluate",
+                "duration_ms": 4.0,
+                "attributes": {"answers": 2},
+                "error": "RuntimeError: boom",
+            },
+        ]
+        annotations = annotations_from_spans(spans)
+        assert "request" not in annotations  # not a stage prefix
+        assert annotations["plan"] == {"ms": 2.0, "tier": "l1"}
+        assert annotations["queue.wait"]["ms"] == pytest.approx(4.0)  # summed
+        assert annotations["evaluate"]["error"] == "RuntimeError: boom"

@@ -1,0 +1,128 @@
+"""Histogram tests: bucketing, quantiles, merge, the Prometheus shape."""
+
+import math
+import random
+
+import pytest
+
+from repro.obs.hist import BOUNDS, BUCKETS, GROWTH, LOWEST, Histogram, bucket_index
+
+
+class TestBucketIndex:
+    def test_ladder_shape(self):
+        assert len(BOUNDS) == BUCKETS
+        assert BOUNDS[0] == LOWEST
+        for lower, upper in zip(BOUNDS, BOUNDS[1:]):
+            assert upper == pytest.approx(lower * GROWTH)
+
+    def test_le_semantics_on_exact_boundaries(self):
+        """A value exactly on a bound lands in that bound's bucket —
+        Prometheus ``le`` (less-or-equal) semantics, part of the export
+        contract."""
+        for i, bound in enumerate(BOUNDS):
+            assert bucket_index(bound) == i
+        # Just past a bound spills into the next bucket.
+        for i, bound in enumerate(BOUNDS[:-1]):
+            assert bucket_index(bound * 1.0000001) == i + 1
+
+    def test_underflow_and_overflow(self):
+        assert bucket_index(0.0) == 0
+        assert bucket_index(-1.0) == 0  # clamped by record(); direct too
+        assert bucket_index(LOWEST / 2) == 0
+        assert bucket_index(BOUNDS[-1] * 10) == BUCKETS
+
+    def test_matches_linear_scan(self):
+        """The O(1) log-based index agrees with the obvious scan."""
+        rng = random.Random(7)
+        for _ in range(2000):
+            value = 10 ** rng.uniform(-6, 4)
+            expected = BUCKETS
+            for i, bound in enumerate(BOUNDS):
+                if value <= bound:
+                    expected = i
+                    break
+            assert bucket_index(value) == expected, value
+
+
+class TestHistogram:
+    def test_empty(self):
+        hist = Histogram()
+        assert hist.count == 0
+        assert hist.mean == 0.0
+        assert hist.p50 == 0.0 and hist.p99 == 0.0
+        pairs = hist.cumulative_buckets()
+        assert pairs[-1] == (math.inf, 0)
+
+    def test_single_sample_reports_itself_everywhere(self):
+        hist = Histogram()
+        hist.record(0.0123)
+        for q in (0.0, 0.5, 0.95, 0.99, 1.0):
+            assert hist.quantile(q) == pytest.approx(0.0123)
+
+    def test_quantiles_bracket_known_distribution(self):
+        hist = Histogram()
+        values = [i / 1000.0 for i in range(1, 1001)]  # 1ms .. 1s uniform
+        for value in values:
+            hist.record(value)
+        # Log buckets are coarse (2x growth): check ordering and a loose
+        # bracket rather than exact ranks.
+        assert hist.min == 0.001 and hist.max == 1.0
+        assert hist.p50 <= hist.p95 <= hist.p99 <= hist.max
+        assert 0.25 <= hist.p50 <= 1.0
+        assert hist.p95 >= 0.5
+        assert hist.mean == pytest.approx(sum(values) / len(values))
+
+    def test_negative_clamped_to_zero(self):
+        hist = Histogram()
+        hist.record(-0.5)
+        assert hist.count == 1
+        assert hist.min == 0.0 and hist.total == 0.0
+
+    def test_merge_equals_union(self):
+        rng = random.Random(11)
+        a, b, union = Histogram(), Histogram(), Histogram()
+        for _ in range(500):
+            value = 10 ** rng.uniform(-5, 1)
+            target = a if rng.random() < 0.5 else b
+            target.record(value)
+            union.record(value)
+        merged = a.copy().merge(b)
+        assert merged.counts == union.counts
+        assert merged.count == union.count
+        assert merged.total == pytest.approx(union.total)
+        assert merged.min == union.min and merged.max == union.max
+        assert merged.p99 == union.p99
+
+    def test_copy_is_independent(self):
+        hist = Histogram()
+        hist.record(0.01)
+        clone = hist.copy()
+        hist.record(10.0)
+        assert clone.count == 1 and hist.count == 2
+
+    def test_cumulative_buckets_inf_invariant(self):
+        hist = Histogram()
+        for value in (1e-6, 0.001, 0.5, 100.0, 1e9):
+            hist.record(value)
+        pairs = hist.cumulative_buckets()
+        les = [le for le, _ in pairs]
+        assert les == sorted(les)
+        counts = [count for _, count in pairs]
+        assert counts == sorted(counts)  # cumulative → monotone
+        assert pairs[-1][0] == math.inf
+        assert pairs[-1][1] == hist.count  # the +Inf invariant
+
+    def test_as_dict_json_safe(self):
+        import json
+
+        hist = Histogram()
+        hist.record(0.002)
+        payload = hist.as_dict()
+        encoded = json.dumps(payload)  # must not raise on +Inf
+        assert "+Inf" in encoded
+        assert payload["count"] == 1
+        assert payload["buckets"][-1]["count"] == 1
+
+    def test_quantile_validates_range(self):
+        with pytest.raises(ValueError):
+            Histogram().quantile(1.5)

@@ -2,6 +2,8 @@
 
 import math
 
+import pytest
+
 from repro.serve.cache import CacheStats
 from repro.serve.metrics import LatencyStats, ServiceMetrics
 
@@ -212,3 +214,140 @@ class TestStoreStatsSurface:
         snap = ServiceMetrics().snapshot(CacheStats())
         assert "plan store" not in snap.describe()
         assert snap.as_dict()["plan_store"] is None
+
+
+class TestTenantRejections:
+    def test_rejections_attributed_to_their_tenant(self):
+        metrics = ServiceMetrics()
+        metrics.record_request("good", 0.0, 0.001, answers=1)
+        metrics.record_rejection("authorization", tenant="bad")
+        metrics.record_rejection("overloaded", tenant="bad")
+        metrics.record_rejection("invalid-query", tenant="good")
+        snap = metrics.snapshot()
+        assert snap.rejected == 3
+        assert snap.tenants["bad"].rejections == 2
+        assert snap.tenants["bad"].requests == 0
+        assert snap.tenants["good"].rejections == 1
+
+    def test_anonymous_rejection_stays_global_only(self):
+        """No tenant (e.g. a malformed request before tenant resolution)
+        still counts globally without inventing a tenant row."""
+        metrics = ServiceMetrics()
+        metrics.record_rejection("invalid-query")
+        snap = metrics.snapshot()
+        assert snap.rejected == 1
+        assert snap.tenants == {}
+
+    def test_rejections_rendered_in_table_and_payload(self):
+        metrics = ServiceMetrics()
+        metrics.record_request("t", 0.0, 0.001, answers=1)
+        metrics.record_rejection("authorization", tenant="t")
+        snap = metrics.snapshot(CacheStats())
+        assert "rejections" in snap.format_table()
+        assert snap.as_dict()["tenants"]["t"]["rejections"] == 1
+
+
+class TestLatencyPercentiles:
+    def test_latency_as_dict_carries_percentiles(self):
+        stats = LatencyStats()
+        for ms in range(1, 101):
+            stats.record(ms / 1000.0)
+        payload = stats.as_dict()
+        assert set(payload) == {
+            "count", "mean", "min", "max", "p50", "p95", "p99",
+        }
+        assert payload["p50"] <= payload["p95"] <= payload["p99"] <= payload["max"]
+        assert payload["p50"] == stats.hist.p50
+
+    def test_snapshot_preserves_the_histogram(self):
+        stats = LatencyStats()
+        stats.record(0.005)
+        snap = stats.snapshot()
+        stats.record(5.0)  # must not bleed into the snapshot
+        assert snap.hist.count == 1
+        assert snap.p99 == pytest.approx(0.005)
+
+    def test_describe_quotes_the_same_percentiles_as_as_dict(self):
+        """Parity: the human and machine surfaces must agree."""
+        metrics = ServiceMetrics()
+        for ms in (1, 2, 3, 50, 400):
+            metrics.record_request("t", 0.0, ms / 1000.0, answers=1)
+        snap = metrics.snapshot(CacheStats(), pool_size=2)
+        text = snap.describe()
+        payload = snap.as_dict()
+        for q in ("p50", "p95", "p99"):
+            assert f"{payload['latency'][q] * 1000:.2f}" in text
+
+
+class TestDescribeAsDictParity:
+    def test_every_describe_figure_exists_in_as_dict(self):
+        """Audit: each counter describe() quotes has a machine-readable
+        counterpart, so nothing is CLI-only."""
+        from repro.compile.store import StoreStats
+
+        metrics = ServiceMetrics()
+        metrics.record_request("t", 0.001, 0.002, answers=2)
+        metrics.record_rejection("authorization", tenant="t")
+        metrics.record_wave(3, admitted=2)
+        metrics.record_batch(2, visited=5, sequential_visited=9)
+        snap = metrics.snapshot(
+            CacheStats(hits=2, misses=1, l2_hits=1, evictions=1),
+            in_flight=1,
+            peak_in_flight=2,
+            pool_size=4,
+            store=StoreStats(hits=1, misses=1, stores=1),
+        )
+        payload = snap.as_dict()
+        # requests line
+        assert payload["requests"] == snap.requests
+        assert payload["rejected"] == snap.rejected
+        assert payload["rejected_kinds"] == snap.rejected_kinds
+        # plan-cache line
+        assert payload["plan_l1_hits"] == snap.plan_l1_hits
+        assert payload["plan_l2_hits"] == snap.plan_l2_hits
+        assert payload["plan_misses"] == snap.plan_misses
+        assert payload["cache"]["evictions"] == snap.cache.evictions
+        assert payload["cache"]["hit_rate"] == snap.cache.hit_rate
+        # plan-store line
+        assert payload["plan_store"]["hits"] == snap.store.hits
+        assert payload["plan_store"]["stores"] == snap.store.stores
+        # admission line
+        assert payload["waves"] == snap.waves
+        assert payload["mean_wave_size"] == snap.mean_wave_size
+        assert payload["largest_wave"] == snap.largest_wave
+        assert payload["wave_admitted"] == snap.wave_admitted
+        # batching line
+        assert payload["batch_runs"] == snap.batch_runs
+        assert payload["batched_queries"] == snap.batched_queries
+        assert payload["batch_visited"] == snap.batch_visited
+        assert payload["sequential_visited"] == snap.sequential_visited
+        # pool line
+        assert payload["pool"]["size"] == snap.pool_size
+        assert payload["in_flight_evaluations"] == snap.in_flight_evaluations
+        assert payload["pool"]["peak_in_flight"] == snap.peak_in_flight
+        assert payload["queue_wait"]["mean"] == snap.queue_wait.mean
+        assert payload["latency"]["mean"] == snap.latency.mean
+        assert payload["latency"]["p99"] == snap.latency.p99
+
+    def test_stats_dataclasses_fully_mirrored(self):
+        """Every dataclass counter field of the cache / store / doc-store
+        stats appears verbatim in as_dict — new fields can't silently
+        skip the wire format."""
+        from dataclasses import fields
+
+        from repro.compile.store import StoreStats
+        from repro.docstore.store import DocStoreStats
+
+        metrics = ServiceMetrics()
+        snap = metrics.snapshot(
+            CacheStats(), store=StoreStats(), doc_store=DocStoreStats()
+        )
+        payload = snap.as_dict()
+        assert set(payload["plan_store"]) == {
+            f.name for f in fields(StoreStats)
+        }
+        assert set(payload["doc_store"]) == {
+            f.name for f in fields(DocStoreStats)
+        }
+        cache_fields = {f.name for f in fields(CacheStats)}
+        assert cache_fields <= set(payload["cache"])
