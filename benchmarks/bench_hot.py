@@ -8,7 +8,13 @@ min-of-N wall-clock protocol:
    ``opthype-c`` over the Fig. 8 query family plus a structural scan,
    on the string-label path *and* the interned columnar path (the
    document-layout fast loop), with per-query speedups;
-2. **Serve-batch throughput on a repeated-document workload** — the
+2. **Dense-kernel speedup** — the unified :mod:`repro.hype.kernel`
+   descent against the preserved PR 5 interned-columnar loop
+   (``benchmarks/legacy_columnar.py``), same plan, same layout,
+   byte-identical answers asserted before timing.  Samples interleave
+   the two sides inside each round so clock drift hits both alike, and
+   sub-timer rows are lifted by a calibrated inner-repeat loop;
+3. **Serve-batch throughput on a repeated-document workload** — the
    multi-tenant hospital traffic replayed (a) *cold*, where every
    request pays its own parse + OptHyPE index build (the pre-docstore
    behaviour), and (b) *shared*, where every request resolves the one
@@ -16,14 +22,21 @@ min-of-N wall-clock protocol:
    :class:`repro.docstore.DocumentStore`; the store counters prove
    ``doc_index_builds == 1`` with ``doc_hits >= N - 1``.
 
+``--parallel-scaling`` adds an :class:`repro.serve.pool.ExecutionPool`
+row — one warmed plan evaluated W-ways concurrently vs sequentially —
+recorded together with the build's ``gil_enabled`` flag: on a GIL build
+the ratio hovers near 1.0 (overlap, not parallelism), on free-threaded
+builds the shared-nothing run states let the kernel scale across cores.
+
 Results are written as JSON (default: ``BENCH_hype.json`` at the repo
 root) so future PRs diff numbers instead of anecdotes.  The serve rows
 carry p50/p95/p99 from the service's log-bucket histograms, and when the
 committed baseline was produced under the identical protocol the run
 also reports the tracing-off hot-loop overhead against it.  ``--check``
 makes the script exit non-zero unless the acceptance floors hold
-(shared-vs-cold throughput >= 1.5x, one index build, tracing-off
-overhead < 2%% when comparable); ``--smoke`` shrinks every size for CI.
+(dense-kernel median >= 1.5x on descent-bound rows, shared-vs-cold
+throughput >= 1.5x, one index build, tracing-off overhead < 2%% when
+comparable); ``--smoke`` shrinks every size for CI.
 
 Run: ``make bench-hot`` (full) / ``make bench-hot-smoke`` (CI).
 """
@@ -38,7 +51,7 @@ import time
 from pathlib import Path
 
 from repro.docstore import DocumentStore, IndexedDocument
-from repro.hype.api import ALGORITHMS, OPTHYPE, compile_plan
+from repro.hype.api import ALGORITHMS, HYPE, OPTHYPE, compile_plan
 from repro.serve.service import QueryRequest, QueryService
 from repro.workloads.hospital import HospitalConfig, generate_hospital_document
 from repro.workloads.queries import FIG8
@@ -92,6 +105,137 @@ def bench_single_runs(tree, repeats: int) -> dict:
             }
         results[name] = per_algo
     return results
+
+
+# ----------------------------------------------------------------------
+#: Dense-kernel floor: median speedup over descent-bound rows (the opt
+#: algorithms on real queries — prune-to-nothing scans and the
+#: alloc-bound plain-``hype`` rows measure different bottlenecks).
+DENSE_FLOOR = 1.5
+
+
+def _calibrated_inner(fn, target_s: float = 2e-3) -> int:
+    """Inner-repeat count lifting one timed sample above timer noise."""
+    started = time.perf_counter()
+    fn()
+    elapsed = time.perf_counter() - started
+    if elapsed >= target_s:
+        return 1
+    return min(64, max(1, round(target_s / max(elapsed, 1e-6)) + 1))
+
+
+def bench_dense(tree, repeats: int) -> dict:
+    """Dense kernel vs the preserved PR 5 columnar loop, interleaved.
+
+    Both sides drive the SAME compiled plan over the SAME layout, so the
+    comparison isolates the descent loop itself.  Equality of answers
+    and full ``HyPEStats`` is asserted before any timing.
+    """
+    sys.path.insert(0, str(Path(__file__).resolve().parent))
+    from legacy_columnar import LegacyColumnarEvaluator
+
+    layout = IndexedDocument(tree).layout
+    results: dict = {}
+    for name, query in QUERIES.items():
+        per_algo: dict = {}
+        for algorithm in ALGORITHMS:
+            plan = compile_plan(query, algorithm=algorithm, tree=tree)
+            legacy = LegacyColumnarEvaluator(plan)
+
+            def run_dense():
+                return plan.run(tree.root, layout=layout)
+
+            def run_legacy():
+                return legacy.run(tree.root, layout)
+
+            # Warm both sides (memo tables, rows) and prove equivalence.
+            reference = run_dense()
+            old = run_legacy()
+            assert old.answers == reference.answers
+            assert old.stats == reference.stats
+            inner = _calibrated_inner(run_legacy)
+            legacy_s = dense_s = float("inf")
+            for _ in range(repeats):
+                started = time.perf_counter()
+                for _ in range(inner):
+                    run_legacy()
+                middle = time.perf_counter()
+                for _ in range(inner):
+                    run_dense()
+                ended = time.perf_counter()
+                legacy_s = min(legacy_s, (middle - started) / inner)
+                dense_s = min(dense_s, (ended - middle) / inner)
+            per_algo[algorithm] = {
+                "inner_repeats": inner,
+                "legacy_columnar_s": legacy_s,
+                "dense_s": dense_s,
+                "dense_speedup": legacy_s / dense_s,
+                "descent_bound": algorithm != HYPE and name != "scan",
+            }
+        results[name] = per_algo
+    return results
+
+
+def dense_median(dense: dict) -> float:
+    """Median ``dense_speedup`` over the descent-bound rows."""
+    ratios = [
+        entry["dense_speedup"]
+        for per_algo in dense.values()
+        for entry in per_algo.values()
+        if entry["descent_bound"]
+    ]
+    return statistics.median(ratios) if ratios else 0.0
+
+
+# ----------------------------------------------------------------------
+def bench_parallel_scaling(tree, repeats: int, workers: int = 4) -> dict:
+    """W-way concurrent evaluation of one warmed plan vs sequential.
+
+    The pool is created (and its workers warmed) outside the timed
+    region; each sample evaluates ``2 * workers`` requests either
+    back-to-back or dispatched across the pool.  ``gil_enabled`` records
+    the build: rows from GIL and free-threaded builds are different
+    experiments and are never compared against each other.
+    """
+    from repro.serve.pool import ExecutionPool
+
+    layout = IndexedDocument(tree).layout
+    query = QUERIES["fig8a"]
+    plan = compile_plan(query, algorithm=OPTHYPE, tree=tree)
+    expected = plan.run(tree.root, layout=layout).stats
+
+    def one():
+        result = plan.run(tree.root, layout=layout)
+        assert result.stats == expected
+        return result
+
+    tasks = 2 * workers
+
+    def sequential():
+        for _ in range(tasks):
+            one()
+
+    with ExecutionPool(size=workers) as pool:
+
+        def parallel():
+            # A failed evaluation re-raises through Future.result().
+            futures = [pool.dispatch(one) for _ in range(tasks)]
+            for future in futures:
+                future.result()
+
+        parallel()  # spin every worker thread up before timing
+        sequential_s = best_of(sequential, repeats)
+        pool_s = best_of(parallel, repeats)
+        peak = pool.peak_in_flight
+    return {
+        "workers": workers,
+        "tasks": tasks,
+        "gil_enabled": getattr(sys, "_is_gil_enabled", lambda: True)(),
+        "sequential_s": sequential_s,
+        "pool_s": pool_s,
+        "parallel_scaling": sequential_s / pool_s,
+        "peak_in_flight": peak,
+    }
 
 
 # ----------------------------------------------------------------------
@@ -240,6 +384,12 @@ def main(argv: list[str] | None = None) -> int:
         action="store_true",
         help="tiny sizes + --check (the CI configuration)",
     )
+    parser.add_argument(
+        "--parallel-scaling",
+        action="store_true",
+        help="also measure ExecutionPool W-way scaling (records the "
+        "build's gil_enabled flag; meaningful on free-threaded builds)",
+    )
     args = parser.parse_args(argv)
     if args.smoke:
         args.patients = min(args.patients, 12)
@@ -283,6 +433,23 @@ def main(argv: list[str] | None = None) -> int:
         f"row(s): x{median_speedup:.2f} (max x{max(speedups):.2f})"
     )
 
+    dense = bench_dense(tree, args.repeats)
+    for name, per_algo in dense.items():
+        for algorithm, entry in per_algo.items():
+            bound = "descent-bound" if entry["descent_bound"] else ""
+            print(
+                f"  {name:6s} {algorithm:9s} "
+                f"legacy {entry['legacy_columnar_s'] * 1000:8.2f} ms  "
+                f"dense {entry['dense_s'] * 1000:8.2f} ms  "
+                f"x{entry['dense_speedup']:.2f} "
+                f"(inner {entry['inner_repeats']}) {bound}"
+            )
+    dense_med = dense_median(dense)
+    print(
+        f"dense-kernel median speedup over descent-bound rows: "
+        f"x{dense_med:.2f} (floor x{DENSE_FLOOR})"
+    )
+
     serve = bench_serve(xml, args.tenants, args.requests, args.repeats)
     print(
         f"serve-batch, repeated document, {serve['requests']} requests / "
@@ -315,8 +482,20 @@ def main(argv: list[str] | None = None) -> int:
         },
         "single_run": single,
         "interning_median_speedup": median_speedup,
+        "dense": dense,
+        "dense_median_speedup": dense_med,
         "serve": serve,
     }
+    if args.parallel_scaling:
+        scaling = bench_parallel_scaling(tree, args.repeats)
+        payload["parallel_scaling"] = scaling
+        print(
+            f"parallel scaling ({scaling['workers']} workers, "
+            f"gil_enabled={scaling['gil_enabled']}): "
+            f"sequential {scaling['sequential_s']:.3f} s vs pool "
+            f"{scaling['pool_s']:.3f} s — x{scaling['parallel_scaling']:.2f} "
+            f"(peak in flight {scaling['peak_in_flight']})"
+        )
 
     # Tracing-off overhead vs the *committed* baseline (always the
     # repo-root file, even when --out redirects this run's output).
@@ -345,6 +524,11 @@ def main(argv: list[str] | None = None) -> int:
             failures.append(
                 f"tracing-off hot-loop overhead {overhead['overhead']:+.2%} "
                 f">= {OVERHEAD_CEILING:.0%} ceiling vs committed baseline"
+            )
+        if dense_med < DENSE_FLOOR:
+            failures.append(
+                f"dense-kernel median speedup x{dense_med:.2f} < "
+                f"{DENSE_FLOOR} floor on descent-bound rows"
             )
         if serve["throughput_speedup"] < 1.5:
             failures.append(

@@ -1,0 +1,262 @@
+"""The PR 5 interned-columnar descent, preserved as a benchmark baseline.
+
+The dense kernel (``repro.hype.kernel``) replaced this loop in the
+library; ``bench_hot.py``'s ``dense_speedup`` row measures the kernel
+against exactly the code it replaced, so the baseline must keep running
+unchanged.  This module is therefore a self-contained copy of the old
+``CompiledPlan._run_columnar`` + ``_pop`` pair: it drives the *current*
+plan's shared primitives (``_compute_child_sets``, ``_apply_index``,
+``_relevant_plan``, ``_resolve``, ``_compute_dead`` and the pop/death
+caches) through the old 9-tuple rows and per-frame set logic, producing
+byte-identical answers and stats.
+
+Benchmark-only: nothing in ``src/`` imports this.
+"""
+
+from __future__ import annotations
+
+from repro.hype.core import HyPEResult, RunCursor
+
+
+class _Frame:
+    """The old per-node traversal frame (pre-kernel)."""
+
+    __slots__ = (
+        "node",
+        "visit_idx",
+        "mstates",
+        "relevant",
+        "trans_true",
+        "watch",
+        "parent",
+        "has_ann",
+    )
+
+    def __init__(
+        self, node, visit_idx, mstates, relevant, watch, parent, has_ann
+    ) -> None:
+        self.node = node
+        self.visit_idx = visit_idx
+        self.mstates = mstates
+        self.relevant = relevant
+        self.trans_true = None
+        self.watch = watch
+        self.parent = parent
+        self.has_ann = has_ann
+
+
+class LegacyColumnarEvaluator:
+    """One plan + its old-style ``(m_id, r_id)``-keyed columnar rows."""
+
+    def __init__(self, plan) -> None:
+        self.plan = plan
+        # (m_id, r_id) -> [9-tuple | None] * num_labels, per layout —
+        # the caller keeps one evaluator per (plan, layout) pair, which
+        # is what DocumentLayout.rows_for provided before the kernel.
+        self.rows: dict = {}
+        # (m_id, r_id, watch) -> quiet-pop entry | False (the old
+        # plan-level _quiet_cache, now private to the baseline).
+        self.quiet: dict = {}
+
+    # ------------------------------------------------------------------
+    def run(self, context, layout) -> HyPEResult:
+        plan = self.plan
+        nfa = plan.mfa.nfa
+        cursor = RunCursor(plan)
+        mstates0, m_id0, relevant0, r_id0 = plan.initial_sets(context)
+        if not mstates0 and not relevant0:
+            return cursor.finish()
+        cursor.visit_nodes.append(context)
+        cursor.visit_parents.append(-1)
+        cursor.visit_mstates.append(mstates0)
+        cursor.visited = 1
+        cursor.cans_vertices = len(mstates0)
+        if mstates0 & nfa.finals:
+            cursor.finals_seen.append(context)
+        has_ann0 = any(s in nfa.ann for s in mstates0)
+        root_frame = _Frame(context, 0, mstates0, relevant0, (), None, has_ann0)
+
+        rows = self.rows
+        num_labels = layout.num_labels
+        row0 = rows.get((m_id0, r_id0))
+        if row0 is None:
+            row0 = rows.setdefault((m_id0, r_id0), [None] * num_labels)
+
+        finals = nfa.finals
+        ann = nfa.ann
+        deaths = cursor.deaths
+        finals_seen = cursor.finals_seen
+        visit_nodes = cursor.visit_nodes
+        visited = 1
+        skipped = 0
+        cans_vertices = cursor.cans_vertices
+
+        nodes = layout.nodes
+        kid_ids = layout.kid_ids
+        kid_labels = layout.kid_labels
+        kid_start = layout.kid_start
+        labels = layout.labels
+        use_index = plan.index is not None
+        nodes_append = visit_nodes.append
+        parents_append = cursor.visit_parents.append
+        mstates_append = cursor.visit_mstates.append
+
+        cid0 = context.node_id
+        # [frame, m_id, r_id, row, next_kid, kid_end]
+        stack: list[list] = [
+            [root_frame, m_id0, r_id0, row0, kid_start[cid0], kid_start[cid0 + 1]]
+        ]
+        stack_append = stack.append
+        while stack:
+            top = stack[-1]
+            ki = top[4]
+            if ki < top[5]:
+                top[4] = ki + 1
+                frame = top[0]
+                lid = kid_labels[ki]
+                cached = top[3][lid]
+                if cached is None:
+                    cached = plan._compute_child_sets(
+                        frame.mstates, frame.relevant, labels[lid]
+                    )
+                    top[3][lid] = cached
+                (
+                    base_v,
+                    base_idv,
+                    mstates_v,
+                    m_idv,
+                    relevant_v,
+                    r_idv,
+                    watch,
+                    has_final,
+                    has_ann,
+                ) = cached
+                cid = kid_ids[ki]
+                if use_index and (mstates_v or relevant_v):
+                    mstates_v, m_idv, relevant_v, r_idv = plan._apply_index(
+                        base_v, base_idv, relevant_v, r_idv, cid
+                    )
+                    has_final = bool(mstates_v & finals)
+                    has_ann = any(s in ann for s in mstates_v)
+                if not mstates_v and not relevant_v:
+                    skipped += 1
+                    continue
+                visited += 1
+                child = nodes[cid]
+                visit_idx = len(visit_nodes)
+                nodes_append(child)
+                parents_append(frame.visit_idx)
+                mstates_append(mstates_v)
+                cans_vertices += len(mstates_v)
+                if has_final:
+                    finals_seen.append(child)
+                child_frame = _Frame(
+                    child, visit_idx, mstates_v, relevant_v, watch, frame, has_ann
+                )
+                row_key = (m_idv, r_idv)
+                child_row = rows.get(row_key)
+                if child_row is None:
+                    child_row = rows.setdefault(row_key, [None] * num_labels)
+                stack_append(
+                    [
+                        child_frame,
+                        m_idv,
+                        r_idv,
+                        child_row,
+                        kid_start[cid],
+                        kid_start[cid + 1],
+                    ]
+                )
+                continue
+            stack.pop()
+            frame = top[0]
+            if frame.relevant and (frame.watch or frame.has_ann):
+                self._pop(frame, top[1], top[2], deaths, cursor.stats)
+        cursor.visited = visited
+        cursor.skipped = skipped
+        cursor.cans_vertices = cans_vertices
+        return cursor.finish()
+
+    # ------------------------------------------------------------------
+    def _pop(self, frame, m_id, r_id, deaths, stats) -> None:
+        plan = self.plan
+        node = frame.node
+        trans_true = frame.trans_true
+        if not trans_true:
+            quiet_key = (m_id, r_id, frame.watch)
+            quiet = self.quiet.get(quiet_key)
+            if quiet is None:
+                quiet = self._compute_quiet(quiet_key, frame)
+            if quiet is not False:
+                dead, report, resolved = quiet
+                if dead:
+                    deaths[frame.visit_idx] = dead
+                stats.afa_states_resolved += resolved
+                if report:
+                    parent = frame.parent
+                    if parent is not None:
+                        trues = parent.trans_true
+                        if trues is None:
+                            trues = parent.trans_true = set()
+                        trues.update(report)
+                return
+        finals, trans, groups = plan._relevant_plan(r_id, frame.relevant)
+        bits = 0
+        for position, (_state, pred) in enumerate(finals):
+            if pred is None or pred.holds(node):
+                bits |= 1 << position
+        if not trans_true:
+            cache_key = (r_id, bits)
+            values = plan._pop_cache.get(cache_key)
+            if values is None:
+                values = plan._resolve(finals, trans, groups, None, bits)
+                plan._pop_cache[cache_key] = values
+            if frame.has_ann:
+                dead_key = (m_id, r_id, bits)
+                dead = plan._dead_cache.get(dead_key)
+                if dead is None:
+                    dead = plan._compute_dead(frame.mstates, values)
+                    plan._dead_cache[dead_key] = dead
+                if dead:
+                    deaths[frame.visit_idx] = dead
+        else:
+            values = plan._resolve(finals, trans, groups, trans_true, bits)
+            if frame.has_ann:
+                dead = plan._compute_dead(frame.mstates, values)
+                if dead:
+                    deaths[frame.visit_idx] = dead
+        stats.afa_states_resolved += len(values)
+        if frame.watch and frame.parent is not None:
+            parent = frame.parent
+            trues = parent.trans_true
+            if trues is None:
+                trues = parent.trans_true = set()
+            for watcher, target in frame.watch:
+                if values.get(target, False):
+                    trues.add(watcher)
+
+    def _compute_quiet(self, quiet_key, frame):
+        plan = self.plan
+        m_id, r_id, watch = quiet_key
+        finals, trans, groups = plan._relevant_plan(r_id, frame.relevant)
+        if finals:
+            self.quiet[quiet_key] = False
+            return False
+        cache_key = (r_id, 0)
+        values = plan._pop_cache.get(cache_key)
+        if values is None:
+            values = plan._resolve(finals, trans, groups, None, 0)
+            plan._pop_cache[cache_key] = values
+        dead = None
+        if frame.has_ann:
+            dead_key = (m_id, r_id, 0)
+            dead = plan._dead_cache.get(dead_key)
+            if dead is None:
+                dead = plan._compute_dead(frame.mstates, values)
+                plan._dead_cache[dead_key] = dead
+        report = tuple(
+            watcher for watcher, target in watch if values.get(target, False)
+        )
+        quiet = (dead, report, len(values))
+        self.quiet[quiet_key] = quiet
+        return quiet

@@ -16,15 +16,16 @@ Usage (``python -m repro.cli <command> ...``):
 * ``bench-serve [--patients N --tenants T --requests R]`` — run the
   multi-tenant hospital traffic workload sequentially and batched and
   print a comparison table
-* ``warm --plan-dir DIR [--gc] [--spec SPEC.view] [QUERY ...]`` —
-  precompile queries (default: the hospital traffic workload's) into a
-  persistent plan store, so services booted with the same ``--plan-dir``
-  skip the MFA rewrites entirely (``serve-batch``, ``bench-serve``,
-  ``serve-front`` and ``bench-front`` all accept ``--plan-dir``);
-  ``--gc`` first reclaims stale/corrupt artifact files.  The analogous
-  ``--doc-dir`` (same four commands) persists built OptHyPE document
-  indexes keyed by content hash, so a restart also skips index
-  construction
+* ``warm --plan-dir DIR [--gc [--doc-dir DIR]] [--spec SPEC.view]
+  [QUERY ...]`` — precompile queries (default: the hospital traffic
+  workload's) into a persistent plan store, so services booted with the
+  same ``--plan-dir`` skip the MFA rewrites entirely (``serve-batch``,
+  ``bench-serve``, ``serve-front`` and ``bench-front`` all accept
+  ``--plan-dir``); ``--gc`` first reclaims stale/corrupt artifact files
+  (with ``--doc-dir`` it also sweeps stale document-tier files).  The
+  analogous ``--doc-dir`` (same four commands) persists built OptHyPE
+  document indexes and binary layout sidecars keyed by content hash, so
+  a restart also skips index and layout construction
 * ``serve-front [--document DOC.xml] [--host H --port P]`` — boot the
   asyncio NDJSON socket front-end (per-wave admission control in front
   of the query service; ``--pool-size`` bounds concurrent evaluations,
@@ -417,6 +418,16 @@ def cmd_warm(args: argparse.Namespace) -> int:
             f"gc: removed {removed} stale/corrupt artifact file(s) "
             f"(non-v{FORMAT_VERSION} or undecodable)"
         )
+        doc_dir = getattr(args, "doc_dir", None)
+        if doc_dir:
+            from .docstore import DOC_FORMAT_VERSION, DocumentStore
+
+            doc_store = DocumentStore(index_dir=doc_dir)
+            doc_removed = doc_store.tier.gc()
+            print(
+                f"gc: removed {doc_removed} stale document-tier file(s) "
+                f"from {doc_dir} (non-v{DOC_FORMAT_VERSION} or invalid)"
+            )
     compiler = QueryCompiler()
     cache = PlanCache(
         capacity=max(1, len(targets)), store=store, compiler=compiler
@@ -1093,6 +1104,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--gc",
         action="store_true",
         help="first remove stale (old-format) and corrupt artifact files",
+    )
+    wrm.add_argument(
+        "--doc-dir",
+        help="document-tier directory to sweep as well when --gc is given "
+        "(stale index/layout files of old format versions)",
     )
     wrm.set_defaults(func=cmd_warm)
 

@@ -5,10 +5,14 @@ rehydrate a thread-safe :class:`repro.hype.core.CompiledPlan` without
 redoing the MFA rewrite: the trimmed MFA (codec-encoded via
 :mod:`repro.automata.codec`) plus the key metadata that makes the record
 self-describing — the view fingerprint it was compiled against, the
-normalised query text, and the format version.  Evaluator memo tables are
-deliberately NOT part of an artifact: they rebuild lazily on first run,
-which keeps artifacts small and the format stable across evaluator
-changes.
+normalised query text, and the format version.  Since format v3 an
+artifact may also carry the plan's eagerly-closed **dense kernel
+payload** (:func:`repro.hype.kernel.kernel_payload`): the interned-cfg
+transition closure that lets a cold worker start with its hot-loop
+tables filled instead of re-deriving them on the first requests.
+Document-dependent state (index mask filters, per-layout rows) is still
+deliberately NOT part of an artifact: it rebuilds lazily on first run,
+which keeps artifacts small and document-portable.
 
 Key scheme.  An artifact's cache key is ``(view_fingerprint,
 normalized_query, format_version)``:
@@ -46,7 +50,10 @@ from ..errors import ReproError
 #: JSON, so hand-written or legacy-layout payloads of the current
 #: version remain readable; the version lives in the key, so v1 files
 #: are simply never looked up — ``PlanStore.gc`` reclaims them).
-FORMAT_VERSION = 2
+#: v3: the optional ``kernel`` field carries the dense transition
+#: closure (:func:`repro.hype.kernel.kernel_payload`); v2 files decode
+#: as counted misses and are recompiled (and swept by ``PlanStore.gc``).
+FORMAT_VERSION = 3
 
 #: gzip magic bytes; anything else is decoded as plain JSON.
 _GZIP_MAGIC = b"\x1f\x8b"
@@ -75,6 +82,9 @@ class PlanArtifact:
     description: str = ""
     format_version: int = FORMAT_VERSION
     stages: dict[str, float] = field(default_factory=dict)
+    #: Dense kernel closure (:func:`repro.hype.kernel.kernel_payload`),
+    #: or ``None`` when the producer skipped the dense stage.
+    kernel: dict | None = None
 
     def cache_key(self) -> PlanKey:
         """The collision-safe key this artifact is stored under."""
@@ -83,13 +93,16 @@ class PlanArtifact:
     # ------------------------------------------------------------------
     def to_payload(self) -> dict:
         """JSON-compatible plain data (deterministic for a given plan)."""
-        return {
+        payload = {
             "format_version": self.format_version,
             "view_fingerprint": self.view_fingerprint,
             "normalized_query": self.normalized_query,
             "description": self.description,
             "mfa": mfa_to_dict(self.mfa),
         }
+        if self.kernel is not None:
+            payload["kernel"] = self.kernel
+        return payload
 
     def to_bytes(self) -> bytes:
         """Canonical serialised form: gzip over deterministic JSON.
@@ -145,6 +158,7 @@ class PlanArtifact:
             view_fingerprint=fingerprint,
             description=str(data.get("description", "")),
             format_version=FORMAT_VERSION,
+            kernel=_validate_kernel(data.get("kernel")),
         )
 
     @classmethod
@@ -170,3 +184,80 @@ class PlanArtifact:
         except (ValueError, UnicodeDecodeError) as error:
             raise ArtifactError(f"artifact is not valid JSON: {error}") from error
         return cls.from_payload(data)
+
+
+def _validate_kernel(kernel: object) -> dict | None:
+    """Structurally validate an optional dense-kernel payload.
+
+    The shape is what :func:`repro.hype.kernel.kernel_payload` emits and
+    :meth:`repro.hype.kernel.DenseKernel.preload` consumes; every index
+    is range-checked here so a truncated or hand-mangled payload fails
+    the *decode* (a counted cache miss) instead of crashing a preload
+    deep inside the evaluator.
+
+    Raises:
+        ArtifactError: on any structural violation.
+    """
+    if kernel is None:
+        return None
+    if not isinstance(kernel, dict):
+        raise ArtifactError(
+            f"kernel payload must be an object, got {type(kernel).__name__}"
+        )
+    try:
+        labels = kernel["labels"]
+        sets = kernel["sets"]
+        cfgs = kernel["cfgs"]
+        trans = kernel["trans"]
+    except KeyError as error:
+        raise ArtifactError(f"kernel payload missing {error}") from error
+    if not isinstance(labels, list) or not all(
+        isinstance(label, str) for label in labels
+    ):
+        raise ArtifactError("kernel labels must be a list of strings")
+    if not isinstance(sets, list) or not all(
+        isinstance(row, list)
+        and all(isinstance(state, int) for state in row)
+        for row in sets
+    ):
+        raise ArtifactError("kernel sets must be lists of state ids")
+    num_sets = len(sets)
+    if not isinstance(cfgs, list):
+        raise ArtifactError("kernel cfgs must be a list")
+    for row in cfgs:
+        if (
+            not isinstance(row, list)
+            or len(row) != 3
+            or not isinstance(row[0], int)
+            or not isinstance(row[1], int)
+            or not isinstance(row[2], list)
+        ):
+            raise ArtifactError(f"malformed kernel cfg row {row!r}")
+        if not 0 <= row[0] < num_sets or not 0 <= row[1] < num_sets:
+            raise ArtifactError(f"kernel cfg row {row!r} references no set")
+        for pair in row[2]:
+            if (
+                not isinstance(pair, list)
+                or len(pair) != 2
+                or not all(isinstance(x, int) for x in pair)
+            ):
+                raise ArtifactError(f"malformed kernel watch pair {pair!r}")
+    num_cfgs = len(cfgs)
+    if not isinstance(trans, list):
+        raise ArtifactError("kernel trans must be a list")
+    for row in trans:
+        if (
+            not isinstance(row, list)
+            or len(row) != 4
+            or not all(isinstance(x, int) for x in row)
+        ):
+            raise ArtifactError(f"malformed kernel transition {row!r}")
+        cfg_i, label_i, base_i, child_i = row
+        if not 0 <= cfg_i < num_cfgs or not 0 <= child_i < num_cfgs:
+            raise ArtifactError(f"kernel transition {row!r} references no cfg")
+        # label index == len(labels) is the shared OTHER column.
+        if not 0 <= label_i <= len(labels):
+            raise ArtifactError(f"kernel transition {row!r} references no label")
+        if not 0 <= base_i < num_sets:
+            raise ArtifactError(f"kernel transition {row!r} references no set")
+    return kernel

@@ -19,6 +19,9 @@ Stages (every compilation runs a subset, each individually timed):
 ``trim``    drop NFA states unreachable from the start (view path)
 ``translate`` direct query → MFA (Thompson construction; the non-view
             sibling of ``rewrite``)
+``dense``   eagerly close the MFA's dense transition table
+            (:func:`repro.hype.kernel.kernel_payload`) so the artifact
+            ships hot-loop-ready — cold workers skip the lazy fills
 ========== ==========================================================
 
 The stage counters double as the restart acceptance check: a service
@@ -46,10 +49,11 @@ NORMALIZE = "normalize"
 REWRITE = "rewrite"
 TRIM = "trim"
 TRANSLATE = "translate"
+DENSE = "dense"
 
 #: All stage names, in pipeline order (rewrite/trim on the view path,
-#: translate on the direct path).
-STAGES = (PARSE, NORMALIZE, REWRITE, TRIM, TRANSLATE)
+#: translate on the direct path; dense closes either path's MFA).
+STAGES = (PARSE, NORMALIZE, REWRITE, TRIM, TRANSLATE, DENSE)
 
 
 @dataclass
@@ -192,16 +196,19 @@ class QueryCompiler:
             )
             mfa = self._timed(TRIM, trim_mfa, mfa, _stages=stages)
             fingerprint = spec.fingerprint()
+        kernel = self._timed(DENSE, _dense_closure, mfa, _stages=stages)
         return PlanArtifact(
             mfa=mfa,
             normalized_query=normalized.text,
             view_fingerprint=fingerprint,
             description=mfa.description or normalized.text,
             stages=stages,
+            kernel=kernel,
         )
 
     # ------------------------------------------------------------------
     def _timed(self, stage: str, fn, *args, _stages=None, **kwargs):
+        """Run ``fn`` under the stage's span, recording its wall time."""
         # span() is a no-op (one contextvar read) unless the request that
         # triggered this compilation carries an active trace.
         with span(f"compile.{stage}"):
@@ -212,3 +219,15 @@ class QueryCompiler:
         if _stages is not None:
             _stages[stage] = _stages.get(stage, 0.0) + elapsed
         return result
+
+
+def _dense_closure(mfa) -> dict:
+    """The dense stage: close an index-free plan's transition table.
+
+    Imported lazily — the hype evaluator package sits above the compile
+    pipeline in the layer diagram, and only this one stage reaches up.
+    """
+    from ..hype.core import CompiledPlan
+    from ..hype.kernel import kernel_payload
+
+    return kernel_payload(CompiledPlan(mfa))

@@ -13,6 +13,7 @@ from .layout import DocumentLayout, TEXT_ID
 from .store import (
     DOC_FORMAT_VERSION,
     DOC_INDEX_SUFFIX,
+    DOC_LAYOUT_SUFFIX,
     DocIndexTier,
     DocStoreStats,
     DocumentStore,
@@ -21,6 +22,7 @@ from .store import (
 __all__ = [
     "DOC_FORMAT_VERSION",
     "DOC_INDEX_SUFFIX",
+    "DOC_LAYOUT_SUFFIX",
     "DocIndexTier",
     "DocStoreStats",
     "DocumentStore",

@@ -62,10 +62,20 @@ class IndexedDocument:
         from .store import DocStoreStats  # cycle-free at call time
 
         self.tree = tree
-        self.layout = DocumentLayout(tree)
         self._content_hash = content_hash
         self.stats = stats if stats is not None else DocStoreStats()
         self.tier = tier
+        # The layout is eager either way; with an addressed document and
+        # a persistent tier, a previously-saved binary sidecar replaces
+        # the build's tree walk (and fresh builds are written back).
+        layout = None
+        if tier is not None and content_hash is not None:
+            layout = tier.load_layout(content_hash, tree)
+        if layout is None:
+            layout = DocumentLayout(tree)
+            if tier is not None and content_hash is not None:
+                tier.save_layout(content_hash, layout)
+        self.layout = layout
         self._indexes: dict[bool, Index] = {}
         self._index_locks = {False: threading.Lock(), True: threading.Lock()}
         self._hash_lock = threading.Lock()

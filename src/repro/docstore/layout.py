@@ -111,6 +111,43 @@ class DocumentLayout:
         kid_start[len(self.nodes)] = len(kid_ids)
 
     # ------------------------------------------------------------------
+    @classmethod
+    def from_arrays(
+        cls,
+        tree: XMLTree,
+        labels,
+        node_label,
+        kid_ids,
+        kid_labels,
+        kid_start,
+    ) -> "DocumentLayout":
+        """Rehydrate a layout from already-built columns — no tree walk.
+
+        The persistence path (:meth:`repro.docstore.store.DocIndexTier.
+        load_layout`) hands in zero-copy ``memoryview`` casts over an
+        mmap'ed sidecar; the hot loop only ever *indexes* the columns,
+        so views serve exactly like the lists ``_build`` produces (and
+        they keep the mapping alive for as long as the layout lives).
+        Only ``labels``/``label_ids`` are materialised, because the fill
+        path looks labels up by string.
+        """
+        layout = cls.__new__(cls)
+        layout.tree = tree
+        layout._freeze_count = getattr(tree, "freeze_count", 0)
+        layout.nodes = tree.nodes
+        layout.labels = list(labels)
+        layout.label_ids = {
+            label: lid for lid, label in enumerate(layout.labels)
+        }
+        layout.node_label = node_label
+        layout.kid_ids = kid_ids
+        layout.kid_labels = kid_labels
+        layout.kid_start = kid_start
+        layout._rows = weakref.WeakKeyDictionary()
+        layout._rows_lock = threading.Lock()
+        return layout
+
+    # ------------------------------------------------------------------
     @property
     def num_labels(self) -> int:
         return len(self.labels)
@@ -139,11 +176,12 @@ class DocumentLayout:
     def rows_for(self, plan) -> dict:
         """The per-``(plan, layout)`` child-transition row table.
 
-        Rows map ``(m_id, r_id)`` to a list indexed by label id whose
-        entries are the plan's cached child-set tuples (``None`` until
-        first computed).  Entries are a deterministic function of their
-        key, so concurrent fills are benign — the same contract as the
-        plan's own string-keyed tables.
+        Rows map a dense-kernel cfg id to an ``array('i')`` indexed by
+        label id whose entries are packed transition words (``UNFILLED``
+        until first computed) — see :mod:`repro.hype.kernel`.  Entries
+        are a deterministic function of their key, so concurrent fills
+        are benign — the same contract as the plan's own string-keyed
+        tables.
         """
         rows = self._rows.get(plan)
         if rows is None:

@@ -15,13 +15,21 @@ content-addressed asset instead:
 * with a persistent tier (``--doc-dir``), built indexes are serialised
   to disk — version-tagged, atomically written, validated on load — so
   a restarted service skips index construction for previously-seen
-  documents just as ``--plan-dir`` lets it skip the MFA rewrite.
+  documents just as ``--plan-dir`` lets it skip the MFA rewrite;
+* the columnar :class:`repro.docstore.layout.DocumentLayout` is
+  persisted alongside as a **binary, mmap-able sidecar**
+  (``.doclay.bin``: a fixed header + int32 little-endian columns), so a
+  cold worker that re-parses a known document rehydrates the layout
+  tables as zero-copy views over the mapped file instead of re-walking
+  the tree — and never touches a JSON decoder on the hot start path.
 
 Durability policy mirrors :class:`repro.compile.store.PlanStore`:
 atomic tmp-file + ``os.replace`` writes, corruption/version/shape
 mismatches are counted misses (the index is rebuilt and the file
 overwritten), and an unwritable disk degrades to memory-only operation
-— it never fails serving.
+— it never fails serving.  :meth:`DocIndexTier.gc` reclaims files the
+current version will never read (old-version filenames, foreign files
+under the tier's suffixes, stale headers).
 
 **Trust boundary.** Like the plan store, validation is structural, not
 cryptographic: point ``--doc-dir`` only at directories writable solely
@@ -32,8 +40,12 @@ from __future__ import annotations
 
 import gzip
 import json
+import mmap
 import os
+import struct
+import sys
 import threading
+from array import array
 from collections import OrderedDict
 from dataclasses import dataclass
 from pathlib import Path
@@ -46,14 +58,29 @@ from ..hype.index import (
 )
 from ..xtree.node import XMLTree
 from .document import IndexedDocument, content_digest
+from .layout import DocumentLayout
 
-#: Version of the persisted document-index format.  Bump whenever the
+#: Version of the persisted document-tier format.  Bump whenever a
 #: payload layout or the index semantics change; old files then simply
-#: stop matching (their filename carries the version) and are rebuilt.
-DOC_FORMAT_VERSION = 1
+#: stop matching (their filename carries the version) and are rebuilt —
+#: :meth:`DocIndexTier.gc` reclaims them.
+#: v2: adds the binary mmap-able layout sidecar (``.doclay.bin``); v1
+#: index files are never looked up again and are swept by ``gc``.
+DOC_FORMAT_VERSION = 2
 
 #: Suffix of index files inside a ``--doc-dir``.
 DOC_INDEX_SUFFIX = ".docidx.json.gz"
+
+#: Suffix of binary document-layout sidecars inside a ``--doc-dir``.
+DOC_LAYOUT_SUFFIX = ".doclay.bin"
+
+#: Magic prefix of a layout sidecar.  The fixed-size header that
+#: follows: format version, the 64-hex-char content-hash echo, then the
+#: node/label/kid counts and the byte length of the label blob — all
+#: little-endian u32, so the column offsets are computable without
+#: reading anything else.
+_LAYOUT_MAGIC = b"RLAY"
+_LAYOUT_HEADER = struct.Struct("<4sI64s4I")
 
 
 @dataclass
@@ -64,9 +91,11 @@ class DocStoreStats:
     a parse or adoption); ``index_builds`` counts real OptHyPE index
     constructions — the number the whole tier exists to minimise —
     while ``index_loads``/``index_stores`` count the persistent tier's
-    rehydrations and write-backs.  ``corrupt`` counts on-disk index
+    rehydrations and write-backs, and ``layout_loads``/``layout_stores``
+    the same for the binary layout sidecars.  ``corrupt`` counts on-disk
     files that failed validation (rebuilt and overwritten), ``errors``
-    counts I/O failures, ``evictions`` counts LRU drops.
+    counts I/O failures, ``evictions`` counts LRU drops, ``gc_removed``
+    counts files reclaimed by :meth:`DocIndexTier.gc`.
     """
 
     hits: int = 0
@@ -74,9 +103,12 @@ class DocStoreStats:
     index_builds: int = 0
     index_loads: int = 0
     index_stores: int = 0
+    layout_loads: int = 0
+    layout_stores: int = 0
     corrupt: int = 0
     errors: int = 0
     evictions: int = 0
+    gc_removed: int = 0
 
     def __post_init__(self) -> None:
         self._lock = threading.Lock()
@@ -94,9 +126,12 @@ class DocStoreStats:
                 self.index_builds,
                 self.index_loads,
                 self.index_stores,
+                self.layout_loads,
+                self.layout_stores,
                 self.corrupt,
                 self.errors,
                 self.evictions,
+                self.gc_removed,
             )
 
 
@@ -119,6 +154,12 @@ class DocIndexTier:
         variant = "c" if compressed else "u"
         return self.root / (
             f"{content_hash}.{variant}.v{DOC_FORMAT_VERSION}{DOC_INDEX_SUFFIX}"
+        )
+
+    def layout_path_for(self, content_hash: str) -> Path:
+        """The binary layout sidecar backing one document."""
+        return self.root / (
+            f"{content_hash}.v{DOC_FORMAT_VERSION}{DOC_LAYOUT_SUFFIX}"
         )
 
     # ------------------------------------------------------------------
@@ -181,6 +222,113 @@ class DocIndexTier:
             return False
         self.stats.count("index_stores")
         return True
+
+    # ------------------------------------------------------------------
+    def load_layout(
+        self, content_hash: str, tree: XMLTree
+    ) -> DocumentLayout | None:
+        """Rehydrate the binary layout sidecar, or ``None`` on any miss.
+
+        The file is mapped, not read: the integer columns become
+        zero-copy ``memoryview`` casts over the mapping (big-endian
+        hosts fall back to a byte-swapped copy), so a cold worker pays
+        one header validation instead of a tree walk — and no JSON.
+        The mapping stays alive exactly as long as the views into it.
+        """
+        path = self.layout_path_for(content_hash)
+        try:
+            with open(path, "rb") as handle:
+                buf = mmap.mmap(handle.fileno(), 0, access=mmap.ACCESS_READ)
+        except FileNotFoundError:
+            return None
+        except (OSError, ValueError):
+            # ValueError: mmap of an empty (half-created) file.
+            self.stats.count("corrupt")
+            return None
+        try:
+            layout = _layout_from_buffer(buf, content_hash, tree)
+        except ValueError:
+            # No explicit close: views into the mapping may survive in
+            # the (suppressed) traceback; the GC reclaims both together.
+            self.stats.count("corrupt")
+            return None
+        self.stats.count("layout_loads")
+        return layout
+
+    def save_layout(self, content_hash: str, layout: DocumentLayout) -> bool:
+        """Persist ``layout`` atomically (best effort; failures counted)."""
+        path = self.layout_path_for(content_hash)
+        tmp = path.with_name(
+            f"{path.name}.tmp.{os.getpid()}.{threading.get_ident()}"
+        )
+        try:
+            tmp.write_bytes(_layout_to_bytes(layout, content_hash))
+            os.replace(tmp, path)
+        except OSError:
+            self.stats.count("errors")
+            try:
+                tmp.unlink(missing_ok=True)
+            except OSError:
+                pass
+            return False
+        self.stats.count("layout_stores")
+        return True
+
+    # ------------------------------------------------------------------
+    def gc(self) -> int:
+        """Remove tier files the current format will never read.
+
+        Sweeps anything under the tier's suffixes that the running
+        version cannot serve: files whose name does not carry the
+        current ``.v{DOC_FORMAT_VERSION}`` tag (every pre-bump file),
+        and current-version layout sidecars whose header fails
+        validation (wrong magic/version/hash echo — e.g. a renamed or
+        half-corrupted file).  Unknown files are left alone.  Returns
+        the number removed (also counted in ``stats.gc_removed``).
+        """
+        tag = f".v{DOC_FORMAT_VERSION}"
+        removed = 0
+        try:
+            entries = sorted(self.root.iterdir())
+        except OSError:
+            self.stats.count("errors")
+            return 0
+        for path in entries:
+            name = path.name
+            if name.endswith(DOC_INDEX_SUFFIX):
+                stale = not name.endswith(f"{tag}{DOC_INDEX_SUFFIX}")
+            elif name.endswith(DOC_LAYOUT_SUFFIX):
+                stale = not name.endswith(
+                    f"{tag}{DOC_LAYOUT_SUFFIX}"
+                ) or not self._layout_header_ok(path)
+            else:
+                continue
+            if not stale:
+                continue
+            try:
+                path.unlink()
+            except OSError:
+                self.stats.count("errors")
+                continue
+            removed += 1
+            self.stats.count("gc_removed")
+        return removed
+
+    def _layout_header_ok(self, path: Path) -> bool:
+        """Whether a current-version sidecar's header echoes its name."""
+        try:
+            with open(path, "rb") as handle:
+                head = handle.read(_LAYOUT_HEADER.size)
+        except OSError:
+            return False
+        if len(head) != _LAYOUT_HEADER.size:
+            return False
+        magic, version, hash_bytes = _LAYOUT_HEADER.unpack(head)[:3]
+        return (
+            magic == _LAYOUT_MAGIC
+            and version == DOC_FORMAT_VERSION
+            and hash_bytes == path.name.split(".", 1)[0].encode("ascii")
+        )
 
     def __len__(self) -> int:
         """Number of index files currently in the tier."""
@@ -251,6 +399,120 @@ def _int_list(values: object) -> list[int]:
     ):
         raise ValueError("document-index arrays must hold integers")
     return values
+
+
+# ----------------------------------------------------------------------
+# Binary layout sidecar codec.  The record is header + label blob +
+# four int32 little-endian columns:
+#
+#   RLAY | u32 version | 64s content-hash | u32 num_nodes
+#        | u32 num_labels | u32 num_kids | u32 label-blob length
+#   labels blob (utf-8, NUL-joined, zero-padded to a 4-byte boundary)
+#   node_label[num_nodes]  kid_ids[num_kids]  kid_labels[num_kids]
+#   kid_start[num_nodes + 1]
+#
+# Fixed offsets and int32 columns make the load a handful of pointer
+# arithmetic operations over an mmap — the whole point of the format.
+
+
+def _int32_bytes(values) -> bytes:
+    """``values`` as int32 little-endian bytes (host-order agnostic)."""
+    column = array("i", values)
+    if column.itemsize != 4:  # pragma: no cover - exotic platforms
+        column = array("l", values)
+        assert column.itemsize == 4
+    if sys.byteorder == "big":  # pragma: no cover - big-endian hosts
+        column.byteswap()
+    return column.tobytes()
+
+
+def _int32_column(view: memoryview, offset: int, count: int):
+    """A zero-copy int32 view over ``view[offset:]`` (copy on BE hosts)."""
+    window = view[offset : offset + 4 * count]
+    if sys.byteorder == "little":
+        return window.cast("i")
+    column = array("i")  # pragma: no cover - big-endian hosts
+    column.frombytes(window.tobytes())
+    column.byteswap()
+    return column
+
+
+def _layout_to_bytes(layout: DocumentLayout, content_hash: str) -> bytes:
+    """Serialise one built layout into the binary sidecar record."""
+    blob = "\x00".join(layout.labels).encode("utf-8")
+    padding = -len(blob) % 4
+    num_nodes = len(layout.node_label)
+    parts = [
+        _LAYOUT_HEADER.pack(
+            _LAYOUT_MAGIC,
+            DOC_FORMAT_VERSION,
+            content_hash.encode("ascii"),
+            num_nodes,
+            len(layout.labels),
+            len(layout.kid_ids),
+            len(blob),
+        ),
+        blob,
+        b"\x00" * padding,
+        _int32_bytes(layout.node_label),
+        _int32_bytes(layout.kid_ids),
+        _int32_bytes(layout.kid_labels),
+        _int32_bytes(layout.kid_start),
+    ]
+    return b"".join(parts)
+
+
+def _layout_from_buffer(
+    buf, content_hash: str, tree: XMLTree
+) -> DocumentLayout:
+    """Decode and validate one sidecar (raises ``ValueError``).
+
+    Validation is structural and O(1) in the document size: magic,
+    version and hash echo, the node count against the live tree, exact
+    file length for the declared counts, and the span-table endpoints.
+    The columns themselves are trusted — same boundary as the index
+    records (a ``--doc-dir`` is as trusted as the process).
+    """
+    view = memoryview(buf)
+    if len(view) < _LAYOUT_HEADER.size:
+        raise ValueError("document-layout sidecar is truncated")
+    (
+        magic,
+        version,
+        hash_bytes,
+        num_nodes,
+        num_labels,
+        num_kids,
+        blob_len,
+    ) = _LAYOUT_HEADER.unpack_from(view, 0)
+    if magic != _LAYOUT_MAGIC:
+        raise ValueError("document-layout magic mismatch")
+    if version != DOC_FORMAT_VERSION:
+        raise ValueError("document-layout format version mismatch")
+    if hash_bytes != content_hash.encode("ascii"):
+        raise ValueError("document-layout content hash mismatch")
+    if num_nodes != len(tree.nodes):
+        raise ValueError("document-layout node count does not cover the tree")
+    offset = _LAYOUT_HEADER.size + blob_len + (-blob_len % 4)
+    expected = offset + 4 * (num_nodes + 2 * num_kids + num_nodes + 1)
+    if len(view) != expected:
+        raise ValueError("document-layout column lengths do not match header")
+    blob = bytes(view[_LAYOUT_HEADER.size : _LAYOUT_HEADER.size + blob_len])
+    labels = blob.decode("utf-8").split("\x00") if blob else []
+    if len(labels) != num_labels or len(set(labels)) != num_labels:
+        raise ValueError("document-layout label table is malformed")
+    node_label = _int32_column(view, offset, num_nodes)
+    offset += 4 * num_nodes
+    kid_ids = _int32_column(view, offset, num_kids)
+    offset += 4 * num_kids
+    kid_labels = _int32_column(view, offset, num_kids)
+    offset += 4 * num_kids
+    kid_start = _int32_column(view, offset, num_nodes + 1)
+    if num_nodes and (kid_start[0] != 0 or kid_start[num_nodes] != num_kids):
+        raise ValueError("document-layout span table is malformed")
+    return DocumentLayout.from_arrays(
+        tree, labels, node_label, kid_ids, kid_labels, kid_start
+    )
 
 
 class DocumentStore:

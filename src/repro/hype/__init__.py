@@ -12,7 +12,6 @@ from .api import (
 )
 from .core import (
     CompiledPlan,
-    HyPEEvaluator,
     HyPEResult,
     HyPEStats,
     RunCursor,
@@ -24,13 +23,13 @@ from .index import (
     SubtreeLabelIndex,
     build_index,
 )
+from .kernel import DenseKernel, descend, kernel_payload
 
 __all__ = [
     "hype_eval",
     "CompiledPlan",
     "RunCursor",
     "compile_plan",
-    "HyPEEvaluator",
     "HyPEResult",
     "HyPEStats",
     "evaluate_hype",
@@ -44,4 +43,17 @@ __all__ = [
     "CompressedLabelIndex",
     "LabelBits",
     "ViabilityAnalyzer",
+    "DenseKernel",
+    "descend",
+    "kernel_payload",
 ]
+
+
+def __getattr__(name: str):
+    if name == "HyPEEvaluator":
+        raise ImportError(
+            "HyPEEvaluator was removed (it had been a deprecated alias "
+            "since the plan/run-state split): construct "
+            "repro.hype.core.CompiledPlan instead"
+        )
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -41,14 +41,20 @@ lifetimes, and the classes here mirror that:
   and counters of ONE evaluation.  Cursors are cheap, built per run, and
   never shared between threads.
 
-``HyPEEvaluator`` remains as a deprecated alias of :class:`CompiledPlan`
-for code written against the pre-split API.
+The descent itself lives in :mod:`repro.hype.kernel`: each plan owns a
+:class:`repro.hype.kernel.DenseKernel` compiling its memo tables one
+level further — interned run configurations with flags packed into flat
+``array('i')`` transition words — and :func:`repro.hype.kernel.descend`
+is the single loop behind both :meth:`CompiledPlan.run` (a one-lane
+batch) and the batched evaluator of :mod:`repro.serve.batch`.
+
+``HyPEEvaluator`` (the pre-split alias, deprecated in PR 3) was removed;
+importing it raises a pointed :class:`ImportError`.
 """
 
 from __future__ import annotations
 
 import threading
-import warnings
 from dataclasses import dataclass, field
 
 from ..automata.afa import FINAL, TRANS, WILDCARD
@@ -57,6 +63,7 @@ from ..automata.truth import child_relevant, relevance_closure
 from ..xtree.node import Node
 from .analyze import ViabilityAnalyzer
 from .index import Index
+from .kernel import DenseKernel, descend
 
 
 @dataclass
@@ -80,47 +87,6 @@ class HyPEResult:
 
 
 _EMPTY = frozenset()
-
-
-def _plan_row(rows: dict, m_id: int, r_id: int, num_labels: int) -> list:
-    """The per-``(m, r)`` label-id row of a plan's columnar child cache.
-
-    Rows live in the layout's per-plan table (label ids are document
-    scoped); ``setdefault`` keeps concurrent first fills on one shared
-    list, the same benign-race contract as the string-keyed tables.
-    Shared with ``repro.serve.batch``'s columnar pass.
-    """
-    row = rows.get((m_id, r_id))
-    if row is None:
-        row = rows.setdefault((m_id, r_id), [None] * num_labels)
-    return row
-
-
-class _Frame:
-    """Per-node traversal frame (an entry of the paper's stack ``P``)."""
-
-    __slots__ = (
-        "node",
-        "visit_idx",
-        "mstates",
-        "relevant",
-        "trans_true",
-        "watch",
-        "parent",
-        "has_ann",
-    )
-
-    def __init__(
-        self, node, visit_idx, mstates, relevant, watch, parent, has_ann
-    ) -> None:
-        self.node = node
-        self.visit_idx = visit_idx
-        self.mstates = mstates
-        self.relevant = relevant
-        self.trans_true: set[int] | None = None
-        self.watch = watch
-        self.parent = parent
-        self.has_ann = has_ann
 
 
 class CompiledPlan:
@@ -152,10 +118,6 @@ class CompiledPlan:
         # fs -> (canonical fs object, id); the canonical object makes the
         # phase-2 `is` fast path valid.
         self._set_ids: dict[frozenset, tuple[frozenset, int]] = {}
-        # (mstates id, relevant id) -> {label ->
-        #     (base, base_id, mstates_v, m_id, relevant_v, r_id, watch,
-        #      has_finals, has_ann)}
-        self._child_cache: dict = {}
         # (mstates id, relevant id, mask) -> filtered pair
         self._filter_cache: dict = {}
         # relevant id -> (finals plan, trans plan, operator groups)
@@ -165,16 +127,13 @@ class CompiledPlan:
         self._pop_cache: dict = {}
         # (m_id, r_id, finals bitmask) -> frozenset of dead states
         self._dead_cache: dict = {}
-        # (m_id, r_id, watch) -> (deaths | None, watchers-to-report,
-        # resolved count) for *quiet* pops — no child-reported truths and
-        # no node-dependent final predicates — whose entire outcome is a
-        # pure function of the key; ``False`` marks keys that carry
-        # predicates and must take the full path.  Most pops of a run
-        # are quiet, so this collapses them to one dict probe.
-        self._quiet_cache: dict = {}
         # Phase-2 caches.
         self._step_cache: dict = {}
         self._avoid_cache: dict = {}
+        #: The dense evaluation core: interned run configurations, packed
+        #: transition words, the cfg-keyed quiet-pop cache, and the
+        #: single shared descent (:func:`repro.hype.kernel.descend`).
+        self.kernel = DenseKernel(self)
 
     # ------------------------------------------------------------------
     @classmethod
@@ -184,6 +143,7 @@ class CompiledPlan:
         algorithm: str,
         document,
         indexes: dict,
+        kernel: dict | None = None,
     ) -> "CompiledPlan":
         """Build (or rehydrate) the plan realising ``algorithm`` on ``mfa``.
 
@@ -198,7 +158,12 @@ class CompiledPlan:
         or tier-loads each variant exactly once under a lock) or the
         legacy plain ``dict[bool, Index]`` cache (``setdefault`` keeps
         concurrent cold builds converging on one object).  Every memo
-        table starts empty, filling lazily on first run.
+        table starts empty, filling lazily on first run — unless the
+        artifact shipped its eager dense closure, passed as ``kernel``
+        and preloaded into the plan's
+        :class:`repro.hype.kernel.DenseKernel` (pre-filter transitions
+        for all three algorithm variants; the document-dependent mask
+        filter rows always stay lazy).
         """
         from .api import ALGORITHMS, HYPE, OPTHYPE_C
         from .index import build_index
@@ -206,20 +171,24 @@ class CompiledPlan:
         if algorithm not in ALGORITHMS:
             raise ValueError(f"unknown algorithm {algorithm!r}")
         if algorithm == HYPE:
-            return cls(mfa)
-        compressed = algorithm == OPTHYPE_C
-        index_for = getattr(indexes, "index_for", None)
-        if index_for is not None:
-            index = index_for(compressed)
+            plan = cls(mfa)
         else:
-            index = indexes.get(compressed)
-            if index is None:
-                index = indexes.setdefault(
-                    compressed, build_index(document, compressed=compressed)
-                )
-        return cls(
-            mfa, index=index, analyzer=ViabilityAnalyzer(mfa, index.bits)
-        )
+            compressed = algorithm == OPTHYPE_C
+            index_for = getattr(indexes, "index_for", None)
+            if index_for is not None:
+                index = index_for(compressed)
+            else:
+                index = indexes.get(compressed)
+                if index is None:
+                    index = indexes.setdefault(
+                        compressed, build_index(document, compressed=compressed)
+                    )
+            plan = cls(
+                mfa, index=index, analyzer=ViabilityAnalyzer(mfa, index.bits)
+            )
+        if kernel:
+            plan.kernel.preload(kernel)
+        return plan
 
     # ------------------------------------------------------------------
     def _intern(self, fs: frozenset) -> tuple[frozenset, int]:
@@ -233,15 +202,6 @@ class CompiledPlan:
             entry = (fs, len(self._set_ids))
             self._set_ids[fs] = entry
             return entry
-
-    def _child_labels(self, m_id: int, r_id: int) -> dict:
-        """The (shared) per-(m, r) label map of the child cache."""
-        key = (m_id, r_id)
-        labels = self._child_cache.get(key)
-        if labels is None:
-            # setdefault keeps concurrent first fills on one shared dict.
-            labels = self._child_cache.setdefault(key, {})
-        return labels
 
     # ------------------------------------------------------------------
     def cursor(self) -> "RunCursor":
@@ -282,223 +242,24 @@ class CompiledPlan:
     def run(self, context: Node, layout=None) -> HyPEResult:
         """Evaluate ``context[[M]]`` in one pass + one cans traversal.
 
-        Safe to call from many threads at once: all mutable per-run state
-        lives on a private :class:`RunCursor`.  The descent below is
-        mirrored lane-wise by ``repro.serve.batch.BatchEvaluator._pass``
-        (kept separate for hot-path speed): changes here must be
-        reflected there, with ``tests/test_serve_batch.py`` enforcing the
-        equivalence.
+        Safe to call from many threads at once: all mutable per-run
+        state lives on a private :class:`RunCursor`.  The pass itself is
+        :func:`repro.hype.kernel.descend` driven with a single lane —
+        the same loop the batched evaluator
+        (:class:`repro.serve.batch.BatchEvaluator`) drives with N lanes,
+        so there is exactly one descent implementation to maintain.
 
         ``layout`` — a :class:`repro.docstore.layout.DocumentLayout` of
-        the context's document — switches the descent to the interned
-        columnar fast path (:meth:`_run_columnar`): flat integer arrays
-        instead of ``Node`` attribute walks, child rows keyed by interned
-        label id instead of string-hashed dicts.  Answers and per-run
-        :class:`HyPEStats` are identical either way (property-tested in
-        ``tests/test_hype_columnar.py``); a layout that does not cover
+        the context's document — switches the descent to the dense
+        columnar fast path: per-cfg ``array('i')`` transition rows
+        indexed by interned label id instead of string-keyed dicts.
+        Answers and per-run :class:`HyPEStats` are identical either way
+        (property-tested in ``tests/test_hype_columnar.py`` and
+        ``tests/test_hype_kernel.py``); a layout that does not cover
         ``context`` falls back to the string path.
         """
-        if layout is not None and layout.covers(context):
-            return self._run_columnar(context, layout)
-        nfa = self.mfa.nfa
         cursor = RunCursor(self)
-        root = cursor.admit_root(context)
-        if root is None:
-            return cursor.finish()
-        root_frame, m_id0, r_id0, root_labels = root
-
-        finals = nfa.finals
-        deaths = cursor.deaths
-        finals_seen = cursor.finals_seen
-        visit_nodes = cursor.visit_nodes
-        visited = 1
-        skipped = 0
-        cans_vertices = cursor.cans_vertices
-
-        stack: list[tuple[_Frame, int, int, dict, object]] = [
-            (root_frame, m_id0, r_id0, root_labels, iter(context.children))
-        ]
-        use_index = self.index is not None
-        nodes_append = visit_nodes.append
-        parents_append = cursor.visit_parents.append
-        mstates_append = cursor.visit_mstates.append
-        while stack:
-            frame, m_id, r_id, label_map, child_iter = stack[-1]
-            child = next(child_iter, None)  # type: ignore[arg-type]
-            if child is not None:
-                label = child.label
-                if label[0] == "#":  # text node
-                    continue
-                cached = label_map.get(label)
-                if cached is None:
-                    cached = self._compute_child_sets(
-                        frame.mstates, frame.relevant, label
-                    )
-                    label_map[label] = cached
-                (
-                    base_v,
-                    base_idv,
-                    mstates_v,
-                    m_idv,
-                    relevant_v,
-                    r_idv,
-                    watch,
-                    has_final,
-                    has_ann,
-                ) = cached
-                if use_index and (mstates_v or relevant_v):
-                    mstates_v, m_idv, relevant_v, r_idv = self._apply_index(
-                        base_v, base_idv, relevant_v, r_idv, child.node_id
-                    )
-                    has_final = bool(mstates_v & finals)
-                    has_ann = any(s in nfa.ann for s in mstates_v)
-                if not mstates_v and not relevant_v:
-                    skipped += 1
-                    continue
-                visited += 1
-                visit_idx = len(visit_nodes)
-                nodes_append(child)
-                parents_append(frame.visit_idx)
-                mstates_append(mstates_v)
-                cans_vertices += len(mstates_v)
-                if has_final:
-                    finals_seen.append(child)
-                child_frame = _Frame(
-                    child, visit_idx, mstates_v, relevant_v, watch, frame, has_ann
-                )
-                child_labels = self._child_labels(m_idv, r_idv)
-                stack.append(
-                    (child_frame, m_idv, r_idv, child_labels, iter(child.children))
-                )
-                continue
-            # All children processed: pop (lines 11-21 of Fig. 6).
-            stack.pop()
-            if frame.relevant and (frame.watch or frame.has_ann):
-                self._pop(frame, m_id, r_id, deaths, cursor.stats)
-        cursor.visited = visited
-        cursor.skipped = skipped
-        cursor.cans_vertices = cans_vertices
-        return cursor.finish()
-
-    def _run_columnar(self, context: Node, layout) -> HyPEResult:
-        """The interned columnar descent (the document-layout fast path).
-
-        Observationally identical to the string-path loop in :meth:`run`
-        — same visits in the same order, same counters, same cans DAG —
-        but driven by the layout's flat tables: children come from the
-        precomputed element-kid spans (text nodes excluded at layout
-        build, so the per-child ``"#"`` test is gone), labels are
-        interned ints, and the per-``(mstates, relevant)`` child cache is
-        a list indexed by label id instead of a string-keyed dict.  Node
-        objects are only materialised for *surviving* children (the cans
-        DAG, predicates and phase 2 need them).  Mirrored lane-wise by
-        ``repro.serve.batch.BatchEvaluator._pass_columnar``.
-        """
-        nfa = self.mfa.nfa
-        cursor = RunCursor(self)
-        root = cursor.admit_root(context)
-        if root is None:
-            return cursor.finish()
-        root_frame, m_id0, r_id0, _root_labels = root
-        rows = layout.rows_for(self)
-        num_labels = layout.num_labels
-        row0 = _plan_row(rows, m_id0, r_id0, num_labels)
-
-        finals = nfa.finals
-        ann = nfa.ann
-        deaths = cursor.deaths
-        finals_seen = cursor.finals_seen
-        visit_nodes = cursor.visit_nodes
-        visited = 1
-        skipped = 0
-        cans_vertices = cursor.cans_vertices
-
-        nodes = layout.nodes
-        kid_ids = layout.kid_ids
-        kid_labels = layout.kid_labels
-        kid_start = layout.kid_start
-        labels = layout.labels
-        use_index = self.index is not None
-        nodes_append = visit_nodes.append
-        parents_append = cursor.visit_parents.append
-        mstates_append = cursor.visit_mstates.append
-
-        cid0 = context.node_id
-        # Frames are mutable lists so the kid cursor advances in place:
-        # [frame, m_id, r_id, row, next_kid, kid_end].
-        stack: list[list] = [
-            [root_frame, m_id0, r_id0, row0, kid_start[cid0], kid_start[cid0 + 1]]
-        ]
-        stack_append = stack.append
-        while stack:
-            top = stack[-1]
-            ki = top[4]
-            if ki < top[5]:
-                top[4] = ki + 1
-                frame = top[0]
-                lid = kid_labels[ki]
-                cached = top[3][lid]
-                if cached is None:
-                    cached = self._compute_child_sets(
-                        frame.mstates, frame.relevant, labels[lid]
-                    )
-                    top[3][lid] = cached
-                (
-                    base_v,
-                    base_idv,
-                    mstates_v,
-                    m_idv,
-                    relevant_v,
-                    r_idv,
-                    watch,
-                    has_final,
-                    has_ann,
-                ) = cached
-                cid = kid_ids[ki]
-                if use_index and (mstates_v or relevant_v):
-                    mstates_v, m_idv, relevant_v, r_idv = self._apply_index(
-                        base_v, base_idv, relevant_v, r_idv, cid
-                    )
-                    has_final = bool(mstates_v & finals)
-                    has_ann = any(s in ann for s in mstates_v)
-                if not mstates_v and not relevant_v:
-                    skipped += 1
-                    continue
-                visited += 1
-                child = nodes[cid]
-                visit_idx = len(visit_nodes)
-                nodes_append(child)
-                parents_append(frame.visit_idx)
-                mstates_append(mstates_v)
-                cans_vertices += len(mstates_v)
-                if has_final:
-                    finals_seen.append(child)
-                child_frame = _Frame(
-                    child, visit_idx, mstates_v, relevant_v, watch, frame, has_ann
-                )
-                row_key = (m_idv, r_idv)
-                child_row = rows.get(row_key)
-                if child_row is None:
-                    child_row = rows.setdefault(row_key, [None] * num_labels)
-                stack_append(
-                    [
-                        child_frame,
-                        m_idv,
-                        r_idv,
-                        child_row,
-                        kid_start[cid],
-                        kid_start[cid + 1],
-                    ]
-                )
-                continue
-            # All element kids processed: pop (lines 11-21 of Fig. 6).
-            stack.pop()
-            frame = top[0]
-            if frame.relevant and (frame.watch or frame.has_ann):
-                self._pop(frame, top[1], top[2], deaths, cursor.stats)
-        cursor.visited = visited
-        cursor.skipped = skipped
-        cursor.cans_vertices = cans_vertices
+        descend([(self, cursor)], context, layout)
         return cursor.finish()
 
     # ------------------------------------------------------------------
@@ -623,107 +384,6 @@ class CompiledPlan:
         plan = (tuple(finals), tuple(trans), tuple(groups))
         self._plan_cache[r_id] = plan
         return plan
-
-    def _pop(self, frame: _Frame, m_id: int, r_id: int, deaths, stats) -> None:
-        node = frame.node
-        trans_true = frame.trans_true
-        if not trans_true:
-            # Quiet pop: no child reported a truth.  If the relevant set
-            # also has no node-dependent final predicates, the whole
-            # outcome (deaths, watcher reports, resolved count) is a
-            # pure function of (m_id, r_id, watch) — serve it from one
-            # cache probe.
-            quiet_key = (m_id, r_id, frame.watch)
-            quiet = self._quiet_cache.get(quiet_key)
-            if quiet is None:
-                quiet = self._compute_quiet(quiet_key, frame)
-            if quiet is not False:
-                dead, report, resolved = quiet
-                if dead:
-                    deaths[frame.visit_idx] = dead
-                stats.afa_states_resolved += resolved
-                if report:
-                    parent = frame.parent
-                    if parent is not None:
-                        trues = parent.trans_true
-                        if trues is None:
-                            trues = parent.trans_true = set()
-                        trues.update(report)
-                return
-        finals, trans, groups = self._relevant_plan(r_id, frame.relevant)
-        values: dict[int, bool] | None = None
-        if not trans_true:
-            # No child contributed a truth: the resolution depends only on
-            # the relevant set and the final-state predicate outcomes here.
-            bits = 0
-            for position, (state, pred) in enumerate(finals):
-                if pred is None or pred.holds(node):
-                    bits |= 1 << position
-            cache_key = (r_id, bits)
-            values = self._pop_cache.get(cache_key)
-            if values is None:
-                values = self._resolve(finals, trans, groups, None, bits)
-                self._pop_cache[cache_key] = values
-            # Deaths are then also a pure function of (mstates, values).
-            if frame.has_ann:
-                dead_key = (m_id, r_id, bits)
-                dead = self._dead_cache.get(dead_key)
-                if dead is None:
-                    dead = self._compute_dead(frame.mstates, values)
-                    self._dead_cache[dead_key] = dead
-                if dead:
-                    deaths[frame.visit_idx] = dead
-        else:
-            bits = 0
-            for position, (state, pred) in enumerate(finals):
-                if pred is None or pred.holds(node):
-                    bits |= 1 << position
-            values = self._resolve(finals, trans, groups, trans_true, bits)
-            if frame.has_ann:
-                dead = self._compute_dead(frame.mstates, values)
-                if dead:
-                    deaths[frame.visit_idx] = dead
-        stats.afa_states_resolved += len(values)
-        # Report established truths to the parent (fstates↑).
-        if frame.watch and frame.parent is not None:
-            parent = frame.parent
-            trues = parent.trans_true
-            if trues is None:
-                trues = parent.trans_true = set()
-            for watcher, target in frame.watch:
-                if values.get(target, False):
-                    trues.add(watcher)
-
-    def _compute_quiet(self, quiet_key, frame: _Frame):
-        """Build (or reject) one quiet-pop cache entry.
-
-        Returns ``False`` — and caches it — when the relevant set carries
-        final-state predicates, whose outcome depends on the node and so
-        cannot be memoised per ``(m_id, r_id, watch)``.
-        """
-        m_id, r_id, watch = quiet_key
-        finals, trans, groups = self._relevant_plan(r_id, frame.relevant)
-        if finals:
-            self._quiet_cache[quiet_key] = False
-            return False
-        cache_key = (r_id, 0)
-        values = self._pop_cache.get(cache_key)
-        if values is None:
-            values = self._resolve(finals, trans, groups, None, 0)
-            self._pop_cache[cache_key] = values
-        dead = None
-        if frame.has_ann:
-            dead_key = (m_id, r_id, 0)
-            dead = self._dead_cache.get(dead_key)
-            if dead is None:
-                dead = self._compute_dead(frame.mstates, values)
-                self._dead_cache[dead_key] = dead
-        report = tuple(
-            watcher for watcher, target in watch if values.get(target, False)
-        )
-        quiet = (dead, report, len(values))
-        self._quiet_cache[quiet_key] = quiet
-        return quiet
 
     def _resolve(self, finals, trans, groups, trans_true, bits) -> dict[int, bool]:
         """Leaf values + operator fixpoint for one node (or cache entry)."""
@@ -877,29 +537,6 @@ class RunCursor:
         self.skipped = 0
         self.cans_vertices = 0
 
-    def admit_root(self, context: Node):
-        """Enter ``context`` as the run's root visit.
-
-        Returns ``(frame, m_id, r_id, label_map)`` for the descent, or
-        ``None`` when the plan is dead at the root (the run then finishes
-        immediately with the all-zero result).
-        """
-        plan = self.plan
-        mstates0, m_id0, relevant0, r_id0 = plan.initial_sets(context)
-        if not mstates0 and not relevant0:
-            return None
-        nfa = plan.mfa.nfa
-        self.visit_nodes.append(context)
-        self.visit_parents.append(-1)
-        self.visit_mstates.append(mstates0)
-        self.visited = 1
-        self.cans_vertices = len(mstates0)
-        if mstates0 & nfa.finals:
-            self.finals_seen.append(context)
-        has_ann0 = any(s in nfa.ann for s in mstates0)
-        frame = _Frame(context, 0, mstates0, relevant0, (), None, has_ann0)
-        return frame, m_id0, r_id0, plan._child_labels(m_id0, r_id0)
-
     def finish(self) -> HyPEResult:
         """Phase 2 (cans traversal) + the run's final counters."""
         stats = self.stats
@@ -918,23 +555,14 @@ class RunCursor:
         return HyPEResult(answers, stats)
 
 
-class HyPEEvaluator(CompiledPlan):
-    """Deprecated alias of :class:`CompiledPlan`.
-
-    Kept so code written before the plan/run-state split keeps importing
-    and constructing; new code should say ``CompiledPlan``.  Construction
-    emits a :class:`DeprecationWarning` (behaviour is otherwise
-    identical).
-    """
-
-    def __init__(self, *args, **kwargs) -> None:
-        warnings.warn(
-            "HyPEEvaluator is a deprecated alias; construct "
-            "repro.hype.core.CompiledPlan instead",
-            DeprecationWarning,
-            stacklevel=2,
+def __getattr__(name: str):
+    if name == "HyPEEvaluator":
+        raise ImportError(
+            "HyPEEvaluator was removed (it had been a deprecated alias "
+            "since the plan/run-state split): construct "
+            "repro.hype.core.CompiledPlan instead"
         )
-        super().__init__(*args, **kwargs)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 
 def hype_eval(

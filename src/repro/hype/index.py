@@ -101,6 +101,11 @@ class SubtreeLabelIndex:
         """
         return self.masks[node_id]
 
+    @property
+    def mask_keys(self):
+        """Per-node mask keys as one indexable column (the kernel's view)."""
+        return self.masks
+
     def memory_entries(self) -> int:
         """Index footprint proxy: number of stored mask words."""
         return len(self.masks)
@@ -152,6 +157,11 @@ class CompressedLabelIndex:
         documents.
         """
         return self.ids[node_id]
+
+    @property
+    def mask_keys(self):
+        """Per-node mask keys as one indexable column (the kernel's view)."""
+        return self.ids
 
     def memory_entries(self) -> int:
         """Footprint proxy: id array + unique-mask table."""

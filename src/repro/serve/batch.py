@@ -9,13 +9,17 @@ a *lane* carrying its own ``mstates``/``fstates`` cursor, and a subtree
 is descended iff **at least one** lane keeps live states for it — i.e. a
 subtree is pruned only when *every* live automaton allows the prune.
 
-Correctness: a lane computes child sets only at nodes where it is itself
-live, calls the same per-plan transition/pop machinery, and records its
-own cans DAG into its own :class:`repro.hype.core.RunCursor` — exactly
-the state the sequential run would build.  So per-lane answers *and*
-per-lane statistics (visited, skipped, gate failures) are identical to N
-sequential runs; only the shared traversal count (:class:`BatchStats`)
-differs, and that is the win being measured.
+Correctness: a lane steps its plan's dense kernel only at nodes where
+it is itself live, calls the same transition/pop machinery, and records
+its own cans DAG into its own :class:`repro.hype.core.RunCursor` —
+exactly the state the sequential run would build.  So per-lane answers
+*and* per-lane statistics (visited, skipped, gate failures) are
+identical to N sequential runs; only the shared traversal count
+(:class:`BatchStats`) differs, and that is the win being measured.
+
+The pass itself is :func:`repro.hype.kernel.descend` — the SAME loop a
+sequential :meth:`repro.hype.core.CompiledPlan.run` drives with one
+lane, so there is no mirrored descent to keep in lockstep anymore.
 
 Sharing: lanes are :class:`CompiledPlan` objects, so two lanes given the
 *same* plan object (e.g. the same view query admitted for two tenants)
@@ -27,7 +31,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from ..hype.core import CompiledPlan, HyPEResult, RunCursor, _Frame, _plan_row
+from ..hype.core import CompiledPlan, HyPEResult, RunCursor
+from ..hype.kernel import descend
 from ..xtree.node import Node
 
 
@@ -92,216 +97,19 @@ class BatchEvaluator:
 
         With a ``layout`` (the context document's columnar
         :class:`repro.docstore.layout.DocumentLayout`) the shared pass
-        runs the interned fast path — flat kid spans and label-id-keyed
-        child rows per lane — mirroring
-        :meth:`repro.hype.core.CompiledPlan._run_columnar` exactly as
-        the string pass mirrors the string run.  Per-lane answers and
-        stats are identical either way.
+        runs the dense columnar fast path — flat kid spans and per-cfg
+        ``array('i')`` transition rows per lane; without one it walks
+        cached element-children lists.  Either way the pass is the one
+        shared :func:`repro.hype.kernel.descend` loop, and per-lane
+        answers and stats are identical to N sequential runs.  A lane
+        dead at the root never enters the pass (the sequential run
+        returns the all-zero result immediately).
         """
-        if layout is not None and not layout.covers(context):
-            layout = None
         stats = BatchStats(lanes=len(self.plans))
         cursors = [RunCursor(plan) for plan in self.plans]
-
-        # Root admission: a lane dead at the root never enters the pass
-        # (the sequential run returns the all-zero result immediately).
-        root_entries = []
-        for cursor in cursors:
-            root = cursor.admit_root(context)
-            if root is None:
-                continue
-            frame, m_id0, r_id0, label_map = root
-            if layout is None:
-                root_entries.append((cursor, frame, m_id0, r_id0, label_map))
-            else:
-                rows = layout.rows_for(cursor.plan)
-                row = _plan_row(rows, m_id0, r_id0, layout.num_labels)
-                root_entries.append((cursor, frame, m_id0, r_id0, row, rows))
-
-        if root_entries:
-            stats.visited_elements = 1
-            if layout is None:
-                self._pass(context, root_entries, stats)
-            else:
-                self._pass_columnar(context, root_entries, stats, layout)
-
+        descend(
+            list(zip(self.plans, cursors)), context, layout, shared=stats
+        )
         results = [cursor.finish() for cursor in cursors]
         stats.sequential_visited = sum(r.stats.visited_elements for r in results)
         return BatchResult(results, stats)
-
-    # ------------------------------------------------------------------
-    def _pass(self, context: Node, root_entries, stats: BatchStats) -> None:
-        """The shared depth-first pass (Fig. 6 driven once for all lanes).
-
-        This mirrors the phase-1 descent of ``CompiledPlan.run``
-        deliberately rather than sharing a per-child callable — the
-        descent is the hottest loop in the library and an indirection
-        there costs every sequential query.  Any change to the sequential
-        descent MUST be mirrored here; the per-lane equivalence property
-        tests in ``tests/test_serve_batch.py`` are the lockstep guard.
-        """
-        stack: list[tuple[list, object]] = [
-            (root_entries, iter(context.children))
-        ]
-        while stack:
-            entries, child_iter = stack[-1]
-            child = next(child_iter, None)  # type: ignore[arg-type]
-            if child is None:
-                # All children processed: pop every lane's frame.
-                stack.pop()
-                for cursor, frame, m_id, r_id, _label_map in entries:
-                    if frame.relevant and (frame.watch or frame.has_ann):
-                        cursor.plan._pop(
-                            frame, m_id, r_id, cursor.deaths, cursor.stats
-                        )
-                continue
-            label = child.label
-            if label[0] == "#":  # text node
-                continue
-            survivors = []
-            for cursor, frame, _m_id, _r_id, label_map in entries:
-                plan = cursor.plan
-                cached = label_map.get(label)
-                if cached is None:
-                    cached = plan._compute_child_sets(
-                        frame.mstates, frame.relevant, label
-                    )
-                    label_map[label] = cached
-                (
-                    base_v,
-                    base_idv,
-                    mstates_v,
-                    m_idv,
-                    relevant_v,
-                    r_idv,
-                    watch,
-                    has_final,
-                    has_ann,
-                ) = cached
-                nfa = plan.mfa.nfa
-                if plan.index is not None and (mstates_v or relevant_v):
-                    mstates_v, m_idv, relevant_v, r_idv = plan._apply_index(
-                        base_v, base_idv, relevant_v, r_idv, child.node_id
-                    )
-                    has_final = bool(mstates_v & nfa.finals)
-                    has_ann = any(s in nfa.ann for s in mstates_v)
-                if not mstates_v and not relevant_v:
-                    # This lane prunes the subtree; others may still descend.
-                    cursor.skipped += 1
-                    continue
-                cursor.visited += 1
-                visit_idx = len(cursor.visit_nodes)
-                cursor.visit_nodes.append(child)
-                cursor.visit_parents.append(frame.visit_idx)
-                cursor.visit_mstates.append(mstates_v)
-                cursor.cans_vertices += len(mstates_v)
-                if has_final:
-                    cursor.finals_seen.append(child)
-                child_frame = _Frame(
-                    child, visit_idx, mstates_v, relevant_v, watch, frame, has_ann
-                )
-                child_labels = plan._child_labels(m_idv, r_idv)
-                survivors.append(
-                    (cursor, child_frame, m_idv, r_idv, child_labels)
-                )
-            if survivors:
-                stats.visited_elements += 1
-                stack.append((survivors, iter(child.children)))
-            else:
-                stats.skipped_subtrees += 1
-
-    # ------------------------------------------------------------------
-    def _pass_columnar(
-        self, context: Node, root_entries, stats: BatchStats, layout
-    ) -> None:
-        """The shared interned columnar pass (the layout fast path).
-
-        Mirrors :meth:`repro.hype.core.CompiledPlan._run_columnar`
-        lane-wise: one flat kid-span walk drives every lane, child rows
-        are label-id-indexed lists per ``(plan, layout)``, and the child
-        ``Node`` is materialised once per visited element (not per
-        lane).  Entries are ``(cursor, frame, m_id, r_id, row, rows)``.
-        """
-        nodes = layout.nodes
-        kid_ids = layout.kid_ids
-        kid_labels = layout.kid_labels
-        kid_start = layout.kid_start
-        labels = layout.labels
-        num_labels = layout.num_labels
-        cid0 = context.node_id
-        # [entries, next_kid, kid_end] — the kid cursor advances in place.
-        stack: list[list] = [
-            [root_entries, kid_start[cid0], kid_start[cid0 + 1]]
-        ]
-        while stack:
-            top = stack[-1]
-            ki = top[1]
-            if ki >= top[2]:
-                # All element kids processed: pop every lane's frame.
-                stack.pop()
-                for cursor, frame, m_id, r_id, _row, _rows in top[0]:
-                    if frame.relevant and (frame.watch or frame.has_ann):
-                        cursor.plan._pop(
-                            frame, m_id, r_id, cursor.deaths, cursor.stats
-                        )
-                continue
-            top[1] = ki + 1
-            lid = kid_labels[ki]
-            cid = kid_ids[ki]
-            child = None
-            survivors = []
-            for cursor, frame, _m_id, _r_id, row, rows in top[0]:
-                plan = cursor.plan
-                cached = row[lid]
-                if cached is None:
-                    cached = plan._compute_child_sets(
-                        frame.mstates, frame.relevant, labels[lid]
-                    )
-                    row[lid] = cached
-                (
-                    base_v,
-                    base_idv,
-                    mstates_v,
-                    m_idv,
-                    relevant_v,
-                    r_idv,
-                    watch,
-                    has_final,
-                    has_ann,
-                ) = cached
-                nfa = plan.mfa.nfa
-                if plan.index is not None and (mstates_v or relevant_v):
-                    mstates_v, m_idv, relevant_v, r_idv = plan._apply_index(
-                        base_v, base_idv, relevant_v, r_idv, cid
-                    )
-                    has_final = bool(mstates_v & nfa.finals)
-                    has_ann = any(s in nfa.ann for s in mstates_v)
-                if not mstates_v and not relevant_v:
-                    # This lane prunes the subtree; others may still descend.
-                    cursor.skipped += 1
-                    continue
-                cursor.visited += 1
-                if child is None:
-                    child = nodes[cid]
-                visit_idx = len(cursor.visit_nodes)
-                cursor.visit_nodes.append(child)
-                cursor.visit_parents.append(frame.visit_idx)
-                cursor.visit_mstates.append(mstates_v)
-                cursor.cans_vertices += len(mstates_v)
-                if has_final:
-                    cursor.finals_seen.append(child)
-                child_frame = _Frame(
-                    child, visit_idx, mstates_v, relevant_v, watch, frame, has_ann
-                )
-                row_key = (m_idv, r_idv)
-                child_row = rows.get(row_key)
-                if child_row is None:
-                    child_row = rows.setdefault(row_key, [None] * num_labels)
-                survivors.append(
-                    (cursor, child_frame, m_idv, r_idv, child_row, rows)
-                )
-            if survivors:
-                stats.visited_elements += 1
-                stack.append([survivors, kid_start[cid], kid_start[cid + 1]])
-            else:
-                stats.skipped_subtrees += 1

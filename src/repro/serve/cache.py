@@ -113,7 +113,10 @@ class CachedPlan:
         ``indexes`` is the caller's per-document index cache
         (``compressed -> Index``), shared across plans; construction
         delegates to :meth:`repro.hype.core.CompiledPlan.for_algorithm`,
-        the same rehydration path a persisted artifact takes.
+        the same rehydration path a persisted artifact takes.  When the
+        backing artifact carries a dense kernel closure (format v3),
+        every algorithm variant is preloaded from it — a rehydrated
+        plan's hot loop starts filled.
         """
         plan = self.plans.get(algorithm)
         if plan is not None:
@@ -122,8 +125,13 @@ class CachedPlan:
             plan = self.plans.get(algorithm)
             if plan is not None:
                 return plan
+            artifact = self.artifact
             plan = CompiledPlan.for_algorithm(
-                self.mfa, algorithm, document, indexes
+                self.mfa,
+                algorithm,
+                document,
+                indexes,
+                kernel=artifact.kernel if artifact is not None else None,
             )
             self.plans[algorithm] = plan
             return plan

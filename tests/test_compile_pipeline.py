@@ -21,7 +21,14 @@ from repro.compile import (
     PlanArtifact,
     QueryCompiler,
 )
-from repro.compile.pipeline import NORMALIZE, PARSE, REWRITE, TRANSLATE, TRIM
+from repro.compile.pipeline import (
+    DENSE,
+    NORMALIZE,
+    PARSE,
+    REWRITE,
+    TRANSLATE,
+    TRIM,
+)
 from repro.hype import CompiledPlan
 from repro.serve.cache import normalized_query_text
 from repro.views.samples import sigma0
@@ -41,9 +48,10 @@ class TestStages:
         assert stats.stage(REWRITE).count == 1
         assert stats.stage(TRIM).count == 1
         assert stats.stage(TRANSLATE).count == 0
+        assert stats.stage(DENSE).count == 1
         assert stats.rewrites == 1
         assert stats.total_seconds > 0.0
-        assert set(artifact.stages) == {REWRITE, TRIM}
+        assert set(artifact.stages) == {REWRITE, TRIM, DENSE}
 
     def test_direct_compilation_runs_translate(self):
         compiler = QueryCompiler()

@@ -281,8 +281,146 @@ class TestPersistentTier:
         )
         index = store.get(hospital_xml).index_for(True)
         assert index is not None
-        assert store.stats.errors == 1 and store.stats.index_stores == 0
+        # Two counted write failures: the layout sidecar and the index.
+        assert store.stats.errors == 2
+        assert store.stats.index_stores == 0 and store.stats.layout_stores == 0
 
+    def test_restart_rehydrates_the_layout_sidecar(
+        self, tmp_path, hospital_xml
+    ):
+        cold = DocumentStore(index_dir=tmp_path / "docs")
+        built = cold.get(hospital_xml).layout
+        assert cold.stats.layout_stores == 1
+        assert cold.stats.layout_loads == 0
+
+        warm = DocumentStore(index_dir=tmp_path / "docs")
+        loaded = warm.get(hospital_xml).layout
+        assert warm.stats.layout_loads == 1
+        assert warm.stats.layout_stores == 0
+        # A rehydrated layout is column-identical to a built one.
+        assert loaded.labels == built.labels
+        assert loaded.label_ids == built.label_ids
+        assert list(loaded.node_label) == built.node_label
+        assert list(loaded.kid_ids) == built.kid_ids
+        assert list(loaded.kid_labels) == built.kid_labels
+        assert list(loaded.kid_start) == built.kid_start
+        assert loaded.covers(warm.get(hospital_xml).tree.root)
+
+    def test_rehydrated_layout_answers_like_built(
+        self, tmp_path, hospital_xml
+    ):
+        from repro.hype.api import to_mfa
+        from repro.hype.core import CompiledPlan
+
+        cold = DocumentStore(index_dir=tmp_path / "docs")
+        doc_cold = cold.get(hospital_xml)
+        warm = DocumentStore(index_dir=tmp_path / "docs")
+        doc_warm = warm.get(hospital_xml)
+        assert warm.stats.layout_loads == 1
+        mfa = to_mfa("//patient[.//diagnosis/text() = 'heart disease']")
+        built = CompiledPlan(mfa).run(doc_cold.tree.root, layout=doc_cold.layout)
+        loaded = CompiledPlan(mfa).run(doc_warm.tree.root, layout=doc_warm.layout)
+        assert {n.node_id for n in built.answers} == {
+            n.node_id for n in loaded.answers
+        }
+        assert built.stats == loaded.stats
+
+    def test_corrupt_sidecar_is_counted_rebuilt_and_overwritten(
+        self, tmp_path, hospital_xml
+    ):
+        cold = DocumentStore(index_dir=tmp_path / "docs")
+        doc = cold.get(hospital_xml)
+        path = cold.tier.layout_path_for(doc.content_hash)
+        path.write_bytes(b"RLAY not a real sidecar")
+
+        warm = DocumentStore(index_dir=tmp_path / "docs")
+        warm.get(hospital_xml)
+        assert warm.stats.corrupt == 1
+        assert warm.stats.layout_loads == 0
+        assert warm.stats.layout_stores == 1  # rebuilt and overwritten
+
+    def test_truncated_sidecar_is_a_counted_miss(
+        self, tmp_path, hospital_xml
+    ):
+        cold = DocumentStore(index_dir=tmp_path / "docs")
+        doc = cold.get(hospital_xml)
+        path = cold.tier.layout_path_for(doc.content_hash)
+        raw = path.read_bytes()
+        path.write_bytes(raw[: len(raw) // 2])  # valid header, cut columns
+
+        warm = DocumentStore(index_dir=tmp_path / "docs")
+        warm.get(hospital_xml)
+        assert warm.stats.corrupt == 1 and warm.stats.layout_stores == 1
+
+    def test_sidecar_hash_mismatch_is_rejected(self, tmp_path, hospital_xml):
+        """A sidecar renamed onto another document's key is never served."""
+        cold = DocumentStore(index_dir=tmp_path / "docs")
+        doc = cold.get(hospital_xml)
+        other_xml = "<hospital><department/></hospital>"
+        other_hash = content_digest(other_xml)
+        source = cold.tier.layout_path_for(doc.content_hash)
+        target = cold.tier.layout_path_for(other_hash)
+        target.write_bytes(source.read_bytes())
+
+        warm = DocumentStore(index_dir=tmp_path / "docs")
+        warm.get(other_xml)
+        assert warm.stats.corrupt == 1 and warm.stats.layout_stores == 1
+
+    def test_empty_sidecar_file_is_a_counted_miss(
+        self, tmp_path, hospital_xml
+    ):
+        """Regression: mmap of a zero-byte (half-created) file raises
+        ValueError — it must degrade to a counted rebuild."""
+        cold = DocumentStore(index_dir=tmp_path / "docs")
+        doc = cold.get(hospital_xml)
+        cold.tier.layout_path_for(doc.content_hash).write_bytes(b"")
+        warm = DocumentStore(index_dir=tmp_path / "docs")
+        warm.get(hospital_xml)
+        assert warm.stats.corrupt == 1 and warm.stats.layout_stores == 1
+
+
+class TestTierGC:
+    def test_gc_sweeps_stale_files_only(self, tmp_path, hospital_xml):
+        store = DocumentStore(index_dir=tmp_path / "docs")
+        doc = store.get(hospital_xml)
+        doc.index_for(True)
+        live_index = store.tier.path_for(doc.content_hash, True)
+        live_layout = store.tier.layout_path_for(doc.content_hash)
+
+        root = store.tier.root
+        v1_index = root / ("a" * 64 + ".c.v1.docidx.json.gz")
+        v1_index.write_bytes(b"x")
+        v1_layout = root / ("b" * 64 + ".v1.doclay.bin")
+        v1_layout.write_bytes(b"x")
+        # Current-version name but the header echoes a different hash.
+        renamed = root / ("c" * 64 + f".v{DOC_FORMAT_VERSION}.doclay.bin")
+        renamed.write_bytes(live_layout.read_bytes())
+        unknown = root / "README.txt"
+        unknown.write_text("not ours")
+
+        removed = store.tier.gc()
+        assert removed == 3
+        assert store.stats.gc_removed == 3
+        assert live_index.exists() and live_layout.exists()
+        assert not v1_index.exists() and not v1_layout.exists()
+        assert not renamed.exists()
+        assert unknown.exists()  # foreign files are left alone
+
+    def test_gc_on_clean_tier_removes_nothing(self, tmp_path, hospital_xml):
+        store = DocumentStore(index_dir=tmp_path / "docs")
+        store.get(hospital_xml).index_for(False)
+        assert store.tier.gc() == 0
+        assert store.stats.gc_removed == 0
+
+    def test_gc_removed_flows_into_snapshots(self, tmp_path, hospital_xml):
+        store = DocumentStore(index_dir=tmp_path / "docs")
+        store.get(hospital_xml)
+        (store.tier.root / ("d" * 64 + ".v1.doclay.bin")).write_bytes(b"x")
+        store.tier.gc()
+        assert store.snapshot_stats().gc_removed == 1
+
+
+class TestLoadedIndexEquivalence:
     def test_loaded_index_answers_like_built(self, tmp_path, hospital_xml):
         from repro.hype.core import CompiledPlan
         from repro.hype.api import to_mfa

@@ -149,17 +149,19 @@ class TestDeathPropagation:
         assert len(got) == 2
 
 
-class TestDeprecatedAlias:
-    def test_hype_evaluator_warns_and_behaves_identically(self):
-        from repro.hype import HyPEEvaluator
+class TestRemovedAlias:
+    def test_hype_evaluator_import_raises_pointing_at_compiled_plan(self):
+        with pytest.raises(ImportError, match="CompiledPlan"):
+            from repro.hype import HyPEEvaluator  # noqa: F401
 
-        mfa = compile_query(parse_query("a/b"))
-        with pytest.warns(DeprecationWarning, match="HyPEEvaluator"):
-            legacy = HyPEEvaluator(mfa)
-        assert isinstance(legacy, CompiledPlan)
-        modern = hype_eval(mfa, TREE.root)
-        result = legacy.run(TREE.root)
-        assert {n.node_id for n in result.answers} == {
-            n.node_id for n in modern.answers
-        }
-        assert result.stats.visited_elements == modern.stats.visited_elements
+    def test_core_module_attribute_raises_too(self):
+        import repro.hype.core as core
+
+        with pytest.raises(ImportError, match="CompiledPlan"):
+            core.HyPEEvaluator
+
+    def test_other_missing_attributes_still_attribute_error(self):
+        import repro.hype.core as core
+
+        with pytest.raises(AttributeError):
+            core.NoSuchThing

@@ -438,3 +438,30 @@ class TestStoreGC:
         assert not stale.exists()
         # The warmed plan landed and survives the gc.
         assert len(store) == 1
+
+    def test_warm_cli_gc_sweeps_the_doc_tier_too(
+        self, store, tmp_path, capsys
+    ):
+        from repro.cli import main
+
+        doc_dir = tmp_path / "docs"
+        doc_dir.mkdir()
+        stale_index = doc_dir / ("a" * 64 + ".c.v1.docidx.json.gz")
+        stale_index.write_bytes(b"x")
+        stale_layout = doc_dir / ("b" * 64 + ".v1.doclay.bin")
+        stale_layout.write_bytes(b"x")
+        code = main(
+            [
+                "warm",
+                "--plan-dir",
+                str(store.root),
+                "--gc",
+                "--doc-dir",
+                str(doc_dir),
+                "a/b",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "removed 2 stale document-tier file(s)" in out
+        assert not stale_index.exists() and not stale_layout.exists()
