@@ -5,7 +5,7 @@
 PY ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test bench bench-smoke bench-serve bench-front bench-hot bench-hot-smoke front-smoke obs-smoke concurrency-smoke cache-smoke warm install
+.PHONY: test bench bench-smoke bench-serve bench-front bench-hot bench-hot-smoke front-smoke obs-smoke concurrency-smoke cache-smoke fleet-smoke warm install
 
 test:
 	$(PY) -m pytest -x -q
@@ -67,6 +67,15 @@ concurrency-smoke:
 # cold pipeline on compile time, and answer identically. CI runs this.
 cache-smoke:
 	$(PY) -m pytest benchmarks/test_warm_restart.py -q
+
+# Fleet smoke: 3 workers over >= 2 structurally different documents
+# behind the consistent-hash acceptor.  Asserts byte-identical answers
+# vs a single-process service, warm workers with zero MFA rewrites and
+# zero index builds, no acknowledged request lost when a worker is
+# SIGKILLed mid-load, and a conservative (cpu-gated) scaling floor.
+# CI runs this.
+fleet-smoke:
+	$(PY) -m pytest benchmarks/test_fleet.py -q
 
 # Precompile the default hospital workload into ./plans (demo of the
 # warm subcommand; serve-front --plan-dir plans then boots warm).

@@ -28,6 +28,16 @@ recorded together with the build's ``gil_enabled`` flag: on a GIL build
 the ratio hovers near 1.0 (overlap, not parallelism), on free-threaded
 builds the shared-nothing run states let the kernel scale across cores.
 
+``--fleet`` adds the multi-process scaling row: the 4-document multidoc
+workload replayed through a real :class:`repro.serve.fleet.FleetAcceptor`
+with one worker vs ``--fleet-workers`` (default 4), identical protocol
+on both sides.  The row records ``cpus`` because process parallelism is
+physical: the ``>= 2x`` scaling floor is enforced only on hosts with at
+least 4 cores (on this repo's 1-cpu CI container the row is recorded,
+not gated).  The warm-start counters (``warm_rewrites`` /
+``warm_index_builds``) are always gated at zero: the N-worker fleet
+boots against the plan/doc dirs the single-worker pass populated.
+
 Results are written as JSON (default: ``BENCH_hype.json`` at the repo
 root) so future PRs diff numbers instead of anecdotes.  The serve rows
 carry p50/p95/p99 from the service's log-bucket histograms, and when the
@@ -239,6 +249,130 @@ def bench_parallel_scaling(tree, repeats: int, workers: int = 4) -> dict:
 
 
 # ----------------------------------------------------------------------
+#: Fleet scaling floor, applied only when the host has the cores to make
+#: process parallelism physically possible (``cpus >= 4``).  The ring
+#: routes whole documents, so scaling is additionally capped by the
+#: number of distinct documents in the workload (4 here).
+FLEET_FLOOR = 2.0
+FLEET_MIN_CPUS = 4
+
+
+def bench_fleet(
+    requests: int,
+    repeats: int,
+    workers: int,
+    patients: int,
+    seed: int,
+) -> dict:
+    """N-worker fleet vs a single worker, same acceptor protocol.
+
+    Both sides run the multidoc workload (hospital + 3 ontology
+    variants = 4 distinct documents) through a real
+    :class:`repro.serve.fleet.FleetAcceptor`, so the comparison isolates
+    the worker count: identical routing, identical NDJSON framing.  The
+    shared plan/doc dirs are populated by the single-worker pass, so the
+    N-worker fleet boots warm — its rewrite and index-build counters
+    stay at zero, which the metrics assertion below proves.
+    """
+    import asyncio
+    import os
+    import tempfile
+
+    from repro.serve.fleet import FleetSpec, start_fleet
+    from repro.serve.frontend import FrontendClient
+    from repro.workloads.multidoc import (
+        MultiDocConfig,
+        build_multidoc_service,
+        generate_multidoc_traffic,
+    )
+
+    cfg = MultiDocConfig(
+        patients=patients,
+        terms=max(12, patients // 2),
+        seed=seed,
+        num_requests=requests,
+        ontology_variants=3,
+        algorithm=OPTHYPE,
+    )
+    reference, hashes = build_multidoc_service(cfg)
+    traffic = generate_multidoc_traffic(cfg, hashes)
+    expected = [
+        reference.submit(r.tenant, r.query, document=r.document).ids()
+        for r in traffic
+    ]
+    reference.close()
+    payloads = [
+        {
+            "tenant": r.tenant,
+            "query": r.query,
+            "document": r.document,
+            "limit": -1,
+        }
+        for r in traffic
+    ]
+
+    async def run_with(count: int, plan_dir: str, doc_dir: str) -> dict:
+        spec = FleetSpec(
+            config=cfg.as_dict(), plan_dir=plan_dir, doc_dir=doc_dir
+        )
+        acceptor = await start_fleet(spec, workers=count)
+        try:
+            client = await FrontendClient.connect(
+                acceptor.host, acceptor.port
+            )
+            try:
+                warm = await client.query_many(payloads)
+                assert [r.get("ids") for r in warm] == expected, (
+                    f"{count}-worker fleet changed answers"
+                )
+                best = float("inf")
+                for _ in range(repeats):
+                    started = time.perf_counter()
+                    replies = await client.query_many(payloads)
+                    best = min(best, time.perf_counter() - started)
+                    assert all(r.get("ok") for r in replies)
+                metrics = await client.request({"op": "metrics"})
+            finally:
+                await client.aclose()
+            rewrites = index_builds = 0
+            for snapshot in (metrics.get("workers") or {}).values():
+                if not snapshot:
+                    continue
+                rewrites += (
+                    snapshot["compile"].get("rewrite", {}).get("count", 0)
+                )
+                index_builds += snapshot.get("doc_index_builds") or 0
+            return {
+                "best_s": best,
+                "rewrites": rewrites,
+                "index_builds": index_builds,
+            }
+        finally:
+            await acceptor.close()
+
+    with tempfile.TemporaryDirectory() as tmp:
+        plan_dir, doc_dir = os.path.join(tmp, "plans"), os.path.join(tmp, "docs")
+        single = asyncio.run(run_with(1, plan_dir, doc_dir))
+        fleet = asyncio.run(run_with(workers, plan_dir, doc_dir))
+    return {
+        "workers": workers,
+        "requests": len(traffic),
+        "documents": len(hashes),
+        "cpus": os.cpu_count(),
+        "gil_enabled": getattr(sys, "_is_gil_enabled", lambda: True)(),
+        "single_worker_s": single["best_s"],
+        "fleet_s": fleet["best_s"],
+        "single_worker_rps": len(traffic) / single["best_s"],
+        "fleet_rps": len(traffic) / fleet["best_s"],
+        "fleet_scaling": single["best_s"] / fleet["best_s"],
+        # Warm-start proof: the N-worker fleet booted against the dirs
+        # the single-worker pass populated.
+        "warm_rewrites": fleet["rewrites"],
+        "warm_index_builds": fleet["index_builds"],
+    }
+
+
+# ----------------------------------------------------------------------
 def bench_serve(xml: str, tenants: int, requests: int, repeats: int) -> dict:
     """Cold (per-request parse + index) vs shared-store serve throughput."""
     config = TrafficConfig(num_tenants=tenants, num_requests=requests, seed=11)
@@ -390,6 +524,20 @@ def main(argv: list[str] | None = None) -> int:
         help="also measure ExecutionPool W-way scaling (records the "
         "build's gil_enabled flag; meaningful on free-threaded builds)",
     )
+    parser.add_argument(
+        "--fleet",
+        action="store_true",
+        help="also measure the multi-process fleet: N workers vs one, "
+        "same acceptor and protocol, over the 4-document multidoc "
+        "workload (records cpus; the scaling floor applies only on "
+        f">= {FLEET_MIN_CPUS}-core hosts)",
+    )
+    parser.add_argument(
+        "--fleet-workers",
+        type=int,
+        default=4,
+        help="worker count for the --fleet row",
+    )
     args = parser.parse_args(argv)
     if args.smoke:
         args.patients = min(args.patients, 12)
@@ -497,6 +645,30 @@ def main(argv: list[str] | None = None) -> int:
             f"(peak in flight {scaling['peak_in_flight']})"
         )
 
+    fleet = None
+    if args.fleet:
+        fleet = bench_fleet(
+            requests=args.requests,
+            repeats=args.repeats,
+            workers=args.fleet_workers,
+            patients=max(8, args.patients // 5),
+            seed=args.seed,
+        )
+        payload["fleet"] = fleet
+        print(
+            f"fleet scaling ({fleet['workers']} workers over "
+            f"{fleet['documents']} documents, {fleet['cpus']} cpu(s), "
+            f"gil_enabled={fleet['gil_enabled']}):\n"
+            f"  single worker: {fleet['single_worker_s']:.3f} s "
+            f"({fleet['single_worker_rps']:.1f} req/s)\n"
+            f"  {fleet['workers']} workers:     {fleet['fleet_s']:.3f} s "
+            f"({fleet['fleet_rps']:.1f} req/s) — "
+            f"x{fleet['fleet_scaling']:.2f}\n"
+            f"  warm fleet: {fleet['warm_rewrites']} rewrite(s), "
+            f"{fleet['warm_index_builds']} index build(s) "
+            "(shared plan/doc tiers)"
+        )
+
     # Tracing-off overhead vs the *committed* baseline (always the
     # repo-root file, even when --out redirects this run's output).
     baseline_path = Path(__file__).resolve().parent.parent / "BENCH_hype.json"
@@ -543,6 +715,27 @@ def main(argv: list[str] | None = None) -> int:
             failures.append(
                 f"doc_hits {serve['doc_hits']} < N-1 ({serve['requests'] - 1})"
             )
+        if fleet is not None:
+            if fleet["warm_rewrites"] != 0:
+                failures.append(
+                    f"warm fleet performed {fleet['warm_rewrites']} MFA "
+                    "rewrite(s); shared plan tier expected zero"
+                )
+            if fleet["warm_index_builds"] != 0:
+                failures.append(
+                    f"warm fleet built {fleet['warm_index_builds']} "
+                    "index(es); shared doc tier expected zero"
+                )
+            if (
+                (fleet["cpus"] or 1) >= FLEET_MIN_CPUS
+                and fleet["workers"] >= 4
+                and fleet["fleet_scaling"] < FLEET_FLOOR
+            ):
+                failures.append(
+                    f"fleet scaling x{fleet['fleet_scaling']:.2f} < "
+                    f"{FLEET_FLOOR} floor with {fleet['workers']} workers "
+                    f"on {fleet['cpus']} cpus"
+                )
         for failure in failures:
             print(f"CHECK FAILED: {failure}", file=sys.stderr)
         if failures:

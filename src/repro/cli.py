@@ -33,9 +33,17 @@ Usage (``python -m repro.cli <command> ...``):
   instead boots it on an ephemeral port, runs a scripted wave through
   the client helper and checks the reply stream (the CI front-smoke
   target)
-* ``bench-front [--requests R --gap-ms G]`` — replay the seeded traffic
-  stream through the admission controller with inter-arrival jitter and
-  compare coalesced waves against per-request sequential submits
+* ``bench-front [--requests R --gap-ms G] [--workload
+  hospital|multidoc]`` — replay the seeded traffic stream through the
+  admission controller with inter-arrival jitter and compare coalesced
+  waves against per-request sequential submits; ``--workload multidoc``
+  replays the two-document stream (hospital + deep-recursion ontology)
+  with per-request document routing and tenant catalogs
+* ``serve-fleet --workers N [--plan-dir DIR --doc-dir DIR]`` — boot the
+  multi-process fleet: one acceptor routing requests to N worker
+  processes by consistent-hashing each request's document hash; workers
+  share the plan and document tiers, so a cold worker starts with zero
+  MFA rewrites and zero index builds
 * observability: ``serve-front`` and ``bench-front`` accept
   ``--trace-sample RATE`` (request tracing; errored/slow traces always
   kept), ``--slow-ms MS`` (slow-query threshold for trace retention and
@@ -43,10 +51,12 @@ Usage (``python -m repro.cli <command> ...``):
   access log); ``serve-front --obs-smoke`` runs the observability smoke
   (Prometheus exposition parses, trace op returns complete span trees,
   slow log is valid NDJSON — the CI obs-smoke target)
-* ``obs --host H --port P [--limit N] [--prometheus]`` — fetch and
-  pretty-print recent traces (span trees with durations and
+* ``obs --host H --port P [P ...] [--limit N] [--prometheus]`` — fetch
+  and pretty-print recent traces (span trees with durations and
   attributes) or the Prometheus text exposition from a running
-  ``serve-front``
+  ``serve-front``; with ``--prometheus`` and several ports the
+  expositions are merged into one (per-worker series stay distinct via
+  the ``worker`` label)
 
 View-spec file format (see ``examples/research.view`` written by tests)::
 
@@ -799,6 +809,7 @@ async def _obs_smoke(service, admission) -> int:
 
 def cmd_serve_front(args: argparse.Namespace) -> int:
     import asyncio
+    import signal
 
     from .serve.frontend import QueryFrontend
 
@@ -834,15 +845,86 @@ def cmd_serve_front(args: argparse.Namespace) -> int:
             f"max pending/conn {args.max_pending}{obs_note})",
             flush=True,
         )
+        # Graceful drain on SIGTERM: refuse new admissions, finish every
+        # in-flight wave, flush the access log — what a fleet restart
+        # (or any supervisor) needs from a worker.
+        stop = asyncio.Event()
+        loop = asyncio.get_running_loop()
+
+        async def _drain() -> None:
+            print("draining: refusing new admissions", flush=True)
+            await frontend.drain()
+            stop.set()
+
         try:
-            await frontend.serve_forever()
+            loop.add_signal_handler(
+                signal.SIGTERM,
+                lambda: asyncio.ensure_future(_drain()),
+            )
+        except NotImplementedError:  # pragma: no cover - non-Unix loops
+            pass
+        server = asyncio.create_task(frontend.serve_forever())
+        try:
+            await stop.wait()
+            print("drained: all in-flight requests flushed", flush=True)
         finally:
+            server.cancel()
+            await asyncio.gather(server, return_exceptions=True)
             await frontend.close()
 
     try:
         asyncio.run(_serve())
     except KeyboardInterrupt:
         print("frontend stopped")
+    return 0
+
+
+def cmd_serve_fleet(args: argparse.Namespace) -> int:
+    """Boot the multi-process fleet: one acceptor, N workers."""
+    import asyncio
+
+    from .serve.fleet import FleetAcceptor, FleetSpec
+    from .workloads.multidoc import MultiDocConfig
+
+    config = MultiDocConfig(
+        patients=args.patients,
+        tenants=args.tenants,
+        terms=args.terms,
+        seed=args.seed,
+        algorithm=args.algorithm,
+    )
+    spec = FleetSpec(
+        config=config.as_dict(),
+        plan_dir=args.plan_dir,
+        doc_dir=args.doc_dir,
+        pool_size=args.pool_size,
+        max_wave=args.max_wave,
+        max_wait_ms=args.max_wait_ms,
+        access_log=args.access_log,
+    )
+
+    async def _serve() -> None:
+        acceptor = FleetAcceptor(spec, workers=args.workers)
+        host, port = await acceptor.start(args.host, args.port)
+        shards = {
+            doc_hash[:12]: acceptor.ring.node_for(doc_hash)
+            for doc_hash in sorted(acceptor.documents)
+        }
+        print(
+            f"fleet acceptor listening on {host}:{port} "
+            f"({args.workers} worker(s); documents {shards}; "
+            f"plan dir {args.plan_dir or '-'}, doc dir {args.doc_dir or '-'})",
+            flush=True,
+        )
+        try:
+            await acceptor.serve_forever()
+        finally:
+            await acceptor.close()
+
+    try:
+        asyncio.run(_serve())
+    except KeyboardInterrupt:
+        print("fleet stopped")
     return 0
 
 
@@ -860,30 +942,62 @@ def cmd_bench_front(args: argparse.Namespace) -> int:
     )
     from .bench.tables import format_series
 
-    document = generate_hospital_document(
-        HospitalConfig(num_patients=args.patients, seed=args.seed)
-    )
-    config = TrafficConfig(
-        num_tenants=args.tenants, num_requests=args.requests, seed=args.seed
-    )
-    traffic = generate_traffic(config)
+    if getattr(args, "workload", "hospital") == "multidoc":
+        # The two-document stream: research tenants on the hospital
+        # tree, curators on the deep-recursion ontology, admin on both —
+        # every request carries its document's content hash.
+        from .workloads.multidoc import (
+            MultiDocConfig,
+            build_multidoc_service,
+            generate_multidoc_traffic,
+        )
 
-    # Per-request sequential baseline: every request pays its own pass.
-    sequential = QueryService(document)
-    register_tenants(sequential, config)
+        multidoc = MultiDocConfig(
+            patients=args.patients,
+            tenants=args.tenants,
+            seed=args.seed,
+            num_requests=args.requests,
+        )
+        sequential, hashes = build_multidoc_service(multidoc)
+        traffic = generate_multidoc_traffic(multidoc, hashes)
+        front, _ = build_multidoc_service(
+            multidoc,
+            pool_size=args.pool_size,
+            plan_store=_plan_store(args),
+            document_store=_document_store(args),
+        )
+    else:
+        document = generate_hospital_document(
+            HospitalConfig(num_patients=args.patients, seed=args.seed)
+        )
+        config = TrafficConfig(
+            num_tenants=args.tenants,
+            num_requests=args.requests,
+            seed=args.seed,
+        )
+        traffic = generate_traffic(config)
+
+        # Per-request sequential baseline: each request pays its own pass.
+        sequential = QueryService(document)
+        register_tenants(sequential, config)
+
+        # Front-end replay: jittered arrivals coalesce into waves.
+        front = QueryService(
+            document,
+            pool_size=args.pool_size,
+            plan_store=_plan_store(args),
+            document_store=_document_store(args),
+        )
+        register_tenants(front, config)
+
     seq_started = time.perf_counter()
-    seq_answers = [sequential.submit(r.tenant, r.query) for r in traffic]
+    seq_answers = [
+        sequential.submit(r.tenant, r.query, document=r.document)
+        for r in traffic
+    ]
     seq_elapsed = time.perf_counter() - seq_started
     seq_visited = sum(a.stats.visited_elements for a in seq_answers)
 
-    # Front-end replay: jittered arrivals coalesce into admission waves.
-    front = QueryService(
-        document,
-        pool_size=args.pool_size,
-        plan_store=_plan_store(args),
-        document_store=_document_store(args),
-    )
-    register_tenants(front, config)
     controller = AdmissionController(front, _admission_config(args))
     arrivals = ArrivalConfig(
         mean_gap=args.gap_ms / 1000.0, jitter=args.jitter, seed=args.seed
@@ -891,7 +1005,7 @@ def cmd_bench_front(args: argparse.Namespace) -> int:
     tracer, access_logger = _obs_setup(args)
 
     async def submit_one(r):
-        request = QueryRequest(r.tenant, r.query)
+        request = QueryRequest(r.tenant, r.query, document=r.document)
         if tracer is None and access_logger is None:
             return await controller.submit(request)
         started = time.perf_counter()
@@ -988,16 +1102,29 @@ def cmd_obs(args: argparse.Namespace) -> int:
         for child in node["children"]:
             render_span(child, depth + 1)
 
+    ports = args.port if isinstance(args.port, list) else [args.port]
+
     async def fetch() -> int:
-        client = await FrontendClient.connect(args.host, args.port)
-        try:
-            if args.prometheus:
-                reply = await client.prometheus()
+        if args.prometheus:
+            # Fetch every port's exposition and merge them into one
+            # (fleet workers each export their own, labelled source).
+            from .obs.export import merge_expositions
+
+            texts = []
+            for port in ports:
+                client = await FrontendClient.connect(args.host, port)
+                try:
+                    reply = await client.prometheus()
+                finally:
+                    await client.aclose()
                 if reply.get("ok") is not True:
                     print(f"error: {reply.get('message')}", file=sys.stderr)
                     return 1
-                print(reply["prometheus"], end="")
-                return 0
+                texts.append(reply["prometheus"])
+            print(merge_expositions(texts) if len(texts) > 1 else texts[0], end="")
+            return 0
+        client = await FrontendClient.connect(args.host, ports[0])
+        try:
             reply = await client.trace(limit=args.limit)
             if reply.get("ok") is not True:
                 print(f"error: {reply.get('message')}", file=sys.stderr)
@@ -1186,6 +1313,13 @@ def build_parser() -> argparse.ArgumentParser:
     bfr.add_argument("--seed", type=int, default=0)
     bfr.add_argument("--tenants", type=int, default=4)
     bfr.add_argument("--requests", type=int, default=24)
+    bfr.add_argument(
+        "--workload",
+        choices=("hospital", "multidoc"),
+        default="hospital",
+        help="hospital = single-document stream; multidoc = hospital + "
+        "deep-recursion ontology with per-request document routing",
+    )
     bfr.add_argument("--gap-ms", type=float, default=1.0)
     bfr.add_argument("--jitter", type=float, default=0.75)
     bfr.add_argument("--max-wave", type=int, default=8)
@@ -1207,12 +1341,54 @@ def build_parser() -> argparse.ArgumentParser:
     _add_obs_flags(bfr)
     bfr.set_defaults(func=cmd_bench_front)
 
+    flt = sub.add_parser(
+        "serve-fleet",
+        help="boot the acceptor + N-worker fleet over the multidoc workload",
+    )
+    flt.add_argument("--workers", type=int, default=3)
+    flt.add_argument("--patients", type=int, default=60)
+    flt.add_argument("--terms", type=int, default=48)
+    flt.add_argument("--tenants", type=int, default=4)
+    flt.add_argument("--seed", type=int, default=0)
+    flt.add_argument("--algorithm", choices=ALGORITHMS, default=HYPE)
+    flt.add_argument("--host", default="127.0.0.1")
+    flt.add_argument("--port", type=int, default=7408)
+    flt.add_argument("--max-wave", type=int, default=8)
+    flt.add_argument("--max-wait-ms", type=float, default=20.0)
+    flt.add_argument(
+        "--pool-size",
+        type=int,
+        default=None,
+        help="per-worker bound on concurrently evaluating waves",
+    )
+    flt.add_argument(
+        "--plan-dir",
+        help="persistent plan store directory shared by every worker",
+    )
+    flt.add_argument(
+        "--doc-dir",
+        help="persistent document-index directory shared by every worker",
+    )
+    flt.add_argument(
+        "--access-log",
+        help="per-worker NDJSON access-log path; '{worker}' expands to "
+        "the worker name",
+    )
+    flt.set_defaults(func=cmd_serve_fleet)
+
     obs = sub.add_parser(
         "obs",
         help="pretty-print traces or metrics from a running serve-front",
     )
     obs.add_argument("--host", default="127.0.0.1")
-    obs.add_argument("--port", type=int, default=7407)
+    obs.add_argument(
+        "--port",
+        type=int,
+        nargs="+",
+        default=[7407],
+        help="front-end port(s); with --prometheus, several ports are "
+        "fetched and merged into one exposition",
+    )
     obs.add_argument(
         "--limit", type=int, default=None, help="newest N traces only"
     )

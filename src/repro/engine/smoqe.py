@@ -42,6 +42,9 @@ class QueryAnswer:
     algorithm: str
     view: str | None = None
     query_text: str = ""
+    # Content hash of the document the answer was computed over (None
+    # for engine paths that predate multi-document serving).
+    document: str | None = None
 
     def ids(self) -> list[int]:
         """Sorted document-order node ids (stable for display/tests)."""

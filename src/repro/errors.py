@@ -62,3 +62,13 @@ class ServiceError(ReproError):
 
 class AuthorizationError(ServiceError):
     """Raised when a tenant requests data outside its security view."""
+
+
+class DocumentError(ServiceError):
+    """Raised when a request names a document outside the tenant's catalog.
+
+    Kept distinct from :class:`AuthorizationError` so the metrics layer
+    can count document-catalog rejections under their own structured
+    kind (``"document"``) — an operator watching rejection kinds can
+    tell a mis-routed document request from a view violation.
+    """

@@ -35,7 +35,7 @@ from .trace import (
     span,
     span_roots,
 )
-from .export import render_prometheus
+from .export import merge_expositions, render_prometheus
 
 __all__ = [
     "AccessLogger",
@@ -46,6 +46,7 @@ __all__ = [
     "Tracer",
     "add_span",
     "current_span",
+    "merge_expositions",
     "render_prometheus",
     "span",
     "span_roots",

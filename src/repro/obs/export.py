@@ -57,10 +57,18 @@ def _labels(**labels: str) -> str:
 
 
 class _Exposition:
-    """Accumulates HELP/TYPE-headed metric families in order."""
+    """Accumulates HELP/TYPE-headed metric families in order.
 
-    def __init__(self, namespace: str) -> None:
+    ``base_labels`` (e.g. ``worker="w3"``) are stamped onto every sample
+    — how a fleet keeps per-process resolution after its workers'
+    expositions are merged into one aggregate view.
+    """
+
+    def __init__(
+        self, namespace: str, base_labels: dict[str, str] | None = None
+    ) -> None:
         self.namespace = namespace
+        self.base_labels = dict(base_labels or {})
         self.lines: list[str] = []
         self._declared: set[str] = set()
 
@@ -74,7 +82,8 @@ class _Exposition:
         return full
 
     def sample(self, full_name: str, value: float | int, **labels: str) -> None:
-        self.lines.append(f"{full_name}{_labels(**labels)} {_fmt(value)}")
+        merged = {**self.base_labels, **labels}
+        self.lines.append(f"{full_name}{_labels(**merged)} {_fmt(value)}")
 
     def histogram(
         self, name: str, hist: "Histogram", help_text: str, **labels: str
@@ -91,10 +100,19 @@ class _Exposition:
 
 
 def render_prometheus(
-    snapshot: "MetricsSnapshot", namespace: str = "repro"
+    snapshot: "MetricsSnapshot",
+    namespace: str = "repro",
+    worker: str | None = None,
 ) -> str:
-    """The full text exposition of one metrics snapshot."""
-    exp = _Exposition(namespace)
+    """The full text exposition of one metrics snapshot.
+
+    ``worker`` adds a ``worker="..."`` label to every sample so series
+    from many fleet processes stay distinguishable after
+    :func:`merge_expositions` folds their texts into one view.
+    """
+    exp = _Exposition(
+        namespace, None if worker is None else {"worker": worker}
+    )
 
     name = exp.family("requests_total", "counter", "Served requests.")
     exp.sample(name, snapshot.requests)
@@ -227,6 +245,67 @@ def render_prometheus(
             tenant=tenant,
         )
     return exp.render()
+
+
+def merge_expositions(texts: list[str]) -> str:
+    """Fold many exposition texts into one aggregate exposition.
+
+    Families keep the order of their first appearance, with ``HELP`` /
+    ``TYPE`` headers emitted once (first declaration wins) and every
+    family's samples grouped under its headers as the format requires.
+    Samples with an identical ``name{labels}`` body are *summed* — the
+    right aggregation for the counters and for the log-bucket histogram
+    ``_bucket``/``_sum``/``_count`` triplets, which are mergeable by
+    construction.  Workers rendered with distinct ``worker`` labels
+    (:func:`render_prometheus`) never collide, so the fleet's merged
+    view keeps per-worker resolution while still being one scrape.
+    """
+    headers: dict[str, list[str]] = {}
+    family_order: list[str] = []
+    sample_order: dict[str, list[str]] = {}
+    values: dict[str, dict[str, float]] = {}
+    for text in texts:
+        family = None
+        for line in text.splitlines():
+            if not line:
+                continue
+            if line.startswith("# HELP ") or line.startswith("# TYPE "):
+                name = line.split(" ", 3)[2]
+                if name not in headers:
+                    headers[name] = []
+                    family_order.append(name)
+                    sample_order[name] = []
+                    values[name] = {}
+                if line.startswith("# TYPE "):
+                    family = name
+                if line not in headers[name]:
+                    headers[name].append(line)
+                continue
+            if line.startswith("#"):
+                continue
+            body, _, raw_value = line.rpartition(" ")
+            if not body:
+                raise ValueError(f"malformed sample line: {line!r}")
+            value = float(raw_value)
+            name = body.partition("{")[0]
+            # _bucket/_sum/_count samples attach to the TYPE'd family
+            # they follow; a headerless text degrades to per-name groups.
+            owner = family if family is not None and name.startswith(family) else name
+            if owner not in headers:
+                headers[owner] = []
+                family_order.append(owner)
+                sample_order[owner] = []
+                values[owner] = {}
+            if body not in values[owner]:
+                sample_order[owner].append(body)
+                values[owner][body] = 0.0
+            values[owner][body] += value
+    lines: list[str] = []
+    for name in family_order:
+        lines.extend(headers[name])
+        for body in sample_order[name]:
+            lines.append(f"{body} {_fmt(values[name][body])}")
+    return "\n".join(lines) + "\n"
 
 
 def parse_exposition(text: str) -> dict[str, dict[str, float]]:

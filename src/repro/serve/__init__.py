@@ -23,7 +23,12 @@ source; each user group is confined to its own security view and poses
   async arrivals coalesce into ``submit_wave`` batches;
 * :mod:`repro.serve.frontend` — the asyncio NDJSON socket server (and
   client helper, with per-connection backpressure) in front of the
-  service.
+  service;
+* :mod:`repro.serve.ring` — the consistent-hash ring the fleet routes
+  documents to workers with;
+* :mod:`repro.serve.fleet` — horizontal scale-out: an acceptor process
+  routing to N worker processes over shared plan/document tiers, with
+  health-checked restart and reroute-on-death.
 
 Attribute access is lazy (PEP 562): :mod:`repro.engine.smoqe` depends on
 :mod:`repro.serve.cache` for its plan cache while
@@ -45,9 +50,15 @@ _EXPORTS = {
     "PlanCache": "cache",
     "normalized_query_text": "cache",
     "plan_key": "cache",
+    "FleetAcceptor": "fleet",
+    "FleetSpec": "fleet",
+    "WorkerHandle": "fleet",
+    "WorkerUnavailable": "fleet",
+    "start_fleet": "fleet",
     "FrontendClient": "frontend",
     "QueryFrontend": "frontend",
     "start_frontend": "frontend",
+    "HashRing": "ring",
     "MetricsSnapshot": "metrics",
     "ServiceMetrics": "metrics",
     "DEFAULT_POOL_SIZE": "pool",

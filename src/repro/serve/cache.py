@@ -117,12 +117,23 @@ class CachedPlan:
         backing artifact carries a dense kernel closure (format v3),
         every algorithm variant is preloaded from it — a rehydrated
         plan's hot loop starts filled.
+
+        The memo is keyed per ``(algorithm, document)``: an executable
+        plan embeds document-specific state (the OptHyPE index, the
+        dense kernel's interned mask tables), so one cached MFA serving
+        a multi-document service must realise a separate executable per
+        document it runs over.  The document key is the content hash
+        when the caller's index cache is an
+        :class:`repro.docstore.IndexedDocument` (stable across store
+        evictions), the tree's identity otherwise.
         """
-        plan = self.plans.get(algorithm)
+        doc_key = getattr(indexes, "content_hash", None) or str(id(document))
+        key = f"{algorithm}@{doc_key}"
+        plan = self.plans.get(key)
         if plan is not None:
             return plan
         with self._lock:
-            plan = self.plans.get(algorithm)
+            plan = self.plans.get(key)
             if plan is not None:
                 return plan
             artifact = self.artifact
@@ -133,7 +144,7 @@ class CachedPlan:
                 indexes,
                 kernel=artifact.kernel if artifact is not None else None,
             )
-            self.plans[algorithm] = plan
+            self.plans[key] = plan
             return plan
 
 

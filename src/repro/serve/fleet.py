@@ -1,0 +1,709 @@
+"""The worker fleet: N processes behind one consistent-hash acceptor.
+
+The step from "a server" to "a fleet" — and the one scaling axis the GIL
+denies the in-process :class:`repro.serve.pool.ExecutionPool`.  Topology:
+
+* **Workers** are full :class:`repro.serve.frontend.QueryFrontend`
+  processes (spawned as ``python -m repro.serve.fleet --worker NAME``),
+  each building an identical multi-document
+  :class:`repro.serve.service.QueryService` from the fleet's
+  :class:`FleetSpec`.  They share the content-addressed ``--plan-dir`` /
+  ``--doc-dir`` tiers, so a cold worker performs **zero MFA rewrites and
+  zero index builds** for anything a sibling (or a previous run) already
+  compiled — the property PRs 4–5 built and ``make fleet-smoke`` checks.
+* **The acceptor** owns the listening socket and speaks the same NDJSON
+  protocol as a single frontend.  Every ``query`` is routed by the
+  *document content hash* it names through a
+  :class:`repro.serve.ring.HashRing` over worker names, so each worker's
+  in-memory plan/layout LRUs stay hot for its shard of the document
+  population.  All client connections multiplex over one pipelined
+  connection per worker (fleet-assigned reply ids, future-based
+  forwarding).
+* **Failures reroute.**  Queries are read-only, so a request whose
+  worker dies mid-flight (connection drop before its reply) is retried
+  on the next node of the ring's preference order — an acknowledged
+  reply is never retried, an unacknowledged one is never lost.  A
+  health loop pings workers and restarts crashed ones under the same
+  ring name, so a recovered worker takes back exactly its old shard.
+  Workers answering ``draining`` (mid-SIGTERM) are rerouted the same
+  way, which is what makes rolling fleet restarts invisible to clients.
+
+Acceptor ops beyond the frontend protocol: ``fleet`` reports topology
+(worker pids/liveness/restarts and the document→worker routing),
+``metrics`` returns per-worker snapshots, and ``prometheus`` merges the
+workers' ``worker``-labelled expositions into one aggregate view
+(:func:`repro.obs.export.merge_expositions`).  Sessions (``open`` /
+``close``) are worker-local state and are rejected as ``bad-request``
+through the acceptor.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import importlib
+import json
+import os
+import signal
+import sys
+import threading
+from dataclasses import dataclass, field, asdict
+
+from ..errors import ReproError, ServiceError
+from ..obs.export import merge_expositions
+from .admission import AdmissionConfig
+from .frontend import DEFAULT_HOST, LINE_LIMIT, QueryFrontend
+from .ring import DEFAULT_REPLICAS, HashRing
+
+#: Seconds to wait for a spawned worker's handshake line.
+HANDSHAKE_TIMEOUT = 60.0
+
+#: Worker-side per-connection pending cap.  The acceptor multiplexes
+#: every client over ONE connection per worker, so the single-frontend
+#: default (32) would spuriously shed load here.
+FLEET_MAX_PENDING = 1024
+
+DEFAULT_BUILDER = "repro.workloads.multidoc:build_multidoc_service"
+
+
+class WorkerUnavailable(ServiceError):
+    """The targeted worker is dead or died before replying."""
+
+
+@dataclass
+class FleetSpec:
+    """The JSON recipe every fleet process builds its service from.
+
+    ``builder`` names a ``module:function`` taking ``(config,
+    plan_store=..., document_store=..., pool_size=...)`` and returning
+    ``(service, hashes)`` — the same callable the single-process
+    reference uses, which is what makes fleet-vs-single comparisons
+    meaningful.  Everything here must round-trip through JSON: it is
+    written to each worker's stdin.
+    """
+
+    builder: str = DEFAULT_BUILDER
+    config: dict = field(default_factory=dict)
+    plan_dir: str | None = None
+    doc_dir: str | None = None
+    pool_size: int | None = None
+    max_wave: int = 8
+    max_wait_ms: float = 20.0
+    max_pending: int = FLEET_MAX_PENDING
+    access_log: str | None = None  # "{worker}" expands to the worker name
+
+    def to_json(self) -> str:
+        return json.dumps(asdict(self))
+
+    @classmethod
+    def from_json(cls, text: str) -> "FleetSpec":
+        return cls(**json.loads(text))
+
+
+def build_fleet_service(spec: FleetSpec):
+    """Resolve the spec's builder and construct ``(service, hashes)``."""
+    module_name, _, func_name = spec.builder.partition(":")
+    if not func_name:
+        raise ReproError(
+            f"builder must be 'module:function', got {spec.builder!r}"
+        )
+    builder = getattr(importlib.import_module(module_name), func_name)
+    plan_store = None
+    if spec.plan_dir:
+        from ..compile.store import PlanStore
+
+        plan_store = PlanStore(spec.plan_dir)
+    document_store = None
+    if spec.doc_dir:
+        from ..docstore import DocumentStore
+
+        document_store = DocumentStore(index_dir=spec.doc_dir)
+    return builder(
+        spec.config,
+        plan_store=plan_store,
+        document_store=document_store,
+        pool_size=spec.pool_size,
+    )
+
+
+def _admission(spec: FleetSpec) -> AdmissionConfig:
+    return AdmissionConfig(
+        max_wave=spec.max_wave, max_wait=spec.max_wait_ms / 1000.0
+    )
+
+
+# ----------------------------------------------------------------------
+# The worker process
+# ----------------------------------------------------------------------
+async def _serve_worker(name: str, spec: FleetSpec) -> int:
+    """One fleet worker: a full frontend on an ephemeral port.
+
+    Prints a one-line JSON handshake (host/port/pid) once listening.
+    SIGTERM drains gracefully (refuse new queries, finish in-flight
+    waves, flush the access log); stdin EOF — the acceptor went away —
+    shuts down immediately.
+    """
+    access_log = None
+    if spec.access_log:
+        from ..obs.log import AccessLogger, StructuredLog
+
+        access_log = AccessLogger(
+            StructuredLog(spec.access_log.replace("{worker}", name)),
+            access=True,
+        )
+    service, _hashes = build_fleet_service(spec)
+    frontend = QueryFrontend(
+        service,
+        _admission(spec),
+        max_pending=spec.max_pending,
+        access_log=access_log,
+        worker=name,
+    )
+    host, port = await frontend.start("127.0.0.1", 0)
+    print(
+        json.dumps(
+            {"ok": True, "host": host, "port": port, "pid": os.getpid()}
+        ),
+        flush=True,
+    )
+    loop = asyncio.get_running_loop()
+    stop = asyncio.Event()
+
+    async def _drain_and_stop() -> None:
+        await frontend.drain()
+        stop.set()
+
+    loop.add_signal_handler(
+        signal.SIGTERM, lambda: asyncio.ensure_future(_drain_and_stop())
+    )
+    # A daemon thread watches stdin: EOF means the acceptor is gone and
+    # this worker must not outlive it (daemonic so a blocked read never
+    # wedges interpreter shutdown).
+    threading.Thread(
+        target=_stdin_eof_watch, args=(loop, stop), daemon=True
+    ).start()
+    try:
+        await stop.wait()
+    finally:
+        await frontend.close()
+        service.close()
+    return 0
+
+
+def _stdin_eof_watch(loop: asyncio.AbstractEventLoop, stop: asyncio.Event):
+    try:
+        sys.stdin.read()
+    except Exception:
+        pass
+    try:
+        loop.call_soon_threadsafe(stop.set)
+    except RuntimeError:
+        pass  # loop already closed
+
+
+# ----------------------------------------------------------------------
+# Acceptor-side worker handle
+# ----------------------------------------------------------------------
+class WorkerHandle:
+    """One worker subprocess + the acceptor's multiplexed connection."""
+
+    def __init__(self, name: str, spec: FleetSpec) -> None:
+        self.name = name
+        self.spec = spec
+        self.proc: asyncio.subprocess.Process | None = None
+        self.host: str | None = None
+        self.port: int | None = None
+        self.pid: int | None = None
+        self.alive = False
+        self._reader: asyncio.StreamReader | None = None
+        self._writer: asyncio.StreamWriter | None = None
+        self._futures: dict[str, asyncio.Future] = {}
+        self._next_fid = 0
+        self._reply_task: asyncio.Task | None = None
+
+    async def start(self) -> None:
+        """Spawn, handshake, and connect the forwarding channel."""
+        env = dict(os.environ)
+        # Ensure the child resolves this exact package, however the
+        # parent was launched.
+        package_root = os.path.dirname(
+            os.path.dirname(os.path.abspath(__file__))
+        )
+        existing = env.get("PYTHONPATH")
+        env["PYTHONPATH"] = (
+            package_root if not existing
+            else package_root + os.pathsep + existing
+        )
+        self.proc = await asyncio.create_subprocess_exec(
+            sys.executable,
+            "-m",
+            "repro.serve.fleet",
+            "--worker",
+            self.name,
+            stdin=asyncio.subprocess.PIPE,
+            stdout=asyncio.subprocess.PIPE,
+            env=env,
+        )
+        assert self.proc.stdin is not None and self.proc.stdout is not None
+        self.proc.stdin.write((self.spec.to_json() + "\n").encode())
+        await self.proc.stdin.drain()
+        line = await asyncio.wait_for(
+            self.proc.stdout.readline(), HANDSHAKE_TIMEOUT
+        )
+        hello = json.loads(line) if line else {}
+        if not hello.get("ok"):
+            raise ReproError(
+                f"worker {self.name!r} failed to start: {line!r}"
+            )
+        self.host = hello["host"]
+        self.port = int(hello["port"])
+        self.pid = int(hello["pid"])
+        self._reader, self._writer = await asyncio.open_connection(
+            self.host, self.port, limit=LINE_LIMIT
+        )
+        self.alive = True
+        self._reply_task = asyncio.create_task(self._read_replies())
+
+    async def _read_replies(self) -> None:
+        try:
+            while True:
+                line = await self._reader.readline()
+                if not line:
+                    break
+                reply = json.loads(line)
+                future = self._futures.pop(reply.get("id"), None)
+                if future is not None and not future.done():
+                    future.set_result(reply)
+        except (ConnectionError, OSError, ValueError):
+            pass
+        finally:
+            self._fail_pending()
+
+    def _fail_pending(self) -> None:
+        """Connection lost: the worker is gone; fail every waiter.
+
+        Failed futures surface as :class:`WorkerUnavailable` to the
+        routing layer, which retries the (read-only, idempotent) query
+        on the next ring preference — no acknowledged reply is ever
+        involved, because acknowledged replies resolved their futures.
+        """
+        self.alive = False
+        pending, self._futures = self._futures, {}
+        for future in pending.values():
+            if not future.done():
+                future.set_exception(WorkerUnavailable(self.name))
+
+    async def call(self, message: dict, timeout: float | None = None) -> dict:
+        """Forward one request; await its correlated reply."""
+        if not self.alive or self._writer is None:
+            raise WorkerUnavailable(self.name)
+        fid = f"f{self._next_fid}"
+        self._next_fid += 1
+        future = asyncio.get_running_loop().create_future()
+        self._futures[fid] = future
+        payload = {**message, "id": fid}
+        try:
+            self._writer.write((json.dumps(payload) + "\n").encode())
+            await self._writer.drain()
+        except (ConnectionError, OSError):
+            self._futures.pop(fid, None)
+            self._fail_pending()
+            raise WorkerUnavailable(self.name) from None
+        try:
+            if timeout is not None:
+                reply = await asyncio.wait_for(
+                    asyncio.shield(future), timeout
+                )
+            else:
+                reply = await future
+        except asyncio.TimeoutError:
+            self._futures.pop(fid, None)
+            raise
+        reply.pop("id", None)
+        return reply
+
+    @property
+    def exited(self) -> bool:
+        return self.proc is not None and self.proc.returncode is not None
+
+    async def stop(self, kill: bool = False, grace: float = 10.0) -> None:
+        """Stop the worker (SIGTERM drain by default, SIGKILL on demand)."""
+        if self._reply_task is not None:
+            self._reply_task.cancel()
+            try:
+                await self._reply_task
+            except asyncio.CancelledError:
+                pass
+            self._reply_task = None
+        self._fail_pending()
+        if self._writer is not None:
+            self._writer.close()
+            try:
+                await self._writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+            self._writer = None
+        if self.proc is not None and self.proc.returncode is None:
+            try:
+                self.proc.kill() if kill else self.proc.terminate()
+            except ProcessLookupError:
+                pass
+            try:
+                await asyncio.wait_for(self.proc.wait(), grace)
+            except asyncio.TimeoutError:
+                try:
+                    self.proc.kill()
+                except ProcessLookupError:
+                    pass
+                await self.proc.wait()
+
+
+# ----------------------------------------------------------------------
+# The acceptor
+# ----------------------------------------------------------------------
+class FleetAcceptor:
+    """The fleet's front door: one socket, N workers, ring routing."""
+
+    def __init__(
+        self,
+        spec: FleetSpec,
+        workers: int = 3,
+        replicas: int = DEFAULT_REPLICAS,
+        health_interval: float = 0.5,
+        health_timeout: float = 5.0,
+    ) -> None:
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        self.spec = spec
+        names = [f"w{i}" for i in range(workers)]
+        self.workers: dict[str, WorkerHandle] = {
+            name: WorkerHandle(name, spec) for name in names
+        }
+        self.ring = HashRing(names, replicas)
+        self.health_interval = health_interval
+        self.health_timeout = health_timeout
+        self.documents: dict[str, str | None] = {}
+        self.default_document: str | None = None
+        self.restarts = 0
+        self.reroutes = 0
+        self.host: str | None = None
+        self.port: int | None = None
+        self._server: asyncio.AbstractServer | None = None
+        self._connections: set[asyncio.Task] = set()
+        self._health_task: asyncio.Task | None = None
+
+    # ------------------------------------------------------------------
+    async def start(
+        self, host: str = DEFAULT_HOST, port: int = 0
+    ) -> tuple[str, int]:
+        await asyncio.gather(
+            *(worker.start() for worker in self.workers.values())
+        )
+        # The document population comes from a worker, not a local
+        # rebuild: every worker derives the same content hashes from the
+        # spec, so any one of them is authoritative for routing.
+        first = next(iter(self.workers.values()))
+        catalog = await first.call({"op": "documents"})
+        self.documents = catalog["documents"]
+        self.default_document = catalog["default"]
+        self._server = await asyncio.start_server(
+            self._handle_client, host, port, limit=LINE_LIMIT
+        )
+        sockname = self._server.sockets[0].getsockname()
+        self.host, self.port = sockname[0], sockname[1]
+        self._health_task = asyncio.create_task(self._health_loop())
+        return self.host, self.port
+
+    async def serve_forever(self) -> None:
+        if self._server is None:
+            raise RuntimeError("acceptor not started")
+        await self._server.serve_forever()
+
+    async def close(self) -> None:
+        if self._health_task is not None:
+            self._health_task.cancel()
+            try:
+                await self._health_task
+            except asyncio.CancelledError:
+                pass
+            self._health_task = None
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        if self._connections:
+            for task in list(self._connections):
+                task.cancel()
+            await asyncio.gather(*self._connections, return_exceptions=True)
+        await asyncio.gather(
+            *(worker.stop() for worker in self.workers.values())
+        )
+
+    async def __aenter__(self) -> "FleetAcceptor":
+        return self
+
+    async def __aexit__(self, *exc_info) -> None:
+        await self.close()
+
+    # ------------------------------------------------------------------
+    async def _health_loop(self) -> None:
+        """Ping workers; restart crashed ones under their ring name."""
+        while True:
+            await asyncio.sleep(self.health_interval)
+            for name, worker in list(self.workers.items()):
+                if worker.alive and not worker.exited:
+                    try:
+                        await worker.call(
+                            {"op": "ping"}, timeout=self.health_timeout
+                        )
+                        continue
+                    except (WorkerUnavailable, asyncio.TimeoutError):
+                        pass
+                try:
+                    await worker.stop(kill=True, grace=2.0)
+                    fresh = WorkerHandle(name, self.spec)
+                    await fresh.start()
+                    self.workers[name] = fresh
+                    self.restarts += 1
+                except (ReproError, OSError, asyncio.TimeoutError):
+                    # Spawn failed; the next tick tries again and routing
+                    # keeps falling through to the ring's next preference.
+                    pass
+
+    # ------------------------------------------------------------------
+    async def _route_query(self, message: dict) -> dict:
+        """Route by document hash; reroute through the preference order.
+
+        Retrying on :class:`WorkerUnavailable` is safe because queries
+        are read-only and the failure means *no reply was received* —
+        an acknowledged request never re-enters this loop.  Workers
+        draining for shutdown are treated the same as dead ones.
+        """
+        doc_hash = message.get("document") or self.default_document
+        tried = False
+        for name in self.ring.preference(str(doc_hash)):
+            worker = self.workers[name]
+            if not worker.alive:
+                continue
+            if tried:
+                self.reroutes += 1
+            tried = True
+            try:
+                reply = await worker.call(message)
+            except WorkerUnavailable:
+                continue
+            if reply.get("error") == "draining":
+                continue
+            return reply
+        return {
+            "ok": False,
+            "error": "service",
+            "message": "no live worker for this document shard",
+        }
+
+    async def _reply_for(self, message: dict) -> dict:
+        op = message.get("op")
+        if op == "query":
+            return await self._route_query(message)
+        if op == "ping":
+            return {"ok": True, "pong": True, "fleet": len(self.workers)}
+        if op == "documents":
+            return {
+                "ok": True,
+                "documents": self.documents,
+                "default": self.default_document,
+            }
+        if op == "fleet":
+            return {
+                "ok": True,
+                "workers": {
+                    name: {
+                        "pid": worker.pid,
+                        "port": worker.port,
+                        "alive": worker.alive,
+                    }
+                    for name, worker in self.workers.items()
+                },
+                "ring": {
+                    doc_hash: self.ring.node_for(doc_hash)
+                    for doc_hash in self.documents
+                },
+                "documents": sorted(self.documents),
+                "default": self.default_document,
+                "restarts": self.restarts,
+                "reroutes": self.reroutes,
+            }
+        if op == "metrics":
+            per_worker: dict[str, dict | None] = {}
+            for name, worker in self.workers.items():
+                if not worker.alive:
+                    per_worker[name] = None
+                    continue
+                try:
+                    reply = await worker.call({"op": "metrics"})
+                    per_worker[name] = reply.get("metrics")
+                except WorkerUnavailable:
+                    per_worker[name] = None
+            return {"ok": True, "workers": per_worker}
+        if op == "prometheus":
+            texts = []
+            for worker in self.workers.values():
+                if not worker.alive:
+                    continue
+                try:
+                    reply = await worker.call({"op": "prometheus"})
+                except WorkerUnavailable:
+                    continue
+                if reply.get("ok"):
+                    texts.append(reply["prometheus"])
+            return {"ok": True, "prometheus": merge_expositions(texts)}
+        if op in ("open", "close"):
+            return {
+                "ok": False,
+                "error": "bad-request",
+                "message": "sessions are worker-local; connect to a worker "
+                "directly for session-scoped serving",
+            }
+        return {
+            "ok": False,
+            "error": "bad-request",
+            "message": f"unknown op {op!r}",
+        }
+
+    # ------------------------------------------------------------------
+    async def _handle_client(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        """One client connection: a task per line, ids echoed verbatim."""
+        conn = asyncio.current_task()
+        if conn is not None:
+            self._connections.add(conn)
+            conn.add_done_callback(self._connections.discard)
+        write_lock = asyncio.Lock()
+        tasks: set[asyncio.Task] = set()
+        try:
+            while True:
+                try:
+                    line = await reader.readline()
+                except (asyncio.LimitOverrunError, ValueError):
+                    await self._send(
+                        writer,
+                        write_lock,
+                        {
+                            "ok": False,
+                            "error": "bad-request",
+                            "message": (
+                                f"request line exceeds {LINE_LIMIT} bytes"
+                            ),
+                        },
+                    )
+                    break
+                if not line:
+                    break
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    message = json.loads(line)
+                    if not isinstance(message, dict):
+                        raise ValueError("request must be a JSON object")
+                except ValueError as error:
+                    await self._send(
+                        writer,
+                        write_lock,
+                        {
+                            "ok": False,
+                            "error": "bad-request",
+                            "message": f"invalid request line: {error}",
+                        },
+                    )
+                    continue
+                task = asyncio.create_task(
+                    self._serve_message(message, writer, write_lock)
+                )
+                tasks.add(task)
+                task.add_done_callback(tasks.discard)
+        except asyncio.CancelledError:
+            pass
+        finally:
+            if tasks:
+                await asyncio.gather(*tasks, return_exceptions=True)
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError, asyncio.CancelledError):
+                pass
+
+    async def _serve_message(
+        self, message: dict, writer: asyncio.StreamWriter, lock: asyncio.Lock
+    ) -> None:
+        client_id = message.pop("id", None)
+        try:
+            reply = await self._reply_for(message)
+        except Exception as error:
+            reply = {
+                "ok": False,
+                "error": "internal",
+                "message": f"{type(error).__name__}: {error}",
+            }
+        if client_id is not None:
+            reply["id"] = client_id
+        await self._send(writer, lock, reply)
+
+    async def _send(
+        self, writer: asyncio.StreamWriter, lock: asyncio.Lock, reply: dict
+    ) -> None:
+        data = (json.dumps(reply) + "\n").encode()
+        async with lock:
+            writer.write(data)
+            try:
+                await writer.drain()
+            except (ConnectionError, OSError):
+                pass
+
+
+async def start_fleet(
+    spec: FleetSpec,
+    workers: int = 3,
+    host: str = DEFAULT_HOST,
+    port: int = 0,
+    **kwargs,
+) -> FleetAcceptor:
+    """Build and start a :class:`FleetAcceptor` in one call."""
+    acceptor = FleetAcceptor(spec, workers=workers, **kwargs)
+    await acceptor.start(host, port)
+    return acceptor
+
+
+# ----------------------------------------------------------------------
+def main(argv: list[str] | None = None) -> int:
+    """Worker entry point (``python -m repro.serve.fleet --worker NAME``).
+
+    The spec arrives as one JSON line on stdin — never on argv, so a
+    process listing leaks no workload details and the handshake stays
+    order-deterministic.
+    """
+    import argparse
+
+    parser = argparse.ArgumentParser(prog="repro.serve.fleet")
+    parser.add_argument("--worker", required=True, metavar="NAME")
+    args = parser.parse_args(argv)
+    spec_line = sys.stdin.readline()
+    if not spec_line.strip():
+        print(
+            json.dumps({"ok": False, "message": "no spec on stdin"}),
+            flush=True,
+        )
+        return 1
+    try:
+        spec = FleetSpec.from_json(spec_line)
+    except (TypeError, ValueError) as error:
+        print(
+            json.dumps({"ok": False, "message": f"bad spec: {error}"}),
+            flush=True,
+        )
+        return 1
+    return asyncio.run(_serve_worker(args.worker, spec))
+
+
+if __name__ == "__main__":  # pragma: no cover - subprocess entry
+    sys.exit(main())

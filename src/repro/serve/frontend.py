@@ -12,13 +12,22 @@ Protocol (one request object per line, one reply object per line)::
 
     {"op": "open",    "tenant": T}                  -> {"ok": true, "session": S, ...}
     {"op": "query",   "tenant": T, "query": Q,
-     "session": S?, "algorithm": A?, "limit": N?}   -> {"ok": true, "count": n, "ids": [...],
+     "session": S?, "algorithm": A?, "limit": N?,
+     "document": H?}                                -> {"ok": true, "count": n, "ids": [...],
+                                                        "document": H,
                                                         "wave": {"size": k, "lanes": l, ...}}
     {"op": "close",   "session": S}                 -> {"ok": true, "requests": n, ...}
     {"op": "metrics"}                               -> {"ok": true, "metrics": {...}}
     {"op": "prometheus"}                            -> {"ok": true, "prometheus": "..."}
+    {"op": "documents"}                             -> {"ok": true, "documents": {...}, "default": H}
     {"op": "trace",   "limit": N?}                  -> {"ok": true, "traces": [...], ...}
     {"op": "ping"}                                  -> {"ok": true, "pong": true}
+
+``document`` selects which cataloged document a query runs over, by
+content hash (omitted = the service's default document); the reply
+echoes the hash the answer was computed over.  ``documents`` lists every
+serveable content hash (the fleet acceptor uses it to build its routing
+ring).
 
 Observability: construct the front-end with a
 :class:`repro.obs.trace.Tracer` and every query gets a root ``request``
@@ -42,12 +51,13 @@ pipelined requests on one connection are answered in *completion* order,
 so clients that pipeline must correlate by id
 (:meth:`FrontendClient.query_many` does).  Failures never close the
 connection: they come back as ``{"ok": false, "error": KIND, "message":
-...}`` where ``KIND`` is ``"authorization"`` / ``"service"`` /
-``"invalid-query"`` (per-tenant authorisation and parse failures,
-classified exactly as the service metrics count them),
-``"bad-request"`` for malformed protocol input, ``"overloaded"`` for
-backpressure (see below), or ``"internal"`` for an unexpected
-server-side error.
+...}`` where ``KIND`` is ``"authorization"`` / ``"document"`` /
+``"service"`` / ``"invalid-query"`` (per-tenant authorisation,
+document-catalog and parse failures, classified exactly as the service
+metrics count them), ``"bad-request"`` for malformed protocol input,
+``"overloaded"`` for backpressure (see below), ``"draining"`` while a
+graceful shutdown refuses new admissions (see :meth:`QueryFrontend.drain`),
+or ``"internal"`` for an unexpected server-side error.
 
 Backpressure: each connection may have at most
 :attr:`QueryFrontend.max_pending` queries in flight (sent but not yet
@@ -99,6 +109,7 @@ class QueryFrontend:
         max_pending: int = DEFAULT_MAX_PENDING,
         tracer: Tracer | None = None,
         access_log: AccessLogger | None = None,
+        worker: str | None = None,
     ) -> None:
         if max_pending < 1:
             raise ValueError(f"max_pending must be >= 1, got {max_pending}")
@@ -107,10 +118,15 @@ class QueryFrontend:
         self.max_pending = max_pending
         self.tracer = tracer
         self.access_log = access_log
+        # ``worker`` labels this process's Prometheus series so a fleet's
+        # merged exposition keeps per-worker resolution.
+        self.worker = worker
         self.host: str | None = None
         self.port: int | None = None
         self._server: asyncio.AbstractServer | None = None
         self._connections: set[asyncio.Task] = set()
+        self._inflight: set[asyncio.Task] = set()
+        self._draining = False
 
     # ------------------------------------------------------------------
     async def start(
@@ -145,6 +161,27 @@ class QueryFrontend:
             for task in list(self._connections):
                 task.cancel()
             await asyncio.gather(*self._connections, return_exceptions=True)
+
+    @property
+    def draining(self) -> bool:
+        return self._draining
+
+    async def drain(self) -> None:
+        """Graceful shutdown: refuse new queries, finish in-flight ones.
+
+        From the first await here every arriving ``query`` line is
+        answered with a structured ``draining`` rejection (counted in the
+        metrics; non-query ops still pass, so a supervisor can scrape
+        final metrics).  Queries already admitted run to completion and
+        their replies are flushed, then the access log is closed so every
+        record reaches disk.  Call :meth:`close` afterwards to drop the
+        listener and connections.
+        """
+        self._draining = True
+        if self._inflight:
+            await asyncio.gather(*list(self._inflight), return_exceptions=True)
+        if self.access_log is not None:
+            self.access_log.log.close()
 
     async def __aenter__(self) -> "QueryFrontend":
         return self
@@ -212,6 +249,23 @@ class QueryFrontend:
                     )
                     continue
                 is_query = message.get("op") == "query"
+                if is_query and self._draining:
+                    # Graceful shutdown: new admissions are refused with a
+                    # structured kind so a load balancer retries elsewhere.
+                    tenant = message.get("tenant")
+                    self.service.metrics.record_rejection(
+                        "draining",
+                        tenant=None if tenant is None else str(tenant),
+                    )
+                    reply = {
+                        "ok": False,
+                        "error": "draining",
+                        "message": "server is draining; retry elsewhere",
+                    }
+                    if "id" in message:
+                        reply["id"] = message["id"]
+                    await self._send(writer, write_lock, reply)
+                    continue
                 if is_query and pending_queries >= self.max_pending:
                     # Backpressure: reject rather than queue without bound.
                     tenant = message.get("tenant")
@@ -238,6 +292,10 @@ class QueryFrontend:
                 tasks.add(task)
                 if is_query:
                     pending_queries += 1
+                    # Tracked frontend-wide too, so drain() can await
+                    # every in-flight query across all connections.
+                    self._inflight.add(task)
+                    task.add_done_callback(self._inflight.discard)
                     task.add_done_callback(_query_done)
                 else:
                     task.add_done_callback(tasks.discard)
@@ -306,7 +364,18 @@ class QueryFrontend:
                 return {"ok": True, "metrics": snapshot.as_dict()}
             if op == "prometheus":
                 snapshot = self.service.metrics_snapshot()
-                return {"ok": True, "prometheus": render_prometheus(snapshot)}
+                return {
+                    "ok": True,
+                    "prometheus": render_prometheus(
+                        snapshot, worker=self.worker
+                    ),
+                }
+            if op == "documents":
+                return {
+                    "ok": True,
+                    "documents": self.service.documents(),
+                    "default": self.service.default_document_hash,
+                }
             if op == "trace":
                 if self.tracer is None:
                     return {
@@ -353,11 +422,13 @@ class QueryFrontend:
                 "error": "bad-request",
                 "message": f"limit must be an integer, got {message['limit']!r}",
             }
+        document = message.get("document")
         request = QueryRequest(
             tenant=str(message["tenant"]),
             query=str(message["query"]),
             algorithm=message.get("algorithm"),
             session_id=message.get("session"),
+            document=None if document is None else str(document),
         )
         if self.tracer is None and self.access_log is None:
             admitted = await self.admission.submit(request)
@@ -426,6 +497,7 @@ class QueryFrontend:
             "query": answer.query_text,
             "view": answer.view,
             "algorithm": answer.algorithm,
+            "document": answer.document,
             "count": len(ids),
             "ids": ids if limit < 0 else ids[:limit],
             "wave": {
@@ -445,6 +517,7 @@ async def start_frontend(
     max_pending: int = DEFAULT_MAX_PENDING,
     tracer: Tracer | None = None,
     access_log: AccessLogger | None = None,
+    worker: str | None = None,
 ) -> QueryFrontend:
     """Build and start a :class:`QueryFrontend` in one call."""
     frontend = QueryFrontend(
@@ -453,6 +526,7 @@ async def start_frontend(
         max_pending=max_pending,
         tracer=tracer,
         access_log=access_log,
+        worker=worker,
     )
     await frontend.start(host, port)
     return frontend
@@ -543,6 +617,7 @@ class FrontendClient:
         session: str | None = None,
         algorithm: str | None = None,
         limit: int | None = None,
+        document: str | None = None,
     ) -> dict:
         message: dict = {"op": "query", "tenant": tenant, "query": query}
         if session is not None:
@@ -551,6 +626,8 @@ class FrontendClient:
             message["algorithm"] = algorithm
         if limit is not None:
             message["limit"] = limit
+        if document is not None:
+            message["document"] = document
         return await self.request(message)
 
     async def close_session(self, session: str) -> dict:
@@ -561,6 +638,9 @@ class FrontendClient:
 
     async def prometheus(self) -> dict:
         return await self.request({"op": "prometheus"})
+
+    async def documents(self) -> dict:
+        return await self.request({"op": "documents"})
 
     async def trace(self, limit: int | None = None) -> dict:
         message: dict = {"op": "trace"}

@@ -1,11 +1,18 @@
 """The multi-tenant secure query service (the paper's deployment scenario).
 
-One :class:`QueryService` holds one source document.  Each *tenant* (user
-group) is bound to a security view at registration time; every request is
-authorised against that binding, so a tenant can never evaluate outside
-its own window on the data — the access-control guarantee of Section 1.
-A tenant bound to ``view=None`` is trusted with direct (unrewritten)
-regular-XPath access to the source.
+One :class:`QueryService` serves one *default* document plus any number
+of additional documents registered through :meth:`QueryService.add_document`
+— every request may name the content hash of the document it wants via
+``QueryRequest.document`` (``None`` keeps the pre-multi-document
+behaviour: the default document).  Each *tenant* (user group) is bound to
+a security view at registration time and to a *document catalog*: the
+content hashes its view may be asked against.  Every request is
+authorised against both bindings, so a tenant can never evaluate outside
+its own window on the data — the access-control guarantee of Section 1 —
+nor against a document its catalog does not name (a
+:class:`repro.errors.DocumentError`, counted under the ``"document"``
+rejection kind).  A tenant bound to ``view=None`` is trusted with direct
+(unrewritten) regular-XPath access to its cataloged sources.
 
 Two serving paths:
 
@@ -35,7 +42,13 @@ from ..compile.store import PlanStore
 from ..docstore.document import IndexedDocument
 from ..docstore.store import DocumentStore
 from ..engine.smoqe import QueryAnswer
-from ..errors import AuthorizationError, ReproError, ServiceError, ViewError
+from ..errors import (
+    AuthorizationError,
+    DocumentError,
+    ReproError,
+    ServiceError,
+    ViewError,
+)
 from ..hype.api import ALGORITHMS, HYPE
 from ..obs.trace import add_span, span
 from ..views.spec import ViewSpec
@@ -52,21 +65,33 @@ from .session import Session, SessionRegistry
 
 @dataclass
 class TenantBinding:
-    """A tenant's authorisation record: its view and allowed algorithms."""
+    """A tenant's authorisation record: view, algorithms and catalog.
+
+    ``documents`` is the tenant's document catalog — the content hashes
+    its view may be asked against.  Registration resolves the
+    backward-compatible default (``None`` at registration time) to a
+    one-entry catalog holding the service's default document.
+    """
 
     tenant: str
     view: str | None
     algorithms: tuple[str, ...] = ALGORITHMS
+    documents: tuple[str, ...] = ()
 
 
 @dataclass
 class QueryRequest:
-    """One unit of work for :meth:`QueryService.submit_many`."""
+    """One unit of work for :meth:`QueryService.submit_many`.
+
+    ``document`` selects which cataloged document the query runs over,
+    by content hash; ``None`` means the service's default document.
+    """
 
     tenant: str
     query: str | ast.Path
     algorithm: str | None = None
     session_id: str | None = None
+    document: str | None = None
 
 
 @dataclass
@@ -99,6 +124,8 @@ class WaveResult:
 
 def rejection_kind(error: ReproError) -> str:
     """Classify a rejected request for the metrics counters."""
+    if isinstance(error, DocumentError):
+        return "document"
     if isinstance(error, AuthorizationError):
         return "authorization"
     if isinstance(error, ServiceError):
@@ -107,7 +134,7 @@ def rejection_kind(error: ReproError) -> str:
 
 
 class QueryService:
-    """Serve many tenants' queries over one in-memory source document."""
+    """Serve many tenants' queries over cataloged in-memory documents."""
 
     def __init__(
         self,
@@ -138,6 +165,14 @@ class QueryService:
         else:
             self._doc = IndexedDocument(document)
         self.document = self._doc.tree
+        # The serveable-document registry: content hash -> strong
+        # reference.  The construction-time document is the *default*
+        # (requests without a ``document`` field resolve to it); every
+        # additional document enters through :meth:`add_document`.
+        self._default_hash = self._doc.content_hash
+        self._documents: dict[str, IndexedDocument] = {
+            self._default_hash: self._doc
+        }
         self.default_algorithm = default_algorithm
         # ``plan_store`` wires the on-disk tier under a cache this service
         # creates (a restart against the same directory starts warm); an
@@ -185,22 +220,70 @@ class QueryService:
             self.cache.invalidate_view(old.fingerprint())
         self._views[name] = spec
 
+    def add_document(
+        self, document: XMLTree | IndexedDocument
+    ) -> str:
+        """Register an additional serveable document; returns its hash.
+
+        With a shared :class:`DocumentStore` the document is adopted
+        there first, so every service (and every fleet worker) sharing
+        the store resolves one copy and one index build.  Re-adding a
+        content-identical document is a no-op returning the same hash.
+        """
+        if isinstance(document, IndexedDocument):
+            doc = document
+            if self._document_store is not None:
+                doc = self._document_store.adopt(document.tree)
+        elif self._document_store is not None:
+            doc = self._document_store.adopt(document)
+        else:
+            doc = IndexedDocument(document)
+        content_hash = doc.content_hash
+        self._documents.setdefault(content_hash, doc)
+        return content_hash
+
+    def documents(self) -> dict[str, str | None]:
+        """Serveable content hashes, the default flagged as ``"default"``."""
+        return {
+            content_hash: "default" if content_hash == self._default_hash else None
+            for content_hash in sorted(self._documents)
+        }
+
+    @property
+    def default_document_hash(self) -> str:
+        return self._default_hash
+
     def register_tenant(
         self,
         tenant: str,
         view: str | None,
         algorithms: tuple[str, ...] | None = None,
+        documents: tuple[str, ...] | None = None,
     ) -> TenantBinding:
         """Bind ``tenant`` to ``view`` (``None`` = trusted direct access).
 
         An explicitly empty ``algorithms`` tuple is a deny-all binding.
+        ``documents`` is the tenant's catalog of content hashes; ``None``
+        (the backward-compatible default) resolves to a one-entry catalog
+        holding the default document, and every cataloged hash must
+        already be serveable (see :meth:`add_document`).
         """
         if view is not None and view not in self._views:
             raise ViewError(f"unknown view {view!r}")
+        if documents is None:
+            catalog: tuple[str, ...] = (self._default_hash,)
+        else:
+            catalog = tuple(documents)
+            for content_hash in catalog:
+                if content_hash not in self._documents:
+                    raise DocumentError(
+                        f"cannot catalog unknown document {content_hash!r}"
+                    )
         binding = TenantBinding(
             tenant,
             view,
             ALGORITHMS if algorithms is None else tuple(algorithms),
+            catalog,
         )
         self._tenants[tenant] = binding
         return binding
@@ -229,8 +312,15 @@ class QueryService:
         tenant: str,
         algorithm: str | None,
         session_id: str | None,
-    ) -> tuple[TenantBinding, str, Session | None]:
-        """Authorise and return the binding, algorithm and session.
+        document: str | None = None,
+    ) -> tuple[TenantBinding, str, Session | None, str]:
+        """Authorise; return the binding, algorithm, session and doc hash.
+
+        ``document`` (a content hash, or ``None`` for the default) is
+        checked against the tenant's catalog — an uncataloged hash is a
+        :class:`DocumentError` whether or not the service could serve it,
+        so a tenant cannot probe which documents exist outside its
+        catalog.
 
         The :class:`Session` object (not just its id) is captured here so
         accounting after evaluation touches the admitted session directly
@@ -245,6 +335,11 @@ class QueryService:
             raise AuthorizationError(
                 f"tenant {tenant!r} may not use algorithm {algo!r}"
             )
+        doc_hash = document if document is not None else self._default_hash
+        if doc_hash not in binding.documents:
+            raise DocumentError(
+                f"document {doc_hash!r} is not in tenant {tenant!r}'s catalog"
+            )
         session = None
         if session_id is not None:
             session = self.sessions.get(session_id)
@@ -252,7 +347,7 @@ class QueryService:
                 raise AuthorizationError(
                     f"session {session_id!r} does not belong to {tenant!r}"
                 )
-        return binding, algo, session
+        return binding, algo, session, doc_hash
 
     # ------------------------------------------------------------------
     # Plan management
@@ -274,11 +369,12 @@ class QueryService:
         query: str | ast.Path,
         algorithm: str | None = None,
         session_id: str | None = None,
+        document: str | None = None,
     ) -> QueryAnswer:
         """Authorise, plan, evaluate and account one request."""
         try:
-            binding, algo, session = self._authorize(
-                tenant, algorithm, session_id
+            binding, algo, session, doc_hash = self._authorize(
+                tenant, algorithm, session_id, document
             )
             plan, query_text = self._plan(binding, query)
         except ReproError as error:
@@ -286,7 +382,7 @@ class QueryService:
             # failures do; classify so every rejection is counted.
             self.metrics.record_rejection(rejection_kind(error), tenant=tenant)
             raise
-        doc = self._resolve_document()
+        doc = self._resolve_document(doc_hash)
         compiled = plan.compiled(algo, doc.tree, doc)
         outcome = self.pool.execute(
             lambda: compiled.run(doc.tree.root, layout=doc.layout)
@@ -313,20 +409,23 @@ class QueryService:
             algo,
             view=binding.view,
             query_text=query_text,
+            document=doc_hash,
         )
 
     def submit_many(
         self, requests: list[QueryRequest]
     ) -> tuple[list[QueryAnswer], BatchStats]:
-        """Serve many same-document requests through one shared pass.
+        """Serve many requests through shared per-document passes.
 
         Returns answers in request order plus the shared-pass counters.
         Authorisation failures raise before any evaluation starts, so a
         batch is all-or-nothing.  Requests resolving to the same
-        ``(plan, algorithm)`` share one lane — their answers are computed
-        once and fanned out — so the reported ``sequential_visited``
-        (what N per-request passes would have cost) also counts the
-        avoided duplicate evaluations.
+        ``(plan, algorithm)`` over the same document share one lane —
+        their answers are computed once and fanned out — so the reported
+        ``sequential_visited`` (what N per-request passes would have
+        cost) also counts the avoided duplicate evaluations.  Requests
+        naming different cataloged documents are grouped: one shared
+        traversal per distinct document.
         """
         if not requests:
             return [], BatchStats()
@@ -397,8 +496,10 @@ class QueryService:
         return WaveResult(outcomes, stats)
 
     # ------------------------------------------------------------------
-    def _resolve_document(self, uses: int = 1) -> IndexedDocument:
-        """The request path's document lookup.
+    def _resolve_document(
+        self, content_hash: str | None = None, uses: int = 1
+    ) -> IndexedDocument:
+        """The request path's document lookup (``None`` = default).
 
         With a document store the lookup goes through the store by
         content address — counting a ``doc_hits`` per served request
@@ -407,49 +508,113 @@ class QueryService:
         document and one index build — falling back to this service's
         strong reference if the store has evicted the entry.
         """
+        if content_hash is None:
+            content_hash = self._default_hash
         store = self._document_store
         with span("docstore.resolve", uses=uses) as resolve_span:
             if store is not None:
-                doc = store.resolve(self._doc.content_hash, uses=uses)
+                doc = store.resolve(content_hash, uses=uses)
                 if doc is not None:
                     if resolve_span is not None:
                         resolve_span.set(source="store")
                     return doc
             if resolve_span is not None:
                 resolve_span.set(source="local")
-            return self._doc
+            local = self._documents.get(content_hash)
+            if local is None:
+                # _authorize only admits cataloged hashes, and catalogs
+                # only name registered documents — reaching here means
+                # the store *and* the registry lost the entry.
+                raise DocumentError(
+                    f"document {content_hash!r} is no longer serveable"
+                )
+            return local
 
     def _admit(self, request: QueryRequest):
         """Authorise + plan one request (the pre-evaluation gate)."""
-        binding, algo, session = self._authorize(
-            request.tenant, request.algorithm, request.session_id
+        binding, algo, session, doc_hash = self._authorize(
+            request.tenant,
+            request.algorithm,
+            request.session_id,
+            request.document,
         )
         plan, query_text = self._plan(binding, request.query)
-        return (request, binding, algo, plan, query_text, session)
+        return (request, binding, algo, plan, query_text, session, doc_hash)
 
     def _evaluate_grants(
         self,
         grants: list,
         contexts: list[contextvars.Context | None] | None = None,
     ) -> tuple[list[QueryAnswer], BatchStats]:
-        """Run admitted grants through one shared pass and account them.
+        """Run admitted grants through shared per-document passes.
+
+        Grants are partitioned by the document their request was
+        authorised against: each distinct document costs exactly one
+        shared traversal (the common single-document wave stays one
+        pass, unchanged), and the per-group answers are merged back into
+        request order with the group counters summed into one
+        :class:`BatchStats` for the wave.
+        """
+        groups: dict[str, list[int]] = {}
+        for index, grant in enumerate(grants):
+            groups.setdefault(grant[6], []).append(index)
+        answers: list[QueryAnswer | None] = [None] * len(grants)
+        lanes_total = 0
+        visited_total = 0
+        skipped_total = 0
+        for doc_hash, indices in groups.items():
+            group = [grants[index] for index in indices]
+            group_contexts = (
+                [contexts[index] for index in indices]
+                if contexts is not None
+                else None
+            )
+            group_answers, group_stats = self._evaluate_group(
+                doc_hash, group, group_contexts
+            )
+            for index, answer in zip(indices, group_answers):
+                answers[index] = answer
+            lanes_total += group_stats.lanes
+            visited_total += group_stats.visited_elements
+            skipped_total += group_stats.skipped_subtrees
+        stats = BatchStats(
+            lanes=lanes_total,
+            visited_elements=visited_total,
+            skipped_subtrees=skipped_total,
+            sequential_visited=sum(
+                answer.stats.visited_elements for answer in answers
+            ),
+        )
+        self.metrics.record_batch(
+            len(grants), stats.visited_elements, stats.sequential_visited
+        )
+        return answers, stats
+
+    def _evaluate_group(
+        self,
+        doc_hash: str,
+        grants: list,
+        contexts: list[contextvars.Context | None] | None = None,
+    ) -> tuple[list[QueryAnswer], BatchStats]:
+        """Run one document's admitted grants through one shared pass.
 
         Requests resolving to the same compiled plan — e.g. two tenants
         bound to one view posing the same query — share one lane, so the
         plan's memo tables are filled once and read by every request.
 
         Shared-pass phases (document resolution, queue wait, the batched
-        evaluation) happen once per wave but serve every grant — with
+        evaluation) happen once per group but serve every grant — with
         ``contexts`` they are mirrored as spans into *each* request's
         trace, at the absolute instants the shared work ran.
         """
         resolve_start = time.perf_counter()
-        doc = self._resolve_document(uses=len(grants))
+        doc = self._resolve_document(doc_hash, uses=len(grants))
         resolve_end = time.perf_counter()
         lane_of: dict[int, int] = {}
         lanes = []
         request_lane: list[int] = []
-        for _request, _binding, algo, plan, _query_text, _session in grants:
+        for grant in grants:
+            algo, plan = grant[2], grant[3]
             compiled = plan.compiled(algo, doc.tree, doc)
             lane = lane_of.get(id(compiled))
             if lane is None:
@@ -465,7 +630,7 @@ class QueryService:
         eval_share = pooled.eval_seconds / len(grants)
         answers: list[QueryAnswer] = []
         for index, (
-            (request, binding, algo, plan, query_text, session),
+            (request, binding, algo, plan, query_text, session, _doc_hash),
             lane,
         ) in enumerate(zip(grants, request_lane)):
             result = outcome.results[lane]
@@ -490,6 +655,7 @@ class QueryService:
                     pooled.started,
                     pooled.finished,
                     algorithm=algo,
+                    document=doc_hash,
                     wave=len(grants),
                     lanes=len(lanes),
                     lane=lane,
@@ -512,6 +678,7 @@ class QueryService:
                     algo,
                     view=binding.view,
                     query_text=query_text,
+                    document=doc_hash,
                 )
             )
         stats = BatchStats(
@@ -521,9 +688,6 @@ class QueryService:
             sequential_visited=sum(
                 a.stats.visited_elements for a in answers
             ),
-        )
-        self.metrics.record_batch(
-            len(grants), stats.visited_elements, stats.sequential_visited
         )
         return answers, stats
 

@@ -12,6 +12,7 @@ multi-axis recursion instead of the hospital's single parent chain).
 from __future__ import annotations
 
 import random
+from dataclasses import dataclass
 
 from ..dtd.model import DTD
 from ..dtd.parse import parse_dtd
@@ -62,19 +63,76 @@ def curated_view() -> ViewSpec:
     )
 
 
+@dataclass
+class OntologyConfig:
+    """Knobs for the deep-recursion ontology generator.
+
+    ``chain_depth`` is what makes this a *deep-recursion* workload rather
+    than a shallow random hierarchy: every ``chain_every``-th top-level
+    term anchors a guaranteed linear ``isa`` chain of exactly that many
+    nested EXP-evidenced terms, so the document's recursion depth is a
+    structural promise, not a roll of the dice — the Kleene-star queries
+    (``(cterm/cterm)*`` and friends) have real descent work to do and the
+    curated view exposes the full chain.
+    """
+
+    num_terms: int = 40
+    seed: int = 0
+    max_depth: int = 4
+    chain_depth: int = 12
+    chain_every: int = 8
+
+
 def generate_ontology_document(
-    num_terms: int = 40, seed: int = 0, max_depth: int = 4
+    num_terms: int = 40,
+    seed: int = 0,
+    max_depth: int = 4,
+    config: OntologyConfig | None = None,
 ) -> XMLTree:
     """Generate a deterministic ontology document.
 
     ``num_terms`` top-level terms, each with a recursive ``isa``/``partof``
-    sub-hierarchy damped by depth.
+    sub-hierarchy damped by depth.  Pass an :class:`OntologyConfig` to
+    also plant the guaranteed deep ``isa`` chains (the deep-recursion
+    regime); the bare keyword form keeps the legacy shallow shape.
     """
-    rng = random.Random(seed)
+    cfg = config or OntologyConfig(
+        num_terms=num_terms, seed=seed, max_depth=max_depth, chain_depth=0
+    )
+    rng = random.Random(cfg.seed)
     root = element("ontology")
-    for _ in range(num_terms):
-        root.append(_term(rng, 0, max_depth))
+    for index in range(cfg.num_terms):
+        if (
+            cfg.chain_depth > 0
+            and cfg.chain_every > 0
+            and index % cfg.chain_every == 0
+        ):
+            root.append(_chain_term(rng, cfg.chain_depth))
+        else:
+            root.append(_term(rng, 0, cfg.max_depth))
     return XMLTree(root)
+
+
+def _chain_term(rng: random.Random, depth: int) -> Node:
+    """A linear ``isa`` chain of ``depth`` EXP-evidenced terms.
+
+    Every link carries EXP evidence so the whole chain survives the
+    curated view's filter — the view sees an unbroken ``cterm`` spine of
+    the same depth.
+    """
+    term = element(
+        "term",
+        element("tname", f"chain-{rng.randrange(10_000)}"),
+        element("definition", "a deep lineage"),
+        element(
+            "evidence",
+            element("code", "EXP"),
+            element("source", f"PMID:{rng.randrange(100_000)}"),
+        ),
+    )
+    if depth > 1:
+        term.append(element("isa", _chain_term(rng, depth - 1)))
+    return term
 
 
 def _term(rng: random.Random, depth: int, max_depth: int) -> Node:
@@ -98,3 +156,26 @@ def _term(rng: random.Random, depth: int, max_depth: int) -> Node:
             for _ in range(count):
                 term.append(element(axis, _term(rng, depth + 1, max_depth)))
     return term
+
+
+# ----------------------------------------------------------------------
+# Query families (the ontology side of the multi-document workload)
+# ----------------------------------------------------------------------
+
+#: Curator-view queries (over :func:`curated_view`'s DTD): the recursive
+#: ``cterm`` spine makes these exercise Kleene descent through the deep
+#: ``isa`` chains the generator plants.
+ONTOLOGY_VIEW_QUERIES = {
+    "top-terms": "cterm/label",
+    "all-labels": "//label",
+    "grand-terms": "cterm/cterm/label",
+    "spine": "(cterm/cterm)*/label",
+    "deep-terms": "cterm//cterm[not(cterm)]/label",
+}
+
+#: Direct source queries for the trusted tenant (over the raw DTD).
+ONTOLOGY_SOURCE_QUERIES = {
+    "exp-terms": "//term[evidence/code/text() = 'EXP']/tname",
+    "isa-leaves": "//isa/term[not(isa)]/tname",
+    "partof": "term/partof/term/tname",
+}

@@ -42,11 +42,17 @@ class TrafficConfig:
 
 @dataclass
 class TrafficRequest:
-    """One generated request: who asks what."""
+    """One generated request: who asks what (and over which document).
+
+    ``document`` is a content hash for multi-document streams
+    (:mod:`repro.workloads.multidoc`); ``None`` targets the serving
+    service's default document.
+    """
 
     tenant: str
     query: str
     name: str
+    document: str | None = None
 
 
 def tenant_names(config: TrafficConfig) -> list[str]:

@@ -5,7 +5,11 @@ import json
 
 import pytest
 
-from repro.obs.export import parse_exposition, render_prometheus
+from repro.obs.export import (
+    merge_expositions,
+    parse_exposition,
+    render_prometheus,
+)
 from repro.obs.log import AccessLogger, StructuredLog, annotations_from_spans
 from repro.serve.service import QueryService
 from repro.workloads.hospital import HospitalConfig, generate_hospital_document
@@ -116,6 +120,66 @@ class TestRenderPrometheus:
     def test_parser_rejects_garbage(self):
         with pytest.raises(ValueError):
             parse_exposition("this is not an exposition\n")
+
+    def test_worker_label_stamped_on_every_sample(self, served_metrics):
+        text = render_prometheus(served_metrics, worker="w3")
+        for line in text.splitlines():
+            if not line or line.startswith("#"):
+                continue
+            assert 'worker="w3"' in line, f"unlabelled sample: {line!r}"
+        # Labelled output still parses and keeps the +Inf invariant.
+        families = parse_exposition(text)
+        requests = families["repro_requests_total"]['worker="w3"']
+        assert requests == served_metrics.requests
+
+
+class TestMergeExpositions:
+    def test_single_text_round_trips(self, served_metrics):
+        text = render_prometheus(served_metrics, worker="w0")
+        assert parse_exposition(merge_expositions([text])) == parse_exposition(
+            text
+        )
+
+    def test_distinct_workers_stay_distinct(self, served_metrics):
+        texts = [
+            render_prometheus(served_metrics, worker=name)
+            for name in ("w0", "w1")
+        ]
+        families = parse_exposition(merge_expositions(texts))
+        requests = families["repro_requests_total"]
+        assert requests['worker="w0"'] == served_metrics.requests
+        assert requests['worker="w1"'] == served_metrics.requests
+
+    def test_identical_series_are_summed(self, served_metrics):
+        text = render_prometheus(served_metrics)  # no worker label
+        families = parse_exposition(merge_expositions([text, text]))
+        assert (
+            families["repro_requests_total"][""]
+            == 2 * served_metrics.requests
+        )
+        # Histogram triplets sum bucket-wise, keeping the invariant.
+        inf = families["repro_request_latency_seconds_bucket"]['le="+Inf"']
+        count = families["repro_request_latency_seconds_count"][""]
+        assert inf == count == 2 * served_metrics.requests
+
+    def test_headers_deduped_and_family_grouped(self, served_metrics):
+        texts = [
+            render_prometheus(served_metrics, worker=name)
+            for name in ("w0", "w1", "w2")
+        ]
+        merged = merge_expositions(texts)
+        seen_type: dict[str, int] = {}
+        current = None
+        for line in merged.splitlines():
+            if line.startswith("# TYPE "):
+                name = line.split()[2]
+                seen_type[name] = seen_type.get(name, 0) + 1
+                current = name
+            elif line and not line.startswith("#"):
+                name = line.partition("{")[0]
+                # Every sample sits under the headers of its family.
+                assert current is not None and name.startswith(current), line
+        assert seen_type and all(n == 1 for n in seen_type.values())
 
 
 class TestStructuredLog:
