@@ -480,6 +480,7 @@ def _front_service(args: argparse.Namespace):
         pool_size=args.pool_size,
         plan_store=_plan_store(args),
         document_store=doc_store,
+        compose=getattr(args, "compose", False),
     )
     if getattr(args, "spec", None):
         with open(args.spec) as handle:
@@ -882,6 +883,7 @@ def cmd_serve_front(args: argparse.Namespace) -> int:
 def cmd_serve_fleet(args: argparse.Namespace) -> int:
     """Boot the multi-process fleet: one acceptor, N workers."""
     import asyncio
+    import signal
 
     from .serve.fleet import FleetAcceptor, FleetSpec
     from .workloads.multidoc import MultiDocConfig
@@ -916,9 +918,32 @@ def cmd_serve_fleet(args: argparse.Namespace) -> int:
             f"plan dir {args.plan_dir or '-'}, doc dir {args.doc_dir or '-'})",
             flush=True,
         )
+        # Graceful drain on SIGTERM, mirroring serve-front: stop
+        # accepting, flush every acknowledged request, SIGTERM the
+        # workers (they drain in-process), exit 0.  Before this the
+        # acceptor died hard and dropped whatever was in flight.
+        stop = asyncio.Event()
+        loop = asyncio.get_running_loop()
+
+        async def _drain() -> None:
+            print("draining: refusing new connections", flush=True)
+            await acceptor.drain()
+            stop.set()
+
         try:
-            await acceptor.serve_forever()
+            loop.add_signal_handler(
+                signal.SIGTERM,
+                lambda: asyncio.ensure_future(_drain()),
+            )
+        except NotImplementedError:  # pragma: no cover - non-Unix loops
+            pass
+        server = asyncio.create_task(acceptor.serve_forever())
+        try:
+            await stop.wait()
+            print("drained: fleet stopped cleanly", flush=True)
         finally:
+            server.cancel()
+            await asyncio.gather(server, return_exceptions=True)
             await acceptor.close()
 
     try:
@@ -965,6 +990,31 @@ def cmd_bench_front(args: argparse.Namespace) -> int:
             pool_size=args.pool_size,
             plan_store=_plan_store(args),
             document_store=_document_store(args),
+            compose=args.compose,
+        )
+    elif getattr(args, "workload", "hospital") == "skew":
+        # The Zipf-hot stream: every tenant hammering one of N same-shape
+        # documents, most draws landing on the rank-0 hot key.
+        from .workloads.skew import (
+            SkewConfig,
+            build_skew_service,
+            generate_skew_traffic,
+        )
+
+        skew = SkewConfig(
+            patients=args.patients,
+            tenants=args.tenants,
+            seed=args.seed,
+            num_requests=args.requests,
+        )
+        sequential, hashes = build_skew_service(skew)
+        traffic = generate_skew_traffic(skew, hashes)
+        front, _ = build_skew_service(
+            skew,
+            pool_size=args.pool_size,
+            plan_store=_plan_store(args),
+            document_store=_document_store(args),
+            compose=args.compose,
         )
     else:
         document = generate_hospital_document(
@@ -987,6 +1037,7 @@ def cmd_bench_front(args: argparse.Namespace) -> int:
             pool_size=args.pool_size,
             plan_store=_plan_store(args),
             document_store=_document_store(args),
+            compose=args.compose,
         )
         register_tenants(front, config)
 
@@ -1292,6 +1343,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="persistent document-index directory (restarts skip index builds)",
     )
     sfr.add_argument(
+        "--compose",
+        action="store_true",
+        help="step same-view wave groups as one composed automaton",
+    )
+    sfr.add_argument(
         "--smoke",
         action="store_true",
         help="boot on an ephemeral port, run a scripted wave, check replies",
@@ -1315,10 +1371,17 @@ def build_parser() -> argparse.ArgumentParser:
     bfr.add_argument("--requests", type=int, default=24)
     bfr.add_argument(
         "--workload",
-        choices=("hospital", "multidoc"),
+        choices=("hospital", "multidoc", "skew"),
         default="hospital",
         help="hospital = single-document stream; multidoc = hospital + "
-        "deep-recursion ontology with per-request document routing",
+        "deep-recursion ontology with per-request document routing; "
+        "skew = N same-shape documents behind a Zipf-hot stream",
+    )
+    bfr.add_argument(
+        "--compose",
+        action="store_true",
+        help="front-end steps same-view wave groups as one composed "
+        "automaton (the per-request baseline stays sequential)",
     )
     bfr.add_argument("--gap-ms", type=float, default=1.0)
     bfr.add_argument("--jitter", type=float, default=0.75)

@@ -17,6 +17,14 @@ from .core import (
     RunCursor,
     hype_eval,
 )
+from .compose import (
+    ComposedKernel,
+    ComposedOverflow,
+    ComposeError,
+    composed_payload,
+    descend_composed,
+    preload_composed,
+)
 from .index import (
     CompressedLabelIndex,
     LabelBits,
@@ -46,6 +54,12 @@ __all__ = [
     "DenseKernel",
     "descend",
     "kernel_payload",
+    "ComposedKernel",
+    "ComposedOverflow",
+    "ComposeError",
+    "composed_payload",
+    "descend_composed",
+    "preload_composed",
 ]
 
 

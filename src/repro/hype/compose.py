@@ -1,0 +1,730 @@
+"""Wave-level automata composition: step a whole wave as ONE machine.
+
+:class:`repro.serve.batch.BatchEvaluator` (PR 1) collapsed N document
+traversals into one shared pass, and the dense kernel (PR 7) made each
+lane's step a packed-int table read — but the shared pass still pays one
+table lookup **per lane** at every node, so batch cost stays linear in
+wave width.  This module builds the product/overlay construction (the
+network-of-automata model the ROADMAP calls for): a
+:class:`ComposedKernel` takes N :class:`repro.hype.core.CompiledPlan`
+members and interns *tuples of per-lane configurations* into one dense
+composed-cfg id space:
+
+* a **ccfg** is an interned tuple ``(cfg_0, ..., cfg_{N-1})`` of member
+  dense-kernel cfg ids (:mod:`repro.hype.kernel`); ccfg ``0`` is the
+  all-dead tuple.  Per-ccfg push data — which lanes are live, their
+  packed flag words and mstates — is computed once at mint time, so the
+  hot loop advances *every* lane with **one** table lookup per child;
+* the transition table closes over the **union alphabet** of the
+  members, with the ``\\x00other`` aliasing preserved *per member*: a
+  label in lane A's alphabet but not lane B's resolves lane B through
+  its own OTHER column, so the composed table stays finite and (for the
+  plain family) document-independent;
+* quiet-pop entries are memoised **per composed cfg**
+  (:meth:`ComposedKernel.quiet_of`) — one entry resolves every member
+  lane's bottom-up pop at that configuration, the cross-MFA memo
+  sharing open since PR 3 (member state ids differ; composed ids do
+  not).  Truth-carrying pops reuse each member plan's own
+  ``_pop_cache``/``_dead_cache`` via the member kernel's
+  :meth:`repro.hype.kernel.DenseKernel.pop_frame`, so nothing is
+  computed twice across the wave.
+
+Composed state spaces are products and can blow up, so interning is
+capped (``max_ccfgs``): minting past the cap raises
+:class:`ComposedOverflow`, and the caller
+(:meth:`repro.serve.batch.BatchEvaluator.run`) falls back to per-lane
+stepping for the group — counted in the batch stats and the service
+metrics, never silently.
+
+Per-lane answers and :class:`repro.hype.core.HyPEStats` are **identical**
+to sequential runs: each member lane records into its own
+:class:`repro.hype.core.RunCursor` exactly where its own automaton is
+live (a lane dead in a ccfg component simply has no entry in the ccfg's
+live list), and pops delegate to the member kernels' own machinery —
+property-tested across all three algorithms, string and columnar paths.
+
+For the plain (index-free) family the composed closure is persistable:
+:func:`composed_payload` snapshots the interned tuples and transitions
+in a self-contained, member-order-dependent form, and
+:func:`preload_composed` rehydrates them into a fresh kernel without
+recomposition — the warm-restart path of the composed tier in
+:class:`repro.serve.cache.ComposedCache`.
+"""
+
+from __future__ import annotations
+
+import threading
+from array import array
+
+from .kernel import CFG_SHIFT, DEAD, FINAL_BIT, OTHER_LABEL, POP_BIT, UNFILLED
+
+#: Default cap on interned composed configurations per kernel.  Products
+#: of real view-query waves stay far below this; adversarial mixes hit
+#: the cap and fall back to per-lane stepping.
+DEFAULT_CCFG_CAP = 4096
+
+
+class ComposeError(ValueError):
+    """The members cannot form one composed machine (mixed families)."""
+
+
+class ComposedOverflow(RuntimeError):
+    """Interning would exceed ``max_ccfgs``; fall back to per-lane."""
+
+
+class ComposedKernel:
+    """Dense product tables over N member plans' kernels.
+
+    Members must be one algorithm family: all index-free (plain HyPE),
+    or all bound to the *same* index object (OptHyPE/-C over one
+    document) — mixed families raise :class:`ComposeError`.  Like the
+    member kernels, every table is fill-only with entries that are pure
+    functions of their key; only id minting takes the lock.
+    """
+
+    __slots__ = (
+        "plans",
+        "kerns",
+        "width",
+        "indexed",
+        "mask_keys",
+        "alphabet",
+        "max_ccfgs",
+        "_lock",
+        "ccfg_ids",
+        "ccfg_tuples",
+        "ccfg_live",
+        "cquiet",
+        "trans",
+        "cedge_ids",
+        "cedge_lanes",
+        "cedge_filters",
+        "preloaded",
+        "__weakref__",
+    )
+
+    def __init__(self, plans, max_ccfgs: int = DEFAULT_CCFG_CAP) -> None:
+        if len(plans) < 2:
+            raise ComposeError("composition needs at least two member plans")
+        index = plans[0].index
+        for plan in plans:
+            if plan.index is not index:
+                raise ComposeError(
+                    "composed members must share one algorithm family: "
+                    "all index-free, or all bound to the same index object"
+                )
+        self.plans = list(plans)
+        self.kerns = [plan.kernel for plan in plans]
+        self.width = len(plans)
+        self.indexed = index is not None
+        self.mask_keys = index.mask_keys if index is not None else None
+        alphabet: set[str] = set()
+        for kern in self.kerns:
+            alphabet |= kern.alphabet
+        self.alphabet = frozenset(alphabet)
+        self.max_ccfgs = max_ccfgs
+        self._lock = threading.Lock()
+        # tuple of member cfg ids -> ccfg; parallel per-ccfg tables.
+        dead = (DEAD,) * self.width
+        self.ccfg_ids: dict = {dead: 0}
+        self.ccfg_tuples: list = [dead]
+        #: ccfg -> tuple of (lane_idx, member packed word, mstates) for
+        #: the *live* components — everything a push needs, precomputed.
+        self.ccfg_live: list = [()]
+        #: ccfg -> composed quiet-pop entry: None (unknown), False (some
+        #: member needs the node-dependent full path), or a pair
+        #: ``(simple, entries)`` where ``entries`` holds one
+        #: (lane_idx, dead, report, resolved) per live popping member and
+        #: ``simple`` is True when no entry carries a death or a report —
+        #: such pops are pure per-lane resolution counts, so the descent
+        #: just tallies them per ccfg and applies the counts at writeback.
+        self.cquiet: list = [(True, ())]
+        # (ccfg, label) -> child ccfg (plain) / 0-or-ceid+1 (indexed).
+        self.trans: dict = {}
+        # tuple of (lane_idx, member edge id) -> composed edge id.
+        self.cedge_ids: dict = {}
+        self.cedge_lanes: list = []
+        # ceid -> {mask_key -> child ccfg}.
+        self.cedge_filters: list[dict] = []
+        #: Transition entries installed from a persisted payload (a warm
+        #: restart that skipped recomposition shows this non-zero).
+        self.preloaded = 0
+
+    # ------------------------------------------------------------------
+    # Interning
+    # ------------------------------------------------------------------
+    def ccfg_of(self, cfgs: tuple) -> int:
+        """The interned id of a member-cfg tuple (minted once, capped)."""
+        ccfg = self.ccfg_ids.get(cfgs)
+        if ccfg is not None:
+            return ccfg
+        kerns = self.kerns
+        with self._lock:
+            ccfg = self.ccfg_ids.get(cfgs)
+            if ccfg is not None:
+                return ccfg
+            if len(self.ccfg_tuples) >= self.max_ccfgs:
+                raise ComposedOverflow(
+                    f"composed state space exceeds {self.max_ccfgs} cfgs"
+                )
+            ccfg = len(self.ccfg_tuples)
+            live = tuple(
+                (i, kerns[i].cfg_packed[cfg], kerns[i].cfg_mstates[cfg])
+                for i, cfg in enumerate(cfgs)
+                if cfg != DEAD
+            )
+            self.ccfg_tuples.append(cfgs)
+            self.ccfg_live.append(live)
+            self.cquiet.append(None)
+            # Publish last (same contract as the member kernels).
+            self.ccfg_ids[cfgs] = ccfg
+            return ccfg
+
+    def cedge_of(self, lanes: tuple) -> int:
+        """The composed edge id of per-lane pre-filter edges (indexed)."""
+        ceid = self.cedge_ids.get(lanes)
+        if ceid is not None:
+            return ceid
+        with self._lock:
+            ceid = self.cedge_ids.get(lanes)
+            if ceid is not None:
+                return ceid
+            ceid = len(self.cedge_lanes)
+            self.cedge_lanes.append(lanes)
+            self.cedge_filters.append({})
+            self.cedge_ids[lanes] = ceid
+            return ceid
+
+    # ------------------------------------------------------------------
+    # Transition resolution
+    # ------------------------------------------------------------------
+    def root_ccfg(self, context) -> int:
+        """The composed cfg the wave enters ``context`` with."""
+        cfgs = tuple(kern.root_cfg(context) for kern in self.kerns)
+        if not any(cfgs):
+            return 0
+        return self.ccfg_of(cfgs)
+
+    def lookup_trans(self, ccfg: int, label: str) -> int:
+        """``(ccfg, label)``'s composed word, computing on miss.
+
+        Labels outside the union alphabet alias to one OTHER column —
+        and each member resolves *its own* aliasing inside
+        :meth:`_compute_trans`, so a label known to some members and
+        unknown to others advances each member exactly as its private
+        table would.
+        """
+        trans = self.trans
+        word = trans.get((ccfg, label))
+        if word is not None:
+            return word
+        if label in self.alphabet:
+            word = self._compute_trans(ccfg, label)
+        else:
+            key = (ccfg, OTHER_LABEL)
+            word = trans.get(key)
+            if word is None:
+                word = self._compute_trans(ccfg, OTHER_LABEL)
+                trans[key] = word
+        trans[(ccfg, label)] = word
+        return word
+
+    def _compute_trans(self, ccfg: int, label: str) -> int:
+        cfgs = self.ccfg_tuples[ccfg]
+        kerns = self.kerns
+        if self.indexed:
+            lanes = []
+            for i, cfg in enumerate(cfgs):
+                if cfg == DEAD:
+                    continue
+                word = kerns[i].lookup_trans(cfg, label)
+                if word != DEAD:
+                    lanes.append((i, word >> 1))
+            if not lanes:
+                return 0
+            return self.cedge_of(tuple(lanes)) + 1
+        child = [DEAD] * self.width
+        any_live = False
+        for i, cfg in enumerate(cfgs):
+            if cfg == DEAD:
+                continue
+            packed = kerns[i].lookup_trans(cfg, label)
+            if packed != DEAD:
+                child[i] = packed >> CFG_SHIFT
+                any_live = True
+        if not any_live:
+            return 0
+        return self.ccfg_of(tuple(child))
+
+    def fill_filter(self, ceid: int, mask_key, node_id: int) -> int:
+        """Resolve one composed ``edge × mask_key`` entry (OptHyPE)."""
+        kerns = self.kerns
+        child = [DEAD] * self.width
+        any_live = False
+        for i, eid in self.cedge_lanes[ceid]:
+            kern = kerns[i]
+            packed = kern.edge_filters[eid].get(mask_key, UNFILLED)
+            if packed == UNFILLED:
+                packed = kern.fill_filter(eid, mask_key, node_id)
+            if packed != DEAD:
+                child[i] = packed >> CFG_SHIFT
+                any_live = True
+        ccfg = self.ccfg_of(tuple(child)) if any_live else 0
+        self.cedge_filters[ceid][mask_key] = ccfg
+        return ccfg
+
+    # ------------------------------------------------------------------
+    # Pops, memoised per composed cfg
+    # ------------------------------------------------------------------
+    def quiet_of(self, ccfg: int):
+        """The ccfg's composed quiet-pop entry (one entry, every lane).
+
+        ``False`` — cached — when any live popping member carries
+        node-dependent final predicates; the frame then takes the full
+        per-member path (which still reuses the member plans' own pop
+        memo tables).
+        """
+        entries = []
+        cfgs = self.ccfg_tuples[ccfg]
+        kerns = self.kerns
+        for i, packed, _mstates in self.ccfg_live[ccfg]:
+            if not packed & POP_BIT:
+                continue
+            kern = kerns[i]
+            cfg = cfgs[i]
+            quiet = kern.quiet[cfg]
+            if quiet is None:
+                quiet = kern._compute_quiet(cfg)
+            if quiet is False:
+                self.cquiet[ccfg] = False
+                return False
+            entries.append((i, quiet[0], quiet[1], quiet[2]))
+        simple = all(
+            dead is None and not report for _i, dead, report, _res in entries
+        )
+        entry = (simple, tuple(entries))
+        self.cquiet[ccfg] = entry
+        return entry
+
+    # ------------------------------------------------------------------
+    # Gauges
+    # ------------------------------------------------------------------
+    @property
+    def interned_ccfgs(self) -> int:
+        """Interned composed configurations (the capped resource)."""
+        return len(self.ccfg_tuples)
+
+
+# ----------------------------------------------------------------------
+# The composed descent: ONE machine stepping the whole wave
+# ----------------------------------------------------------------------
+class _CLane:
+    """Per-member bound cursor methods (mirrors the kernel's ``_Lane``)."""
+
+    __slots__ = (
+        "cursor",
+        "visit_nodes",
+        "nodes_append",
+        "parents_append",
+        "mstates_append",
+        "finals_append",
+        "resolved",
+    )
+
+    def __init__(self, cursor) -> None:
+        self.cursor = cursor
+        self.visit_nodes = cursor.visit_nodes
+        self.nodes_append = cursor.visit_nodes.append
+        self.parents_append = cursor.visit_parents.append
+        self.mstates_append = cursor.visit_mstates.append
+        self.finals_append = cursor.finals_seen.append
+        self.resolved = 0
+
+
+def _pop_composed(ck, frame, cursors, clanes) -> None:
+    """Pop one composed frame: every member lane's Fig. 6 lines 11-21.
+
+    The quiet path resolves *all* members from one ccfg-indexed entry;
+    everything else delegates to each member kernel's
+    :meth:`repro.hype.kernel.DenseKernel.pop_frame` through a per-lane
+    shim frame, so truth-set pops hit the member plans' shared
+    ``_pop_cache``/``_dead_cache`` exactly as sequential runs do.
+    """
+    ccfg = frame[1]
+    vidx = frame[2]
+    tts = frame[3]
+    parent = frame[4]
+    if tts is None:
+        cq = ck.cquiet[ccfg]
+        if cq is None:
+            cq = ck.quiet_of(ccfg)
+        if cq is not False:
+            for i, dead, report, resolved in cq[1]:
+                if dead:
+                    cursors[i].deaths[vidx[i]] = dead
+                clanes[i].resolved += resolved
+                if report and parent is not None:
+                    ptts = parent[3]
+                    if ptts is None:
+                        ptts = parent[3] = {}
+                    trues = ptts.get(i)
+                    if trues is None:
+                        ptts[i] = set(report)
+                    else:
+                        trues.update(report)
+            return
+    node = frame[0]
+    cfgs = ck.ccfg_tuples[ccfg]
+    kerns = ck.kerns
+    ptts = parent[3] if parent is not None else None
+    for i, packed, _mstates in ck.ccfg_live[ccfg]:
+        if not packed & POP_BIT:
+            continue
+        trues = None if tts is None else tts.get(i)
+        cfg = cfgs[i]
+        kern = kerns[i]
+        if not trues:
+            # This lane heard nothing from its children: its member quiet
+            # entry resolves the pop without a frame or a pop_frame call.
+            q = kern.quiet[cfg]
+            if q is None:
+                q = kern._compute_quiet(cfg)
+            if q is not False:
+                dead, report, resolved = q
+                if dead:
+                    cursors[i].deaths[vidx[i]] = dead
+                clanes[i].resolved += resolved
+                if report and parent is not None:
+                    if ptts is None:
+                        ptts = parent[3] = {}
+                    pset = ptts.get(i)
+                    if pset is None:
+                        ptts[i] = set(report)
+                    else:
+                        pset.update(report)
+                continue
+        if parent is not None:
+            if ptts is None:
+                ptts = parent[3] = {}
+            pset = ptts.get(i)
+            proxy = [None, None, None, pset, None]
+        else:
+            pset = None
+            proxy = None
+        kern.pop_frame([node, vidx[i], cfg, trues, proxy], cursors[i])
+        if proxy is not None and pset is None and proxy[3]:
+            ptts[i] = proxy[3]
+
+
+def descend_composed(ck, cursors, context, layout=None, shared=None) -> None:
+    """Drive the whole wave down one pass of ONE composed machine.
+
+    ``cursors`` is parallel to ``ck.plans`` — each member records into
+    its own :class:`repro.hype.core.RunCursor`, so per-lane answers and
+    stats are identical to sequential runs.  ``shared`` (a
+    :class:`repro.serve.batch.BatchStats`-shaped object) accumulates the
+    shared-pass visit/skip counters.  Raises :class:`ComposedOverflow`
+    when interning passes the cap — the caller re-runs the group through
+    the per-lane path with fresh cursors.
+
+    Frames are plain lists ``[node, ccfg, vidx, tts, parent, row]``:
+    ``vidx`` maps lane index to the lane's visit index at this node,
+    ``tts`` lazily maps lane index to the truths its children reported.
+    """
+    if layout is not None and not layout.covers(context):
+        layout = None
+    columnar = layout is not None
+    width = ck.width
+    clanes = [_CLane(cursor) for cursor in cursors]
+    root = ck.root_ccfg(context)
+    if root == 0:
+        if shared is not None:
+            shared.visited_elements += 0
+        return
+    ccfg_live = ck.ccfg_live
+    vidx0 = [0] * width
+    for i, packed, mstates in ccfg_live[root]:
+        cl = clanes[i]
+        vidx0[i] = len(cl.visit_nodes)
+        cl.nodes_append(context)
+        cl.parents_append(-1)
+        cl.mstates_append(mstates)
+        if packed & FINAL_BIT:
+            cl.finals_append(context)
+    if shared is not None:
+        shared.visited_elements += 1
+    if columnar:
+        rows = layout.rows_for(ck)
+        blank = array("i", [UNFILLED]) * layout.num_labels
+        labels = layout.labels
+        nodes = layout.nodes
+        kid_ids = layout.kid_ids
+        kid_labels = layout.kid_labels
+        kid_start = layout.kid_start
+        row0 = rows.get(root)
+        if row0 is None:
+            row0 = rows.setdefault(root, blank[:])
+        frame = [context, root, vidx0, None, None, row0]
+        cid0 = context.node_id
+        stack = [[frame, kid_start[cid0], kid_start[cid0 + 1], None]]
+    else:
+        rows = blank = labels = nodes = kid_ids = kid_labels = kid_start = None
+        frame = [context, root, vidx0, None, None, None]
+        kids0 = context.element_children_cached()
+        stack = [[frame, 0, len(kids0), kids0]]
+    stack_append = stack.append
+    trans = ck.trans
+    indexed = ck.indexed
+    mask_keys = ck.mask_keys
+    cedge_filters = ck.cedge_filters
+    lookup = ck.lookup_trans
+    cquiet = ck.cquiet
+    # ccfg -> tally of effect-free quiet pops (no deaths, no reports):
+    # one dict bump replaces a per-lane loop; resolution counts are
+    # applied per lane in the writeback sweep below.
+    quiet_counts: dict = {}
+    # ccfg -> per-live-lane push tuples with the cursor appends pre-bound
+    # for THIS run (lane methods differ per run, ccfg structure doesn't).
+    push_ops: dict = {}
+    label = ""
+    cid = -1
+    while stack:
+        top = stack[-1]
+        ki = top[1]
+        if ki == top[2]:
+            stack.pop()
+            pframe = top[0]
+            if pframe[3] is None:
+                pc = pframe[1]
+                cq = cquiet[pc]
+                if cq is None:
+                    cq = ck.quiet_of(pc)
+                if cq is not False:
+                    if cq[0]:
+                        quiet_counts[pc] = quiet_counts.get(pc, 0) + 1
+                    else:
+                        pvidx = pframe[2]
+                        parent = pframe[4]
+                        for i, dead, report, resolved in cq[1]:
+                            if dead:
+                                cursors[i].deaths[pvidx[i]] = dead
+                            clanes[i].resolved += resolved
+                            if report and parent is not None:
+                                ptts = parent[3]
+                                if ptts is None:
+                                    ptts = parent[3] = {}
+                                pset = ptts.get(i)
+                                if pset is None:
+                                    ptts[i] = set(report)
+                                else:
+                                    pset.update(report)
+                    continue
+            _pop_composed(ck, pframe, cursors, clanes)
+            continue
+        top[1] = ki + 1
+        frame = top[0]
+        ccfg = frame[1]
+        if columnar:
+            lid = kid_labels[ki]
+            cid = kid_ids[ki]
+            child = None
+            row = frame[5]
+            word = row[lid]
+            if word == UNFILLED:
+                word = lookup(ccfg, labels[lid])
+                row[lid] = word
+        else:
+            child = top[3][ki]
+            label = child.label
+            word = trans.get((ccfg, label), UNFILLED)
+            if word == UNFILLED:
+                word = lookup(ccfg, label)
+        if indexed and word:
+            ceid = word - 1
+            if child is not None:
+                cid = child.node_id
+            mask_key = mask_keys[cid]
+            word = cedge_filters[ceid].get(mask_key, UNFILLED)
+            if word == UNFILLED:
+                word = ck.fill_filter(ceid, mask_key, cid)
+        if word == 0:
+            # Every member prunes: one skip for the whole wave.
+            if shared is not None:
+                shared.skipped_subtrees += 1
+            continue
+        if child is None:
+            child = nodes[cid]
+        pvidx = frame[2]
+        vidx = [0] * width
+        ops = push_ops.get(word)
+        if ops is None:
+            ops = push_ops[word] = tuple(
+                (
+                    i,
+                    clanes[i].visit_nodes,
+                    clanes[i].nodes_append,
+                    clanes[i].parents_append,
+                    clanes[i].mstates_append,
+                    clanes[i].finals_append if packed & FINAL_BIT else None,
+                    mstates,
+                )
+                for i, packed, mstates in ccfg_live[word]
+            )
+        for i, vn, na, pa, ma, fa, mstates in ops:
+            vidx[i] = len(vn)
+            na(child)
+            pa(pvidx[i])
+            ma(mstates)
+            if fa is not None:
+                fa(child)
+        if shared is not None:
+            shared.visited_elements += 1
+        if columnar:
+            row2 = rows.get(word)
+            if row2 is None:
+                row2 = rows.setdefault(word, blank[:])
+            stack_append(
+                [
+                    [child, word, vidx, None, frame, row2],
+                    kid_start[cid],
+                    kid_start[cid + 1],
+                    None,
+                ]
+            )
+        else:
+            kids = child.element_children_cached()
+            stack_append(
+                [[child, word, vidx, None, frame, None], 0, len(kids), kids]
+            )
+    # Writeback — same closing sweep as the per-lane descent: visited,
+    # skipped and cans_vertices fall out of the visit columns.
+    for pc, count in quiet_counts.items():
+        for i, _dead, _report, resolved in cquiet[pc][1]:
+            clanes[i].resolved += resolved * count
+    for i, cursor in enumerate(cursors):
+        vn = cursor.visit_nodes
+        visited = len(vn)
+        if not visited:
+            continue
+        cursor.visited = visited
+        if columnar:
+            ks = layout.kid_start
+            examined = 0
+            for node in vn:
+                nid = node.node_id
+                examined += ks[nid + 1] - ks[nid]
+        else:
+            examined = sum(len(n.element_children_cached()) for n in vn)
+        cursor.skipped = examined - (visited - 1)
+        cursor.cans_vertices = sum(map(len, cursor.visit_mstates))
+        if clanes[i].resolved:
+            cursor.stats.afa_states_resolved += clanes[i].resolved
+
+
+# ----------------------------------------------------------------------
+# Persistence (the composed tier's warm-restart payload)
+# ----------------------------------------------------------------------
+def composed_payload(ck: ComposedKernel) -> dict:
+    """Snapshot a plain-family kernel's hot composed tables.
+
+    Self-contained and member-order-dependent: each member's referenced
+    cfgs are encoded structurally (state sets + watch lists, exactly as
+    :func:`repro.hype.kernel.kernel_payload` does), so rehydration in a
+    fresh process — where member cfg ids mint in a different order —
+    still maps every tuple correctly.  Index-equipped kernels are
+    document-bound (mask filter rows) and are not persisted.
+    """
+    if ck.indexed:
+        raise ValueError("composed payloads are built from plain-family kernels")
+    labels = sorted(ck.alphabet)
+    label_ids = {label: i for i, label in enumerate(labels)}
+    other = len(labels)
+    members = []
+    for plan, kern in zip(ck.plans, ck.kerns):
+        sets: dict = {}
+        set_rows: list[list[int]] = []
+
+        def set_id(fs) -> int:
+            idx = sets.get(fs)
+            if idx is None:
+                idx = sets[fs] = len(set_rows)
+                set_rows.append(sorted(fs))
+            return idx
+
+        cfg_rows = [
+            [
+                set_id(kern.cfg_mstates[cfg]),
+                set_id(kern.cfg_relevant[cfg]),
+                [[w, t] for w, t in kern.cfg_watch[cfg]],
+            ]
+            for cfg in range(len(kern.cfg_packed))
+        ]
+        members.append({"sets": set_rows, "cfgs": cfg_rows})
+    with ck._lock:
+        ccfg_rows = [list(cfgs) for cfgs in ck.ccfg_tuples]
+        trans_rows = [
+            [ccfg, label_ids.get(label, other), child]
+            for (ccfg, label), child in ck.trans.items()
+            if label in label_ids or label == OTHER_LABEL
+        ]
+    return {
+        "version": 1,
+        "width": ck.width,
+        "labels": labels,
+        "members": members,
+        "ccfgs": ccfg_rows,
+        "trans": trans_rows,
+    }
+
+
+def preload_composed(ck: ComposedKernel, payload: dict) -> int:
+    """Rehydrate persisted composed tables into a fresh kernel.
+
+    Member order must match the payload's (the composed tier keys
+    payloads by the ordered member fingerprints).  Returns the number of
+    transitions installed; the caller counts a rehydration instead of a
+    build when it is non-zero.  May raise :class:`ComposedOverflow` if
+    the payload outgrew a smaller cap — callers treat that as a plain
+    miss and recompose.
+    """
+    if ck.indexed:
+        raise ValueError("composed payloads rehydrate plain-family kernels")
+    if payload.get("version") != 1 or payload.get("width") != ck.width:
+        return 0
+    cfg_maps: list[list[int]] = []
+    for plan, kern, member in zip(ck.plans, ck.kerns, payload["members"]):
+        interned = [plan._intern(frozenset(row)) for row in member["sets"]]
+        cfg_map: list[int] = []
+        for m_idx, r_idx, watch in member["cfgs"]:
+            mstates, m_id = interned[m_idx]
+            relevant, r_id = interned[r_idx]
+            if not mstates and not relevant:
+                cfg_map.append(DEAD)
+            else:
+                watch_t = tuple((int(w), int(t)) for w, t in watch)
+                cfg_map.append(
+                    kern.cfg_of(mstates, m_id, relevant, r_id, watch_t)
+                )
+        cfg_maps.append(cfg_map)
+    ccfg_map: list[int] = []
+    for row in payload["ccfgs"]:
+        mapped = tuple(cfg_maps[i][idx] for i, idx in enumerate(row))
+        if not any(mapped):
+            ccfg_map.append(0)
+        else:
+            ccfg_map.append(ck.ccfg_of(mapped))
+    labels = payload["labels"]
+    other = len(labels)
+    trans = ck.trans
+    installed = 0
+    for ccfg_i, label_i, child_i in payload["trans"]:
+        key = (
+            ccfg_map[ccfg_i],
+            labels[label_i] if label_i < other else OTHER_LABEL,
+        )
+        if key in trans:
+            continue
+        trans[key] = ccfg_map[child_i]
+        installed += 1
+    ck.preloaded += installed
+    return installed

@@ -31,6 +31,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from ..hype.compose import ComposedKernel, ComposeError, ComposedOverflow, descend_composed
 from ..hype.core import CompiledPlan, HyPEResult, RunCursor
 from ..hype.kernel import descend
 from ..xtree.node import Node
@@ -38,7 +39,12 @@ from ..xtree.node import Node
 
 @dataclass
 class BatchStats:
-    """Counters of the *shared* pass (per-lane stats live on each result)."""
+    """Counters of the *shared* pass (per-lane stats live on each result).
+
+    When composed groups run (PR 9), the batch may make several passes —
+    one per composed group plus one per-lane pass for the leftovers —
+    and ``visited_elements``/``skipped_subtrees`` sum over those passes.
+    """
 
     #: Lanes in the batch (live or not at the root).
     lanes: int = 0
@@ -48,6 +54,12 @@ class BatchStats:
     skipped_subtrees: int = 0
     #: Sum of per-lane visited elements == cost of N sequential passes.
     sequential_visited: int = 0
+    #: Groups stepped as ONE composed machine this batch.
+    composed_groups: int = 0
+    #: Lanes advanced by a composed kernel (the rest step per-lane).
+    composed_lanes: int = 0
+    #: Groups that hit the ccfg cap mid-wave and re-ran per-lane.
+    composed_fallbacks: int = 0
 
     @property
     def saved_visits(self) -> int:
@@ -57,10 +69,17 @@ class BatchStats:
 
 @dataclass
 class BatchResult:
-    """Per-lane results (input order) plus the shared-pass counters."""
+    """Per-lane results (input order) plus the shared-pass counters.
+
+    ``composed`` holds the lane indices that were actually advanced by a
+    composed kernel this run (a group that fell back past the ccfg cap
+    contributes none), keyed so callers can attribute per-request trace
+    spans to the path that really served them.
+    """
 
     results: list[HyPEResult]
     stats: BatchStats = field(default_factory=BatchStats)
+    composed: frozenset = frozenset()
 
     def __iter__(self):
         return iter(self.results)
@@ -77,9 +96,20 @@ class BatchEvaluator:
     prunes with its own machinery, and one plan object may back several
     lanes (its memo tables are shared and thread-safe).  Passing a raw
     MFA was deprecated with the plan/run-state split: compile it first.
+
+    ``groups`` (lists of lane indices, disjoint, each >= 2 lanes) routes
+    those lanes through ONE :class:`repro.hype.compose.ComposedKernel`
+    pass — the caller (the service) groups by (view fingerprint,
+    algorithm, document) so members share state structure.  ``composer``
+    optionally supplies the kernel for a member list (the service's
+    composed-cache hook); without it a throwaway kernel is built per
+    run.  A group that overflows the ccfg cap mid-wave discards its
+    partial cursors and re-runs per-lane — counted in
+    ``BatchStats.composed_fallbacks``, and per-lane answers/stats stay
+    identical either way.
     """
 
-    def __init__(self, plans: list[CompiledPlan]) -> None:
+    def __init__(self, plans: list[CompiledPlan], *, groups=None, composer=None) -> None:
         if not plans:
             raise ValueError("BatchEvaluator needs at least one plan")
         for plan in plans:
@@ -90,6 +120,21 @@ class BatchEvaluator:
                     f"CompiledPlan(mfa) — got {type(plan).__name__!r}"
                 )
         self.plans = list(plans)
+        self.composer = composer
+        self.groups: list[tuple[int, ...]] = []
+        if groups:
+            seen: set[int] = set()
+            for group in groups:
+                members = tuple(group)
+                if len(members) < 2:
+                    continue  # nothing to compose; lane steps per-lane
+                for idx in members:
+                    if not 0 <= idx < len(self.plans):
+                        raise ValueError(f"composed group index {idx} out of range")
+                    if idx in seen:
+                        raise ValueError(f"lane {idx} appears in two composed groups")
+                    seen.add(idx)
+                self.groups.append(members)
 
     # ------------------------------------------------------------------
     def run(self, context: Node, layout=None) -> BatchResult:
@@ -107,9 +152,48 @@ class BatchEvaluator:
         """
         stats = BatchStats(lanes=len(self.plans))
         cursors = [RunCursor(plan) for plan in self.plans]
-        descend(
-            list(zip(self.plans, cursors)), context, layout, shared=stats
-        )
+        leftover = set(range(len(self.plans)))
+        composed_lanes: set[int] = set()
+        for group in self.groups:
+            members = [self.plans[i] for i in group]
+            try:
+                if self.composer is not None:
+                    kernel = self.composer(members)
+                else:
+                    kernel = ComposedKernel(members)
+            except ComposeError:
+                continue  # mixed family slipped through grouping: per-lane
+            except ComposedOverflow:
+                stats.composed_fallbacks += 1
+                continue
+            pass_stats = BatchStats()
+            try:
+                descend_composed(
+                    kernel,
+                    [cursors[i] for i in group],
+                    context,
+                    layout,
+                    shared=pass_stats,
+                )
+            except ComposedOverflow:
+                # The product blew past the ccfg cap mid-wave: discard the
+                # partial cursors and let the group re-run per-lane below.
+                stats.composed_fallbacks += 1
+                for i in group:
+                    cursors[i] = RunCursor(self.plans[i])
+                continue
+            stats.visited_elements += pass_stats.visited_elements
+            stats.skipped_subtrees += pass_stats.skipped_subtrees
+            stats.composed_groups += 1
+            stats.composed_lanes += len(group)
+            composed_lanes.update(group)
+            leftover.difference_update(group)
+        if leftover:
+            lanes = [(self.plans[i], cursors[i]) for i in sorted(leftover)]
+            pass_stats = BatchStats()
+            descend(lanes, context, layout, shared=pass_stats)
+            stats.visited_elements += pass_stats.visited_elements
+            stats.skipped_subtrees += pass_stats.skipped_subtrees
         results = [cursor.finish() for cursor in cursors]
         stats.sequential_visited = sum(r.stats.visited_elements for r in results)
-        return BatchResult(results, stats)
+        return BatchResult(results, stats, frozenset(composed_lanes))

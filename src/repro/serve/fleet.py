@@ -387,8 +387,10 @@ class FleetAcceptor:
         self.reroutes = 0
         self.host: str | None = None
         self.port: int | None = None
+        self.draining = False
         self._server: asyncio.AbstractServer | None = None
         self._connections: set[asyncio.Task] = set()
+        self._inflight: set[asyncio.Task] = set()
         self._health_task: asyncio.Task | None = None
 
     # ------------------------------------------------------------------
@@ -417,6 +419,42 @@ class FleetAcceptor:
         if self._server is None:
             raise RuntimeError("acceptor not started")
         await self._server.serve_forever()
+
+    async def drain(self) -> None:
+        """Graceful shutdown: refuse new work, flush what was accepted.
+
+        Ordered so no acknowledged request is lost: (1) close the
+        listening socket — no new connections; (2) mark draining — lines
+        already-open connections send from now on are refused with an
+        ``error: draining`` reply, never silently dropped; (3) await
+        every request task admitted before the mark; (4) stop the health
+        loop (it must not resurrect workers mid-shutdown) and close the
+        client connections; (5) SIGTERM the workers, which run their own
+        in-process drain before exiting.  Idempotent with :meth:`close`.
+        """
+        self.draining = True
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        while self._inflight:
+            await asyncio.gather(
+                *list(self._inflight), return_exceptions=True
+            )
+        if self._health_task is not None:
+            self._health_task.cancel()
+            try:
+                await self._health_task
+            except asyncio.CancelledError:
+                pass
+            self._health_task = None
+        for task in list(self._connections):
+            task.cancel()
+        if self._connections:
+            await asyncio.gather(*self._connections, return_exceptions=True)
+        await asyncio.gather(
+            *(worker.stop() for worker in self.workers.values())
+        )
 
     async def close(self) -> None:
         if self._health_task is not None:
@@ -617,11 +655,24 @@ class FleetAcceptor:
                         },
                     )
                     continue
+                if self.draining:
+                    reply = {
+                        "ok": False,
+                        "error": "draining",
+                        "message": "acceptor is draining; retry elsewhere",
+                    }
+                    client_id = message.get("id")
+                    if client_id is not None:
+                        reply["id"] = client_id
+                    await self._send(writer, write_lock, reply)
+                    continue
                 task = asyncio.create_task(
                     self._serve_message(message, writer, write_lock)
                 )
                 tasks.add(task)
                 task.add_done_callback(tasks.discard)
+                self._inflight.add(task)
+                task.add_done_callback(self._inflight.discard)
         except asyncio.CancelledError:
             pass
         finally:

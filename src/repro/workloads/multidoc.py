@@ -116,6 +116,7 @@ def build_multidoc_service(
     plan_store=None,
     document_store=None,
     pool_size: int | None = None,
+    compose: bool = False,
 ):
     """Build the two-document service; returns ``(service, hashes)``.
 
@@ -137,6 +138,7 @@ def build_multidoc_service(
         default_algorithm=cfg.algorithm,
         plan_store=plan_store,
         document_store=document_store,
+        compose=compose,
         **kwargs,
     )
     hashes = {HOSPITAL: service.default_document_hash}

@@ -1,0 +1,256 @@
+"""Wave composition: the composed kernel is indistinguishable per lane.
+
+Unit coverage for :mod:`repro.hype.compose` (construction errors, the
+ccfg cap, payload round-trips) plus the PR's strongest guarantee as a
+hypothesis property: stepping N plans as ONE composed machine yields
+answers *and* full per-lane ``HyPEStats`` byte-identical to N sequential
+runs — across all three algorithm families, on the string and columnar
+paths, and straight through a mid-wave ccfg-cap fallback.  A
+service-level test pins the grouping contract: waves mixing views must
+NOT compose across view boundaries.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.automata import compile_query
+from repro.docstore import IndexedDocument
+from repro.hype import build_index
+from repro.hype.compose import (
+    ComposedKernel,
+    ComposeError,
+    ComposedOverflow,
+    composed_payload,
+    descend_composed,
+    preload_composed,
+)
+from repro.hype.core import CompiledPlan, RunCursor
+from repro.serve.batch import BatchEvaluator
+from repro.xpath.parser import parse_query
+
+from .strategies import paths, trees
+
+COMMON = dict(
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+#: (family name, index factory) — composition members must share one
+#: index object, exactly as the serving stack hands lanes the document's
+#: index.
+FAMILIES = (
+    ("hype", lambda tree: None),
+    ("opthype", lambda tree: build_index(tree, compressed=False)),
+    ("opthype-c", lambda tree: build_index(tree, compressed=True)),
+)
+
+
+def _plans(queries, index):
+    return [
+        CompiledPlan(
+            compile_query(parse_query(q) if isinstance(q, str) else q),
+            index=index,
+        )
+        for q in queries
+    ]
+
+
+def _sequential(plans, tree, layout):
+    return [plan.run(tree.root, layout=layout) for plan in plans]
+
+
+def _composed(plans, tree, layout, kernel=None):
+    kernel = kernel or ComposedKernel(plans)
+    cursors = [RunCursor(plan) for plan in plans]
+    descend_composed(kernel, cursors, tree.root, layout)
+    return [cursor.finish() for cursor in cursors]
+
+
+def _assert_lanes_identical(got, reference):
+    for lane, (result, expected) in enumerate(zip(got, reference)):
+        assert [n.node_id for n in result.answers] == [
+            n.node_id for n in expected.answers
+        ], f"lane {lane} answers diverged"
+        assert result.stats == expected.stats, f"lane {lane} stats diverged"
+
+
+class TestConstruction:
+    def test_needs_two_members(self, hospital_doc):
+        (plan,) = _plans(["patient"], None)
+        with pytest.raises(ComposeError, match="at least two"):
+            ComposedKernel([plan])
+
+    def test_rejects_mixed_families(self, hospital_doc):
+        plain = _plans(["//patient"], None)
+        indexed = _plans(["//ward"], build_index(hospital_doc))
+        with pytest.raises(ComposeError, match="share one algorithm family"):
+            ComposedKernel(plain + indexed)
+        # Two different index objects are two families too, even over
+        # the same document.
+        other = _plans(["//patient"], build_index(hospital_doc))
+        with pytest.raises(ComposeError, match="share one algorithm family"):
+            ComposedKernel(indexed + other)
+
+    def test_cap_overflow_raises(self, hospital_doc):
+        plans = _plans(["//patient", "//patient//treatment"], None)
+        kernel = ComposedKernel(plans, max_ccfgs=1)
+        cursors = [RunCursor(plan) for plan in plans]
+        with pytest.raises(ComposedOverflow):
+            descend_composed(kernel, cursors, hospital_doc.root, None)
+
+    def test_interned_ccfgs_grow_then_stay(self, hospital_doc):
+        plans = _plans(["//patient", "patient/record"], None)
+        kernel = ComposedKernel(plans)
+        assert kernel.interned_ccfgs == 1  # the all-dead anchor
+        _composed(plans, hospital_doc, None, kernel=kernel)
+        grown = kernel.interned_ccfgs
+        assert grown > 1
+        _composed(plans, hospital_doc, None, kernel=kernel)
+        assert kernel.interned_ccfgs == grown  # tables are saturated
+
+
+class TestPayloadRoundTrip:
+    def test_plain_tables_round_trip(self, hospital_doc):
+        queries = ["//patient", "patient/record", "//patient/parent"]
+        plans = _plans(queries, None)
+        warm = ComposedKernel(plans)
+        reference = _composed(plans, hospital_doc, None, kernel=warm)
+        payload = composed_payload(warm)
+        assert payload["width"] == len(plans)
+        assert payload["trans"], "warm kernel persisted no transitions"
+
+        fresh = ComposedKernel(plans)
+        installed = preload_composed(fresh, payload)
+        assert installed == len(payload["trans"])
+        assert fresh.preloaded == installed
+        assert fresh.interned_ccfgs == warm.interned_ccfgs
+        _assert_lanes_identical(
+            _composed(plans, hospital_doc, None, kernel=fresh), reference
+        )
+        # Rehydration saturated the tables: nothing new gets interned.
+        assert fresh.interned_ccfgs == warm.interned_ccfgs
+
+    def test_indexed_kernels_do_not_persist(self, hospital_doc):
+        plans = _plans(["//patient", "//ward"], build_index(hospital_doc))
+        with pytest.raises(ValueError, match="plain"):
+            composed_payload(ComposedKernel(plans))
+
+    def test_preload_respects_the_cap(self, hospital_doc):
+        plans = _plans(["//patient", "//patient//treatment"], None)
+        warm = ComposedKernel(plans)
+        _composed(plans, hospital_doc, None, kernel=warm)
+        payload = composed_payload(warm)
+        capped = ComposedKernel(plans, max_ccfgs=2)
+        with pytest.raises(ComposedOverflow):
+            preload_composed(capped, payload)
+
+
+class TestComposedEqualsSequential:
+    """The property: one composed machine == N sequential machines."""
+
+    @given(trees(), st.lists(paths(max_leaves=5), min_size=2, max_size=4))
+    @settings(max_examples=40, **COMMON)
+    def test_all_families_string_path(self, tree, queries):
+        for _family, make_index in FAMILIES:
+            plans = _plans(queries, make_index(tree))
+            _assert_lanes_identical(
+                _composed(plans, tree, None),
+                _sequential(plans, tree, None),
+            )
+
+    @given(trees(), st.lists(paths(max_leaves=5), min_size=2, max_size=4))
+    @settings(max_examples=40, **COMMON)
+    def test_all_families_columnar_path(self, tree, queries):
+        layout = IndexedDocument(tree).layout
+        for _family, make_index in FAMILIES:
+            plans = _plans(queries, make_index(tree))
+            _assert_lanes_identical(
+                _composed(plans, tree, layout),
+                _sequential(plans, tree, layout),
+            )
+
+    @given(trees(), st.lists(paths(max_leaves=5), min_size=2, max_size=3))
+    @settings(max_examples=40, **COMMON)
+    def test_cap_fallback_mid_wave_is_invisible(self, tree, queries):
+        """A tiny ccfg cap forces mid-wave overflow; answers never move.
+
+        The batch evaluator discards the partial composed cursors and
+        re-runs the group per-lane — whether or not this particular
+        (tree, queries) draw overflows, per-lane results are identical
+        to plain sequential evaluation and the fallback is counted.
+        """
+        plans = _plans(queries, None)
+        reference = _sequential(plans, tree, None)
+        batch = BatchEvaluator(
+            plans,
+            groups=[range(len(plans))],
+            composer=lambda members: ComposedKernel(members, max_ccfgs=3),
+        )
+        outcome = batch.run(tree.root)
+        _assert_lanes_identical(list(outcome), reference)
+        stats = outcome.stats
+        assert stats.composed_fallbacks + stats.composed_groups == 1
+        if stats.composed_fallbacks:
+            assert not outcome.composed
+        else:
+            assert outcome.composed == frozenset(range(len(plans)))
+
+
+class TestServiceGrouping:
+    """Waves mixing views must NOT compose across the view boundary."""
+
+    @pytest.fixture()
+    def two_view_service(self, hospital_doc, sigma0_spec):
+        from repro.dtd import hospital_dtd, hospital_view_dtd
+        from repro.serve.service import QueryService
+        from repro.views.samples import SIGMA0_ANNOTATIONS
+        from repro.views.spec import view_spec
+
+        restricted = view_spec(
+            hospital_dtd(),
+            hospital_view_dtd(),
+            {**SIGMA0_ANNOTATIONS, ("patient", "parent"): "parent[not(.)]"},
+        )
+        service = QueryService(hospital_doc, compose=True)
+        service.register_view("research", sigma0_spec)
+        service.register_view("restricted", restricted)
+        service.register_tenant("inst", "research")
+        service.register_tenant("audit", "restricted")
+        return service
+
+    def test_one_lane_per_view_never_composes(self, two_view_service):
+        from repro.serve.service import QueryRequest
+
+        wave = [
+            QueryRequest("inst", "patient"),
+            QueryRequest("audit", "patient"),
+        ]
+        answers, stats = two_view_service.submit_many(wave)
+        assert len(answers) == 2
+        assert stats.composed_groups == 0
+        assert stats.composed_lanes == 0
+
+    def test_views_compose_separately_with_identical_answers(
+        self, two_view_service
+    ):
+        from repro.serve.service import QueryRequest
+
+        wave = [
+            QueryRequest("inst", "patient"),
+            QueryRequest("inst", "patient/record"),
+            QueryRequest("audit", "patient"),
+            QueryRequest("audit", "patient/record"),
+        ]
+        answers, stats = two_view_service.submit_many(wave)
+        # Two families of two lanes each — never one group of four.
+        assert stats.composed_groups == 2
+        assert stats.composed_lanes == 4
+        # Every lane answers exactly what its own sequential submit
+        # answers on the same service (per-view rewrites intact).
+        for request, answer in zip(wave, answers):
+            expected = two_view_service.submit(request.tenant, request.query)
+            assert answer.ids() == expected.ids()
+            assert answer.stats == expected.stats

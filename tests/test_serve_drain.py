@@ -1,10 +1,11 @@
 """Graceful drain on SIGTERM, tested against real subprocesses.
 
-Covers both shapes the fleet relies on: the ``serve-front`` CLI server
-and a bare fleet worker (``python -m repro.serve.fleet --worker``).  In
-each, a query admitted *before* the signal must still get its reply, a
-query arriving *after* it must get a structured ``draining`` rejection,
-the access log must be flushed, and the process must exit cleanly.
+Covers every shape the fleet relies on: the ``serve-front`` CLI server,
+a bare fleet worker (``python -m repro.serve.fleet --worker``), and the
+``serve-fleet`` acceptor fronting its workers.  In each, a query
+admitted *before* the signal must still get its reply, a query arriving
+*after* it must get a structured ``draining`` rejection, logs must be
+flushed, and the process must exit cleanly (status 0).
 """
 
 import json
@@ -163,6 +164,56 @@ def test_fleet_worker_sigterm_drains(tmp_path):
             json.loads(line) for line in flushed.read_text().splitlines()
         ]
         assert len(entries) == 1 and entries[0]["tenant"] == "inst-0"
+    finally:
+        if proc.poll() is None:
+            proc.kill()
+            proc.wait()
+
+
+def test_fleet_acceptor_sigterm_drains():
+    """The acceptor front door drains on SIGTERM like its workers do.
+
+    Same choreography as above, but the query is routed acceptor →
+    worker: the reply for the held query must come back through the
+    acceptor before it stops its workers, the late query must get the
+    structured ``draining`` refusal from the acceptor itself, and the
+    whole fleet must exit 0.
+    """
+    proc = subprocess.Popen(
+        [
+            sys.executable,
+            "-m",
+            "repro.cli",
+            "serve-fleet",
+            "--port",
+            "0",
+            "--workers",
+            "2",
+            "--patients",
+            "8",
+            "--tenants",
+            "2",
+            "--max-wait-ms",
+            "500",
+        ],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+        env=_env(),
+    )
+    try:
+        boot = proc.stdout.readline()
+        match = re.search(r"listening on ([\d.]+):(\d+)", boot)
+        assert match, f"no listening line: {boot!r}"
+        held, late = _drain_scenario(
+            proc, match.group(1), int(match.group(2))
+        )
+        assert held["ok"] is True and held["count"] > 0
+        assert late["ok"] is False and late["error"] == "draining"
+        out, _ = proc.communicate(timeout=60)
+        assert proc.returncode == 0
+        assert "draining: refusing new connections" in out
+        assert "drained: fleet stopped cleanly" in out
     finally:
         if proc.poll() is None:
             proc.kill()
