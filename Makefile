@@ -5,7 +5,7 @@
 PY ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test bench bench-smoke bench-serve bench-front bench-hot bench-hot-smoke front-smoke obs-smoke concurrency-smoke cache-smoke compose-smoke fleet-smoke warm install
+.PHONY: test bench bench-smoke bench-serve bench-front bench-hot bench-hot-smoke front-smoke obs-smoke concurrency-smoke cache-smoke compose-smoke fleet-smoke chaos-smoke warm install
 
 test:
 	$(PY) -m pytest -x -q
@@ -84,6 +84,16 @@ compose-smoke:
 # CI runs this.
 fleet-smoke:
 	$(PY) -m pytest benchmarks/test_fleet.py -q
+
+# Chaos smoke: the fleet under one seeded REPRO_FAULTS schedule that
+# crashes a worker, hangs another past the request timeout, delays and
+# corrupts plan/doc-store artifacts and drops a connection — all in a
+# single run.  Asserts zero lost acknowledged requests (answers byte-
+# identical to a fault-free reference), exact structured rejection
+# kinds for the hostile requests, a health-loop restart, and a clean
+# drain. CI runs this.
+chaos-smoke:
+	$(PY) -m pytest benchmarks/test_chaos.py -q
 
 # Precompile the default hospital workload into ./plans (demo of the
 # warm subcommand; serve-front --plan-dir plans then boots warm).

@@ -423,6 +423,111 @@ def bench_skew(tenants: int, requests: int, repeats: int, seed: int) -> dict:
 
 
 # ----------------------------------------------------------------------
+def bench_adversarial(tenants: int, requests: int, repeats: int, seed: int) -> dict:
+    """The malicious-tenant scenario: rewrite bombs + a poisoning probe.
+
+    A Mallory tenant salts rewrite bombs (the doubling ``(e/e)*`` family
+    at a depth whose normalised AST busts the compile budget) into an
+    honest stream.  Three guarantees are asserted before timing:
+
+    * every bomb is rejected ``query-too-complex`` — on the per-request
+      path AND inside a wave, where :meth:`submit_wave` must reject the
+      bomb without sinking its wavemates (whose answers stay identical
+      to the sequential reference);
+    * the rejection is *cheap*: ``bomb_reject_s`` times one bomb's full
+      admission round trip (linear parse + normalise, no rewrite);
+    * a cache-poisoning attempt (re-registering the shared view with a
+      hostile predicate) stays fingerprint-isolated — the canary answer
+      is unchanged once the real view is restored.
+    """
+    from repro.errors import QueryTooComplexError, ReproError
+    from repro.workloads.adversarial import (
+        AdversarialConfig,
+        bomb_family,
+        build_adversarial_service,
+        generate_adversarial_traffic,
+        is_bomb,
+        poison_attempt,
+    )
+
+    cfg = AdversarialConfig(
+        tenants=tenants, num_requests=requests, seed=seed, patients=16
+    )
+    service, hashes = build_adversarial_service(cfg)
+    traffic = generate_adversarial_traffic(cfg, hashes)
+    bombs = sum(1 for r in traffic if is_bomb(r))
+    bomb_query = bomb_family(cfg.bomb_depth)[-1]
+
+    def reject_bomb():
+        try:
+            service.submit("mallory", bomb_query, document=hashes["hospital"])
+        except QueryTooComplexError:
+            return
+        raise AssertionError("rewrite bomb compiled under the budget")
+
+    def run_stream():
+        answers, rejected = [], 0
+        for r in traffic:
+            try:
+                answers.append(
+                    service.submit(r.tenant, r.query, document=r.document).ids()
+                )
+            except ReproError:
+                answers.append(None)
+                rejected += 1
+        return answers, rejected
+
+    expected, rejected = run_stream()
+    assert rejected == bombs, "a bomb slipped past the compile budget"
+
+    wave_service, _ = build_adversarial_service(cfg, compose=True)
+
+    def run_waves():
+        answers, rejected = [], 0
+        for wave in waves(traffic, 8):
+            batch = [
+                QueryRequest(r.tenant, r.query, document=r.document)
+                for r in wave
+            ]
+            result = wave_service.submit_wave(batch)
+            for outcome in result.outcomes:
+                if isinstance(outcome, ReproError):
+                    answers.append(None)
+                    rejected += 1
+                else:
+                    answers.append(outcome.ids())
+        return answers, rejected
+
+    got, wave_rejected = run_waves()
+    assert wave_rejected == bombs, "a bomb sank or slipped past its wave"
+    assert got == expected, "adversarial wave serving changed honest answers"
+
+    stream_s = best_of(run_stream, repeats)
+    waves_s = best_of(run_waves, repeats)
+    reject_s = best_of(reject_bomb, repeats)
+
+    poison = poison_attempt(service)
+    assert poison["isolated"], "cache poisoning crossed view fingerprints"
+
+    kinds = dict(service.metrics_snapshot().rejected_kinds)
+    service.close()
+    wave_service.close()
+    honest = len(traffic) - bombs
+    return {
+        "requests": len(traffic),
+        "bombs": bombs,
+        "honest": honest,
+        "bomb_depth": cfg.bomb_depth,
+        "rejected_kinds": kinds,
+        "stream_s": stream_s,
+        "waves_s": waves_s,
+        "bomb_reject_s": reject_s,
+        "honest_rps": honest / stream_s if stream_s else 0.0,
+        "poison_isolated": poison["isolated"],
+    }
+
+
+# ----------------------------------------------------------------------
 def bench_parallel_scaling(tree, repeats: int, workers: int = 4) -> dict:
     """W-way concurrent evaluation of one warmed plan vs sequential.
 
@@ -860,6 +965,19 @@ def main(argv: list[str] | None = None) -> int:
         f"{skew['composed_fallbacks']} fallback(s))"
     )
 
+    adversarial = bench_adversarial(
+        args.tenants, args.requests, args.repeats, args.seed
+    )
+    print(
+        f"adversarial scenario ({adversarial['bombs']} depth-"
+        f"{adversarial['bomb_depth']} bomb(s) in "
+        f"{adversarial['requests']} requests):\n"
+        f"  all bombs rejected query-too-complex in "
+        f"{adversarial['bomb_reject_s'] * 1000:.1f} ms each; honest "
+        f"stream {adversarial['honest_rps']:.1f} req/s; poisoning "
+        f"isolated={adversarial['poison_isolated']}"
+    )
+
     serve = bench_serve(xml, args.tenants, args.requests, args.repeats)
     print(
         f"serve-batch, repeated document, {serve['requests']} requests / "
@@ -896,6 +1014,7 @@ def main(argv: list[str] | None = None) -> int:
         "dense_median_speedup": dense_med,
         "wave_scaling": wave,
         "skew": skew,
+        "adversarial": adversarial,
         "serve": serve,
     }
     if args.parallel_scaling:
@@ -967,6 +1086,12 @@ def main(argv: list[str] | None = None) -> int:
                 f"{DENSE_FLOOR} floor on descent-bound rows"
             )
         failures.extend(wave_failures)
+        if adversarial["bomb_reject_s"] >= 5.0:
+            failures.append(
+                f"rewrite-bomb rejection took "
+                f"{adversarial['bomb_reject_s']:.2f} s >= 5 s bound "
+                "(budget must trip after the linear parse, not a rewrite)"
+            )
         if serve["throughput_speedup"] < 1.5:
             failures.append(
                 f"shared-vs-cold throughput x{serve['throughput_speedup']:.2f} "

@@ -1,0 +1,222 @@
+"""Chaos smoke: the fleet under a seeded fault schedule loses nothing.
+
+The check ``make chaos-smoke`` runs in CI.  One deterministic
+:class:`repro.faults.FaultPlan` — exported through ``REPRO_FAULTS`` so
+every fleet process inherits it — combines, in a single run:
+
+* a **worker crash** (``os._exit`` mid-message) and a **worker hang**
+  (longer than the acceptor's request timeout),
+* **plan-store I/O delay** and a **corrupt plan artifact**,
+* a **corrupt document-index artifact**,
+* an acceptor-side **connection drop**, and
+* a **slow descent**.
+
+The guarantees asserted, with the reference answers computed fault-free
+beforehand:
+
+* **zero lost acknowledged requests** — every request in the pipelined
+  burst gets a reply, and every successful reply is byte-identical to
+  the fault-free ground truth (unacknowledged work reroutes through the
+  ring; corrupt artifacts degrade to recompiles/rebuilds);
+* **every failure is structured** — the deliberately hostile requests
+  (a rewrite bomb, a microscopic deadline) come back with exactly their
+  rejection kinds, nothing else fails;
+* **the fleet self-heals** — the crashed worker is restarted by the
+  health loop under its old ring name;
+* **clean drain** — after the chaos, ``drain()`` completes and the
+  acceptor shuts down without error.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+
+import pytest
+
+from repro import faults
+from repro.faults import ENV_VAR, FaultPlan, FaultRule
+from repro.hype.api import OPTHYPE
+from repro.serve.fleet import FleetSpec, start_fleet
+from repro.serve.frontend import FrontendClient
+from repro.workloads.adversarial import bomb_family
+from repro.workloads.multidoc import (
+    MultiDocConfig,
+    build_multidoc_service,
+    generate_multidoc_traffic,
+)
+
+CFG = MultiDocConfig(
+    patients=10,
+    terms=12,
+    chain_depth=5,
+    seed=11,
+    num_requests=24,
+    ontology_variants=2,
+    algorithm=OPTHYPE,
+)
+
+#: Known structured kinds a chaos run may produce (anything else fails).
+STRUCTURED_KINDS = {
+    "deadline",
+    "query-too-complex",
+    "document",
+    "authorization",
+    "service",
+    "invalid-query",
+    "invalid-request",
+    "bad-request",
+    "overloaded",
+}
+
+
+def chaos_plan() -> FaultPlan:
+    """The seeded schedule: crash + hang + delays + corruption + drop.
+
+    Hit numbers are chosen to land after fleet boot (each worker handles
+    a couple of handshake messages plus health pings before traffic);
+    ``limit`` keeps each disruptive fault to one firing per process, and
+    the crash/hang rules are SCOPED to single workers — hit counts run
+    near-identically in every worker process, so unscoped they would
+    take the whole fleet down at once and leave shards unservable.
+    """
+    return FaultPlan(
+        [
+            FaultRule("worker.message", "crash", hits=(8,), limit=1, scope="w0"),
+            FaultRule(
+                "worker.message",
+                "hang",
+                hits=(12,),
+                limit=1,
+                seconds=1.5,
+                scope="w1",
+            ),
+            FaultRule(
+                "plan-store.load", "delay", hits=(2,), limit=1, seconds=0.05
+            ),
+            FaultRule("plan-store.load", "corrupt", hits=(4,), limit=1),
+            FaultRule("doc-tier.load", "corrupt", hits=(1,), limit=1),
+            FaultRule("worker.connect", "drop", hits=(9,), limit=1),
+            FaultRule("descend", "delay", hits=(3,), limit=1, seconds=0.02),
+        ],
+        seed=0xC4A05,
+    )
+
+
+@pytest.fixture()
+def fault_free():
+    """Guarantee the schedule never leaks into other tests (or into the
+    fault-free reference computed inside the test)."""
+    faults.install(None)
+    yield
+    faults.install(None)
+
+
+def test_chaos_schedule_loses_nothing(tmp_path, monkeypatch, fault_free):
+    # Ground truth first, fault-free and in-process.
+    service, hashes = build_multidoc_service(CFG)
+    traffic = generate_multidoc_traffic(CFG, hashes)
+    try:
+        expected = [
+            service.submit(r.tenant, r.query, document=r.document).ids()
+            for r in traffic
+        ]
+    finally:
+        service.close()
+    payloads = [
+        {
+            "tenant": r.tenant,
+            "query": r.query,
+            "document": r.document,
+            "limit": -1,
+        }
+        for r in traffic
+    ]
+    # Two deliberately hostile requests ride along: their failures must
+    # be exactly these structured kinds.
+    hostile = [
+        ({"tenant": "admin", "query": bomb_family(12)[-1]}, "query-too-complex"),
+        (
+            {"tenant": "admin", "query": "hospital", "deadline_ms": 0.001},
+            "deadline",
+        ),
+    ]
+
+    plan = chaos_plan()
+    # Workers inherit the schedule through the environment; the acceptor
+    # (this process) needs it installed for the worker.connect probe.
+    monkeypatch.setenv(ENV_VAR, plan.to_json())
+    faults.install(plan)
+
+    spec = FleetSpec(
+        config=CFG.as_dict(),
+        plan_dir=str(tmp_path / "plans"),
+        doc_dir=str(tmp_path / "docs"),
+        max_wave=16,
+        max_wait_ms=50.0,
+    )
+
+    async def main():
+        acceptor = await start_fleet(
+            spec,
+            workers=3,
+            health_interval=0.2,
+            request_timeout=0.75,
+        )
+        try:
+            client = await FrontendClient.connect(acceptor.host, acceptor.port)
+            # A second connection carries the hostile requests and the
+            # fleet polling concurrently with the burst (one client is
+            # one NDJSON stream; it cannot multiplex readers).
+            side = await FrontendClient.connect(acceptor.host, acceptor.port)
+            try:
+                burst = asyncio.ensure_future(client.query_many(payloads))
+                hostile_replies = [
+                    await side.request({"op": "query", **message})
+                    for message, _kind in hostile
+                ]
+                replies = await burst
+                # The crash is scheduled to fire within the first few
+                # seconds of message traffic; wait until the health loop
+                # has restarted the victim.
+                fleet = None
+                deadline = time.monotonic() + 30
+                while time.monotonic() < deadline:
+                    fleet = await side.request({"op": "fleet"})
+                    if fleet["restarts"] >= 1 and all(
+                        info["alive"] for info in fleet["workers"].values()
+                    ):
+                        break
+                    await asyncio.sleep(0.2)
+                return replies, hostile_replies, fleet
+            finally:
+                await side.aclose()
+                await client.aclose()
+        finally:
+            # Clean drain after the chaos: every in-flight request
+            # flushed, workers stopped, no exception.
+            await acceptor.drain()
+            await acceptor.close()
+
+    replies, hostile_replies, fleet = asyncio.run(main())
+
+    # Zero lost acknowledged requests: every reply present and correct.
+    assert len(replies) == len(payloads)
+    failures = [reply for reply in replies if not reply.get("ok")]
+    assert not failures, f"unexpected failures under chaos: {failures[:3]}"
+    assert [reply["ids"] for reply in replies] == expected
+
+    # Every deliberate failure is structured, with its exact kind.
+    for reply, (_message, kind) in zip(hostile_replies, hostile):
+        assert reply["ok"] is False
+        assert reply["error"] == kind, reply
+        assert reply["error"] in STRUCTURED_KINDS
+
+    # The fleet self-healed: the scheduled crash was restarted and every
+    # worker is back alive under its old ring name.
+    assert fleet is not None and fleet["restarts"] >= 1
+    assert all(info["alive"] for info in fleet["workers"].values())
+
+    # The acceptor-side probes fired per schedule (worker processes
+    # count their own hits; their firing is evidenced by the restart).
+    assert plan.fired_counts().get("worker.connect", 0) <= 1

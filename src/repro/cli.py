@@ -808,12 +808,37 @@ async def _obs_smoke(service, admission) -> int:
     return 0
 
 
+def _install_faults(args: argparse.Namespace) -> None:
+    """Arm ``--faults PLAN`` (inline JSON or a file path) for this process
+    and export it through the environment so spawned fleet workers
+    inherit the same seeded schedule."""
+    text = getattr(args, "faults", None)
+    if not text:
+        return
+    import os
+
+    from . import faults
+
+    if os.path.exists(text):
+        with open(text, "r", encoding="utf-8") as handle:
+            text = handle.read()
+    plan = faults.FaultPlan.from_json(text)
+    faults.install(plan)
+    os.environ[faults.ENV_VAR] = plan.to_json()
+    points = sorted({rule.point for rule in plan.rules})
+    print(
+        f"fault injection armed: {', '.join(points)} (seed {plan.seed})",
+        flush=True,
+    )
+
+
 def cmd_serve_front(args: argparse.Namespace) -> int:
     import asyncio
     import signal
 
     from .serve.frontend import QueryFrontend
 
+    _install_faults(args)
     service = _front_service(args)
     admission = _admission_config(args)
     if args.smoke:
@@ -827,6 +852,7 @@ def cmd_serve_front(args: argparse.Namespace) -> int:
             service,
             admission,
             max_pending=args.max_pending,
+            max_line_bytes=args.max_line_bytes,
             tracer=tracer,
             access_log=access_logger,
         )
@@ -888,6 +914,7 @@ def cmd_serve_fleet(args: argparse.Namespace) -> int:
     from .serve.fleet import FleetAcceptor, FleetSpec
     from .workloads.multidoc import MultiDocConfig
 
+    _install_faults(args)
     config = MultiDocConfig(
         patients=args.patients,
         tenants=args.tenants,
@@ -906,7 +933,14 @@ def cmd_serve_fleet(args: argparse.Namespace) -> int:
     )
 
     async def _serve() -> None:
-        acceptor = FleetAcceptor(spec, workers=args.workers)
+        acceptor = FleetAcceptor(
+            spec,
+            workers=args.workers,
+            request_timeout=args.request_timeout,
+            breaker_threshold=args.breaker_threshold,
+            backoff_base=args.backoff_base,
+            backoff_cap=args.backoff_cap,
+        )
         host, port = await acceptor.start(args.host, args.port)
         shards = {
             doc_hash[:12]: acceptor.ring.node_for(doc_hash)
@@ -1016,6 +1050,31 @@ def cmd_bench_front(args: argparse.Namespace) -> int:
             document_store=_document_store(args),
             compose=args.compose,
         )
+    elif getattr(args, "workload", "hospital") == "adversarial":
+        # The malicious-tenant stream: rewrite bombs salted into honest
+        # traffic.  Bombs are EXPECTED to be rejected query-too-complex,
+        # so both replay paths below count them instead of failing.
+        from .workloads.adversarial import (
+            AdversarialConfig,
+            build_adversarial_service,
+            generate_adversarial_traffic,
+        )
+
+        adversarial_cfg = AdversarialConfig(
+            patients=args.patients,
+            tenants=args.tenants,
+            seed=args.seed,
+            num_requests=args.requests,
+        )
+        sequential, hashes = build_adversarial_service(adversarial_cfg)
+        traffic = generate_adversarial_traffic(adversarial_cfg, hashes)
+        front, _ = build_adversarial_service(
+            adversarial_cfg,
+            pool_size=args.pool_size,
+            plan_store=_plan_store(args),
+            document_store=_document_store(args),
+            compose=args.compose,
+        )
     else:
         document = generate_hospital_document(
             HospitalConfig(num_patients=args.patients, seed=args.seed)
@@ -1041,11 +1100,19 @@ def cmd_bench_front(args: argparse.Namespace) -> int:
         )
         register_tenants(front, config)
 
+    adversarial = getattr(args, "workload", "hospital") == "adversarial"
     seq_started = time.perf_counter()
-    seq_answers = [
-        sequential.submit(r.tenant, r.query, document=r.document)
-        for r in traffic
-    ]
+    seq_answers = []
+    seq_rejected = 0
+    for r in traffic:
+        try:
+            seq_answers.append(
+                sequential.submit(r.tenant, r.query, document=r.document)
+            )
+        except ReproError:
+            if not adversarial:
+                raise
+            seq_rejected += 1
     seq_elapsed = time.perf_counter() - seq_started
     seq_visited = sum(a.stats.visited_elements for a in seq_answers)
 
@@ -1093,9 +1160,20 @@ def cmd_bench_front(args: argparse.Namespace) -> int:
     outcomes = asyncio.run(replay())
     front_elapsed = time.perf_counter() - front_started
     errors = [o for o in outcomes if isinstance(o, BaseException)]
+    front_rejected = 0
+    if adversarial:
+        # Structured rejections (the bombs) are the expected outcome;
+        # anything else is still a genuine failure.
+        front_rejected = sum(1 for e in errors if isinstance(e, ReproError))
+        errors = [e for e in errors if not isinstance(e, ReproError)]
     if errors:
         raise ReproError(f"front-end replay failed: {errors[0]}")
     snapshot = front.metrics_snapshot()
+    poison = None
+    if adversarial:
+        from .workloads.adversarial import poison_attempt
+
+        poison = poison_attempt(front)
     sequential.close()
     front.close()
     print(
@@ -1119,6 +1197,29 @@ def cmd_bench_front(args: argparse.Namespace) -> int:
         f"per-request element(s) "
         f"(saved {seq_visited - snapshot.batch_visited})"
     )
+    if adversarial:
+        from .workloads.adversarial import is_bomb
+
+        bombs = sum(1 for r in traffic if is_bomb(r))
+        kinds = snapshot.rejected_kinds
+        too_complex = kinds.get("query-too-complex", 0)
+        if front_rejected != bombs or too_complex != bombs:
+            raise ReproError(
+                f"adversarial stream expected {bombs} query-too-complex "
+                f"rejection(s), saw {front_rejected} "
+                f"(kinds: {kinds})"
+            )
+        print()
+        print(
+            f"adversarial: {bombs} rewrite bomb(s) rejected "
+            f"query-too-complex on both paths "
+            f"(sequential {seq_rejected}, front-end {front_rejected}); "
+            f"poison canary before={poison['before']} "
+            f"poisoned={poison['poisoned']} after={poison['after']} "
+            f"isolated={poison['isolated']}"
+        )
+        if not poison["isolated"]:
+            raise ReproError("cache poisoning crossed a view fingerprint")
     print()
     print(snapshot.describe())
     if tracer is not None:
@@ -1156,6 +1257,43 @@ def cmd_obs(args: argparse.Namespace) -> int:
     ports = args.port if isinstance(args.port, list) else [args.port]
 
     async def fetch() -> int:
+        if getattr(args, "fleet", False):
+            # Per-worker resilience view from a fleet acceptor: liveness,
+            # restart counts, and each worker's circuit-breaker state.
+            client = await FrontendClient.connect(args.host, ports[0])
+            try:
+                reply = await client.request({"op": "fleet"})
+            finally:
+                await client.aclose()
+            if reply.get("ok") is not True:
+                print(f"error: {reply.get('message')}", file=sys.stderr)
+                return 1
+            workers = reply.get("workers", {})
+            print(
+                f"fleet: {len(workers)} worker(s), "
+                f"{reply.get('restarts', 0)} restart(s), "
+                f"{reply.get('reroutes', 0)} reroute(s), "
+                f"{reply.get('timeouts', 0)} timeout(s)"
+            )
+            header = (
+                f"{'worker':<12} {'pid':>7} {'port':>6} {'alive':>5} "
+                f"{'restarts':>8} {'breaker':>9} {'fails':>5} "
+                f"{'backoff-ms':>10}"
+            )
+            print(header)
+            for name in sorted(workers):
+                info = workers[name]
+                breaker = info.get("breaker", {})
+                print(
+                    f"{name:<12} {info.get('pid') or '-':>7} "
+                    f"{info.get('port') or '-':>6} "
+                    f"{str(bool(info.get('alive'))).lower():>5} "
+                    f"{info.get('restarts', 0):>8} "
+                    f"{breaker.get('state', '-'):>9} "
+                    f"{breaker.get('consecutive_failures', 0):>5} "
+                    f"{breaker.get('backoff_ms', 0):>10.0f}"
+                )
+            return 0
         if args.prometheus:
             # Fetch every port's exposition and merge them into one
             # (fleet workers each export their own, labelled source).
@@ -1335,6 +1473,18 @@ def build_parser() -> argparse.ArgumentParser:
         help="per-connection cap on in-flight queries (backpressure)",
     )
     sfr.add_argument(
+        "--max-line-bytes",
+        type=int,
+        default=1 << 20,
+        help="cap on one NDJSON request line; oversized lines get a "
+        "structured invalid-request reply and the connection closes",
+    )
+    sfr.add_argument(
+        "--faults",
+        help="fault-injection plan (inline JSON or a file path); "
+        "deterministic, inert unless set",
+    )
+    sfr.add_argument(
         "--plan-dir",
         help="persistent plan store directory (restarts start warm)",
     )
@@ -1371,11 +1521,13 @@ def build_parser() -> argparse.ArgumentParser:
     bfr.add_argument("--requests", type=int, default=24)
     bfr.add_argument(
         "--workload",
-        choices=("hospital", "multidoc", "skew"),
+        choices=("hospital", "multidoc", "skew", "adversarial"),
         default="hospital",
         help="hospital = single-document stream; multidoc = hospital + "
         "deep-recursion ontology with per-request document routing; "
-        "skew = N same-shape documents behind a Zipf-hot stream",
+        "skew = N same-shape documents behind a Zipf-hot stream; "
+        "adversarial = honest traffic salted with rewrite bombs and a "
+        "cache-poisoning view swap (bombs must reject query-too-complex)",
     )
     bfr.add_argument(
         "--compose",
@@ -1437,6 +1589,36 @@ def build_parser() -> argparse.ArgumentParser:
         help="per-worker NDJSON access-log path; '{worker}' expands to "
         "the worker name",
     )
+    flt.add_argument(
+        "--request-timeout",
+        type=float,
+        default=30.0,
+        help="seconds the acceptor waits for a worker reply before "
+        "rerouting the (unacknowledged) request",
+    )
+    flt.add_argument(
+        "--breaker-threshold",
+        type=int,
+        default=3,
+        help="consecutive failures before a worker's circuit opens",
+    )
+    flt.add_argument(
+        "--backoff-base",
+        type=float,
+        default=0.25,
+        help="base seconds for breaker/restart exponential backoff",
+    )
+    flt.add_argument(
+        "--backoff-cap",
+        type=float,
+        default=8.0,
+        help="ceiling seconds for breaker/restart exponential backoff",
+    )
+    flt.add_argument(
+        "--faults",
+        help="fault-injection plan (inline JSON or a file path); "
+        "exported to workers via the environment",
+    )
     flt.set_defaults(func=cmd_serve_fleet)
 
     obs = sub.add_parser(
@@ -1459,6 +1641,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--prometheus",
         action="store_true",
         help="print the Prometheus text exposition instead of traces",
+    )
+    obs.add_argument(
+        "--fleet",
+        action="store_true",
+        help="print the fleet resilience view (liveness, restarts, "
+        "per-worker circuit-breaker state) from a fleet acceptor",
     )
     obs.set_defaults(func=cmd_obs)
     return parser

@@ -36,6 +36,7 @@ import time
 from dataclasses import dataclass, field
 
 from ..automata.compile import compile_query
+from ..guard import CompileBudget
 from ..obs.trace import span
 from ..views.spec import ViewSpec
 from ..xpath import ast
@@ -131,15 +132,36 @@ class NormalizedQuery:
     text: str
 
 
+#: The default compile budget: generous enough that every legitimate
+#: workload clears it untouched, tight enough that a rewrite-bomb is
+#: rejected in bounded wall time (the checks are O(1) reads of sizes the
+#: pipeline computes anyway).  Pass ``budget=None`` to disable.
+DEFAULT_BUDGET = CompileBudget()
+
+
 class QueryCompiler:
     """Owns the full compilation pipeline as named, timed stages.
 
     Stateless apart from its metrics, so one compiler can be shared by
     every holder of a plan cache; compilation itself is pure.
+
+    ``budget`` (default :data:`DEFAULT_BUDGET`) bounds each
+    compilation: the normalized AST's node count before the expensive
+    stages run, and the rewritten/translated automaton's state count
+    before the dense closure.  A breach raises
+    :class:`repro.errors.QueryTooComplexError` — the structured
+    ``query-too-complex`` rejection the serving layer counts per tenant
+    — so a malicious tenant's query bomb costs one parse, not unbounded
+    CPU.
     """
 
-    def __init__(self, metrics: CompileMetrics | None = None) -> None:
+    def __init__(
+        self,
+        metrics: CompileMetrics | None = None,
+        budget: CompileBudget | None = DEFAULT_BUDGET,
+    ) -> None:
         self.metrics = metrics if metrics is not None else CompileMetrics()
+        self.budget = budget
 
     # ------------------------------------------------------------------
     def normalize(self, query: str | ast.Path | NormalizedQuery) -> NormalizedQuery:
@@ -175,6 +197,8 @@ class QueryCompiler:
         from ..rewrite.mfa_rewrite import rewrite_query, trim_mfa
 
         normalized = self.normalize(query)
+        if self.budget is not None:
+            self.budget.check_ast(normalized.ast.size())
         stages: dict[str, float] = {}
         if spec is None:
             mfa = self._timed(
@@ -196,6 +220,10 @@ class QueryCompiler:
             )
             mfa = self._timed(TRIM, trim_mfa, mfa, _stages=stages)
             fingerprint = spec.fingerprint()
+        if self.budget is not None:
+            self.budget.check_mfa(
+                mfa.size(), TRANSLATE if spec is None else REWRITE
+            )
         kernel = self._timed(DENSE, _dense_closure, mfa, _stages=stages)
         return PlanArtifact(
             mfa=mfa,

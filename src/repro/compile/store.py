@@ -40,6 +40,7 @@ import threading
 from dataclasses import dataclass
 from pathlib import Path
 
+from ..faults import fire as _fault_fire
 from .artifact import ArtifactError, PlanArtifact, PlanKey
 
 #: Suffix of artifact files inside a store directory.
@@ -120,6 +121,12 @@ class PlanStore:
         except OSError:
             self._count("misses", "errors")
             return None
+        fault = _fault_fire("plan-store.load")
+        if fault is not None and fault.action == "corrupt":
+            # Deterministic bit-rot: the artifact fails to decode below
+            # and takes the store's normal corruption-tolerant path
+            # (counted miss + recompile + overwrite).
+            raw = b"\x00corrupt\x00" + raw[: len(raw) // 2]
         try:
             artifact = PlanArtifact.from_bytes(raw)
         except ArtifactError:
@@ -139,6 +146,12 @@ class PlanStore:
         Returns whether the write landed; failures are counted, not
         raised — a full or read-only disk must not fail serving.
         """
+        fault = _fault_fire("plan-store.save")
+        if fault is not None and fault.action == "drop":
+            # Simulated full/read-only disk: the same counted, best-effort
+            # degradation a real OSError takes.
+            self._count("errors")
+            return False
         path = self.path_for(key)
         tmp = path.with_name(
             f"{path.name}.tmp.{os.getpid()}.{threading.get_ident()}"

@@ -50,6 +50,7 @@ from collections import OrderedDict
 from dataclasses import dataclass
 from pathlib import Path
 
+from ..faults import fire as _fault_fire
 from ..hype.index import (
     CompressedLabelIndex,
     Index,
@@ -182,6 +183,11 @@ class DocIndexTier:
         except OSError:
             self.stats.count("errors")
             return None
+        fault = _fault_fire("doc-tier.load")
+        if fault is not None and fault.action == "corrupt":
+            # Deterministic bit-rot: decoding fails below and takes the
+            # tier's normal corruption path (counted rebuild + overwrite).
+            raw = raw[: len(raw) // 2]
         try:
             payload = json.loads(gzip.decompress(raw).decode("utf-8"))
             index = _index_from_payload(

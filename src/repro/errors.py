@@ -56,6 +56,27 @@ class EvaluationError(ReproError):
     """Raised when query/automaton evaluation encounters an invalid state."""
 
 
+class QueryTooComplexError(ReproError):
+    """Raised when compiling a query exceeds its resource budget.
+
+    The query-bomb defense: MFA rewriting is worst-case exponential in
+    nested view indirection, so the compiler carries step/state budgets
+    (:class:`repro.guard.CompileBudget`) and surfaces a blowup as this
+    structured error — counted under the ``"query-too-complex"``
+    rejection kind — instead of burning unbounded CPU.
+    """
+
+
+class DeadlineError(ReproError):
+    """Raised when a request exceeds its end-to-end deadline.
+
+    Carries no partial answer by construction: expiry before evaluation
+    drops the work on the pool, and expiry mid-descent abandons the
+    run's cursors wholesale (rejected or complete, never partial).
+    Counted under the ``"deadline"`` rejection kind.
+    """
+
+
 class ServiceError(ReproError):
     """Raised for invalid requests to the multi-tenant query service."""
 

@@ -1,0 +1,138 @@
+"""Resource guards: end-to-end deadlines and compile budgets.
+
+Two small, allocation-light primitives the serving stack threads through
+every layer:
+
+* :class:`Deadline` — an absolute expiry instant on the monotonic clock,
+  armed once at request arrival (``deadline_ms`` on the wire) and passed
+  by reference down admission → pool → kernel.  The kernel's descent
+  loops poll it through an amortized countdown
+  (:data:`CHECK_INTERVAL` iterations per clock read) so the
+  deadline-free hot path pays one integer decrement per loop and the
+  armed path one ``perf_counter()`` call every few thousand nodes.
+* :class:`CompileBudget` — per-stage step/state ceilings for the
+  compilation pipeline.  MFA rewriting is worst-case exponential in
+  nested view indirection; the budget turns a blowup into a structured
+  :class:`repro.errors.QueryTooComplexError` (the ``query-too-complex``
+  rejection kind) instead of unbounded CPU.
+
+Both are plain data + comparisons: no locks, no callbacks, safe to share
+across the pool's threads (a :class:`Deadline` is immutable after
+arming).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+from .errors import DeadlineError, QueryTooComplexError
+
+#: Loop iterations between deadline clock reads inside the descent
+#: kernels.  The amortization knob: large enough that the armed path's
+#: ``perf_counter()`` cost vanishes against the per-node work, small
+#: enough that an armed descent overshoots its deadline by at most a few
+#: thousand node steps (well under a millisecond).
+CHECK_INTERVAL = 2048
+
+
+class Deadline:
+    """An absolute expiry instant on :func:`time.perf_counter`.
+
+    Armed once (at request arrival) and compared many times; the object
+    is immutable so it can cross thread and pool boundaries freely.
+    """
+
+    __slots__ = ("expires_at",)
+
+    def __init__(self, expires_at: float) -> None:
+        self.expires_at = expires_at
+
+    @classmethod
+    def after_ms(cls, deadline_ms: float, now: float | None = None) -> "Deadline":
+        """A deadline ``deadline_ms`` from ``now`` (default: this instant).
+
+        Pass the request's *arrival* instant as ``now`` so queueing time
+        counts against the budget — the whole point of an end-to-end
+        deadline.
+        """
+        base = time.perf_counter() if now is None else now
+        return cls(base + deadline_ms / 1000.0)
+
+    def expired(self, now: float | None = None) -> bool:
+        return (time.perf_counter() if now is None else now) >= self.expires_at
+
+    def remaining_ms(self, now: float | None = None) -> float:
+        """Milliseconds left (negative once expired)."""
+        base = time.perf_counter() if now is None else now
+        return (self.expires_at - base) * 1000.0
+
+    def check(self) -> None:
+        """Raise :class:`DeadlineError` if the instant has passed."""
+        if time.perf_counter() >= self.expires_at:
+            raise DeadlineError(
+                f"deadline exceeded by {-self.remaining_ms():.1f} ms"
+            )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Deadline(remaining_ms={self.remaining_ms():.1f})"
+
+
+def min_deadline(deadlines) -> Deadline | None:
+    """The earliest of an iterable of optional deadlines (or ``None``).
+
+    The group reduction for batched waves: a shared pass must stop when
+    the *first* member lane expires, at which point the service rejects
+    the expired lanes and re-runs the survivors under their own
+    deadlines (see :meth:`repro.serve.service.QueryService`).
+    """
+    earliest: Deadline | None = None
+    for deadline in deadlines:
+        if deadline is None:
+            continue
+        if earliest is None or deadline.expires_at < earliest.expires_at:
+            earliest = deadline
+    return earliest
+
+
+@dataclass(frozen=True)
+class CompileBudget:
+    """Ceilings for one compilation, checked between pipeline stages.
+
+    ``max_ast_nodes`` bounds the normalized query's syntax tree (the
+    cheap early reject for pathologically nested expressions);
+    ``max_mfa_states`` bounds the rewritten automaton — the quantity MFA
+    rewriting can blow up exponentially.  Checks are O(1) reads of sizes
+    the pipeline already computes, so the budget costs nothing on
+    well-behaved queries.
+    """
+
+    max_ast_nodes: int = 10_000
+    max_mfa_states: int = 5_000
+
+    def check_ast(self, nodes: int) -> None:
+        if nodes > self.max_ast_nodes:
+            raise QueryTooComplexError(
+                f"query AST has {nodes} nodes, over the "
+                f"{self.max_ast_nodes}-node compile budget"
+            )
+
+    def check_mfa(self, states: int, stage: str = "rewrite") -> None:
+        if states > self.max_mfa_states:
+            raise QueryTooComplexError(
+                f"{stage} produced an automaton with {states} states, "
+                f"over the {self.max_mfa_states}-state compile budget"
+            )
+
+    def as_dict(self) -> dict:
+        return {
+            "max_ast_nodes": self.max_ast_nodes,
+            "max_mfa_states": self.max_mfa_states,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "CompileBudget":
+        return cls(
+            max_ast_nodes=int(data.get("max_ast_nodes", 10_000)),
+            max_mfa_states=int(data.get("max_mfa_states", 5_000)),
+        )

@@ -54,8 +54,11 @@ recomposition — the warm-restart path of the composed tier in
 from __future__ import annotations
 
 import threading
+import time
 from array import array
 
+from ..errors import DeadlineError
+from ..guard import CHECK_INTERVAL
 from .kernel import CFG_SHIFT, DEAD, FINAL_BIT, OTHER_LABEL, POP_BIT, UNFILLED
 
 #: Default cap on interned composed configurations per kernel.  Products
@@ -416,7 +419,9 @@ def _pop_composed(ck, frame, cursors, clanes) -> None:
             ptts[i] = proxy[3]
 
 
-def descend_composed(ck, cursors, context, layout=None, shared=None) -> None:
+def descend_composed(
+    ck, cursors, context, layout=None, shared=None, deadline=None
+) -> None:
     """Drive the whole wave down one pass of ONE composed machine.
 
     ``cursors`` is parallel to ``ck.plans`` — each member records into
@@ -425,7 +430,11 @@ def descend_composed(ck, cursors, context, layout=None, shared=None) -> None:
     :class:`repro.serve.batch.BatchStats`-shaped object) accumulates the
     shared-pass visit/skip counters.  Raises :class:`ComposedOverflow`
     when interning passes the cap — the caller re-runs the group through
-    the per-lane path with fresh cursors.
+    the per-lane path with fresh cursors.  ``deadline`` arms the same
+    amortized cancellation checkpoint as
+    :func:`repro.hype.kernel.descend`: an expired deadline raises
+    :class:`repro.errors.DeadlineError` mid-pass and the caller discards
+    every member cursor (no partial answers).
 
     Frames are plain lists ``[node, ccfg, vidx, tts, parent, row]``:
     ``vidx`` maps lane index to the lane's visit index at this node,
@@ -488,7 +497,19 @@ def descend_composed(ck, cursors, context, layout=None, shared=None) -> None:
     push_ops: dict = {}
     label = ""
     cid = -1
+    checks = CHECK_INTERVAL
+    deadline_at = None if deadline is None else deadline.expires_at
+    perf_counter = time.perf_counter
     while stack:
+        if deadline_at is not None:
+            checks -= 1
+            if checks < 0:
+                checks = CHECK_INTERVAL
+                if perf_counter() >= deadline_at:
+                    raise DeadlineError(
+                        "deadline exceeded mid-descent "
+                        f"({-deadline.remaining_ms():.1f} ms over)"
+                    )
         top = stack[-1]
         ki = top[1]
         if ki == top[2]:

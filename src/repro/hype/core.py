@@ -239,7 +239,7 @@ class CompiledPlan:
         )
 
     # ------------------------------------------------------------------
-    def run(self, context: Node, layout=None) -> HyPEResult:
+    def run(self, context: Node, layout=None, deadline=None) -> HyPEResult:
         """Evaluate ``context[[M]]`` in one pass + one cans traversal.
 
         Safe to call from many threads at once: all mutable per-run
@@ -257,9 +257,14 @@ class CompiledPlan:
         (property-tested in ``tests/test_hype_columnar.py`` and
         ``tests/test_hype_kernel.py``); a layout that does not cover
         ``context`` falls back to the string path.
+
+        ``deadline`` — an optional :class:`repro.guard.Deadline` — arms
+        the descent's cooperative cancellation checkpoint; expiry raises
+        :class:`repro.errors.DeadlineError` and the private cursor is
+        discarded, so a deadline-hit run never yields partial answers.
         """
         cursor = RunCursor(self)
-        descend([(self, cursor)], context, layout)
+        descend([(self, cursor)], context, layout, deadline=deadline)
         return cursor.finish()
 
     # ------------------------------------------------------------------

@@ -51,7 +51,12 @@ duplicated work, never wrong answers.
 from __future__ import annotations
 
 import threading
+import time
 from array import array
+
+from ..errors import DeadlineError
+from ..faults import fire as _fault_fire
+from ..guard import CHECK_INTERVAL
 
 #: Flag bits of a packed transition word (see module docstring).
 FINAL_BIT = 1
@@ -598,7 +603,7 @@ class _Lane:
         return packed
 
 
-def descend(lanes, context, layout=None, shared=None) -> None:
+def descend(lanes, context, layout=None, shared=None, deadline=None) -> None:
     """THE descent loop: one shared pass driving every lane's automaton.
 
     ``lanes`` is a list of ``(plan, cursor)`` pairs; a sequential run is
@@ -609,12 +614,22 @@ def descend(lanes, context, layout=None, shared=None) -> None:
     :class:`repro.serve.batch.BatchStats`-shaped object) receives the
     shared-pass visit/skip counters when given.
 
+    ``deadline`` (a :class:`repro.guard.Deadline`) arms a cooperative
+    cancellation checkpoint: every :data:`repro.guard.CHECK_INTERVAL`
+    loop iterations the clock is read once and an expired deadline
+    raises :class:`repro.errors.DeadlineError` mid-descent — the
+    caller's cursors are abandoned wholesale, never finished partially.
+    With ``deadline=None`` the checkpoint is a single dead branch per
+    iteration, keeping the hot path inside the tracing-off overhead
+    floor.
+
     Frames are plain lists ``[node, visit_idx, cfg, trans_true, parent,
     pop_flag, lane, row]`` — the lane and its bound transition row ride
     in the frame, so the per-child loop iterates frames directly with no
     entry wrappers.  Stack entries are ``[frames, next_kid, kid_end,
     kids]``.
     """
+    _fault_fire("descend")
     if layout is not None and not layout.covers(context):
         layout = None
     columnar = layout is not None
@@ -663,7 +678,19 @@ def descend(lanes, context, layout=None, shared=None) -> None:
         stack_append = stack.append
         label = ""
         cid = -1
+        checks = CHECK_INTERVAL
+        deadline_at = None if deadline is None else deadline.expires_at
+        perf_counter = time.perf_counter
         while stack:
+            if deadline_at is not None:
+                checks -= 1
+                if checks < 0:
+                    checks = CHECK_INTERVAL
+                    if perf_counter() >= deadline_at:
+                        raise DeadlineError(
+                            "deadline exceeded mid-descent "
+                            f"({-deadline.remaining_ms():.1f} ms over)"
+                        )
             top = stack[-1]
             ki = top[1]
             if ki == top[2]:

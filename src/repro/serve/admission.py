@@ -118,6 +118,11 @@ class AdmissionController:
         """
         loop = asyncio.get_running_loop()
         future: asyncio.Future = loop.create_future()
+        # Arm the request's deadline at ARRIVAL (unless the caller armed
+        # it even earlier, e.g. the front-end at protocol parse): the
+        # coalescing hold below spends from the request's own budget.
+        if request.deadline is None and request.deadline_ms is not None:
+            request.deadline = request.arm()
         # Capture the trace context only when a trace is actually active:
         # with tracing off this is one contextvar read per request.
         ctx = (

@@ -137,7 +137,7 @@ class BatchEvaluator:
                 self.groups.append(members)
 
     # ------------------------------------------------------------------
-    def run(self, context: Node, layout=None) -> BatchResult:
+    def run(self, context: Node, layout=None, deadline=None) -> BatchResult:
         """Evaluate every lane's ``context[[M]]`` in one shared pass.
 
         With a ``layout`` (the context document's columnar
@@ -149,6 +149,11 @@ class BatchEvaluator:
         answers and stats are identical to N sequential runs.  A lane
         dead at the root never enters the pass (the sequential run
         returns the all-zero result immediately).
+
+        ``deadline`` (a :class:`repro.guard.Deadline`) arms the kernel's
+        cooperative cancellation checkpoint: an expired pass raises
+        :class:`repro.errors.DeadlineError` and the batch's local cursors
+        are discarded with it, so no partial answer can escape.
         """
         stats = BatchStats(lanes=len(self.plans))
         cursors = [RunCursor(plan) for plan in self.plans]
@@ -174,6 +179,7 @@ class BatchEvaluator:
                     context,
                     layout,
                     shared=pass_stats,
+                    deadline=deadline,
                 )
             except ComposedOverflow:
                 # The product blew past the ccfg cap mid-wave: discard the
@@ -191,7 +197,7 @@ class BatchEvaluator:
         if leftover:
             lanes = [(self.plans[i], cursors[i]) for i in sorted(leftover)]
             pass_stats = BatchStats()
-            descend(lanes, context, layout, shared=pass_stats)
+            descend(lanes, context, layout, shared=pass_stats, deadline=deadline)
             stats.visited_elements += pass_stats.visited_elements
             stats.skipped_subtrees += pass_stats.skipped_subtrees
         results = [cursor.finish() for cursor in cursors]

@@ -43,13 +43,16 @@ import asyncio
 import importlib
 import json
 import os
+import random
 import signal
 import sys
 import threading
+import time
 from dataclasses import dataclass, field, asdict
 
 from ..errors import ReproError, ServiceError
-from ..obs.export import merge_expositions
+from ..faults import fire as _fault_fire
+from ..obs.export import _Exposition, merge_expositions
 from .admission import AdmissionConfig
 from .frontend import DEFAULT_HOST, LINE_LIMIT, QueryFrontend
 from .ring import DEFAULT_REPLICAS, HashRing
@@ -67,6 +70,118 @@ DEFAULT_BUILDER = "repro.workloads.multidoc:build_multidoc_service"
 
 class WorkerUnavailable(ServiceError):
     """The targeted worker is dead or died before replying."""
+
+
+#: Consecutive failures that trip a worker's circuit breaker open.
+BREAKER_THRESHOLD = 3
+
+#: First backoff delay (seconds) after the breaker trips / a restart.
+BACKOFF_BASE = 0.25
+
+#: Ceiling on any single backoff delay (seconds).
+BACKOFF_CAP = 8.0
+
+#: Default per-request timeout (seconds) the acceptor waits on a worker
+#: before counting a breaker failure and rerouting.  Queries are
+#: read-only, so a timed-out (unacknowledged) request is safe to retry
+#: on the next ring preference — exactly the path a dead connection
+#: takes.
+DEFAULT_REQUEST_TIMEOUT = 30.0
+
+
+class CircuitBreaker:
+    """Per-worker circuit breaker: closed → open → half-open → closed.
+
+    ``record_failure`` after :attr:`threshold` *consecutive* failures
+    trips the breaker open for an exponentially growing, jittered delay
+    (each further failure while open doubles it, capped); routing skips
+    open breakers, so a sick worker stops eating requests that its ring
+    siblings could serve.  Once the delay elapses, :meth:`allow` admits
+    exactly ONE probe (half-open); the probe's outcome either closes the
+    breaker or re-opens it with a longer delay.
+
+    Jitter (a uniform 0.5–1.0 factor) keeps a fleet's breakers from
+    re-probing in lockstep after a shared outage.  Not thread-safe: all
+    calls happen on the acceptor's event loop.
+    """
+
+    def __init__(
+        self,
+        threshold: int = BREAKER_THRESHOLD,
+        base_delay: float = BACKOFF_BASE,
+        max_delay: float = BACKOFF_CAP,
+        rng: random.Random | None = None,
+    ) -> None:
+        if threshold < 1:
+            raise ValueError(f"threshold must be >= 1, got {threshold}")
+        self.threshold = threshold
+        self.base_delay = base_delay
+        self.max_delay = max_delay
+        self.state = "closed"
+        self.failures = 0  # consecutive
+        self.total_failures = 0
+        self.opened = 0  # times tripped open
+        self.open_until = 0.0  # monotonic instant the next probe unlocks
+        self._rng = rng if rng is not None else random.Random()
+
+    def _delay(self) -> float:
+        """The jittered exponential delay for the current failure run."""
+        exponent = min(self.failures - self.threshold, 12)
+        raw = min(self.max_delay, self.base_delay * (2.0 ** max(exponent, 0)))
+        return raw * (0.5 + 0.5 * self._rng.random())
+
+    def record_failure(self, now: float | None = None) -> None:
+        now = time.monotonic() if now is None else now
+        self.failures += 1
+        self.total_failures += 1
+        if self.failures >= self.threshold:
+            if self.state != "open":
+                self.opened += 1
+            self.state = "open"
+            self.open_until = now + self._delay()
+
+    def record_success(self) -> None:
+        self.state = "closed"
+        self.failures = 0
+        self.open_until = 0.0
+
+    def reset(self) -> None:
+        """Fresh process behind this breaker: give it traffic again."""
+        self.record_success()
+
+    def allow(self, now: float | None = None) -> bool:
+        """May a request be routed to this worker right now?
+
+        While open, the first call after ``open_until`` transitions to
+        half-open and admits the probe; further calls are refused until
+        the probe reports back through ``record_success``/``record_failure``.
+        """
+        if self.state == "closed":
+            return True
+        if self.state == "open":
+            now = time.monotonic() if now is None else now
+            if now >= self.open_until:
+                self.state = "half-open"
+                return True
+            return False
+        return False  # half-open: one probe already in flight
+
+    def backoff_remaining(self, now: float | None = None) -> float:
+        """Seconds until the next probe unlocks (0 when closed/half-open)."""
+        if self.state != "open":
+            return 0.0
+        now = time.monotonic() if now is None else now
+        return max(0.0, self.open_until - now)
+
+    def as_dict(self) -> dict:
+        """JSON-shaped state for the ``fleet``/``metrics`` ops."""
+        return {
+            "state": self.state,
+            "consecutive_failures": self.failures,
+            "total_failures": self.total_failures,
+            "opened": self.opened,
+            "backoff_ms": round(self.backoff_remaining() * 1000.0, 3),
+        }
 
 
 @dataclass
@@ -296,6 +411,13 @@ class WorkerHandle:
         """Forward one request; await its correlated reply."""
         if not self.alive or self._writer is None:
             raise WorkerUnavailable(self.name)
+        fault = _fault_fire("worker.connect")
+        if fault is not None and fault.action == "drop":
+            # Simulated connection drop BEFORE the request is sent: the
+            # request is unacknowledged by construction, so the routing
+            # layer's retry is exactly as safe as for a real dead socket.
+            self._fail_pending()
+            raise WorkerUnavailable(self.name)
         fid = f"f{self._next_fid}"
         self._next_fid += 1
         future = asyncio.get_running_loop().create_future()
@@ -370,6 +492,10 @@ class FleetAcceptor:
         replicas: int = DEFAULT_REPLICAS,
         health_interval: float = 0.5,
         health_timeout: float = 5.0,
+        request_timeout: float | None = DEFAULT_REQUEST_TIMEOUT,
+        breaker_threshold: int = BREAKER_THRESHOLD,
+        backoff_base: float = BACKOFF_BASE,
+        backoff_cap: float = BACKOFF_CAP,
     ) -> None:
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
@@ -381,10 +507,29 @@ class FleetAcceptor:
         self.ring = HashRing(names, replicas)
         self.health_interval = health_interval
         self.health_timeout = health_timeout
+        self.request_timeout = request_timeout
         self.documents: dict[str, str | None] = {}
         self.default_document: str | None = None
         self.restarts = 0
         self.reroutes = 0
+        self.timeouts = 0
+        # Per-worker resilience state: one circuit breaker each (routing
+        # skips open breakers; half-open probes recover) plus the
+        # restart ledger the health loop's exponential backoff reads.
+        # One seeded RNG keeps backoff jitter deterministic per acceptor
+        # while still de-synchronising the workers from each other.
+        self._rng = random.Random(0x5EED)
+        self.breakers: dict[str, CircuitBreaker] = {
+            name: CircuitBreaker(
+                breaker_threshold, backoff_base, backoff_cap, rng=self._rng
+            )
+            for name in names
+        }
+        self.backoff_base = backoff_base
+        self.backoff_cap = backoff_cap
+        self.worker_restarts: dict[str, int] = {name: 0 for name in names}
+        self._restart_attempts: dict[str, int] = {name: 0 for name in names}
+        self._restart_at: dict[str, float] = {name: 0.0 for name in names}
         self.host: str | None = None
         self.port: int | None = None
         self.draining = False
@@ -483,8 +628,23 @@ class FleetAcceptor:
         await self.close()
 
     # ------------------------------------------------------------------
+    def _restart_delay(self, name: str) -> float:
+        """Jittered exponential backoff for ``name``'s next restart."""
+        attempts = self._restart_attempts[name]
+        raw = min(
+            self.backoff_cap, self.backoff_base * (2.0 ** min(attempts, 12))
+        )
+        return raw * (0.5 + 0.5 * self._rng.random())
+
     async def _health_loop(self) -> None:
-        """Ping workers; restart crashed ones under their ring name."""
+        """Ping workers; restart crashed ones under their ring name.
+
+        A healthy ping resets the worker's restart-backoff ledger.  A
+        dead or hung worker is killed and respawned — but a crash-looping
+        worker backs off exponentially (with jitter) between attempts
+        instead of restart-spinning, and while it is down routing keeps
+        falling through to the ring's next preference.
+        """
         while True:
             await asyncio.sleep(self.health_interval)
             for name, worker in list(self.workers.items()):
@@ -493,19 +653,100 @@ class FleetAcceptor:
                         await worker.call(
                             {"op": "ping"}, timeout=self.health_timeout
                         )
+                        # Survived a full interval: the crash loop (if
+                        # any) is over; restart backoff starts fresh.
+                        self._restart_attempts[name] = 0
                         continue
                     except (WorkerUnavailable, asyncio.TimeoutError):
-                        pass
+                        self.breakers[name].record_failure()
+                if time.monotonic() < self._restart_at[name]:
+                    continue  # waiting out this worker's restart backoff
+                self._restart_attempts[name] += 1
+                self._restart_at[name] = (
+                    time.monotonic() + self._restart_delay(name)
+                )
                 try:
                     await worker.stop(kill=True, grace=2.0)
                     fresh = WorkerHandle(name, self.spec)
                     await fresh.start()
                     self.workers[name] = fresh
                     self.restarts += 1
+                    self.worker_restarts[name] += 1
+                    # Fresh process: let it take traffic immediately; if
+                    # it is still sick the breaker re-trips within
+                    # ``threshold`` requests.
+                    self.breakers[name].reset()
                 except (ReproError, OSError, asyncio.TimeoutError):
-                    # Spawn failed; the next tick tries again and routing
-                    # keeps falling through to the ring's next preference.
+                    # Spawn failed; the backoff above already pushed the
+                    # next attempt out and routing keeps falling through
+                    # to the ring's next preference.
                     pass
+
+    # ------------------------------------------------------------------
+    #: Numeric encoding of breaker states for the Prometheus gauge.
+    BREAKER_STATES = {"closed": 0, "half-open": 1, "open": 2}
+
+    def _fleet_health(self) -> dict:
+        """Acceptor-level resilience counters for the ``metrics`` op."""
+        return {
+            "restarts": self.restarts,
+            "reroutes": self.reroutes,
+            "timeouts": self.timeouts,
+            "workers": {
+                name: {
+                    "alive": self.workers[name].alive,
+                    "restarts": self.worker_restarts[name],
+                    "breaker": self.breakers[name].as_dict(),
+                }
+                for name in self.workers
+            },
+        }
+
+    def _acceptor_exposition(self) -> str:
+        """The acceptor's own Prometheus series (merged with the
+        workers' expositions by the ``prometheus`` op): restart and
+        reroute totals plus per-worker breaker state and backoff."""
+        out = _Exposition("repro")
+        fam = out.family(
+            "fleet_restarts_total", "counter", "Worker restarts performed."
+        )
+        out.sample(fam, self.restarts)
+        fam = out.family(
+            "fleet_reroutes_total", "counter",
+            "Queries rerouted past their preferred worker.",
+        )
+        out.sample(fam, self.reroutes)
+        fam = out.family(
+            "fleet_request_timeouts_total", "counter",
+            "Worker requests abandoned at the per-request timeout.",
+        )
+        out.sample(fam, self.timeouts)
+        fam = out.family(
+            "fleet_worker_restarts_total", "counter",
+            "Restarts per worker name.",
+        )
+        for name in self.workers:
+            out.sample(fam, self.worker_restarts[name], worker=name)
+        fam = out.family(
+            "fleet_worker_up", "gauge", "Worker liveness (1 = routable)."
+        )
+        for name, worker in self.workers.items():
+            out.sample(fam, 1 if worker.alive else 0, worker=name)
+        fam = out.family(
+            "fleet_breaker_state", "gauge",
+            "Circuit breaker state (0 closed, 1 half-open, 2 open).",
+        )
+        for name, breaker in self.breakers.items():
+            out.sample(
+                fam, self.BREAKER_STATES.get(breaker.state, 2), worker=name
+            )
+        fam = out.family(
+            "fleet_breaker_backoff_seconds", "gauge",
+            "Seconds until an open breaker admits its half-open probe.",
+        )
+        for name, breaker in self.breakers.items():
+            out.sample(fam, breaker.backoff_remaining(), worker=name)
+        return out.render()
 
     # ------------------------------------------------------------------
     async def _route_query(self, message: dict) -> dict:
@@ -520,17 +761,32 @@ class FleetAcceptor:
         tried = False
         for name in self.ring.preference(str(doc_hash)):
             worker = self.workers[name]
-            if not worker.alive:
+            breaker = self.breakers[name]
+            if not worker.alive or not breaker.allow():
+                # Dead, or its breaker is open (routing-around) — the
+                # ring's next preference takes the shard until a
+                # half-open probe recovers this worker.
                 continue
             if tried:
                 self.reroutes += 1
             tried = True
             try:
-                reply = await worker.call(message)
+                reply = await worker.call(
+                    message, timeout=self.request_timeout
+                )
             except WorkerUnavailable:
+                breaker.record_failure()
+                continue
+            except asyncio.TimeoutError:
+                # No reply within the per-worker budget: the request is
+                # unacknowledged, so retrying on the next preference is
+                # exactly as safe as after a dead connection.
+                self.timeouts += 1
+                breaker.record_failure()
                 continue
             if reply.get("error") == "draining":
                 continue
+            breaker.record_success()
             return reply
         return {
             "ok": False,
@@ -558,6 +814,8 @@ class FleetAcceptor:
                         "pid": worker.pid,
                         "port": worker.port,
                         "alive": worker.alive,
+                        "restarts": self.worker_restarts[name],
+                        "breaker": self.breakers[name].as_dict(),
                     }
                     for name, worker in self.workers.items()
                 },
@@ -569,6 +827,7 @@ class FleetAcceptor:
                 "default": self.default_document,
                 "restarts": self.restarts,
                 "reroutes": self.reroutes,
+                "timeouts": self.timeouts,
             }
         if op == "metrics":
             per_worker: dict[str, dict | None] = {}
@@ -577,22 +836,31 @@ class FleetAcceptor:
                     per_worker[name] = None
                     continue
                 try:
-                    reply = await worker.call({"op": "metrics"})
+                    reply = await worker.call(
+                        {"op": "metrics"}, timeout=self.request_timeout
+                    )
                     per_worker[name] = reply.get("metrics")
-                except WorkerUnavailable:
+                except (WorkerUnavailable, asyncio.TimeoutError):
                     per_worker[name] = None
-            return {"ok": True, "workers": per_worker}
+            return {
+                "ok": True,
+                "workers": per_worker,
+                "fleet": self._fleet_health(),
+            }
         if op == "prometheus":
             texts = []
             for worker in self.workers.values():
                 if not worker.alive:
                     continue
                 try:
-                    reply = await worker.call({"op": "prometheus"})
-                except WorkerUnavailable:
+                    reply = await worker.call(
+                        {"op": "prometheus"}, timeout=self.request_timeout
+                    )
+                except (WorkerUnavailable, asyncio.TimeoutError):
                     continue
                 if reply.get("ok"):
                     texts.append(reply["prometheus"])
+            texts.append(self._acceptor_exposition())
             return {"ok": True, "prometheus": merge_expositions(texts)}
         if op in ("open", "close"):
             return {
@@ -738,6 +1006,11 @@ def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(prog="repro.serve.fleet")
     parser.add_argument("--worker", required=True, metavar="NAME")
     args = parser.parse_args(argv)
+    # Scope fault-injection rules to this worker's name, so one shared
+    # REPRO_FAULTS schedule can target individual fleet members.
+    from ..faults import set_scope
+
+    set_scope(args.worker)
     spec_line = sys.stdin.readline()
     if not spec_line.strip():
         print(

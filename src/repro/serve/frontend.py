@@ -13,7 +13,7 @@ Protocol (one request object per line, one reply object per line)::
     {"op": "open",    "tenant": T}                  -> {"ok": true, "session": S, ...}
     {"op": "query",   "tenant": T, "query": Q,
      "session": S?, "algorithm": A?, "limit": N?,
-     "document": H?}                                -> {"ok": true, "count": n, "ids": [...],
+     "document": H?, "deadline_ms": D?}             -> {"ok": true, "count": n, "ids": [...],
                                                         "document": H,
                                                         "wave": {"size": k, "lanes": l, ...}}
     {"op": "close",   "session": S}                 -> {"ok": true, "requests": n, ...}
@@ -52,12 +52,22 @@ so clients that pipeline must correlate by id
 (:meth:`FrontendClient.query_many` does).  Failures never close the
 connection: they come back as ``{"ok": false, "error": KIND, "message":
 ...}`` where ``KIND`` is ``"authorization"`` / ``"document"`` /
-``"service"`` / ``"invalid-query"`` (per-tenant authorisation,
-document-catalog and parse failures, classified exactly as the service
-metrics count them), ``"bad-request"`` for malformed protocol input,
-``"overloaded"`` for backpressure (see below), ``"draining"`` while a
-graceful shutdown refuses new admissions (see :meth:`QueryFrontend.drain`),
-or ``"internal"`` for an unexpected server-side error.
+``"service"`` / ``"invalid-query"`` / ``"deadline"`` /
+``"query-too-complex"`` (per-tenant authorisation, document-catalog,
+parse, end-to-end deadline and compile-budget failures, classified
+exactly as the service metrics count them), ``"bad-request"`` for
+malformed protocol input, ``"invalid-request"`` for a request line past
+the ``max_line_bytes`` cap (the DoS guard; the connection drops since
+framing past the buffer is unrecoverable), ``"overloaded"`` for
+backpressure (see below), ``"draining"`` while a graceful shutdown
+refuses new admissions (see :meth:`QueryFrontend.drain`), or
+``"internal"`` for an unexpected server-side error.
+
+Deadlines: a ``query`` line may carry ``deadline_ms`` (a positive
+number).  The deadline is armed at *protocol arrival* — coalescing hold,
+pool queue-wait and evaluation all spend from the same budget — and an
+expired request is rejected with the structured ``deadline`` kind; no
+partial answer is ever sent (see ``docs/robustness.md``).
 
 Backpressure: each connection may have at most
 :attr:`QueryFrontend.max_pending` queries in flight (sent but not yet
@@ -72,10 +82,13 @@ from __future__ import annotations
 
 import asyncio
 import json
+import os
 import time
 from concurrent.futures import Executor
 
 from ..errors import ReproError
+from ..faults import fire as _fault_fire
+from ..guard import Deadline
 from ..obs.export import render_prometheus
 from ..obs.log import AccessLogger
 from ..obs.trace import Tracer
@@ -92,9 +105,12 @@ DEFAULT_ID_LIMIT = 100
 #: query lines get a structured ``overloaded`` rejection.
 DEFAULT_MAX_PENDING = 32
 
-#: Per-line stream buffer cap (server and client). A request line longer
-#: than this is answered with ``bad-request`` and the connection dropped —
-#: past the buffer the line framing is unrecoverable.
+#: Default per-line stream buffer cap (server and client) — the DoS
+#: guard against unbounded request lines.  A request line longer than
+#: the server's cap (``max_line_bytes``, tunable via ``--max-line-bytes``)
+#: is answered with a structured ``invalid-request`` rejection and the
+#: connection dropped — past the buffer the line framing is
+#: unrecoverable.
 LINE_LIMIT = 1 << 20
 
 
@@ -110,12 +126,18 @@ class QueryFrontend:
         tracer: Tracer | None = None,
         access_log: AccessLogger | None = None,
         worker: str | None = None,
+        max_line_bytes: int = LINE_LIMIT,
     ) -> None:
         if max_pending < 1:
             raise ValueError(f"max_pending must be >= 1, got {max_pending}")
+        if max_line_bytes < 1024:
+            raise ValueError(
+                f"max_line_bytes must be >= 1024, got {max_line_bytes}"
+            )
         self.service = service
         self.admission = AdmissionController(service, admission, executor)
         self.max_pending = max_pending
+        self.max_line_bytes = max_line_bytes
         self.tracer = tracer
         self.access_log = access_log
         # ``worker`` labels this process's Prometheus series so a fleet's
@@ -137,7 +159,7 @@ class QueryFrontend:
         ``port=0`` binds an ephemeral port (use the returned one).
         """
         self._server = await asyncio.start_server(
-            self._handle_client, host, port, limit=LINE_LIMIT
+            self._handle_client, host, port, limit=self.max_line_bytes
         )
         sockname = self._server.sockets[0].getsockname()
         self.host, self.port = sockname[0], sockname[1]
@@ -214,16 +236,20 @@ class QueryFrontend:
                 try:
                     line = await reader.readline()
                 except (asyncio.LimitOverrunError, ValueError):
-                    # Oversized line: framing past the buffer cap is
-                    # unrecoverable — reply, then drop the connection.
+                    # Oversized line (the --max-line-bytes DoS guard):
+                    # framing past the buffer cap is unrecoverable —
+                    # reply with a structured rejection, count it, then
+                    # drop the connection.
+                    self.service.metrics.record_rejection("invalid-request")
                     await self._send(
                         writer,
                         write_lock,
                         {
                             "ok": False,
-                            "error": "bad-request",
+                            "error": "invalid-request",
                             "message": (
-                                f"request line exceeds {LINE_LIMIT} bytes"
+                                "request line exceeds "
+                                f"{self.max_line_bytes} bytes"
                             ),
                         },
                     )
@@ -325,6 +351,13 @@ class QueryFrontend:
     async def _serve_message(
         self, message: dict, writer: asyncio.StreamWriter, lock: asyncio.Lock
     ) -> None:
+        fault = _fault_fire("worker.message")
+        if fault is not None and fault.action == "crash":
+            # Deterministic chaos: die exactly as an OOM-killed or
+            # segfaulted worker would — no reply, no cleanup; the
+            # acceptor's unacknowledged-retry path and health loop
+            # must absorb it.
+            os._exit(13)
         try:
             reply = await self._reply_for(message)
         except Exception as error:
@@ -423,12 +456,33 @@ class QueryFrontend:
                 "message": f"limit must be an integer, got {message['limit']!r}",
             }
         document = message.get("document")
+        deadline_ms = message.get("deadline_ms")
+        if deadline_ms is not None:
+            try:
+                deadline_ms = float(deadline_ms)
+            except (TypeError, ValueError):
+                deadline_ms = -1.0
+            if deadline_ms <= 0 or deadline_ms != deadline_ms:
+                return {
+                    "ok": False,
+                    "error": "bad-request",
+                    "message": (
+                        "deadline_ms must be a positive number, got "
+                        f"{message['deadline_ms']!r}"
+                    ),
+                }
         request = QueryRequest(
             tenant=str(message["tenant"]),
             query=str(message["query"]),
             algorithm=message.get("algorithm"),
             session_id=message.get("session"),
             document=None if document is None else str(document),
+            deadline_ms=deadline_ms,
+            # Armed HERE, at protocol arrival: admission hold and pool
+            # queue time spend from the same budget the client set.
+            deadline=(
+                None if deadline_ms is None else Deadline.after_ms(deadline_ms)
+            ),
         )
         if self.tracer is None and self.access_log is None:
             admitted = await self.admission.submit(request)
@@ -518,6 +572,7 @@ async def start_frontend(
     tracer: Tracer | None = None,
     access_log: AccessLogger | None = None,
     worker: str | None = None,
+    max_line_bytes: int = LINE_LIMIT,
 ) -> QueryFrontend:
     """Build and start a :class:`QueryFrontend` in one call."""
     frontend = QueryFrontend(
@@ -527,6 +582,7 @@ async def start_frontend(
         tracer=tracer,
         access_log=access_log,
         worker=worker,
+        max_line_bytes=max_line_bytes,
     )
     await frontend.start(host, port)
     return frontend
@@ -618,6 +674,7 @@ class FrontendClient:
         algorithm: str | None = None,
         limit: int | None = None,
         document: str | None = None,
+        deadline_ms: float | None = None,
     ) -> dict:
         message: dict = {"op": "query", "tenant": tenant, "query": query}
         if session is not None:
@@ -628,6 +685,8 @@ class FrontendClient:
             message["limit"] = limit
         if document is not None:
             message["document"] = document
+        if deadline_ms is not None:
+            message["deadline_ms"] = deadline_ms
         return await self.request(message)
 
     async def close_session(self, session: str) -> dict:

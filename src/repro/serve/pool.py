@@ -36,6 +36,8 @@ from concurrent.futures import Future, ThreadPoolExecutor
 from dataclasses import dataclass
 from typing import Any, Callable
 
+from ..errors import DeadlineError
+
 #: Default bound on concurrent evaluations per service.
 DEFAULT_POOL_SIZE = 4
 
@@ -79,11 +81,13 @@ class ExecutionPool:
         self._completed = 0
 
     # ------------------------------------------------------------------
-    def execute(self, work: Callable[[], Any]) -> PoolOutcome:
+    def execute(self, work: Callable[[], Any], deadline=None) -> PoolOutcome:
         """Run ``work`` on a pool worker; block until it finishes."""
-        return self.dispatch(work).result()
+        return self.dispatch(work, deadline=deadline).result()
 
-    def dispatch(self, work: Callable[[], Any]) -> "Future[PoolOutcome]":
+    def dispatch(
+        self, work: Callable[[], Any], deadline=None
+    ) -> "Future[PoolOutcome]":
         """Queue ``work``; the future resolves to its :class:`PoolOutcome`.
 
         The dispatcher's :mod:`contextvars` context is captured here and
@@ -91,18 +95,30 @@ class ExecutionPool:
         context state) propagates across the thread hop —
         ``ThreadPoolExecutor`` alone would run the job in the worker's
         own empty context.
+
+        ``deadline`` (a :class:`repro.guard.Deadline`) makes the pool
+        drop already-doomed work: a job whose deadline passed while it
+        sat in the queue raises :class:`repro.errors.DeadlineError`
+        through the future *instead of evaluating* — queue pressure from
+        expired requests never steals worker time from live ones.
         """
         enqueued = time.perf_counter()
         ctx = contextvars.copy_context()
-        return self._executor.submit(self._run, work, enqueued, ctx)
+        return self._executor.submit(self._run, work, enqueued, ctx, deadline)
 
     def _run(
         self,
         work: Callable[[], Any],
         enqueued: float,
         ctx: contextvars.Context,
+        deadline=None,
     ) -> PoolOutcome:
         started = time.perf_counter()
+        if deadline is not None and started >= deadline.expires_at:
+            raise DeadlineError(
+                "deadline expired before evaluation started "
+                f"(queued {(started - enqueued) * 1000:.1f} ms)"
+            )
         with self._lock:
             self._in_flight += 1
             if self._in_flight > self._peak_in_flight:

@@ -44,11 +44,14 @@ from ..docstore.store import DocumentStore
 from ..engine.smoqe import QueryAnswer
 from ..errors import (
     AuthorizationError,
+    DeadlineError,
     DocumentError,
+    QueryTooComplexError,
     ReproError,
     ServiceError,
     ViewError,
 )
+from ..guard import Deadline, min_deadline
 from ..hype.api import ALGORITHMS, HYPE
 from ..obs.trace import add_span, span
 from ..views.spec import ViewSpec
@@ -85,6 +88,15 @@ class QueryRequest:
 
     ``document`` selects which cataloged document the query runs over,
     by content hash; ``None`` means the service's default document.
+
+    ``deadline_ms`` bounds the request end to end: it is armed into a
+    :class:`repro.guard.Deadline` at admission, checked by the pool
+    before evaluation starts, and enforced by the kernel's cooperative
+    checkpoint mid-descent — an expired request is rejected (the
+    structured ``deadline`` kind), never answered partially.  A caller
+    that wants queue/admission time counted from an earlier instant (the
+    front-end arms at protocol arrival) sets ``deadline`` directly;
+    an armed ``deadline`` takes precedence over ``deadline_ms``.
     """
 
     tenant: str
@@ -92,6 +104,16 @@ class QueryRequest:
     algorithm: str | None = None
     session_id: str | None = None
     document: str | None = None
+    deadline_ms: float | None = None
+    deadline: Deadline | None = None
+
+    def arm(self) -> Deadline | None:
+        """The request's armed deadline (arming ``deadline_ms`` now)."""
+        if self.deadline is not None:
+            return self.deadline
+        if self.deadline_ms is not None:
+            return Deadline.after_ms(self.deadline_ms)
+        return None
 
 
 @dataclass
@@ -124,6 +146,10 @@ class WaveResult:
 
 def rejection_kind(error: ReproError) -> str:
     """Classify a rejected request for the metrics counters."""
+    if isinstance(error, DeadlineError):
+        return "deadline"
+    if isinstance(error, QueryTooComplexError):
+        return "query-too-complex"
     if isinstance(error, DocumentError):
         return "document"
     if isinstance(error, AuthorizationError):
@@ -377,9 +403,22 @@ class QueryService:
         algorithm: str | None = None,
         session_id: str | None = None,
         document: str | None = None,
+        deadline_ms: float | None = None,
+        deadline: Deadline | None = None,
     ) -> QueryAnswer:
-        """Authorise, plan, evaluate and account one request."""
+        """Authorise, plan, evaluate and account one request.
+
+        ``deadline_ms`` (or a pre-armed ``deadline``) bounds the whole
+        request; expiry at any stage — admission, pool queue, or
+        mid-descent — raises :class:`repro.errors.DeadlineError`,
+        counted under the ``deadline`` rejection kind, and no partial
+        answer is ever returned.
+        """
+        if deadline is None and deadline_ms is not None:
+            deadline = Deadline.after_ms(deadline_ms)
         try:
+            if deadline is not None and deadline.expired():
+                raise DeadlineError("deadline expired before admission")
             binding, algo, session, doc_hash = self._authorize(
                 tenant, algorithm, session_id, document
             )
@@ -391,9 +430,16 @@ class QueryService:
             raise
         doc = self._resolve_document(doc_hash)
         compiled = plan.compiled(algo, doc.tree, doc)
-        outcome = self.pool.execute(
-            lambda: compiled.run(doc.tree.root, layout=doc.layout)
-        )
+        try:
+            outcome = self.pool.execute(
+                lambda: compiled.run(
+                    doc.tree.root, layout=doc.layout, deadline=deadline
+                ),
+                deadline=deadline,
+            )
+        except DeadlineError as error:
+            self.metrics.record_rejection(rejection_kind(error), tenant=tenant)
+            raise
         result = outcome.result
         add_span("queue.wait", outcome.enqueued, outcome.started)
         add_span(
@@ -445,7 +491,13 @@ class QueryService:
                     rejection_kind(error), tenant=request.tenant
                 )
                 raise
-        return self._evaluate_grants(grants)
+        answers, stats = self._evaluate_grants(grants)
+        for answer in answers:
+            # Deadline expiry mid-batch surfaces as that request's
+            # rejection; submit_many keeps all-or-nothing semantics.
+            if isinstance(answer, ReproError):
+                raise answer
+        return answers, stats
 
     def submit_wave(
         self,
@@ -538,7 +590,16 @@ class QueryService:
             return local
 
     def _admit(self, request: QueryRequest):
-        """Authorise + plan one request (the pre-evaluation gate)."""
+        """Authorise + plan one request (the pre-evaluation gate).
+
+        The request's deadline is armed here (unless the caller armed it
+        earlier, e.g. at protocol arrival) and a request that arrives
+        already expired is rejected before any authorisation or compile
+        work is spent on it.
+        """
+        deadline = request.arm()
+        if deadline is not None and deadline.expired():
+            raise DeadlineError("deadline expired before admission")
         binding, algo, session, doc_hash = self._authorize(
             request.tenant,
             request.algorithm,
@@ -546,7 +607,7 @@ class QueryService:
             request.document,
         )
         plan, query_text = self._plan(binding, request.query)
-        return (request, binding, algo, plan, query_text, session, doc_hash)
+        return (request, binding, algo, plan, query_text, session, doc_hash, deadline)
 
     def _evaluate_grants(
         self,
@@ -565,7 +626,7 @@ class QueryService:
         groups: dict[str, list[int]] = {}
         for index, grant in enumerate(grants):
             groups.setdefault(grant[6], []).append(index)
-        answers: list[QueryAnswer | None] = [None] * len(grants)
+        answers: list[QueryAnswer | ReproError | None] = [None] * len(grants)
         lanes_total = 0
         visited_total = 0
         skipped_total = 0
@@ -595,7 +656,9 @@ class QueryService:
             visited_elements=visited_total,
             skipped_subtrees=skipped_total,
             sequential_visited=sum(
-                answer.stats.visited_elements for answer in answers
+                answer.stats.visited_elements
+                for answer in answers
+                if not isinstance(answer, ReproError)
             ),
             composed_groups=composed_groups_total,
             composed_lanes=composed_lanes_total,
@@ -616,6 +679,58 @@ class QueryService:
         doc_hash: str,
         grants: list,
         contexts: list[contextvars.Context | None] | None = None,
+    ) -> tuple[list[QueryAnswer | ReproError], BatchStats]:
+        """Run one document's admitted grants, deadline-aware.
+
+        Grants whose deadline already expired are rejected up front (the
+        structured ``deadline`` kind) without costing the wave anything.
+        The rest share one pass armed with the *earliest* live deadline;
+        if that fires mid-pass the shared cursors are discarded wholesale
+        — no partial answers can escape — and every live grant is retried
+        per-lane under its OWN deadline, so one tight-deadline request
+        cannot sink its wavemates.
+        """
+        answers: list[QueryAnswer | ReproError | None] = [None] * len(grants)
+        live: list[int] = []
+        for index, grant in enumerate(grants):
+            deadline = grant[7]
+            if deadline is not None and deadline.expired():
+                answers[index] = self._reject_deadline(
+                    grant[0].tenant, "deadline expired before evaluation"
+                )
+            else:
+                live.append(index)
+        if not live:
+            return answers, BatchStats()
+        live_grants = [grants[index] for index in live]
+        live_contexts = (
+            [contexts[index] for index in live] if contexts is not None else None
+        )
+        group_deadline = min_deadline(grant[7] for grant in live_grants)
+        try:
+            group_answers, stats = self._shared_pass(
+                doc_hash, live_grants, live_contexts, group_deadline
+            )
+        except DeadlineError:
+            group_answers, stats = self._lane_fallback(
+                doc_hash, live_grants, live_contexts
+            )
+        for index, answer in zip(live, group_answers):
+            answers[index] = answer
+        return answers, stats
+
+    def _reject_deadline(self, tenant: str, message: str) -> DeadlineError:
+        """Build + count one structured ``deadline`` rejection."""
+        error = DeadlineError(message)
+        self.metrics.record_rejection("deadline", tenant=tenant)
+        return error
+
+    def _shared_pass(
+        self,
+        doc_hash: str,
+        grants: list,
+        contexts: list[contextvars.Context | None] | None = None,
+        deadline: Deadline | None = None,
     ) -> tuple[list[QueryAnswer], BatchStats]:
         """Run one document's admitted grants through one shared pass.
 
@@ -627,6 +742,11 @@ class QueryService:
         evaluation) happen once per group but serve every grant — with
         ``contexts`` they are mirrored as spans into *each* request's
         trace, at the absolute instants the shared work ran.
+
+        ``deadline`` (the wave's earliest) arms the pool's pre-eval drop
+        and the kernel checkpoint; expiry raises
+        :class:`repro.errors.DeadlineError` out of this method with no
+        cursor state surviving.
         """
         resolve_start = time.perf_counter()
         doc = self._resolve_document(doc_hash, uses=len(grants))
@@ -660,8 +780,9 @@ class QueryService:
         )
         pooled = self.pool.execute(
             lambda: BatchEvaluator(lanes, groups=groups, composer=composer).run(
-                doc.tree.root, layout=doc.layout
-            )
+                doc.tree.root, layout=doc.layout, deadline=deadline
+            ),
+            deadline=deadline,
         )
         outcome = pooled.result
         if groups:
@@ -671,7 +792,7 @@ class QueryService:
         eval_share = pooled.eval_seconds / len(grants)
         answers: list[QueryAnswer] = []
         for index, (
-            (request, binding, algo, plan, query_text, session, _doc_hash),
+            (request, binding, algo, plan, query_text, session, _doc_hash, _dl),
             lane,
         ) in enumerate(zip(grants, request_lane)):
             result = outcome.results[lane]
@@ -734,6 +855,94 @@ class QueryService:
             composed_groups=outcome.stats.composed_groups,
             composed_lanes=outcome.stats.composed_lanes,
             composed_fallbacks=outcome.stats.composed_fallbacks,
+        )
+        return answers, stats
+
+    def _lane_fallback(
+        self,
+        doc_hash: str,
+        grants: list,
+        contexts: list[contextvars.Context | None] | None = None,
+    ) -> tuple[list[QueryAnswer | ReproError], BatchStats]:
+        """Retry grants one lane at a time, each under its own deadline.
+
+        The shared pass aborted on the wave's earliest deadline; here
+        every grant gets a fresh cursor and its own budget, so slower
+        deadlines still complete and expired ones become structured
+        ``deadline`` rejections — never partial answers (the aborted
+        pass's cursors were discarded with the exception).
+        """
+        doc = self._resolve_document(doc_hash, uses=len(grants))
+        answers: list[QueryAnswer | ReproError] = []
+        evaluated = 0
+        visited = 0
+        skipped = 0
+        for index, grant in enumerate(grants):
+            request, binding, algo, plan, query_text, session, _dh, deadline = grant
+            if deadline is not None and deadline.expired():
+                answers.append(
+                    self._reject_deadline(
+                        request.tenant, "deadline expired before evaluation"
+                    )
+                )
+                continue
+            compiled = plan.compiled(algo, doc.tree, doc)
+            try:
+                pooled = self.pool.execute(
+                    lambda c=compiled, d=deadline: c.run(
+                        doc.tree.root, layout=doc.layout, deadline=d
+                    ),
+                    deadline=deadline,
+                )
+            except DeadlineError:
+                answers.append(
+                    self._reject_deadline(
+                        request.tenant, "deadline expired mid-evaluation"
+                    )
+                )
+                continue
+            result = pooled.result
+            evaluated += 1
+            visited += result.stats.visited_elements
+            skipped += result.stats.skipped_subtrees
+            ctx = contexts[index] if contexts is not None else None
+            if ctx is not None:
+                ctx.run(add_span, "queue.wait", pooled.enqueued, pooled.started)
+                ctx.run(
+                    add_span,
+                    "evaluate",
+                    pooled.started,
+                    pooled.finished,
+                    algorithm=algo,
+                    document=doc_hash,
+                    answers=len(result.answers),
+                    visited=result.stats.visited_elements,
+                    fallback="deadline",
+                )
+            self.metrics.record_request(
+                request.tenant,
+                pooled.queue_wait,
+                pooled.eval_seconds,
+                len(result.answers),
+            )
+            if session is not None:
+                session.touch(query_text)
+            answers.append(
+                QueryAnswer(
+                    result.answers,
+                    plan.mfa,
+                    result.stats,
+                    algo,
+                    view=binding.view,
+                    query_text=query_text,
+                    document=doc_hash,
+                )
+            )
+        stats = BatchStats(
+            lanes=evaluated,
+            visited_elements=visited,
+            skipped_subtrees=skipped,
+            sequential_visited=visited,
         )
         return answers, stats
 

@@ -236,9 +236,11 @@ class TestErrorMapping:
             return reply, closed
 
         reply, closed = run_with_frontend(service, scenario)
-        assert reply["ok"] is False and reply["error"] == "bad-request"
+        assert reply["ok"] is False and reply["error"] == "invalid-request"
         assert "exceeds" in reply["message"]
         assert closed == b""
+        kinds = service.metrics_snapshot().rejected_kinds
+        assert kinds.get("invalid-request", 0) == 1
 
     def test_rejections_reach_service_metrics(self, service):
         async def scenario(client, _frontend):
@@ -249,6 +251,50 @@ class TestErrorMapping:
         reply = run_with_frontend(service, scenario)
         kinds = reply["metrics"]["rejected_kinds"]
         assert kinds == {"authorization": 1, "invalid-query": 1}
+
+
+class TestDeadlines:
+    def test_generous_deadline_serves_the_full_answer(self, service):
+        async def scenario(client, _frontend):
+            return await client.query(
+                "institute", "patient", deadline_ms=60_000.0
+            )
+
+        reply = run_with_frontend(service, scenario)
+        expected = service.submit("institute", "patient")
+        assert reply["ok"] is True
+        assert reply["count"] == len(expected.ids())
+
+    def test_microscopic_deadline_rejects_structurally(self, service):
+        async def scenario(client, _frontend):
+            rejected = await client.query(
+                "institute", "patient", deadline_ms=0.001
+            )
+            alive = await client.ping()
+            return rejected, alive
+
+        rejected, alive = run_with_frontend(service, scenario)
+        assert rejected["ok"] is False
+        assert rejected["error"] == "deadline"
+        assert alive == {"ok": True, "pong": True}
+        assert service.metrics_snapshot().rejected_kinds.get("deadline") == 1
+
+    @pytest.mark.parametrize("bad", [0, -5, "soon", float("nan")])
+    def test_non_positive_deadline_is_bad_request(self, service, bad):
+        async def scenario(client, _frontend):
+            return await client.request(
+                {
+                    "op": "query",
+                    "tenant": "institute",
+                    "query": "patient",
+                    "deadline_ms": bad,
+                }
+            )
+
+        reply = run_with_frontend(service, scenario)
+        assert reply["ok"] is False
+        assert reply["error"] == "bad-request"
+        assert "deadline_ms" in reply["message"]
 
 
 class TestBackpressure:
